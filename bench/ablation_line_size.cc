@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation: versioning-block (sub-block) size — the RL design,
+ * paper section 3.7. With 16-byte address blocks, whole-line
+ * versioning suffers false-sharing squashes (a store from one task
+ * sharing a line with an unrelated load from a later task); the
+ * sector-cache style per-sub-block L/S bits remove them. Sweeps
+ * the versioning block from 16 bytes (whole line) down to 1 byte
+ * (the paper's byte-level disambiguation), reporting violation
+ * squashes and IPC.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+int
+main()
+{
+    using namespace svc;
+    using namespace svc::bench;
+
+    const unsigned scale = benchScale();
+    printHeader("Ablation: versioning-block size (RL mechanism)",
+                "Gopal et al., HPCA 1998, section 3.7", scale);
+
+    for (const char *name : {"compress", "vortex", "perl"}) {
+        std::printf("--- %s ---\n", name);
+        TablePrinter table({"versioning block", "violations",
+                            "IPC", "miss ratio", "verified"});
+        for (unsigned vb : {16u, 8u, 4u, 2u, 1u}) {
+            SvcConfig cfg = paperSvcConfig(8);
+            cfg.versioningBytes = vb;
+            BenchRow r = runOnSvc(name, scale, cfg);
+            table.addRow({std::to_string(vb) + " B",
+                          std::to_string(r.violationSquashes),
+                          TablePrinter::num(r.ipc, 2),
+                          TablePrinter::num(r.missRatio, 3),
+                          r.verified ? "yes" : "NO"});
+        }
+        std::printf("%s\n", table.format().c_str());
+    }
+    std::printf("Expected: violations (false sharing) fall as the "
+                "versioning block shrinks;\nbyte-level "
+                "disambiguation (1 B) retains only true "
+                "dependences.\n");
+    return 0;
+}

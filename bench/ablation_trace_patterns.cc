@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Memory-system-only ablation: synthetic task traces with canonical
+ * access patterns (private, read-shared, migratory, false-sharing,
+ * mixed) driven through the functional SVC (final design) — the
+ * cleanest view of the paper's traffic analysis in section 4.4:
+ * reference spreading raises SVC misses on read-shared data,
+ * migratory data turns into cache-to-cache transfers, and false
+ * sharing shows up as squashes only at coarse versioning blocks.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "tests/support/engine_adapters.hh"
+#include "tests/support/task_script.hh"
+#include "workloads/trace_gen.hh"
+
+namespace
+{
+
+using namespace svc;
+using workloads::TaskTrace;
+using workloads::TraceGenConfig;
+using workloads::TracePattern;
+
+test::TaskScript
+toScript(const TaskTrace &trace)
+{
+    test::TaskScript script;
+    for (const auto &task : trace.tasks) {
+        script.tasks.emplace_back();
+        for (const auto &op : task) {
+            script.tasks.back().push_back(
+                {op.isStore, op.addr, op.size, op.value});
+        }
+    }
+    return script;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace svc::bench;
+    printHeader("Ablation: access-pattern regimes "
+                "(memory system only)",
+                "Gopal et al., HPCA 1998, section 4.4 traffic "
+                "analysis",
+                0);
+
+    const TracePattern patterns[] = {
+        TracePattern::Private, TracePattern::ReadShared,
+        TracePattern::Migratory, TracePattern::FalseSharing,
+        TracePattern::Mixed};
+
+    for (unsigned vb : {16u, 1u}) {
+        std::printf("--- versioning block: %u byte(s) ---\n", vb);
+        TablePrinter table({"pattern", "accesses", "hit rate",
+                            "mem miss", "c2c", "snarfs",
+                            "violations"});
+        for (TracePattern p : patterns) {
+            TraceGenConfig tcfg;
+            tcfg.pattern = p;
+            tcfg.numTasks = 256;
+            tcfg.opsPerTask = 24;
+            TaskTrace trace = generateTrace(tcfg);
+            test::TaskScript script = toScript(trace);
+
+            SvcConfig scfg = paperSvcConfig(8);
+            scfg.versioningBytes = vb;
+            MainMemory mem;
+            SvcProtocol proto(scfg, mem);
+            test::RunResult run = runSpeculative(
+                script, test::adaptProtocol(proto), 4, 7);
+            proto.flushCommitted();
+
+            const double accesses =
+                static_cast<double>(proto.nLoads + proto.nStores);
+            table.addRow(
+                {workloads::tracePatternName(p),
+                 TablePrinter::num(accesses, 0),
+                 TablePrinter::num(
+                     static_cast<double>(proto.nHits) / accesses, 3),
+                 TablePrinter::num(
+                     static_cast<double>(proto.nMemSupplied) /
+                         accesses,
+                     3),
+                 TablePrinter::num(
+                     static_cast<double>(proto.nCacheSupplied) /
+                         accesses,
+                     3),
+                 std::to_string(proto.nSnarfs),
+                 std::to_string(proto.nViolations)});
+        }
+        std::printf("%s\n", table.format().c_str());
+    }
+    std::printf("Expected: read-shared/migratory data resolve "
+                "cache-to-cache; false sharing\nproduces violations "
+                "only at the 16-byte versioning block, vanishing at "
+                "1 byte\n(the RL design's argument).\n");
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Reproduces **Figure 19** of the paper: SPEC95 IPCs for the ARB
+ * (hit latency 4, 3, 2, 1 cycles; 32KB shared data cache) and the
+ * SVC (1-cycle hits; 4x8KB private caches) — 32KB total data
+ * storage.
+ */
+
+#include "bench/fig_ipc_common.hh"
+
+int
+main()
+{
+    return svc::bench::runIpcFigure(
+        "Figure 19: SPEC95 IPCs for ARB and SVC - 32KB total "
+        "data storage",
+        "Gopal et al., HPCA 1998, Figure 19", 32, 8);
+}

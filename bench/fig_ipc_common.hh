@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared implementation of figures 19 and 20: SPEC95 IPCs for the
+ * ARB at hit latencies of 4, 3, 2 and 1 cycles versus the SVC with
+ * 1-cycle private-cache hits, at equal total data storage. Prints
+ * the series as a table and as ASCII bar groups mirroring the
+ * paper's figure layout.
+ */
+
+#ifndef SVC_BENCH_FIG_IPC_COMMON_HH
+#define SVC_BENCH_FIG_IPC_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hh"
+
+namespace svc::bench
+{
+
+/** Run and print one of the two IPC figures. */
+inline int
+runIpcFigure(const std::string &title, const std::string &ref,
+             unsigned arb_dcache_kb, unsigned svc_cache_kb)
+{
+    const unsigned scale = benchScale();
+    printHeader(title, ref, scale);
+
+    const char *names[] = {"compress", "gcc", "vortex", "perl",
+                           "ijpeg", "mgrid", "apsi"};
+
+    TablePrinter table({"Benchmark", "ARB(4cyc)", "ARB(3cyc)",
+                        "ARB(2cyc)", "ARB(1cyc)", "SVC(1cyc)",
+                        "SVC/ARB2", "verified"});
+    std::vector<std::vector<double>> ipc(7);
+
+    for (unsigned i = 0; i < 7; ++i) {
+        bool verified = true;
+        for (Cycle lat = 4; lat >= 1; --lat) {
+            BenchRow r = runOnArb(
+                names[i], scale, paperArbConfig(arb_dcache_kb, lat));
+            ipc[i].push_back(r.ipc);
+            verified &= r.verified;
+        }
+        BenchRow svc_row =
+            runOnSvc(names[i], scale, paperSvcConfig(svc_cache_kb));
+        ipc[i].push_back(svc_row.ipc);
+        verified &= svc_row.verified;
+        table.addRow({names[i], TablePrinter::num(ipc[i][0], 2),
+                      TablePrinter::num(ipc[i][1], 2),
+                      TablePrinter::num(ipc[i][2], 2),
+                      TablePrinter::num(ipc[i][3], 2),
+                      TablePrinter::num(ipc[i][4], 2),
+                      TablePrinter::num(ipc[i][2] > 0
+                                            ? ipc[i][4] / ipc[i][2]
+                                            : 0.0,
+                                        2),
+                      verified ? "yes" : "NO"});
+    }
+    std::printf("%s\n", table.format().c_str());
+
+    // ASCII bar groups (one row per series, like the figure).
+    double max_ipc = 0.1;
+    for (const auto &v : ipc)
+        for (double x : v)
+            max_ipc = std::max(max_ipc, x);
+    const char *series[] = {"ARB 4cyc", "ARB 3cyc", "ARB 2cyc",
+                            "ARB 1cyc", "SVC 1cyc"};
+    for (unsigned i = 0; i < 7; ++i) {
+        std::printf("%s\n", names[i]);
+        for (unsigned s = 0; s < 5; ++s) {
+            const int width =
+                static_cast<int>(ipc[i][s] / max_ipc * 48.0);
+            std::printf("  %-9s |", series[s]);
+            for (int c = 0; c < width; ++c)
+                std::putchar('#');
+            std::printf(" %.2f\n", ipc[i][s]);
+        }
+    }
+    std::printf("\nKey observations to compare with the paper:\n"
+                "  (i) ARB IPC degrades as hit latency rises 1->4\n"
+                "  (ii) SVC (1-cycle hits) is competitive with or\n"
+                "       better than the 2-3 cycle ARB despite its\n"
+                "       higher miss rate (hit latency beats hit "
+                "rate)\n");
+    return 0;
+}
+
+} // namespace svc::bench
+
+#endif // SVC_BENCH_FIG_IPC_COMMON_HH

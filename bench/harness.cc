@@ -1,0 +1,172 @@
+#include "bench/harness.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "isa/interpreter.hh"
+#include "mem/ref_spec_mem.hh"
+
+namespace svc::bench
+{
+
+unsigned
+benchScale(unsigned def)
+{
+    if (const char *env = std::getenv("SVC_BENCH_SCALE")) {
+        const int v = std::atoi(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return def;
+}
+
+SvcConfig
+paperSvcConfig(unsigned per_cache_kb, SvcDesign design)
+{
+    SvcConfig cfg;
+    cfg.numPus = 4;
+    cfg.cacheBytes = per_cache_kb * 1024;
+    cfg.assoc = 4;
+    cfg.lineBytes = 16;
+    cfg = makeDesign(design, cfg);
+    if (design == SvcDesign::RL || design == SvcDesign::Final)
+        cfg.versioningBytes = 1; // byte-level disambiguation
+    return cfg;
+}
+
+ArbTimingConfig
+paperArbConfig(unsigned dcache_kb, Cycle hit_latency)
+{
+    ArbTimingConfig cfg;
+    cfg.arb.numPus = 4;
+    cfg.arb.numStages = 5;
+    cfg.arb.numRows = 256;
+    cfg.arb.dataCacheBytes = dcache_kb * 1024;
+    cfg.arb.dataCacheAssoc = 1; // direct-mapped
+    cfg.arb.lineBytes = 16;
+    cfg.hitLatency = hit_latency;
+    cfg.missPenalty = 10;
+    return cfg;
+}
+
+MultiscalarConfig
+paperCpuConfig()
+{
+    MultiscalarConfig cfg; // defaults already match section 4.2
+    cfg.maxCycles = 200'000'000;
+    return cfg;
+}
+
+namespace
+{
+
+/** Interpreter reference checksum for verification. */
+std::uint32_t
+referenceChecksum(const workloads::Workload &w)
+{
+    MainMemory mem;
+    auto res = isa::Interpreter::run(w.program, mem, 2'000'000'000);
+    if (!res.halted)
+        fatal("bench: reference run of '%s' did not halt",
+              w.name.c_str());
+    return mem.readWord(w.checkBase);
+}
+
+BenchRow
+finishRow(const workloads::Workload &w, const RunStats &rs,
+          MainMemory &mem, const char *mem_name)
+{
+    BenchRow row;
+    row.workload = w.name;
+    row.memSystem = mem_name;
+    row.ipc = rs.ipc;
+    row.instructions = rs.committedInstructions;
+    row.cycles = rs.cycles;
+    row.violationSquashes = rs.violationSquashes;
+    row.taskMispredicts = rs.taskMispredicts;
+    row.verified =
+        mem.readWord(w.checkBase) == referenceChecksum(w);
+    if (!row.verified) {
+        warn("bench: %s on %s failed verification", w.name.c_str(),
+             mem_name);
+    }
+    return row;
+}
+
+} // namespace
+
+BenchRow
+runOnSvc(const std::string &workload_name, unsigned scale,
+         const SvcConfig &svc_cfg)
+{
+    workloads::WorkloadParams wp;
+    wp.scale = scale;
+    workloads::Workload w =
+        workloads::makeWorkload(workload_name, wp);
+
+    MainMemory mem;
+    SvcSystem sys(svc_cfg, mem);
+    w.program.loadInto(mem);
+    Processor cpu(paperCpuConfig(), w.program, sys);
+    RunStats rs = cpu.run();
+    sys.protocol().flushCommitted();
+
+    BenchRow row = finishRow(w, rs, mem, "svc");
+    row.missRatio = sys.missRatio();
+    row.busUtilization = sys.bus().utilization();
+    return row;
+}
+
+BenchRow
+runOnArb(const std::string &workload_name, unsigned scale,
+         const ArbTimingConfig &arb_cfg)
+{
+    workloads::WorkloadParams wp;
+    wp.scale = scale;
+    workloads::Workload w =
+        workloads::makeWorkload(workload_name, wp);
+
+    MainMemory mem;
+    ArbSystem sys(arb_cfg, mem);
+    w.program.loadInto(mem);
+    Processor cpu(paperCpuConfig(), w.program, sys);
+    RunStats rs = cpu.run();
+    sys.arb().flushArchitectural();
+    sys.arb().flushDataCache();
+
+    BenchRow row = finishRow(w, rs, mem, "arb");
+    row.missRatio = sys.missRatio();
+    return row;
+}
+
+BenchRow
+runOnPerfect(const std::string &workload_name, unsigned scale)
+{
+    workloads::WorkloadParams wp;
+    wp.scale = scale;
+    workloads::Workload w =
+        workloads::makeWorkload(workload_name, wp);
+
+    MainMemory mem;
+    RefSpecMem sys(mem, 4);
+    w.program.loadInto(mem);
+    Processor cpu(paperCpuConfig(), w.program, sys);
+    RunStats rs = cpu.run();
+    return finishRow(w, rs, mem, "perfect");
+}
+
+void
+printHeader(const std::string &title, const std::string &paper_ref,
+            unsigned scale)
+{
+    std::printf("==============================================="
+                "=====================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("Workload scale: %u (set SVC_BENCH_SCALE to "
+                "change)\n", scale);
+    std::printf("==============================================="
+                "=====================\n");
+}
+
+} // namespace svc::bench

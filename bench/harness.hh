@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared benchmark harness: runs a SPEC95-analog workload on the
+ * multiscalar processor over a configured memory system (SVC, ARB
+ * or perfect memory) with the paper's section 4.2 parameters, and
+ * verifies the result checksum against the sequential interpreter
+ * so every reported number comes from a correct run.
+ *
+ * Environment knobs:
+ *   SVC_BENCH_SCALE  workload size multiplier (default 6)
+ */
+
+#ifndef SVC_BENCH_HARNESS_HH
+#define SVC_BENCH_HARNESS_HH
+
+#include <string>
+
+#include "arb/arb_system.hh"
+#include "common/stats.hh"
+#include "multiscalar/processor.hh"
+#include "svc/system.hh"
+#include "workloads/workloads.hh"
+
+namespace svc::bench
+{
+
+/** One measured run. */
+struct BenchRow
+{
+    std::string workload;
+    std::string memSystem;
+    double ipc = 0.0;
+    double missRatio = 0.0;
+    double busUtilization = 0.0; ///< SVC only
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;
+    std::uint64_t violationSquashes = 0;
+    std::uint64_t taskMispredicts = 0;
+    bool verified = false; ///< checksum matched the interpreter
+};
+
+/** @return SVC_BENCH_SCALE or @p def. */
+unsigned benchScale(unsigned def = 8);
+
+/** The paper's SVC config: @p per_cache_kb KB per PU, 4-way, 16B
+ *  lines, byte-level disambiguation, Final design. */
+SvcConfig paperSvcConfig(unsigned per_cache_kb,
+                         SvcDesign design = SvcDesign::Final);
+
+/** The paper's ARB config: 256 rows x 5 stages, direct-mapped
+ *  @p dcache_kb KB backing cache, @p hit_latency cycles. */
+ArbTimingConfig paperArbConfig(unsigned dcache_kb,
+                               Cycle hit_latency);
+
+/** The paper's multiscalar config (section 4.2). */
+MultiscalarConfig paperCpuConfig();
+
+/** Run @p workload_name on an SVC memory system. */
+BenchRow runOnSvc(const std::string &workload_name, unsigned scale,
+                  const SvcConfig &svc_cfg);
+
+/** Run @p workload_name on an ARB memory system. */
+BenchRow runOnArb(const std::string &workload_name, unsigned scale,
+                  const ArbTimingConfig &arb_cfg);
+
+/** Run @p workload_name on the perfect-memory oracle. */
+BenchRow runOnPerfect(const std::string &workload_name,
+                      unsigned scale);
+
+/** Print a standard header naming the experiment. */
+void printHeader(const std::string &title,
+                 const std::string &paper_ref, unsigned scale);
+
+} // namespace svc::bench
+
+#endif // SVC_BENCH_HARNESS_HH

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot
+ * components: SVC protocol operations (hit, cache-to-cache supply,
+ * version purge), VOL reconstruction, ARB accesses, MSI accesses,
+ * the task predictor, the reference versioning memory, and the
+ * MiniISA interpreter. These measure *host* performance of the
+ * model (simulation throughput), not simulated latency.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arb/arb.hh"
+#include "coherence/msi_system.hh"
+#include "isa/builder.hh"
+#include "isa/interpreter.hh"
+#include "mem/ref_spec_mem.hh"
+#include "multiscalar/predictor.hh"
+#include "svc/protocol.hh"
+#include "svc/vol.hh"
+
+namespace svc
+{
+namespace
+{
+
+SvcConfig
+microSvcConfig()
+{
+    SvcConfig cfg;
+    cfg.numPus = 4;
+    cfg.cacheBytes = 8 * 1024;
+    cfg.assoc = 4;
+    cfg.lineBytes = 16;
+    return makeDesign(SvcDesign::Final, cfg);
+}
+
+void
+BM_SvcLoadHit(benchmark::State &state)
+{
+    MainMemory mem;
+    SvcProtocol proto(microSvcConfig(), mem);
+    proto.assignTask(0, 0);
+    proto.load(0, 0x100, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(proto.load(0, 0x100, 4));
+}
+BENCHMARK(BM_SvcLoadHit);
+
+void
+BM_SvcStoreHit(benchmark::State &state)
+{
+    MainMemory mem;
+    SvcProtocol proto(microSvcConfig(), mem);
+    proto.assignTask(0, 0);
+    proto.store(0, 0x100, 4, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(proto.store(0, 0x100, 4, 1));
+}
+BENCHMARK(BM_SvcStoreHit);
+
+void
+BM_SvcCacheToCacheSupply(benchmark::State &state)
+{
+    MainMemory mem;
+    SvcProtocol proto(microSvcConfig(), mem);
+    proto.assignTask(0, 0);
+    proto.assignTask(1, 1);
+    proto.store(0, 0x100, 4, 7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(proto.load(1, 0x100, 4));
+        // Invalidate PU1's copy so the next load is a miss again.
+        proto.squashTask(1);
+        proto.assignTask(1, 1);
+    }
+}
+BENCHMARK(BM_SvcCacheToCacheSupply);
+
+void
+BM_SvcCommitFlashSet(benchmark::State &state)
+{
+    MainMemory mem;
+    SvcProtocol proto(microSvcConfig(), mem);
+    TaskSeq seq = 0;
+    for (auto _ : state) {
+        proto.assignTask(0, seq++);
+        proto.store(0, 0x100, 4, 1);
+        proto.commitTask(0);
+    }
+}
+BENCHMARK(BM_SvcCommitFlashSet);
+
+void
+BM_VolBuildAndRewrite(benchmark::State &state)
+{
+    SvcLine lines[8];
+    for (int i = 0; i < 8; ++i) {
+        lines[i].commit = i < 4;
+        lines[i].sMask = (i % 2) ? 1 : 0;
+        lines[i].nextPu = i < 3 ? static_cast<PuId>(i + 1) : kNoPu;
+    }
+    for (auto _ : state) {
+        std::vector<VolNode> nodes;
+        for (int i = 0; i < 8; ++i) {
+            nodes.push_back({static_cast<PuId>(i), &lines[i],
+                             i >= 4 ? static_cast<TaskSeq>(i)
+                                    : kNoTask});
+        }
+        Vol vol = Vol::build(std::move(nodes));
+        vol.rewritePointers();
+        vol.recomputeStaleBits();
+        benchmark::DoNotOptimize(vol.size());
+    }
+}
+BENCHMARK(BM_VolBuildAndRewrite);
+
+void
+BM_ArbLoadHit(benchmark::State &state)
+{
+    MainMemory mem;
+    ArbConfig cfg;
+    ArbCore arb(cfg, mem);
+    arb.assignTask(0, 0);
+    arb.store(0, 0x100, 4, 5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(arb.load(0, 0x100, 4));
+}
+BENCHMARK(BM_ArbLoadHit);
+
+void
+BM_ArbStoreAndViolationScan(benchmark::State &state)
+{
+    MainMemory mem;
+    ArbConfig cfg;
+    ArbCore arb(cfg, mem);
+    arb.assignTask(0, 0);
+    arb.assignTask(1, 1);
+    arb.load(1, 0x200, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(arb.store(0, 0x100, 4, 1));
+}
+BENCHMARK(BM_ArbStoreAndViolationScan);
+
+void
+BM_MsiLoadHit(benchmark::State &state)
+{
+    MainMemory mem;
+    MsiConfig cfg;
+    MsiSystem sys(cfg, mem);
+    sys.load(0, 0x100, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sys.load(0, 0x100, 4));
+}
+BENCHMARK(BM_MsiLoadHit);
+
+void
+BM_RefSpecMemLoad(benchmark::State &state)
+{
+    MainMemory mem;
+    RefSpecMem ref(mem, 4);
+    for (PuId p = 0; p < 4; ++p) {
+        ref.assignTaskF(p, p);
+        ref.storeF(p, 0x100 + 4 * p, 4, p);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ref.loadF(3, 0x100, 4));
+}
+BENCHMARK(BM_RefSpecMemLoad);
+
+void
+BM_PredictorPredictResolve(benchmark::State &state)
+{
+    PredictorConfig cfg;
+    TaskPredictor pred(cfg);
+    isa::TaskDescriptor desc;
+    desc.entry = 0x1000;
+    desc.targets = {0x1000, 0x2000};
+    for (auto _ : state) {
+        TaskPrediction p = pred.predict(desc);
+        pred.resolve(p, desc, 0x1000);
+        benchmark::DoNotOptimize(p.next);
+    }
+}
+BENCHMARK(BM_PredictorPredictResolve);
+
+void
+BM_InterpreterThroughput(benchmark::State &state)
+{
+    // A tight arithmetic loop: measures simulated instrs/second.
+    isa::ProgramBuilder b;
+    b.li(1, 10000);
+    isa::Label loop = b.hereLabel();
+    b.addi(2, 2, 3);
+    b.xor_(3, 3, 2);
+    b.addi(1, 1, -1);
+    b.bne(1, 0, loop);
+    b.halt();
+    isa::Program prog = b.finalize();
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        MainMemory mem;
+        auto res = isa::Interpreter::run(prog, mem);
+        instructions += res.instructions;
+    }
+    state.counters["instrs/s"] = benchmark::Counter(
+        static_cast<double>(instructions),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+} // namespace
+} // namespace svc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Author a custom task-annotated program two ways — with the text
+ * assembler and with the ProgramBuilder API — and execute it on the
+ * multiscalar + SVC stack. This is the template to follow when
+ * adding new workloads.
+ *
+ * The program computes a histogram of an input array: a classic
+ * speculative-parallelization case, because different iterations
+ * usually update different buckets (speculation wins) but
+ * occasionally collide (the SVC squashes and recovers).
+ *
+ * Run: ./build/examples/custom_workload
+ */
+
+#include <cstdio>
+
+#include "common/random.hh"
+#include "isa/assembler.hh"
+#include "isa/builder.hh"
+#include "isa/disassembler.hh"
+#include "isa/interpreter.hh"
+#include "multiscalar/processor.hh"
+#include "svc/system.hh"
+
+int
+main()
+{
+    using namespace svc;
+    using isa::Label;
+
+    // ---- Variant 1: the text assembler ----
+    // A tiny two-task program, just to show the syntax.
+    isa::Program tiny = isa::assemble(R"(
+        ; counts down r1 and accumulates into r2
+        .task targets=loop,done creates=r1,r2
+        loop:
+            add  r2, r2, r1
+            addi r1, r1, -1
+            .release r1
+            bne  r1, r0, loop
+        done:
+            halt
+    )");
+    std::printf("assembled %zu instructions; first is '%s'\n",
+                tiny.code.size(),
+                isa::disassemble(tiny.code[0], tiny.base).c_str());
+
+    // ---- Variant 2: the ProgramBuilder (histogram) ----
+    isa::ProgramBuilder b;
+    constexpr unsigned kElems = 600;
+    constexpr unsigned kBuckets = 32;
+    std::vector<std::uint8_t> input(kElems);
+    Rng rng(7);
+    for (auto &v : input)
+        v = static_cast<std::uint8_t>(rng.below(kBuckets));
+    Label data = b.dataBytes("input", input);
+    Label hist = b.allocData("hist", kBuckets * 4);
+
+    b.beginTask("init");
+    Label body = b.newLabel("body");
+    Label done = b.newLabel("done");
+    b.taskTargets({body});
+    b.la(1, data);  // element pointer
+    b.li(2, kElems);
+    b.la(5, hist);
+    b.j(body);
+
+    // One task per element: load bucket index, increment counter.
+    // Tasks that hit the same bucket back-to-back create genuine
+    // memory dependences; the SVC speculates across them and
+    // squashes only on real collisions.
+    b.bind(body);
+    b.beginTask("body");
+    b.taskTargets({body, done});
+    b.lbu(10, 0, 1);
+    b.addi(1, 1, 1);
+    b.release({1});
+    b.addi(2, 2, -1);
+    b.release({2});
+    b.slli(10, 10, 2);
+    b.add(10, 10, 5);  // &hist[bucket]
+    b.lw(11, 0, 10);
+    b.addi(11, 11, 1);
+    b.sw(11, 0, 10);
+    b.bne(2, 0, body);
+
+    b.bind(done);
+    b.beginTask("done");
+    b.halt();
+    isa::Program prog = b.finalize();
+
+    // Sequential reference.
+    MainMemory ref_mem;
+    auto ref = isa::Interpreter::run(prog, ref_mem, 1ull << 30);
+
+    // Speculative run on the multiscalar + SVC.
+    MainMemory mem;
+    SvcConfig scfg = makeDesign(SvcDesign::Final);
+    SvcSystem sys(scfg, mem);
+    prog.loadInto(mem);
+    MultiscalarConfig cfg;
+    Processor cpu(cfg, prog, sys);
+    RunStats rs = cpu.run();
+    sys.protocol().flushCommitted();
+
+    std::printf("histogram of %u elements over %u buckets:\n",
+                kElems, kBuckets);
+    std::printf("  cycles %llu, IPC %.2f, violation squashes %llu\n",
+                (unsigned long long)rs.cycles, rs.ipc,
+                (unsigned long long)rs.violationSquashes);
+
+    const Addr h = prog.labelAddr("hist");
+    bool ok = true;
+    std::uint32_t total = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        ok &= mem.readWord(h + 4 * i) == ref_mem.readWord(h + 4 * i);
+        total += mem.readWord(h + 4 * i);
+    }
+    std::printf("  checks: totals %u/%u, matches sequential: %s\n",
+                total, kElems, ok ? "yes" : "NO");
+    return ok && total == kElems ? 0 : 1;
+}

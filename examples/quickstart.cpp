@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: the Speculative Versioning Cache in ~60 lines.
+ *
+ * Replays the paper's motivating example (section 1) on the SVC
+ * protocol: four tasks issue loads and stores to the same address
+ * out of order, and the SVC supplies each load with the correct
+ * version, detects the memory-dependence violation, and commits the
+ * versions to memory in program order.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "mem/main_memory.hh"
+#include "svc/protocol.hh"
+
+int
+main()
+{
+    using namespace svc;
+
+    // A 4-PU SVC with the paper's final design (byte-level
+    // disambiguation, lazy commits, snarfing, hybrid update).
+    MainMemory memory;
+    SvcConfig config = makeDesign(SvcDesign::Final);
+    SvcProtocol cache(config, memory);
+
+    const Addr A = 0x1000;
+    memory.writeWord(A, 99); // initial architectural value
+
+    // Four tasks in program order; the program is
+    //   task 0:  load r1, A      (must see 99)
+    //   task 1:  store 2, A
+    //   task 2:  load r2, A      (must see 2)
+    //   task 3:  store 3, A      (memory must end up 3)
+    for (PuId pu = 0; pu < 4; ++pu)
+        cache.assignTask(pu, pu);
+
+    // Execute out of order: task 2 loads BEFORE task 1 stores.
+    std::printf("task 0 loads A  -> %llu (architectural value)\n",
+                (unsigned long long)cache.load(0, A, 4).data);
+    std::printf("task 2 loads A  -> %llu (speculative, stale!)\n",
+                (unsigned long long)cache.load(2, A, 4).data);
+
+    // Task 1's store arrives late: the Version Control Logic sees
+    // task 2's L (use-before-definition) bit and reports the
+    // violation.
+    AccessResult store = cache.store(1, A, 4, 2);
+    std::printf("task 1 stores 2 -> violation of task on PU %u\n",
+                store.violators.at(0));
+
+    // The sequencer squashes task 2 (and everything younger) and
+    // re-executes it; this time the load sees version 2.
+    cache.squashTask(2);
+    cache.assignTask(2, 2);
+    std::printf("task 2 re-loads -> %llu (correct version)\n",
+                (unsigned long long)cache.load(2, A, 4).data);
+
+    AccessResult s3 = cache.store(3, A, 4, 3);
+    std::printf("task 3 stores 3 -> %zu violations (none)\n",
+                s3.violators.size());
+
+    // Commit in program order; write-backs are lazy (EC design) so
+    // flush at the end.
+    for (PuId pu = 0; pu < 4; ++pu)
+        cache.commitTask(pu);
+    cache.flushCommitted();
+    std::printf("memory[A]       =  %u (committed in order)\n",
+                memory.readWord(A));
+    return 0;
+}

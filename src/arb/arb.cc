@@ -1,0 +1,432 @@
+#include "arb/arb.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace svc
+{
+
+ArbCore::ArbCore(const ArbConfig &config, MainMemory &memory)
+    : cfg(config), mem(memory), tasks(config.numPus, kNoTask),
+      stageTasks(config.numStages, kNoTask),
+      dcache(config.dataCacheBytes, config.dataCacheAssoc,
+             config.lineBytes)
+{
+    if (cfg.numStages < cfg.numPus)
+        fatal("ARB needs at least as many stages as PUs (%u < %u)",
+              cfg.numStages, cfg.numPus);
+    rows.resize(cfg.numRows);
+    for (auto &row : rows)
+        row.stages.resize(cfg.numStages);
+}
+
+void
+ArbCore::assignTask(PuId pu, TaskSeq seq)
+{
+    assert(pu < cfg.numPus && seq != kNoTask);
+    tasks[pu] = seq;
+    // Allocate a free stage slot for the task.
+    for (unsigned s = 0; s < cfg.numStages; ++s) {
+        if (stageTasks[s] == kNoTask) {
+            stageTasks[s] = seq;
+            return;
+        }
+    }
+    panic("ARB: no free stage for task (stages=%u)", cfg.numStages);
+}
+
+unsigned
+ArbCore::stageOf(PuId pu) const
+{
+    const TaskSeq seq = tasks[pu];
+    assert(seq != kNoTask);
+    for (unsigned s = 0; s < cfg.numStages; ++s) {
+        if (stageTasks[s] == seq)
+            return s;
+    }
+    panic("ARB: task of PU %u has no stage", pu);
+}
+
+ArbCore::Row *
+ArbCore::findRow(Addr word_addr)
+{
+    auto it = rowIndex.find(word_addr);
+    return it == rowIndex.end() ? nullptr : &rows[it->second];
+}
+
+void
+ArbCore::writebackArch(Row &row)
+{
+    for (unsigned b = 0; b < kWordBytes; ++b) {
+        if (row.archMask & (1u << b))
+            dcacheWriteByte(row.wordAddr + b, row.archValue[b]);
+    }
+    row.archMask = 0;
+}
+
+ArbCore::Row *
+ArbCore::getRow(Addr word_addr)
+{
+    if (Row *row = findRow(word_addr))
+        return row;
+
+    // Free row?
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (!rows[i].valid) {
+            rows[i].valid = true;
+            rows[i].wordAddr = word_addr;
+            rows[i].archMask = 0;
+            for (auto &st : rows[i].stages)
+                st = StageEntry{};
+            rowIndex[word_addr] = i;
+            return &rows[i];
+        }
+    }
+
+    // Reclaim a row holding only architectural data.
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        Row &row = rows[i];
+        const bool active = std::any_of(
+            row.stages.begin(), row.stages.end(),
+            [](const StageEntry &st) {
+                return st.loadMask != 0 || st.storeMask != 0;
+            });
+        if (active)
+            continue;
+        writebackArch(row);
+        rowIndex.erase(row.wordAddr);
+        ++nRowReclaims;
+        row.wordAddr = word_addr;
+        row.archMask = 0;
+        for (auto &st : row.stages)
+            st = StageEntry{};
+        rowIndex[word_addr] = i;
+        return &row;
+    }
+    return nullptr; // every row pinned by speculative entries
+}
+
+std::uint8_t
+ArbCore::dcacheReadByte(Addr addr, bool &hit)
+{
+    Dcache::Frame &f = dcacheEnsure(addr, hit);
+    return f.payload.data[addr & (cfg.lineBytes - 1)];
+}
+
+void
+ArbCore::dcacheWriteByte(Addr addr, std::uint8_t value)
+{
+    bool hit = false;
+    Dcache::Frame &f = dcacheEnsure(addr, hit);
+    f.payload.data[addr & (cfg.lineBytes - 1)] = value;
+    f.payload.dirty = true;
+}
+
+ArbCore::Dcache::Frame &
+ArbCore::dcacheEnsure(Addr addr, bool &hit)
+{
+    const Addr line_addr = dcache.lineAddr(addr);
+    if (Dcache::Frame *f = dcache.find(line_addr)) {
+        hit = true;
+        dcache.touch(*f);
+        return *f;
+    }
+    hit = false;
+    Dcache::Frame *victim =
+        dcache.pickVictim(line_addr, [](const auto &) { return true; });
+    assert(victim);
+    if (victim->valid && victim->payload.dirty) {
+        mem.writeBlock(dcache.frameAddr(*victim),
+                       victim->payload.data.data(), cfg.lineBytes);
+    }
+    dcache.install(*victim, line_addr);
+    victim->payload.data.resize(cfg.lineBytes);
+    mem.readBlock(line_addr, victim->payload.data.data(),
+                  cfg.lineBytes);
+    return *victim;
+}
+
+bool
+ArbCore::aloneHead(PuId pu) const
+{
+    for (PuId p = 0; p < cfg.numPus; ++p) {
+        if (p != pu && tasks[p] != kNoTask)
+            return false;
+    }
+    return true;
+}
+
+ArbAccessResult
+ArbCore::load(PuId pu, Addr addr, unsigned size)
+{
+    assert(tasks[pu] != kNoTask);
+    ++nLoads;
+    ArbAccessResult res;
+    const TaskSeq my_seq = tasks[pu];
+    bool any_arb = false, any_dc = false, any_mem = false;
+
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr a = addr + i;
+        const Addr word_addr = alignDown(a, kWordBytes);
+        const unsigned byte = a & (kWordBytes - 1);
+        Row *row = getRow(word_addr);
+        if (!row) {
+            if (aloneHead(pu)) {
+                // The sole (non-speculative) task may bypass the
+                // full buffer: no version can precede it and nobody
+                // can violate it.
+                bool dhit = false;
+                const std::uint8_t v = dcacheReadByte(a, dhit);
+                (any_dc |= dhit, any_mem |= !dhit);
+                res.data |= std::uint64_t{v} << (8 * i);
+                continue;
+            }
+            ++nStalls;
+            res.stalled = true;
+            handleOverflow(pu);
+            return res;
+        }
+
+        // Closest previous version: newest active stage with a task
+        // <= mine that stored this byte.
+        const StageEntry *supplier = nullptr;
+        TaskSeq supplier_seq = kNoTask;
+        bool from_self = false;
+        for (unsigned s = 0; s < cfg.numStages; ++s) {
+            const TaskSeq t = stageTasks[s];
+            if (t == kNoTask || t > my_seq)
+                continue;
+            const StageEntry &st = row->stages[s];
+            if (!(st.storeMask & (1u << byte)))
+                continue;
+            if (supplier == nullptr || t > supplier_seq) {
+                supplier = &st;
+                supplier_seq = t;
+                from_self = t == my_seq;
+            }
+        }
+
+        std::uint8_t v;
+        if (supplier) {
+            v = supplier->value[byte];
+            any_arb = true;
+        } else if (row->archMask & (1u << byte)) {
+            v = row->archValue[byte];
+            any_arb = true;
+        } else {
+            bool dhit = false;
+            v = dcacheReadByte(a, dhit);
+            (any_dc |= dhit, any_mem |= !dhit);
+        }
+        if (!from_self) {
+            // Record use-before-definition.
+            row->stages[stageOf(pu)].loadMask |=
+                static_cast<std::uint8_t>(1u << byte);
+        }
+        res.data |= std::uint64_t{v} << (8 * i);
+    }
+
+    res.arbHit = any_arb && !any_mem;
+    res.dcacheHit = any_dc && !any_mem && !res.arbHit;
+    res.memSupplied = any_mem;
+    nArbHits += res.arbHit;
+    nDcacheHits += res.dcacheHit;
+    nMemSupplied += res.memSupplied;
+    return res;
+}
+
+ArbAccessResult
+ArbCore::store(PuId pu, Addr addr, unsigned size, std::uint64_t value)
+{
+    assert(tasks[pu] != kNoTask);
+    ++nStores;
+    ArbAccessResult res;
+    const TaskSeq my_seq = tasks[pu];
+    const unsigned my_stage = stageOf(pu);
+    std::vector<PuId> violators;
+
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr a = addr + i;
+        const Addr word_addr = alignDown(a, kWordBytes);
+        const unsigned byte = a & (kWordBytes - 1);
+        Row *row = getRow(word_addr);
+        if (!row) {
+            if (aloneHead(pu)) {
+                // Non-speculative write-through (see load()). Note:
+                // any same-task buffered store to this byte would
+                // own a row, so a missing row implies no buffered
+                // version exists to order against.
+                dcacheWriteByte(a,
+                                static_cast<std::uint8_t>(
+                                    value >> (8 * i)));
+                continue;
+            }
+            ++nStalls;
+            res.stalled = true;
+            handleOverflow(pu);
+            return res;
+        }
+        StageEntry &mine = row->stages[my_stage];
+        mine.storeMask |= static_cast<std::uint8_t>(1u << byte);
+        mine.value[byte] = static_cast<std::uint8_t>(value >> (8 * i));
+
+        // Violation check: later tasks that loaded this byte before
+        // we defined it, unless an intermediate version shields them.
+        for (unsigned s = 0; s < cfg.numStages; ++s) {
+            const TaskSeq t = stageTasks[s];
+            if (t == kNoTask || t <= my_seq)
+                continue;
+            const StageEntry &st = row->stages[s];
+            if (!(st.loadMask & (1u << byte)))
+                continue;
+            bool shielded = false;
+            for (unsigned s2 = 0; s2 < cfg.numStages; ++s2) {
+                const TaskSeq t2 = stageTasks[s2];
+                if (t2 == kNoTask || t2 <= my_seq || t2 >= t)
+                    continue;
+                if (row->stages[s2].storeMask & (1u << byte)) {
+                    shielded = true;
+                    break;
+                }
+            }
+            if (shielded)
+                continue;
+            for (PuId p = 0; p < cfg.numPus; ++p) {
+                if (tasks[p] == t &&
+                    std::find(violators.begin(), violators.end(), p) ==
+                        violators.end()) {
+                    violators.push_back(p);
+                }
+            }
+        }
+    }
+    nViolations += violators.size();
+    res.violators = std::move(violators);
+    return res;
+}
+
+void
+ArbCore::commitTask(PuId pu)
+{
+    assert(tasks[pu] != kNoTask);
+    // Must be the head.
+    for (PuId p = 0; p < cfg.numPus; ++p)
+        assert(tasks[p] == kNoTask || tasks[p] >= tasks[pu]);
+    ++nCommits;
+    const unsigned stage = stageOf(pu);
+    for (auto &row : rows) {
+        if (!row.valid)
+            continue;
+        StageEntry &st = row.stages[stage];
+        for (unsigned b = 0; b < kWordBytes; ++b) {
+            if (st.storeMask & (1u << b)) {
+                row.archValue[b] = st.value[b];
+                row.archMask |= static_cast<std::uint8_t>(1u << b);
+            }
+        }
+        st = StageEntry{};
+    }
+    stageTasks[stage] = kNoTask;
+    tasks[pu] = kNoTask;
+}
+
+void
+ArbCore::squashTask(PuId pu)
+{
+    if (tasks[pu] == kNoTask)
+        return;
+    ++nSquashes;
+    const unsigned stage = stageOf(pu);
+    for (auto &row : rows) {
+        if (row.valid)
+            row.stages[stage] = StageEntry{};
+    }
+    stageTasks[stage] = kNoTask;
+    tasks[pu] = kNoTask;
+}
+
+void
+ArbCore::handleOverflow(PuId pu)
+{
+    (void)pu;
+    // Only the head task forces room: later tasks simply wait for
+    // the head to commit and free its stage.
+    for (PuId p = 0; p < cfg.numPus; ++p) {
+        if (tasks[p] != kNoTask && tasks[p] < tasks[pu])
+            return; // not the head
+    }
+    PuId youngest = kNoPu;
+    for (PuId p = 0; p < cfg.numPus; ++p) {
+        if (p == pu || tasks[p] == kNoTask)
+            continue;
+        if (youngest == kNoPu || tasks[p] > tasks[youngest])
+            youngest = p;
+    }
+    if (youngest == kNoPu)
+        return; // lone head: the caller bypasses the buffer
+    if (onOverflow)
+        onOverflow(youngest);
+}
+
+void
+ArbCore::flushArchitectural()
+{
+    for (auto &row : rows) {
+        if (row.valid && row.archMask != 0)
+            writebackArch(row);
+    }
+}
+
+void
+ArbCore::flushDataCache()
+{
+    dcache.forEachValid([&](Dcache::Frame &f) {
+        if (f.payload.dirty) {
+            mem.writeBlock(dcache.frameAddr(f), f.payload.data.data(),
+                           cfg.lineBytes);
+            f.payload.dirty = false;
+        }
+    });
+}
+
+void
+ArbCore::checkInvariants() const
+{
+    for (const auto &row : rows) {
+        if (!row.valid)
+            continue;
+        for (unsigned s = 0; s < cfg.numStages; ++s) {
+            const StageEntry &st = row.stages[s];
+            if ((st.loadMask || st.storeMask) &&
+                stageTasks[s] == kNoTask) {
+                panic("ARB invariant: live bits in a free stage");
+            }
+        }
+    }
+}
+
+StatSet
+ArbCore::stats() const
+{
+    StatSet s;
+    s.add("loads", static_cast<double>(nLoads));
+    s.add("stores", static_cast<double>(nStores));
+    s.add("arb_hits", static_cast<double>(nArbHits));
+    s.add("dcache_hits", static_cast<double>(nDcacheHits));
+    s.add("mem_supplied", static_cast<double>(nMemSupplied));
+    s.add("violations", static_cast<double>(nViolations));
+    s.add("commits", static_cast<double>(nCommits));
+    s.add("squashes", static_cast<double>(nSquashes));
+    s.add("stalls", static_cast<double>(nStalls));
+    s.add("row_reclaims", static_cast<double>(nRowReclaims));
+    const double accesses = static_cast<double>(nLoads + nStores);
+    s.add("miss_ratio",
+          accesses == 0 ? 0.0
+                        : static_cast<double>(nMemSupplied) / accesses);
+    return s;
+}
+
+} // namespace svc

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The Address Resolution Buffer (Franklin & Sohi [4]) — the paper's
+ * baseline solution to speculative versioning for hierarchical
+ * processors. A single *shared* fully-associative buffer sits
+ * between the PUs and a shared data cache:
+ *
+ *  - each ARB row tracks one word address; per task *stage* it
+ *    keeps per-byte load/store bits plus the store value (byte
+ *    level disambiguation, paper section 4.2);
+ *  - an extra *architectural* stage holds committed data so task
+ *    commits need not copy into the data cache synchronously (the
+ *    commit-burst mitigation the paper applies, section 4);
+ *  - every PU access traverses the interconnect to the shared
+ *    buffer, so the hit latency (1..4 cycles) applies to *all*
+ *    accesses — this is the latency handicap the SVC removes.
+ *
+ * Functional core here; the timed SpecMem wrapper is ArbSystem.
+ */
+
+#ifndef SVC_ARB_ARB_HH
+#define SVC_ARB_ARB_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache_storage.hh"
+#include "mem/main_memory.hh"
+
+namespace svc
+{
+
+/** ARB geometry and policies. */
+struct ArbConfig
+{
+    unsigned numPus = 4;
+    /** Task stages, excluding the architectural stage (paper: 5). */
+    unsigned numStages = 5;
+    /** Fully-associative rows (paper: 256). */
+    unsigned numRows = 256;
+    /** Shared backing data cache. */
+    std::size_t dataCacheBytes = 32 * 1024;
+    unsigned dataCacheAssoc = 1; ///< direct-mapped in the paper
+    unsigned lineBytes = 16;
+};
+
+/** Outcome of one ARB access (functional level). */
+struct ArbAccessResult
+{
+    std::uint64_t data = 0;
+    bool stalled = false;       ///< no free row: retry after commits
+    bool arbHit = false;        ///< a buffered version supplied data
+    bool dcacheHit = false;     ///< data cache supplied data
+    bool memSupplied = false;   ///< next-level memory (a miss)
+    std::vector<PuId> violators;
+};
+
+/**
+ * Functional ARB: rows x stages of per-byte load/store bits and
+ * values, an architectural stage, and the shared data cache over
+ * main memory.
+ */
+class ArbCore
+{
+  public:
+    ArbCore(const ArbConfig &config, MainMemory &memory);
+
+    /**
+     * Register the handler invoked when the head task cannot
+     * allocate an ARB row because every row is pinned by
+     * speculative entries: the handler must squash the youngest
+     * task (passed as its argument) so rows can be reclaimed.
+     */
+    void setOverflowHandler(std::function<void(PuId)> fn)
+    {
+        onOverflow = std::move(fn);
+    }
+
+    /** Assign task @p seq to @p pu (allocates its stage). */
+    void assignTask(PuId pu, TaskSeq seq);
+
+    /** @return the task on @p pu, or kNoTask. */
+    TaskSeq taskOf(PuId pu) const { return tasks[pu]; }
+
+    /** Load @p size bytes at @p addr for @p pu's task. */
+    ArbAccessResult load(PuId pu, Addr addr, unsigned size);
+
+    /** Store the low @p size bytes of @p value. */
+    ArbAccessResult store(PuId pu, Addr addr, unsigned size,
+                          std::uint64_t value);
+
+    /**
+     * Commit @p pu's (head) task: its stores merge into the
+     * architectural stage (one step — the paper assumes a high
+     * bandwidth commit path into the extra stage).
+     */
+    void commitTask(PuId pu);
+
+    /** Squash @p pu's task: clear its stage in every row. */
+    void squashTask(PuId pu);
+
+    /** Drain the architectural stage into the data cache/memory. */
+    void flushArchitectural();
+
+    /** Write every dirty data-cache line back to memory. */
+    void flushDataCache();
+
+    /** Invariant checks over all rows. */
+    void checkInvariants() const;
+
+    StatSet stats() const;
+
+    Counter nLoads = 0;
+    Counter nStores = 0;
+    Counter nArbHits = 0;
+    Counter nDcacheHits = 0;
+    Counter nMemSupplied = 0;
+    Counter nViolations = 0;
+    Counter nCommits = 0;
+    Counter nSquashes = 0;
+    Counter nStalls = 0;
+    Counter nRowReclaims = 0;
+
+  private:
+    /** Per-stage, per-row state: byte-granular bits and values. */
+    struct StageEntry
+    {
+        std::uint8_t loadMask = 0;  ///< use-before-def per byte
+        std::uint8_t storeMask = 0; ///< stored bytes
+        std::array<std::uint8_t, kWordBytes> value{};
+    };
+
+    struct Row
+    {
+        bool valid = false;
+        Addr wordAddr = 0;
+        std::vector<StageEntry> stages; ///< one per task stage
+        std::uint8_t archMask = 0;      ///< committed bytes present
+        std::array<std::uint8_t, kWordBytes> archValue{};
+    };
+
+    struct DcLine
+    {
+        bool dirty = false;
+        std::vector<std::uint8_t> data;
+    };
+
+    using Dcache = CacheStorage<DcLine>;
+
+    /** @return the stage slot of @p pu's task. */
+    unsigned stageOf(PuId pu) const;
+
+    /** Find the row for @p word_addr, or nullptr. */
+    Row *findRow(Addr word_addr);
+
+    /**
+     * Find or allocate a row; reclaims architectural-only rows by
+     * writing them back. @return nullptr if every row is pinned by
+     * active entries (caller stalls).
+     */
+    Row *getRow(Addr word_addr);
+
+    /** Handle a pinned-full buffer for requester @p pu. */
+    void handleOverflow(PuId pu);
+
+    /** @return true if @p pu's task is the only active task. */
+    bool aloneHead(PuId pu) const;
+
+    /** Write @p row's architectural bytes into the data cache. */
+    void writebackArch(Row &row);
+
+    /** Read one byte through the data cache (allocating). */
+    std::uint8_t dcacheReadByte(Addr addr, bool &hit);
+
+    /** Write one byte through the data cache. */
+    void dcacheWriteByte(Addr addr, std::uint8_t value);
+
+    /** Ensure @p addr's line is resident; @return the frame. */
+    Dcache::Frame &dcacheEnsure(Addr addr, bool &hit);
+
+    ArbConfig cfg;
+    MainMemory &mem;
+    std::vector<Row> rows;
+    std::unordered_map<Addr, std::size_t> rowIndex;
+    std::vector<TaskSeq> tasks;      ///< per PU
+    std::vector<TaskSeq> stageTasks; ///< per stage slot, or kNoTask
+    Dcache dcache;
+    std::function<void(PuId)> onOverflow;
+};
+
+} // namespace svc
+
+#endif // SVC_ARB_ARB_HH

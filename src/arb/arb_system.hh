@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Timed ARB memory system (SpecMem). Every PU access crosses the
+ * crossbar to the shared ARB/data cache, paying the full hit
+ * latency (1..4 cycles in the paper's sweep); next-level supplies
+ * add the 10-cycle penalty. Per the paper's idealization the ARB is
+ * modeled *without* bank contention and with unlimited bandwidth,
+ * and commits take one cycle thanks to the extra architectural
+ * stage — this deliberately favors the ARB, as in the paper.
+ */
+
+#ifndef SVC_ARB_ARB_SYSTEM_HH
+#define SVC_ARB_ARB_SYSTEM_HH
+
+#include <memory>
+
+#include "arb/arb.hh"
+#include "common/event_queue.hh"
+#include "mem/spec_mem.hh"
+
+namespace svc
+{
+
+/** Timing parameters for the ARB system. */
+struct ArbTimingConfig
+{
+    ArbConfig arb;
+    /** Crossbar + ARB/data-cache access time (paper: 1..4). */
+    Cycle hitLatency = 1;
+    /** Next-level memory penalty (paper: 10). */
+    Cycle missPenalty = 10;
+};
+
+/** SpecMem implementation over the functional ArbCore. */
+class ArbSystem : public SpecMem
+{
+  public:
+    ArbSystem(const ArbTimingConfig &config, MainMemory &memory)
+        : cfg(config), core(config.arb, memory)
+    {
+        core.setOverflowHandler([this](PuId youngest) {
+            if (onViolation)
+                onViolation(youngest);
+        });
+    }
+
+    void
+    setViolationHandler(ViolationFn fn) override
+    {
+        onViolation = std::move(fn);
+    }
+
+    void
+    assignTask(PuId pu, TaskSeq seq) override
+    {
+        core.assignTask(pu, seq);
+    }
+
+    bool
+    issue(const MemReq &req, DoneFn done) override
+    {
+        if (core.taskOf(req.pu) == kNoTask)
+            panic("ARB issue from PU %u with no task", req.pu);
+        ArbAccessResult res =
+            req.isStore
+                ? core.store(req.pu, req.addr, req.size, req.data)
+                : core.load(req.pu, req.addr, req.size);
+        if (res.stalled)
+            return false;
+        if (!res.violators.empty() && onViolation) {
+            PuId oldest = res.violators.front();
+            for (PuId v : res.violators) {
+                if (core.taskOf(v) < core.taskOf(oldest))
+                    oldest = v;
+            }
+            onViolation(oldest);
+        }
+        const Cycle latency =
+            cfg.hitLatency +
+            (res.memSupplied ? cfg.missPenalty : Cycle{0});
+        ++inFlight;
+        events.schedule(currentCycle + latency,
+                        [this, done, data = res.data]() {
+                            --inFlight;
+                            done(data);
+                        });
+        return true;
+    }
+
+    void commitTask(PuId pu) override { core.commitTask(pu); }
+    void squashTask(PuId pu) override { core.squashTask(pu); }
+
+    void
+    tick() override
+    {
+        ++currentCycle;
+        events.runDue(currentCycle);
+    }
+
+    bool busyWithRequests() const override { return inFlight > 0; }
+
+    StatSet
+    stats() const override
+    {
+        StatSet s;
+        s.merge("arb", core.stats());
+        return s;
+    }
+
+    const char *name() const override { return "arb"; }
+
+    ArbCore &arb() { return core; }
+
+    /** The paper's miss ratio for the ARB configuration. */
+    double
+    missRatio() const
+    {
+        const double accesses =
+            static_cast<double>(core.nLoads + core.nStores);
+        return accesses == 0 ? 0.0
+                             : static_cast<double>(core.nMemSupplied) /
+                                   accesses;
+    }
+
+  private:
+    ArbTimingConfig cfg;
+    ArbCore core;
+    ViolationFn onViolation;
+    EventQueue events;
+    Cycle currentCycle = 0;
+    unsigned inFlight = 0;
+};
+
+} // namespace svc
+
+#endif // SVC_ARB_ARB_SYSTEM_HH

@@ -1,0 +1,167 @@
+#include "coherence/msi_system.hh"
+
+#include <cassert>
+
+namespace svc
+{
+
+MsiSystem::MsiSystem(const MsiConfig &config, MainMemory &memory)
+    : cfg(config), mem(memory)
+{
+    caches.reserve(cfg.numCaches);
+    for (unsigned i = 0; i < cfg.numCaches; ++i)
+        caches.emplace_back(cfg.cacheBytes, cfg.assoc, cfg.lineBytes);
+}
+
+void
+MsiSystem::writeback(PuId pu, Frame &frame)
+{
+    if (frame.payload.state == MsiState::Dirty) {
+        const Addr line_addr = caches[pu].frameAddr(frame);
+        mem.writeBlock(line_addr, frame.payload.data.data(),
+                       cfg.lineBytes);
+        ++busWbacks;
+    }
+}
+
+void
+MsiSystem::snoopRead(PuId requester, Addr line_addr)
+{
+    for (PuId pu = 0; pu < cfg.numCaches; ++pu) {
+        if (pu == requester)
+            continue;
+        if (Frame *f = caches[pu].find(line_addr)) {
+            if (f->payload.state == MsiState::Dirty) {
+                // BusRead/Flush: the dirty owner supplies the line
+                // and transitions to Clean (figure 3b).
+                mem.writeBlock(line_addr, f->payload.data.data(),
+                               cfg.lineBytes);
+                f->payload.state = MsiState::Clean;
+            }
+        }
+    }
+}
+
+void
+MsiSystem::snoopWrite(PuId requester, Addr line_addr)
+{
+    for (PuId pu = 0; pu < cfg.numCaches; ++pu) {
+        if (pu == requester)
+            continue;
+        if (Frame *f = caches[pu].find(line_addr)) {
+            // BusWrite/Invalidate (figure 3b). A dirty copy is
+            // flushed first so the requester observes its bytes.
+            if (f->payload.state == MsiState::Dirty)
+                mem.writeBlock(line_addr, f->payload.data.data(),
+                               cfg.lineBytes);
+            caches[pu].invalidate(*f);
+        }
+    }
+}
+
+MsiSystem::Frame &
+MsiSystem::ensureLine(PuId pu, Addr addr, bool for_store)
+{
+    Storage &cache = caches[pu];
+    const Addr line_addr = cache.lineAddr(addr);
+    Frame *frame = cache.find(line_addr);
+
+    if (frame) {
+        const bool hit = !for_store ||
+                         frame->payload.state == MsiState::Dirty;
+        if (hit) {
+            ++hits;
+            cache.touch(*frame);
+            return *frame;
+        }
+        // Store to a Clean line: BusWrite to invalidate other
+        // copies, then upgrade in place (no data transfer needed).
+        ++misses;
+        ++busWrites;
+        snoopWrite(pu, line_addr);
+        frame->payload.state = MsiState::Dirty;
+        cache.touch(*frame);
+        return *frame;
+    }
+
+    ++misses;
+    Frame *victim = cache.pickVictim(
+        line_addr, [](const Frame &) { return true; });
+    assert(victim && "MSI victim selection can always evict");
+    writeback(pu, *victim);
+    cache.install(*victim, line_addr);
+    victim->payload.data.resize(cfg.lineBytes);
+
+    if (for_store) {
+        ++busWrites;
+        snoopWrite(pu, line_addr);
+        victim->payload.state = MsiState::Dirty;
+    } else {
+        ++busReads;
+        snoopRead(pu, line_addr);
+        victim->payload.state = MsiState::Clean;
+    }
+    // After any dirty peer flushed, memory holds the current bytes.
+    mem.readBlock(line_addr, victim->payload.data.data(), cfg.lineBytes);
+    return *victim;
+}
+
+std::uint64_t
+MsiSystem::load(PuId pu, Addr addr, unsigned size)
+{
+    assert(pu < cfg.numCaches);
+    assert(addr % size == 0 && "accesses must be naturally aligned");
+    Frame &frame = ensureLine(pu, addr, false);
+    const unsigned off = addr & (cfg.lineBytes - 1);
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v |= std::uint64_t{frame.payload.data[off + i]} << (8 * i);
+    return v;
+}
+
+void
+MsiSystem::store(PuId pu, Addr addr, unsigned size, std::uint64_t value)
+{
+    assert(pu < cfg.numCaches);
+    assert(addr % size == 0 && "accesses must be naturally aligned");
+    Frame &frame = ensureLine(pu, addr, true);
+    const unsigned off = addr & (cfg.lineBytes - 1);
+    for (unsigned i = 0; i < size; ++i) {
+        frame.payload.data[off + i] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    }
+}
+
+MsiState
+MsiSystem::lineState(PuId pu, Addr addr) const
+{
+    const Storage &cache = caches[pu];
+    if (const Frame *f = cache.find(cache.lineAddr(addr)))
+        return f->payload.state;
+    return MsiState::Invalid;
+}
+
+void
+MsiSystem::flushAll()
+{
+    for (PuId pu = 0; pu < cfg.numCaches; ++pu) {
+        caches[pu].forEachValid([&](Frame &f) {
+            writeback(pu, f);
+            f.payload.state = MsiState::Clean;
+        });
+    }
+}
+
+StatSet
+MsiSystem::stats() const
+{
+    StatSet s;
+    s.add("hits", static_cast<double>(hits));
+    s.add("misses", static_cast<double>(misses));
+    s.add("bus_reads", static_cast<double>(busReads));
+    s.add("bus_writes", static_cast<double>(busWrites));
+    s.add("bus_wbacks", static_cast<double>(busWbacks));
+    return s;
+}
+
+} // namespace svc

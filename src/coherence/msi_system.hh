@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Snooping-bus based MRSW cache coherence — the conventional SMP
+ * protocol the paper reviews in section 3.1 (figures 2-4) and that
+ * the SVC generalizes. Each line is Invalid, Clean, or Dirty; a
+ * BusWrite invalidates all other copies, so at most one cache holds
+ * a dirty line and all valid copies are of a single version.
+ *
+ * This module exists (a) to validate the shared substrate (storage,
+ * memory, bus accounting) independently of speculation, and (b) as
+ * the reference point for the SVC finite state machines.
+ */
+
+#ifndef SVC_COHERENCE_MSI_SYSTEM_HH
+#define SVC_COHERENCE_MSI_SYSTEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache_storage.hh"
+#include "mem/main_memory.hh"
+
+namespace svc
+{
+
+/** MSI line states (paper figure 3). */
+enum class MsiState : std::uint8_t { Invalid, Clean, Dirty };
+
+/** Geometry and policy parameters for one MSI system. */
+struct MsiConfig
+{
+    unsigned numCaches = 4;
+    std::size_t cacheBytes = 8 * 1024;
+    unsigned assoc = 4;
+    unsigned lineBytes = 16;
+};
+
+/**
+ * A functional multi-cache MSI system over a shared MainMemory.
+ * Requests complete immediately; bus traffic is counted so tests
+ * can check which operations are hits (no bus) vs misses.
+ */
+class MsiSystem
+{
+  public:
+    explicit MsiSystem(const MsiConfig &cfg, MainMemory &memory);
+
+    /** Load @p size bytes at @p addr through cache @p pu. */
+    std::uint64_t load(PuId pu, Addr addr, unsigned size);
+
+    /** Store the low @p size bytes of @p value through cache @p pu. */
+    void store(PuId pu, Addr addr, unsigned size, std::uint64_t value);
+
+    /** @return the state of @p addr's line in cache @p pu. */
+    MsiState lineState(PuId pu, Addr addr) const;
+
+    /** Write every dirty line back to memory (test teardown). */
+    void flushAll();
+
+    StatSet stats() const;
+
+    Counter busReads = 0;
+    Counter busWrites = 0;
+    Counter busWbacks = 0;
+    Counter hits = 0;
+    Counter misses = 0;
+
+  private:
+    struct Line
+    {
+        MsiState state = MsiState::Invalid;
+        std::vector<std::uint8_t> data;
+    };
+
+    using Storage = CacheStorage<Line>;
+    using Frame = Storage::Frame;
+
+    /** Ensure @p pu has a frame holding @p addr's line; fill it. */
+    Frame &ensureLine(PuId pu, Addr addr, bool for_store);
+
+    /** Snoop a BusRead: a dirty copy elsewhere flushes to memory. */
+    void snoopRead(PuId requester, Addr line_addr);
+
+    /** Snoop a BusWrite: invalidate every other copy. */
+    void snoopWrite(PuId requester, Addr line_addr);
+
+    /** Cast out @p frame of cache @p pu if dirty. */
+    void writeback(PuId pu, Frame &frame);
+
+    MsiConfig cfg;
+    MainMemory &mem;
+    std::vector<Storage> caches;
+};
+
+} // namespace svc
+
+#endif // SVC_COHERENCE_MSI_SYSTEM_HH

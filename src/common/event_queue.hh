@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A tiny cycle-ordered event queue. Timed components schedule
+ * callbacks at absolute cycles; the owning system drains all events
+ * due at the current cycle each tick. Deterministic: events at the
+ * same cycle fire in insertion order.
+ */
+
+#ifndef SVC_COMMON_EVENT_QUEUE_HH
+#define SVC_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace svc
+{
+
+/** FIFO-per-cycle event queue. */
+class EventQueue
+{
+  public:
+    /** Schedule @p fn to run at absolute cycle @p when. */
+    void
+    schedule(Cycle when, std::function<void()> fn)
+    {
+        events[when].push_back(std::move(fn));
+    }
+
+    /** Run every event due at or before @p now, in order. */
+    void
+    runDue(Cycle now)
+    {
+        while (!events.empty() && events.begin()->first <= now) {
+            // Move the bucket out so callbacks may schedule new
+            // events (even for this same cycle) without iterator
+            // invalidation; new same-cycle events run in this loop.
+            auto it = events.begin();
+            std::vector<std::function<void()>> bucket =
+                std::move(it->second);
+            events.erase(it);
+            for (auto &fn : bucket)
+                fn();
+        }
+    }
+
+    bool empty() const { return events.empty(); }
+
+    /** @return the cycle of the earliest pending event. */
+    Cycle
+    nextEventCycle() const
+    {
+        return events.empty() ? ~Cycle{0} : events.begin()->first;
+    }
+
+  private:
+    std::map<Cycle, std::vector<std::function<void()>>> events;
+};
+
+} // namespace svc
+
+#endif // SVC_COMMON_EVENT_QUEUE_HH

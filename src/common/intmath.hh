@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Small integer-math helpers used throughout the cache and ISA
+ * models (power-of-two checks, logarithms, bit masks, alignment).
+ */
+
+#ifndef SVC_COMMON_INTMATH_HH
+#define SVC_COMMON_INTMATH_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace svc
+{
+
+/** @return true iff @p n is a (positive) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** @return floor(log2(n)); @p n must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    assert(n != 0);
+    unsigned l = 0;
+    while (n >>= 1)
+        ++l;
+    return l;
+}
+
+/** @return a mask with the low @p bits bits set. */
+constexpr std::uint64_t
+mask(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << bits) - 1;
+}
+
+/** @return @p addr rounded down to a multiple of @p align (a power of 2). */
+constexpr std::uint64_t
+alignDown(std::uint64_t addr, std::uint64_t align)
+{
+    assert(isPowerOf2(align));
+    return addr & ~(align - 1);
+}
+
+/** @return @p addr rounded up to a multiple of @p align (a power of 2). */
+constexpr std::uint64_t
+alignUp(std::uint64_t addr, std::uint64_t align)
+{
+    assert(isPowerOf2(align));
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** @return ceil(a / b) for integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Extract bits [lo, lo+len) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned len)
+{
+    return (v >> lo) & mask(len);
+}
+
+/** Sign-extend the low @p from bits of @p v to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t v, unsigned from)
+{
+    assert(from > 0 && from <= 64);
+    const std::uint64_t m = std::uint64_t{1} << (from - 1);
+    v &= mask(from);
+    return static_cast<std::int64_t>((v ^ m) - m);
+}
+
+} // namespace svc
+
+#endif // SVC_COMMON_INTMATH_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal leveled logging plus the gem5-style panic()/fatal()
+ * termination helpers. Logging is compiled in always but filtered by
+ * a global level so the simulator remains fast when quiet.
+ */
+
+#ifndef SVC_COMMON_LOG_HH
+#define SVC_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace svc
+{
+
+/** Severity levels, most severe first. */
+enum class LogLevel : int
+{
+    Quiet = 0,   ///< nothing
+    Warn = 1,    ///< suspicious but survivable conditions
+    Inform = 2,  ///< status messages
+    Debug = 3,   ///< per-event protocol tracing
+    Trace = 4,   ///< per-cycle firehose
+};
+
+/** Global log configuration (a deliberately simple singleton). */
+class Logger
+{
+  public:
+    static LogLevel level() { return currentLevel; }
+    static void setLevel(LogLevel lvl) { currentLevel = lvl; }
+
+    /** Emit one formatted line if @p lvl is enabled. */
+    template <typename... Args>
+    static void
+    log(LogLevel lvl, const char *tag, const char *fmt, Args &&...args)
+    {
+        if (static_cast<int>(lvl) > static_cast<int>(currentLevel))
+            return;
+        std::fprintf(stderr, "[%s] ", tag);
+        if constexpr (sizeof...(Args) == 0)
+            std::fputs(fmt, stderr);
+        else
+            std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+        std::fputc('\n', stderr);
+    }
+
+  private:
+    static inline LogLevel currentLevel = LogLevel::Warn;
+};
+
+/**
+ * Abort on an internal simulator bug — a condition that must never
+ * happen regardless of user input (gem5 panic semantics).
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit on a user error (bad configuration, invalid workload) — the
+ * simulation cannot continue but the simulator itself is not broken
+ * (gem5 fatal semantics).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about survivable but suspicious conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace svc
+
+/** Per-event protocol tracing; compiled in, filtered at runtime. */
+#define SVC_DEBUG(tag, ...) \
+    ::svc::Logger::log(::svc::LogLevel::Debug, tag, __VA_ARGS__)
+
+/** Per-cycle tracing (very verbose). */
+#define SVC_TRACE(tag, ...) \
+    ::svc::Logger::log(::svc::LogLevel::Trace, tag, __VA_ARGS__)
+
+#endif // SVC_COMMON_LOG_HH

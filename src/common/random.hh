@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload
+ * synthesis and property tests. We avoid std::mt19937's size and
+ * keep an explicitly specified algorithm (splitmix64 + xoshiro-style
+ * output) so results are reproducible across standard libraries.
+ */
+
+#ifndef SVC_COMMON_RANDOM_HH
+#define SVC_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace svc
+{
+
+/**
+ * Small, fast, deterministic RNG (splitmix64). Sufficient quality
+ * for workload address-stream synthesis and randomized testing;
+ * never used for anything cryptographic.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed)
+    {}
+
+    /** @return the next 64 random bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** @return a uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** @return true with probability @p percent / 100. */
+    bool
+    chance(unsigned percent)
+    {
+        return below(100) < percent;
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace svc
+
+#endif // SVC_COMMON_RANDOM_HH

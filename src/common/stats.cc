@@ -1,0 +1,108 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace svc
+{
+
+void
+StatSet::merge(const std::string &prefix, const StatSet &other)
+{
+    for (const auto &e : other.entries)
+        entries.push_back({prefix + "." + e.name, e.value});
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    for (const auto &e : entries) {
+        if (e.name == name)
+            return e.value;
+    }
+    fatal("StatSet: no statistic named '%s'", name.c_str());
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return std::any_of(entries.begin(), entries.end(),
+                       [&](const StatEntry &e) { return e.name == name; });
+}
+
+std::string
+StatSet::format() const
+{
+    std::size_t width = 0;
+    for (const auto &e : entries)
+        width = std::max(width, e.name.size());
+
+    std::string out;
+    char buf[64];
+    for (const auto &e : entries) {
+        out += e.name;
+        out.append(width - e.name.size() + 2, ' ');
+        std::snprintf(buf, sizeof(buf), "%.6g", e.value);
+        out += buf;
+        out += '\n';
+    }
+    return out;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> column_names)
+    : header(std::move(column_names))
+{}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != header.size())
+        fatal("TablePrinter: row has %zu cells, header has %zu",
+              cells.size(), header.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::format() const
+{
+    std::vector<std::size_t> width(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row,
+                        std::string &out) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            if (c + 1 < row.size())
+                out.append(width[c] - row[c].size() + 2, ' ');
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    emit_row(header, out);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+    for (const auto &row : rows)
+        emit_row(row, out);
+    return out;
+}
+
+std::string
+TablePrinter::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+} // namespace svc

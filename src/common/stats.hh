@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Lightweight statistics collection. Components own plain counters
+ * (fast, no indirection) and expose them through a StatSet snapshot
+ * for reporting. A StatSet is an ordered list of (name, value)
+ * pairs with pretty-printing helpers.
+ */
+
+#ifndef SVC_COMMON_STATS_HH
+#define SVC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svc
+{
+
+/** A simple event counter. */
+using Counter = std::uint64_t;
+
+/** One named statistic in a snapshot. */
+struct StatEntry
+{
+    std::string name;
+    double value;
+};
+
+/**
+ * An ordered snapshot of named statistics, assembled by a component
+ * on demand. Supports hierarchical names ("svc.cache0.misses").
+ */
+class StatSet
+{
+  public:
+    /** Append a statistic. */
+    void
+    add(const std::string &name, double value)
+    {
+        entries.push_back({name, value});
+    }
+
+    /** Append every entry of @p other with @p prefix + "." prepended. */
+    void merge(const std::string &prefix, const StatSet &other);
+
+    /** @return the value of @p name; fatal() if absent. */
+    double get(const std::string &name) const;
+
+    /** @return true if @p name is present. */
+    bool has(const std::string &name) const;
+
+    const std::vector<StatEntry> &all() const { return entries; }
+
+    /** Render as aligned "name value" lines. */
+    std::string format() const;
+
+  private:
+    std::vector<StatEntry> entries;
+};
+
+/**
+ * Fixed-column text table used by the benchmark harnesses to print
+ * paper-style tables (e.g. Table 2 / Table 3 rows).
+ */
+class TablePrinter
+{
+  public:
+    /** @param column_names header cells, left to right. */
+    explicit TablePrinter(std::vector<std::string> column_names);
+
+    /** Append one row; must have as many cells as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table with aligned columns. */
+    std::string format() const;
+
+    /** Format a double with @p decimals digits after the point. */
+    static std::string num(double v, int decimals = 3);
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace svc
+
+#endif // SVC_COMMON_STATS_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the SVC
+ * reproduction: addresses, cycles, processing-unit and task
+ * identifiers, and a handful of well-known constants.
+ */
+
+#ifndef SVC_COMMON_TYPES_HH
+#define SVC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace svc
+{
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** 32-bit data word (the MiniISA word size). */
+using Word = std::uint32_t;
+
+/** Simulation time measured in processor clock cycles. */
+using Cycle = std::uint64_t;
+
+/**
+ * Identifier of a processing unit and, equivalently, of its private
+ * L1 cache. PUs are numbered 0..numPus-1. The hardware VOL pointers
+ * name PUs, never tasks (paper section 3.2, modification 2).
+ */
+using PuId = std::uint32_t;
+
+/**
+ * Dynamic task sequence number. Strictly increasing in program
+ * order; used by the simulator and tests to express the total order
+ * among tasks. The modeled hardware never stores these — it derives
+ * order from the task-assignment information of the sequencer.
+ */
+using TaskSeq = std::uint64_t;
+
+/** Sentinel meaning "no PU" (e.g., a null VOL pointer). */
+inline constexpr PuId kNoPu = std::numeric_limits<PuId>::max();
+
+/** Sentinel meaning "no task". */
+inline constexpr TaskSeq kNoTask = std::numeric_limits<TaskSeq>::max();
+
+/** Sentinel for an invalid address. */
+inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Number of bytes in a MiniISA word. */
+inline constexpr unsigned kWordBytes = 4;
+
+/** Memory access size in bytes (byte-level disambiguation support). */
+enum class AccessSize : std::uint8_t { Byte = 1, Half = 2, Word = 4 };
+
+} // namespace svc
+
+#endif // SVC_COMMON_TYPES_HH

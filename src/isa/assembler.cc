@@ -1,0 +1,463 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/log.hh"
+#include "isa/builder.hh"
+#include "isa/encoding.hh"
+
+namespace svc::isa
+{
+
+namespace
+{
+
+/** Tokenized view of one source line. */
+struct LineScanner
+{
+    std::string text;
+    std::size_t pos = 0;
+    int lineNo = 0;
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos >= text.size();
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    /** Read an identifier ([A-Za-z_.][A-Za-z0-9_.]*). */
+    std::string
+    ident()
+    {
+        skipSpace();
+        std::size_t start = pos;
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (std::isalnum(static_cast<unsigned char>(c)) ||
+                c == '_' || c == '.')
+                ++pos;
+            else
+                break;
+        }
+        return text.substr(start, pos - start);
+    }
+
+    /** Read a (possibly negative, possibly hex) integer. */
+    std::optional<std::int64_t>
+    number()
+    {
+        skipSpace();
+        std::size_t start = pos;
+        if (pos < text.size() &&
+            (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        std::size_t digits = pos;
+        while (pos < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[pos]))))
+            ++pos;
+        if (pos == digits) {
+            pos = start;
+            return std::nullopt;
+        }
+        const std::string tok = text.substr(start, pos - start);
+        char *end = nullptr;
+        const long long v = std::strtoll(tok.c_str(), &end, 0);
+        if (end == nullptr || *end != '\0') {
+            pos = start;
+            return std::nullopt;
+        }
+        return v;
+    }
+
+    [[noreturn]] void
+    error(const char *what)
+    {
+        fatal("assembler:%d: %s near '%s'", lineNo, what,
+              text.substr(pos).c_str());
+    }
+};
+
+/** Parse "r<N>" into a register index. */
+Reg
+parseReg(LineScanner &sc)
+{
+    sc.skipSpace();
+    const std::string tok = sc.ident();
+    if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R'))
+        sc.error("expected register");
+    const int n = std::atoi(tok.c_str() + 1);
+    if (n < 0 || n >= static_cast<int>(kNumRegs))
+        sc.error("register out of range");
+    return static_cast<Reg>(n);
+}
+
+class Assembler
+{
+  public:
+    Program
+    run(const std::string &source)
+    {
+        std::istringstream in(source);
+        std::string raw;
+        int line_no = 0;
+        bool saw_code = false;
+        while (std::getline(in, raw)) {
+            ++line_no;
+            // Strip comments.
+            for (std::size_t i = 0; i < raw.size(); ++i) {
+                if (raw[i] == ';' || raw[i] == '#') {
+                    raw.resize(i);
+                    break;
+                }
+            }
+            LineScanner sc{raw, 0, line_no};
+            if (sc.atEnd())
+                continue;
+            if (!saw_code)
+                saw_code = prescan(sc);
+            else
+                prescan(sc);
+        }
+        // Second pass does the real work against the (possibly
+        // .org-adjusted) builder created during the prescan.
+        return builder->finalize();
+    }
+
+  private:
+    /** One pass: the builder records everything incrementally, so a
+     *  single pass with label fix-ups suffices. @return true if the
+     *  line emitted code. */
+    bool
+    prescan(LineScanner &sc)
+    {
+        // Directive?
+        sc.skipSpace();
+        if (sc.pos < sc.text.size() && sc.text[sc.pos] == '.')
+            return directive(sc);
+
+        // Label definitions (possibly several per line).
+        while (true) {
+            sc.skipSpace();
+            const std::size_t save = sc.pos;
+            const std::string name = sc.ident();
+            if (!name.empty() && sc.consume(':')) {
+                bindLabel(name);
+                continue;
+            }
+            sc.pos = save;
+            break;
+        }
+        if (sc.atEnd())
+            return false;
+        instruction(sc);
+        return true;
+    }
+
+    void
+    ensureBuilder()
+    {
+        if (!builder) {
+            builder = std::make_unique<ProgramBuilder>(codeOrg,
+                                                       dataOrg);
+        }
+    }
+
+    Label
+    labelOf(const std::string &name)
+    {
+        ensureBuilder();
+        auto it = labels.find(name);
+        if (it != labels.end())
+            return it->second;
+        Label l = builder->newLabel(name);
+        labels.emplace(name, l);
+        return l;
+    }
+
+    void
+    bindLabel(const std::string &name)
+    {
+        ensureBuilder();
+        Label l = labelOf(name);
+        if (inData)
+            builder->bindAt(l, builder->dataHere());
+        else
+            builder->bind(l);
+        if (!inData && pendingTask) {
+            applyTask();
+        }
+    }
+
+    struct PendingTask
+    {
+        std::vector<std::string> targets;
+        std::vector<Reg> creates;
+        bool mayReturn = false;
+    };
+
+    void
+    applyTask()
+    {
+        builder->beginTask("");
+        std::vector<Label> targets;
+        for (const auto &t : pendingTask->targets)
+            targets.push_back(labelOf(t));
+        builder->taskTargets(targets);
+        builder->taskCreates(pendingTask->creates);
+        if (pendingTask->mayReturn)
+            builder->taskMayReturn();
+        pendingTask.reset();
+    }
+
+    bool
+    directive(LineScanner &sc)
+    {
+        const std::string d = sc.ident();
+        if (d == ".org") {
+            auto v = sc.number();
+            if (!v)
+                sc.error(".org needs an address");
+            if (builder)
+                sc.error(".org must precede all code/data");
+            codeOrg = static_cast<Addr>(*v);
+            return false;
+        }
+        if (d == ".dataorg") {
+            auto v = sc.number();
+            if (!v)
+                sc.error(".dataorg needs an address");
+            if (builder)
+                sc.error(".dataorg must precede all code/data");
+            dataOrg = static_cast<Addr>(*v);
+            return false;
+        }
+        if (d == ".text") {
+            inData = false;
+            return false;
+        }
+        if (d == ".data") {
+            inData = true;
+            return false;
+        }
+        if (d == ".task") {
+            pendingTask = PendingTask{};
+            while (!sc.atEnd()) {
+                const std::string key = sc.ident();
+                if (key == "mayreturn") {
+                    pendingTask->mayReturn = true;
+                } else if (key == "targets" && sc.consume('=')) {
+                    do {
+                        pendingTask->targets.push_back(sc.ident());
+                    } while (sc.consume(','));
+                } else if (key == "creates" && sc.consume('=')) {
+                    do {
+                        pendingTask->creates.push_back(parseReg(sc));
+                    } while (sc.consume(','));
+                } else {
+                    sc.error("bad .task option");
+                }
+            }
+            return false;
+        }
+        ensureBuilder();
+        if (d == ".release") {
+            std::vector<Reg> regs;
+            do {
+                regs.push_back(parseReg(sc));
+            } while (sc.consume(','));
+            builder->release(regs);
+            return false;
+        }
+        if (d == ".word") {
+            std::vector<std::uint8_t> bytes;
+            do {
+                auto v = sc.number();
+                if (!v)
+                    sc.error(".word needs numbers");
+                for (unsigned i = 0; i < 4; ++i)
+                    bytes.push_back(
+                        static_cast<std::uint8_t>(*v >> (8 * i)));
+            } while (sc.consume(','));
+            builder->emitData(bytes);
+            return false;
+        }
+        if (d == ".byte") {
+            std::vector<std::uint8_t> bytes;
+            do {
+                auto v = sc.number();
+                if (!v)
+                    sc.error(".byte needs numbers");
+                bytes.push_back(static_cast<std::uint8_t>(*v));
+            } while (sc.consume(','));
+            builder->emitData(bytes);
+            return false;
+        }
+        if (d == ".space") {
+            auto v = sc.number();
+            if (!v || *v < 0)
+                sc.error(".space needs a size");
+            builder->emitData(std::vector<std::uint8_t>(
+                static_cast<std::size_t>(*v), 0));
+            return false;
+        }
+        sc.error("unknown directive");
+    }
+
+    void
+    instruction(LineScanner &sc)
+    {
+        ensureBuilder();
+        if (inData)
+            sc.error("instruction in data segment");
+        if (pendingTask)
+            sc.error(".task must be followed by a label");
+        const std::string m = sc.ident();
+
+        // Pseudo-instructions first.
+        if (m == "li") {
+            const Reg rd = parseReg(sc);
+            if (!sc.consume(','))
+                sc.error("expected ','");
+            auto v = sc.number();
+            if (!v)
+                sc.error("li needs a constant");
+            builder->li(rd, static_cast<std::uint32_t>(*v));
+            return;
+        }
+        if (m == "la") {
+            const Reg rd = parseReg(sc);
+            if (!sc.consume(','))
+                sc.error("expected ','");
+            builder->la(rd, labelOf(sc.ident()));
+            return;
+        }
+        if (m == "jr") {
+            builder->jr(parseReg(sc));
+            return;
+        }
+
+        const Opcode op = opcodeFromName(m.c_str());
+        if (op == Opcode::NumOpcodes)
+            sc.error("unknown mnemonic");
+
+        switch (classOf(op)) {
+          case InstClass::Nop:
+          case InstClass::Halt:
+            builder->emitR(op, 0, 0, 0);
+            return;
+          case InstClass::Load:
+          case InstClass::Store: {
+            const Reg r = parseReg(sc);
+            if (!sc.consume(','))
+                sc.error("expected ','");
+            auto off = sc.number();
+            if (!off)
+                sc.error("expected offset");
+            if (!sc.consume('('))
+                sc.error("expected '('");
+            const Reg base = parseReg(sc);
+            if (!sc.consume(')'))
+                sc.error("expected ')'");
+            builder->emitI(op, r, base,
+                           static_cast<std::int32_t>(*off));
+            return;
+          }
+          case InstClass::Branch: {
+            const Reg a = parseReg(sc);
+            if (!sc.consume(','))
+                sc.error("expected ','");
+            const Reg b = parseReg(sc);
+            if (!sc.consume(','))
+                sc.error("expected ','");
+            builder->emitBranch(op, a, b, labelOf(sc.ident()));
+            return;
+          }
+          case InstClass::Jump:
+            if (op == Opcode::JALR) {
+                const Reg rd = parseReg(sc);
+                if (!sc.consume(','))
+                    sc.error("expected ','");
+                const Reg rs = parseReg(sc);
+                builder->jalr(rd, rs);
+            } else {
+                builder->emitJump(op, labelOf(sc.ident()));
+            }
+            return;
+          default:
+            break;
+        }
+
+        // ALU forms: "op rd, rs1, rs2" or "op rd, rs1, imm" or LUI.
+        const Reg rd = parseReg(sc);
+        if (!sc.consume(','))
+            sc.error("expected ','");
+        if (op == Opcode::LUI) {
+            auto v = sc.number();
+            if (!v)
+                sc.error("lui needs a constant");
+            builder->emitI(op, rd, 0, static_cast<std::int32_t>(*v));
+            return;
+        }
+        if (op == Opcode::CVTIF || op == Opcode::CVTFI) {
+            builder->emitR(op, rd, parseReg(sc), 0);
+            return;
+        }
+        const Reg rs1 = parseReg(sc);
+        if (!sc.consume(','))
+            sc.error("expected ','");
+        const bool imm_form =
+            op >= Opcode::ADDI && op <= Opcode::SRAI;
+        if (imm_form) {
+            auto v = sc.number();
+            if (!v)
+                sc.error("expected immediate");
+            builder->emitI(op, rd, rs1,
+                           static_cast<std::int32_t>(*v));
+        } else {
+            builder->emitR(op, rd, rs1, parseReg(sc));
+        }
+    }
+
+    Addr codeOrg = 0x1000;
+    Addr dataOrg = 0x100000;
+    bool inData = false;
+    std::unique_ptr<ProgramBuilder> builder;
+    std::map<std::string, Label> labels;
+    std::optional<PendingTask> pendingTask;
+};
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    Assembler assembler;
+    return assembler.run(source);
+}
+
+} // namespace svc::isa

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Two-pass MiniISA text assembler. Syntax:
+ *
+ *     ; comments run to end of line (also '#')
+ *     .org 0x1000            ; code base (must precede code)
+ *     .dataorg 0x100000      ; data base (must precede data)
+ *     .text / .data          ; switch emission segment
+ *     .task targets=a,b creates=r1,r2 mayreturn
+ *     .release r1, r2        ; forward bits on previous instruction
+ *     .word 1, 2, 3          ; data words
+ *     .byte 1, 2             ; data bytes
+ *     .space 64              ; zeroed bytes
+ *     label:                 ; bind label here (code or data)
+ *         addi r1, r0, 5
+ *         lw   r2, 0(r1)
+ *         beq  r1, r2, label
+ *         jal  func
+ *         li   r3, 0x12345678 ; pseudo: lui+ori
+ *         la   r4, buffer     ; pseudo: address of label
+ *
+ * A `.task` directive annotates the *next bound code label* (or the
+ * current address if it is already a label) as a task entry.
+ */
+
+#ifndef SVC_ISA_ASSEMBLER_HH
+#define SVC_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace svc::isa
+{
+
+/**
+ * Assemble @p source into a Program. Errors are reported via
+ * fatal() with line numbers (assembler inputs are developer-authored
+ * files, so a hard stop with a precise message is the right UX).
+ */
+Program assemble(const std::string &source);
+
+} // namespace svc::isa
+
+#endif // SVC_ISA_ASSEMBLER_HH

@@ -1,0 +1,297 @@
+#include "isa/builder.hh"
+
+#include <cassert>
+
+#include "common/log.hh"
+
+namespace svc::isa
+{
+
+ProgramBuilder::ProgramBuilder(Addr code_base, Addr data_base)
+    : codeBase(code_base), dataBase(data_base), dataCursor(data_base)
+{}
+
+Label
+ProgramBuilder::newLabel(const std::string &name)
+{
+    Label l{static_cast<int>(labelInfos.size())};
+    labelInfos.push_back({name, false, 0});
+    return l;
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    assert(label.id >= 0 &&
+           label.id < static_cast<int>(labelInfos.size()));
+    LabelInfo &info = labelInfos[label.id];
+    if (info.bound)
+        fatal("builder: label '%s' bound twice", info.name.c_str());
+    info.bound = true;
+    info.addr = here();
+}
+
+Label
+ProgramBuilder::beginTask(const std::string &name)
+{
+    Label l = hereLabel(name);
+    taskBuilds.push_back({here(), name, {}, 0, false});
+    return l;
+}
+
+void
+ProgramBuilder::taskTargets(const std::vector<Label> &targets)
+{
+    if (taskBuilds.empty())
+        fatal("builder: taskTargets outside a task");
+    for (const Label &t : targets)
+        taskBuilds.back().targetLabels.push_back(t.id);
+}
+
+void
+ProgramBuilder::taskMayReturn()
+{
+    if (taskBuilds.empty())
+        fatal("builder: taskMayReturn outside a task");
+    taskBuilds.back().mayReturn = true;
+}
+
+void
+ProgramBuilder::taskCreates(const std::vector<Reg> &regs)
+{
+    if (taskBuilds.empty())
+        fatal("builder: taskCreates outside a task");
+    for (Reg r : regs)
+        taskBuilds.back().createMask |= 1u << r;
+}
+
+void
+ProgramBuilder::release(const std::vector<Reg> &regs)
+{
+    if (code.empty())
+        fatal("builder: release before any instruction");
+    std::uint32_t mask = 0;
+    for (Reg r : regs)
+        mask |= 1u << r;
+    releaseMasks[here() - 4] |= mask;
+}
+
+void
+ProgramBuilder::noteDest(Reg rd)
+{
+    if (!taskBuilds.empty() && rd != kRegZero)
+        taskBuilds.back().createMask |= 1u << rd;
+}
+
+void
+ProgramBuilder::emitR(Opcode op, Reg rd, Reg rs1, Reg rs2)
+{
+    code.push_back(encodeR(op, rd, rs1, rs2));
+    if (classOf(op) == InstClass::IntSimple ||
+        classOf(op) == InstClass::IntComplex ||
+        classOf(op) == InstClass::Float) {
+        noteDest(rd);
+    }
+}
+
+void
+ProgramBuilder::emitI(Opcode op, Reg rd, Reg rs1, std::int32_t imm)
+{
+    if (imm < -32768 || imm > 65535)
+        fatal("builder: immediate %d out of range at 0x%llx", imm,
+              static_cast<unsigned long long>(here()));
+    code.push_back(encodeI(op, rd, rs1, imm));
+    const InstClass cls = classOf(op);
+    if (cls == InstClass::IntSimple || cls == InstClass::Load ||
+        (op == Opcode::JALR)) {
+        noteDest(rd);
+    }
+}
+
+void
+ProgramBuilder::emitBranch(Opcode op, Reg a, Reg b, Label target)
+{
+    fixups.push_back({code.size(), target.id, FixKind::Branch16});
+    code.push_back(encodeI(op, a, b, 0));
+}
+
+void
+ProgramBuilder::emitJump(Opcode op, Label target)
+{
+    fixups.push_back({code.size(), target.id, FixKind::Jump26});
+    code.push_back(encodeJ(op, 0));
+    if (op == Opcode::JAL)
+        noteDest(kRegLink);
+}
+
+void
+ProgramBuilder::li(Reg rd, std::uint32_t value)
+{
+    if (value <= 0xffffu) {
+        emitI(Opcode::ORI, rd, kRegZero,
+              static_cast<std::int32_t>(value));
+        return;
+    }
+    emitI(Opcode::LUI, rd, 0,
+          static_cast<std::int32_t>(value >> 16));
+    if ((value & 0xffffu) != 0) {
+        emitI(Opcode::ORI, rd, rd,
+              static_cast<std::int32_t>(value & 0xffffu));
+    }
+}
+
+void
+ProgramBuilder::la(Reg rd, Label label)
+{
+    fixups.push_back({code.size(), label.id, FixKind::AbsHi});
+    code.push_back(encodeI(Opcode::LUI, rd, 0, 0));
+    fixups.push_back({code.size(), label.id, FixKind::AbsLo});
+    code.push_back(encodeI(Opcode::ORI, rd, rd, 0));
+    noteDest(rd);
+}
+
+Label
+ProgramBuilder::allocData(const std::string &name, std::size_t bytes)
+{
+    Label l = newLabel(name);
+    labelInfos[l.id].bound = true;
+    labelInfos[l.id].addr = dataCursor;
+    dataSegs[dataCursor] = std::vector<std::uint8_t>(bytes, 0);
+    dataCursor = alignUp(dataCursor + bytes, 8);
+    return l;
+}
+
+Label
+ProgramBuilder::dataWords(const std::string &name,
+                          const std::vector<std::uint32_t> &words)
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(words.size() * 4);
+    for (std::uint32_t w : words) {
+        for (unsigned i = 0; i < 4; ++i)
+            bytes.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+    }
+    return dataBytes(name, bytes);
+}
+
+Label
+ProgramBuilder::dataBytes(const std::string &name,
+                          const std::vector<std::uint8_t> &bytes)
+{
+    Label l = newLabel(name);
+    labelInfos[l.id].bound = true;
+    labelInfos[l.id].addr = dataCursor;
+    dataSegs[dataCursor] = bytes;
+    dataCursor = alignUp(dataCursor + bytes.size(), 8);
+    return l;
+}
+
+void
+ProgramBuilder::bindAt(Label label, Addr addr)
+{
+    assert(label.id >= 0 &&
+           label.id < static_cast<int>(labelInfos.size()));
+    LabelInfo &info = labelInfos[label.id];
+    if (info.bound)
+        fatal("builder: label '%s' bound twice", info.name.c_str());
+    info.bound = true;
+    info.addr = addr;
+}
+
+void
+ProgramBuilder::emitData(const std::vector<std::uint8_t> &bytes)
+{
+    dataSegs[dataCursor] = bytes;
+    dataCursor += bytes.size();
+}
+
+Addr
+ProgramBuilder::addrOf(Label label) const
+{
+    assert(label.id >= 0 &&
+           label.id < static_cast<int>(labelInfos.size()));
+    const LabelInfo &info = labelInfos[label.id];
+    if (!info.bound)
+        fatal("builder: label '%s' not bound", info.name.c_str());
+    return info.addr;
+}
+
+Program
+ProgramBuilder::finalize()
+{
+    if (finalized)
+        fatal("builder: finalize() called twice");
+    finalized = true;
+
+    // Resolve fix-ups.
+    for (const Fixup &fix : fixups) {
+        const LabelInfo &info = labelInfos[fix.labelId];
+        if (!info.bound)
+            fatal("builder: unresolved label '%s'",
+                  info.name.c_str());
+        const Addr pc = codeBase + 4 * fix.codeIndex;
+        std::uint32_t &word = code[fix.codeIndex];
+        switch (fix.kind) {
+          case FixKind::Branch16: {
+            const std::int64_t off =
+                (static_cast<std::int64_t>(info.addr) -
+                 static_cast<std::int64_t>(pc + 4)) /
+                4;
+            if (off < -32768 || off > 32767)
+                fatal("builder: branch to '%s' out of range",
+                      info.name.c_str());
+            word = (word & ~0xffffu) |
+                   (static_cast<std::uint32_t>(off) & 0xffffu);
+            break;
+          }
+          case FixKind::Jump26: {
+            const std::int64_t off =
+                (static_cast<std::int64_t>(info.addr) -
+                 static_cast<std::int64_t>(pc + 4)) /
+                4;
+            word = (word & ~0x3ffffffu) |
+                   (static_cast<std::uint32_t>(off) & 0x3ffffffu);
+            break;
+          }
+          case FixKind::AbsHi:
+            word = (word & ~0xffffu) |
+                   ((info.addr >> 16) & 0xffffu);
+            break;
+          case FixKind::AbsLo:
+            word = (word & ~0xffffu) | (info.addr & 0xffffu);
+            break;
+        }
+    }
+
+    Program prog;
+    prog.base = codeBase;
+    prog.entry = codeBase;
+    prog.code = std::move(code);
+    prog.data = std::move(dataSegs);
+    prog.releaseMask = std::move(releaseMasks);
+
+    for (const TaskBuild &tb : taskBuilds) {
+        TaskDescriptor desc;
+        desc.entry = tb.entry;
+        desc.createMask = tb.createMask;
+        desc.mayReturn = tb.mayReturn;
+        for (int lid : tb.targetLabels) {
+            if (!labelInfos[lid].bound)
+                fatal("builder: task target label unbound");
+            desc.targets.push_back(labelInfos[lid].addr);
+        }
+        if (desc.targets.size() > 4)
+            fatal("builder: task at 0x%llx has %zu targets (max 4)",
+                  static_cast<unsigned long long>(tb.entry),
+                  desc.targets.size());
+        prog.tasks[tb.entry] = desc;
+    }
+
+    for (const LabelInfo &info : labelInfos) {
+        if (info.bound && !info.name.empty())
+            prog.labels[info.name] = info.addr;
+    }
+    return prog;
+}
+
+} // namespace svc::isa

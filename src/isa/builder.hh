@@ -1,0 +1,280 @@
+/**
+ * @file
+ * ProgramBuilder: programmatic MiniISA emission with labels,
+ * fix-ups, task annotation, data allocation and pseudo-instructions
+ * (li/la). This is the "compiler back end" the SPEC95-analog
+ * workload kernels are written against; the text Assembler offers
+ * the same capabilities for human-written sources.
+ */
+
+#ifndef SVC_ISA_BUILDER_HH
+#define SVC_ISA_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/encoding.hh"
+#include "isa/program.hh"
+
+namespace svc::isa
+{
+
+/** An abstract code location, bound now or later. */
+struct Label
+{
+    int id = -1;
+};
+
+/** Fluent MiniISA program construction. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(Addr code_base = 0x1000,
+                            Addr data_base = 0x100000);
+
+    // ---- Labels ----
+
+    /** Create an unbound label. */
+    Label newLabel(const std::string &name = "");
+
+    /** Bind @p label to the current emission point. */
+    void bind(Label label);
+
+    /** Create a label bound right here. */
+    Label
+    hereLabel(const std::string &name = "")
+    {
+        Label l = newLabel(name);
+        bind(l);
+        return l;
+    }
+
+    /** @return the current code emission address. */
+    Addr here() const { return codeBase + 4 * code.size(); }
+
+    // ---- Task annotation ----
+
+    /**
+     * Start a new task at the current emission point. The previous
+     * task (if any) is closed; its create mask is the union of
+     * destination registers it emitted (extendable with
+     * taskCreates()).
+     */
+    Label beginTask(const std::string &name = "");
+
+    /** Declare possible successor tasks of the current task. */
+    void taskTargets(const std::vector<Label> &targets);
+
+    /** Mark the current task as possibly exiting via return. */
+    void taskMayReturn();
+
+    /** Extend the current task's create mask (e.g. callee writes). */
+    void taskCreates(const std::vector<Reg> &regs);
+
+    /**
+     * Attach multiscalar forward bits to the most recently emitted
+     * instruction: the listed registers are released (forwarded to
+     * later tasks) when it retires, instead of at task end.
+     */
+    void release(const std::vector<Reg> &regs);
+
+    // ---- Raw emission ----
+
+    /** Emit an R-type instruction. */
+    void emitR(Opcode op, Reg rd, Reg rs1, Reg rs2);
+
+    /** Emit an I-type instruction. */
+    void emitI(Opcode op, Reg rd, Reg rs1, std::int32_t imm);
+
+    /** Emit a control transfer to @p target (fixed up later). */
+    void emitBranch(Opcode op, Reg a, Reg b, Label target);
+
+    /** Emit a J-type jump to @p target. */
+    void emitJump(Opcode op, Label target);
+
+    // ---- Convenience mnemonics ----
+
+    void add(Reg rd, Reg a, Reg b) { emitR(Opcode::ADD, rd, a, b); }
+    void sub(Reg rd, Reg a, Reg b) { emitR(Opcode::SUB, rd, a, b); }
+    void mul(Reg rd, Reg a, Reg b) { emitR(Opcode::MUL, rd, a, b); }
+    void divu(Reg rd, Reg a, Reg b) { emitR(Opcode::DIVU, rd, a, b); }
+    void remu(Reg rd, Reg a, Reg b) { emitR(Opcode::REMU, rd, a, b); }
+    void and_(Reg rd, Reg a, Reg b) { emitR(Opcode::AND, rd, a, b); }
+    void or_(Reg rd, Reg a, Reg b) { emitR(Opcode::OR, rd, a, b); }
+    void xor_(Reg rd, Reg a, Reg b) { emitR(Opcode::XOR, rd, a, b); }
+    void sll(Reg rd, Reg a, Reg b) { emitR(Opcode::SLL, rd, a, b); }
+    void srl(Reg rd, Reg a, Reg b) { emitR(Opcode::SRL, rd, a, b); }
+    void slt(Reg rd, Reg a, Reg b) { emitR(Opcode::SLT, rd, a, b); }
+    void sltu(Reg rd, Reg a, Reg b) { emitR(Opcode::SLTU, rd, a, b); }
+    void addi(Reg rd, Reg a, std::int32_t i)
+    {
+        emitI(Opcode::ADDI, rd, a, i);
+    }
+    void andi(Reg rd, Reg a, std::int32_t i)
+    {
+        emitI(Opcode::ANDI, rd, a, i);
+    }
+    void ori(Reg rd, Reg a, std::int32_t i)
+    {
+        emitI(Opcode::ORI, rd, a, i);
+    }
+    void xori(Reg rd, Reg a, std::int32_t i)
+    {
+        emitI(Opcode::XORI, rd, a, i);
+    }
+    void slti(Reg rd, Reg a, std::int32_t i)
+    {
+        emitI(Opcode::SLTI, rd, a, i);
+    }
+    void slli(Reg rd, Reg a, std::int32_t i)
+    {
+        emitI(Opcode::SLLI, rd, a, i);
+    }
+    void srli(Reg rd, Reg a, std::int32_t i)
+    {
+        emitI(Opcode::SRLI, rd, a, i);
+    }
+    void srai(Reg rd, Reg a, std::int32_t i)
+    {
+        emitI(Opcode::SRAI, rd, a, i);
+    }
+    void lui(Reg rd, std::int32_t i) { emitI(Opcode::LUI, rd, 0, i); }
+    void lw(Reg rd, std::int32_t off, Reg base)
+    {
+        emitI(Opcode::LW, rd, base, off);
+    }
+    void lh(Reg rd, std::int32_t off, Reg base)
+    {
+        emitI(Opcode::LH, rd, base, off);
+    }
+    void lhu(Reg rd, std::int32_t off, Reg base)
+    {
+        emitI(Opcode::LHU, rd, base, off);
+    }
+    void lb(Reg rd, std::int32_t off, Reg base)
+    {
+        emitI(Opcode::LB, rd, base, off);
+    }
+    void lbu(Reg rd, std::int32_t off, Reg base)
+    {
+        emitI(Opcode::LBU, rd, base, off);
+    }
+    void sw(Reg rs, std::int32_t off, Reg base)
+    {
+        emitI(Opcode::SW, rs, base, off);
+    }
+    void sh(Reg rs, std::int32_t off, Reg base)
+    {
+        emitI(Opcode::SH, rs, base, off);
+    }
+    void sb(Reg rs, std::int32_t off, Reg base)
+    {
+        emitI(Opcode::SB, rs, base, off);
+    }
+    void beq(Reg a, Reg b, Label t) { emitBranch(Opcode::BEQ, a, b, t); }
+    void bne(Reg a, Reg b, Label t) { emitBranch(Opcode::BNE, a, b, t); }
+    void blt(Reg a, Reg b, Label t) { emitBranch(Opcode::BLT, a, b, t); }
+    void bge(Reg a, Reg b, Label t) { emitBranch(Opcode::BGE, a, b, t); }
+    void bltu(Reg a, Reg b, Label t)
+    {
+        emitBranch(Opcode::BLTU, a, b, t);
+    }
+    void bgeu(Reg a, Reg b, Label t)
+    {
+        emitBranch(Opcode::BGEU, a, b, t);
+    }
+    void jal(Label t) { emitJump(Opcode::JAL, t); }
+    void j(Label t) { emitJump(Opcode::J, t); }
+    void jalr(Reg rd, Reg rs) { emitI(Opcode::JALR, rd, rs, 0); }
+    void jr(Reg rs) { jalr(kRegZero, rs); }
+    void fadd(Reg rd, Reg a, Reg b) { emitR(Opcode::FADD, rd, a, b); }
+    void fsub(Reg rd, Reg a, Reg b) { emitR(Opcode::FSUB, rd, a, b); }
+    void fmul(Reg rd, Reg a, Reg b) { emitR(Opcode::FMUL, rd, a, b); }
+    void fdiv(Reg rd, Reg a, Reg b) { emitR(Opcode::FDIV, rd, a, b); }
+    void flt(Reg rd, Reg a, Reg b) { emitR(Opcode::FLT, rd, a, b); }
+    void fle(Reg rd, Reg a, Reg b) { emitR(Opcode::FLE, rd, a, b); }
+    void cvtif(Reg rd, Reg a) { emitR(Opcode::CVTIF, rd, a, 0); }
+    void cvtfi(Reg rd, Reg a) { emitR(Opcode::CVTFI, rd, a, 0); }
+    void nop() { emitR(Opcode::NOP, 0, 0, 0); }
+    void halt() { emitR(Opcode::HALT, 0, 0, 0); }
+
+    /** Load a full 32-bit constant (lui+ori pseudo). */
+    void li(Reg rd, std::uint32_t value);
+
+    /** Load a label's (data or code) address. */
+    void la(Reg rd, Label label);
+
+    // ---- Data ----
+
+    /** Allocate @p bytes of zeroed data; @return its label. */
+    Label allocData(const std::string &name, std::size_t bytes);
+
+    /** Allocate initialized words; @return its label. */
+    Label dataWords(const std::string &name,
+                    const std::vector<std::uint32_t> &words);
+
+    /** Allocate initialized bytes; @return its label. */
+    Label dataBytes(const std::string &name,
+                    const std::vector<std::uint8_t> &bytes);
+
+    /** @return the current data emission address. */
+    Addr dataHere() const { return dataCursor; }
+
+    /** Bind @p label to an arbitrary address (data labels). */
+    void bindAt(Label label, Addr addr);
+
+    /** Append raw bytes at the data cursor. */
+    void emitData(const std::vector<std::uint8_t> &bytes);
+
+    /** @return the bound address of @p label; fatal if unbound. */
+    Addr addrOf(Label label) const;
+
+    // ---- Finalization ----
+
+    /** Resolve fix-ups, close the last task, validate; one shot. */
+    Program finalize();
+
+  private:
+    enum class FixKind { Branch16, Jump26, AbsHi, AbsLo };
+
+    struct Fixup
+    {
+        std::size_t codeIndex;
+        int labelId;
+        FixKind kind;
+    };
+
+    struct LabelInfo
+    {
+        std::string name;
+        bool bound = false;
+        Addr addr = 0;
+    };
+
+    struct TaskBuild
+    {
+        Addr entry;
+        std::string name;
+        std::vector<int> targetLabels;
+        std::uint32_t createMask = 0;
+        bool mayReturn = false;
+    };
+
+    void noteDest(Reg rd);
+
+    Addr codeBase;
+    Addr dataBase;
+    Addr dataCursor;
+    std::vector<std::uint32_t> code;
+    std::vector<LabelInfo> labelInfos;
+    std::vector<Fixup> fixups;
+    std::vector<TaskBuild> taskBuilds;
+    std::map<Addr, std::vector<std::uint8_t>> dataSegs;
+    std::map<Addr, std::uint32_t> releaseMasks;
+    bool finalized = false;
+};
+
+} // namespace svc::isa
+
+#endif // SVC_ISA_BUILDER_HH

@@ -1,0 +1,66 @@
+#include "isa/disassembler.hh"
+
+#include <cstdio>
+
+#include "isa/encoding.hh"
+
+namespace svc::isa
+{
+
+std::string
+disassemble(std::uint32_t w, Addr pc)
+{
+    const Opcode op = opcodeOf(w);
+    char buf[96];
+    const char *m = mnemonic(op);
+    switch (classOf(op)) {
+      case InstClass::Nop:
+      case InstClass::Halt:
+        std::snprintf(buf, sizeof(buf), "%s", m);
+        break;
+      case InstClass::IntSimple:
+      case InstClass::IntComplex:
+      case InstClass::Float:
+        if (op == Opcode::LUI) {
+            std::snprintf(buf, sizeof(buf), "%s r%u, 0x%x", m,
+                          rdOf(w), imm16Of(w) & 0xffff);
+        } else if (op >= Opcode::ADDI && op <= Opcode::SRAI) {
+            std::snprintf(buf, sizeof(buf), "%s r%u, r%u, %d", m,
+                          rdOf(w), rs1Of(w), imm16Of(w));
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s r%u, r%u, r%u", m,
+                          rdOf(w), rs1Of(w), rs2Of(w));
+        }
+        break;
+      case InstClass::Load:
+        std::snprintf(buf, sizeof(buf), "%s r%u, %d(r%u)", m,
+                      rdOf(w), imm16Of(w), rs1Of(w));
+        break;
+      case InstClass::Store:
+        std::snprintf(buf, sizeof(buf), "%s r%u, %d(r%u)", m,
+                      rdOf(w), imm16Of(w), rs1Of(w));
+        break;
+      case InstClass::Branch: {
+        const Addr target = pc + 4 +
+                            4 * static_cast<std::int64_t>(imm16Of(w));
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u, 0x%llx", m,
+                      rdOf(w), rs1Of(w),
+                      static_cast<unsigned long long>(target));
+        break;
+      }
+      case InstClass::Jump:
+        if (op == Opcode::JALR) {
+            std::snprintf(buf, sizeof(buf), "%s r%u, r%u", m, rdOf(w),
+                          rs1Of(w));
+        } else {
+            const Addr target =
+                pc + 4 + 4 * static_cast<std::int64_t>(imm26Of(w));
+            std::snprintf(buf, sizeof(buf), "%s 0x%llx", m,
+                          static_cast<unsigned long long>(target));
+        }
+        break;
+    }
+    return buf;
+}
+
+} // namespace svc::isa

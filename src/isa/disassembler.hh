@@ -1,0 +1,24 @@
+/**
+ * @file
+ * MiniISA disassembler: one instruction word to a readable string
+ * (used in traces, test failure messages and the quickstart
+ * example).
+ */
+
+#ifndef SVC_ISA_DISASSEMBLER_HH
+#define SVC_ISA_DISASSEMBLER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace svc::isa
+{
+
+/** @return assembly text for @p word located at @p pc. */
+std::string disassemble(std::uint32_t word, Addr pc = 0);
+
+} // namespace svc::isa
+
+#endif // SVC_ISA_DISASSEMBLER_HH

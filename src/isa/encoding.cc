@@ -1,0 +1,48 @@
+#include "isa/encoding.hh"
+
+#include <cstring>
+
+namespace svc::isa
+{
+
+namespace
+{
+
+const char *const kMnemonics[] = {
+    "nop",   "halt",  "add",   "sub",   "mul",   "divu",  "remu",
+    "and",   "or",    "xor",   "sll",   "srl",   "sra",   "slt",
+    "sltu",  "addi",  "andi",  "ori",   "xori",  "slti",  "sltiu",
+    "slli",  "srli",  "srai",  "lui",   "lw",    "lh",    "lhu",
+    "lb",    "lbu",   "sw",    "sh",    "sb",    "beq",   "bne",
+    "blt",   "bge",   "bltu",  "bgeu",  "jal",   "j",     "jalr",
+    "fadd",  "fsub",  "fmul",  "fdiv",  "flt",   "fle",   "cvtif",
+    "cvtfi",
+};
+
+static_assert(sizeof(kMnemonics) / sizeof(kMnemonics[0]) ==
+                  static_cast<std::size_t>(Opcode::NumOpcodes),
+              "mnemonic table out of sync with Opcode");
+
+} // namespace
+
+const char *
+mnemonic(Opcode op)
+{
+    const auto i = static_cast<std::size_t>(op);
+    if (i >= static_cast<std::size_t>(Opcode::NumOpcodes))
+        return "?";
+    return kMnemonics[i];
+}
+
+Opcode
+opcodeFromName(const char *name)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Opcode::NumOpcodes); ++i) {
+        if (std::strcmp(kMnemonics[i], name) == 0)
+            return static_cast<Opcode>(i);
+    }
+    return Opcode::NumOpcodes;
+}
+
+} // namespace svc::isa

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * MiniISA: a compact 32-bit RISC instruction set standing in for
+ * the annotated big-endian MIPS binaries the paper's multiscalar
+ * compiler produced. Fixed 32-bit encodings, 32 general registers
+ * (r0 hardwired to zero), byte-addressed little-endian memory, and
+ * single-precision float operations that operate on register bit
+ * patterns (so the mgrid/apsi-analog kernels exercise the FP unit).
+ *
+ * Formats:
+ *   R: | op:6 | rd:5 | rs1:5 | rs2:5 | 0:11 |
+ *   I: | op:6 | rd:5 | rs1:5 | imm16 (signed) |
+ *   J: | op:6 | imm26 (signed word offset)    |
+ *
+ * Branches compare rd and rs1 (the rd field holds a source) and
+ * take a signed 16-bit *word* offset relative to the next pc.
+ * Stores keep the value register in the rd field.
+ */
+
+#ifndef SVC_ISA_ENCODING_HH
+#define SVC_ISA_ENCODING_HH
+
+#include <cstdint>
+
+#include "common/intmath.hh"
+#include "common/types.hh"
+
+namespace svc::isa
+{
+
+/** Machine instruction opcodes. */
+enum class Opcode : std::uint8_t
+{
+    NOP = 0,
+    HALT,
+    // R-type ALU
+    ADD,
+    SUB,
+    MUL,
+    DIVU,
+    REMU,
+    AND,
+    OR,
+    XOR,
+    SLL,
+    SRL,
+    SRA,
+    SLT,
+    SLTU,
+    // I-type ALU
+    ADDI,
+    ANDI,
+    ORI,
+    XORI,
+    SLTI,
+    SLTIU,
+    SLLI,
+    SRLI,
+    SRAI,
+    LUI,
+    // Memory (I-type)
+    LW,
+    LH,
+    LHU,
+    LB,
+    LBU,
+    SW,
+    SH,
+    SB,
+    // Branches (I-type; compare rd, rs1)
+    BEQ,
+    BNE,
+    BLT,
+    BGE,
+    BLTU,
+    BGEU,
+    // Jumps
+    JAL,  ///< J-type; links pc+4 into r31
+    J,    ///< J-type; no link
+    JALR, ///< I-type; target rs1, link into rd
+    // Single-precision float (R-type, bit-cast semantics)
+    FADD,
+    FSUB,
+    FMUL,
+    FDIV,
+    FLT, ///< rd = float(rs1) < float(rs2)
+    FLE, ///< rd = float(rs1) <= float(rs2)
+    CVTIF, ///< rd = bits(float(int(rs1)))
+    CVTFI, ///< rd = int(float(bits(rs1)))
+    NumOpcodes,
+};
+
+/** Instruction categories for decode and the PU's FU selection. */
+enum class InstClass : std::uint8_t
+{
+    Nop,
+    Halt,
+    IntSimple,  ///< 1-cycle integer ALU
+    IntComplex, ///< multiply/divide
+    Float,
+    Load,
+    Store,
+    Branch,
+    Jump,
+};
+
+/** Register index (0..31); r0 reads as zero. */
+using Reg = std::uint8_t;
+
+inline constexpr unsigned kNumRegs = 32;
+inline constexpr Reg kRegZero = 0;
+inline constexpr Reg kRegSp = 29;
+inline constexpr Reg kRegLink = 31;
+
+/** @return the class of @p op. */
+constexpr InstClass
+classOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::NOP:
+        return InstClass::Nop;
+      case Opcode::HALT:
+        return InstClass::Halt;
+      case Opcode::MUL:
+      case Opcode::DIVU:
+      case Opcode::REMU:
+        return InstClass::IntComplex;
+      case Opcode::FADD:
+      case Opcode::FSUB:
+      case Opcode::FMUL:
+      case Opcode::FDIV:
+      case Opcode::FLT:
+      case Opcode::FLE:
+      case Opcode::CVTIF:
+      case Opcode::CVTFI:
+        return InstClass::Float;
+      case Opcode::LW:
+      case Opcode::LH:
+      case Opcode::LHU:
+      case Opcode::LB:
+      case Opcode::LBU:
+        return InstClass::Load;
+      case Opcode::SW:
+      case Opcode::SH:
+      case Opcode::SB:
+        return InstClass::Store;
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::BLTU:
+      case Opcode::BGEU:
+        return InstClass::Branch;
+      case Opcode::JAL:
+      case Opcode::J:
+      case Opcode::JALR:
+        return InstClass::Jump;
+      default:
+        return InstClass::IntSimple;
+    }
+}
+
+/** @return access size in bytes for a load/store opcode. */
+constexpr unsigned
+memAccessSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::LW:
+      case Opcode::SW:
+        return 4;
+      case Opcode::LH:
+      case Opcode::LHU:
+      case Opcode::SH:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+// ---- Field encode/decode helpers ----
+
+constexpr std::uint32_t
+encodeR(Opcode op, Reg rd, Reg rs1, Reg rs2)
+{
+    return (std::uint32_t(op) << 26) | (std::uint32_t(rd) << 21) |
+           (std::uint32_t(rs1) << 16) | (std::uint32_t(rs2) << 11);
+}
+
+constexpr std::uint32_t
+encodeI(Opcode op, Reg rd, Reg rs1, std::int32_t imm16)
+{
+    return (std::uint32_t(op) << 26) | (std::uint32_t(rd) << 21) |
+           (std::uint32_t(rs1) << 16) |
+           (static_cast<std::uint32_t>(imm16) & 0xffffu);
+}
+
+constexpr std::uint32_t
+encodeJ(Opcode op, std::int32_t imm26)
+{
+    return (std::uint32_t(op) << 26) |
+           (static_cast<std::uint32_t>(imm26) & 0x3ffffffu);
+}
+
+constexpr Opcode
+opcodeOf(std::uint32_t word)
+{
+    return static_cast<Opcode>(word >> 26);
+}
+
+constexpr Reg rdOf(std::uint32_t w) { return (w >> 21) & 31; }
+constexpr Reg rs1Of(std::uint32_t w) { return (w >> 16) & 31; }
+constexpr Reg rs2Of(std::uint32_t w) { return (w >> 11) & 31; }
+
+constexpr std::int32_t
+imm16Of(std::uint32_t w)
+{
+    return static_cast<std::int32_t>(signExtend(w & 0xffffu, 16));
+}
+
+constexpr std::int32_t
+imm26Of(std::uint32_t w)
+{
+    return static_cast<std::int32_t>(signExtend(w & 0x3ffffffu, 26));
+}
+
+/** @return the mnemonic for @p op ("add", "lw", ...). */
+const char *mnemonic(Opcode op);
+
+/** @return the opcode for @p name, or NumOpcodes if unknown. */
+Opcode opcodeFromName(const char *name);
+
+} // namespace svc::isa
+
+#endif // SVC_ISA_ENCODING_HH

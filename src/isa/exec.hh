@@ -1,0 +1,221 @@
+/**
+ * @file
+ * MiniISA decode and ALU semantics, shared by the functional
+ * interpreter and the multiscalar PU pipeline so the two can never
+ * disagree about instruction behaviour.
+ */
+
+#ifndef SVC_ISA_EXEC_HH
+#define SVC_ISA_EXEC_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "isa/encoding.hh"
+
+namespace svc::isa
+{
+
+/** A decoded instruction. */
+struct DecodedInst
+{
+    Opcode op = Opcode::NOP;
+    InstClass cls = InstClass::Nop;
+    Reg rd = 0;
+    Reg rs1 = 0;
+    Reg rs2 = 0;
+    std::int32_t imm = 0;
+
+    /** @return true if the instruction writes @c rd. */
+    bool
+    writesRd() const
+    {
+        switch (cls) {
+          case InstClass::IntSimple:
+          case InstClass::IntComplex:
+          case InstClass::Float:
+          case InstClass::Load:
+            return rd != kRegZero;
+          case InstClass::Jump:
+            return (op == Opcode::JAL && kRegLink != kRegZero) ||
+                   (op == Opcode::JALR && rd != kRegZero);
+          default:
+            return false;
+        }
+    }
+
+    /** @return the destination register (link reg for JAL). */
+    Reg destReg() const { return op == Opcode::JAL ? kRegLink : rd; }
+
+    /** @return true if the instruction reads @c rs1. */
+    bool
+    readsRs1() const
+    {
+        switch (cls) {
+          case InstClass::Nop:
+          case InstClass::Halt:
+            return false;
+          case InstClass::Jump:
+            return op == Opcode::JALR;
+          default:
+            return op != Opcode::LUI;
+        }
+    }
+
+    /** @return true if the instruction reads @c rs2. */
+    bool
+    readsRs2() const
+    {
+        if (cls == InstClass::IntSimple || cls == InstClass::IntComplex ||
+            cls == InstClass::Float) {
+            return op >= Opcode::ADD && op <= Opcode::SLTU
+                       ? true
+                       : op >= Opcode::FADD && op <= Opcode::FLE;
+        }
+        return false;
+    }
+
+    /** @return true if the instruction reads the @c rd field as a
+     *  source (branches compare rd/rs1; stores write rd's value). */
+    bool
+    readsRdAsSource() const
+    {
+        return cls == InstClass::Branch || cls == InstClass::Store;
+    }
+};
+
+/** Decode @p word. */
+inline DecodedInst
+decode(std::uint32_t word)
+{
+    DecodedInst d;
+    d.op = opcodeOf(word);
+    if (d.op >= Opcode::NumOpcodes) {
+        d.op = Opcode::NOP; // treat undefined encodings as NOP
+        d.cls = InstClass::Nop;
+        return d;
+    }
+    d.cls = classOf(d.op);
+    d.rd = rdOf(word);
+    d.rs1 = rs1Of(word);
+    d.rs2 = rs2Of(word);
+    d.imm = (d.op == Opcode::JAL || d.op == Opcode::J)
+                ? imm26Of(word)
+                : imm16Of(word);
+    return d;
+}
+
+/** Bit-cast helpers for the float unit. */
+inline float asFloat(std::uint32_t v) { return std::bit_cast<float>(v); }
+inline std::uint32_t asBits(float f) { return std::bit_cast<std::uint32_t>(f); }
+
+/**
+ * Compute the ALU/FPU result of a non-memory, non-branch
+ * instruction. @p a is rs1's value, @p b is rs2's value.
+ */
+inline std::uint32_t
+aluResult(const DecodedInst &d, std::uint32_t a, std::uint32_t b)
+{
+    const auto imm = static_cast<std::uint32_t>(d.imm);
+    switch (d.op) {
+      case Opcode::ADD:
+        return a + b;
+      case Opcode::SUB:
+        return a - b;
+      case Opcode::MUL:
+        return a * b;
+      case Opcode::DIVU:
+        return b == 0 ? ~0u : a / b;
+      case Opcode::REMU:
+        return b == 0 ? a : a % b;
+      case Opcode::AND:
+        return a & b;
+      case Opcode::OR:
+        return a | b;
+      case Opcode::XOR:
+        return a ^ b;
+      case Opcode::SLL:
+        return a << (b & 31);
+      case Opcode::SRL:
+        return a >> (b & 31);
+      case Opcode::SRA:
+        return static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(a) >> (b & 31));
+      case Opcode::SLT:
+        return static_cast<std::int32_t>(a) <
+                       static_cast<std::int32_t>(b)
+                   ? 1
+                   : 0;
+      case Opcode::SLTU:
+        return a < b ? 1 : 0;
+      case Opcode::ADDI:
+        return a + imm;
+      case Opcode::ANDI:
+        return a & (imm & 0xffffu);
+      case Opcode::ORI:
+        return a | (imm & 0xffffu);
+      case Opcode::XORI:
+        return a ^ (imm & 0xffffu);
+      case Opcode::SLTI:
+        return static_cast<std::int32_t>(a) < d.imm ? 1 : 0;
+      case Opcode::SLTIU:
+        return a < imm ? 1 : 0;
+      case Opcode::SLLI:
+        return a << (imm & 31);
+      case Opcode::SRLI:
+        return a >> (imm & 31);
+      case Opcode::SRAI:
+        return static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(a) >> (imm & 31));
+      case Opcode::LUI:
+        return imm << 16;
+      case Opcode::FADD:
+        return asBits(asFloat(a) + asFloat(b));
+      case Opcode::FSUB:
+        return asBits(asFloat(a) - asFloat(b));
+      case Opcode::FMUL:
+        return asBits(asFloat(a) * asFloat(b));
+      case Opcode::FDIV:
+        return asBits(asFloat(a) / asFloat(b));
+      case Opcode::FLT:
+        return asFloat(a) < asFloat(b) ? 1 : 0;
+      case Opcode::FLE:
+        return asFloat(a) <= asFloat(b) ? 1 : 0;
+      case Opcode::CVTIF:
+        return asBits(static_cast<float>(static_cast<std::int32_t>(a)));
+      case Opcode::CVTFI:
+        return static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(asFloat(a)));
+      default:
+        return 0;
+    }
+}
+
+/** @return true if branch @p d with sources @p a (rd), @p b (rs1)
+ *  is taken. */
+inline bool
+branchTaken(const DecodedInst &d, std::uint32_t a, std::uint32_t b)
+{
+    switch (d.op) {
+      case Opcode::BEQ:
+        return a == b;
+      case Opcode::BNE:
+        return a != b;
+      case Opcode::BLT:
+        return static_cast<std::int32_t>(a) <
+               static_cast<std::int32_t>(b);
+      case Opcode::BGE:
+        return static_cast<std::int32_t>(a) >=
+               static_cast<std::int32_t>(b);
+      case Opcode::BLTU:
+        return a < b;
+      case Opcode::BGEU:
+        return a >= b;
+      default:
+        return false;
+    }
+}
+
+} // namespace svc::isa
+
+#endif // SVC_ISA_EXEC_HH

@@ -1,0 +1,94 @@
+#include "isa/interpreter.hh"
+
+#include "common/log.hh"
+#include "isa/exec.hh"
+
+namespace svc::isa
+{
+
+InterpResult
+Interpreter::run(const Program &program, MainMemory &mem,
+                 std::uint64_t max_instructions, bool record_tasks)
+{
+    program.loadInto(mem);
+
+    InterpResult res;
+    std::array<std::uint32_t, kNumRegs> &regs = res.regs;
+    regs.fill(0);
+    regs[kRegSp] = 0x7fff0000; // conventional stack top
+
+    Addr pc = program.entry;
+
+    while (res.instructions < max_instructions) {
+        // Every arrival at a task entry begins a new dynamic task
+        // instance (a loop-body task re-entered is a new task).
+        if (record_tasks && program.isTaskEntry(pc))
+            res.taskTrace.push_back(pc);
+
+        const std::uint32_t word = program.fetch(pc);
+        const DecodedInst d = decode(word);
+        Addr next_pc = pc + 4;
+        ++res.instructions;
+
+        switch (d.cls) {
+          case InstClass::Nop:
+            break;
+          case InstClass::Halt:
+            res.halted = true;
+            return res;
+          case InstClass::IntSimple:
+          case InstClass::IntComplex:
+          case InstClass::Float:
+            if (d.rd != kRegZero)
+                regs[d.rd] = aluResult(d, regs[d.rs1], regs[d.rs2]);
+            break;
+          case InstClass::Load: {
+            const Addr ea = regs[d.rs1] +
+                            static_cast<std::int64_t>(d.imm);
+            const unsigned size = memAccessSize(d.op);
+            std::uint32_t v = 0;
+            for (unsigned i = 0; i < size; ++i)
+                v |= std::uint32_t{mem.readByte(ea + i)} << (8 * i);
+            if (d.op == Opcode::LH)
+                v = static_cast<std::uint32_t>(signExtend(v, 16));
+            else if (d.op == Opcode::LB)
+                v = static_cast<std::uint32_t>(signExtend(v, 8));
+            if (d.rd != kRegZero)
+                regs[d.rd] = v;
+            break;
+          }
+          case InstClass::Store: {
+            const Addr ea = regs[d.rs1] +
+                            static_cast<std::int64_t>(d.imm);
+            const unsigned size = memAccessSize(d.op);
+            const std::uint32_t v = regs[d.rd];
+            for (unsigned i = 0; i < size; ++i) {
+                mem.writeByte(ea + i,
+                              static_cast<std::uint8_t>(v >> (8 * i)));
+            }
+            break;
+          }
+          case InstClass::Branch:
+            if (branchTaken(d, regs[d.rd], regs[d.rs1]))
+                next_pc = pc + 4 + 4 * static_cast<std::int64_t>(d.imm);
+            break;
+          case InstClass::Jump:
+            if (d.op == Opcode::JALR) {
+                next_pc = regs[d.rs1];
+                if (d.rd != kRegZero)
+                    regs[d.rd] = pc + 4;
+            } else {
+                next_pc = pc + 4 + 4 * static_cast<std::int64_t>(d.imm);
+                if (d.op == Opcode::JAL)
+                    regs[kRegLink] = pc + 4;
+            }
+            break;
+        }
+        pc = next_pc;
+    }
+    warn("interpreter: instruction budget exhausted at pc 0x%llx",
+         static_cast<unsigned long long>(pc));
+    return res;
+}
+
+} // namespace svc::isa

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Functional MiniISA interpreter — the sequential-semantics
+ * reference every speculative execution is validated against. Runs
+ * a Program over a MainMemory image until HALT (or an instruction
+ * budget), counting instructions and optionally recording the task
+ * trace (the sequence of task entries crossed), which the
+ * multiscalar tests compare task predictions against.
+ */
+
+#ifndef SVC_ISA_INTERPRETER_HH
+#define SVC_ISA_INTERPRETER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/encoding.hh"
+#include "isa/program.hh"
+
+namespace svc::isa
+{
+
+/** Result of an interpreter run. */
+struct InterpResult
+{
+    std::uint64_t instructions = 0;
+    bool halted = false;
+    std::array<std::uint32_t, kNumRegs> regs{};
+    /** Dynamic sequence of task entries crossed (if requested). */
+    std::vector<Addr> taskTrace;
+};
+
+/** Sequential reference executor. */
+class Interpreter
+{
+  public:
+    /**
+     * Execute @p program (already loaded into @p mem or not — this
+     * loads it) until HALT or @p max_instructions.
+     *
+     * @param record_tasks capture the dynamic task trace
+     */
+    static InterpResult run(const Program &program, MainMemory &mem,
+                            std::uint64_t max_instructions = 1ull
+                                                             << 32,
+                            bool record_tasks = false);
+};
+
+} // namespace svc::isa
+
+#endif // SVC_ISA_INTERPRETER_HH

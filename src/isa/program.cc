@@ -1,0 +1,17 @@
+#include "isa/program.hh"
+
+#include "common/log.hh"
+
+namespace svc::isa
+{
+
+Addr
+Program::labelAddr(const std::string &label) const
+{
+    auto it = labels.find(label);
+    if (it == labels.end())
+        fatal("program: unknown label '%s'", label.c_str());
+    return it->second;
+}
+
+} // namespace svc::isa

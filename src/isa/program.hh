@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A MiniISA program: the instruction/data image plus the multiscalar
+ * task annotations the compiler would emit — task entry points,
+ * each task's possible successor-task targets (up to 4, matching
+ * the paper's control-flow predictor), its register create mask,
+ * and optional early register-release (forward-bit) annotations on
+ * individual instructions.
+ */
+
+#ifndef SVC_ISA_PROGRAM_HH
+#define SVC_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/main_memory.hh"
+
+namespace svc::isa
+{
+
+/** Multiscalar task annotation (one per task entry point). */
+struct TaskDescriptor
+{
+    Addr entry = 0;
+    /** Possible next-task entry points (paper: up to 4 targets). */
+    std::vector<Addr> targets;
+    /** Registers this task may write (forwarding waits on these). */
+    std::uint32_t createMask = 0;
+    /** True if the task may exit through a return (uses the RAS). */
+    bool mayReturn = false;
+};
+
+/** An executable MiniISA image with task annotations. */
+class Program
+{
+  public:
+    /** Code/data load address of the image start. */
+    Addr base = 0x1000;
+    /** First instruction executed. */
+    Addr entry = 0x1000;
+    /** Instruction words, contiguous from base. */
+    std::vector<std::uint32_t> code;
+    /** Initialized data segments: address -> bytes. */
+    std::map<Addr, std::vector<std::uint8_t>> data;
+    /** Task annotations keyed by entry address. */
+    std::map<Addr, TaskDescriptor> tasks;
+    /** Early register release: pc -> mask of regs forwarded when
+     *  the instruction at pc retires (multiscalar forward bits). */
+    std::map<Addr, std::uint32_t> releaseMask;
+    /** Label table (assembler/builder debugging aid). */
+    std::map<std::string, Addr> labels;
+
+    /** @return the instruction word at @p pc (NOP if outside). */
+    std::uint32_t
+    fetch(Addr pc) const
+    {
+        if (pc < base || pc >= base + 4 * code.size() ||
+            (pc & 3) != 0) {
+            return 0; // NOP
+        }
+        return code[(pc - base) / 4];
+    }
+
+    /** @return true if @p pc is a task entry point. */
+    bool isTaskEntry(Addr pc) const { return tasks.count(pc) != 0; }
+
+    /** @return the descriptor for the task entered at @p pc. */
+    const TaskDescriptor &
+    taskAt(Addr pc) const
+    {
+        return tasks.at(pc);
+    }
+
+    /** Copy code and data into @p mem. */
+    void
+    loadInto(MainMemory &mem) const
+    {
+        for (std::size_t i = 0; i < code.size(); ++i)
+            mem.writeWord(base + 4 * i, code[i]);
+        for (const auto &[addr, bytes] : data)
+            mem.writeBlock(addr, bytes.data(), bytes.size());
+    }
+
+    /** @return the address of @p label; fatal if unknown. */
+    Addr labelAddr(const std::string &label) const;
+
+    /** @return end address of the code segment. */
+    Addr codeEnd() const { return base + 4 * code.size(); }
+};
+
+} // namespace svc::isa
+
+#endif // SVC_ISA_PROGRAM_HH

@@ -1,0 +1,36 @@
+#include "mem/bus.hh"
+
+namespace svc
+{
+
+const char *
+busCmdName(BusCmd cmd)
+{
+    switch (cmd) {
+      case BusCmd::BusRead:
+        return "BusRead";
+      case BusCmd::BusWrite:
+        return "BusWrite";
+      case BusCmd::BusWback:
+        return "BusWback";
+    }
+    return "?";
+}
+
+StatSet
+SnoopingBus::stats() const
+{
+    StatSet s;
+    s.add("busy_cycles", static_cast<double>(busyCycles));
+    s.add("observed_cycles", static_cast<double>(observedCycles));
+    s.add("utilization", utilization());
+    s.add("bus_reads",
+          static_cast<double>(transactionCount(BusCmd::BusRead)));
+    s.add("bus_writes",
+          static_cast<double>(transactionCount(BusCmd::BusWrite)));
+    s.add("bus_wbacks",
+          static_cast<double>(transactionCount(BusCmd::BusWback)));
+    return s;
+}
+
+} // namespace svc

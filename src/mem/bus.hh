@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Split-transaction snooping bus — timing and arbitration only. The
+ * protocol work (snoop, VCL evaluation, data transfer) is performed
+ * by a client callback at grant time; the callback reports how many
+ * bus cycles the transaction occupies (the paper's typical
+ * transaction is 3 processor cycles, plus one extra cycle when a
+ * committed version is flushed to the next level of memory).
+ */
+
+#ifndef SVC_MEM_BUS_HH
+#define SVC_MEM_BUS_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace svc
+{
+
+/** Kinds of snooping-bus transactions (paper figures 3, 10, 18). */
+enum class BusCmd : std::uint8_t
+{
+    BusRead,   ///< load miss: obtain a copy of the correct version
+    BusWrite,  ///< store miss: create a new version / invalidate
+    BusWback,  ///< cast out a dirty line to the next level
+};
+
+/** @return a printable name for @p cmd. */
+const char *busCmdName(BusCmd cmd);
+
+/**
+ * One queued bus request. @c perform runs at grant time, does all
+ * protocol state changes, and returns the occupancy in cycles.
+ */
+struct BusRequest
+{
+    PuId requester = kNoPu;
+    BusCmd cmd = BusCmd::BusRead;
+    Addr lineAddr = 0;
+    std::function<Cycle(Cycle grant_cycle)> perform;
+};
+
+/**
+ * The snooping bus. Single transaction at a time; FIFO arbitration
+ * (requests are queued in issue order, which is deterministic).
+ */
+class SnoopingBus
+{
+  public:
+    /** Enqueue @p req for arbitration. */
+    void
+    request(BusRequest req)
+    {
+        queue.push_back(std::move(req));
+    }
+
+    /**
+     * Advance one cycle: grant the oldest request if the bus is
+     * free. @p now is the current cycle.
+     */
+    void
+    tick(Cycle now)
+    {
+        ++observedCycles;
+        if (now < busyUntil || queue.empty())
+            return;
+        BusRequest req = std::move(queue.front());
+        queue.pop_front();
+        ++transactions[static_cast<unsigned>(req.cmd)];
+        const Cycle occupancy = req.perform(now);
+        busyCycles += occupancy;
+        busyUntil = now + occupancy;
+    }
+
+    /** @return true if a transaction is in flight at cycle @p now. */
+    bool busy(Cycle now) const { return now < busyUntil; }
+
+    /** @return number of requests waiting for the bus. */
+    std::size_t pending() const { return queue.size(); }
+
+    /** busy-cycle / observed-cycle ratio (paper Table 3). */
+    double
+    utilization() const
+    {
+        return observedCycles == 0
+                   ? 0.0
+                   : static_cast<double>(busyCycles) /
+                         static_cast<double>(observedCycles);
+    }
+
+    Counter busyCycleCount() const { return busyCycles; }
+    Counter transactionCount(BusCmd cmd) const
+    {
+        return transactions[static_cast<unsigned>(cmd)];
+    }
+
+    /** Snapshot bus statistics. */
+    StatSet stats() const;
+
+  private:
+    std::deque<BusRequest> queue;
+    Cycle busyUntil = 0;
+    Counter busyCycles = 0;
+    Counter observedCycles = 0;
+    Counter transactions[3] = {0, 0, 0};
+};
+
+} // namespace svc
+
+#endif // SVC_MEM_BUS_HH

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Generic set-associative cache storage with true-LRU replacement.
+ * The frame bookkeeping (tag, valid, LRU stamp) is owned here; the
+ * protocol payload (coherence bits, data, VOL pointer, ...) is a
+ * client-supplied type. Victim selection accepts a predicate so
+ * protocols can veto victims (e.g. the SVC rule that only the head
+ * task's cache may replace an active line).
+ */
+
+#ifndef SVC_MEM_CACHE_STORAGE_HH
+#define SVC_MEM_CACHE_STORAGE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace svc
+{
+
+/** One cache frame: bookkeeping plus client payload. */
+template <typename PayloadT>
+struct CacheFrame
+{
+    bool valid = false;
+    Addr tag = 0;
+    std::uint64_t lruStamp = 0;
+    PayloadT payload{};
+};
+
+/**
+ * Set-associative storage. Addresses are decomposed as
+ * tag | set-index | line-offset; the line size, set count and
+ * associativity are runtime parameters (all powers of two).
+ */
+template <typename PayloadT>
+class CacheStorage
+{
+  public:
+    using Frame = CacheFrame<PayloadT>;
+
+    /**
+     * @param size_bytes total capacity
+     * @param assoc ways per set
+     * @param line_bytes bytes per address block
+     */
+    CacheStorage(std::size_t size_bytes, unsigned assoc,
+                 unsigned line_bytes)
+        : lineBytes(line_bytes),
+          ways(assoc),
+          sets(size_bytes / (std::size_t{assoc} * line_bytes)),
+          offsetBits(floorLog2(line_bytes)),
+          indexBits(floorLog2(sets)),
+          frames(sets * assoc)
+    {
+        if (!isPowerOf2(line_bytes) || !isPowerOf2(assoc) ||
+            !isPowerOf2(sets) || sets == 0) {
+            fatal("CacheStorage: size %zu / assoc %u / line %u "
+                  "must decompose into power-of-two sets",
+                  size_bytes, assoc, line_bytes);
+        }
+    }
+
+    unsigned lineSize() const { return lineBytes; }
+    unsigned associativity() const { return ways; }
+    std::size_t numSets() const { return sets; }
+    std::size_t numFrames() const { return frames.size(); }
+
+    /** @return the line-aligned address of @p addr. */
+    Addr lineAddr(Addr addr) const { return alignDown(addr, lineBytes); }
+
+    /** @return set index for @p addr. */
+    std::size_t
+    setIndex(Addr addr) const
+    {
+        return bits(addr, offsetBits, indexBits);
+    }
+
+    /** @return tag for @p addr. */
+    Addr tagOf(Addr addr) const { return addr >> (offsetBits + indexBits); }
+
+    /** Find the valid frame holding @p addr, or nullptr. */
+    Frame *
+    find(Addr addr)
+    {
+        Frame *base = &frames[setIndex(addr) * ways];
+        const Addr tag = tagOf(addr);
+        for (unsigned w = 0; w < ways; ++w) {
+            if (base[w].valid && base[w].tag == tag)
+                return &base[w];
+        }
+        return nullptr;
+    }
+
+    const Frame *
+    find(Addr addr) const
+    {
+        return const_cast<CacheStorage *>(this)->find(addr);
+    }
+
+    /** Mark @p frame most recently used. */
+    void touch(Frame &frame) { frame.lruStamp = ++clock; }
+
+    /**
+     * Pick a frame in @p addr's set to hold a new line: an invalid
+     * frame if available, else the LRU valid frame for which
+     * @p may_evict returns true. @return nullptr if every valid
+     * frame is vetoed (caller must stall or choose another victim).
+     */
+    Frame *
+    pickVictim(Addr addr, const std::function<bool(const Frame &)> &may_evict)
+    {
+        Frame *base = &frames[setIndex(addr) * ways];
+        Frame *victim = nullptr;
+        for (unsigned w = 0; w < ways; ++w) {
+            Frame &f = base[w];
+            if (!f.valid)
+                return &f;
+            if (may_evict(f) &&
+                (!victim || f.lruStamp < victim->lruStamp)) {
+                victim = &f;
+            }
+        }
+        return victim;
+    }
+
+    /** @return true if @p addr's set has an invalid (free) frame. */
+    bool
+    hasFreeFrame(Addr addr) const
+    {
+        const Frame *base = &frames[setIndex(addr) * ways];
+        for (unsigned w = 0; w < ways; ++w) {
+            if (!base[w].valid)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Install a line for @p addr into @p frame (which must belong to
+     * the right set). Resets the payload to a default-constructed
+     * value and marks the frame MRU.
+     */
+    void
+    install(Frame &frame, Addr addr)
+    {
+        frame.valid = true;
+        frame.tag = tagOf(addr);
+        frame.payload = PayloadT{};
+        touch(frame);
+    }
+
+    /** Invalidate @p frame. */
+    void
+    invalidate(Frame &frame)
+    {
+        frame.valid = false;
+        frame.payload = PayloadT{};
+    }
+
+    /** Apply @p fn to every valid frame (flash operations). */
+    void
+    forEachValid(const std::function<void(Frame &)> &fn)
+    {
+        for (auto &f : frames) {
+            if (f.valid)
+                fn(f);
+        }
+    }
+
+    /** Apply @p fn to every valid frame (const). */
+    void
+    forEachValid(const std::function<void(const Frame &)> &fn) const
+    {
+        for (const auto &f : frames) {
+            if (f.valid)
+                fn(f);
+        }
+    }
+
+    /**
+     * Reconstruct the full line-aligned address of @p frame given
+     * any address in its set (used for write-backs of victims).
+     */
+    Addr
+    frameAddr(const Frame &frame) const
+    {
+        const std::size_t idx = (&frame - frames.data()) / ways;
+        return (frame.tag << (offsetBits + indexBits)) |
+               (Addr{idx} << offsetBits);
+    }
+
+  private:
+    unsigned lineBytes;
+    unsigned ways;
+    std::size_t sets;
+    unsigned offsetBits;
+    unsigned indexBits;
+    std::uint64_t clock = 0;
+    std::vector<Frame> frames;
+};
+
+} // namespace svc
+
+#endif // SVC_MEM_CACHE_STORAGE_HH

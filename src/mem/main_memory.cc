@@ -1,0 +1,78 @@
+#include "mem/main_memory.hh"
+
+namespace svc
+{
+
+MainMemory::Page *
+MainMemory::findPage(Addr addr) const
+{
+    auto it = pages.find(addr >> kPageShift);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+MainMemory::Page &
+MainMemory::getPage(Addr addr)
+{
+    auto &slot = pages[addr >> kPageShift];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+std::uint8_t
+MainMemory::readByte(Addr addr) const
+{
+    const Page *p = findPage(addr);
+    return p ? (*p)[addr & (kPageSize - 1)] : 0;
+}
+
+void
+MainMemory::writeByte(Addr addr, std::uint8_t value)
+{
+    getPage(addr)[addr & (kPageSize - 1)] = value;
+}
+
+void
+MainMemory::readBlock(Addr addr, std::uint8_t *out, std::size_t len) const
+{
+    for (std::size_t i = 0; i < len; ++i)
+        out[i] = readByte(addr + i);
+}
+
+void
+MainMemory::writeBlock(Addr addr, const std::uint8_t *in, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        writeByte(addr + i, in[i]);
+}
+
+Word
+MainMemory::readWord(Addr addr) const
+{
+    Word w = 0;
+    for (unsigned i = 0; i < kWordBytes; ++i)
+        w |= Word{readByte(addr + i)} << (8 * i);
+    return w;
+}
+
+void
+MainMemory::writeWord(Addr addr, Word value)
+{
+    for (unsigned i = 0; i < kWordBytes; ++i)
+        writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+std::uint64_t
+MainMemory::hashRange(Addr addr, std::size_t len) const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= readByte(addr + i);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace svc

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Miss Status Holding Registers. Each cache owns a small MSHR file
+ * (the paper: 8 per SVC L1, 32 for the ARB/data cache); an MSHR
+ * tracks one outstanding line miss and can combine a bounded number
+ * of accesses to the same line (4 for the SVC L1s, 8 for the ARB).
+ */
+
+#ifndef SVC_MEM_MSHR_HH
+#define SVC_MEM_MSHR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace svc
+{
+
+/** One combined access waiting on an in-flight miss. */
+struct MshrTarget
+{
+    std::function<void()> onFill;
+};
+
+/** One outstanding miss. */
+struct Mshr
+{
+    bool valid = false;
+    Addr lineAddr = 0;
+    std::vector<MshrTarget> targets;
+};
+
+/**
+ * A file of MSHRs with target combining. The owning cache allocates
+ * on a miss, appends targets for secondary misses to the same line,
+ * and completes the MSHR when the fill arrives.
+ */
+class MshrFile
+{
+  public:
+    /**
+     * @param num_mshrs outstanding line misses supported
+     * @param max_targets accesses combinable per MSHR
+     */
+    MshrFile(unsigned num_mshrs, unsigned max_targets)
+        : maxTargets(max_targets), file(num_mshrs)
+    {}
+
+    /** @return the MSHR tracking @p line_addr, or nullptr. */
+    Mshr *
+    find(Addr line_addr)
+    {
+        for (auto &m : file) {
+            if (m.valid && m.lineAddr == line_addr)
+                return &m;
+        }
+        return nullptr;
+    }
+
+    /** @return true if a new miss to @p line_addr can be accepted. */
+    bool
+    canAccept(Addr line_addr)
+    {
+        if (Mshr *m = find(line_addr))
+            return m->targets.size() < maxTargets;
+        for (auto &m : file) {
+            if (!m.valid)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Register a miss: combines with an existing MSHR for the line
+     * or allocates a fresh one.
+     *
+     * @param line_addr line-aligned miss address
+     * @param on_fill callback run when the fill completes
+     * @param[out] is_primary true if this allocated a new MSHR (the
+     *             caller must then launch the actual bus request)
+     * @return true on success; false if the file or the target list
+     *         is full (the caller must stall).
+     */
+    bool
+    allocate(Addr line_addr, std::function<void()> on_fill,
+             bool &is_primary)
+    {
+        if (Mshr *m = find(line_addr)) {
+            if (m->targets.size() >= maxTargets)
+                return false;
+            m->targets.push_back({std::move(on_fill)});
+            is_primary = false;
+            ++combinedAccesses;
+            return true;
+        }
+        for (auto &m : file) {
+            if (!m.valid) {
+                m.valid = true;
+                m.lineAddr = line_addr;
+                m.targets.clear();
+                m.targets.push_back({std::move(on_fill)});
+                is_primary = true;
+                ++primaryMisses;
+                return true;
+            }
+        }
+        ++fullStalls;
+        return false;
+    }
+
+    /**
+     * Complete the miss for @p line_addr: run every target callback
+     * in arrival order and free the MSHR.
+     */
+    void
+    complete(Addr line_addr)
+    {
+        Mshr *m = find(line_addr);
+        if (!m)
+            return;
+        // Free before running targets: a target may immediately miss
+        // on the same line again (e.g., it raced with an
+        // invalidation) and needs a free MSHR.
+        std::vector<MshrTarget> targets = std::move(m->targets);
+        m->valid = false;
+        for (auto &t : targets)
+            t.onFill();
+    }
+
+    /** @return number of in-flight misses. */
+    unsigned
+    inFlight() const
+    {
+        unsigned n = 0;
+        for (const auto &m : file)
+            n += m.valid;
+        return n;
+    }
+
+    StatSet
+    stats() const
+    {
+        StatSet s;
+        s.add("primary_misses", static_cast<double>(primaryMisses));
+        s.add("combined_accesses", static_cast<double>(combinedAccesses));
+        s.add("full_stalls", static_cast<double>(fullStalls));
+        return s;
+    }
+
+  private:
+    unsigned maxTargets;
+    std::vector<Mshr> file;
+    Counter primaryMisses = 0;
+    Counter combinedAccesses = 0;
+    Counter fullStalls = 0;
+};
+
+} // namespace svc
+
+#endif // SVC_MEM_MSHR_HH

@@ -1,0 +1,177 @@
+#include "mem/ref_spec_mem.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace svc
+{
+
+RefSpecMem::RefSpecMem(MainMemory &memory, unsigned num_pus,
+                       Cycle lat)
+    : mem(memory), latency(lat), tasks(num_pus, kNoTask),
+      states(num_pus)
+{}
+
+void
+RefSpecMem::assignTaskF(PuId pu, TaskSeq seq)
+{
+    assert(pu < tasks.size());
+    tasks[pu] = seq;
+    states[pu].seq = seq;
+    states[pu].storeLog.clear();
+    states[pu].useBeforeDef.clear();
+}
+
+std::vector<RefSpecMem::TaskState *>
+RefSpecMem::orderedTasks()
+{
+    std::vector<TaskState *> out;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        if (tasks[i] != kNoTask)
+            out.push_back(&states[i]);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TaskState *a, const TaskState *b) {
+                  return a->seq < b->seq;
+              });
+    return out;
+}
+
+std::uint64_t
+RefSpecMem::loadF(PuId pu, Addr addr, unsigned size)
+{
+    assert(tasks[pu] != kNoTask);
+    ++nLoads;
+    auto ordered = orderedTasks();
+    TaskState &self = states[pu];
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr a = addr + i;
+        std::uint8_t byte = mem.readByte(a);
+        bool from_self = false;
+        // Closest previous version: newest task <= self that stored.
+        for (auto it = ordered.rbegin(); it != ordered.rend(); ++it) {
+            TaskState *t = *it;
+            if (t->seq > self.seq)
+                continue;
+            auto sit = t->storeLog.find(a);
+            if (sit != t->storeLog.end()) {
+                byte = sit->second;
+                from_self = t == &self;
+                break;
+            }
+        }
+        if (!from_self)
+            self.useBeforeDef.insert(a);
+        v |= std::uint64_t{byte} << (8 * i);
+    }
+    return v;
+}
+
+std::vector<PuId>
+RefSpecMem::storeF(PuId pu, Addr addr, unsigned size,
+                   std::uint64_t value)
+{
+    assert(tasks[pu] != kNoTask);
+    ++nStores;
+    TaskState &self = states[pu];
+    std::vector<PuId> violators;
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr a = addr + i;
+        self.storeLog[a] = static_cast<std::uint8_t>(value >> (8 * i));
+        // Any later task that consumed this byte before we defined
+        // it observed a stale version.
+        for (PuId p = 0; p < tasks.size(); ++p) {
+            if (tasks[p] == kNoTask || states[p].seq <= self.seq)
+                continue;
+            if (states[p].useBeforeDef.count(a)) {
+                // A shielding store between us and the consumer
+                // means the consumer read the *shield's* value, not
+                // a stale one.
+                bool shielded = false;
+                for (PuId q = 0; q < tasks.size(); ++q) {
+                    if (tasks[q] == kNoTask)
+                        continue;
+                    if (states[q].seq > self.seq &&
+                        states[q].seq < states[p].seq &&
+                        states[q].storeLog.count(a)) {
+                        shielded = true;
+                        break;
+                    }
+                }
+                if (!shielded &&
+                    std::find(violators.begin(), violators.end(), p) ==
+                        violators.end()) {
+                    violators.push_back(p);
+                }
+            }
+        }
+    }
+    nViolations += violators.size();
+    return violators;
+}
+
+void
+RefSpecMem::commitTaskF(PuId pu)
+{
+    assert(tasks[pu] != kNoTask);
+    // Must be the head task.
+    for (PuId p = 0; p < tasks.size(); ++p) {
+        assert(tasks[p] == kNoTask || tasks[p] >= tasks[pu]);
+    }
+    for (const auto &[a, byte] : states[pu].storeLog)
+        mem.writeByte(a, byte);
+    tasks[pu] = kNoTask;
+    states[pu] = TaskState{};
+}
+
+void
+RefSpecMem::squashTaskF(PuId pu)
+{
+    tasks[pu] = kNoTask;
+    states[pu] = TaskState{};
+}
+
+bool
+RefSpecMem::issue(const MemReq &req, DoneFn done)
+{
+    std::uint64_t data = 0;
+    if (req.isStore) {
+        auto violators = storeF(req.pu, req.addr, req.size, req.data);
+        if (!violators.empty() && onViolation) {
+            PuId oldest = violators.front();
+            for (PuId v : violators) {
+                if (states[v].seq < states[oldest].seq)
+                    oldest = v;
+            }
+            onViolation(oldest);
+        }
+    } else {
+        data = loadF(req.pu, req.addr, req.size);
+    }
+    ++inFlight;
+    events.schedule(currentCycle + latency, [this, done, data]() {
+        --inFlight;
+        done(data);
+    });
+    return true;
+}
+
+void
+RefSpecMem::tick()
+{
+    ++currentCycle;
+    events.runDue(currentCycle);
+}
+
+StatSet
+RefSpecMem::stats() const
+{
+    StatSet s;
+    s.add("loads", static_cast<double>(nLoads));
+    s.add("stores", static_cast<double>(nStores));
+    s.add("violations", static_cast<double>(nViolations));
+    return s;
+}
+
+} // namespace svc

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Reference speculative-versioning memory: a directly-indexed,
+ * perfect-granularity implementation of Table 1 of the paper (load
+ * with closest-previous-version supply, store with use-before-def
+ * violation detection, in-order commit, squash). It has no caches,
+ * no bus and fixed 1-cycle latency.
+ *
+ * It serves two roles:
+ *  - the oracle that property tests compare the SVC and ARB
+ *    against, and
+ *  - an idealized "perfect memory" datum for the benchmarks.
+ */
+
+#ifndef SVC_MEM_REF_SPEC_MEM_HH
+#define SVC_MEM_REF_SPEC_MEM_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "mem/main_memory.hh"
+#include "mem/spec_mem.hh"
+
+namespace svc
+{
+
+/**
+ * Functional reference versioning memory. Usable standalone (the
+ * functional API below) and as a SpecMem (fixed-latency wrapper).
+ */
+class RefSpecMem : public SpecMem
+{
+  public:
+    /**
+     * @param memory architected storage
+     * @param num_pus processing units
+     * @param latency fixed completion latency in cycles
+     */
+    RefSpecMem(MainMemory &memory, unsigned num_pus,
+               Cycle latency = 1);
+
+    // ---- Functional API (used directly by property tests) ----
+
+    /** Assign task @p seq to @p pu. */
+    void assignTaskF(PuId pu, TaskSeq seq);
+
+    /** Load: supplied by the closest previous version per byte. */
+    std::uint64_t loadF(PuId pu, Addr addr, unsigned size);
+
+    /**
+     * Store; returns the PUs of later tasks that already loaded one
+     * of the written bytes (use-before-definition) and must squash.
+     */
+    std::vector<PuId> storeF(PuId pu, Addr addr, unsigned size,
+                             std::uint64_t value);
+
+    /** Commit @p pu's task: fold its version into memory. */
+    void commitTaskF(PuId pu);
+
+    /** Squash @p pu's task: discard its buffered version. */
+    void squashTaskF(PuId pu);
+
+    /** @return the task currently on @p pu, or kNoTask. */
+    TaskSeq taskOf(PuId pu) const { return tasks[pu]; }
+
+    // ---- SpecMem interface ----
+
+    void setViolationHandler(ViolationFn fn) override { onViolation = fn; }
+    void assignTask(PuId pu, TaskSeq seq) override
+    {
+        assignTaskF(pu, seq);
+    }
+    bool issue(const MemReq &req, DoneFn done) override;
+    void commitTask(PuId pu) override { commitTaskF(pu); }
+    void squashTask(PuId pu) override { squashTaskF(pu); }
+    void tick() override;
+    bool busyWithRequests() const override { return inFlight > 0; }
+    StatSet stats() const override;
+    const char *name() const override { return "perfect"; }
+
+    Counter nLoads = 0;
+    Counter nStores = 0;
+    Counter nViolations = 0;
+
+  private:
+    struct TaskState
+    {
+        TaskSeq seq = kNoTask;
+        /** Buffered speculative version: byte address -> value. */
+        std::unordered_map<Addr, std::uint8_t> storeLog;
+        /** Bytes loaded before the task defined them itself. */
+        std::set<Addr> useBeforeDef;
+    };
+
+    /** @return active task states ordered by seq. */
+    std::vector<TaskState *> orderedTasks();
+
+    MainMemory &mem;
+    Cycle latency;
+    std::vector<TaskSeq> tasks;
+    std::vector<TaskState> states;
+    ViolationFn onViolation;
+    EventQueue events;
+    Cycle currentCycle = 0;
+    unsigned inFlight = 0;
+};
+
+} // namespace svc
+
+#endif // SVC_MEM_REF_SPEC_MEM_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The speculative-memory-system interface: the contract between the
+ * multiscalar processor core (PUs, LSQs, sequencer) and any data
+ * memory system that supports speculative versioning — the SVC, the
+ * ARB baseline, or the perfect-memory oracle. Table 1 of the paper
+ * defines exactly these operations: Load, Store, Commit, Squash.
+ */
+
+#ifndef SVC_MEM_SPEC_MEM_HH
+#define SVC_MEM_SPEC_MEM_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace svc
+{
+
+/** One memory request from a PU's load/store queue. */
+struct MemReq
+{
+    PuId pu = 0;
+    bool isStore = false;
+    Addr addr = 0;
+    unsigned size = 4;
+    std::uint64_t data = 0; ///< store payload
+};
+
+/**
+ * Abstract speculative memory system. All calls are made by the
+ * processor core; completion and violation notifications flow back
+ * through callbacks. Implementations advance on tick().
+ */
+class SpecMem
+{
+  public:
+    /** Completion callback: delivers the loaded value. */
+    using DoneFn = std::function<void(std::uint64_t data)>;
+
+    /**
+     * Violation callback: @p pu's current task loaded a value that a
+     * program-order-earlier store has just overwritten; the
+     * sequencer must squash that task and all later ones.
+     */
+    using ViolationFn = std::function<void(PuId pu)>;
+
+    virtual ~SpecMem() = default;
+
+    /** Register the sequencer's violation handler. */
+    virtual void setViolationHandler(ViolationFn fn) = 0;
+
+    /** The sequencer assigned task @p seq to @p pu. */
+    virtual void assignTask(PuId pu, TaskSeq seq) = 0;
+
+    /**
+     * Issue a load or store. @return false if the port cannot accept
+     * the request this cycle (MSHRs full, structural stall) — the
+     * LSQ must retry. On acceptance @p done fires when the access
+     * completes (stores complete when globally performed).
+     */
+    virtual bool issue(const MemReq &req, DoneFn done) = 0;
+
+    /** Commit @p pu's (head) task's speculative state. */
+    virtual void commitTask(PuId pu) = 0;
+
+    /** Squash @p pu's task's speculative state. */
+    virtual void squashTask(PuId pu) = 0;
+
+    /** Advance one clock cycle. */
+    virtual void tick() = 0;
+
+    /** @return true while any request is still in flight. */
+    virtual bool busyWithRequests() const = 0;
+
+    /** Statistics snapshot. */
+    virtual StatSet stats() const = 0;
+
+    /** @return a short name for reports ("svc", "arb", ...). */
+    virtual const char *name() const = 0;
+};
+
+} // namespace svc
+
+#endif // SVC_MEM_SPEC_MEM_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bounded write-back buffer. Evicted dirty lines park here and drain
+ * to the next level (via the bus or directly to memory) in the
+ * background; a full buffer stalls further evictions. Reads must
+ * snoop the buffer so an in-flight write-back is never bypassed.
+ */
+
+#ifndef SVC_MEM_WRITEBACK_BUFFER_HH
+#define SVC_MEM_WRITEBACK_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace svc
+{
+
+/** One parked write-back: line address plus data and byte mask. */
+struct WritebackEntry
+{
+    Addr lineAddr = 0;
+    std::vector<std::uint8_t> data;
+    std::uint64_t byteMask = 0; ///< bit i set: byte i of data is dirty
+};
+
+/** FIFO write-back buffer with capacity accounting. */
+class WritebackBuffer
+{
+  public:
+    explicit WritebackBuffer(unsigned capacity) : cap(capacity) {}
+
+    bool full() const { return entries.size() >= cap; }
+    bool empty() const { return entries.empty(); }
+    std::size_t size() const { return entries.size(); }
+
+    /** Park a write-back; caller must have checked full(). */
+    void
+    push(WritebackEntry e)
+    {
+        entries.push_back(std::move(e));
+        ++pushes;
+    }
+
+    /** @return the oldest entry (buffer must be non-empty). */
+    const WritebackEntry &front() const { return entries.front(); }
+
+    /** Remove the oldest entry after it has drained. */
+    void pop() { entries.pop_front(); }
+
+    /** @return the parked entry for @p line_addr, or nullptr. */
+    const WritebackEntry *
+    find(Addr line_addr) const
+    {
+        // Newest first: a line can be parked twice; the newest wins.
+        for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+            if (it->lineAddr == line_addr)
+                return &*it;
+        }
+        return nullptr;
+    }
+
+    StatSet
+    stats() const
+    {
+        StatSet s;
+        s.add("writebacks", static_cast<double>(pushes));
+        return s;
+    }
+
+  private:
+    unsigned cap;
+    std::deque<WritebackEntry> entries;
+    Counter pushes = 0;
+};
+
+} // namespace svc
+
+#endif // SVC_MEM_WRITEBACK_BUFFER_HH

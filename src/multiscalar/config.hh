@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Configuration of the multiscalar processor model, with defaults
+ * matching the paper's evaluation setup (section 4.2): 4 PUs, each
+ * 2-issue out-of-order with 2 simple integer FUs, 1 complex integer
+ * FU, 1 FP FU, 1 branch FU and 1 address unit (all pipelined);
+ * 32KB 2-way I-caches (1-cycle hit, 10-cycle miss); a path-based
+ * task predictor with a 15-bit path register, 32K-entry target and
+ * address tables and a 64-entry RAS; 1-cycle inter-PU register
+ * forwarding at 2 registers per cycle per hop.
+ */
+
+#ifndef SVC_MULTISCALAR_CONFIG_HH
+#define SVC_MULTISCALAR_CONFIG_HH
+
+#include <cstddef>
+
+#include "common/types.hh"
+
+namespace svc
+{
+
+/** Per-PU pipeline parameters. */
+struct PuConfig
+{
+    unsigned fetchWidth = 2;
+    unsigned issueWidth = 2;
+    unsigned robEntries = 16;
+    unsigned simpleIntFus = 2;
+    unsigned complexIntFus = 1;
+    unsigned fpFus = 1;
+    unsigned branchFus = 1;
+    unsigned addrFus = 1;
+    Cycle mulLatency = 4;
+    Cycle divLatency = 12;
+    Cycle fpLatency = 4;
+    Cycle fpDivLatency = 12;
+};
+
+/** Per-PU instruction cache parameters. */
+struct ICacheConfig
+{
+    std::size_t sizeBytes = 32 * 1024;
+    unsigned assoc = 2;
+    unsigned lineBytes = 16;
+    Cycle hitLatency = 1;
+    Cycle missPenalty = 10;
+};
+
+/** Task predictor parameters (paper section 4.2). */
+struct PredictorConfig
+{
+    unsigned descCacheEntries = 1024;
+    unsigned descCacheAssoc = 2;
+    unsigned tableEntries = 32 * 1024; ///< target & address tables
+    unsigned pathBits = 15;
+    unsigned pathHistory = 7;
+    unsigned rasEntries = 64;
+    Cycle descMissPenalty = 10; ///< task-descriptor fetch stall
+};
+
+/** Whole-processor configuration. */
+struct MultiscalarConfig
+{
+    unsigned numPus = 4;
+    PuConfig pu;
+    ICacheConfig icache;
+    PredictorConfig predictor;
+    Cycle regHopLatency = 1;   ///< inter-PU register latency per hop
+    unsigned regBandwidth = 2; ///< registers per cycle per link
+    /** Stop after this many committed instructions. */
+    std::uint64_t maxInstructions = 1ull << 62;
+    /** Hard wall on simulated cycles (runaway guard). */
+    Cycle maxCycles = 1ull << 62;
+};
+
+} // namespace svc
+
+#endif // SVC_MULTISCALAR_CONFIG_HH

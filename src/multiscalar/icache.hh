@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Per-PU instruction cache model. Instruction *content* always
+ * comes from the immutable Program image (code is read-only in this
+ * reproduction), so the I-cache tracks only tags/timing: a fetch
+ * either hits (1 cycle) or stalls the front end for the miss
+ * penalty while the line is installed.
+ */
+
+#ifndef SVC_MULTISCALAR_ICACHE_HH
+#define SVC_MULTISCALAR_ICACHE_HH
+
+#include "common/stats.hh"
+#include "mem/cache_storage.hh"
+#include "multiscalar/config.hh"
+
+namespace svc
+{
+
+/** Timing-only instruction cache. */
+class ICache
+{
+  public:
+    explicit ICache(const ICacheConfig &config)
+        : cfg(config),
+          tags(config.sizeBytes, config.assoc, config.lineBytes)
+    {}
+
+    /**
+     * Access the line containing @p pc.
+     * @return the fetch latency in cycles (hit or miss+fill).
+     */
+    Cycle
+    access(Addr pc)
+    {
+        ++accesses;
+        const Addr line_addr = tags.lineAddr(pc);
+        if (auto *f = tags.find(line_addr)) {
+            tags.touch(*f);
+            return cfg.hitLatency;
+        }
+        ++misses;
+        auto *victim = tags.pickVictim(
+            line_addr, [](const auto &) { return true; });
+        tags.install(*victim, line_addr);
+        return cfg.hitLatency + cfg.missPenalty;
+    }
+
+    /** @return true if @p pc would hit (no state change). */
+    bool
+    wouldHit(Addr pc) const
+    {
+        return tags.find(tags.lineAddr(pc)) != nullptr;
+    }
+
+    StatSet
+    stats() const
+    {
+        StatSet s;
+        s.add("accesses", static_cast<double>(accesses));
+        s.add("misses", static_cast<double>(misses));
+        return s;
+    }
+
+    Counter accesses = 0;
+    Counter misses = 0;
+
+  private:
+    struct Empty
+    {};
+
+    ICacheConfig cfg;
+    CacheStorage<Empty> tags;
+};
+
+} // namespace svc
+
+#endif // SVC_MULTISCALAR_ICACHE_HH

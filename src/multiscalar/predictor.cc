@@ -1,0 +1,177 @@
+#include "multiscalar/predictor.hh"
+
+#include "common/intmath.hh"
+
+namespace svc
+{
+
+TaskPredictor::TaskPredictor(const PredictorConfig &config)
+    : cfg(config), targetTable(config.tableEntries),
+      addressTable(config.tableEntries),
+      descCache(static_cast<std::size_t>(config.descCacheEntries) * 8,
+                config.descCacheAssoc, 8)
+{}
+
+std::uint32_t
+TaskPredictor::fold(Addr addr) const
+{
+    std::uint64_t v = addr >> 2;
+    std::uint32_t out = 0;
+    while (v != 0) {
+        out ^= static_cast<std::uint32_t>(v & mask(cfg.pathBits));
+        v >>= cfg.pathBits;
+    }
+    return out;
+}
+
+void
+TaskPredictor::advancePath(Addr addr)
+{
+    // Shift in two bits per task so roughly pathHistory tasks fit
+    // in the path register, then mix in the folded address.
+    const unsigned shift =
+        std::max(1u, cfg.pathBits / cfg.pathHistory);
+    pathReg = ((pathReg << shift) ^ fold(addr)) &
+              static_cast<std::uint32_t>(mask(cfg.pathBits));
+}
+
+Cycle
+TaskPredictor::descAccess(Addr entry)
+{
+    const Addr line = descCache.lineAddr(entry);
+    if (auto *f = descCache.find(line)) {
+        descCache.touch(*f);
+        return 0;
+    }
+    ++nDescMisses;
+    auto *victim =
+        descCache.pickVictim(line, [](const auto &) { return true; });
+    descCache.install(*victim, line);
+    return cfg.descMissPenalty;
+}
+
+TaskPrediction
+TaskPredictor::predict(const isa::TaskDescriptor &desc)
+{
+    TaskPrediction p;
+    p.pathBefore = pathReg;
+    p.index = pathReg % cfg.tableEntries;
+    p.latency = descAccess(desc.entry);
+    ++nPredictions;
+
+    const TargetEntry &te = targetTable[p.index];
+    const AddressEntry &ae = addressTable[p.index];
+
+    // Candidate list: static targets, then (for tasks that may
+    // return) the RAS top as the last candidate.
+    const std::size_t num_static = desc.targets.size();
+
+    if (te.counter >= 2) {
+        if (te.target < num_static) {
+            p.next = desc.targets[te.target];
+        } else if (desc.mayReturn && !ras.empty()) {
+            p.next = ras.back();
+            ras.pop_back();
+            p.usedRas = true;
+            ++nRasUses;
+        }
+    }
+    if (p.next == kNoAddr && ae.counter >= 2)
+        p.next = ae.addr;
+    if (p.next == kNoAddr && desc.mayReturn && !ras.empty() &&
+        num_static == 0) {
+        p.next = ras.back();
+        ras.pop_back();
+        p.usedRas = true;
+        ++nRasUses;
+    }
+    if (p.next == kNoAddr && num_static > 0)
+        p.next = desc.targets[0];
+
+    if (p.next != kNoAddr)
+        advancePath(p.next);
+    return p;
+}
+
+void
+TaskPredictor::resolve(const TaskPrediction &prediction,
+                       const isa::TaskDescriptor &desc, Addr actual)
+{
+    const bool correct = prediction.next == actual;
+    if (correct)
+        ++nCorrect;
+    else
+        ++nMispredicts;
+
+    TargetEntry &te = targetTable[prediction.index];
+    AddressEntry &ae = addressTable[prediction.index];
+
+    // Which static target (if any) was the right answer?
+    int actual_idx = -1;
+    for (std::size_t i = 0; i < desc.targets.size(); ++i) {
+        if (desc.targets[i] == actual) {
+            actual_idx = static_cast<int>(i);
+            break;
+        }
+    }
+
+    if (actual_idx >= 0) {
+        if (te.target == actual_idx) {
+            if (te.counter < 3)
+                ++te.counter;
+        } else if (te.counter > 0) {
+            --te.counter;
+        } else {
+            te.target = static_cast<std::uint8_t>(actual_idx);
+            te.counter = 1;
+        }
+    } else {
+        // Not a static target: train the address table.
+        if (te.counter > 0)
+            --te.counter;
+        if (ae.addr == actual) {
+            if (ae.counter < 3)
+                ++ae.counter;
+        } else if (ae.counter > 0) {
+            --ae.counter;
+        } else {
+            ae.addr = actual;
+            ae.counter = 1;
+        }
+    }
+}
+
+void
+TaskPredictor::pushRas(Addr addr)
+{
+    if (ras.size() >= cfg.rasEntries)
+        ras.erase(ras.begin());
+    ras.push_back(addr);
+}
+
+Addr
+TaskPredictor::popRas()
+{
+    if (ras.empty())
+        return kNoAddr;
+    const Addr a = ras.back();
+    ras.pop_back();
+    return a;
+}
+
+StatSet
+TaskPredictor::stats() const
+{
+    StatSet s;
+    s.add("predictions", static_cast<double>(nPredictions));
+    s.add("correct", static_cast<double>(nCorrect));
+    s.add("mispredicts", static_cast<double>(nMispredicts));
+    s.add("desc_misses", static_cast<double>(nDescMisses));
+    s.add("ras_uses", static_cast<double>(nRasUses));
+    const double resolved = static_cast<double>(nCorrect + nMispredicts);
+    s.add("accuracy",
+          resolved == 0 ? 0.0 : static_cast<double>(nCorrect) / resolved);
+    return s;
+}
+
+} // namespace svc

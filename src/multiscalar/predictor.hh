@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Path-based task-level control-flow predictor (Jacobson et al.,
+ * cited as [7] by the paper; configuration from section 4.2). The
+ * higher-level control unit predicts the next task among up to four
+ * descriptor targets using a target table indexed by a 15-bit
+ * XOR-folded path register, with an address table for targets not
+ * captured statically and a return address stack for tasks that may
+ * exit through returns. A 1024-entry 2-way task-descriptor cache
+ * models descriptor fetch latency.
+ */
+
+#ifndef SVC_MULTISCALAR_PREDICTOR_HH
+#define SVC_MULTISCALAR_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "isa/program.hh"
+#include "mem/cache_storage.hh"
+#include "multiscalar/config.hh"
+
+namespace svc
+{
+
+/** One prediction, carrying the state needed to train later. */
+struct TaskPrediction
+{
+    /** Predicted next-task entry (kNoAddr if unpredictable). */
+    Addr next = kNoAddr;
+    /** Path register value *before* this prediction (restored on
+     *  squash). */
+    std::uint32_t pathBefore = 0;
+    /** Table index used (for training at resolution). */
+    std::uint32_t index = 0;
+    /** Descriptor-cache & table access latency. */
+    Cycle latency = 0;
+    /** The RAS supplied the target. */
+    bool usedRas = false;
+};
+
+/** The task predictor. */
+class TaskPredictor
+{
+  public:
+    explicit TaskPredictor(const PredictorConfig &config);
+
+    /**
+     * Predict the successor of the task described by @p desc.
+     * Advances the path register speculatively.
+     */
+    TaskPrediction predict(const isa::TaskDescriptor &desc);
+
+    /**
+     * Train with the resolved outcome of @p prediction for the task
+     * @p desc: @p actual is the real next-task entry.
+     */
+    void resolve(const TaskPrediction &prediction,
+                 const isa::TaskDescriptor &desc, Addr actual);
+
+    /** Restore the path register after a squash. */
+    void restorePath(std::uint32_t path) { pathReg = path; }
+
+    /** Fold a known (non-predicted) task entry into the path. */
+    void notePath(Addr entry) { advancePath(entry); }
+
+    std::uint32_t path() const { return pathReg; }
+
+    /** Push a task-level return target. */
+    void pushRas(Addr addr);
+
+    /** Pop the task-level return target (kNoAddr if empty). */
+    Addr popRas();
+
+    StatSet stats() const;
+
+    Counter nPredictions = 0;
+    Counter nCorrect = 0;
+    Counter nMispredicts = 0;
+    Counter nDescMisses = 0;
+    Counter nRasUses = 0;
+
+  private:
+    struct TargetEntry
+    {
+        std::uint8_t counter = 0; ///< 2-bit confidence
+        std::uint8_t target = 0;  ///< 2-bit target index
+    };
+
+    struct AddressEntry
+    {
+        std::uint8_t counter = 0; ///< 2-bit confidence
+        Addr addr = 0;
+    };
+
+    struct Empty
+    {};
+
+    /** Fold a task address into pathBits bits. */
+    std::uint32_t fold(Addr addr) const;
+
+  public:
+    /** Advance the path register with @p addr. */
+    void advancePath(Addr addr);
+
+  private:
+
+    /** Descriptor cache lookup (timing only). */
+    Cycle descAccess(Addr entry);
+
+    PredictorConfig cfg;
+    std::uint32_t pathReg = 0;
+    std::vector<TargetEntry> targetTable;
+    std::vector<AddressEntry> addressTable;
+    std::vector<Addr> ras;
+    CacheStorage<Empty> descCache;
+};
+
+} // namespace svc
+
+#endif // SVC_MULTISCALAR_PREDICTOR_HH

@@ -1,0 +1,270 @@
+#include "multiscalar/processor.hh"
+
+#include <cassert>
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace svc
+{
+
+Processor::Processor(const MultiscalarConfig &config,
+                     const isa::Program &program, SpecMem &memory)
+    : cfg(config), prog(program), mem(memory),
+      predictor(config.predictor),
+      ring(config.numPus, config.regHopLatency, config.regBandwidth)
+{
+    if (!prog.isTaskEntry(prog.entry))
+        fatal("multiscalar: program entry 0x%llx is not a task entry",
+              static_cast<unsigned long long>(prog.entry));
+    icaches.reserve(cfg.numPus);
+    for (unsigned i = 0; i < cfg.numPus; ++i)
+        icaches.emplace_back(cfg.icache);
+    for (unsigned i = 0; i < cfg.numPus; ++i) {
+        pus.push_back(std::make_unique<Pu>(i, cfg.pu, prog,
+                                           icaches[i], ring, mem));
+    }
+    mem.setViolationHandler([this](PuId pu) {
+        pendingViolations.push_back(pu);
+    });
+    nextEntry = prog.entry;
+    predictor.notePath(prog.entry);
+}
+
+void
+Processor::assignTasks()
+{
+    while (!finished && nextEntry != kNoAddr &&
+           currentCycle >= nextAssignAt) {
+        // Tasks go around the PU ring in order so the forwarding
+        // distance between consecutive tasks is one hop.
+        PuId pu;
+        if (active.empty()) {
+            pu = 0;
+        } else {
+            pu = (active.back().pu + 1) % cfg.numPus;
+        }
+        if (!pus[pu]->idle())
+            return;
+
+        ActiveTask task;
+        task.seq = nextSeq++;
+        task.entry = nextEntry;
+        task.pu = pu;
+        task.pathBefore = predictor.path();
+
+        const isa::TaskDescriptor &desc = prog.taskAt(task.entry);
+        mem.assignTask(pu, task.seq);
+        ring.startTask(pu, task.seq, desc.createMask);
+        pus[pu]->startTask(task.seq, task.entry);
+
+        task.prediction = predictor.predict(desc);
+        task.predictionMade = true;
+        nextEntry = task.prediction.next;
+        nextAssignAt = currentCycle + 1 + task.prediction.latency;
+        active.push_back(task);
+    }
+}
+
+void
+Processor::squashFromIndex(std::size_t idx, bool reassign_first)
+{
+    assert(idx < active.size());
+    const Addr first_entry = active[idx].entry;
+    const TaskSeq first_seq = active[idx].seq;
+    const std::uint32_t first_path = active[idx].pathBefore;
+    for (std::size_t i = active.size(); i-- > idx;) {
+        const ActiveTask &t = active[i];
+        pus[t.pu]->squash();
+        mem.squashTask(t.pu);
+        ring.squashTask(t.pu);
+        ++nSquashedTasks;
+    }
+    active.erase(active.begin() + idx, active.end());
+    nextSeq = first_seq;
+    if (reassign_first) {
+        nextEntry = first_entry;
+        predictor.restorePath(first_path);
+    }
+    nextAssignAt = currentCycle + 1;
+}
+
+void
+Processor::handleViolation(PuId pu)
+{
+    for (std::size_t i = 0; i < active.size(); ++i) {
+        if (active[i].pu == pu && !pus[pu]->idle()) {
+            ++nViolationSquashes;
+            squashFromIndex(i, true);
+            return;
+        }
+    }
+}
+
+void
+Processor::resolveAndCommit()
+{
+    // Resolve successor predictions of finished tasks, oldest
+    // first; a mispredict squashes the wrong successors.
+    for (std::size_t i = 0; i < active.size(); ++i) {
+        ActiveTask &t = active[i];
+        if (t.resolved || !pus[t.pu]->finished())
+            continue;
+        const Addr actual = pus[t.pu]->actualNext();
+        const isa::TaskDescriptor &desc = prog.taskAt(t.entry);
+        predictor.resolve(t.prediction, desc, actual);
+
+        if (i + 1 < active.size()) {
+            if (active[i + 1].entry == actual) {
+                t.resolved = true;
+                continue;
+            }
+            // Task misprediction: discard the wrong successors and
+            // resume sequencing from the real target (figure 1).
+            ++nTaskMispredicts;
+            predictor.restorePath(t.prediction.pathBefore);
+            squashFromIndex(i + 1, false);
+            nextEntry = actual;
+            if (actual != kNoAddr)
+                predictor.notePath(actual);
+            t.resolved = true;
+            return; // indices beyond i are invalid now
+        }
+
+        // No successor assigned yet.
+        if (t.prediction.next != actual) {
+            predictor.restorePath(t.prediction.pathBefore);
+            nextEntry = actual;
+            if (actual != kNoAddr)
+                predictor.notePath(actual);
+            if (t.prediction.next != kNoAddr)
+                ++nTaskMispredicts;
+        }
+        t.resolved = true;
+    }
+
+    // Commit the head task (one per cycle).
+    if (!active.empty()) {
+        ActiveTask &head = active.front();
+        if (pus[head.pu]->finished() && head.resolved) {
+            nCommittedInstructions += pus[head.pu]->taskRetired();
+            ++nCommittedTasks;
+            const bool halted = pus[head.pu]->haltedTask();
+            mem.commitTask(head.pu);
+            ring.commitTask(head.pu);
+            pus[head.pu]->release();
+            active.pop_front();
+            if (halted ||
+                nCommittedInstructions >= cfg.maxInstructions) {
+                finished = true;
+                // Discard any speculative successors.
+                if (!active.empty())
+                    squashFromIndex(0, false);
+            }
+        }
+    }
+}
+
+void
+Processor::tick()
+{
+    ++currentCycle;
+    for (auto &pu : pus)
+        pu->tick(currentCycle);
+    mem.tick();
+    ring.tick();
+    // Memory-dependence violations detected this cycle (deferred to
+    // avoid re-entering a PU mid-tick).
+    while (!pendingViolations.empty()) {
+        const PuId pu = pendingViolations.front();
+        pendingViolations.pop_front();
+        handleViolation(pu);
+    }
+    resolveAndCommit();
+    assignTasks();
+}
+
+RunStats
+Processor::run()
+{
+    Cycle last_commit_check = 0;
+    std::uint64_t last_committed = 0;
+    while (!finished && currentCycle < cfg.maxCycles) {
+        tick();
+        // Forward-progress watchdog.
+        if (currentCycle - last_commit_check >= 1000000) {
+            if (nCommittedTasks == last_committed)
+                panic("multiscalar: no task committed in 1M cycles "
+                      "(cycle %llu)",
+                      static_cast<unsigned long long>(currentCycle));
+            last_committed = nCommittedTasks;
+            last_commit_check = currentCycle;
+        }
+    }
+
+    RunStats rs;
+    rs.cycles = currentCycle;
+    rs.committedInstructions = nCommittedInstructions;
+    rs.committedTasks = nCommittedTasks;
+    rs.taskMispredicts = nTaskMispredicts;
+    rs.violationSquashes = nViolationSquashes;
+    rs.halted = finished;
+    rs.ipc = currentCycle == 0
+                 ? 0.0
+                 : static_cast<double>(nCommittedInstructions) /
+                       static_cast<double>(currentCycle);
+    rs.finalRegs = ring.archRegs();
+    return rs;
+}
+
+void
+Processor::debugDump() const
+{
+    std::fprintf(stderr,
+                 "cycle %llu nextEntry=%llx nextSeq=%llu "
+                 "nextAssignAt=%llu finished=%d\n",
+                 (unsigned long long)currentCycle,
+                 (unsigned long long)nextEntry,
+                 (unsigned long long)nextSeq,
+                 (unsigned long long)nextAssignAt, finished);
+    for (const auto &t : active) {
+        std::fprintf(stderr,
+                     "  task seq=%llu entry=%llx pu=%u finished=%d "
+                     "resolved=%d predNext=%llx idle=%d\n",
+                     (unsigned long long)t.seq,
+                     (unsigned long long)t.entry, t.pu,
+                     pus[t.pu]->finished(), t.resolved,
+                     (unsigned long long)t.prediction.next,
+                     pus[t.pu]->idle());
+    }
+    for (PuId p = 0; p < cfg.numPus; ++p)
+        pus[p]->debugDump();
+}
+
+StatSet
+Processor::stats() const
+{
+    StatSet s;
+    s.add("cycles", static_cast<double>(currentCycle));
+    s.add("committed_instructions",
+          static_cast<double>(nCommittedInstructions));
+    s.add("committed_tasks", static_cast<double>(nCommittedTasks));
+    s.add("task_mispredicts", static_cast<double>(nTaskMispredicts));
+    s.add("violation_squashes",
+          static_cast<double>(nViolationSquashes));
+    s.add("squashed_tasks", static_cast<double>(nSquashedTasks));
+    s.add("ipc", currentCycle == 0
+                     ? 0.0
+                     : static_cast<double>(nCommittedInstructions) /
+                           static_cast<double>(currentCycle));
+    s.merge("predictor", predictor.stats());
+    s.merge("ring", ring.stats());
+    for (unsigned i = 0; i < pus.size(); ++i) {
+        s.merge("pu" + std::to_string(i), pus[i]->stats());
+        s.merge("icache" + std::to_string(i), icaches[i].stats());
+    }
+    return s;
+}
+
+} // namespace svc

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The multiscalar processor: a higher-level control unit (the
+ * sequencer) predicts the task-level control flow, dispatches tasks
+ * onto free PUs, validates predictions when tasks finish, commits
+ * the head task (memory commit + architectural register update) and
+ * squashes on task mispredictions or memory-dependence violations
+ * reported by the speculative memory system.
+ *
+ * The processor is generic over the memory system (SpecMem): the
+ * SVC, the ARB, or the perfect-memory oracle plug in unchanged —
+ * exactly the experimental setup of the paper's section 4.
+ */
+
+#ifndef SVC_MULTISCALAR_PROCESSOR_HH
+#define SVC_MULTISCALAR_PROCESSOR_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "isa/program.hh"
+#include "mem/spec_mem.hh"
+#include "multiscalar/config.hh"
+#include "multiscalar/icache.hh"
+#include "multiscalar/predictor.hh"
+#include "multiscalar/pu.hh"
+#include "multiscalar/regring.hh"
+
+namespace svc
+{
+
+/** Result of a whole-program multiscalar run. */
+struct RunStats
+{
+    Cycle cycles = 0;
+    std::uint64_t committedInstructions = 0;
+    std::uint64_t committedTasks = 0;
+    std::uint64_t taskMispredicts = 0;
+    std::uint64_t violationSquashes = 0;
+    bool halted = false;
+    double ipc = 0.0;
+    RegisterRing::RegArray finalRegs{};
+};
+
+/** The multiscalar processor model. */
+class Processor
+{
+  public:
+    /**
+     * @param program task-annotated program (must start at a task
+     *        entry)
+     * @param memory the speculative data memory system
+     */
+    Processor(const MultiscalarConfig &config,
+              const isa::Program &program, SpecMem &memory);
+
+    /** Run to HALT (or the configured instruction/cycle limit). */
+    RunStats run();
+
+    /** Advance a single cycle (fine-grained test control). */
+    void tick();
+
+    /** @return true once the halt task has committed. */
+    bool done() const { return finished; }
+
+    Cycle now() const { return currentCycle; }
+    std::uint64_t committedInstructions() const
+    {
+        return nCommittedInstructions;
+    }
+
+    const TaskPredictor &taskPredictor() const { return predictor; }
+    const RegisterRing &registerRing() const { return ring; }
+
+    StatSet stats() const;
+
+    /** Print sequencer and PU state (deadlock diagnostics). */
+    void debugDump() const;
+
+    Counter nCommittedTasks = 0;
+    Counter nTaskMispredicts = 0;
+    Counter nViolationSquashes = 0;
+    Counter nSquashedTasks = 0;
+
+  private:
+    /** One active (assigned) task. */
+    struct ActiveTask
+    {
+        TaskSeq seq = kNoTask;
+        Addr entry = 0;
+        PuId pu = kNoPu;
+        /** Path register value before this task was sequenced. */
+        std::uint32_t pathBefore = 0;
+        /** Prediction that selected this task's *successor*. */
+        TaskPrediction prediction;
+        bool predictionMade = false;
+        bool resolved = false; ///< successor prediction validated
+        Cycle dispatchReadyAt = 0;
+    };
+
+    void assignTasks();
+    void resolveAndCommit();
+    void squashFromIndex(std::size_t idx, bool reassign_first);
+    void handleViolation(PuId pu);
+
+    MultiscalarConfig cfg;
+    const isa::Program &prog;
+    SpecMem &mem;
+    TaskPredictor predictor;
+    RegisterRing ring;
+    std::vector<ICache> icaches;
+    std::vector<std::unique_ptr<Pu>> pus;
+
+    std::deque<ActiveTask> active; ///< oldest first
+    std::deque<PuId> pendingViolations;
+    TaskSeq nextSeq = 0;
+    Addr nextEntry = kNoAddr; ///< next task to sequence
+    Cycle nextAssignAt = 0;   ///< dispatch throttle (1/cycle +
+                              ///< predictor latency)
+    bool finished = false;
+    Cycle currentCycle = 0;
+    std::uint64_t nCommittedInstructions = 0;
+};
+
+} // namespace svc
+
+#endif // SVC_MULTISCALAR_PROCESSOR_HH

@@ -1,0 +1,460 @@
+#include "multiscalar/pu.hh"
+
+#include <cassert>
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace svc
+{
+
+using isa::DecodedInst;
+using isa::InstClass;
+using isa::Opcode;
+
+Pu::Pu(PuId pu_id, const PuConfig &config,
+       const isa::Program &program, ICache &ic, RegisterRing &rr,
+       SpecMem &memory)
+    : id(pu_id), cfg(config), prog(program), icache(ic), ring(rr),
+      mem(memory)
+{}
+
+void
+Pu::startTask(TaskSeq task_seq, Addr entry)
+{
+    busy = true;
+    taskDone = false;
+    sawHalt = false;
+    seq = task_seq;
+    taskEntry = entry;
+    nextTaskEntry = kNoAddr;
+    retiredThisTask = 0;
+    fetchPc = entry;
+    fetchStopped = false;
+    fetchReadyAt = 0;
+    rob.clear();
+    ++epoch;
+}
+
+void
+Pu::squash()
+{
+    rob.clear();
+    busy = false;
+    taskDone = false;
+    seq = kNoTask;
+    ++epoch;
+}
+
+bool
+Pu::readReg(isa::Reg r, std::size_t rob_limit,
+            std::uint32_t &value) const
+{
+    if (r == isa::kRegZero) {
+        value = 0;
+        return true;
+    }
+    // Bypass from the newest older ROB writer.
+    for (std::size_t i = rob_limit; i-- > 0;) {
+        const RobEntry &e = rob[i];
+        if (e.inst.writesRd() && e.inst.destReg() == r) {
+            if (e.state == EState::Done) {
+                value = e.result;
+                return true;
+            }
+            return false;
+        }
+    }
+    if (!ring.regReady(id, r))
+        return false;
+    value = ring.regValue(id, r);
+    return true;
+}
+
+void
+Pu::doRetire(Cycle)
+{
+    for (unsigned n = 0; n < cfg.issueWidth && !rob.empty(); ++n) {
+        RobEntry &head = rob.front();
+        if (head.state != EState::Done)
+            return;
+        // Apply architectural effects.
+        if (head.inst.writesRd())
+            ring.setLocal(id, head.inst.destReg(), head.result);
+        auto rel = prog.releaseMask.find(head.pc);
+        if (rel != prog.releaseMask.end()) {
+            for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+                if (rel->second & (1u << r))
+                    ring.releaseReg(id, static_cast<isa::Reg>(r));
+            }
+        }
+        ++retiredThisTask;
+        ++totalRetired;
+
+        if (head.inst.cls == InstClass::Halt) {
+            endTask(kNoAddr, true);
+            return;
+        }
+        if (prog.isTaskEntry(head.nextPc)) {
+            endTask(head.nextPc, false);
+            return;
+        }
+        rob.pop_front();
+    }
+}
+
+void
+Pu::endTask(Addr next, bool halted)
+{
+    rob.clear();
+    taskDone = true;
+    sawHalt = halted;
+    nextTaskEntry = next;
+    fetchStopped = true;
+    ring.finishTask(id);
+}
+
+void
+Pu::doComplete(Cycle now)
+{
+    for (std::size_t i = 0; i < rob.size(); ++i) {
+        RobEntry &e = rob[i];
+        if (e.state != EState::Executing || e.readyAt > now)
+            continue;
+        const bool is_mem = e.inst.cls == InstClass::Load ||
+                            e.inst.cls == InstClass::Store;
+        if (is_mem) {
+            e.state = EState::WaitMem; // address generation done
+            continue;
+        }
+        e.state = EState::Done;
+    }
+}
+
+void
+Pu::flushYounger(std::size_t keep)
+{
+    while (rob.size() > keep + 1)
+        rob.pop_back();
+}
+
+void
+Pu::doIssue(Cycle now)
+{
+    unsigned issued = 0;
+    unsigned simple_used = 0, complex_used = 0, fp_used = 0,
+             branch_used = 0, addr_used = 0;
+
+    for (std::size_t i = 0;
+         i < rob.size() && issued < cfg.issueWidth; ++i) {
+        RobEntry &e = rob[i];
+        if (e.state != EState::WaitOps)
+            continue;
+
+        // FU port availability.
+        Cycle latency = 1;
+        switch (e.inst.cls) {
+          case InstClass::IntSimple:
+            if (simple_used >= cfg.simpleIntFus)
+                continue;
+            break;
+          case InstClass::IntComplex:
+            if (complex_used >= cfg.complexIntFus)
+                continue;
+            latency = e.inst.op == Opcode::MUL ? cfg.mulLatency
+                                               : cfg.divLatency;
+            break;
+          case InstClass::Float:
+            if (fp_used >= cfg.fpFus)
+                continue;
+            latency = e.inst.op == Opcode::FDIV ? cfg.fpDivLatency
+                                                : cfg.fpLatency;
+            break;
+          case InstClass::Branch:
+          case InstClass::Jump:
+            if (branch_used >= cfg.branchFus)
+                continue;
+            break;
+          case InstClass::Load:
+          case InstClass::Store:
+            if (addr_used >= cfg.addrFus)
+                continue;
+            break;
+          case InstClass::Nop:
+          case InstClass::Halt:
+            break;
+        }
+
+        // Operand readiness.
+        std::uint32_t v1 = 0, v2 = 0, vd = 0;
+        if (e.inst.readsRs1() && !readReg(e.inst.rs1, i, v1))
+            continue;
+        if (e.inst.readsRs2() && !readReg(e.inst.rs2, i, v2))
+            continue;
+        if (e.inst.readsRdAsSource() && !readReg(e.inst.rd, i, vd))
+            continue;
+
+        // Execute.
+        ++issued;
+        e.readyAt = now + latency;
+        e.state = EState::Executing;
+        switch (e.inst.cls) {
+          case InstClass::Nop:
+          case InstClass::Halt:
+            e.nextPc = e.pc + 4;
+            break;
+          case InstClass::IntSimple:
+            ++simple_used;
+            e.result = aluResult(e.inst, v1, v2);
+            e.nextPc = e.pc + 4;
+            break;
+          case InstClass::IntComplex:
+            ++complex_used;
+            e.result = aluResult(e.inst, v1, v2);
+            e.nextPc = e.pc + 4;
+            break;
+          case InstClass::Float:
+            ++fp_used;
+            e.result = aluResult(e.inst, v1, v2);
+            e.nextPc = e.pc + 4;
+            break;
+          case InstClass::Branch: {
+            ++branch_used;
+            const bool taken = isa::branchTaken(e.inst, vd, v1);
+            e.nextPc =
+                taken ? e.pc + 4 +
+                            4 * static_cast<std::int64_t>(e.inst.imm)
+                      : e.pc + 4;
+            break;
+          }
+          case InstClass::Jump:
+            ++branch_used;
+            if (e.inst.op == Opcode::JALR) {
+                e.nextPc = v1;
+                e.result = e.pc + 4;
+            } else {
+                e.nextPc = e.pc + 4 +
+                           4 * static_cast<std::int64_t>(e.inst.imm);
+                if (e.inst.op == Opcode::JAL)
+                    e.result = e.pc + 4;
+            }
+            break;
+          case InstClass::Load:
+          case InstClass::Store:
+            ++addr_used;
+            e.effAddr =
+                v1 + static_cast<std::int64_t>(e.inst.imm);
+            e.storeData = vd;
+            e.nextPc = e.pc + 4;
+            break;
+        }
+
+        // Control resolution: if fetch followed a different path,
+        // flush the wrong-path entries and redirect.
+        if (e.isCtrl) {
+            e.ctrlResolved = true;
+            if (e.nextPc != e.assumedNext) {
+                if (e.inst.cls == InstClass::Branch ||
+                    e.inst.op == Opcode::JALR) {
+                    ++branchMispredicts;
+                }
+                flushYounger(i);
+                if (prog.isTaskEntry(e.nextPc)) {
+                    fetchStopped = true;
+                } else {
+                    fetchPc = e.nextPc;
+                    fetchStopped = false;
+                    fetchReadyAt = now + 1;
+                }
+                break; // ROB iterators past i are gone
+            }
+        }
+    }
+}
+
+void
+Pu::doMemIssue(Cycle now)
+{
+    (void)now;
+    // Strict program order among memory operations: find the oldest
+    // memory entry that has not been sent; it may go only if it has
+    // finished address generation.
+    for (std::size_t i = 0; i < rob.size(); ++i) {
+        RobEntry &e = rob[i];
+        const bool is_mem = e.inst.cls == InstClass::Load ||
+                            e.inst.cls == InstClass::Store;
+        if (!is_mem)
+            continue;
+        if (e.state == EState::MemIssued || e.state == EState::Done)
+            continue;
+        if (e.state != EState::WaitMem)
+            return; // older memory op not ready: preserve order
+        // Same-address ordering: an access must not bypass an
+        // older in-flight access to overlapping bytes.
+        const Addr lo = e.effAddr;
+        const Addr hi = e.effAddr + isa::memAccessSize(e.inst.op);
+        for (std::size_t j = 0; j < i; ++j) {
+            const RobEntry &o = rob[j];
+            if (o.state != EState::MemIssued)
+                continue;
+            const Addr olo = o.effAddr;
+            const Addr ohi =
+                o.effAddr + isa::memAccessSize(o.inst.op);
+            if (lo < ohi && olo < hi)
+                return;
+        }
+        const bool is_store = e.inst.cls == InstClass::Store;
+        if (is_store) {
+            // Never expose wrong-path stores to the versioning
+            // memory: wait for older control to resolve.
+            for (std::size_t j = 0; j < i; ++j) {
+                if (rob[j].isCtrl && !rob[j].ctrlResolved)
+                    return;
+            }
+        }
+        MemReq req;
+        req.pu = id;
+        req.isStore = is_store;
+        req.addr = e.effAddr;
+        req.size = isa::memAccessSize(e.inst.op);
+        req.data = e.storeData;
+        const std::uint64_t want_id = e.id;
+        const std::uint64_t want_epoch = epoch;
+        const Opcode op = e.inst.op;
+        const bool ok = mem.issue(
+            req, [this, want_id, want_epoch, op](std::uint64_t v) {
+                if (epoch != want_epoch)
+                    return;
+                for (auto &entry : rob) {
+                    if (entry.id != want_id)
+                        continue;
+                    std::uint32_t value =
+                        static_cast<std::uint32_t>(v);
+                    if (op == Opcode::LH) {
+                        value = static_cast<std::uint32_t>(
+                            signExtend(value & 0xffffu, 16));
+                    } else if (op == Opcode::LB) {
+                        value = static_cast<std::uint32_t>(
+                            signExtend(value & 0xffu, 8));
+                    } else if (op == Opcode::LHU) {
+                        value &= 0xffffu;
+                    } else if (op == Opcode::LBU) {
+                        value &= 0xffu;
+                    }
+                    entry.result = value;
+                    entry.state = EState::Done;
+                    return;
+                }
+            });
+        if (ok)
+            e.state = EState::MemIssued;
+        return; // one memory issue per cycle (one address unit)
+    }
+}
+
+void
+Pu::doFetch(Cycle now)
+{
+    if (fetchStopped || taskDone || !busy)
+        return;
+    if (now < fetchReadyAt) {
+        ++fetchStallCycles;
+        return;
+    }
+    for (unsigned n = 0; n < cfg.fetchWidth; ++n) {
+        if (rob.size() >= cfg.robEntries)
+            return;
+        // Task boundary: any task entry reached after the first
+        // instruction ends this task's fetch.
+        if (prog.isTaskEntry(fetchPc) &&
+            !(rob.empty() && retiredThisTask == 0 &&
+              fetchPc == taskEntry)) {
+            fetchStopped = true;
+            return;
+        }
+        const Cycle lat = icache.access(fetchPc);
+        if (lat > 1) {
+            fetchReadyAt = now + lat;
+            return;
+        }
+        RobEntry e;
+        e.id = nextEntryId++;
+        e.pc = fetchPc;
+        e.inst = isa::decode(prog.fetch(fetchPc));
+        e.isCtrl = e.inst.cls == InstClass::Branch ||
+                   e.inst.cls == InstClass::Jump;
+        // Static intra-task prediction: not-taken for branches,
+        // computed target for direct jumps, stop on indirect.
+        Addr assumed = fetchPc + 4;
+        if (e.inst.op == Opcode::J || e.inst.op == Opcode::JAL) {
+            assumed = fetchPc + 4 +
+                      4 * static_cast<std::int64_t>(e.inst.imm);
+        } else if (e.inst.op == Opcode::JALR) {
+            assumed = kNoAddr;
+        }
+        e.assumedNext = assumed;
+        rob.push_back(e);
+
+        if (e.inst.cls == InstClass::Halt ||
+            e.inst.op == Opcode::JALR) {
+            fetchStopped = true;
+            return;
+        }
+        fetchPc = assumed;
+        if (prog.isTaskEntry(fetchPc)) {
+            fetchStopped = true;
+            return;
+        }
+    }
+}
+
+void
+Pu::tick(Cycle now)
+{
+    if (!busy || taskDone)
+        return;
+    ++busyCycles;
+    doRetire(now);
+    if (taskDone)
+        return;
+    doComplete(now);
+    doMemIssue(now);
+    doIssue(now);
+    doFetch(now);
+}
+
+void
+Pu::debugDump() const
+{
+    std::fprintf(stderr,
+                 "  pu%u busy=%d done=%d fetchPc=%llx stopped=%d "
+                 "readyAt=%llu rob=%zu\n",
+                 id, busy, taskDone,
+                 (unsigned long long)fetchPc, fetchStopped,
+                 (unsigned long long)fetchReadyAt, rob.size());
+    for (const auto &e : rob) {
+        std::fprintf(stderr,
+                     "    pc=%llx op=%u state=%u rd=%u rs1=%u "
+                     "rs2=%u ea=%llx\n",
+                     (unsigned long long)e.pc,
+                     (unsigned)e.inst.op, (unsigned)e.state,
+                     e.inst.rd, e.inst.rs1, e.inst.rs2,
+                     (unsigned long long)e.effAddr);
+    }
+}
+
+StatSet
+Pu::stats() const
+{
+    StatSet s;
+    s.add("busy_cycles", static_cast<double>(busyCycles));
+    s.add("retired", static_cast<double>(totalRetired));
+    s.add("branch_mispredicts",
+          static_cast<double>(branchMispredicts));
+    s.add("fetch_stall_cycles",
+          static_cast<double>(fetchStallCycles));
+    return s;
+}
+
+} // namespace svc

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * One multiscalar processing unit: a 2-wide fetch / 2-issue
+ * out-of-order pipeline with a small ROB, the paper's FU mix
+ * (2 simple int, 1 complex int, 1 FP, 1 branch, 1 address unit,
+ * all pipelined), an in-order load/store queue feeding the
+ * speculative memory system, and task-exit detection (control
+ * reaching any task entry ends the task).
+ *
+ * Intra-task control speculation is static not-taken; mispredicted
+ * branches flush younger ROB entries. Stores issue to memory only
+ * once every older branch in the task has resolved (wrong-path
+ * stores must never reach the versioning memory); loads may issue
+ * speculatively — a wrong-path load at worst sets an L bit and
+ * causes a conservative (safe) task squash.
+ */
+
+#ifndef SVC_MULTISCALAR_PU_HH
+#define SVC_MULTISCALAR_PU_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/stats.hh"
+#include "isa/exec.hh"
+#include "isa/program.hh"
+#include "mem/spec_mem.hh"
+#include "multiscalar/config.hh"
+#include "multiscalar/icache.hh"
+#include "multiscalar/regring.hh"
+
+namespace svc
+{
+
+/** One processing unit. */
+class Pu
+{
+  public:
+    Pu(PuId id, const PuConfig &config, const isa::Program &program,
+       ICache &icache, RegisterRing &ring, SpecMem &mem);
+
+    /** Begin executing the task entered at @p entry. */
+    void startTask(TaskSeq seq, Addr entry);
+
+    /** Discard all in-flight state (task squash). */
+    void squash();
+
+    /** Free the PU after its task committed. */
+    void
+    release()
+    {
+        busy = false;
+        taskDone = false;
+        seq = kNoTask;
+    }
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** @return true when the current task has fully retired. */
+    bool finished() const { return taskDone; }
+
+    /** @return true if no task is running or pending. */
+    bool idle() const { return !busy; }
+
+    /** The actual next-task entry (valid once finished). */
+    Addr actualNext() const { return nextTaskEntry; }
+
+    /** @return true if the task ended by retiring HALT. */
+    bool haltedTask() const { return sawHalt; }
+
+    /** Instructions retired by the current task. */
+    std::uint64_t taskRetired() const { return retiredThisTask; }
+
+    /** Total busy cycles (any task resident). */
+    Counter busyCycles = 0;
+    Counter totalRetired = 0;
+    Counter branchMispredicts = 0;
+    Counter fetchStallCycles = 0;
+
+    StatSet stats() const;
+
+    /** Print pipeline state (deadlock diagnostics). */
+    void debugDump() const;
+
+  private:
+    enum class EState : std::uint8_t
+    {
+        WaitOps,   ///< waiting for source operands
+        Executing, ///< in an FU, completes at readyAt
+        WaitMem,   ///< address computed, waiting for LSQ issue
+        MemIssued, ///< accepted by the memory system
+        Done,      ///< result available, retirable
+    };
+
+    struct RobEntry
+    {
+        isa::DecodedInst inst;
+        Addr pc = 0;
+        EState state = EState::WaitOps;
+        std::uint32_t result = 0;
+        Addr effAddr = 0;
+        std::uint32_t storeData = 0;
+        bool isCtrl = false;
+        bool ctrlResolved = false;
+        Addr nextPc = 0;      ///< resolved next pc (ctrl) or pc+4
+        Addr assumedNext = 0; ///< path fetch followed after this
+        Cycle readyAt = 0;
+        std::uint64_t id = 0;
+    };
+
+    /** @return operand value if available. */
+    bool readReg(isa::Reg r, std::size_t rob_limit,
+                 std::uint32_t &value) const;
+
+    void doFetch(Cycle now);
+    void doIssue(Cycle now);
+    void doMemIssue(Cycle now);
+    void doComplete(Cycle now);
+    void doRetire(Cycle now);
+
+    /** Flush ROB entries younger than index @p keep. */
+    void flushYounger(std::size_t keep);
+
+    /** End the task: @p next is the entered task (or halt). */
+    void endTask(Addr next, bool halted);
+
+    PuId id;
+    PuConfig cfg;
+    const isa::Program &prog;
+    ICache &icache;
+    RegisterRing &ring;
+    SpecMem &mem;
+
+    bool busy = false;
+    bool taskDone = false;
+    bool sawHalt = false;
+    TaskSeq seq = kNoTask;
+    Addr taskEntry = 0;
+    Addr nextTaskEntry = kNoAddr;
+    std::uint64_t retiredThisTask = 0;
+
+    Addr fetchPc = 0;
+    bool fetchStopped = false; ///< at task boundary or indirect jump
+    Cycle fetchReadyAt = 0;    ///< icache miss stall
+    std::deque<RobEntry> rob;
+    std::uint64_t nextEntryId = 1;
+    std::uint64_t epoch = 0; ///< bumped on squash/flush for memory
+                             ///< completion callbacks
+};
+
+} // namespace svc
+
+#endif // SVC_MULTISCALAR_PU_HH

@@ -1,0 +1,257 @@
+#include "multiscalar/regring.hh"
+
+#include <cassert>
+
+#include "common/log.hh"
+
+namespace svc
+{
+
+RegisterRing::RegisterRing(unsigned num_pus, Cycle hop_latency,
+                           unsigned bw)
+    : numPus(num_pus), hopLatency(hop_latency), bandwidth(bw),
+      tasks(num_pus), generations(num_pus, 0), sendQueues(num_pus)
+{
+    arch.fill(0);
+    arch[isa::kRegSp] = 0x7fff0000;
+}
+
+std::uint32_t
+RegisterRing::outgoing(const TaskRegs &t, isa::Reg r) const
+{
+    if (t.localWritten & (1u << r))
+        return t.local[r];
+    if (t.inputReady & (1u << r))
+        return t.input[r];
+    return arch[r];
+}
+
+void
+RegisterRing::startTask(PuId pu, TaskSeq seq,
+                        std::uint32_t create_mask)
+{
+    TaskRegs &t = tasks[pu];
+    t = TaskRegs{};
+    ++generations[pu];
+    t.active = true;
+    t.seq = seq;
+    t.createMask = create_mask;
+
+    // Resolve each input register against the nearest older active
+    // producer (released values arrive immediately — their transfer
+    // latency has already elapsed); unreleased producers leave the
+    // register pending until their forward is delivered.
+    for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+        const TaskRegs *producer = nullptr;
+        for (PuId p = 0; p < numPus; ++p) {
+            const TaskRegs &cand = tasks[p];
+            if (!cand.active || cand.seq >= seq)
+                continue;
+            if (!(cand.createMask & (1u << r)))
+                continue;
+            if (!producer || cand.seq > producer->seq)
+                producer = &cand;
+        }
+        if (!producer) {
+            t.input[r] = arch[r];
+            t.inputReady |= 1u << r;
+        } else if (producer->released & (1u << r)) {
+            t.input[r] = outgoing(*producer, static_cast<isa::Reg>(r));
+            t.inputReady |= 1u << r;
+        }
+        // else: pending; a forward in flight or yet to be sent will
+        // deliver it.
+    }
+}
+
+bool
+RegisterRing::regReady(PuId pu, isa::Reg r) const
+{
+    const TaskRegs &t = tasks[pu];
+    assert(t.active);
+    if (r == isa::kRegZero)
+        return true;
+    return ((t.localWritten | t.inputReady) & (1u << r)) != 0;
+}
+
+std::uint32_t
+RegisterRing::regValue(PuId pu, isa::Reg r) const
+{
+    const TaskRegs &t = tasks[pu];
+    assert(t.active);
+    if (r == isa::kRegZero)
+        return 0;
+    if (t.localWritten & (1u << r))
+        return t.local[r];
+    assert(t.inputReady & (1u << r));
+    return t.input[r];
+}
+
+void
+RegisterRing::setLocal(PuId pu, isa::Reg r, std::uint32_t value)
+{
+    if (r == isa::kRegZero)
+        return;
+    TaskRegs &t = tasks[pu];
+    assert(t.active);
+    t.local[r] = value;
+    t.localWritten |= 1u << r;
+    if (!(t.createMask & (1u << r))) {
+        // Tolerate under-annotated binaries: extend the mask so the
+        // value still reaches later tasks (they may have consumed a
+        // stale pass-through value; conservative correctness comes
+        // from re-forwarding, which younger tasks pick up at
+        // (re)start). Well-annotated workloads never hit this.
+        warn("regring: PU %u wrote r%u outside its create mask", pu,
+             r);
+        t.createMask |= 1u << r;
+    }
+}
+
+void
+RegisterRing::releaseReg(PuId pu, isa::Reg r)
+{
+    if (r == isa::kRegZero)
+        return;
+    TaskRegs &t = tasks[pu];
+    assert(t.active);
+    if ((t.released | t.pendingRelease) & (1u << r))
+        return;
+    // A task cannot forward a value it has not yet received: a
+    // pass-through register whose input is still in flight defers
+    // its release until the delivery lands (relaying).
+    if (!((t.localWritten | t.inputReady) & (1u << r))) {
+        t.pendingRelease |= 1u << r;
+        return;
+    }
+    t.released |= 1u << r;
+    sendQueues[pu].push_back(
+        {r, outgoing(t, r), t.seq, pu});
+    ++nForwards;
+}
+
+void
+RegisterRing::finishTask(PuId pu)
+{
+    TaskRegs &t = tasks[pu];
+    assert(t.active);
+    const std::uint32_t pending =
+        t.createMask & ~t.released & ~t.pendingRelease;
+    for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+        if (pending & (1u << r))
+            releaseReg(pu, static_cast<isa::Reg>(r));
+    }
+}
+
+void
+RegisterRing::commitTask(PuId pu)
+{
+    TaskRegs &t = tasks[pu];
+    assert(t.active);
+    // Deferred pass-through releases resolve now: the head task's
+    // view of an unreceived register is the architectural value
+    // (every predecessor has committed).
+    for (unsigned r = 1; r < isa::kNumRegs; ++r) {
+        if (t.pendingRelease & (1u << r)) {
+            sendQueues[pu].push_back(
+                {static_cast<isa::Reg>(r),
+                 outgoing(t, static_cast<isa::Reg>(r)), t.seq, pu});
+            ++nForwards;
+        }
+    }
+    t.pendingRelease = 0;
+    for (unsigned r = 1; r < isa::kNumRegs; ++r)
+        arch[r] = outgoing(t, static_cast<isa::Reg>(r));
+    t = TaskRegs{};
+    // Note: the send queue is NOT cleared — forwards still waiting
+    // for link bandwidth carry self-contained values and must reach
+    // the consumers that already started.
+}
+
+void
+RegisterRing::squashTask(PuId pu)
+{
+    const TaskSeq seq = tasks[pu].seq;
+    tasks[pu] = TaskRegs{};
+    ++generations[pu];
+    // Drop only the squashed task's own pending forwards; forwards
+    // from earlier (committed) tasks that ran on this PU must still
+    // reach their consumers.
+    auto &q = sendQueues[pu];
+    std::erase_if(q, [seq](const Send &s) {
+        return s.producerSeq == seq;
+    });
+}
+
+void
+RegisterRing::scheduleDeliveries(const Send &send)
+{
+    // Walk younger active tasks in program order; stop after the
+    // first one that itself creates the register (it supplies its
+    // own version to everything younger).
+    std::vector<PuId> consumers;
+    while (true) {
+        PuId best = kNoPu;
+        for (PuId p = 0; p < numPus; ++p) {
+            const TaskRegs &c = tasks[p];
+            if (!c.active || c.seq <= send.producerSeq)
+                continue;
+            bool already = false;
+            for (PuId q : consumers)
+                already |= q == p;
+            if (already)
+                continue;
+            if (best == kNoPu || c.seq < tasks[best].seq)
+                best = p;
+        }
+        if (best == kNoPu)
+            break;
+        consumers.push_back(best);
+        if (tasks[best].createMask & (1u << send.reg))
+            break;
+    }
+    for (PuId c : consumers) {
+        const Cycle delay =
+            std::max<Cycle>(1, hops(send.producerPu, c) * hopLatency);
+        const std::uint64_t expect_gen = generations[c];
+        events.schedule(now + delay, [this, c, expect_gen, send]() {
+            TaskRegs &t = tasks[c];
+            if (!t.active || generations[c] != expect_gen)
+                return; // squashed/reassigned meanwhile
+            if (t.inputReady & (1u << send.reg))
+                return;
+            t.input[send.reg] = send.value;
+            t.inputReady |= 1u << send.reg;
+            ++nDeliveries;
+            if (t.pendingRelease & (1u << send.reg)) {
+                t.pendingRelease &= ~(1u << send.reg);
+                releaseReg(c, send.reg);
+            }
+        });
+    }
+}
+
+void
+RegisterRing::tick()
+{
+    ++now;
+    for (PuId pu = 0; pu < numPus; ++pu) {
+        auto &q = sendQueues[pu];
+        for (unsigned i = 0; i < bandwidth && !q.empty(); ++i) {
+            scheduleDeliveries(q.front());
+            q.pop_front();
+        }
+    }
+    events.runDue(now);
+}
+
+StatSet
+RegisterRing::stats() const
+{
+    StatSet s;
+    s.add("forwards", static_cast<double>(nForwards));
+    s.add("deliveries", static_cast<double>(nDeliveries));
+    return s;
+}
+
+} // namespace svc

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Inter-PU register forwarding ring. Multiscalar PUs are connected
+ * in a unidirectional ring; each task receives register values from
+ * its predecessor and forwards the registers in its create mask
+ * when they are last-written (release annotations) or at task end.
+ * The paper's configuration: 1-cycle inter-PU latency, up to two
+ * registers per cycle to the neighbor.
+ *
+ * Consumers resolve a register against the nearest older active
+ * task that creates it; absent such a producer the architectural
+ * (committed) value flows through. Deliveries carry per-hop latency
+ * and per-link bandwidth.
+ */
+
+#ifndef SVC_MULTISCALAR_REGRING_HH
+#define SVC_MULTISCALAR_REGRING_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/encoding.hh"
+
+namespace svc
+{
+
+/** Register state of the active task on each PU, plus forwarding. */
+class RegisterRing
+{
+  public:
+    using RegArray = std::array<std::uint32_t, isa::kNumRegs>;
+
+    RegisterRing(unsigned num_pus, Cycle hop_latency,
+                 unsigned bandwidth);
+
+    /** Architectural (committed) register state. */
+    const RegArray &archRegs() const { return arch; }
+    RegArray &archRegs() { return arch; }
+
+    /**
+     * Begin task @p seq on @p pu with create mask @p create_mask.
+     * Input registers are resolved against older active tasks'
+     * released values or the architectural state.
+     */
+    void startTask(PuId pu, TaskSeq seq, std::uint32_t create_mask);
+
+    /** @return true if the task on @p pu can read register @p r. */
+    bool regReady(PuId pu, isa::Reg r) const;
+
+    /** @return the readable value of @p r for @p pu's task. */
+    std::uint32_t regValue(PuId pu, isa::Reg r) const;
+
+    /** The task on @p pu wrote @p r (at retire). */
+    void setLocal(PuId pu, isa::Reg r, std::uint32_t value);
+
+    /**
+     * Release @p r from @p pu's task: queue its outgoing value for
+     * forwarding to younger tasks (multiscalar forward bits /
+     * task-end forwarding). Idempotent per register per task.
+     */
+    void releaseReg(PuId pu, isa::Reg r);
+
+    /** Task end: release every not-yet-released created register. */
+    void finishTask(PuId pu);
+
+    /**
+     * Commit @p pu's (head) task: fold its final register view into
+     * the architectural state and free the slot.
+     */
+    void commitTask(PuId pu);
+
+    /** Discard @p pu's task state. */
+    void squashTask(PuId pu);
+
+    /** Advance one cycle: drain send queues, deliver forwards. */
+    void tick();
+
+    StatSet stats() const;
+
+    Counter nForwards = 0;
+    Counter nDeliveries = 0;
+
+  private:
+    struct TaskRegs
+    {
+        bool active = false;
+        TaskSeq seq = kNoTask;
+        std::uint32_t createMask = 0;
+        std::uint32_t localWritten = 0;
+        std::uint32_t inputReady = 0;
+        std::uint32_t released = 0;
+        /** Releases requested before the (pass-through) value had
+         *  arrived: sent when the delivery lands or at commit. */
+        std::uint32_t pendingRelease = 0;
+        RegArray local{};
+        RegArray input{};
+    };
+
+    struct Send
+    {
+        isa::Reg reg;
+        std::uint32_t value;
+        TaskSeq producerSeq;
+        PuId producerPu;
+    };
+
+    /** @return the outgoing value of @p r for @p t's task view. */
+    std::uint32_t outgoing(const TaskRegs &t, isa::Reg r) const;
+
+    /** Ring distance from @p from to @p to. */
+    unsigned
+    hops(PuId from, PuId to) const
+    {
+        return (to + numPus - from) % numPus;
+    }
+
+    /** Deliver @p send to the consumers younger than the producer. */
+    void scheduleDeliveries(const Send &send);
+
+    unsigned numPus;
+    Cycle hopLatency;
+    unsigned bandwidth;
+    RegArray arch{};
+    std::vector<TaskRegs> tasks;
+    /** Per-PU task generation: bumped on start/squash/commit so a
+     *  delivery scheduled for a task instance cannot land on its
+     *  replacement. */
+    std::vector<std::uint64_t> generations;
+    std::vector<std::deque<Send>> sendQueues;
+    EventQueue events;
+    Cycle now = 0;
+};
+
+} // namespace svc
+
+#endif // SVC_MULTISCALAR_REGRING_HH

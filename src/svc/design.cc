@@ -1,0 +1,84 @@
+#include "svc/design.hh"
+
+namespace svc
+{
+
+const char *
+svcDesignName(SvcDesign design)
+{
+    switch (design) {
+      case SvcDesign::Base:
+        return "Base";
+      case SvcDesign::EC:
+        return "EC";
+      case SvcDesign::ECS:
+        return "ECS";
+      case SvcDesign::HR:
+        return "HR";
+      case SvcDesign::RL:
+        return "RL";
+      case SvcDesign::Final:
+        return "Final";
+    }
+    return "?";
+}
+
+SvcConfig
+makeDesign(SvcDesign design, SvcConfig base)
+{
+    SvcConfig c = base;
+    // Whole-line versioning for every design before RL; the RL and
+    // Final designs keep whatever versioning granularity the caller
+    // configured (default: byte-level disambiguation).
+    switch (design) {
+      case SvcDesign::Base:
+        c.lazyCommit = false;
+        c.staleBit = false;
+        c.archBit = false;
+        c.snarfing = false;
+        c.hybridUpdate = false;
+        c.versioningBytes = c.lineBytes;
+        break;
+      case SvcDesign::EC:
+        c.lazyCommit = true;
+        c.staleBit = true;
+        c.archBit = false;
+        c.snarfing = false;
+        c.hybridUpdate = false;
+        c.versioningBytes = c.lineBytes;
+        break;
+      case SvcDesign::ECS:
+        c.lazyCommit = true;
+        c.staleBit = true;
+        c.archBit = true;
+        c.snarfing = false;
+        c.hybridUpdate = false;
+        c.versioningBytes = c.lineBytes;
+        break;
+      case SvcDesign::HR:
+        c.lazyCommit = true;
+        c.staleBit = true;
+        c.archBit = true;
+        c.snarfing = true;
+        c.hybridUpdate = false;
+        c.versioningBytes = c.lineBytes;
+        break;
+      case SvcDesign::RL:
+        c.lazyCommit = true;
+        c.staleBit = true;
+        c.archBit = true;
+        c.snarfing = true;
+        c.hybridUpdate = false;
+        break;
+      case SvcDesign::Final:
+        c.lazyCommit = true;
+        c.staleBit = true;
+        c.archBit = true;
+        c.snarfing = true;
+        c.hybridUpdate = true;
+        break;
+    }
+    return c;
+}
+
+} // namespace svc

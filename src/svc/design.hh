@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Configuration of the Speculative Versioning Cache, including the
+ * paper's design progression (section 3): Base, EC (efficient
+ * commits), ECS (efficient commits + squashes), HR (hit-rate /
+ * snarfing), RL (realistic line size / sub-blocking) and Final
+ * (hybrid update-invalidate). Each step is a feature flag so the
+ * ablation benches can isolate individual mechanisms.
+ */
+
+#ifndef SVC_SVC_DESIGN_HH
+#define SVC_SVC_DESIGN_HH
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.hh"
+
+namespace svc
+{
+
+/** The paper's named design points (section 3.3 road map). */
+enum class SvcDesign
+{
+    Base,  ///< section 3.2: eager commit flush, squash flushes all
+    EC,    ///< section 3.4: commit bit + stale bit, lazy write-backs
+    ECS,   ///< section 3.5: + architectural bit, efficient squashes
+    HR,    ///< section 3.6: + snarfing
+    RL,    ///< section 3.7: + sub-block (versioning-block) masks
+    Final, ///< section 3.8: + hybrid update-invalidate protocol
+};
+
+/** @return a printable name for @p design. */
+const char *svcDesignName(SvcDesign design);
+
+/** All SVC parameters: geometry, feature flags, and timing. */
+struct SvcConfig
+{
+    // ---- Geometry (paper section 4.2 defaults) ----
+    unsigned numPus = 4;
+    std::size_t cacheBytes = 8 * 1024; ///< per-PU private L1
+    unsigned assoc = 4;
+    unsigned lineBytes = 16;           ///< address block size
+    /**
+     * Versioning-block size: the granularity of the per-line L/S/V
+     * masks (paper section 3.7). Equal to lineBytes reproduces the
+     * pre-RL designs (whole-line versioning); 1 gives the paper's
+     * byte-level disambiguation.
+     */
+    unsigned versioningBytes = 1;
+
+    // ---- Design-progression feature flags ----
+    /** EC+: commit sets the C bit; write-backs become lazy. */
+    bool lazyCommit = true;
+    /** EC+: maintain the sTale bit; reuse non-stale passive lines. */
+    bool staleBit = true;
+    /** ECS+: maintain the Architectural bit; squashes retain
+     *  architectural lines. */
+    bool archBit = true;
+    /** HR+: caches snarf compatible versions off the bus. */
+    bool snarfing = true;
+    /** Final: update (rather than invalidate) affected copies. */
+    bool hybridUpdate = true;
+    /**
+     * Optional optimization of section 3.8.1's final paragraph:
+     * a passive dirty line flushed on a bus request is retained as
+     * a clean copy (its data now equals memory) instead of being
+     * invalidated, reducing write-back refetch traffic.
+     */
+    bool retainFlushedDirty = false;
+
+    // ---- Timing (paper section 4.2) ----
+    Cycle hitLatency = 1;
+    Cycle missPenalty = 10;       ///< next-level memory supply
+    Cycle busTransferCycles = 3;  ///< typical bus transaction
+    Cycle busFlushExtra = 1;      ///< extra cycle to flush a
+                                  ///< committed version to memory
+    unsigned numMshrs = 8;
+    unsigned mshrTargets = 4;
+    unsigned wbBufEntries = 8;
+
+    /** Diagnostics: record per-line next-level miss counts. */
+    bool trackMissMap = false;
+
+    /** @return the number of versioning blocks per line. */
+    unsigned
+    blocksPerLine() const
+    {
+        return lineBytes / versioningBytes;
+    }
+};
+
+/**
+ * @return the configuration for one of the paper's design points,
+ * starting from @p base geometry/timing.
+ */
+SvcConfig makeDesign(SvcDesign design, SvcConfig base = SvcConfig{});
+
+} // namespace svc
+
+#endif // SVC_SVC_DESIGN_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * State of one SVC cache line (paper figure 16, extended to the RL
+ * design's per-versioning-block masks). A line carries:
+ *
+ *  - V: per-versioning-block valid mask (sector-cache style; a
+ *       whole-line design simply has one block per line),
+ *  - S: per-block store mask (this cache holds a *version* of the
+ *       blocks whose S bit is set),
+ *  - L: per-block load mask (use-before-definition recording for
+ *       memory-dependence violation detection),
+ *  - C: commit bit (EC design) — set lazily when the task commits,
+ *  - T: stale bit (EC design) — reset iff this line is (a copy of)
+ *       the most recent version,
+ *  - A: architectural bit (ECS design) — set iff the data came from
+ *       memory or the head task,
+ *  - a VOL pointer naming the PU with the next copy/version.
+ */
+
+#ifndef SVC_SVC_LINE_HH
+#define SVC_SVC_LINE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace svc
+{
+
+/** Maximum supported address-block (line) size in bytes. */
+inline constexpr unsigned kMaxLineBytes = 64;
+
+/** Per-line SVC state. Lives as the payload of a CacheFrame. */
+struct SvcLine
+{
+    /** Per-versioning-block valid-data mask. */
+    std::uint64_t vMask = 0;
+    /** Per-versioning-block store mask (version ownership). */
+    std::uint64_t sMask = 0;
+    /** Per-versioning-block load (use-before-def) mask. */
+    std::uint64_t lMask = 0;
+    /** Commit bit: the creating task has committed. */
+    bool commit = false;
+    /** sTale bit: a newer version exists (hint only). */
+    bool stale = false;
+    /** Architectural bit: data supplied by memory or head task. */
+    bool arch = false;
+    /**
+     * Exclusivity tracking (the X bit the paper mentions in section
+     * 3.8.1): set when a later task may hold a copy derived from
+     * this line's version. A store may complete locally (cache hit)
+     * only while the bit is clear; otherwise it must issue a
+     * BusWrite so stale copies are invalidated or updated and
+     * memory-dependence violations are detected.
+     */
+    bool shared = false;
+    /** VOL pointer: PU holding the next copy/version, or kNoPu. */
+    PuId nextPu = kNoPu;
+    /**
+     * Simulator-only shadow of the creating/using task's sequence
+     * number, used exclusively by debug invariant checks — the
+     * modeled hardware never stores task numbers (paper 3.2).
+     */
+    TaskSeq debugSeq = kNoTask;
+    /** Cached data bytes (first lineBytes entries are meaningful). */
+    std::array<std::uint8_t, kMaxLineBytes> data{};
+
+    /** @return true if this line holds any version data. */
+    bool isDirty() const { return sMask != 0; }
+
+    /** @return true if the line is passive (committed). */
+    bool isPassive() const { return commit; }
+
+    /** @return true if the line is active (uncommitted). */
+    bool isActive() const { return !commit; }
+};
+
+} // namespace svc
+
+#endif // SVC_SVC_LINE_HH

@@ -1,0 +1,918 @@
+#include "svc/protocol.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace svc
+{
+
+SvcProtocol::SvcProtocol(const SvcConfig &config, MainMemory &memory)
+    : cfg(config), mem(memory), tasks(config.numPus, kNoTask)
+{
+    if (cfg.lineBytes > kMaxLineBytes)
+        fatal("SVC line size %u exceeds the supported maximum %u",
+              cfg.lineBytes, kMaxLineBytes);
+    if (cfg.lineBytes % cfg.versioningBytes != 0)
+        fatal("SVC line size %u is not a multiple of the versioning "
+              "block size %u", cfg.lineBytes, cfg.versioningBytes);
+    if (cfg.blocksPerLine() > 64)
+        fatal("SVC supports at most 64 versioning blocks per line");
+    caches.reserve(cfg.numPus);
+    for (unsigned i = 0; i < cfg.numPus; ++i)
+        caches.emplace_back(cfg.cacheBytes, cfg.assoc, cfg.lineBytes);
+}
+
+void
+SvcProtocol::assignTask(PuId pu, TaskSeq seq)
+{
+    assert(pu < cfg.numPus);
+    assert(seq != kNoTask);
+    tasks[pu] = seq;
+}
+
+bool
+SvcProtocol::isHeadPu(PuId pu) const
+{
+    const TaskSeq mine = tasks[pu];
+    if (mine == kNoTask)
+        return false;
+    for (PuId p = 0; p < cfg.numPus; ++p) {
+        if (tasks[p] != kNoTask && tasks[p] < mine)
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+SvcProtocol::vbMaskFor(unsigned offset, unsigned size) const
+{
+    const unsigned first = offset / cfg.versioningBytes;
+    const unsigned last = (offset + size - 1) / cfg.versioningBytes;
+    return (mask(last - first + 1)) << first;
+}
+
+bool
+SvcProtocol::isExclusive(PuId pu, Addr line_addr) const
+{
+    for (PuId p = 0; p < cfg.numPus; ++p) {
+        if (p != pu && caches[p].find(line_addr) != nullptr)
+            return false;
+    }
+    return true;
+}
+
+Vol
+SvcProtocol::snoop(Addr line_addr)
+{
+    std::vector<VolNode> nodes;
+    for (PuId pu = 0; pu < cfg.numPus; ++pu) {
+        if (Frame *f = caches[pu].find(line_addr)) {
+            assert(f->payload.isPassive() || tasks[pu] != kNoTask);
+            nodes.push_back({pu, &f->payload, tasks[pu]});
+        }
+    }
+    return Vol::build(std::move(nodes));
+}
+
+unsigned
+SvcProtocol::purgeCommitted(Addr line_addr, Vol &vol)
+{
+    const unsigned vbs = cfg.blocksPerLine();
+    const auto &ordered = vol.ordered();
+
+    // Find the passive prefix.
+    std::size_t passive_count = 0;
+    while (passive_count < ordered.size() &&
+           ordered[passive_count].line->isPassive())
+        ++passive_count;
+    if (passive_count == 0)
+        return 0;
+
+    // For each versioning block, the newest committed version is
+    // the architected value: write it back. Older committed
+    // versions of the block are never written back (figure 12).
+    std::set<PuId> flushed_versions;
+    for (unsigned vb = 0; vb < vbs; ++vb) {
+        for (std::size_t i = passive_count; i-- > 0;) {
+            const SvcLine &line = *ordered[i].line;
+            if (line.sMask & (1ull << vb)) {
+                mem.writeBlock(line_addr + vbBase(vb),
+                               line.data.data() + vbBase(vb),
+                               cfg.versioningBytes);
+                flushed_versions.insert(ordered[i].pu);
+                break;
+            }
+        }
+    }
+
+    // Invalidate passive dirty entries (figure 18b: a passive
+    // dirty line is invalidated on a bus request whether it is
+    // flushed or not) and *stale* passive clean copies. Non-stale
+    // passive clean copies survive — retaining read-only data
+    // across tasks is the EC design's whole point — and, being
+    // copies of the most recent version, they stay consistent with
+    // the post-purge memory image (so the "no versions present =>
+    // nothing stale" rule remains sound).
+    std::vector<PuId> purged;
+    for (std::size_t i = 0; i < passive_count; ++i) {
+        SvcLine &line = *ordered[i].line;
+        if (cfg.retainFlushedDirty && line.isDirty() &&
+            !line.stale &&
+            flushed_versions.count(ordered[i].pu) != 0) {
+            // Section 3.8.1 (final paragraph): the freshly flushed
+            // most-recent committed version may be retained; its
+            // data now equals memory, so it becomes an ordinary
+            // non-stale clean copy.
+            line.sMask = 0;
+            continue;
+        }
+        if (line.isDirty() || line.stale)
+            purged.push_back(ordered[i].pu);
+    }
+    for (PuId pu : purged) {
+        Frame *f = caches[pu].find(line_addr);
+        assert(f);
+        caches[pu].invalidate(*f);
+        vol.erase(pu);
+    }
+    nFlushes += flushed_versions.size();
+    return static_cast<unsigned>(flushed_versions.size());
+}
+
+void
+SvcProtocol::composeImage(Addr line_addr, const Vol &vol,
+                          TaskSeq req_seq, PuId req_pu,
+                          std::uint64_t vb_mask, std::uint8_t *out,
+                          std::uint64_t &from_cache, bool &speculative)
+{
+    from_cache = 0;
+    speculative = false;
+    const auto &ordered = vol.ordered();
+    for (unsigned vb = 0; vb < cfg.blocksPerLine(); ++vb) {
+        if (!(vb_mask & (1ull << vb)))
+            continue;
+        const SvcLine *supplier = nullptr;
+        PuId supplier_pu = kNoPu;
+        // Closest previous version: newest active node older than
+        // the requester with the block's S bit set.
+        for (std::size_t i = ordered.size(); i-- > 0;) {
+            const VolNode &n = ordered[i];
+            if (n.pu == req_pu || !n.line->isActive())
+                continue;
+            if (n.seq >= req_seq)
+                continue;
+            if (n.line->sMask & (1ull << vb)) {
+                supplier = n.line;
+                supplier_pu = n.pu;
+                break;
+            }
+        }
+        if (supplier) {
+            std::copy_n(supplier->data.data() + vbBase(vb),
+                        cfg.versioningBytes, out + vbBase(vb));
+            from_cache |= 1ull << vb;
+            if (!isHeadPu(supplier_pu))
+                speculative = true;
+        } else {
+            mem.readBlock(line_addr + vbBase(vb), out + vbBase(vb),
+                          cfg.versioningBytes);
+        }
+    }
+}
+
+void
+SvcProtocol::castout(PuId pu, Frame &frame, AccessResult &res)
+{
+    const Addr victim_addr = caches[pu].frameAddr(frame);
+    SvcLine &line = frame.payload;
+    ++nCastouts;
+
+    if (line.isPassive()) {
+        if (line.isDirty()) {
+            // A committed dirty cast-out resolves *all* committed
+            // versions of the line so write-back order is preserved.
+            Vol vol = snoop(victim_addr);
+            res.flushes += purgeCommitted(victim_addr, vol);
+            res.busUsed = true;
+            vol.rewritePointers();
+            vol.recomputeStaleBits();
+        } else {
+            // Bridge the VOL chain across the departing copy so the
+            // relative order of the surviving committed versions is
+            // preserved (a mid-chain hole would make it ambiguous).
+            for (PuId p = 0; p < cfg.numPus; ++p) {
+                if (p == pu)
+                    continue;
+                if (Frame *pf = caches[p].find(victim_addr)) {
+                    if (pf->payload.nextPu == pu)
+                        pf->payload.nextPu = line.nextPu;
+                }
+            }
+            caches[pu].invalidate(frame);
+        }
+        return;
+    }
+
+    // Active lines can only be replaced by the head task's cache
+    // (the caller verified this). A dirty active cast-out must also
+    // resolve older committed versions first.
+    if (line.isDirty()) {
+        Vol vol = snoop(victim_addr);
+        res.flushes += purgeCommitted(victim_addr, vol);
+        for (unsigned vb = 0; vb < cfg.blocksPerLine(); ++vb) {
+            if (line.sMask & (1ull << vb)) {
+                mem.writeBlock(victim_addr + vbBase(vb),
+                               line.data.data() + vbBase(vb),
+                               cfg.versioningBytes);
+            }
+        }
+        res.busUsed = true;
+        ++res.flushes;
+        ++nFlushes;
+        caches[pu].invalidate(frame);
+        vol.erase(pu);
+        vol.rewritePointers();
+        vol.recomputeStaleBits();
+    } else {
+        caches[pu].invalidate(frame);
+    }
+}
+
+SvcProtocol::Frame *
+SvcProtocol::obtainFrame(PuId pu, Addr line_addr, AccessResult &res)
+{
+    Storage &cache = caches[pu];
+    if (Frame *f = cache.find(line_addr)) {
+        cache.touch(*f);
+        return f;
+    }
+    const bool head = isHeadPu(pu);
+    Frame *victim = cache.pickVictim(
+        line_addr, [head](const Frame &f) {
+            return f.payload.isPassive() || head;
+        });
+    if (!victim) {
+        res.stalled = true;
+        ++nStalls;
+        return nullptr;
+    }
+    if (victim->valid)
+        castout(pu, *victim, res);
+    cache.install(*victim, line_addr);
+    return victim;
+}
+
+bool
+SvcProtocol::wouldHit(PuId pu, Addr addr, unsigned size,
+                      bool is_store) const
+{
+    const Storage &cache = caches[pu];
+    const Addr line_addr = cache.lineAddr(addr);
+    const unsigned offset = addr & (cfg.lineBytes - 1);
+    const std::uint64_t vbs = vbMaskFor(offset, size);
+    const Frame *f = cache.find(line_addr);
+    if (!f)
+        return false;
+    const SvcLine &line = f->payload;
+    if (is_store) {
+        if (!line.isActive() || (vbs & ~line.vMask) != 0)
+            return false;
+        if ((vbs & ~line.sMask) == 0 && !line.shared)
+            return true;
+        // X-bit fast path: the only copy in the system can take new
+        // store bits locally.
+        return isExclusive(pu, cache.lineAddr(addr));
+    }
+    if (line.isActive())
+        return (vbs & ~line.vMask) == 0;
+    // Passive-clean non-stale reuse (EC stale bit, figure 15).
+    return cfg.staleBit && !line.isDirty() && !line.stale &&
+           (vbs & ~line.vMask) == 0;
+}
+
+AccessResult
+SvcProtocol::load(PuId pu, Addr addr, unsigned size)
+{
+    assert(pu < cfg.numPus && tasks[pu] != kNoTask);
+    assert(size >= 1 && size <= 8);
+    AccessResult res;
+    ++nLoads;
+
+    Storage &cache = caches[pu];
+    const Addr line_addr = cache.lineAddr(addr);
+    const unsigned offset = addr & (cfg.lineBytes - 1);
+    assert(offset + size <= cfg.lineBytes &&
+           "accesses must not cross a line boundary");
+    const std::uint64_t vbs = vbMaskFor(offset, size);
+
+    Frame *f = cache.find(line_addr);
+    if (f && f->payload.isActive() &&
+        (vbs & ~f->payload.vMask) == 0) {
+        // Plain hit: the line already holds this task's image.
+        SvcLine &line = f->payload;
+        line.lMask |= vbs & ~line.sMask;
+        cache.touch(*f);
+        ++nHits;
+        for (unsigned i = 0; i < size; ++i)
+            res.data |= std::uint64_t{line.data[offset + i]} << (8 * i);
+        return res;
+    }
+    if (f && f->payload.isPassive() && cfg.staleBit &&
+        !f->payload.isDirty() && !f->payload.stale &&
+        (vbs & ~f->payload.vMask) == 0) {
+        // Reuse a non-stale committed copy without a bus request:
+        // it is (a copy of) the most recent version (figure 15).
+        SvcLine &line = f->payload;
+        line.commit = false;
+        line.arch = true;
+        line.lMask = vbs;
+        line.sMask = 0;
+        line.shared = false;
+        line.debugSeq = tasks[pu];
+        cache.touch(*f);
+        ++nHits;
+        ++nReuseHits;
+        res.reused = true;
+        for (unsigned i = 0; i < size; ++i)
+            res.data |= std::uint64_t{line.data[offset + i]} << (8 * i);
+        return res;
+    }
+
+    busRead(pu, line_addr, vbs, res);
+    if (res.stalled)
+        return res;
+    f = cache.find(line_addr);
+    assert(f);
+    for (unsigned i = 0; i < size; ++i)
+        res.data |= std::uint64_t{f->payload.data[offset + i]} << (8 * i);
+    return res;
+}
+
+void
+SvcProtocol::busRead(PuId pu, Addr line_addr, std::uint64_t req_vbs,
+                     AccessResult &res)
+{
+    const TaskSeq req_seq = tasks[pu];
+    Vol vol = snoop(line_addr);
+
+    // Classify the supply for the requested blocks before the purge
+    // (a committed version that supplies data is a cache-to-cache
+    // transfer even though its bytes also flow to memory, fig. 12).
+    // Blocks without a buffered version can still be supplied by a
+    // non-stale clean copy — a cache-to-cache transfer of read-only
+    // data, which the paper does not count as a miss.
+    std::uint64_t supplied_by_cache = 0;
+    for (unsigned vb = 0; vb < cfg.blocksPerLine(); ++vb) {
+        if (!(req_vbs & (1ull << vb)))
+            continue;
+        for (std::size_t i = vol.size(); i-- > 0;) {
+            const VolNode &n = vol.ordered()[i];
+            // The requester's own *committed* entry is a supplier
+            // too (purely local data); only its active self is
+            // excluded.
+            if (n.line->isActive() && (n.pu == pu || n.seq >= req_seq))
+                continue;
+            if ((n.line->sMask & (1ull << vb)) ||
+                (!n.line->stale &&
+                 (n.line->vMask & (1ull << vb)))) {
+                supplied_by_cache |= 1ull << vb;
+                break;
+            }
+        }
+    }
+
+    res.busUsed = true;
+    ++nBusTransactions;
+    res.flushes += purgeCommitted(line_addr, vol);
+
+    // Every older task's version may have contributed to the image
+    // this fill constructs: their lines lose exclusivity (X bit),
+    // so a later re-store by them must use the bus.
+    for (const VolNode &n : vol.ordered()) {
+        if (n.line->isActive() && n.seq < req_seq)
+            n.line->shared = true;
+    }
+
+    Frame *frame = obtainFrame(pu, line_addr, res);
+    if (!frame)
+        return;
+    SvcLine &line = frame->payload;
+
+    const std::uint64_t fill = ~line.vMask & mask(cfg.blocksPerLine());
+    std::uint64_t from_cache = 0;
+    bool speculative = false;
+    std::uint8_t composed[kMaxLineBytes] = {};
+    composeImage(line_addr, vol, req_seq, pu, fill, composed,
+                 from_cache, speculative);
+    for (unsigned vb = 0; vb < cfg.blocksPerLine(); ++vb) {
+        if (fill & (1ull << vb)) {
+            std::copy_n(composed + vbBase(vb), cfg.versioningBytes,
+                        line.data.data() + vbBase(vb));
+        }
+    }
+    line.vMask |= fill;
+    line.lMask |= req_vbs & ~line.sMask;
+    line.commit = false;
+    line.debugSeq = req_seq;
+    // Architectural iff no speculative (non-head) version
+    // contributed to any newly filled block (section 3.5.1).
+    const bool was_merge = fill != mask(cfg.blocksPerLine());
+    line.arch = (was_merge ? line.arch : true) && !speculative;
+
+    if ((supplied_by_cache & req_vbs) != 0) {
+        res.cacheSupplied = true;
+        ++nCacheSupplied;
+    } else {
+        res.memSupplied = true;
+        ++nMemSupplied;
+        if (cfg.trackMissMap)
+            ++missMap[line_addr];
+    }
+
+    if (cfg.snarfing)
+        snarf(line_addr, pu, res);
+
+    Vol after = snoop(line_addr);
+    after.rewritePointers();
+    after.recomputeStaleBits();
+}
+
+void
+SvcProtocol::snarf(Addr line_addr, PuId requester, AccessResult &res)
+{
+    const Frame *req_frame = caches[requester].find(line_addr);
+    assert(req_frame);
+    const TaskSeq req_seq = tasks[requester];
+
+    Vol vol = snoop(line_addr);
+    for (PuId pu = 0; pu < cfg.numPus; ++pu) {
+        if (pu == requester || tasks[pu] == kNoTask)
+            continue;
+        if (caches[pu].find(line_addr))
+            continue;
+        if (!caches[pu].hasFreeFrame(line_addr))
+            continue;
+        // A cache may only snarf a version its task can use: no
+        // version may lie strictly between it and the requester in
+        // program order (section 3.6).
+        const TaskSeq lo = std::min(req_seq, tasks[pu]);
+        const TaskSeq hi = std::max(req_seq, tasks[pu]);
+        bool blocked = false;
+        for (const VolNode &n : vol.ordered()) {
+            if (!n.line->isDirty() || !n.line->isActive())
+                continue;
+            if (n.seq > lo && n.seq < hi) {
+                blocked = true;
+                break;
+            }
+        }
+        // The requester's own new version (a store snarf source)
+        // must not be skipped past for older tasks.
+        if (req_frame->payload.isDirty() && tasks[pu] < req_seq)
+            blocked = true;
+        if (blocked)
+            continue;
+        AccessResult dummy;
+        Frame *nf = obtainFrame(pu, line_addr, dummy);
+        assert(nf && "a free frame was verified above");
+        SvcLine &nl = nf->payload;
+        nl.data = req_frame->payload.data;
+        nl.vMask = req_frame->payload.vMask;
+        nl.sMask = 0;
+        nl.lMask = 0;
+        nl.commit = false;
+        // A later snarfer's image includes the requester's own
+        // (speculative) version, if any.
+        nl.arch = req_frame->payload.arch &&
+                  (!req_frame->payload.isDirty() ||
+                   isHeadPu(requester) || tasks[pu] < req_seq);
+        nl.debugSeq = tasks[pu];
+        ++nSnarfs;
+        // A later task now holds a copy derived from the
+        // requester's image: the requester loses exclusivity.
+        if (tasks[pu] > req_seq) {
+            caches[requester].find(line_addr)->payload.shared = true;
+        }
+        (void)res;
+    }
+}
+
+AccessResult
+SvcProtocol::store(PuId pu, Addr addr, unsigned size,
+                   std::uint64_t value)
+{
+    assert(pu < cfg.numPus && tasks[pu] != kNoTask);
+    assert(size >= 1 && size <= 8);
+    AccessResult res;
+    ++nStores;
+
+    Storage &cache = caches[pu];
+    const Addr line_addr = cache.lineAddr(addr);
+    const unsigned offset = addr & (cfg.lineBytes - 1);
+    assert(offset + size <= cfg.lineBytes &&
+           "accesses must not cross a line boundary");
+    const std::uint64_t vbs = vbMaskFor(offset, size);
+
+    std::uint8_t bytes[8];
+    for (unsigned i = 0; i < size; ++i)
+        bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+
+    Frame *f = cache.find(line_addr);
+    if (f && f->payload.isActive() &&
+        (vbs & ~f->payload.vMask) == 0 &&
+        (((vbs & ~f->payload.sMask) == 0 && !f->payload.shared) ||
+         isExclusive(pu, line_addr))) {
+        // Store hit: either the task already owns a non-shared
+        // version of every written block, or this cache holds the
+        // only copy in the system (the X bit, section 3.8.1) and
+        // may extend its version locally.
+        SvcLine &line = f->payload;
+        std::uint64_t full_cover = 0;
+        for (unsigned vb = 0; vb < cfg.blocksPerLine(); ++vb) {
+            if (!(vbs & (1ull << vb)))
+                continue;
+            const unsigned base = vbBase(vb);
+            if (offset <= base &&
+                offset + size >= base + cfg.versioningBytes)
+                full_cover |= 1ull << vb;
+        }
+        std::copy_n(bytes, size, line.data.data() + offset);
+        const std::uint64_t newly_stored = vbs & ~line.sMask;
+        line.sMask |= vbs;
+        // Partially covered blocks absorb prior bytes: a use (see
+        // the matching rule in busWrite()).
+        line.lMask |= newly_stored & ~full_cover;
+        cache.touch(*f);
+        ++nHits;
+        return res;
+    }
+
+    busWrite(pu, line_addr, vbs, offset, bytes, size, res);
+    return res;
+}
+
+void
+SvcProtocol::busWrite(PuId pu, Addr line_addr, std::uint64_t store_vbs,
+                      unsigned offset, const std::uint8_t *bytes,
+                      unsigned size, AccessResult &res)
+{
+    const TaskSeq req_seq = tasks[pu];
+    res.busUsed = true;
+    ++nBusTransactions;
+
+    Vol vol = snoop(line_addr);
+
+    // Pre-purge supply classification: blocks held by any version —
+    // committed versions included — are supplied cache-to-cache
+    // during this transaction (the purge flush doubles as the data
+    // transfer, figure 13); only blocks nobody buffers come from
+    // the next level of memory.
+    std::uint64_t available_from_cache = 0;
+    for (const VolNode &n : vol.ordered()) {
+        // As for loads: committed entries supply regardless of
+        // which cache (including this one) holds them.
+        if (n.line->isActive() && (n.pu == pu || n.seq >= req_seq))
+            continue;
+        available_from_cache |= n.line->sMask;
+        if (!n.line->stale)
+            available_from_cache |= n.line->vMask;
+    }
+
+    res.flushes += purgeCommitted(line_addr, vol);
+
+    // As for loads: older versions contributing to the fill lose
+    // exclusivity.
+    for (const VolNode &n : vol.ordered()) {
+        if (n.line->isActive() && n.seq < req_seq)
+            n.line->shared = true;
+    }
+
+    Frame *frame = obtainFrame(pu, line_addr, res);
+    if (!frame)
+        return;
+    SvcLine &line = frame->payload;
+
+    // Which blocks does this store completely overwrite? Those need
+    // no fetch; partially written or untouched invalid blocks are
+    // filled with the task's correct prior image (write-allocate).
+    std::uint64_t full_cover = 0;
+    for (unsigned vb = 0; vb < cfg.blocksPerLine(); ++vb) {
+        if (!(store_vbs & (1ull << vb)))
+            continue;
+        const unsigned base = vbBase(vb);
+        if (offset <= base &&
+            offset + size >= base + cfg.versioningBytes)
+            full_cover |= 1ull << vb;
+    }
+    const std::uint64_t fill =
+        ~line.vMask & ~full_cover & mask(cfg.blocksPerLine());
+
+    std::uint64_t from_cache = 0;
+    bool speculative = false;
+    std::uint8_t composed[kMaxLineBytes] = {};
+    composeImage(line_addr, vol, req_seq, pu, fill, composed,
+                 from_cache, speculative);
+    for (unsigned vb = 0; vb < cfg.blocksPerLine(); ++vb) {
+        if (fill & (1ull << vb)) {
+            std::copy_n(composed + vbBase(vb), cfg.versioningBytes,
+                        line.data.data() + vbBase(vb));
+        }
+    }
+    const bool was_merge =
+        (line.vMask != 0);
+    line.vMask |= fill | store_vbs;
+    std::copy_n(bytes, size, line.data.data() + offset);
+    // A store that covers a versioning block only partially is a
+    // read-modify-write of that block: the untouched bytes it
+    // absorbs from the previous version are a *use*, so the L bit
+    // must be set for dependence-violation detection (otherwise an
+    // earlier task's later store to those bytes would be silently
+    // overwritten when this — newer — version commits).
+    const std::uint64_t newly_stored = store_vbs & ~line.sMask;
+    line.sMask |= store_vbs;
+    line.lMask |= newly_stored & ~full_cover;
+    line.commit = false;
+    line.debugSeq = req_seq;
+    line.arch = (was_merge ? line.arch : true) && !speculative &&
+                isHeadPu(pu);
+
+    if (fill != 0) {
+        if ((from_cache | (available_from_cache & fill)) != 0) {
+            res.cacheSupplied = true;
+            ++nCacheSupplied;
+        } else {
+            res.memSupplied = true;
+            ++nMemSupplied;
+            if (cfg.trackMissMap)
+                ++missMap[line_addr];
+        }
+    }
+
+    // Dependence-violation detection and invalidation/update of
+    // later tasks' entries (paper section 3.2.3): for each written
+    // block, walk the later active entries in program order; a set
+    // L bit is a violation; an intervening version shields every
+    // entry after it.
+    std::set<PuId> violators;
+    Vol actives = snoop(line_addr);
+    for (unsigned vb = 0; vb < cfg.blocksPerLine(); ++vb) {
+        if (!(store_vbs & (1ull << vb)))
+            continue;
+        for (const VolNode &n : actives.ordered()) {
+            if (!n.line->isActive() || n.pu == pu)
+                continue;
+            if (n.seq <= req_seq)
+                continue;
+            SvcLine &other = *n.line;
+            if (other.lMask & (1ull << vb)) {
+                violators.insert(n.pu);
+                // The violated line receives the invalidation
+                // response as well (figure 10): the now-stale block
+                // must not survive — the ECS squash retains
+                // architectural-clean lines, and a stale block left
+                // valid would be wrongly reused by the next task.
+                if (other.sMask & (1ull << vb))
+                    break; // also the next version (the squash will
+                           // discard the whole dirty line): shield
+                other.vMask &= ~(1ull << vb);
+                other.lMask &= ~(1ull << vb);
+                if (other.vMask == 0) {
+                    Frame *of = caches[n.pu].find(line_addr);
+                    assert(of);
+                    caches[n.pu].invalidate(*of);
+                }
+                continue;
+            }
+            if (other.sMask & (1ull << vb))
+                break; // next version shields all later entries
+            if (other.vMask & (1ull << vb)) {
+                if (cfg.hybridUpdate) {
+                    // Write-update: patch the copy in place so the
+                    // consumer's next load hits (section 3.8). The
+                    // copy now contains this (speculative) store,
+                    // so it stops being architectural unless the
+                    // storer is the non-speculative head task.
+                    const unsigned lo =
+                        std::max(offset, vbBase(vb));
+                    const unsigned hi =
+                        std::min(offset + size,
+                                 vbBase(vb) + cfg.versioningBytes);
+                    for (unsigned b = lo; b < hi; ++b)
+                        other.data[b] = bytes[b - offset];
+                    other.arch = other.arch && isHeadPu(pu);
+                    ++nUpdates;
+                } else {
+                    // Write-invalidate: the block's copy is stale.
+                    other.vMask &= ~(1ull << vb);
+                    if (other.vMask == 0) {
+                        Frame *of = caches[n.pu].find(line_addr);
+                        assert(of);
+                        caches[n.pu].invalidate(*of);
+                    }
+                }
+            }
+        }
+    }
+    for (PuId v : violators)
+        res.violators.push_back(v);
+    nViolations += violators.size();
+
+    Vol after = snoop(line_addr);
+    after.rewritePointers();
+    after.recomputeStaleBits();
+
+    // The requester regains exclusivity unless a later task still
+    // holds a (just-updated) copy of the line.
+    bool later_copy = false;
+    for (const VolNode &n : after.ordered()) {
+        if (n.pu != pu && n.line->isActive() && n.seq > req_seq)
+            later_copy = true;
+    }
+    line.shared = later_copy;
+}
+
+CommitResult
+SvcProtocol::commitTask(PuId pu)
+{
+    assert(pu < cfg.numPus && tasks[pu] != kNoTask);
+    assert(isHeadPu(pu) && "only the head task can commit");
+    CommitResult res;
+    ++nCommits;
+
+    Storage &cache = caches[pu];
+    if (cfg.lazyCommit) {
+        // One-cycle commit: flash-set the C bit; write-backs are
+        // deferred to later accesses (section 3.4).
+        cache.forEachValid([&](Frame &f) {
+            if (f.payload.isActive()) {
+                f.payload.commit = true;
+                f.payload.lMask = 0;
+            }
+        });
+    } else {
+        // Base design: write back dirty lines immediately and
+        // invalidate everything (section 3.2.4).
+        cache.forEachValid([&](Frame &f) {
+            SvcLine &line = f.payload;
+            if (line.isDirty()) {
+                const Addr a = cache.frameAddr(f);
+                for (unsigned vb = 0; vb < cfg.blocksPerLine(); ++vb) {
+                    if (line.sMask & (1ull << vb)) {
+                        mem.writeBlock(a + vbBase(vb),
+                                       line.data.data() + vbBase(vb),
+                                       cfg.versioningBytes);
+                    }
+                }
+                ++res.writebacks;
+                ++nEagerWritebacks;
+            }
+            cache.invalidate(f);
+        });
+        res.busUsed = res.writebacks > 0;
+    }
+    tasks[pu] = kNoTask;
+    return res;
+}
+
+void
+SvcProtocol::squashTask(PuId pu)
+{
+    assert(pu < cfg.numPus);
+    ++nSquashes;
+    Storage &cache = caches[pu];
+    cache.forEachValid([&](Frame &f) {
+        SvcLine &line = f.payload;
+        if (line.isPassive() && cfg.lazyCommit)
+            return; // committed state is never squashed; with lazy
+                    // commits it may be the only copy of the data
+        if (!cfg.archBit) {
+            // Base squash: invalidate every line (section 3.2.4).
+            cache.invalidate(f);
+            return;
+        }
+        if (line.isDirty() || !line.arch) {
+            // Speculative data: discard. The dangling VOL pointers
+            // this leaves are repaired on the next access (fig. 17).
+            cache.invalidate(f);
+        } else {
+            // Architectural copy: retain as a passive clean line
+            // (figure 18a, Squash[Architectural]).
+            line.commit = true;
+            line.lMask = 0;
+        }
+    });
+    tasks[pu] = kNoTask;
+}
+
+void
+SvcProtocol::flushCommitted()
+{
+    std::set<Addr> addrs;
+    for (PuId pu = 0; pu < cfg.numPus; ++pu) {
+        caches[pu].forEachValid([&](const Frame &f) {
+            if (f.payload.isPassive() && f.payload.isDirty())
+                addrs.insert(caches[pu].frameAddr(f));
+        });
+    }
+    for (Addr a : addrs) {
+        Vol vol = snoop(a);
+        purgeCommitted(a, vol);
+        vol.rewritePointers();
+        vol.recomputeStaleBits();
+    }
+}
+
+const SvcLine *
+SvcProtocol::peekLine(PuId pu, Addr addr) const
+{
+    const Storage &cache = caches[pu];
+    const auto *f = cache.find(cache.lineAddr(addr));
+    return f ? &f->payload : nullptr;
+}
+
+void
+SvcProtocol::checkInvariants() const
+{
+    // Gather every resident line address.
+    std::set<Addr> addrs;
+    for (PuId pu = 0; pu < cfg.numPus; ++pu) {
+        caches[pu].forEachValid([&](const Frame &f) {
+            addrs.insert(caches[pu].frameAddr(f));
+        });
+    }
+    auto *self = const_cast<SvcProtocol *>(this);
+    for (Addr a : addrs) {
+        Vol vol = self->snoop(a);
+        const auto &ordered = vol.ordered();
+        TaskSeq min_active = kNoTask;
+        for (PuId p = 0; p < cfg.numPus; ++p) {
+            if (tasks[p] != kNoTask)
+                min_active = std::min(min_active, tasks[p]);
+        }
+        TaskSeq last_version_seq = 0;
+        bool seen_active = false;
+        for (const VolNode &n : ordered) {
+            const SvcLine &line = *n.line;
+            // Stored blocks must hold valid data.
+            if ((line.sMask & ~line.vMask) != 0)
+                panic("SVC invariant: S mask not within V mask");
+            if ((line.lMask & ~line.vMask) != 0)
+                panic("SVC invariant: L mask not within V mask");
+            if (line.isActive()) {
+                seen_active = true;
+                if (n.seq == kNoTask)
+                    panic("SVC invariant: active line on idle PU");
+            } else {
+                if (seen_active)
+                    panic("SVC invariant: passive entry after "
+                          "active entry in VOL");
+                if (line.debugSeq != kNoTask &&
+                    min_active != kNoTask &&
+                    line.debugSeq >= min_active && line.isDirty())
+                    panic("SVC invariant: committed version from a "
+                          "task newer than the head");
+                if (line.isDirty()) {
+                    if (line.debugSeq != kNoTask &&
+                        line.debugSeq < last_version_seq)
+                        panic("SVC invariant: committed versions "
+                              "out of order in VOL");
+                    if (line.debugSeq != kNoTask)
+                        last_version_seq = line.debugSeq;
+                }
+            }
+        }
+    }
+}
+
+StatSet
+SvcProtocol::stats() const
+{
+    StatSet s;
+    s.add("loads", static_cast<double>(nLoads));
+    s.add("stores", static_cast<double>(nStores));
+    s.add("hits", static_cast<double>(nHits));
+    s.add("reuse_hits", static_cast<double>(nReuseHits));
+    s.add("bus_transactions", static_cast<double>(nBusTransactions));
+    s.add("mem_supplied", static_cast<double>(nMemSupplied));
+    s.add("cache_supplied", static_cast<double>(nCacheSupplied));
+    s.add("flushes", static_cast<double>(nFlushes));
+    s.add("violations", static_cast<double>(nViolations));
+    s.add("snarfs", static_cast<double>(nSnarfs));
+    s.add("updates", static_cast<double>(nUpdates));
+    s.add("commits", static_cast<double>(nCommits));
+    s.add("squashes", static_cast<double>(nSquashes));
+    s.add("stalls", static_cast<double>(nStalls));
+    s.add("eager_writebacks", static_cast<double>(nEagerWritebacks));
+    s.add("castouts", static_cast<double>(nCastouts));
+    const double accesses = static_cast<double>(nLoads + nStores);
+    s.add("miss_ratio",
+          accesses == 0 ? 0.0
+                        : static_cast<double>(nMemSupplied) / accesses);
+    return s;
+}
+
+} // namespace svc

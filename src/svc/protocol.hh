@@ -1,0 +1,237 @@
+/**
+ * @file
+ * The functional core of the Speculative Versioning Cache: the L1
+ * cache-controller finite state machines (paper figures 10 and 18)
+ * plus the Version Control Logic (paper section 3.8.2), operating
+ * over per-PU private caches and shared main memory.
+ *
+ * This class performs protocol state transitions instantly; the
+ * timed SvcSystem wraps it with bus arbitration, MSHRs and
+ * latencies. Keeping the protocol functional makes every paper
+ * scenario directly unit-testable.
+ */
+
+#ifndef SVC_SVC_PROTOCOL_HH
+#define SVC_SVC_PROTOCOL_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache_storage.hh"
+#include "mem/main_memory.hh"
+#include "svc/design.hh"
+#include "svc/line.hh"
+#include "svc/vol.hh"
+
+namespace svc
+{
+
+/** Outcome of one load/store, consumed by the timed layer & stats. */
+struct AccessResult
+{
+    /** Loaded value (loads only). */
+    std::uint64_t data = 0;
+    /** The request cannot proceed (no legal victim / must retry). */
+    bool stalled = false;
+    /** A bus transaction was required. */
+    bool busUsed = false;
+    /** Data was supplied by the next level of memory — this is what
+     *  the paper counts as a miss (section 4.4: cache-to-cache
+     *  transfers are not misses). */
+    bool memSupplied = false;
+    /** Some versioning block was supplied cache-to-cache. */
+    bool cacheSupplied = false;
+    /** Committed versions flushed to memory during the transaction
+     *  (each costs the extra bus cycle of section 4.2). */
+    unsigned flushes = 0;
+    /** A non-stale passive line was reused locally (EC stale bit). */
+    bool reused = false;
+    /** PUs whose task observed a memory-dependence violation and
+     *  must be squashed (store transactions only). */
+    std::vector<PuId> violators;
+};
+
+/** Outcome of a task commit. */
+struct CommitResult
+{
+    /** Lines written back eagerly (base design only). */
+    unsigned writebacks = 0;
+    /** True if the commit used the bus (base design only; the EC
+     *  commit is a purely local flash-set of C bits). */
+    bool busUsed = false;
+};
+
+/**
+ * Functional SVC protocol engine: N private caches, the VCL, and
+ * the task-assignment table the VCL consults.
+ */
+class SvcProtocol
+{
+  public:
+    SvcProtocol(const SvcConfig &config, MainMemory &memory);
+
+    // ---- Task bookkeeping (sequencer interface) ----
+
+    /** Assign task @p seq (program-order number) to @p pu. */
+    void assignTask(PuId pu, TaskSeq seq);
+
+    /** @return the task currently on @p pu, or kNoTask. */
+    TaskSeq taskOf(PuId pu) const { return tasks[pu]; }
+
+    /** @return true iff @p pu runs the oldest (head) active task. */
+    bool isHeadPu(PuId pu) const;
+
+    // ---- Memory operations ----
+
+    /** Load @p size bytes at @p addr on behalf of @p pu's task. */
+    AccessResult load(PuId pu, Addr addr, unsigned size);
+
+    /** Store the low @p size bytes of @p value at @p addr. */
+    AccessResult store(PuId pu, Addr addr, unsigned size,
+                       std::uint64_t value);
+
+    /**
+     * @return true if the given access would complete without a bus
+     * transaction (used by the timed layer to classify hits).
+     */
+    bool wouldHit(PuId pu, Addr addr, unsigned size,
+                  bool is_store) const;
+
+    // ---- Task commit / squash ----
+
+    /**
+     * Commit @p pu's task (must be the head). EC designs flash-set
+     * the C bit; the base design writes back dirty lines and
+     * invalidates the cache. Clears the task assignment.
+     */
+    CommitResult commitTask(PuId pu);
+
+    /**
+     * Squash @p pu's task: invalidate its speculative lines (all
+     * lines for the base design; non-architectural lines for ECS).
+     * Clears the task assignment.
+     */
+    void squashTask(PuId pu);
+
+    /**
+     * Write every lazily-committed (passive dirty) version back to
+     * main memory and invalidate the purged entries. Used at
+     * simulation end so memory holds the full architected state;
+     * equivalent to the purges later accesses would perform.
+     */
+    void flushCommitted();
+
+    // ---- Introspection (tests, invariants, stats) ----
+
+    /** @return the line state for @p addr in @p pu's cache. */
+    const SvcLine *peekLine(PuId pu, Addr addr) const;
+
+    /** Verify protocol invariants over every resident line. */
+    void checkInvariants() const;
+
+    const SvcConfig &config() const { return cfg; }
+
+    StatSet stats() const;
+
+    // Raw counters (public for cheap harness access).
+    Counter nLoads = 0;
+    Counter nStores = 0;
+    Counter nHits = 0;
+    Counter nReuseHits = 0;
+    Counter nBusTransactions = 0;
+    Counter nMemSupplied = 0;  ///< paper's miss count
+    Counter nCacheSupplied = 0;
+    Counter nFlushes = 0;
+    Counter nViolations = 0;
+    Counter nSnarfs = 0;
+    Counter nUpdates = 0;
+    Counter nCommits = 0;
+    Counter nSquashes = 0;
+    Counter nStalls = 0;
+    Counter nEagerWritebacks = 0;
+    Counter nCastouts = 0;
+
+    /** Per-line miss counts (only when cfg.trackMissMap). */
+    std::map<Addr, Counter> missMap;
+
+  private:
+    using Storage = CacheStorage<SvcLine>;
+    using Frame = Storage::Frame;
+
+    /** @return versioning-block mask covering [offset, offset+size). */
+    std::uint64_t vbMaskFor(unsigned offset, unsigned size) const;
+
+    /** @return byte range [first, last] of versioning block @p vb. */
+    unsigned vbBase(unsigned vb) const { return vb * cfg.versioningBytes; }
+
+    /** Collect a VOL snapshot for @p line_addr across all caches. */
+    Vol snoop(Addr line_addr);
+
+    /**
+     * The X (exclusive) bit of section 3.8.1, evaluated directly:
+     * true iff no other cache holds any copy of @p line_addr. An
+     * exclusive holder can create or extend its version locally —
+     * no copy can be stale and no L bit can exist elsewhere.
+     */
+    bool isExclusive(PuId pu, Addr line_addr) const;
+
+    /**
+     * Purge committed entries of @p line_addr: write the newest
+     * committed bytes of each versioning block back to memory and
+     * invalidate every passive line (paper sections 3.4.1/3.4.2).
+     * @return number of distinct committed versions flushed.
+     */
+    unsigned purgeCommitted(Addr line_addr, Vol &vol);
+
+    /**
+     * Compose the memory image seen by task @p req_seq for the
+     * versioning blocks in @p vb_mask: for each block, the closest
+     * previous active version, else architected memory (which the
+     * caller must already have purged into).
+     *
+     * @param[out] from_cache set per versioning block supplied by a
+     *             peer cache
+     * @param[out] speculative true if a non-head active version
+     *             contributed (clears the A bit)
+     */
+    void composeImage(Addr line_addr, const Vol &vol, TaskSeq req_seq,
+                      PuId req_pu, std::uint64_t vb_mask,
+                      std::uint8_t *out, std::uint64_t &from_cache,
+                      bool &speculative);
+
+    /**
+     * Obtain a frame of @p pu's cache for @p line_addr, evicting a
+     * victim if legal (active lines only when @p pu is the head,
+     * paper section 3.2.5). May perform cast-out bus work, which is
+     * accumulated into @p res. @return nullptr if the request must
+     * stall.
+     */
+    Frame *obtainFrame(PuId pu, Addr line_addr, AccessResult &res);
+
+    /** Cast out @p frame (write-back if dirty), then invalidate. */
+    void castout(PuId pu, Frame &frame, AccessResult &res);
+
+    /** The BusRead transaction (load miss / stale reuse miss). */
+    void busRead(PuId pu, Addr line_addr, std::uint64_t req_vbs,
+                 AccessResult &res);
+
+    /** The BusWrite transaction (store miss / upgrade). */
+    void busWrite(PuId pu, Addr line_addr, std::uint64_t store_vbs,
+                  unsigned offset, const std::uint8_t *bytes,
+                  unsigned size, AccessResult &res);
+
+    /** HR design: offer the fill to other caches (paper 3.6). */
+    void snarf(Addr line_addr, PuId requester, AccessResult &res);
+
+    SvcConfig cfg;
+    MainMemory &mem;
+    std::vector<Storage> caches;
+    std::vector<TaskSeq> tasks;
+};
+
+} // namespace svc
+
+#endif // SVC_SVC_PROTOCOL_HH

@@ -1,0 +1,292 @@
+#include "svc/system.hh"
+
+#include <cassert>
+
+#include "common/log.hh"
+
+namespace svc
+{
+
+SvcSystem::SvcSystem(const SvcConfig &config, MainMemory &memory)
+    : cfg(config), proto(config, memory),
+      epochs(config.numPus, 0),
+      wbBuffer(config.wbBufEntries * config.numPus)
+{
+    mshrs.reserve(cfg.numPus);
+    for (unsigned i = 0; i < cfg.numPus; ++i)
+        mshrs.emplace_back(cfg.numMshrs, cfg.mshrTargets);
+}
+
+void
+SvcSystem::assignTask(PuId pu, TaskSeq seq)
+{
+    ++epochs[pu];
+    proto.assignTask(pu, seq);
+}
+
+void
+SvcSystem::reportViolations(const AccessResult &res)
+{
+    if (res.violators.empty() || !onViolation)
+        return;
+    // Report the oldest violating task; the sequencer squashes it
+    // and everything younger (the paper's simple squash model).
+    PuId oldest = res.violators.front();
+    for (PuId v : res.violators) {
+        if (proto.taskOf(v) < proto.taskOf(oldest))
+            oldest = v;
+    }
+    onViolation(oldest);
+}
+
+bool
+SvcSystem::issue(const MemReq &req, DoneFn done)
+{
+    assert(req.pu < cfg.numPus);
+    if (proto.taskOf(req.pu) == kNoTask)
+        panic("SVC issue from PU %u with no assigned task", req.pu);
+
+    if (proto.wouldHit(req.pu, req.addr, req.size, req.isStore)) {
+        AccessResult res =
+            req.isStore
+                ? proto.store(req.pu, req.addr, req.size, req.data)
+                : proto.load(req.pu, req.addr, req.size);
+        assert(!res.busUsed && !res.stalled);
+        ++inFlight;
+        events.schedule(currentCycle + cfg.hitLatency,
+                        [this, done, data = res.data]() {
+                            --inFlight;
+                            done(data);
+                        });
+        return true;
+    }
+
+    // Miss: allocate an MSHR; a primary miss launches the bus
+    // request and performs the access at grant time, delivering its
+    // result through a slot; secondaries piggyback on the fill and
+    // re-execute as hits once the line is present. Requests carry
+    // the issuing task's epoch: a squash between issue and grant
+    // must not let the dead access execute under a newly assigned
+    // task's identity.
+    const Addr line_addr = req.addr & ~Addr{cfg.lineBytes - 1};
+    const std::uint64_t epoch = epochs[req.pu];
+    const bool will_be_primary =
+        mshrs[req.pu].find(line_addr) == nullptr;
+    bool is_primary = false;
+    bool ok;
+    if (will_be_primary) {
+        auto slot =
+            std::make_shared<std::optional<std::uint64_t>>();
+        ok = mshrs[req.pu].allocate(
+            line_addr,
+            [this, req, done, slot, epoch]() {
+                if (slot->has_value()) {
+                    --inFlight;
+                    done(**slot);
+                } else {
+                    finishAfterFill(req, done, epoch);
+                }
+            },
+            is_primary);
+        if (ok) {
+            assert(is_primary);
+            snoopBus.request(
+                {req.pu,
+                 req.isStore ? BusCmd::BusWrite : BusCmd::BusRead,
+                 line_addr, [this, req, slot, epoch](Cycle grant) {
+                     return performMiss(req, grant, slot, epoch);
+                 }});
+        }
+    } else {
+        ok = mshrs[req.pu].allocate(
+            line_addr,
+            [this, req, done, epoch]() {
+                finishAfterFill(req, done, epoch);
+            },
+            is_primary);
+    }
+    if (!ok)
+        return false;
+    ++inFlight;
+    return true;
+}
+
+Cycle
+SvcSystem::performMiss(const MemReq &req, Cycle grant,
+                       std::shared_ptr<std::optional<std::uint64_t>>
+                           slot,
+                       std::uint64_t epoch)
+{
+    const Addr line_addr = req.addr & ~Addr{cfg.lineBytes - 1};
+
+    // The task may have been squashed while waiting for the bus
+    // (the epoch also changes if the PU was already reassigned).
+    if (proto.taskOf(req.pu) == kNoTask || epochs[req.pu] != epoch) {
+        *slot = 0;
+        events.schedule(grant + 1, [this, line_addr, pu = req.pu]() {
+            mshrs[pu].complete(line_addr);
+        });
+        return 1;
+    }
+
+    AccessResult res =
+        req.isStore ? proto.store(req.pu, req.addr, req.size, req.data)
+                    : proto.load(req.pu, req.addr, req.size);
+
+    if (res.stalled) {
+        // No legal victim (all ways hold active lines of a
+        // speculative task): retry once the head has advanced.
+        snoopBus.request({req.pu,
+                          req.isStore ? BusCmd::BusWrite
+                                      : BusCmd::BusRead,
+                          line_addr,
+                          [this, req, slot, epoch](Cycle g) {
+                              return performMiss(req, g, slot, epoch);
+                          }});
+        return 1;
+    }
+
+    reportViolations(res);
+
+    *slot = res.data;
+    // Flushed committed versions drain through the write-back
+    // buffers in the background; only a full buffer serializes the
+    // extra flush cycles into this transaction.
+    Cycle flush_cycles = 0;
+    for (unsigned f = 0; f < res.flushes; ++f) {
+        if (wbBuffer.full()) {
+            flush_cycles += cfg.busFlushExtra;
+            ++nWbFullStalls;
+        } else {
+            wbBuffer.push({line_addr, {}, 0});
+            ++nDeferredFlushes;
+        }
+    }
+    const Cycle occupancy =
+        (res.busUsed ? cfg.busTransferCycles : Cycle{1}) +
+        flush_cycles;
+    const Cycle fill_delay =
+        occupancy + (res.memSupplied ? cfg.missPenalty : Cycle{0});
+    events.schedule(grant + fill_delay, [this, line_addr,
+                                         pu = req.pu]() {
+        mshrs[pu].complete(line_addr);
+    });
+    return occupancy;
+}
+
+void
+SvcSystem::finishAfterFill(const MemReq &req, DoneFn done,
+                           std::uint64_t epoch)
+{
+    // The fill arrived; the original access should now hit. If the
+    // task has since been squashed or replaced, deliver a dead
+    // value (the LSQ discards completions from stale epochs).
+    if (proto.taskOf(req.pu) == kNoTask || epochs[req.pu] != epoch) {
+        --inFlight;
+        done(0);
+        return;
+    }
+    if (proto.wouldHit(req.pu, req.addr, req.size, req.isStore)) {
+        AccessResult res =
+            req.isStore
+                ? proto.store(req.pu, req.addr, req.size, req.data)
+                : proto.load(req.pu, req.addr, req.size);
+        --inFlight;
+        done(res.data);
+        return;
+    }
+    // Raced with an invalidation: retry as a fresh miss. The
+    // in-flight count is kept while the retry loop runs so the
+    // system stays "busy" and keeps ticking.
+    retryIssue(req, done, epoch);
+}
+
+void
+SvcSystem::retryIssue(const MemReq &req, DoneFn done,
+                      std::uint64_t epoch)
+{
+    events.schedule(currentCycle + 1, [this, req, done, epoch]() {
+        --inFlight;
+        if (epochs[req.pu] != epoch) {
+            done(0); // stale request: the LSQ discards it
+            return;
+        }
+        if (!issue(req, done)) {
+            ++inFlight;
+            retryIssue(req, done, epoch);
+        }
+    });
+}
+
+void
+SvcSystem::commitTask(PuId pu)
+{
+    CommitResult res = proto.commitTask(pu);
+    if (res.busUsed) {
+        // Base design: the eager write-back burst occupies the bus
+        // (the serial commit bottleneck of section 3.2.6).
+        const unsigned n = res.writebacks;
+        snoopBus.request({pu, BusCmd::BusWback, 0,
+                          [this, n](Cycle) {
+                              return Cycle{n} *
+                                     (cfg.busTransferCycles +
+                                      cfg.busFlushExtra);
+                          }});
+    }
+}
+
+void
+SvcSystem::squashTask(PuId pu)
+{
+    ++epochs[pu];
+    proto.squashTask(pu);
+}
+
+void
+SvcSystem::tick()
+{
+    ++currentCycle;
+    // Drain one parked write-back per idle bus cycle.
+    if (!wbBuffer.empty() && !snoopBus.busy(currentCycle) &&
+        snoopBus.pending() == 0) {
+        wbBuffer.pop();
+        snoopBus.request({0, BusCmd::BusWback, 0,
+                          [this](Cycle) {
+                              return cfg.busFlushExtra;
+                          }});
+    }
+    snoopBus.tick(currentCycle);
+    events.runDue(currentCycle);
+}
+
+bool
+SvcSystem::busyWithRequests() const
+{
+    return inFlight > 0 || snoopBus.pending() > 0;
+}
+
+double
+SvcSystem::missRatio() const
+{
+    const double accesses =
+        static_cast<double>(proto.nLoads + proto.nStores);
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(proto.nMemSupplied) / accesses;
+}
+
+StatSet
+SvcSystem::stats() const
+{
+    StatSet s;
+    s.merge("protocol", proto.stats());
+    s.merge("bus", snoopBus.stats());
+    for (PuId pu = 0; pu < cfg.numPus; ++pu)
+        s.merge("mshr" + std::to_string(pu), mshrs[pu].stats());
+    s.add("deferred_flushes", static_cast<double>(nDeferredFlushes));
+    s.add("wb_full_stalls", static_cast<double>(nWbFullStalls));
+    s.add("miss_ratio", missRatio());
+    return s;
+}
+
+} // namespace svc

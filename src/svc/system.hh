@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The timed Speculative Versioning Cache system: wraps the
+ * functional SvcProtocol with the split-transaction snooping bus,
+ * per-cache MSHRs, and the paper's latencies (1-cycle private-cache
+ * hit, 3-cycle bus transaction, +1 cycle per committed-version
+ * flush, 10-cycle next-level supply). Implements SpecMem so the
+ * multiscalar core can run over it unchanged.
+ */
+
+#ifndef SVC_SVC_SYSTEM_HH
+#define SVC_SVC_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/types.hh"
+#include "mem/bus.hh"
+#include "mem/main_memory.hh"
+#include "mem/mshr.hh"
+#include "mem/writeback_buffer.hh"
+#include "mem/spec_mem.hh"
+#include "svc/protocol.hh"
+
+namespace svc
+{
+
+/** Timed SVC memory system (paper section 4.2 configuration). */
+class SvcSystem : public SpecMem
+{
+  public:
+    SvcSystem(const SvcConfig &config, MainMemory &memory);
+
+    void setViolationHandler(ViolationFn fn) override { onViolation = fn; }
+    void assignTask(PuId pu, TaskSeq seq) override;
+    bool issue(const MemReq &req, DoneFn done) override;
+    void commitTask(PuId pu) override;
+    void squashTask(PuId pu) override;
+    void tick() override;
+    bool busyWithRequests() const override;
+    StatSet stats() const override;
+    const char *name() const override { return "svc"; }
+
+    /** Direct access for tests and harnesses. */
+    SvcProtocol &protocol() { return proto; }
+    const SnoopingBus &bus() const { return snoopBus; }
+    Cycle now() const { return currentCycle; }
+
+    /** The paper's miss ratio: next-level supplies / accesses. */
+    double missRatio() const;
+
+  private:
+    /** Handle a miss once the bus grants it; the access result is
+     *  published through @p slot for the primary target. @p epoch
+     *  guards against squash/reassign races. */
+    Cycle performMiss(const MemReq &req, Cycle grant,
+                      std::shared_ptr<std::optional<std::uint64_t>>
+                          slot,
+                      std::uint64_t epoch);
+
+    /** Re-run an access after its line was filled. */
+    void finishAfterFill(const MemReq &req, DoneFn done,
+                         std::uint64_t epoch);
+
+    /** Retry a rejected/raced request every cycle until accepted
+     *  (dropped if @p epoch goes stale). */
+    void retryIssue(const MemReq &req, DoneFn done,
+                    std::uint64_t epoch);
+
+    /** Report violations from @p res to the sequencer. */
+    void reportViolations(const AccessResult &res);
+
+    SvcConfig cfg;
+    SvcProtocol proto;
+    SnoopingBus snoopBus;
+    EventQueue events;
+    std::vector<MshrFile> mshrs;
+    /**
+     * Committed-version flushes park here (the per-cache 8-entry
+     * write-back buffers of section 4.2) and drain on otherwise
+     * idle bus cycles; a full buffer stalls the flushing
+     * transaction for the extra cycle instead. Data is written
+     * through functionally at flush time — the buffer models
+     * *timing* decoupling only.
+     */
+    WritebackBuffer wbBuffer;
+    Counter nDeferredFlushes = 0;
+    Counter nWbFullStalls = 0;
+    std::vector<std::uint64_t> epochs;
+    ViolationFn onViolation;
+    Cycle currentCycle = 0;
+    unsigned inFlight = 0;
+};
+
+} // namespace svc
+
+#endif // SVC_SVC_SYSTEM_HH

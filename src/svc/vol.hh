@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The Version Ordering List (paper section 2.3): the ordered set of
+ * copies/versions of one line, distributed across the private L1s
+ * as explicit per-line PU pointers. The Version Control Logic
+ * reconstructs the list from snooped line states on every bus
+ * request; this file implements that reconstruction plus pointer
+ * rewriting and stale-bit maintenance.
+ *
+ * Ordering rules (derived from the paper's design):
+ *  - committed (passive) entries precede all uncommitted (active)
+ *    entries, and keep their relative order via the pointer chain;
+ *  - active entries are ordered by the program order of the tasks
+ *    currently assigned to their PUs (the VCL receives this "task
+ *    assignment information" from the sequencer, figure 5);
+ *  - after a squash, dangling pointers are ignored and repaired on
+ *    the next access (paper section 3.5, figure 17).
+ */
+
+#ifndef SVC_SVC_VOL_HH
+#define SVC_SVC_VOL_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "svc/line.hh"
+
+namespace svc
+{
+
+/** One entry of a reconstructed VOL. */
+struct VolNode
+{
+    PuId pu = kNoPu;
+    SvcLine *line = nullptr;
+    /** Task seq of the PU's current task; kNoTask for passive. */
+    TaskSeq seq = kNoTask;
+};
+
+/** A reconstructed, ordered Version Ordering List for one line. */
+class Vol
+{
+  public:
+    /**
+     * Reconstruct the VOL from the snooped lines of every cache.
+     *
+     * @param nodes one entry per cache holding the line (any order);
+     *        seq must be the PU's current task for active lines.
+     * @return nodes ordered oldest-to-newest.
+     */
+    static Vol build(std::vector<VolNode> nodes);
+
+    const std::vector<VolNode> &ordered() const { return nodes; }
+    bool empty() const { return nodes.empty(); }
+    std::size_t size() const { return nodes.size(); }
+
+    /** @return index of @p pu in the list, or -1. */
+    int indexOf(PuId pu) const;
+
+    /**
+     * @return index of the most recent version (last node with a
+     * non-empty store mask), or -1 if only copies exist.
+     */
+    int lastVersionIndex() const;
+
+    /**
+     * Rewrite every member line's VOL pointer to match this order
+     * (the VCL "modifies the pointers in the lines accordingly",
+     * paper section 3.4.1).
+     */
+    void rewritePointers() const;
+
+    /**
+     * Re-establish the stale-bit invariant (paper section 3.4.3):
+     * the most recent version and every entry after it (its copies)
+     * have T reset; entries before it have T set. With no version
+     * present every copy is architectural and T is reset.
+     */
+    void recomputeStaleBits() const;
+
+    /** Remove the node for @p pu, if present. */
+    void erase(PuId pu);
+
+  private:
+    std::vector<VolNode> nodes;
+};
+
+} // namespace svc
+
+#endif // SVC_SVC_VOL_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * apsi analog: Gauss-Seidel-style sweeps over a 2-D FP mesh. SPEC95
+ * apsi solves pollutant-transport PDEs with repeated array sweeps;
+ * the defining property here is the row-to-row memory-carried
+ * dependence (row i reads row i-1's freshly written values), which
+ * produces real cross-task memory dependences — speculation across
+ * rows succeeds only when the rows' timing happens to respect them.
+ * One task per row per sweep.
+ */
+
+#include "workloads/workloads.hh"
+
+#include <bit>
+
+#include "workloads/kernel_helpers.hh"
+
+namespace svc::workloads
+{
+
+Workload
+makeApsi(const WorkloadParams &params)
+{
+    using namespace isa;
+    const unsigned rows = 16 + 2 * params.scale;
+    const unsigned cols = 20;
+    const unsigned sweeps = 4 * params.scale;
+    const unsigned inner_rows = rows - 2;
+    const unsigned total_tasks = sweeps * inner_rows;
+    const unsigned words = rows * cols;
+
+    ProgramBuilder b;
+    std::vector<std::uint32_t> mesh(words);
+    Rng rng(params.seed);
+    for (auto &w : mesh) {
+        w = std::bit_cast<std::uint32_t>(
+            static_cast<float>(rng.below(2000)) * 0.01f);
+    }
+    Label a = b.dataWords("mesh", mesh);
+    Label result = b.allocData("result", 4);
+
+    const std::uint32_t quarter =
+        std::bit_cast<std::uint32_t>(0.25f);
+    const int row_bytes = static_cast<int>(cols * 4);
+
+    // r1 task counter, r5 mesh base, r18 0.25f, r26 inner rows.
+    b.beginTask("init");
+    Label body = b.newLabel("body");
+    b.taskTargets({body});
+    b.li(1, 0);
+    b.la(5, a);
+    b.li(18, quarter);
+    b.li(19, 0);
+    b.li(26, inner_rows);
+    b.j(body);
+
+    Label check = b.newLabel("check");
+    b.bind(body);
+    b.beginTask("body");
+    b.taskTargets({body, check});
+    Label jloop = b.newLabel();
+    // row = (task % inner_rows) + 1
+    b.remu(10, 1, 26);
+    b.addi(1, 1, 1);
+    b.release({1});
+    b.addi(10, 10, 1);
+    // r13 = &a[row][1]
+    b.li(11, row_bytes);
+    b.mul(12, 10, 11);
+    b.add(13, 12, 5);
+    b.addi(13, 13, 4);
+    b.li(15, cols - 2); // j counter
+
+    b.bind(jloop);
+    b.lw(8, -4, 13);          // west (this row, just updated)
+    b.lw(9, 4, 13);           // east
+    b.lw(11, -row_bytes, 13); // north (previous task's row)
+    b.lw(12, row_bytes, 13);  // south
+    b.lw(14, 0, 13);          // center
+    b.fadd(8, 8, 9);
+    b.fadd(11, 11, 12);
+    b.fadd(8, 8, 11);
+    b.fmul(8, 8, 18); // * 0.25
+    // A second smoothing/transport stage per cell (apsi's inner
+    // loops perform dozens of FP operations per mesh point).
+    b.fsub(16, 8, 14);  // residual
+    b.fmul(16, 16, 18);
+    b.fadd(14, 14, 16); // damped update
+    b.fmul(17, 14, 14); // local energy
+    b.fadd(19, 19, 17); // accumulate (diagnostic sum)
+    b.fmul(16, 16, 18);
+    b.fadd(14, 14, 16); // second-order correction
+    b.sw(14, 0, 13);
+    b.addi(13, 13, 4);
+    b.addi(15, 15, -1);
+    b.bne(15, 0, jloop);
+    b.li(16, total_tasks);
+    b.bne(1, 16, body);
+
+    emitChecksumTask(b, check, a, words, result);
+
+    Workload w;
+    w.name = "apsi";
+    w.specAnalog = "141.apsi (SPEC95)";
+    w.program = b.finalize();
+    w.checkBase = w.program.labelAddr("result");
+    w.checkLen = 4;
+    return w;
+}
+
+} // namespace svc::workloads

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * compress95 analog: LZW-style dictionary compression. The dominant
+ * behaviour of SPEC95 compress is a byte-granular loop probing a
+ * hash table of (prefix, char) codes, with a serializing
+ * loop-carried prefix — low task-level parallelism and frequent
+ * cross-task dependences through the table, which is why compress
+ * shows the paper's lowest IPC.
+ *
+ * One task per input byte: hash the (prefix<<8 | byte) key, probe
+ * the table (bounded linear probing), extend or emit+insert.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "workloads/kernel_helpers.hh"
+
+namespace svc::workloads
+{
+
+Workload
+makeCompress(const WorkloadParams &params)
+{
+    using namespace isa;
+    constexpr unsigned kTableEntries = 512; // 8 bytes each
+    const unsigned n = 384 * params.scale;
+
+    ProgramBuilder b;
+    Label input = b.dataBytes("input", makeTextInput(n, params.seed));
+    Label table = b.allocData("table", kTableEntries * 8);
+    // Emitted codes drain into a bounded circular output window.
+    constexpr unsigned kOutBytes = 4096;
+    Label output = b.allocData("output", kOutBytes);
+    Label result = b.allocData("result", 4);
+
+    // r1 in-ptr, r2 remaining, r3 prefix, r4 next code, r5 table,
+    // r6 out offset (wraps), r18 out base, r15 hash multiplier.
+    b.beginTask("init");
+    Label body = b.newLabel("body");
+    b.taskTargets({body});
+    b.la(1, input);
+    b.li(2, n);
+    b.li(3, 0);
+    b.li(4, 256);
+    b.la(5, table);
+    b.li(6, 0);
+    b.la(18, output);
+    b.li(15, 40503); // Fibonacci-ish 16-bit hash multiplier
+    b.j(body);
+
+    Label check = b.newLabel("check");
+    b.bind(body);
+    b.beginTask("body");
+    b.taskTargets({body, check});
+    Label probe = b.newLabel();
+    Label hit = b.newLabel();
+    Label empty = b.newLabel();
+    Label emit = b.newLabel();
+    Label next = b.newLabel();
+
+    b.lbu(10, 0, 1);
+    b.addi(1, 1, 1);
+    b.release({1});
+    b.addi(2, 2, -1);
+    b.release({2});
+    b.slli(11, 3, 8);
+    b.or_(11, 11, 10); // key = prefix<<8 | c
+    b.mul(12, 11, 15);
+    b.srli(12, 12, 7);
+    b.andi(12, 12, kTableEntries - 1);
+    b.li(16, 4); // probe budget
+
+    b.bind(probe);
+    b.slli(13, 12, 3);
+    b.add(13, 13, 5);
+    b.lw(14, 0, 13);
+    b.beq(14, 11, hit);
+    b.beq(14, 0, empty);
+    b.addi(12, 12, 1);
+    b.andi(12, 12, kTableEntries - 1);
+    b.addi(16, 16, -1);
+    b.bne(16, 0, probe);
+    b.j(emit); // bucket cluster full: emit without insert
+
+    b.bind(hit);
+    b.lw(3, 4, 13); // prefix = stored code
+    b.j(next);
+
+    b.bind(empty);
+    b.sw(11, 0, 13); // insert key
+    b.sw(4, 4, 13);  // insert code
+    b.addi(4, 4, 1);
+
+    b.bind(emit);
+    b.add(17, 18, 6);
+    b.sw(3, 0, 17); // emit prefix code
+    b.addi(6, 6, 4);
+    b.andi(6, 6, kOutBytes - 1);
+    b.add(3, 10, 0); // prefix = c
+
+    b.bind(next);
+    b.bne(2, 0, body);
+    // Falls through into the check task.
+
+    emitChecksumTask(b, check, output, kOutBytes / 4, result);
+    Program prog = b.finalize();
+
+    Workload w;
+    w.name = "compress";
+    w.specAnalog = "129.compress (SPEC95)";
+    w.program = std::move(prog);
+    w.checkBase = w.program.labelAddr("result");
+    w.checkLen = 4;
+    return w;
+}
+
+} // namespace svc::workloads

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * gcc analog: constant-folding over a randomly wired expression IR.
+ * SPEC95 gcc is dominated by pointer-heavy tree/list walks with
+ * irregular, data-dependent control; this kernel walks an array of
+ * 16-byte IR nodes (kind, value, left-index, right-index), chases
+ * the child pointers, and folds constant subexpressions in place —
+ * later nodes that reference earlier folded nodes create genuine
+ * cross-task memory dependences.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "workloads/kernel_helpers.hh"
+
+namespace svc::workloads
+{
+
+namespace
+{
+
+/** Node kinds. */
+enum : std::uint32_t { kConst = 0, kAdd = 1, kMul = 2, kNeg = 3 };
+
+std::vector<std::uint32_t>
+makeIr(unsigned nodes, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint32_t> words;
+    words.reserve(nodes * 4);
+    for (unsigned i = 0; i < nodes; ++i) {
+        std::uint32_t kind =
+            i < 2 ? kConst
+                  : static_cast<std::uint32_t>(rng.below(4));
+        const std::uint32_t val =
+            static_cast<std::uint32_t>(rng.below(1000));
+        // Children reference earlier nodes only (a DAG, like a
+        // post-order IR array).
+        const std::uint32_t left =
+            static_cast<std::uint32_t>(rng.below(i ? i : 1));
+        const std::uint32_t right =
+            static_cast<std::uint32_t>(rng.below(i ? i : 1));
+        words.push_back(kind);
+        words.push_back(val);
+        words.push_back(left);
+        words.push_back(right);
+    }
+    return words;
+}
+
+} // namespace
+
+Workload
+makeGcc(const WorkloadParams &params)
+{
+    using namespace isa;
+    // A bounded IR walked by repeated optimization passes — gcc's
+    // RTL passes revisit the same function bodies many times, so
+    // the working set is revisited rather than streamed. Constant
+    // folding converges over passes as foldable subtrees appear.
+    constexpr unsigned kNodes = 256; // 4KB of IR
+    const unsigned passes = 3 * params.scale;
+    const unsigned visits = kNodes * passes;
+
+    ProgramBuilder b;
+    Label ir = b.dataWords("ir", makeIr(kNodes, params.seed));
+    Label result = b.allocData("result", 4);
+
+    // r1 node offset (wraps each pass), r2 remaining visits,
+    // r5 nodes base, r7 folded count.
+    b.beginTask("init");
+    Label body = b.newLabel("body");
+    b.taskTargets({body});
+    b.li(1, 0);
+    b.li(2, visits);
+    b.la(5, ir);
+    b.li(7, 0);
+    b.j(body);
+
+    Label check = b.newLabel("check");
+    b.bind(body);
+    b.beginTask("body");
+    b.taskTargets({body, check});
+    Label binop = b.newLabel();
+    Label domul = b.newLabel();
+    Label fold = b.newLabel();
+    Label neg = b.newLabel();
+    Label next = b.newLabel();
+
+    b.add(9, 5, 1); // this task's node
+    b.addi(1, 1, 16);
+    b.andi(1, 1, kNodes * 16 - 1);
+    b.release({1});
+    b.addi(2, 2, -1);
+    b.release({2});
+    b.lw(10, 0, 9); // kind
+    b.beq(10, 0, next); // CONST: nothing to do
+    b.li(16, kNeg);
+    b.beq(10, 16, neg);
+
+    b.bind(binop);
+    b.lw(11, 8, 9);  // left index
+    b.lw(12, 12, 9); // right index
+    b.slli(11, 11, 4);
+    b.add(11, 11, 5);
+    b.slli(12, 12, 4);
+    b.add(12, 12, 5);
+    b.lw(13, 0, 11); // left kind
+    b.lw(14, 0, 12); // right kind
+    b.or_(15, 13, 14);
+    b.bne(15, 0, next); // not both constant
+    b.lw(13, 4, 11);    // left value
+    b.lw(14, 4, 12);    // right value
+    b.li(16, kMul);
+    b.beq(10, 16, domul);
+    b.add(15, 13, 14);
+    b.j(fold);
+    b.bind(domul);
+    b.mul(15, 13, 14);
+
+    b.bind(fold);
+    b.sw(0, 0, 9);  // kind = CONST
+    b.sw(15, 4, 9); // value
+    b.addi(7, 7, 1);
+    b.j(next);
+
+    b.bind(neg);
+    b.lw(11, 8, 9);
+    b.slli(11, 11, 4);
+    b.add(11, 11, 5);
+    b.lw(13, 0, 11);
+    b.bne(13, 0, next);
+    b.lw(14, 4, 11);
+    b.sub(15, 0, 14);
+    b.sw(0, 0, 9);
+    b.sw(15, 4, 9);
+    b.addi(7, 7, 1);
+
+    b.bind(next);
+    b.bne(2, 0, body);
+
+    emitChecksumTask(b, check, ir, kNodes * 4, result);
+
+    Workload w;
+    w.name = "gcc";
+    w.specAnalog = "126.gcc (SPEC95)";
+    w.program = b.finalize();
+    w.checkBase = w.program.labelAddr("result");
+    w.checkLen = 4;
+    return w;
+}
+
+} // namespace svc::workloads

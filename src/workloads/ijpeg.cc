@@ -1,0 +1,116 @@
+/**
+ * @file
+ * ijpeg analog: integer butterfly transforms over 8-pixel segments
+ * of an image. SPEC95 ijpeg is dominated by blocked integer DCT /
+ * quantization with high instruction-level parallelism and mostly
+ * task-independent data — the best-scaling workload in the paper's
+ * set. One task per 8-byte segment: load, three butterfly stages,
+ * scale, store to the output image.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "workloads/kernel_helpers.hh"
+
+namespace svc::workloads
+{
+
+Workload
+makeIjpeg(const WorkloadParams &params)
+{
+    using namespace isa;
+    // A bounded image tile processed in multiple passes — real
+    // encoders iterate repeatedly over block-sized working sets
+    // (row/column transform passes, quantization sweeps), which is
+    // what gives SPEC ijpeg its low miss ratio.
+    constexpr unsigned kImageBytes = 4096;
+    constexpr unsigned kOutBytes = 4096;
+    /** Rows of 8 pixels per task (a half 8x8 block). */
+    constexpr unsigned kRowsPerTask = 4;
+    const unsigned blocks = 128 * 3 * params.scale;
+
+    ProgramBuilder b;
+    std::vector<std::uint8_t> image(kImageBytes);
+    Rng rng(params.seed);
+    for (auto &px : image)
+        px = static_cast<std::uint8_t>(rng.below(256));
+    Label in = b.dataBytes("image", image);
+    Label out = b.allocData("coeffs", kOutBytes);
+    Label result = b.allocData("result", 4);
+
+    // r26 image base, r1 in offset (wraps), r6 out base, r2 out
+    // offset (wraps), r3 remaining blocks.
+    b.beginTask("init");
+    Label body = b.newLabel("body");
+    b.taskTargets({body});
+    b.la(26, in);
+    b.li(1, 0);
+    b.la(6, out);
+    b.li(2, 0);
+    b.li(3, blocks);
+    b.j(body);
+
+    Label check = b.newLabel("check");
+    b.bind(body);
+    b.beginTask("body");
+    b.taskTargets({body, check});
+    b.add(7, 6, 2);   // this task's output slot
+    b.add(27, 26, 1); // this task's input block
+    b.addi(1, 1, 8 * kRowsPerTask);
+    b.andi(1, 1, kImageBytes - 1);
+    b.release({1});
+    b.addi(2, 2, 32);
+    b.andi(2, 2, kOutBytes - 1);
+    b.release({2});
+    b.addi(3, 3, -1);
+    b.release({3});
+    // Transform kRowsPerTask rows of 8 pixels; each row's
+    // coefficients fold into two output words (a real encoder's
+    // row pass over half an 8x8 block).
+    for (unsigned row = 0; row < kRowsPerTask; ++row) {
+        const int base = static_cast<int>(row * 8);
+        for (unsigned i = 0; i < 8; ++i) {
+            b.lbu(static_cast<Reg>(8 + i),
+                  base + static_cast<int>(i), 27);
+        }
+        // Butterfly stage 1: sums r16..r19, diffs r8..r11.
+        for (unsigned i = 0; i < 4; ++i) {
+            b.add(static_cast<Reg>(16 + i), static_cast<Reg>(8 + i),
+                  static_cast<Reg>(15 - i));
+            b.sub(static_cast<Reg>(8 + i), static_cast<Reg>(8 + i),
+                  static_cast<Reg>(15 - i));
+        }
+        // Stage 2 on the sums.
+        b.add(20, 16, 19);
+        b.sub(16, 16, 19);
+        b.add(21, 17, 18);
+        b.sub(17, 17, 18);
+        // Stage 3 / scaling.
+        b.add(22, 20, 21); // DC term
+        b.sub(20, 20, 21);
+        b.slli(23, 8, 1);
+        b.add(23, 23, 9);
+        b.slli(24, 10, 1);
+        b.sub(24, 24, 11);
+        // Fold the row's AC energy into the DC word.
+        b.xor_(20, 20, 16);
+        b.xor_(20, 20, 17);
+        b.xor_(23, 23, 24);
+        b.xor_(20, 20, 23);
+        b.sw(22, static_cast<int>(row * 8), 7);
+        b.sw(20, static_cast<int>(row * 8) + 4, 7);
+    }
+    b.bne(3, 0, body);
+
+    emitChecksumTask(b, check, out, kOutBytes / 4, result);
+
+    Workload w;
+    w.name = "ijpeg";
+    w.specAnalog = "132.ijpeg (SPEC95)";
+    w.program = b.finalize();
+    w.checkBase = w.program.labelAddr("result");
+    w.checkLen = 4;
+    return w;
+}
+
+} // namespace svc::workloads

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared emission helpers for the workload kernels: synthetic input
+ * generation and the common verification tail (a checksum task that
+ * folds an output region into the `result` word so every kernel is
+ * end-to-end checkable). Callers create the check label up front so
+ * it can appear in task target lists.
+ */
+
+#ifndef SVC_WORKLOADS_KERNEL_HELPERS_HH
+#define SVC_WORKLOADS_KERNEL_HELPERS_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "isa/builder.hh"
+
+namespace svc::workloads
+{
+
+/**
+ * Emit the standard verification tail: a `check` task that XORs
+ * @p words words starting at @p region into r21, stores the result
+ * at @p result and halts. Uses registers r21..r25.
+ *
+ * The caller must arrange for control to reach the returned label
+ * (it is a task entry).
+ */
+inline void
+emitChecksumTask(isa::ProgramBuilder &b, isa::Label check,
+                 isa::Label region, unsigned words,
+                 isa::Label result)
+{
+    using namespace isa;
+    b.bind(check);
+    b.beginTask("check");
+    b.la(24, region);
+    b.li(25, words);
+    b.li(21, 0);
+    Label loop = b.hereLabel();
+    b.lw(22, 0, 24);
+    b.xor_(21, 21, 22);
+    b.addi(24, 24, 4);
+    b.addi(25, 25, -1);
+    b.bne(25, 0, loop);
+    b.la(23, result);
+    b.sw(21, 0, 23);
+    b.halt();
+}
+
+/** Pseudo-text bytes (skewed distribution with repetitions). */
+inline std::vector<std::uint8_t>
+makeTextInput(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> out;
+    out.reserve(n);
+    static const char kWords[][8] = {"the ",  "cat ",  "sat ",
+                                     "on ",   "a ",    "mat ",
+                                     "and ",  "ran ",  "fast ",
+                                     "home "};
+    while (out.size() < n) {
+        const char *w = kWords[rng.below(10)];
+        for (const char *p = w; *p && out.size() < n; ++p)
+            out.push_back(static_cast<std::uint8_t>(*p));
+    }
+    return out;
+}
+
+/** Random words in [0, bound). */
+inline std::vector<std::uint32_t>
+makeRandomWords(std::size_t n, std::uint32_t bound,
+                std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint32_t> out(n);
+    for (auto &w : out)
+        w = static_cast<std::uint32_t>(rng.below(bound));
+    return out;
+}
+
+} // namespace svc::workloads
+
+#endif // SVC_WORKLOADS_KERNEL_HELPERS_HH

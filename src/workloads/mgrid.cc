@@ -1,0 +1,122 @@
+/**
+ * @file
+ * mgrid analog: a 7-point single-precision 3-D stencil relaxation.
+ * SPEC95 mgrid's multigrid smoother streams large 3-D arrays
+ * through the caches with strided FP reads — the workload with the
+ * paper's highest miss rate and bus utilization. One task per
+ * (i,j) pencil: the inner k-loop applies
+ *   out[ijk] = c0*in[ijk] + c1*(sum of 6 face neighbors).
+ * The pencil index is recovered with divu/remu, exercising the
+ * complex integer unit alongside the FP unit.
+ */
+
+#include "workloads/workloads.hh"
+
+#include <bit>
+
+#include "workloads/kernel_helpers.hh"
+
+namespace svc::workloads
+{
+
+Workload
+makeMgrid(const WorkloadParams &params)
+{
+    using namespace isa;
+    const unsigned n = 10 + 2 * params.scale; // grid edge
+    const unsigned inner = n - 2;
+    const unsigned pencils = inner * inner;
+    const unsigned words = n * n * n;
+
+    ProgramBuilder b;
+    std::vector<std::uint32_t> grid(words);
+    Rng rng(params.seed);
+    for (auto &w : grid) {
+        w = std::bit_cast<std::uint32_t>(
+            static_cast<float>(rng.below(1000)) * 0.001f);
+    }
+    Label in = b.dataWords("grid_in", grid);
+    Label out = b.allocData("grid_out", words * 4);
+    Label result = b.allocData("result", 4);
+
+    const std::uint32_t c0 =
+        std::bit_cast<std::uint32_t>(0.5f);
+    const std::uint32_t c1 =
+        std::bit_cast<std::uint32_t>(1.0f / 12.0f);
+
+    // r1 pencil counter, r5 in base, r6 out base, r18 c0, r19 c1,
+    // r26 = inner, r27 = n.
+    b.beginTask("init");
+    Label body = b.newLabel("body");
+    b.taskTargets({body});
+    b.li(1, 0);
+    b.la(5, in);
+    b.la(6, out);
+    b.li(18, c0);
+    b.li(19, c1);
+    b.li(26, inner);
+    b.li(27, n);
+    b.j(body);
+
+    Label check = b.newLabel("check");
+    b.bind(body);
+    b.beginTask("body");
+    b.taskTargets({body, check});
+    Label kloop = b.newLabel();
+    // Recover (i, j) from the flat pencil index.
+    b.divu(10, 1, 26); // i-1
+    b.remu(11, 1, 26); // j-1
+    b.addi(1, 1, 1);
+    b.release({1});
+    b.addi(10, 10, 1);
+    b.addi(11, 11, 1);
+    // base = ((i*n)+j)*n + 1  (word index of k=1)
+    b.mul(12, 10, 27);
+    b.add(12, 12, 11);
+    b.mul(12, 12, 27);
+    b.addi(12, 12, 1);
+    b.slli(12, 12, 2); // byte offset
+    b.add(13, 12, 5);  // &in[i][j][1]
+    b.add(14, 12, 6);  // &out[i][j][1]
+    b.addi(15, 26, 0); // k counter
+    // Neighbor strides in bytes: z=4, y=4n, x=4n^2.
+    const int sy = static_cast<int>(4 * n);
+    const int sx = static_cast<int>(4 * n * n);
+
+    b.bind(kloop);
+    b.lw(8, 0, 13);
+    b.lw(9, -4, 13);
+    b.lw(10, 4, 13);
+    b.lw(11, -sy, 13);
+    b.lw(12, sy, 13);
+    b.lw(16, -sx, 13);
+    b.lw(17, sx, 13);
+    b.fadd(9, 9, 10);
+    b.fadd(11, 11, 12);
+    b.fadd(16, 16, 17);
+    b.fadd(9, 9, 11);
+    b.fadd(9, 9, 16);
+    b.fmul(8, 8, 18);  // c0 * center
+    b.fmul(9, 9, 19);  // c1 * neighbor sum
+    b.fadd(8, 8, 9);
+    b.sw(8, 0, 14);
+    b.addi(13, 13, 4);
+    b.addi(14, 14, 4);
+    b.addi(15, 15, -1);
+    b.bne(15, 0, kloop);
+    // More pencils?
+    b.li(16, pencils);
+    b.bne(1, 16, body);
+
+    emitChecksumTask(b, check, out, words, result);
+
+    Workload w;
+    w.name = "mgrid";
+    w.specAnalog = "107.mgrid (SPEC95)";
+    w.program = b.finalize();
+    w.checkBase = w.program.labelAddr("result");
+    w.checkLen = 4;
+    return w;
+}
+
+} // namespace svc::workloads

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * perl analog: a bytecode interpreter running a scrabble-like
+ * scoring script. SPEC95 perl's behaviour is dominated by the
+ * opcode dispatch loop (indirect jumps), a memory-resident operand
+ * stack, and symbol/hash-table updates. One task per bytecode
+ * operation; the dispatch is a computed JALR into a fixed-stride
+ * handler block. The interpreter state registers (bytecode pointer,
+ * stack pointer) are loop-carried without early release — the
+ * serialization this causes is exactly perl's profile.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "workloads/kernel_helpers.hh"
+
+namespace svc::workloads
+{
+
+namespace
+{
+
+enum : std::uint32_t
+{
+    kOpPush = 0,
+    kOpAdd = 1,
+    kOpDup = 2,
+    kOpScore = 3,
+    kOpEnd = 4,
+};
+
+/** Generate a valid bytecode stream (stack depth tracked). */
+std::vector<std::uint32_t>
+makeBytecode(unsigned ops, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint32_t> bc;
+    int depth = 0;
+    for (unsigned i = 0; i < ops; ++i) {
+        unsigned pick = static_cast<unsigned>(rng.below(100));
+        if (depth < 1 || pick < 35) {
+            bc.push_back(kOpPush);
+            bc.push_back(static_cast<std::uint32_t>(rng.below(997)));
+            ++depth;
+        } else if (depth >= 2 && pick < 60) {
+            bc.push_back(kOpAdd);
+            --depth;
+        } else if (depth < 12 && pick < 75) {
+            bc.push_back(kOpDup);
+            ++depth;
+        } else {
+            bc.push_back(kOpScore);
+            --depth;
+        }
+    }
+    while (depth-- > 0)
+        bc.push_back(kOpScore);
+    bc.push_back(kOpEnd);
+    return bc;
+}
+
+} // namespace
+
+Workload
+makePerl(const WorkloadParams &params)
+{
+    using namespace isa;
+    constexpr unsigned kHandlerStride = 16; // instructions
+    const unsigned ops = 224 * params.scale;
+
+    ProgramBuilder b;
+    Label bc = b.dataWords("bytecode",
+                           makeBytecode(ops, params.seed));
+    Label stack = b.allocData("stack", 256);
+    Label symtab = b.allocData("symtab", 64 * 4);
+    Label result = b.allocData("result", 4);
+
+    // r1 bytecode ptr, r20 operand stack ptr, r5 symtab base,
+    // r6 handler block base.
+    b.beginTask("init");
+    Label body = b.newLabel("body");
+    Label handlers = b.newLabel("handlers");
+    b.taskTargets({body});
+    b.la(1, bc);
+    b.la(20, stack);
+    b.la(5, symtab);
+    b.la(6, handlers);
+    b.j(body);
+
+    Label check = b.newLabel("check");
+    b.bind(body);
+    b.beginTask("body");
+    b.taskTargets({body, check});
+    Label next = b.newLabel("next");
+    b.lw(10, 0, 1); // opcode
+    b.addi(1, 1, 4);
+    b.slli(11, 10, 2 + 4); // stride 16 instrs = 64 bytes
+    b.add(11, 11, 6);
+    b.jalr(0, 11); // computed dispatch
+
+    // Handler block: fixed 16-instruction slots.
+    auto pad_to = [&](Addr slot_start) {
+        while (b.here() < slot_start + kHandlerStride * 4)
+            b.nop();
+    };
+
+    b.bind(handlers);
+    const Addr h0 = b.here();
+    // PUSH imm
+    b.lw(13, 0, 1);
+    b.addi(1, 1, 4);
+    b.sw(13, 0, 20);
+    b.addi(20, 20, 4);
+    b.j(next);
+    pad_to(h0);
+
+    const Addr h1 = b.here();
+    // ADD
+    b.lw(13, -4, 20);
+    b.lw(14, -8, 20);
+    b.add(13, 13, 14);
+    b.sw(13, -8, 20);
+    b.addi(20, 20, -4);
+    b.j(next);
+    pad_to(h1);
+
+    const Addr h2 = b.here();
+    // DUP
+    b.lw(13, -4, 20);
+    b.sw(13, 0, 20);
+    b.addi(20, 20, 4);
+    b.j(next);
+    pad_to(h2);
+
+    const Addr h3 = b.here();
+    // SCORE: pop v; symtab[v & 63] += v
+    b.lw(13, -4, 20);
+    b.addi(20, 20, -4);
+    b.andi(14, 13, 63);
+    b.slli(14, 14, 2);
+    b.add(14, 14, 5);
+    b.lw(15, 0, 14);
+    b.add(15, 15, 13);
+    b.sw(15, 0, 14);
+    b.j(next);
+    pad_to(h3);
+
+    const Addr h4 = b.here();
+    // END: leave the interpreter loop.
+    b.j(check);
+    pad_to(h4);
+
+    b.bind(next);
+    b.j(body); // next opcode = next task
+
+    emitChecksumTask(b, check, symtab, 64, result);
+
+    Workload w;
+    w.name = "perl";
+    w.specAnalog = "134.perl (SPEC95)";
+    w.program = b.finalize();
+    w.checkBase = w.program.labelAddr("result");
+    w.checkLen = 4;
+    return w;
+}
+
+} // namespace svc::workloads

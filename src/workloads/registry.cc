@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Workload registry: the paper's seven SPEC95 benchmarks in Table 2
+ * order.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/log.hh"
+
+namespace svc::workloads
+{
+
+std::vector<Workload>
+allWorkloads(const WorkloadParams &params)
+{
+    std::vector<Workload> out;
+    out.push_back(makeCompress(params));
+    out.push_back(makeGcc(params));
+    out.push_back(makeVortex(params));
+    out.push_back(makePerl(params));
+    out.push_back(makeIjpeg(params));
+    out.push_back(makeMgrid(params));
+    out.push_back(makeApsi(params));
+    return out;
+}
+
+Workload
+makeWorkload(const std::string &name, const WorkloadParams &params)
+{
+    if (name == "compress")
+        return makeCompress(params);
+    if (name == "gcc")
+        return makeGcc(params);
+    if (name == "vortex")
+        return makeVortex(params);
+    if (name == "perl")
+        return makePerl(params);
+    if (name == "ijpeg")
+        return makeIjpeg(params);
+    if (name == "mgrid")
+        return makeMgrid(params);
+    if (name == "apsi")
+        return makeApsi(params);
+    fatal("unknown workload '%s' (expected one of compress, gcc, "
+          "vortex, perl, ijpeg, mgrid, apsi)",
+          name.c_str());
+}
+
+} // namespace svc::workloads

@@ -1,0 +1,157 @@
+#include "workloads/trace_gen.hh"
+
+#include "common/intmath.hh"
+#include "common/random.hh"
+
+namespace svc::workloads
+{
+
+std::size_t
+TaskTrace::totalOps() const
+{
+    std::size_t n = 0;
+    for (const auto &t : tasks)
+        n += t.size();
+    return n;
+}
+
+const char *
+tracePatternName(TracePattern pattern)
+{
+    switch (pattern) {
+      case TracePattern::Private:
+        return "private";
+      case TracePattern::ReadShared:
+        return "read-shared";
+      case TracePattern::Migratory:
+        return "migratory";
+      case TracePattern::FalseSharing:
+        return "false-sharing";
+      case TracePattern::Mixed:
+        return "mixed";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Aligned random address inside [base, base+bytes). */
+Addr
+pick(Rng &rng, Addr base, unsigned bytes, unsigned size)
+{
+    return base + alignDown(rng.below(bytes - size + 1), size);
+}
+
+TraceOp
+privateOp(Rng &rng, const TraceGenConfig &cfg, unsigned task)
+{
+    const Addr region =
+        cfg.base + static_cast<Addr>(task) * cfg.privateBytes;
+    TraceOp op;
+    op.isStore = rng.chance(cfg.storePercent);
+    op.size = 4;
+    op.addr = pick(rng, region, cfg.privateBytes, op.size);
+    op.value = rng.next();
+    return op;
+}
+
+TraceOp
+readSharedOp(Rng &rng, const TraceGenConfig &cfg, Addr shared_base)
+{
+    TraceOp op;
+    op.isStore = false; // reads only: pure reference spreading
+    op.size = 4;
+    op.addr = pick(rng, shared_base, cfg.sharedBytes, op.size);
+    return op;
+}
+
+TraceOp
+migratoryOp(Rng &rng, const TraceGenConfig &cfg, Addr cells_base,
+            unsigned task, bool store_phase)
+{
+    // Each task reads the cell its predecessor wrote, then writes
+    // it for its successor: the classic task-to-task hand-off.
+    const unsigned cell =
+        (task + static_cast<unsigned>(rng.below(2))) %
+        cfg.migratoryCells;
+    TraceOp op;
+    op.isStore = store_phase;
+    op.size = 4;
+    op.addr = cells_base + 4 * cell;
+    op.value = rng.next();
+    return op;
+}
+
+TraceOp
+falseSharingOp(Rng &rng, const TraceGenConfig &cfg, Addr fs_base,
+               unsigned task, unsigned num_tasks)
+{
+    // Task t owns byte-slot (t mod slots_per_line) of a set of
+    // lines: disjoint bytes, shared lines.
+    const unsigned slots = cfg.lineBytes / 4;
+    const unsigned lines = 16;
+    const unsigned line =
+        static_cast<unsigned>(rng.below(lines));
+    (void)num_tasks;
+    TraceOp op;
+    op.isStore = rng.chance(cfg.storePercent);
+    op.size = 4;
+    op.addr = fs_base + static_cast<Addr>(line) * cfg.lineBytes +
+              4 * (task % slots);
+    op.value = rng.next();
+    return op;
+}
+
+} // namespace
+
+TaskTrace
+generateTrace(const TraceGenConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    TaskTrace trace;
+    trace.name = tracePatternName(cfg.pattern);
+    trace.tasks.resize(cfg.numTasks);
+
+    const Addr shared_base =
+        cfg.base + static_cast<Addr>(cfg.numTasks) * cfg.privateBytes;
+    const Addr cells_base = shared_base + cfg.sharedBytes;
+    const Addr fs_base = cells_base + 4 * cfg.migratoryCells;
+
+    for (unsigned t = 0; t < cfg.numTasks; ++t) {
+        auto &ops = trace.tasks[t];
+        for (unsigned i = 0; i < cfg.opsPerTask; ++i) {
+            TracePattern p = cfg.pattern;
+            if (p == TracePattern::Mixed) {
+                const unsigned roll =
+                    static_cast<unsigned>(rng.below(100));
+                p = roll < 40   ? TracePattern::Private
+                    : roll < 70 ? TracePattern::ReadShared
+                    : roll < 85 ? TracePattern::Migratory
+                                : TracePattern::FalseSharing;
+            }
+            switch (p) {
+              case TracePattern::Private:
+                ops.push_back(privateOp(rng, cfg, t));
+                break;
+              case TracePattern::ReadShared:
+                ops.push_back(readSharedOp(rng, cfg, shared_base));
+                break;
+              case TracePattern::Migratory:
+                // Read the hand-off first, write it near task end.
+                ops.push_back(migratoryOp(rng, cfg, cells_base, t,
+                                          i + 2 >= cfg.opsPerTask));
+                break;
+              case TracePattern::FalseSharing:
+                ops.push_back(falseSharingOp(rng, cfg, fs_base, t,
+                                             cfg.numTasks));
+                break;
+              case TracePattern::Mixed:
+                break; // unreachable
+            }
+        }
+    }
+    return trace;
+}
+
+} // namespace svc::workloads

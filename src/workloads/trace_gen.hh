@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Synthetic task-trace generation for memory-system-only studies.
+ * Where the MiniISA kernels exercise the full processor stack, a
+ * trace isolates the versioning memory: a sequence of per-task
+ * load/store operations with controlled locality, sharing and
+ * conflict structure. The presets correspond to the access-pattern
+ * regimes the paper's analysis discusses — private working sets,
+ * read-only sharing (reference spreading), migratory data
+ * (fine-grain producer/consumer between tasks), and false sharing
+ * at sub-line granularity.
+ */
+
+#ifndef SVC_WORKLOADS_TRACE_GEN_HH
+#define SVC_WORKLOADS_TRACE_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace svc::workloads
+{
+
+/** One traced memory operation. */
+struct TraceOp
+{
+    bool isStore = false;
+    Addr addr = 0;
+    unsigned size = 4;
+    std::uint64_t value = 0;
+};
+
+/** A trace: per-task operation lists in program order. */
+struct TaskTrace
+{
+    std::string name;
+    std::vector<std::vector<TraceOp>> tasks;
+
+    /** Total operations across all tasks. */
+    std::size_t totalOps() const;
+};
+
+/** Canonical access-pattern regimes. */
+enum class TracePattern
+{
+    /** Each task reads/writes its own disjoint region. */
+    Private,
+    /** All tasks read one shared region; writes stay private. */
+    ReadShared,
+    /** Producer/consumer cells handed task-to-task (the paper's
+     *  "migratory data" that moves between the L1s). */
+    Migratory,
+    /** Tasks touch disjoint bytes that share cache lines. */
+    FalseSharing,
+    /** A weighted mix of all of the above. */
+    Mixed,
+};
+
+/** @return a printable name for @p pattern. */
+const char *tracePatternName(TracePattern pattern);
+
+/** Generation knobs. */
+struct TraceGenConfig
+{
+    TracePattern pattern = TracePattern::Mixed;
+    unsigned numTasks = 64;
+    unsigned opsPerTask = 16;
+    Addr base = 0x10000;
+    /** Private bytes per task (Private/Mixed). */
+    unsigned privateBytes = 256;
+    /** Shared read-only region size (ReadShared/Mixed). */
+    unsigned sharedBytes = 1024;
+    /** Migratory cells (Migratory/Mixed). */
+    unsigned migratoryCells = 8;
+    /** Line size assumed for the FalseSharing layout. */
+    unsigned lineBytes = 16;
+    unsigned storePercent = 40;
+    std::uint64_t seed = 1;
+};
+
+/** Generate a deterministic trace for @p config. */
+TaskTrace generateTrace(const TraceGenConfig &config);
+
+} // namespace svc::workloads
+
+#endif // SVC_WORKLOADS_TRACE_GEN_HH

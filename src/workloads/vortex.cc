@@ -1,0 +1,107 @@
+/**
+ * @file
+ * vortex analog: an object-store of keyed records reached through
+ * hash-bucket chains. SPEC95 vortex is an OO database performing
+ * inserts and lookups over linked structures; this kernel processes
+ * a precomputed transaction stream — even keys are lookups
+ * (chain-walk + counter update), odd keys insert a fresh record at
+ * the bucket head. Chain walks are dependent loads; head insertion
+ * makes bucket heads migratory between tasks.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "workloads/kernel_helpers.hh"
+
+namespace svc::workloads
+{
+
+Workload
+makeVortex(const WorkloadParams &params)
+{
+    using namespace isa;
+    constexpr unsigned kBuckets = 64;         // power of two
+    constexpr unsigned kNodeBytes = 12;       // key, count, next
+    const unsigned ops = 256 * params.scale;
+    const unsigned pool_nodes = ops + 8;
+
+    ProgramBuilder b;
+    Label txns = b.dataWords(
+        "txns", makeRandomWords(ops, 512, params.seed));
+    Label heads = b.allocData("heads", kBuckets * 4);
+    Label pool = b.allocData("pool", pool_nodes * kNodeBytes);
+    Label result = b.allocData("result", 4);
+
+    // r1 txn ptr, r2 remaining, r5 heads base, r6 pool base,
+    // r8 pool bump pointer, r7 hit counter.
+    b.beginTask("init");
+    Label body = b.newLabel("body");
+    b.taskTargets({body});
+    b.la(1, txns);
+    b.li(2, ops);
+    b.la(5, heads);
+    b.la(6, pool);
+    b.add(8, 6, 0); // bump allocator
+    b.li(7, 0);
+    b.j(body);
+
+    Label check = b.newLabel("check");
+    b.bind(body);
+    b.beginTask("body");
+    b.taskTargets({body, check});
+    Label walk = b.newLabel();
+    Label found = b.newLabel();
+    Label insert = b.newLabel();
+    Label next = b.newLabel();
+
+    b.lw(10, 0, 1); // key
+    b.addi(1, 1, 4);
+    b.release({1});
+    b.addi(2, 2, -1);
+    b.release({2});
+    b.andi(11, 10, kBuckets - 1); // bucket
+    b.slli(11, 11, 2);
+    b.add(11, 11, 5); // &heads[bucket]
+    b.lw(12, 0, 11);  // node address (0 = empty)
+
+    b.bind(walk);
+    b.beq(12, 0, insert); // end of chain: not found
+    b.lw(13, 0, 12);      // node key
+    b.beq(13, 10, found);
+    b.lw(12, 8, 12); // next
+    b.j(walk);
+
+    b.bind(found);
+    b.lw(14, 4, 12); // count
+    b.addi(14, 14, 1);
+    b.sw(14, 4, 12);
+    b.addi(7, 7, 1);
+    b.j(next);
+
+    b.bind(insert);
+    // Odd keys insert a new record; even keys were pure lookups.
+    b.andi(15, 10, 1);
+    b.beq(15, 0, next);
+    b.sw(10, 0, 8);  // new.key
+    b.li(16, 1);
+    b.sw(16, 4, 8);  // new.count = 1
+    b.lw(17, 0, 11); // new.next = head
+    b.sw(17, 8, 8);
+    b.sw(8, 0, 11);  // head = new
+    b.addi(8, 8, kNodeBytes);
+
+    b.bind(next);
+    b.bne(2, 0, body);
+
+    emitChecksumTask(b, check, heads, kBuckets, result);
+
+    Workload w;
+    w.name = "vortex";
+    w.specAnalog = "147.vortex (SPEC95)";
+    w.program = b.finalize();
+    w.checkBase = w.program.labelAddr("result");
+    w.checkLen = 4;
+    return w;
+}
+
+} // namespace svc::workloads

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SPEC95-analog MiniISA workloads. The paper evaluates compress,
+ * gcc, vortex, perl, ijpeg, mgrid and apsi; since the original
+ * binaries and inputs are unavailable, each kernel reproduces the
+ * dominant loop and data-structure behaviour of its SPEC program —
+ * the properties that drive the paper's memory-system comparison
+ * (working-set size, inter-task dependence density, migratory
+ * sharing, read-only sharing, false sharing). See DESIGN.md
+ * section 4 for the substitution rationale.
+ *
+ * Every workload is task-annotated (with early register releases on
+ * loop-carried values, as the multiscalar compiler's forward bits
+ * would provide), terminates with HALT, and writes a checksum to
+ * its `result` label so runs are end-to-end verifiable against the
+ * sequential interpreter.
+ */
+
+#ifndef SVC_WORKLOADS_WORKLOADS_HH
+#define SVC_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace svc::workloads
+{
+
+/** Size scaling for a workload instance. */
+struct WorkloadParams
+{
+    /** Rough work multiplier (1 = test-sized, 8+ = bench-sized). */
+    unsigned scale = 1;
+    /** Seed for synthetic input generation. */
+    std::uint64_t seed = 12345;
+};
+
+/** A built workload. */
+struct Workload
+{
+    std::string name;       ///< short name ("compress", ...)
+    std::string specAnalog; ///< the SPEC95 program it stands in for
+    isa::Program program;
+    /** Memory range whose final contents verify the run. */
+    Addr checkBase = 0;
+    std::size_t checkLen = 0;
+};
+
+Workload makeCompress(const WorkloadParams &params); ///< LZW hashing
+Workload makeGcc(const WorkloadParams &params);    ///< IR rewriting
+Workload makeVortex(const WorkloadParams &params); ///< OO database
+Workload makePerl(const WorkloadParams &params);   ///< interpreter
+Workload makeIjpeg(const WorkloadParams &params);  ///< 8x8 blocks
+Workload makeMgrid(const WorkloadParams &params);  ///< 3-D stencil
+Workload makeApsi(const WorkloadParams &params);   ///< mesh sweeps
+
+/** All seven benchmarks, in the paper's Table 2 order. */
+std::vector<Workload> allWorkloads(const WorkloadParams &params);
+
+/** Build one workload by name; fatal() on unknown names. */
+Workload makeWorkload(const std::string &name,
+                      const WorkloadParams &params);
+
+} // namespace svc::workloads
+
+#endif // SVC_WORKLOADS_WORKLOADS_HH

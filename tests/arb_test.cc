@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Tests for the ARB baseline: speculative versioning semantics at
+ * byte granularity, stage commit/squash, architectural-stage
+ * behaviour, row reclamation/overflow, the timed wrapper's latency
+ * model, and property tests against sequential semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arb/arb_system.hh"
+#include "mem/main_memory.hh"
+#include "tests/support/task_script.hh"
+
+namespace svc
+{
+namespace
+{
+
+ArbConfig
+smallArb()
+{
+    ArbConfig cfg;
+    cfg.numPus = 4;
+    cfg.numStages = 5;
+    cfg.numRows = 64;
+    cfg.dataCacheBytes = 1024;
+    return cfg;
+}
+
+TEST(ArbCore, ColdLoadComesFromMemory)
+{
+    MainMemory mem;
+    mem.writeWord(0x100, 0xcafe);
+    ArbCore arb(smallArb(), mem);
+    arb.assignTask(0, 0);
+    auto res = arb.load(0, 0x100, 4);
+    EXPECT_EQ(res.data, 0xcafeu);
+    EXPECT_TRUE(res.memSupplied);
+}
+
+TEST(ArbCore, SecondLoadHitsDataCache)
+{
+    MainMemory mem;
+    ArbCore arb(smallArb(), mem);
+    arb.assignTask(0, 0);
+    arb.load(0, 0x100, 4);
+    auto res = arb.load(0, 0x104, 4); // same 16B line
+    EXPECT_TRUE(res.dcacheHit);
+    EXPECT_FALSE(res.memSupplied);
+}
+
+TEST(ArbCore, LoadSuppliedClosestPreviousVersion)
+{
+    MainMemory mem;
+    ArbCore arb(smallArb(), mem);
+    for (PuId p = 0; p < 4; ++p)
+        arb.assignTask(p, p);
+    arb.store(0, 0x100, 4, 100);
+    arb.store(1, 0x100, 4, 101);
+    arb.store(3, 0x100, 4, 103);
+    auto res = arb.load(2, 0x100, 4);
+    EXPECT_EQ(res.data, 101u) << "task 2 must see version 1";
+    EXPECT_TRUE(res.arbHit);
+}
+
+TEST(ArbCore, LoadMustNotSeeLaterVersion)
+{
+    MainMemory mem;
+    mem.writeWord(0x100, 7);
+    ArbCore arb(smallArb(), mem);
+    arb.assignTask(0, 0);
+    arb.assignTask(1, 1);
+    arb.store(1, 0x100, 4, 42);
+    EXPECT_EQ(arb.load(0, 0x100, 4).data, 7u);
+}
+
+TEST(ArbCore, ViolationDetectedAtByteGranularity)
+{
+    MainMemory mem;
+    ArbCore arb(smallArb(), mem);
+    arb.assignTask(0, 0);
+    arb.assignTask(1, 1);
+    arb.load(1, 0x102, 1);
+    // Store to a *different* byte of the same word: no violation.
+    auto ok = arb.store(0, 0x101, 1, 9);
+    EXPECT_TRUE(ok.violators.empty());
+    // Store covering the loaded byte: violation.
+    auto bad = arb.store(0, 0x100, 4, 9);
+    ASSERT_EQ(bad.violators.size(), 1u);
+    EXPECT_EQ(bad.violators[0], 1u);
+}
+
+TEST(ArbCore, InterveningStoreShields)
+{
+    MainMemory mem;
+    ArbCore arb(smallArb(), mem);
+    arb.assignTask(0, 0);
+    arb.assignTask(1, 1);
+    arb.assignTask(2, 2);
+    arb.store(1, 0x100, 4, 11);
+    EXPECT_EQ(arb.load(2, 0x100, 4).data, 11u);
+    auto res = arb.store(0, 0x100, 4, 5);
+    EXPECT_TRUE(res.violators.empty())
+        << "version 1 shields task 2 from task 0's store";
+}
+
+TEST(ArbCore, CommitMovesStoresToArchitecturalStage)
+{
+    MainMemory mem;
+    ArbCore arb(smallArb(), mem);
+    arb.assignTask(0, 0);
+    arb.store(0, 0x100, 4, 0x77);
+    arb.commitTask(0);
+    // Memory is not yet updated (extra-stage lazy write-back)...
+    EXPECT_EQ(mem.readWord(0x100), 0u);
+    // ...but a later task reads the committed value from the ARB.
+    arb.assignTask(1, 1);
+    auto res = arb.load(1, 0x100, 4);
+    EXPECT_EQ(res.data, 0x77u);
+    EXPECT_TRUE(res.arbHit);
+    // Draining the architectural stage reaches memory.
+    arb.flushArchitectural();
+    arb.flushDataCache();
+    EXPECT_EQ(mem.readWord(0x100), 0x77u);
+}
+
+TEST(ArbCore, CommitsMergeInProgramOrder)
+{
+    MainMemory mem;
+    ArbCore arb(smallArb(), mem);
+    for (PuId p = 0; p < 4; ++p)
+        arb.assignTask(p, p);
+    arb.store(3, 0x100, 4, 103);
+    arb.store(0, 0x100, 4, 100);
+    arb.store(2, 0x100, 1, 0xee); // partial store by task 2
+    for (PuId p = 0; p < 4; ++p)
+        arb.commitTask(p);
+    arb.flushArchitectural();
+    arb.flushDataCache();
+    EXPECT_EQ(mem.readWord(0x100), 103u)
+        << "the newest committed version must win";
+}
+
+TEST(ArbCore, SquashClearsStage)
+{
+    MainMemory mem;
+    mem.writeWord(0x100, 5);
+    ArbCore arb(smallArb(), mem);
+    arb.assignTask(0, 0);
+    arb.assignTask(1, 1);
+    arb.store(1, 0x100, 4, 99);
+    arb.squashTask(1);
+    EXPECT_EQ(arb.load(0, 0x100, 4).data, 5u);
+    arb.assignTask(1, 2);
+    EXPECT_EQ(arb.load(1, 0x100, 4).data, 5u)
+        << "squashed version must not be visible";
+    arb.checkInvariants();
+}
+
+TEST(ArbCore, StageReuseAfterCommitAndSquash)
+{
+    MainMemory mem;
+    ArbCore arb(smallArb(), mem);
+    // Cycle many tasks through the 5 stages.
+    TaskSeq seq = 0;
+    for (int round = 0; round < 20; ++round) {
+        arb.assignTask(0, seq);
+        arb.store(0, 0x100 + 4 * (seq % 8), 4,
+                  static_cast<std::uint64_t>(seq));
+        if (round % 3 == 2) {
+            arb.squashTask(0);
+        } else {
+            arb.commitTask(0);
+        }
+        ++seq;
+    }
+    arb.checkInvariants();
+}
+
+TEST(ArbCore, RowOverflowSquashesYoungest)
+{
+    MainMemory mem;
+    ArbConfig cfg = smallArb();
+    cfg.numRows = 4;
+    ArbCore arb(cfg, mem);
+    std::vector<PuId> overflowed;
+    arb.setOverflowHandler([&](PuId pu) {
+        overflowed.push_back(pu);
+        arb.squashTask(pu);
+    });
+    arb.assignTask(0, 0);
+    arb.assignTask(1, 1);
+    // Task 1 pins all four rows.
+    for (unsigned i = 0; i < 4; ++i)
+        arb.store(1, 0x100 + 4 * i, 4, i);
+    // The head needs a fifth row: the youngest task must squash.
+    auto res = arb.load(0, 0x200, 4);
+    EXPECT_TRUE(res.stalled);
+    ASSERT_EQ(overflowed.size(), 1u);
+    EXPECT_EQ(overflowed[0], 1u);
+    // Retry succeeds now.
+    res = arb.load(0, 0x200, 4);
+    EXPECT_FALSE(res.stalled);
+}
+
+TEST(ArbSystem, HitLatencyApplied)
+{
+    MainMemory mem;
+    ArbTimingConfig cfg;
+    cfg.arb = smallArb();
+    cfg.hitLatency = 3;
+    ArbSystem sys(cfg, mem);
+    sys.assignTask(0, 0);
+    // Warm the line.
+    bool done = false;
+    sys.issue({0, false, 0x100, 4, 0}, [&](std::uint64_t) {
+        done = true;
+    });
+    while (!done)
+        sys.tick();
+    // Timed hit: exactly hitLatency cycles.
+    done = false;
+    Cycle cycles = 0;
+    sys.issue({0, false, 0x100, 4, 0}, [&](std::uint64_t) {
+        done = true;
+    });
+    while (!done) {
+        sys.tick();
+        ++cycles;
+    }
+    EXPECT_EQ(cycles, 3u);
+}
+
+TEST(ArbSystem, MissPaysMemoryPenalty)
+{
+    MainMemory mem;
+    ArbTimingConfig cfg;
+    cfg.arb = smallArb();
+    cfg.hitLatency = 2;
+    ArbSystem sys(cfg, mem);
+    sys.assignTask(0, 0);
+    bool done = false;
+    Cycle cycles = 0;
+    sys.issue({0, false, 0x100, 4, 0}, [&](std::uint64_t) {
+        done = true;
+    });
+    while (!done) {
+        sys.tick();
+        ++cycles;
+    }
+    EXPECT_EQ(cycles, cfg.hitLatency + cfg.missPenalty);
+}
+
+/** Property: the ARB preserves sequential semantics. */
+TEST(ArbProperty, PreservesSequentialSemantics)
+{
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        test::ScriptConfig scfg;
+        scfg.seed = seed;
+        scfg.numTasks = 36;
+        scfg.maxOpsPerTask = 10;
+        scfg.addrRange = 96;
+        const test::TaskScript script = generateScript(scfg);
+
+        MainMemory seq_mem;
+        test::RunResult seq = runSequential(script, seq_mem);
+
+        MainMemory spec_mem;
+        ArbCore arb(smallArb(), spec_mem);
+
+        test::EngineOps ops;
+        ops.assign = [&](PuId pu, TaskSeq s) { arb.assignTask(pu, s); };
+        ops.load = [&](PuId pu, Addr a,
+                       unsigned sz) -> std::optional<std::uint64_t> {
+            ArbAccessResult r = arb.load(pu, a, sz);
+            if (r.stalled)
+                return std::nullopt;
+            return r.data;
+        };
+        ops.store = [&](PuId pu, Addr a, unsigned sz,
+                        std::uint64_t v)
+            -> std::optional<std::vector<PuId>> {
+            ArbAccessResult r = arb.store(pu, a, sz, v);
+            if (r.stalled)
+                return std::nullopt;
+            return r.violators;
+        };
+        ops.commit = [&](PuId pu) { arb.commitTask(pu); };
+        ops.squash = [&](PuId pu) { arb.squashTask(pu); };
+        ops.taskOf = [&](PuId pu) { return arb.taskOf(pu); };
+
+        test::RunResult spec =
+            runSpeculative(script, ops, 4, seed * 31 + 7);
+        arb.checkInvariants();
+        arb.flushArchitectural();
+        arb.flushDataCache();
+
+        for (std::size_t t = 0; t < script.tasks.size(); ++t) {
+            for (std::size_t i = 0; i < script.tasks[t].size(); ++i) {
+                if (script.tasks[t][i].isStore)
+                    continue;
+                ASSERT_EQ(spec.observed[t][i], seq.observed[t][i])
+                    << "seed " << seed << " task " << t << " op " << i;
+            }
+        }
+        EXPECT_EQ(spec_mem.hashRange(scfg.base, scfg.addrRange),
+                  seq_mem.hashRange(scfg.base, scfg.addrRange))
+            << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace svc

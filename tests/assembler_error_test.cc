@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Assembler and builder error handling: malformed sources and
+ * malformed builder usage must fail fast with fatal() (exit code 1)
+ * and a diagnostic naming the line — these are death tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/builder.hh"
+
+namespace svc::isa
+{
+namespace
+{
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    EXPECT_EXIT(assemble("  frobnicate r1, r2\n"),
+                ::testing::ExitedWithCode(1), "unknown mnemonic");
+}
+
+TEST(AssemblerErrors, UnknownDirective)
+{
+    EXPECT_EXIT(assemble("  .bogus 42\n"),
+                ::testing::ExitedWithCode(1), "unknown directive");
+}
+
+TEST(AssemblerErrors, UnresolvedLabel)
+{
+    EXPECT_EXIT(assemble("  j nowhere\n  halt\n"),
+                ::testing::ExitedWithCode(1), "unresolved label");
+}
+
+TEST(AssemblerErrors, RegisterOutOfRange)
+{
+    EXPECT_EXIT(assemble("  addi r32, r0, 1\n"),
+                ::testing::ExitedWithCode(1),
+                "register out of range");
+}
+
+TEST(AssemblerErrors, MissingComma)
+{
+    EXPECT_EXIT(assemble("  add r1 r2, r3\n"),
+                ::testing::ExitedWithCode(1), "expected ','");
+}
+
+TEST(AssemblerErrors, BadMemoryOperand)
+{
+    EXPECT_EXIT(assemble("  lw r1, r2\n"),
+                ::testing::ExitedWithCode(1), "expected offset");
+}
+
+TEST(AssemblerErrors, OrgAfterCode)
+{
+    EXPECT_EXIT(assemble("  nop\n  .org 0x2000\n"),
+                ::testing::ExitedWithCode(1),
+                "must precede all code");
+}
+
+TEST(AssemblerErrors, TaskWithoutLabel)
+{
+    EXPECT_EXIT(assemble("  .task targets=x\n  nop\nx:\n  halt\n"),
+                ::testing::ExitedWithCode(1),
+                "must be followed by a label");
+}
+
+TEST(AssemblerErrors, InstructionInDataSegment)
+{
+    EXPECT_EXIT(assemble("  .data\n  add r1, r2, r3\n"),
+                ::testing::ExitedWithCode(1),
+                "instruction in data segment");
+}
+
+TEST(AssemblerErrors, LineNumberInDiagnostic)
+{
+    EXPECT_EXIT(assemble("  nop\n  nop\n  junkop r1\n"),
+                ::testing::ExitedWithCode(1), "assembler:3");
+}
+
+TEST(BuilderErrors, DuplicateLabelBind)
+{
+    ProgramBuilder b;
+    Label l = b.newLabel("dup");
+    b.bind(l);
+    EXPECT_EXIT(b.bind(l), ::testing::ExitedWithCode(1),
+                "bound twice");
+}
+
+TEST(BuilderErrors, ImmediateOutOfRange)
+{
+    ProgramBuilder b;
+    EXPECT_EXIT(b.addi(1, 0, 1 << 20),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(BuilderErrors, BranchOutOfRangeAtFinalize)
+{
+    ProgramBuilder b;
+    Label far = b.newLabel("far");
+    b.beq(0, 0, far);
+    for (int i = 0; i < 40000; ++i)
+        b.nop();
+    b.bind(far);
+    b.halt();
+    EXPECT_EXIT(b.finalize(), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(BuilderErrors, TooManyTaskTargets)
+{
+    ProgramBuilder b;
+    Label t = b.beginTask("t");
+    b.taskTargets({t, t, t, t, t});
+    b.halt();
+    EXPECT_EXIT(b.finalize(), ::testing::ExitedWithCode(1),
+                "max 4");
+}
+
+TEST(BuilderErrors, TargetsOutsideTask)
+{
+    ProgramBuilder b;
+    Label l = b.newLabel("l");
+    EXPECT_EXIT(b.taskTargets({l}), ::testing::ExitedWithCode(1),
+                "outside a task");
+}
+
+TEST(BuilderErrors, ReleaseBeforeAnyInstruction)
+{
+    ProgramBuilder b;
+    EXPECT_EXIT(b.release({1}), ::testing::ExitedWithCode(1),
+                "before any instruction");
+}
+
+TEST(BuilderErrors, FinalizeTwice)
+{
+    ProgramBuilder b;
+    b.halt();
+    b.finalize();
+    EXPECT_EXIT(b.finalize(), ::testing::ExitedWithCode(1),
+                "finalize");
+}
+
+} // namespace
+} // namespace svc::isa

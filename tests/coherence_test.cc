@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the snooping MSI (MRSW) protocol of paper section 3.1,
+ * including the exact scenario of figure 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/msi_system.hh"
+#include "common/random.hh"
+#include "mem/main_memory.hh"
+
+namespace svc
+{
+namespace
+{
+
+class MsiTest : public ::testing::Test
+{
+  protected:
+    MsiConfig cfg;
+    MainMemory mem;
+};
+
+TEST_F(MsiTest, LoadMissFetchesFromMemory)
+{
+    MsiSystem sys(cfg, mem);
+    mem.writeWord(0x100, 0xdeadbeef);
+    EXPECT_EQ(sys.load(0, 0x100, 4), 0xdeadbeefu);
+    EXPECT_EQ(sys.lineState(0, 0x100), MsiState::Clean);
+    EXPECT_EQ(sys.busReads, 1u);
+}
+
+TEST_F(MsiTest, LoadHitUsesNoBus)
+{
+    MsiSystem sys(cfg, mem);
+    sys.load(0, 0x100, 4);
+    const Counter reads = sys.busReads;
+    sys.load(0, 0x104, 4); // same line
+    EXPECT_EQ(sys.busReads, reads);
+    EXPECT_EQ(sys.hits, 1u);
+}
+
+TEST_F(MsiTest, StoreInvalidatesOtherCopies)
+{
+    MsiSystem sys(cfg, mem);
+    sys.load(0, 0x100, 4);
+    sys.load(1, 0x100, 4);
+    sys.store(2, 0x100, 4, 7);
+    EXPECT_EQ(sys.lineState(0, 0x100), MsiState::Invalid);
+    EXPECT_EQ(sys.lineState(1, 0x100), MsiState::Invalid);
+    EXPECT_EQ(sys.lineState(2, 0x100), MsiState::Dirty);
+}
+
+TEST_F(MsiTest, AtMostOneDirtyCopy)
+{
+    MsiSystem sys(cfg, mem);
+    sys.store(0, 0x100, 4, 1);
+    sys.store(1, 0x100, 4, 2);
+    EXPECT_EQ(sys.lineState(0, 0x100), MsiState::Invalid);
+    EXPECT_EQ(sys.lineState(1, 0x100), MsiState::Dirty);
+    EXPECT_EQ(sys.load(1, 0x100, 4), 2u);
+}
+
+TEST_F(MsiTest, BusReadFlushesDirtyCopy)
+{
+    MsiSystem sys(cfg, mem);
+    sys.store(0, 0x100, 4, 0x55);
+    EXPECT_EQ(sys.load(1, 0x100, 4), 0x55u);
+    // The dirty owner downgraded to Clean and memory was updated.
+    EXPECT_EQ(sys.lineState(0, 0x100), MsiState::Clean);
+    EXPECT_EQ(mem.readWord(0x100), 0x55u);
+}
+
+TEST_F(MsiTest, Figure4Scenario)
+{
+    // Figure 4: X holds the line dirty; Z loads (X flushes, both
+    // clean); Y stores (X and Z invalidated); Y's cast-out leaves
+    // only memory with a valid copy.
+    MsiConfig small = cfg;
+    small.cacheBytes = 64; // 1 set x 4 ways of 16B: easy cast-out
+    small.assoc = 4;
+    MsiSystem sys(small, mem);
+    const Addr A = 0x100;
+
+    sys.store(0 /*X*/, A, 4, 0);
+    EXPECT_EQ(sys.lineState(0, A), MsiState::Dirty);
+
+    EXPECT_EQ(sys.load(3 /*Z*/, A, 4), 0u);
+    EXPECT_EQ(sys.lineState(0, A), MsiState::Clean);
+    EXPECT_EQ(sys.lineState(3, A), MsiState::Clean);
+
+    sys.store(2 /*Y*/, A, 4, 1);
+    EXPECT_EQ(sys.lineState(0, A), MsiState::Invalid);
+    EXPECT_EQ(sys.lineState(3, A), MsiState::Invalid);
+    EXPECT_EQ(sys.lineState(2, A), MsiState::Dirty);
+
+    // Force Y to replace the line: fill its single set.
+    for (Addr a = 0x1000; sys.lineState(2, A) != MsiState::Invalid;
+         a += small.cacheBytes) {
+        sys.load(2, a, 4);
+    }
+    EXPECT_EQ(mem.readWord(A), 1u);
+}
+
+TEST_F(MsiTest, EvictionWritesBackDirtyData)
+{
+    MsiConfig small = cfg;
+    small.cacheBytes = 32;
+    small.assoc = 2;
+    MsiSystem sys(small, mem);
+    sys.store(0, 0x100, 4, 0xaa);
+    // Two more lines to the same (only) set force the eviction.
+    sys.load(0, 0x200, 4);
+    sys.load(0, 0x300, 4);
+    EXPECT_EQ(mem.readWord(0x100), 0xaau);
+    EXPECT_GE(sys.busWbacks, 1u);
+}
+
+TEST_F(MsiTest, ByteAndHalfwordAccesses)
+{
+    MsiSystem sys(cfg, mem);
+    sys.store(0, 0x100, 1, 0x12);
+    sys.store(1, 0x101, 1, 0x34);
+    EXPECT_EQ(sys.load(2, 0x100, 2), 0x3412u);
+}
+
+TEST_F(MsiTest, FlushAllMakesMemoryConsistent)
+{
+    MsiSystem sys(cfg, mem);
+    sys.store(0, 0x100, 4, 1);
+    sys.store(1, 0x200, 4, 2);
+    sys.flushAll();
+    EXPECT_EQ(mem.readWord(0x100), 1u);
+    EXPECT_EQ(mem.readWord(0x200), 2u);
+}
+
+/**
+ * Randomized MRSW property: a random mix of loads and stores from
+ * all caches must behave exactly like a flat memory, and at most
+ * one cache may hold a line dirty at any time.
+ */
+TEST_F(MsiTest, RandomTrafficMatchesFlatMemory)
+{
+    MsiSystem sys(cfg, mem);
+    MainMemory flat;
+    Rng rng(123);
+    for (int i = 0; i < 20000; ++i) {
+        const PuId pu = static_cast<PuId>(rng.below(cfg.numCaches));
+        const Addr addr = alignDown(rng.below(2048), 4);
+        if (rng.chance(40)) {
+            const Word v = static_cast<Word>(rng.next());
+            sys.store(pu, addr, 4, v);
+            flat.writeWord(addr, v);
+        } else {
+            ASSERT_EQ(sys.load(pu, addr, 4), flat.readWord(addr))
+                << "at address " << addr;
+        }
+        if (i % 1000 == 0) {
+            // MRSW invariant: at most one dirty copy per line.
+            for (Addr a = 0; a < 2048; a += 16) {
+                int dirty = 0;
+                for (PuId p = 0; p < cfg.numCaches; ++p)
+                    dirty += sys.lineState(p, a) == MsiState::Dirty;
+                ASSERT_LE(dirty, 1);
+            }
+        }
+    }
+    sys.flushAll();
+    EXPECT_EQ(mem.hashRange(0, 2048), flat.hashRange(0, 2048));
+}
+
+} // namespace
+} // namespace svc

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the common infrastructure: integer math helpers,
+ * the statistics snapshot/table printer, the deterministic RNG and
+ * the event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/event_queue.hh"
+#include "common/intmath.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace svc
+{
+namespace
+{
+
+TEST(IntMath, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_TRUE(isPowerOf2(1024));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(1023));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(0xffffffffull), 31u);
+}
+
+TEST(IntMath, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(16), 0xffffu);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+}
+
+TEST(IntMath, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1237, 16), 0x1230u);
+    EXPECT_EQ(alignUp(0x1231, 16), 0x1240u);
+    EXPECT_EQ(alignUp(0x1240, 16), 0x1240u);
+    EXPECT_EQ(divCeil(10, 3), 4u);
+    EXPECT_EQ(divCeil(9, 3), 3u);
+}
+
+TEST(IntMath, BitsAndSignExtend)
+{
+    EXPECT_EQ(bits(0xabcd, 4, 8), 0xbcu);
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+    EXPECT_EQ(signExtend(0x7fff, 16), 32767);
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowIsBounded)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(StatSet, AddGetHas)
+{
+    StatSet s;
+    s.add("a", 1.5);
+    s.add("b", 2.0);
+    EXPECT_TRUE(s.has("a"));
+    EXPECT_FALSE(s.has("c"));
+    EXPECT_DOUBLE_EQ(s.get("a"), 1.5);
+    EXPECT_DOUBLE_EQ(s.get("b"), 2.0);
+}
+
+TEST(StatSet, MergePrefixes)
+{
+    StatSet inner;
+    inner.add("x", 3.0);
+    StatSet outer;
+    outer.merge("sub", inner);
+    EXPECT_TRUE(outer.has("sub.x"));
+    EXPECT_DOUBLE_EQ(outer.get("sub.x"), 3.0);
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"short", "1"});
+    t.addRow({"a-much-longer-name", "2"});
+    const std::string out = t.format();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinter, NumFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(1.23456, 3), "1.235");
+    EXPECT_EQ(TablePrinter::num(2.0, 1), "2.0");
+}
+
+TEST(EventQueue, RunsInCycleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(2); });
+    q.schedule(3, [&] { order.push_back(1); });
+    q.schedule(9, [&] { order.push_back(3); });
+    q.runDue(6);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    q.runDue(9);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SameCycleFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1, [&] { order.push_back(1); });
+    q.schedule(1, [&] { order.push_back(2); });
+    q.schedule(1, [&] { order.push_back(3); });
+    q.runDue(1);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EventMayScheduleSameCycle)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.schedule(1, [&] { ++fired; });
+    });
+    q.runDue(1);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, NextEventCycle)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    q.schedule(17, [] {});
+    EXPECT_EQ(q.nextEventCycle(), 17u);
+}
+
+} // namespace
+} // namespace svc

@@ -1,0 +1,541 @@
+/**
+ * @file
+ * MiniISA tests: encoding round-trips, decode classification, ALU
+ * and branch semantics, builder fix-ups and task annotation, the
+ * text assembler, the disassembler, and interpreter end-to-end
+ * programs (iterative fibonacci, memcpy, float kernels).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/builder.hh"
+#include "isa/disassembler.hh"
+#include "isa/exec.hh"
+#include "isa/interpreter.hh"
+
+namespace svc::isa
+{
+namespace
+{
+
+// -------------------------------------------------------- encoding
+
+TEST(Encoding, RTypeRoundTrip)
+{
+    const std::uint32_t w = encodeR(Opcode::ADD, 3, 4, 5);
+    EXPECT_EQ(opcodeOf(w), Opcode::ADD);
+    EXPECT_EQ(rdOf(w), 3);
+    EXPECT_EQ(rs1Of(w), 4);
+    EXPECT_EQ(rs2Of(w), 5);
+}
+
+TEST(Encoding, ITypeNegativeImmediate)
+{
+    const std::uint32_t w = encodeI(Opcode::ADDI, 1, 2, -42);
+    EXPECT_EQ(imm16Of(w), -42);
+    EXPECT_EQ(rdOf(w), 1);
+    EXPECT_EQ(rs1Of(w), 2);
+}
+
+TEST(Encoding, JTypeImm26)
+{
+    const std::uint32_t w = encodeJ(Opcode::JAL, -1000);
+    EXPECT_EQ(opcodeOf(w), Opcode::JAL);
+    EXPECT_EQ(imm26Of(w), -1000);
+}
+
+TEST(Encoding, MnemonicRoundTrip)
+{
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(Opcode::NumOpcodes); ++i) {
+        const Opcode op = static_cast<Opcode>(i);
+        EXPECT_EQ(opcodeFromName(mnemonic(op)), op);
+    }
+    EXPECT_EQ(opcodeFromName("bogus"), Opcode::NumOpcodes);
+}
+
+TEST(Encoding, MemAccessSizes)
+{
+    EXPECT_EQ(memAccessSize(Opcode::LW), 4u);
+    EXPECT_EQ(memAccessSize(Opcode::SH), 2u);
+    EXPECT_EQ(memAccessSize(Opcode::LBU), 1u);
+}
+
+// ---------------------------------------------------------- decode
+
+TEST(Decode, Classification)
+{
+    EXPECT_EQ(decode(encodeR(Opcode::MUL, 1, 2, 3)).cls,
+              InstClass::IntComplex);
+    EXPECT_EQ(decode(encodeR(Opcode::FADD, 1, 2, 3)).cls,
+              InstClass::Float);
+    EXPECT_EQ(decode(encodeI(Opcode::LW, 1, 2, 0)).cls,
+              InstClass::Load);
+    EXPECT_EQ(decode(encodeI(Opcode::BEQ, 1, 2, 0)).cls,
+              InstClass::Branch);
+    EXPECT_EQ(decode(encodeJ(Opcode::J, 0)).cls, InstClass::Jump);
+}
+
+TEST(Decode, UndefinedEncodingIsNop)
+{
+    EXPECT_EQ(decode(0xffffffffu).cls, InstClass::Nop);
+}
+
+TEST(Decode, SourceAndDestTracking)
+{
+    const DecodedInst store = decode(encodeI(Opcode::SW, 5, 6, 8));
+    EXPECT_FALSE(store.writesRd());
+    EXPECT_TRUE(store.readsRdAsSource());
+    EXPECT_TRUE(store.readsRs1());
+
+    const DecodedInst load = decode(encodeI(Opcode::LW, 5, 6, 8));
+    EXPECT_TRUE(load.writesRd());
+    EXPECT_FALSE(load.readsRdAsSource());
+
+    const DecodedInst jal = decode(encodeJ(Opcode::JAL, 4));
+    EXPECT_TRUE(jal.writesRd());
+    EXPECT_EQ(jal.destReg(), kRegLink);
+
+    const DecodedInst lui = decode(encodeI(Opcode::LUI, 5, 0, 1));
+    EXPECT_FALSE(lui.readsRs1());
+}
+
+// ------------------------------------------------------------- alu
+
+TEST(Alu, IntegerOps)
+{
+    auto r = [](Opcode op, std::uint32_t a, std::uint32_t b) {
+        return aluResult(decode(encodeR(op, 1, 2, 3)), a, b);
+    };
+    EXPECT_EQ(r(Opcode::ADD, 2, 3), 5u);
+    EXPECT_EQ(r(Opcode::SUB, 2, 3), 0xffffffffu);
+    EXPECT_EQ(r(Opcode::MUL, 7, 6), 42u);
+    EXPECT_EQ(r(Opcode::DIVU, 42, 6), 7u);
+    EXPECT_EQ(r(Opcode::DIVU, 42, 0), ~0u);
+    EXPECT_EQ(r(Opcode::REMU, 43, 6), 1u);
+    EXPECT_EQ(r(Opcode::SLT, 0xffffffffu, 0), 1u); // -1 < 0
+    EXPECT_EQ(r(Opcode::SLTU, 0xffffffffu, 0), 0u);
+    EXPECT_EQ(r(Opcode::SRA, 0x80000000u, 4), 0xf8000000u);
+    EXPECT_EQ(r(Opcode::SRL, 0x80000000u, 4), 0x08000000u);
+}
+
+TEST(Alu, Immediates)
+{
+    auto ri = [](Opcode op, std::uint32_t a, std::int32_t imm) {
+        return aluResult(decode(encodeI(op, 1, 2, imm)), a, 0);
+    };
+    EXPECT_EQ(ri(Opcode::ADDI, 10, -3), 7u);
+    EXPECT_EQ(ri(Opcode::ANDI, 0xffffu, 0x0f0f), 0x0f0fu);
+    EXPECT_EQ(ri(Opcode::SLLI, 1, 12), 0x1000u);
+    EXPECT_EQ(ri(Opcode::LUI, 0, 0x1234), 0x12340000u);
+    EXPECT_EQ(ri(Opcode::SLTI, 0xffffffffu, 0), 1u);
+}
+
+TEST(Alu, FloatOps)
+{
+    auto rf = [](Opcode op, float a, float b) {
+        return aluResult(decode(encodeR(op, 1, 2, 3)), asBits(a),
+                         asBits(b));
+    };
+    EXPECT_EQ(asFloat(rf(Opcode::FADD, 1.5f, 2.25f)), 3.75f);
+    EXPECT_EQ(asFloat(rf(Opcode::FMUL, 3.0f, -2.0f)), -6.0f);
+    EXPECT_EQ(rf(Opcode::FLT, 1.0f, 2.0f), 1u);
+    EXPECT_EQ(rf(Opcode::FLE, 2.0f, 2.0f), 1u);
+    EXPECT_EQ(aluResult(decode(encodeR(Opcode::CVTIF, 1, 2, 0)),
+                        static_cast<std::uint32_t>(-3), 0),
+              asBits(-3.0f));
+    EXPECT_EQ(aluResult(decode(encodeR(Opcode::CVTFI, 1, 2, 0)),
+                        asBits(7.9f), 0),
+              7u);
+}
+
+TEST(Alu, Branches)
+{
+    auto taken = [](Opcode op, std::uint32_t a, std::uint32_t b) {
+        return branchTaken(decode(encodeI(op, 1, 2, 0)), a, b);
+    };
+    EXPECT_TRUE(taken(Opcode::BEQ, 5, 5));
+    EXPECT_FALSE(taken(Opcode::BEQ, 5, 6));
+    EXPECT_TRUE(taken(Opcode::BLT, 0xffffffffu, 0));
+    EXPECT_FALSE(taken(Opcode::BLTU, 0xffffffffu, 0));
+    EXPECT_TRUE(taken(Opcode::BGEU, 0xffffffffu, 0));
+}
+
+// --------------------------------------------------------- builder
+
+TEST(Builder, ForwardBranchFixup)
+{
+    ProgramBuilder b;
+    Label done = b.newLabel("done");
+    b.beq(1, 2, done);
+    b.addi(3, 0, 1);
+    b.bind(done);
+    b.halt();
+    Program p = b.finalize();
+    // beq at base: offset must skip one instruction.
+    EXPECT_EQ(imm16Of(p.code[0]), 1);
+}
+
+TEST(Builder, BackwardJumpFixup)
+{
+    ProgramBuilder b;
+    Label loop = b.hereLabel("loop");
+    b.addi(1, 1, 1);
+    b.j(loop);
+    Program p = b.finalize();
+    EXPECT_EQ(imm26Of(p.code[1]), -2);
+}
+
+TEST(Builder, LaResolvesDataAddress)
+{
+    ProgramBuilder b;
+    Label buf = b.allocData("buf", 64);
+    b.la(5, buf);
+    b.halt();
+    Program p = b.finalize();
+    const Addr addr = p.labelAddr("buf");
+    MainMemory mem;
+    auto res = Interpreter::run(p, mem);
+    EXPECT_EQ(res.regs[5], addr);
+}
+
+TEST(Builder, TaskCreateMaskTracksDestinations)
+{
+    ProgramBuilder b;
+    Label t0 = b.beginTask("t0");
+    b.taskTargets({t0});
+    b.addi(3, 0, 1);
+    b.lw(7, 0, 3);
+    b.sw(7, 4, 3); // store: no destination
+    Program p = b.finalize();
+    const TaskDescriptor &d = p.taskAt(b.addrOf(t0));
+    EXPECT_EQ(d.createMask, (1u << 3) | (1u << 7));
+}
+
+TEST(Builder, ReleaseAttachesToLastInstruction)
+{
+    ProgramBuilder b;
+    b.beginTask("t");
+    b.addi(3, 0, 1);
+    b.release({3});
+    b.halt();
+    Program p = b.finalize();
+    ASSERT_EQ(p.releaseMask.size(), 1u);
+    EXPECT_EQ(p.releaseMask.begin()->first, p.base);
+    EXPECT_EQ(p.releaseMask.begin()->second, 1u << 3);
+}
+
+TEST(Builder, LiSmallAndLargeConstants)
+{
+    ProgramBuilder b;
+    b.li(1, 42);
+    b.li(2, 0xdeadbeef);
+    b.li(3, 0x00120000);
+    b.halt();
+    Program p = b.finalize();
+    MainMemory mem;
+    auto res = Interpreter::run(p, mem);
+    EXPECT_EQ(res.regs[1], 42u);
+    EXPECT_EQ(res.regs[2], 0xdeadbeefu);
+    EXPECT_EQ(res.regs[3], 0x00120000u);
+}
+
+// ----------------------------------------------------- interpreter
+
+TEST(Interpreter, IterativeFibonacci)
+{
+    // fib(12) = 144 via iteration.
+    ProgramBuilder b;
+    b.li(1, 0);   // a
+    b.li(2, 1);   // b
+    b.li(3, 12);  // n
+    Label loop = b.hereLabel("loop");
+    Label done = b.newLabel("done");
+    b.beq(3, 0, done);
+    b.add(4, 1, 2);
+    b.add(1, 2, 0);
+    b.add(2, 4, 0);
+    b.addi(3, 3, -1);
+    b.j(loop);
+    b.bind(done);
+    b.halt();
+    MainMemory mem;
+    auto res = Interpreter::run(b.finalize(), mem);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(res.regs[1], 144u);
+}
+
+TEST(Interpreter, MemcpyBytes)
+{
+    ProgramBuilder b;
+    Label src = b.dataBytes("src", {1, 2, 3, 4, 5, 6, 7, 8});
+    Label dst = b.allocData("dst", 8);
+    b.la(1, src);
+    b.la(2, dst);
+    b.li(3, 8);
+    Label loop = b.hereLabel("loop");
+    Label done = b.newLabel("done");
+    b.beq(3, 0, done);
+    b.lbu(4, 0, 1);
+    b.sb(4, 0, 2);
+    b.addi(1, 1, 1);
+    b.addi(2, 2, 1);
+    b.addi(3, 3, -1);
+    b.j(loop);
+    b.bind(done);
+    b.halt();
+    Program p = b.finalize();
+    MainMemory mem;
+    Interpreter::run(p, mem);
+    const Addr d = p.labelAddr("dst");
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(mem.readByte(d + i), i + 1);
+}
+
+TEST(Interpreter, SubroutineCallAndReturn)
+{
+    ProgramBuilder b;
+    Label func = b.newLabel("func");
+    b.li(1, 10);
+    b.jal(func);      // r2 = r1 * 2
+    b.addi(3, 2, 1);  // r3 = 21
+    b.halt();
+    b.bind(func);
+    b.add(2, 1, 1);
+    b.jr(kRegLink);
+    MainMemory mem;
+    auto res = Interpreter::run(b.finalize(), mem);
+    EXPECT_EQ(res.regs[3], 21u);
+}
+
+TEST(Interpreter, SignExtendingLoads)
+{
+    ProgramBuilder b;
+    Label d = b.dataBytes("d", {0xff, 0x80, 0x7f, 0x00});
+    b.la(1, d);
+    b.lb(2, 0, 1);   // -1
+    b.lbu(3, 0, 1);  // 255
+    b.lh(4, 0, 1);   // 0x80ff sign-extended
+    b.lhu(5, 0, 1);  // 0x80ff
+    b.halt();
+    MainMemory mem;
+    auto res = Interpreter::run(b.finalize(), mem);
+    EXPECT_EQ(res.regs[2], 0xffffffffu);
+    EXPECT_EQ(res.regs[3], 0xffu);
+    EXPECT_EQ(res.regs[4], 0xffff80ffu);
+    EXPECT_EQ(res.regs[5], 0x80ffu);
+}
+
+TEST(Interpreter, R0IsHardwiredZero)
+{
+    ProgramBuilder b;
+    b.addi(0, 0, 99);
+    b.add(1, 0, 0);
+    b.halt();
+    MainMemory mem;
+    auto res = Interpreter::run(b.finalize(), mem);
+    EXPECT_EQ(res.regs[0], 0u);
+    EXPECT_EQ(res.regs[1], 0u);
+}
+
+TEST(Interpreter, FloatKernel)
+{
+    // Sum 1.0 + 2.0 + ... + 10.0 = 55.0 in float.
+    ProgramBuilder b;
+    b.li(1, asBits(0.0f));  // acc
+    b.li(2, asBits(1.0f));  // x
+    b.li(3, asBits(1.0f));  // inc
+    b.li(4, asBits(10.5f)); // limit
+    Label loop = b.hereLabel("loop");
+    Label done = b.newLabel("done");
+    b.flt(5, 4, 2); // limit < x ?
+    b.bne(5, 0, done);
+    b.fadd(1, 1, 2);
+    b.fadd(2, 2, 3);
+    b.j(loop);
+    b.bind(done);
+    b.halt();
+    MainMemory mem;
+    auto res = Interpreter::run(b.finalize(), mem);
+    EXPECT_EQ(asFloat(res.regs[1]), 55.0f);
+}
+
+TEST(Interpreter, TaskTraceAcrossLoop)
+{
+    // Two tasks: a loop body task executed 3 times, then an exit.
+    ProgramBuilder b;
+    b.li(1, 3);
+    Label body = b.newLabel("body");
+    Label exit_task = b.newLabel("exit");
+    b.j(body);
+    b.bind(body);
+    b.beginTask("body");
+    b.taskTargets({body, exit_task});
+    b.addi(1, 1, -1);
+    b.bne(1, 0, body);
+    b.bind(exit_task);
+    b.beginTask("exit");
+    b.halt();
+    Program p = b.finalize();
+    MainMemory mem;
+    auto res = Interpreter::run(p, mem, 1000, true);
+    // body entered 3 times, exit once.
+    ASSERT_EQ(res.taskTrace.size(), 4u);
+    EXPECT_EQ(res.taskTrace[0], p.labelAddr("body"));
+    EXPECT_EQ(res.taskTrace[2], p.labelAddr("body"));
+    EXPECT_EQ(res.taskTrace[3], p.labelAddr("exit"));
+}
+
+// ------------------------------------------------------- assembler
+
+TEST(Assembler, BasicProgram)
+{
+    Program p = assemble(R"(
+        ; compute 6*7 into r3
+        .org 0x2000
+            li   r1, 6
+            li   r2, 7
+            mul  r3, r1, r2
+            halt
+    )");
+    EXPECT_EQ(p.base, 0x2000u);
+    MainMemory mem;
+    auto res = isa::Interpreter::run(p, mem);
+    EXPECT_EQ(res.regs[3], 42u);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Program p = assemble(R"(
+        start:
+            li   r1, 5
+            li   r2, 0
+        loop:
+            beq  r1, r0, done
+            add  r2, r2, r1
+            addi r1, r1, -1
+            j    loop
+        done:
+            halt
+    )");
+    MainMemory mem;
+    auto res = Interpreter::run(p, mem);
+    EXPECT_EQ(res.regs[2], 15u); // 5+4+3+2+1
+}
+
+TEST(Assembler, DataSegmentAndLoadsStores)
+{
+    Program p = assemble(R"(
+        .dataorg 0x200000
+            la   r1, table
+            lw   r2, 4(r1)
+            sw   r2, 8(r1)
+            halt
+        .data
+        table:
+            .word 10, 20, 30
+    )");
+    MainMemory mem;
+    Interpreter::run(p, mem);
+    EXPECT_EQ(mem.readWord(0x200008), 20u);
+}
+
+TEST(Assembler, TaskDirective)
+{
+    Program p = assemble(R"(
+        .task targets=t0 creates=r5
+        t0:
+            addi r1, r1, 1
+            bne  r1, r2, t0
+            halt
+    )");
+    ASSERT_TRUE(p.isTaskEntry(p.labelAddr("t0")));
+    const TaskDescriptor &d = p.taskAt(p.labelAddr("t0"));
+    ASSERT_EQ(d.targets.size(), 1u);
+    EXPECT_EQ(d.targets[0], p.labelAddr("t0"));
+    // creates=r5 plus the automatically tracked r1.
+    EXPECT_EQ(d.createMask & (1u << 5), 1u << 5);
+    EXPECT_EQ(d.createMask & (1u << 1), 1u << 1);
+}
+
+TEST(Assembler, ReleaseDirective)
+{
+    Program p = assemble(R"(
+        .task targets=t
+        t:
+            addi r4, r0, 9
+            .release r4
+            halt
+    )");
+    ASSERT_EQ(p.releaseMask.size(), 1u);
+    EXPECT_EQ(p.releaseMask.begin()->second, 1u << 4);
+}
+
+TEST(Assembler, CommentsAndWhitespace)
+{
+    Program p = assemble(R"(
+        # hash comment
+        li r1, 1 ; trailing comment
+
+        halt
+    )");
+    MainMemory mem;
+    auto res = Interpreter::run(p, mem);
+    EXPECT_EQ(res.regs[1], 1u);
+}
+
+TEST(Assembler, MatchesBuilderEncoding)
+{
+    Program pa = assemble(R"(
+            addi r1, r0, 5
+            lw   r2, 8(r1)
+            sw   r2, -4(r1)
+            fadd r3, r1, r2
+            halt
+    )");
+    ProgramBuilder b;
+    b.addi(1, 0, 5);
+    b.lw(2, 8, 1);
+    b.sw(2, -4, 1);
+    b.fadd(3, 1, 2);
+    b.halt();
+    Program pb = b.finalize();
+    ASSERT_EQ(pa.code.size(), pb.code.size());
+    for (std::size_t i = 0; i < pa.code.size(); ++i)
+        EXPECT_EQ(pa.code[i], pb.code[i]) << "instr " << i;
+}
+
+// ---------------------------------------------------- disassembler
+
+TEST(Disassembler, Formats)
+{
+    EXPECT_EQ(disassemble(encodeR(Opcode::ADD, 1, 2, 3)),
+              "add r1, r2, r3");
+    EXPECT_EQ(disassemble(encodeI(Opcode::ADDI, 1, 2, -5)),
+              "addi r1, r2, -5");
+    EXPECT_EQ(disassemble(encodeI(Opcode::LW, 4, 5, 16)),
+              "lw r4, 16(r5)");
+    EXPECT_EQ(disassemble(encodeI(Opcode::SW, 4, 5, -8)),
+              "sw r4, -8(r5)");
+    EXPECT_EQ(disassemble(encodeR(Opcode::HALT, 0, 0, 0)), "halt");
+    // Branch target is pc-relative.
+    EXPECT_EQ(disassemble(encodeI(Opcode::BEQ, 1, 2, 3), 0x1000),
+              "beq r1, r2, 0x1010");
+}
+
+TEST(Disassembler, RoundTripThroughAssembler)
+{
+    const char *lines[] = {
+        "add r1, r2, r3", "addi r4, r5, 100", "lw r6, 4(r7)",
+        "sw r6, 8(r7)",   "fmul r1, r2, r3",  "nop",
+        "halt",
+    };
+    for (const char *line : lines) {
+        Program p = assemble(std::string("    ") + line + "\n");
+        EXPECT_EQ(disassemble(p.code[0], p.base), line);
+    }
+}
+
+} // namespace
+} // namespace svc::isa

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: main memory, set-associative
+ * cache storage, the snooping bus, MSHRs, and write-back buffers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/bus.hh"
+#include "mem/cache_storage.hh"
+#include "mem/main_memory.hh"
+#include "mem/mshr.hh"
+#include "mem/writeback_buffer.hh"
+
+namespace svc
+{
+namespace
+{
+
+// ---------------------------------------------------------- memory
+
+TEST(MainMemory, ZeroInitialized)
+{
+    MainMemory mem;
+    EXPECT_EQ(mem.readByte(0), 0);
+    EXPECT_EQ(mem.readWord(0x123400), 0u);
+}
+
+TEST(MainMemory, ByteReadWrite)
+{
+    MainMemory mem;
+    mem.writeByte(5, 0xab);
+    EXPECT_EQ(mem.readByte(5), 0xab);
+    EXPECT_EQ(mem.readByte(6), 0);
+}
+
+TEST(MainMemory, WordIsLittleEndian)
+{
+    MainMemory mem;
+    mem.writeWord(0x100, 0x11223344);
+    EXPECT_EQ(mem.readByte(0x100), 0x44);
+    EXPECT_EQ(mem.readByte(0x103), 0x11);
+    EXPECT_EQ(mem.readWord(0x100), 0x11223344u);
+}
+
+TEST(MainMemory, BlockAcrossPages)
+{
+    MainMemory mem;
+    const Addr a = MainMemory::kPageSize - 2;
+    const std::uint8_t in[4] = {1, 2, 3, 4};
+    mem.writeBlock(a, in, 4);
+    std::uint8_t out[4] = {};
+    mem.readBlock(a, out, 4);
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(out[3], 4);
+    EXPECT_EQ(mem.pagesTouched(), 2u);
+}
+
+TEST(MainMemory, HashDetectsDifferences)
+{
+    MainMemory a, b;
+    a.writeWord(0x10, 7);
+    b.writeWord(0x10, 7);
+    EXPECT_EQ(a.hashRange(0, 64), b.hashRange(0, 64));
+    b.writeByte(0x20, 1);
+    EXPECT_NE(a.hashRange(0, 64), b.hashRange(0, 64));
+}
+
+TEST(MainMemory, ClearResets)
+{
+    MainMemory mem;
+    mem.writeWord(0x40, 99);
+    mem.clear();
+    EXPECT_EQ(mem.readWord(0x40), 0u);
+    EXPECT_EQ(mem.pagesTouched(), 0u);
+}
+
+// --------------------------------------------------------- storage
+
+struct Payload
+{
+    int marker = 0;
+};
+
+TEST(CacheStorage, Geometry)
+{
+    CacheStorage<Payload> c(8192, 4, 16);
+    EXPECT_EQ(c.numSets(), 128u);
+    EXPECT_EQ(c.lineSize(), 16u);
+    EXPECT_EQ(c.lineAddr(0x1235), 0x1230u);
+    EXPECT_EQ(c.setIndex(0x1230), (0x1230u >> 4) & 127);
+}
+
+TEST(CacheStorage, FindAfterInstall)
+{
+    CacheStorage<Payload> c(1024, 2, 16);
+    EXPECT_EQ(c.find(0x100), nullptr);
+    auto *f = c.pickVictim(0x100, [](const auto &) { return true; });
+    ASSERT_NE(f, nullptr);
+    c.install(*f, 0x100);
+    f->payload.marker = 42;
+    auto *g = c.find(0x104); // same line
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->payload.marker, 42);
+    EXPECT_EQ(c.find(0x200), nullptr);
+}
+
+TEST(CacheStorage, LruEvictsOldest)
+{
+    // 2-way, 16B lines, 2 sets: addresses 0x00,0x40,0x80 share set 0.
+    CacheStorage<Payload> c(64, 2, 16);
+    ASSERT_EQ(c.numSets(), 2u);
+    auto install = [&](Addr a) {
+        auto *f = c.pickVictim(a, [](const auto &) { return true; });
+        c.install(*f, a);
+    };
+    install(0x00);
+    install(0x40);
+    c.touch(*c.find(0x00)); // 0x40 becomes LRU
+    auto *v = c.pickVictim(0x80, [](const auto &) { return true; });
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(c.frameAddr(*v), 0x40u);
+}
+
+TEST(CacheStorage, VictimVeto)
+{
+    CacheStorage<Payload> c(32, 2, 16); // one set, two ways
+    auto install = [&](Addr a, int m) {
+        auto *f = c.pickVictim(a, [](const auto &) { return true; });
+        c.install(*f, a);
+        f->payload.marker = m;
+    };
+    install(0x00, 1);
+    install(0x10, 2);
+    // Veto everything: no victim available.
+    EXPECT_EQ(c.pickVictim(0x20, [](const auto &) { return false; }),
+              nullptr);
+    // Veto only marker 1.
+    auto *v = c.pickVictim(0x20, [](const CacheFrame<Payload> &f) {
+        return f.payload.marker != 1;
+    });
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->payload.marker, 2);
+}
+
+TEST(CacheStorage, FrameAddrRoundTrip)
+{
+    CacheStorage<Payload> c(8192, 4, 16);
+    for (Addr a : {Addr{0x0}, Addr{0x1230}, Addr{0xfff0},
+                   Addr{0x12340}}) {
+        auto *f = c.pickVictim(a, [](const auto &) { return true; });
+        c.install(*f, a);
+        EXPECT_EQ(c.frameAddr(*f), a);
+    }
+}
+
+TEST(CacheStorage, HasFreeFrame)
+{
+    CacheStorage<Payload> c(32, 2, 16);
+    EXPECT_TRUE(c.hasFreeFrame(0x0));
+    auto install = [&](Addr a) {
+        auto *f = c.pickVictim(a, [](const auto &) { return true; });
+        c.install(*f, a);
+    };
+    install(0x00);
+    EXPECT_TRUE(c.hasFreeFrame(0x40));
+    install(0x10);
+    EXPECT_FALSE(c.hasFreeFrame(0x20));
+}
+
+TEST(CacheStorage, InvalidateFreesFrame)
+{
+    CacheStorage<Payload> c(32, 2, 16);
+    auto *f = c.pickVictim(0x0, [](const auto &) { return true; });
+    c.install(*f, 0x0);
+    ASSERT_NE(c.find(0x0), nullptr);
+    c.invalidate(*f);
+    EXPECT_EQ(c.find(0x0), nullptr);
+}
+
+TEST(CacheStorage, ForEachValidVisitsAll)
+{
+    CacheStorage<Payload> c(8192, 4, 16);
+    for (Addr a = 0; a < 10 * 16; a += 16) {
+        auto *f = c.pickVictim(a, [](const auto &) { return true; });
+        c.install(*f, a);
+    }
+    int n = 0;
+    c.forEachValid([&](CacheFrame<Payload> &) { ++n; });
+    EXPECT_EQ(n, 10);
+}
+
+// ------------------------------------------------------------- bus
+
+TEST(SnoopingBus, GrantsInFifoOrder)
+{
+    SnoopingBus bus;
+    std::vector<int> grants;
+    bus.request({0, BusCmd::BusRead, 0, [&](Cycle) {
+                     grants.push_back(1);
+                     return Cycle{3};
+                 }});
+    bus.request({1, BusCmd::BusWrite, 0, [&](Cycle) {
+                     grants.push_back(2);
+                     return Cycle{3};
+                 }});
+    Cycle now = 0;
+    bus.tick(++now); // grant 1, busy until 4
+    EXPECT_EQ(grants, (std::vector<int>{1}));
+    bus.tick(++now);
+    bus.tick(++now);
+    EXPECT_EQ(grants, (std::vector<int>{1}));
+    bus.tick(++now); // cycle 4: free again
+    EXPECT_EQ(grants, (std::vector<int>{1, 2}));
+}
+
+TEST(SnoopingBus, UtilizationAccounting)
+{
+    SnoopingBus bus;
+    bus.request({0, BusCmd::BusRead, 0, [](Cycle) {
+                     return Cycle{5};
+                 }});
+    for (Cycle c = 1; c <= 10; ++c)
+        bus.tick(c);
+    EXPECT_EQ(bus.busyCycleCount(), 5u);
+    EXPECT_DOUBLE_EQ(bus.utilization(), 0.5);
+    EXPECT_EQ(bus.transactionCount(BusCmd::BusRead), 1u);
+}
+
+TEST(SnoopingBus, StatsSnapshot)
+{
+    SnoopingBus bus;
+    bus.request(
+        {0, BusCmd::BusWback, 0, [](Cycle) { return Cycle{2}; }});
+    bus.tick(1);
+    const StatSet s = bus.stats();
+    EXPECT_EQ(s.get("bus_wbacks"), 1.0);
+    EXPECT_EQ(s.get("busy_cycles"), 2.0);
+}
+
+// ------------------------------------------------------------ mshr
+
+TEST(MshrFile, PrimaryAndCombining)
+{
+    MshrFile m(2, 2);
+    int fills = 0;
+    bool primary = false;
+    EXPECT_TRUE(m.allocate(0x100, [&] { ++fills; }, primary));
+    EXPECT_TRUE(primary);
+    EXPECT_TRUE(m.allocate(0x100, [&] { ++fills; }, primary));
+    EXPECT_FALSE(primary);
+    // Target list for 0x100 is now full.
+    EXPECT_FALSE(m.canAccept(0x100));
+    EXPECT_FALSE(m.allocate(0x100, [&] { ++fills; }, primary));
+    m.complete(0x100);
+    EXPECT_EQ(fills, 2);
+    EXPECT_EQ(m.inFlight(), 0u);
+}
+
+TEST(MshrFile, FileCapacity)
+{
+    MshrFile m(2, 4);
+    bool primary;
+    EXPECT_TRUE(m.allocate(0x100, [] {}, primary));
+    EXPECT_TRUE(m.allocate(0x200, [] {}, primary));
+    EXPECT_FALSE(m.canAccept(0x300));
+    EXPECT_FALSE(m.allocate(0x300, [] {}, primary));
+    m.complete(0x100);
+    EXPECT_TRUE(m.canAccept(0x300));
+}
+
+TEST(MshrFile, CompleteUnknownLineIsNoop)
+{
+    MshrFile m(2, 4);
+    m.complete(0x500); // must not crash
+    EXPECT_EQ(m.inFlight(), 0u);
+}
+
+TEST(MshrFile, TargetMayReallocate)
+{
+    MshrFile m(1, 4);
+    bool primary;
+    int second_fills = 0;
+    ASSERT_TRUE(m.allocate(0x100, [&] {
+        // The fill handler immediately misses again: the MSHR must
+        // already be free.
+        bool p;
+        EXPECT_TRUE(m.allocate(0x100, [&] { ++second_fills; }, p));
+        EXPECT_TRUE(p);
+    }, primary));
+    m.complete(0x100);
+    EXPECT_EQ(m.inFlight(), 1u);
+    m.complete(0x100);
+    EXPECT_EQ(second_fills, 1);
+}
+
+// ------------------------------------------------- writeback buffer
+
+TEST(WritebackBuffer, FifoAndCapacity)
+{
+    WritebackBuffer wb(2);
+    EXPECT_TRUE(wb.empty());
+    wb.push({0x100, {1, 2}, 0x3});
+    wb.push({0x200, {3, 4}, 0x3});
+    EXPECT_TRUE(wb.full());
+    EXPECT_EQ(wb.front().lineAddr, 0x100u);
+    wb.pop();
+    EXPECT_EQ(wb.front().lineAddr, 0x200u);
+    EXPECT_FALSE(wb.full());
+}
+
+TEST(WritebackBuffer, FindNewestWins)
+{
+    WritebackBuffer wb(4);
+    wb.push({0x100, {1}, 0x1});
+    wb.push({0x100, {2}, 0x1});
+    const WritebackEntry *e = wb.find(0x100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->data[0], 2);
+    EXPECT_EQ(wb.find(0x300), nullptr);
+}
+
+} // namespace
+} // namespace svc

@@ -1,0 +1,536 @@
+/**
+ * @file
+ * Multiscalar processor tests: task predictor behaviour, register
+ * forwarding ring semantics, and end-to-end program execution over
+ * the perfect-memory oracle, the SVC and the ARB — all validated
+ * against the sequential interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "arb/arb_system.hh"
+#include "isa/builder.hh"
+#include "isa/interpreter.hh"
+#include "mem/ref_spec_mem.hh"
+#include "multiscalar/predictor.hh"
+#include "multiscalar/processor.hh"
+#include "multiscalar/regring.hh"
+#include "svc/system.hh"
+
+namespace svc
+{
+namespace
+{
+
+using isa::Label;
+using isa::Program;
+using isa::ProgramBuilder;
+
+// ------------------------------------------------------- predictor
+
+TEST(TaskPredictorTest, LearnsDominantTarget)
+{
+    PredictorConfig cfg;
+    TaskPredictor pred(cfg);
+    isa::TaskDescriptor desc;
+    desc.entry = 0x1000;
+    desc.targets = {0x2000, 0x3000};
+    // Train: actual is always target 1.
+    for (int i = 0; i < 8; ++i) {
+        TaskPrediction p = pred.predict(desc);
+        pred.resolve(p, desc, 0x3000);
+        pred.restorePath(p.pathBefore); // same context each time
+    }
+    TaskPrediction p = pred.predict(desc);
+    EXPECT_EQ(p.next, 0x3000u);
+}
+
+TEST(TaskPredictorTest, DefaultsToFirstTarget)
+{
+    PredictorConfig cfg;
+    TaskPredictor pred(cfg);
+    isa::TaskDescriptor desc;
+    desc.entry = 0x1000;
+    desc.targets = {0x2000, 0x3000};
+    TaskPrediction p = pred.predict(desc);
+    EXPECT_EQ(p.next, 0x2000u);
+}
+
+TEST(TaskPredictorTest, AddressTableCapturesDynamicTargets)
+{
+    PredictorConfig cfg;
+    TaskPredictor pred(cfg);
+    isa::TaskDescriptor desc;
+    desc.entry = 0x1000;
+    desc.targets = {}; // indirect exit: no static targets
+    for (int i = 0; i < 4; ++i) {
+        TaskPrediction p = pred.predict(desc);
+        pred.resolve(p, desc, 0x4440);
+        pred.restorePath(p.pathBefore);
+    }
+    TaskPrediction p = pred.predict(desc);
+    EXPECT_EQ(p.next, 0x4440u);
+}
+
+TEST(TaskPredictorTest, PathRestoreAfterSquash)
+{
+    PredictorConfig cfg;
+    TaskPredictor pred(cfg);
+    isa::TaskDescriptor desc;
+    desc.entry = 0x1000;
+    desc.targets = {0x2000};
+    const std::uint32_t before = pred.path();
+    TaskPrediction p = pred.predict(desc);
+    EXPECT_NE(pred.path(), before);
+    pred.restorePath(p.pathBefore);
+    EXPECT_EQ(pred.path(), before);
+}
+
+TEST(TaskPredictorTest, RasPushPop)
+{
+    PredictorConfig cfg;
+    cfg.rasEntries = 2;
+    TaskPredictor pred(cfg);
+    pred.pushRas(0x100);
+    pred.pushRas(0x200);
+    pred.pushRas(0x300); // evicts the oldest
+    EXPECT_EQ(pred.popRas(), 0x300u);
+    EXPECT_EQ(pred.popRas(), 0x200u);
+    EXPECT_EQ(pred.popRas(), kNoAddr);
+}
+
+TEST(TaskPredictorTest, DescriptorCacheMissesCostLatency)
+{
+    PredictorConfig cfg;
+    TaskPredictor pred(cfg);
+    isa::TaskDescriptor desc;
+    desc.entry = 0x8000;
+    desc.targets = {0x8000};
+    TaskPrediction first = pred.predict(desc);
+    EXPECT_EQ(first.latency, cfg.descMissPenalty);
+    TaskPrediction second = pred.predict(desc);
+    EXPECT_EQ(second.latency, 0u);
+    EXPECT_EQ(pred.nDescMisses, 1u);
+}
+
+// ---------------------------------------------------- register ring
+
+class RegRingTest : public ::testing::Test
+{
+  protected:
+    RegisterRing ring{4, 1, 2};
+
+    void
+    drain(unsigned cycles = 16)
+    {
+        for (unsigned i = 0; i < cycles; ++i)
+            ring.tick();
+    }
+};
+
+TEST_F(RegRingTest, ArchValuesFlowThrough)
+{
+    ring.archRegs()[5] = 77;
+    ring.startTask(0, 0, 0);
+    EXPECT_TRUE(ring.regReady(0, 5));
+    EXPECT_EQ(ring.regValue(0, 5), 77u);
+}
+
+TEST_F(RegRingTest, ConsumerWaitsForProducer)
+{
+    ring.startTask(0, 0, 1u << 3); // task 0 creates r3
+    ring.startTask(1, 1, 0);
+    EXPECT_FALSE(ring.regReady(1, 3))
+        << "r3 must wait for the older task";
+    ring.setLocal(0, 3, 42);
+    EXPECT_FALSE(ring.regReady(1, 3)) << "not yet released";
+    ring.releaseReg(0, 3);
+    drain();
+    EXPECT_TRUE(ring.regReady(1, 3));
+    EXPECT_EQ(ring.regValue(1, 3), 42u);
+}
+
+TEST_F(RegRingTest, DeliveryTakesHopLatency)
+{
+    ring.startTask(0, 0, 1u << 3);
+    ring.startTask(1, 1, 0);
+    ring.setLocal(0, 3, 9);
+    ring.releaseReg(0, 3);
+    // One tick to drain the send queue plus one hop.
+    ring.tick();
+    ring.tick();
+    EXPECT_TRUE(ring.regReady(1, 3));
+}
+
+TEST_F(RegRingTest, IntermediateCreatorShieldsDelivery)
+{
+    ring.startTask(0, 0, 1u << 3);
+    ring.startTask(1, 1, 1u << 3); // task 1 also creates r3
+    ring.startTask(2, 2, 0);
+    ring.setLocal(0, 3, 10);
+    ring.releaseReg(0, 3);
+    drain();
+    // Task 1 receives task 0's value (it may read before writing).
+    EXPECT_TRUE(ring.regReady(1, 3));
+    EXPECT_EQ(ring.regValue(1, 3), 10u);
+    // Task 2 must NOT take task 0's value: its producer is task 1.
+    EXPECT_FALSE(ring.regReady(2, 3));
+    ring.setLocal(1, 3, 20);
+    ring.releaseReg(1, 3);
+    drain();
+    EXPECT_EQ(ring.regValue(2, 3), 20u);
+}
+
+TEST_F(RegRingTest, LateStarterSeesReleasedValue)
+{
+    ring.startTask(0, 0, 1u << 4);
+    ring.setLocal(0, 4, 11);
+    ring.releaseReg(0, 4);
+    drain();
+    ring.startTask(1, 1, 0); // starts after the release
+    EXPECT_TRUE(ring.regReady(1, 4));
+    EXPECT_EQ(ring.regValue(1, 4), 11u);
+}
+
+TEST_F(RegRingTest, CommitFoldsIntoArch)
+{
+    ring.startTask(0, 0, 1u << 6);
+    ring.setLocal(0, 6, 99);
+    ring.releaseReg(0, 6);
+    ring.commitTask(0);
+    EXPECT_EQ(ring.archRegs()[6], 99u);
+}
+
+TEST_F(RegRingTest, SquashDiscardsPendingForwards)
+{
+    ring.startTask(0, 0, 1u << 3);
+    ring.startTask(1, 1, 0);
+    ring.setLocal(0, 3, 5);
+    ring.releaseReg(0, 3);
+    ring.squashTask(1); // consumer squashed before delivery
+    drain();
+    // Re-assign the same task: it must see the released value.
+    ring.startTask(1, 1, 0);
+    EXPECT_TRUE(ring.regReady(1, 3));
+    EXPECT_EQ(ring.regValue(1, 3), 5u);
+}
+
+TEST_F(RegRingTest, FinishReleasesWholeCreateMask)
+{
+    ring.startTask(0, 0, (1u << 2) | (1u << 3));
+    ring.startTask(1, 1, 0);
+    ring.setLocal(0, 2, 1);
+    // r3 never written: the input (arch) value passes through.
+    ring.archRegs()[3] = 7; // nb: set before startTask normally
+    ring.finishTask(0);
+    drain();
+    EXPECT_TRUE(ring.regReady(1, 2));
+    EXPECT_TRUE(ring.regReady(1, 3));
+}
+
+// --------------------------------------------- end-to-end programs
+
+/** Array transform: b[i] = a[i] * 3 + 1; one task per iteration. */
+Program
+makeArrayTransform(unsigned n)
+{
+    ProgramBuilder b;
+    std::vector<std::uint32_t> init;
+    for (unsigned i = 0; i < n; ++i)
+        init.push_back(i * 7 + 3);
+    Label a = b.dataWords("a", init);
+    Label out = b.allocData("b", n * 4);
+
+    b.beginTask("init");
+    Label body = b.newLabel("body");
+    Label done = b.newLabel("done");
+    b.taskTargets({body});
+    b.la(1, a);        // src
+    b.la(2, out);      // dst
+    b.li(3, n);        // remaining
+    b.j(body);
+
+    b.bind(body);
+    b.beginTask("body");
+    b.taskTargets({body, done});
+    // Loop-carried registers are produced first and released early
+    // (multiscalar forward bits) so successor tasks start promptly.
+    b.addi(1, 1, 4);
+    b.release({1});
+    b.addi(2, 2, 4);
+    b.release({2});
+    b.addi(3, 3, -1);
+    b.release({3});
+    b.lw(4, -4, 1);
+    b.slli(5, 4, 1);
+    b.add(5, 5, 4);    // *3
+    b.addi(5, 5, 1);   // +1
+    b.sw(5, -4, 2);
+    b.bne(3, 0, body);
+
+    b.bind(done);
+    b.beginTask("done");
+    b.halt();
+    return b.finalize();
+}
+
+/** Serial reduction: sum = a[0] + ... + a[n-1] (cross-task dep). */
+Program
+makeReduction(unsigned n)
+{
+    ProgramBuilder b;
+    std::vector<std::uint32_t> init;
+    for (unsigned i = 0; i < n; ++i)
+        init.push_back(i + 1);
+    Label a = b.dataWords("a", init);
+    Label out = b.allocData("sum", 4);
+
+    b.beginTask("init");
+    Label body = b.newLabel("body");
+    Label done = b.newLabel("done");
+    b.taskTargets({body});
+    b.la(1, a);
+    b.li(2, 0); // acc
+    b.li(3, n);
+    b.j(body);
+
+    b.bind(body);
+    b.beginTask("body");
+    b.taskTargets({body, done});
+    b.lw(4, 0, 1);
+    b.add(2, 2, 4);
+    b.release({2}); // early-forward the accumulator
+    b.addi(1, 1, 4);
+    b.addi(3, 3, -1);
+    b.bne(3, 0, body);
+
+    b.bind(done);
+    b.beginTask("done");
+    b.la(5, out);
+    b.sw(2, 0, 5);
+    b.halt();
+    return b.finalize();
+}
+
+/**
+ * Memory dependence through a shared cell: every task increments
+ * mem[counter] — guaranteed cross-task load-store conflicts.
+ */
+Program
+makeSharedCounter(unsigned n)
+{
+    ProgramBuilder b;
+    Label cell = b.allocData("cell", 4);
+
+    b.beginTask("init");
+    Label body = b.newLabel("body");
+    Label done = b.newLabel("done");
+    b.taskTargets({body});
+    b.la(1, cell);
+    b.li(3, n);
+    b.j(body);
+
+    b.bind(body);
+    b.beginTask("body");
+    b.taskTargets({body, done});
+    b.lw(4, 0, 1);
+    b.addi(4, 4, 1);
+    b.sw(4, 0, 1);
+    b.addi(3, 3, -1);
+    b.bne(3, 0, body);
+
+    b.bind(done);
+    b.beginTask("done");
+    b.halt();
+    return b.finalize();
+}
+
+MultiscalarConfig
+smallConfig()
+{
+    MultiscalarConfig cfg;
+    cfg.maxCycles = 2'000'000;
+    return cfg;
+}
+
+/** Run @p prog on a multiscalar over @p mem_sys and compare the
+ *  final memory and registers with the interpreter. */
+void
+expectMatchesInterpreter(const Program &prog, SpecMem &mem_sys,
+                         MainMemory &spec_mem,
+                         const MultiscalarConfig &cfg,
+                         Addr check_base, std::size_t check_len,
+                         RunStats *out = nullptr,
+                         std::function<void()> flush = {})
+{
+    MainMemory ref_mem;
+    auto ref = isa::Interpreter::run(prog, ref_mem, 100'000'000);
+    ASSERT_TRUE(ref.halted);
+
+    prog.loadInto(spec_mem);
+    Processor cpu(cfg, prog, mem_sys);
+    RunStats rs = cpu.run();
+    EXPECT_TRUE(rs.halted) << "multiscalar run did not finish";
+    if (flush)
+        flush();
+    EXPECT_EQ(rs.committedInstructions, ref.instructions);
+    EXPECT_EQ(spec_mem.hashRange(check_base, check_len),
+              ref_mem.hashRange(check_base, check_len))
+        << "final memory differs from sequential execution";
+    for (unsigned r = 1; r < isa::kNumRegs; ++r) {
+        EXPECT_EQ(rs.finalRegs[r], ref.regs[r]) << "register r" << r;
+    }
+    if (out)
+        *out = rs;
+}
+
+TEST(MultiscalarEndToEnd, ArrayTransformOnPerfectMemory)
+{
+    Program prog = makeArrayTransform(50);
+    MainMemory mem;
+    RefSpecMem perfect(mem, 4);
+    expectMatchesInterpreter(prog, perfect, mem, smallConfig(),
+                             0x100000, 50 * 8 + 16);
+}
+
+TEST(MultiscalarEndToEnd, ArrayTransformOnSvc)
+{
+    Program prog = makeArrayTransform(50);
+    MainMemory mem;
+    SvcConfig scfg = makeDesign(SvcDesign::Final);
+    SvcSystem svc_sys(scfg, mem);
+    expectMatchesInterpreter(prog, svc_sys, mem, smallConfig(),
+                             0x100000, 50 * 8 + 16, nullptr,
+                             [&] { svc_sys.protocol().flushCommitted(); });
+}
+
+TEST(MultiscalarEndToEnd, ArrayTransformOnArb)
+{
+    Program prog = makeArrayTransform(50);
+    MainMemory mem;
+    ArbTimingConfig acfg;
+    ArbSystem arb_sys(acfg, mem);
+    prog.loadInto(mem);
+    MainMemory ref_mem;
+    auto ref = isa::Interpreter::run(prog, ref_mem, 100'000'000);
+    Processor cpu(smallConfig(), prog, arb_sys);
+    RunStats rs = cpu.run();
+    EXPECT_TRUE(rs.halted);
+    arb_sys.arb().flushArchitectural();
+    arb_sys.arb().flushDataCache();
+    EXPECT_EQ(mem.hashRange(0x100000, 50 * 8 + 16),
+              ref_mem.hashRange(0x100000, 50 * 8 + 16));
+}
+
+TEST(MultiscalarEndToEnd, ReductionWithRegisterForwarding)
+{
+    Program prog = makeReduction(40);
+    MainMemory mem;
+    RefSpecMem perfect(mem, 4);
+    RunStats rs;
+    expectMatchesInterpreter(prog, perfect, mem, smallConfig(),
+                             0x100000, 40 * 4 + 32, &rs);
+    // 40 body tasks + init + done.
+    EXPECT_EQ(rs.committedTasks, 42u);
+}
+
+TEST(MultiscalarEndToEnd, SharedCounterForcesViolations)
+{
+    Program prog = makeSharedCounter(30);
+    MainMemory mem;
+    SvcConfig scfg = makeDesign(SvcDesign::Final);
+    SvcSystem svc_sys(scfg, mem);
+    RunStats rs;
+    expectMatchesInterpreter(prog, svc_sys, mem, smallConfig(),
+                             0x100000, 16, &rs,
+                             [&] { svc_sys.protocol().flushCommitted(); });
+    EXPECT_EQ(mem.readWord(0x100000), 30u);
+}
+
+TEST(MultiscalarEndToEnd, SharedCounterOnArb)
+{
+    Program prog = makeSharedCounter(30);
+    MainMemory mem;
+    ArbTimingConfig acfg;
+    ArbSystem arb_sys(acfg, mem);
+    prog.loadInto(mem);
+    Processor cpu(smallConfig(), prog, arb_sys);
+    RunStats rs = cpu.run();
+    EXPECT_TRUE(rs.halted);
+    arb_sys.arb().flushArchitectural();
+    arb_sys.arb().flushDataCache();
+    EXPECT_EQ(mem.readWord(0x100000), 30u);
+}
+
+TEST(MultiscalarEndToEnd, TaskMispredictionRecovers)
+{
+    // A loop whose trip count is data-dependent: the predictor will
+    // mispredict the exit at least once, and the loop branch
+    // direction alternates unpredictably enough to exercise
+    // squashes.
+    ProgramBuilder b;
+    Label data = b.dataWords("d", {3, 1, 4, 1, 5, 9, 2, 6, 0});
+    Label out = b.allocData("out", 4);
+    b.beginTask("init");
+    Label body = b.newLabel("body");
+    Label done = b.newLabel("done");
+    b.taskTargets({body});
+    b.la(1, data);
+    b.li(2, 0);
+    b.j(body);
+    b.bind(body);
+    b.beginTask("body");
+    b.taskTargets({body, done});
+    b.lw(4, 0, 1);
+    b.add(2, 2, 4);
+    b.addi(1, 1, 4);
+    b.bne(4, 0, body); // exit when a zero is loaded
+    b.bind(done);
+    b.beginTask("done");
+    b.la(5, out);
+    b.sw(2, 0, 5);
+    b.halt();
+    Program prog = b.finalize();
+
+    MainMemory mem;
+    RefSpecMem perfect(mem, 4);
+    expectMatchesInterpreter(prog, perfect, mem, smallConfig(),
+                             0x100000, 64);
+    EXPECT_EQ(mem.readWord(prog.labelAddr("out")), 31u);
+}
+
+TEST(MultiscalarEndToEnd, IpcAboveOneOnParallelWork)
+{
+    Program prog = makeArrayTransform(200);
+    MainMemory mem;
+    RefSpecMem perfect(mem, 4);
+    prog.loadInto(mem);
+    Processor cpu(smallConfig(), prog, perfect);
+    RunStats rs = cpu.run();
+    ASSERT_TRUE(rs.halted);
+    EXPECT_GT(rs.ipc, 1.0)
+        << "4 PUs on independent work must beat 1 IPC";
+}
+
+TEST(MultiscalarEndToEnd, FewerPusIsSlower)
+{
+    Program prog = makeArrayTransform(200);
+    RunStats rs_by_pus[2];
+    unsigned idx = 0;
+    for (unsigned pus : {1u, 4u}) {
+        MainMemory mem;
+        RefSpecMem perfect(mem, pus);
+        prog.loadInto(mem);
+        MultiscalarConfig cfg = smallConfig();
+        cfg.numPus = pus;
+        Processor cpu(cfg, prog, perfect);
+        rs_by_pus[idx++] = cpu.run();
+    }
+    EXPECT_GT(rs_by_pus[1].ipc, rs_by_pus[0].ipc)
+        << "4 PUs must outperform 1 PU on parallel work";
+}
+
+} // namespace
+} // namespace svc

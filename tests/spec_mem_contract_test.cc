@@ -1,0 +1,210 @@
+/**
+ * @file
+ * SpecMem interface contract tests, parameterized over all three
+ * implementations (SVC, ARB, perfect memory): the processor core
+ * relies on these behaviours being identical regardless of the
+ * plugged-in memory system.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "arb/arb_system.hh"
+#include "mem/main_memory.hh"
+#include "mem/ref_spec_mem.hh"
+#include "svc/system.hh"
+
+namespace svc
+{
+namespace
+{
+
+struct Fixture
+{
+    std::unique_ptr<MainMemory> mem;
+    std::unique_ptr<SpecMem> sys;
+};
+
+using FactoryFn = Fixture (*)();
+
+Fixture
+makeSvc()
+{
+    Fixture f;
+    f.mem = std::make_unique<MainMemory>();
+    SvcConfig cfg = makeDesign(SvcDesign::Final);
+    f.sys = std::make_unique<SvcSystem>(cfg, *f.mem);
+    return f;
+}
+
+Fixture
+makeArb()
+{
+    Fixture f;
+    f.mem = std::make_unique<MainMemory>();
+    ArbTimingConfig cfg;
+    f.sys = std::make_unique<ArbSystem>(cfg, *f.mem);
+    return f;
+}
+
+Fixture
+makePerfect()
+{
+    Fixture f;
+    f.mem = std::make_unique<MainMemory>();
+    f.sys = std::make_unique<RefSpecMem>(*f.mem, 4);
+    return f;
+}
+
+class SpecMemContract : public ::testing::TestWithParam<FactoryFn>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        fixture = GetParam()();
+        sys = fixture.sys.get();
+    }
+
+    /** Issue and tick to completion; @return the loaded value. */
+    std::uint64_t
+    access(const MemReq &req)
+    {
+        bool done = false;
+        std::uint64_t value = 0;
+        EXPECT_TRUE(sys->issue(req, [&](std::uint64_t v) {
+            done = true;
+            value = v;
+        }));
+        for (int i = 0; i < 100000 && !done; ++i)
+            sys->tick();
+        EXPECT_TRUE(done);
+        return value;
+    }
+
+    Fixture fixture;
+    SpecMem *sys = nullptr;
+};
+
+TEST_P(SpecMemContract, CompletionCallbackAlwaysFires)
+{
+    sys->assignTask(0, 0);
+    EXPECT_EQ(access({0, false, 0x100, 4, 0}), 0u);
+}
+
+TEST_P(SpecMemContract, StoreThenLoadSameTask)
+{
+    sys->assignTask(0, 0);
+    access({0, true, 0x200, 4, 0xabcd});
+    EXPECT_EQ(access({0, false, 0x200, 4, 0}), 0xabcdu);
+}
+
+TEST_P(SpecMemContract, LoadSeesPreviousTasksVersion)
+{
+    sys->assignTask(0, 0);
+    sys->assignTask(1, 1);
+    access({0, true, 0x300, 4, 7});
+    EXPECT_EQ(access({1, false, 0x300, 4, 0}), 7u);
+}
+
+TEST_P(SpecMemContract, LoadIgnoresLaterTasksVersion)
+{
+    fixture.mem->writeWord(0x340, 5);
+    sys->assignTask(0, 0);
+    sys->assignTask(1, 1);
+    access({1, true, 0x340, 4, 9});
+    EXPECT_EQ(access({0, false, 0x340, 4, 0}), 5u);
+}
+
+TEST_P(SpecMemContract, ViolationHandlerReportsOldestViolator)
+{
+    std::vector<PuId> reported;
+    sys->setViolationHandler(
+        [&](PuId pu) { reported.push_back(pu); });
+    sys->assignTask(0, 0);
+    sys->assignTask(1, 1);
+    sys->assignTask(2, 2);
+    access({1, false, 0x400, 4, 0});
+    access({2, false, 0x400, 4, 0});
+    access({0, true, 0x400, 4, 1});
+    ASSERT_GE(reported.size(), 1u);
+    EXPECT_EQ(reported.front(), 1u)
+        << "the oldest violating task must be reported";
+}
+
+TEST_P(SpecMemContract, SquashDiscardsSpeculativeState)
+{
+    fixture.mem->writeWord(0x500, 3);
+    sys->assignTask(0, 0);
+    sys->assignTask(1, 1);
+    access({1, true, 0x500, 4, 0xbad});
+    sys->squashTask(1);
+    EXPECT_EQ(access({0, false, 0x500, 4, 0}), 3u);
+    sys->assignTask(1, 2);
+    EXPECT_EQ(access({1, false, 0x500, 4, 0}), 3u);
+}
+
+TEST_P(SpecMemContract, CommitsPublishInOrder)
+{
+    sys->assignTask(0, 0);
+    sys->assignTask(1, 1);
+    access({1, true, 0x600, 4, 2}); // newer version first
+    access({0, true, 0x600, 4, 1});
+    sys->commitTask(0);
+    sys->commitTask(1);
+    sys->assignTask(0, 5);
+    EXPECT_EQ(access({0, false, 0x600, 4, 0}), 2u)
+        << "the newest committed version must win";
+}
+
+TEST_P(SpecMemContract, DrainsToIdle)
+{
+    sys->assignTask(0, 0);
+    access({0, true, 0x700, 4, 1});
+    for (int i = 0; i < 1000 && sys->busyWithRequests(); ++i)
+        sys->tick();
+    EXPECT_FALSE(sys->busyWithRequests());
+}
+
+TEST_P(SpecMemContract, ByteGranularAccesses)
+{
+    sys->assignTask(0, 0);
+    access({0, true, 0x801, 1, 0x11});
+    access({0, true, 0x802, 2, 0x2233});
+    EXPECT_EQ(access({0, false, 0x800, 4, 0}) >> 8, 0x223311u);
+}
+
+TEST_P(SpecMemContract, StatsAreQueryable)
+{
+    sys->assignTask(0, 0);
+    access({0, false, 0x900, 4, 0});
+    EXPECT_FALSE(sys->stats().all().empty());
+    EXPECT_NE(sys->name(), nullptr);
+}
+
+TEST_P(SpecMemContract, TaskReassignmentAfterCommit)
+{
+    for (TaskSeq seq = 0; seq < 20; ++seq) {
+        const PuId pu = static_cast<PuId>(seq % 4);
+        sys->assignTask(pu, seq);
+        access({pu, true, 0xa00 + 4 * (seq % 8), 4,
+                static_cast<std::uint64_t>(seq)});
+        sys->commitTask(pu);
+    }
+    sys->assignTask(0, 100);
+    EXPECT_EQ(access({0, false, 0xa00 + 4 * 3, 4, 0}), 19u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Memories, SpecMemContract,
+    ::testing::Values(&makeSvc, &makeArb, &makePerfect),
+    [](const ::testing::TestParamInfo<FactoryFn> &info) {
+        return info.param == &makeSvc   ? "svc"
+               : info.param == &makeArb ? "arb"
+                                        : "perfect";
+    });
+
+} // namespace
+} // namespace svc

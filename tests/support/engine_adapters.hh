@@ -1,0 +1,134 @@
+/**
+ * @file
+ * EngineOps adapters binding the task-script driver to the concrete
+ * versioning engines: the functional SVC protocol, the reference
+ * memory, and any timed SpecMem (driven cycle by cycle).
+ */
+
+#ifndef SVC_TESTS_SUPPORT_ENGINE_ADAPTERS_HH
+#define SVC_TESTS_SUPPORT_ENGINE_ADAPTERS_HH
+
+#include <optional>
+
+#include "mem/ref_spec_mem.hh"
+#include "mem/spec_mem.hh"
+#include "svc/protocol.hh"
+#include "tests/support/task_script.hh"
+
+namespace svc::test
+{
+
+/** Drive the functional SVC protocol. */
+inline EngineOps
+adaptProtocol(SvcProtocol &p)
+{
+    EngineOps ops;
+    ops.assign = [&p](PuId pu, TaskSeq seq) { p.assignTask(pu, seq); };
+    ops.load = [&p](PuId pu, Addr a,
+                    unsigned s) -> std::optional<std::uint64_t> {
+        AccessResult r = p.load(pu, a, s);
+        if (r.stalled)
+            return std::nullopt;
+        return r.data;
+    };
+    ops.store = [&p](PuId pu, Addr a, unsigned s, std::uint64_t v)
+        -> std::optional<std::vector<PuId>> {
+        AccessResult r = p.store(pu, a, s, v);
+        if (r.stalled)
+            return std::nullopt;
+        return r.violators;
+    };
+    ops.commit = [&p](PuId pu) { p.commitTask(pu); };
+    ops.squash = [&p](PuId pu) { p.squashTask(pu); };
+    ops.taskOf = [&p](PuId pu) { return p.taskOf(pu); };
+    return ops;
+}
+
+/** Drive the functional reference memory. */
+inline EngineOps
+adaptReference(RefSpecMem &m)
+{
+    EngineOps ops;
+    ops.assign = [&m](PuId pu, TaskSeq seq) { m.assignTaskF(pu, seq); };
+    ops.load = [&m](PuId pu, Addr a,
+                    unsigned s) -> std::optional<std::uint64_t> {
+        return m.loadF(pu, a, s);
+    };
+    ops.store = [&m](PuId pu, Addr a, unsigned s, std::uint64_t v)
+        -> std::optional<std::vector<PuId>> {
+        return m.storeF(pu, a, s, v);
+    };
+    ops.commit = [&m](PuId pu) { m.commitTaskF(pu); };
+    ops.squash = [&m](PuId pu) { m.squashTaskF(pu); };
+    ops.taskOf = [&m](PuId pu) { return m.taskOf(pu); };
+    return ops;
+}
+
+/**
+ * Drive a timed SpecMem synchronously: each access ticks the system
+ * until its completion callback fires. Violations reported through
+ * the handler are collected and returned with the triggering store.
+ */
+class TimedEngine
+{
+  public:
+    explicit TimedEngine(SpecMem &system) : sys(system)
+    {
+        sys.setViolationHandler(
+            [this](PuId pu) { pendingViolators.push_back(pu); });
+    }
+
+    EngineOps
+    ops()
+    {
+        EngineOps e;
+        e.assign = [this](PuId pu, TaskSeq seq) {
+            sys.assignTask(pu, seq);
+        };
+        e.load = [this](PuId pu, Addr a,
+                        unsigned s) -> std::optional<std::uint64_t> {
+            return access({pu, false, a, s, 0});
+        };
+        e.store = [this](PuId pu, Addr a, unsigned s, std::uint64_t v)
+            -> std::optional<std::vector<PuId>> {
+            pendingViolators.clear();
+            if (!access({pu, true, a, s, v}))
+                return std::nullopt;
+            return pendingViolators;
+        };
+        e.commit = [this](PuId pu) { sys.commitTask(pu); };
+        e.squash = [this](PuId pu) { sys.squashTask(pu); };
+        e.taskOf = [](PuId) { return kNoTask; };
+        return e;
+    }
+
+  private:
+    std::optional<std::uint64_t>
+    access(const MemReq &req)
+    {
+        bool finished = false;
+        std::uint64_t value = 0;
+        if (!sys.issue(req, [&](std::uint64_t v) {
+                finished = true;
+                value = v;
+            })) {
+            // Port busy: drain one cycle and report a stall.
+            sys.tick();
+            return std::nullopt;
+        }
+        unsigned guard = 0;
+        while (!finished) {
+            sys.tick();
+            if (++guard > 1000000)
+                panic("timed engine: access never completed");
+        }
+        return value;
+    }
+
+    SpecMem &sys;
+    std::vector<PuId> pendingViolators;
+};
+
+} // namespace svc::test
+
+#endif // SVC_TESTS_SUPPORT_ENGINE_ADAPTERS_HH

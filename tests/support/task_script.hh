@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Property-test driver: random task scripts (sequences of loads and
+ * stores per task) are executed speculatively on a versioning
+ * engine — the SVC protocol, the timed SVC/ARB systems, or the
+ * reference memory — with random interleaving, violation-driven
+ * squash & replay, and in-order commit. The observable results
+ * (every surviving load value and the final memory image) must
+ * match a purely sequential execution of the same script.
+ */
+
+#ifndef SVC_TESTS_SUPPORT_TASK_SCRIPT_HH
+#define SVC_TESTS_SUPPORT_TASK_SCRIPT_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+#include "mem/main_memory.hh"
+#include "mem/spec_mem.hh"
+
+namespace svc::test
+{
+
+/** One scripted memory operation. */
+struct TaskOp
+{
+    bool isStore = false;
+    Addr addr = 0;
+    unsigned size = 4;
+    std::uint64_t value = 0;
+};
+
+/** A script: per-task operation lists, in program order. */
+struct TaskScript
+{
+    std::vector<std::vector<TaskOp>> tasks;
+};
+
+/** Script-generation knobs. */
+struct ScriptConfig
+{
+    unsigned numTasks = 24;
+    unsigned maxOpsPerTask = 8;
+    Addr base = 0x1000;
+    unsigned addrRange = 128; ///< bytes; small => heavy conflicts
+    unsigned storePercent = 40;
+    std::uint64_t seed = 1;
+};
+
+/** Generate a random, naturally-aligned script. */
+inline TaskScript
+generateScript(const ScriptConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    TaskScript script;
+    script.tasks.resize(cfg.numTasks);
+    for (auto &ops : script.tasks) {
+        const unsigned n =
+            1 + static_cast<unsigned>(rng.below(cfg.maxOpsPerTask));
+        for (unsigned i = 0; i < n; ++i) {
+            TaskOp op;
+            op.isStore = rng.chance(cfg.storePercent);
+            const unsigned size_pick = rng.below(3);
+            op.size = size_pick == 0 ? 1 : size_pick == 1 ? 2 : 4;
+            const Addr limit = cfg.addrRange - op.size;
+            op.addr = cfg.base +
+                      alignDown(rng.below(limit + 1), op.size);
+            op.value = rng.next();
+            ops.push_back(op);
+        }
+    }
+    return script;
+}
+
+/** Result of running a script on an engine. */
+struct RunResult
+{
+    /** observed[t][i]: last surviving value of task t's op i
+     *  (loads only; stores record 0). */
+    std::vector<std::vector<std::uint64_t>> observed;
+    unsigned squashes = 0;
+    unsigned replays = 0;
+};
+
+/**
+ * Sequential oracle: execute the script in pure program order on
+ * @p mem, recording every load value.
+ */
+inline RunResult
+runSequential(const TaskScript &script, MainMemory &mem)
+{
+    RunResult r;
+    r.observed.resize(script.tasks.size());
+    for (std::size_t t = 0; t < script.tasks.size(); ++t) {
+        for (const TaskOp &op : script.tasks[t]) {
+            if (op.isStore) {
+                for (unsigned i = 0; i < op.size; ++i) {
+                    mem.writeByte(op.addr + i,
+                                  static_cast<std::uint8_t>(
+                                      op.value >> (8 * i)));
+                }
+                r.observed[t].push_back(0);
+            } else {
+                std::uint64_t v = 0;
+                for (unsigned i = 0; i < op.size; ++i)
+                    v |= std::uint64_t{mem.readByte(op.addr + i)}
+                         << (8 * i);
+                r.observed[t].push_back(v);
+            }
+        }
+    }
+    return r;
+}
+
+/**
+ * Adapter concept for the functional driver. Engines wrap their
+ * native API in these five calls. A std::nullopt access result
+ * means "structural stall, retry later".
+ */
+struct EngineOps
+{
+    std::function<void(PuId, TaskSeq)> assign;
+    std::function<std::optional<std::uint64_t>(PuId, Addr, unsigned)>
+        load;
+    /** Returns violator PUs, or nullopt on stall. */
+    std::function<std::optional<std::vector<PuId>>(
+        PuId, Addr, unsigned, std::uint64_t)>
+        store;
+    std::function<void(PuId)> commit;
+    std::function<void(PuId)> squash;
+    std::function<TaskSeq(PuId)> taskOf;
+};
+
+/**
+ * Speculative driver: executes @p script on @p engine with
+ * @p num_pus processing units, interleaving ops pseudo-randomly,
+ * squashing and replaying on violations, committing in order.
+ */
+inline RunResult
+runSpeculative(const TaskScript &script, const EngineOps &engine,
+               unsigned num_pus, std::uint64_t seed)
+{
+    Rng rng(seed);
+    RunResult r;
+    const std::size_t n = script.tasks.size();
+    r.observed.resize(n);
+    for (std::size_t t = 0; t < n; ++t)
+        r.observed[t].resize(script.tasks[t].size(), 0);
+
+    std::vector<std::size_t> task_of_pu(num_pus, SIZE_MAX);
+    std::vector<std::size_t> op_idx(num_pus, 0);
+    std::size_t next_task = 0;     // next task to assign
+    std::size_t next_commit = 0;   // next task to commit
+
+    auto pu_of_task = [&](std::size_t t) -> PuId {
+        for (PuId p = 0; p < num_pus; ++p) {
+            if (task_of_pu[p] == t)
+                return p;
+        }
+        return kNoPu;
+    };
+
+    std::uint64_t guard = 0;
+    const std::uint64_t guard_limit =
+        1000000ull + 10000ull * n;
+
+    while (next_commit < n) {
+        if (++guard > guard_limit)
+            panic("task-script driver: no forward progress");
+
+        // Fill free PUs with the next tasks in order.
+        for (PuId p = 0; p < num_pus && next_task < n; ++p) {
+            if (task_of_pu[p] == SIZE_MAX) {
+                task_of_pu[p] = next_task;
+                op_idx[p] = 0;
+                engine.assign(p, static_cast<TaskSeq>(next_task));
+                ++next_task;
+            }
+        }
+
+        // Pick a random busy PU and step it.
+        std::vector<PuId> busy;
+        for (PuId p = 0; p < num_pus; ++p) {
+            if (task_of_pu[p] != SIZE_MAX)
+                busy.push_back(p);
+        }
+        if (busy.empty())
+            panic("task-script driver: tasks pending but no PU busy");
+        const PuId pu =
+            busy[static_cast<std::size_t>(rng.below(busy.size()))];
+        const std::size_t task = task_of_pu[pu];
+        const auto &ops = script.tasks[task];
+
+        if (op_idx[pu] >= ops.size()) {
+            // Task complete; commit iff it is the oldest.
+            if (task == next_commit) {
+                engine.commit(pu);
+                task_of_pu[pu] = SIZE_MAX;
+                ++next_commit;
+            }
+            continue;
+        }
+
+        const TaskOp &op = ops[op_idx[pu]];
+        if (op.isStore) {
+            auto violators =
+                engine.store(pu, op.addr, op.size, op.value);
+            if (!violators)
+                continue; // stalled; retry later
+            r.observed[task][op_idx[pu]] = 0;
+            ++op_idx[pu];
+            if (!violators->empty()) {
+                // Squash the oldest violator and every later task.
+                std::size_t oldest = SIZE_MAX;
+                for (PuId v : *violators)
+                    oldest = std::min(oldest, task_of_pu[v]);
+                ++r.squashes;
+                for (std::size_t t = n; t-- > oldest;) {
+                    const PuId p = pu_of_task(t);
+                    if (p == kNoPu)
+                        continue;
+                    engine.squash(p);
+                    task_of_pu[p] = SIZE_MAX;
+                    ++r.replays;
+                }
+                next_task = std::min(next_task, oldest);
+            }
+        } else {
+            auto value = engine.load(pu, op.addr, op.size);
+            if (!value)
+                continue; // stalled; retry later
+            r.observed[task][op_idx[pu]] = *value;
+            ++op_idx[pu];
+        }
+    }
+    return r;
+}
+
+} // namespace svc::test
+
+#endif // SVC_TESTS_SUPPORT_TASK_SCRIPT_HH

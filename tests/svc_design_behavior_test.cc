@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Design-point behaviour tests: verifies that each mechanism of the
+ * paper's progression is present exactly where the road map
+ * (section 3.3) says it is — commits, squash retention, snarfing,
+ * sub-blocking, hybrid update, the X-bit store fast path and the
+ * optional flushed-dirty retention of section 3.8.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hh"
+#include "svc/protocol.hh"
+
+namespace svc
+{
+namespace
+{
+
+SvcConfig
+cfgFor(SvcDesign d, unsigned line_bytes = 4)
+{
+    SvcConfig cfg;
+    cfg.numPus = 4;
+    cfg.cacheBytes = 1024;
+    cfg.assoc = 4;
+    cfg.lineBytes = line_bytes;
+    return makeDesign(d, cfg);
+}
+
+constexpr Addr A = 0x100;
+
+TEST(DesignBehavior, BaseCommitLeavesColdCache)
+{
+    MainMemory mem;
+    SvcProtocol p(cfgFor(SvcDesign::Base), mem);
+    p.assignTask(0, 0);
+    p.load(0, A, 4);
+    p.store(0, A + 4, 4, 1);
+    p.commitTask(0);
+    EXPECT_EQ(p.peekLine(0, A), nullptr);
+    EXPECT_EQ(p.peekLine(0, A + 4), nullptr);
+    EXPECT_EQ(mem.readWord(A + 4), 1u) << "base commits eagerly";
+}
+
+TEST(DesignBehavior, EcCommitKeepsCacheWarm)
+{
+    MainMemory mem;
+    SvcProtocol p(cfgFor(SvcDesign::EC), mem);
+    p.assignTask(0, 0);
+    p.load(0, A, 4);
+    p.commitTask(0);
+    ASSERT_NE(p.peekLine(0, A), nullptr);
+    EXPECT_TRUE(p.peekLine(0, A)->isPassive());
+}
+
+TEST(DesignBehavior, OnlyEcPlusReusesAcrossTasks)
+{
+    for (SvcDesign d : {SvcDesign::Base, SvcDesign::EC}) {
+        MainMemory mem;
+        mem.writeWord(A, 9);
+        SvcProtocol p(cfgFor(d), mem);
+        p.assignTask(0, 0);
+        p.load(0, A, 4);
+        p.commitTask(0);
+        p.assignTask(0, 1);
+        auto res = p.load(0, A, 4);
+        if (d == SvcDesign::Base) {
+            EXPECT_FALSE(res.reused) << "base flushes at commit";
+        } else {
+            EXPECT_TRUE(res.reused) << "EC retains via the C bit";
+        }
+        EXPECT_EQ(res.data, 9u);
+    }
+}
+
+TEST(DesignBehavior, OnlyEcsRetainsArchLinesAcrossSquash)
+{
+    for (SvcDesign d : {SvcDesign::EC, SvcDesign::ECS}) {
+        MainMemory mem;
+        SvcProtocol p(cfgFor(d), mem);
+        p.assignTask(0, 0);
+        p.load(0, A, 4); // head load: architectural
+        p.squashTask(0);
+        if (d == SvcDesign::EC) {
+            EXPECT_EQ(p.peekLine(0, A), nullptr)
+                << "pre-ECS squash invalidates everything active";
+        } else {
+            ASSERT_NE(p.peekLine(0, A), nullptr);
+            EXPECT_TRUE(p.peekLine(0, A)->isPassive());
+        }
+    }
+}
+
+TEST(DesignBehavior, OnlyHrPlusSnarfs)
+{
+    for (SvcDesign d : {SvcDesign::ECS, SvcDesign::HR}) {
+        MainMemory mem;
+        SvcProtocol p(cfgFor(d), mem);
+        p.assignTask(0, 0);
+        p.assignTask(1, 1);
+        p.load(0, A, 4);
+        if (d == SvcDesign::ECS) {
+            EXPECT_EQ(p.nSnarfs, 0u);
+            EXPECT_EQ(p.peekLine(1, A), nullptr);
+        } else {
+            EXPECT_GE(p.nSnarfs, 1u);
+            EXPECT_NE(p.peekLine(1, A), nullptr);
+        }
+    }
+}
+
+TEST(DesignBehavior, OnlyRlAvoidsFalseSharing)
+{
+    // 16-byte lines; disjoint-byte load/store from different tasks.
+    for (SvcDesign d : {SvcDesign::HR, SvcDesign::RL}) {
+        MainMemory mem;
+        SvcConfig cfg = cfgFor(d, 16);
+        SvcProtocol p(cfg, mem);
+        p.assignTask(0, 0);
+        p.assignTask(1, 1);
+        p.load(1, A + 8, 4);
+        auto res = p.store(0, A, 4, 1);
+        if (d == SvcDesign::HR) {
+            EXPECT_EQ(res.violators.size(), 1u)
+                << "whole-line versioning false-shares";
+        } else {
+            EXPECT_TRUE(res.violators.empty())
+                << "byte-level disambiguation (RL)";
+        }
+    }
+}
+
+TEST(DesignBehavior, OnlyFinalUpdatesCopies)
+{
+    for (SvcDesign d : {SvcDesign::RL, SvcDesign::Final}) {
+        MainMemory mem;
+        SvcConfig cfg = cfgFor(d, 16);
+        SvcProtocol p(cfg, mem);
+        p.assignTask(0, 0);
+        p.assignTask(1, 1);
+        p.assignTask(2, 2);
+        // Task 1's load lets task 2 snarf a copy (no L bits).
+        p.load(1, A, 4);
+        ASSERT_NE(p.peekLine(2, A), nullptr);
+        p.store(0, A, 4, 0x7777);
+        if (d == SvcDesign::Final) {
+            EXPECT_GE(p.nUpdates, 1u);
+            // The copy remains valid and holds the new value.
+            const SvcLine *line = p.peekLine(2, A);
+            ASSERT_NE(line, nullptr);
+            Word w = 0;
+            for (unsigned i = 0; i < 4; ++i)
+                w |= Word{line->data[i]} << (8 * i);
+            EXPECT_EQ(w, 0x7777u);
+        } else {
+            EXPECT_EQ(p.nUpdates, 0u);
+        }
+    }
+}
+
+// ------------------------------------------------ X bit fast path
+
+TEST(DesignBehavior, ExclusiveStoreExtendsVersionLocally)
+{
+    MainMemory mem;
+    SvcConfig cfg = cfgFor(SvcDesign::Final, 16);
+    cfg.snarfing = false; // keep the line exclusive
+    SvcProtocol p(cfg, mem);
+    p.assignTask(0, 0);
+    p.store(0, A, 4, 1); // miss: creates the version
+    const Counter txns = p.nBusTransactions;
+    // Stores to *different* words of the exclusively held line
+    // complete locally (section 3.8.1's X bit).
+    p.store(0, A + 4, 4, 2);
+    p.store(0, A + 8, 4, 3);
+    EXPECT_EQ(p.nBusTransactions, txns);
+    const SvcLine *line = p.peekLine(0, A);
+    ASSERT_NE(line, nullptr);
+    EXPECT_NE(line->sMask & (0xffull << 4), 0u)
+        << "local stores must still set S bits";
+}
+
+TEST(DesignBehavior, SharedLineStoreNeedsBus)
+{
+    MainMemory mem;
+    SvcConfig cfg = cfgFor(SvcDesign::Final, 16);
+    cfg.snarfing = false;
+    SvcProtocol p(cfg, mem);
+    p.assignTask(0, 0);
+    p.assignTask(1, 1);
+    p.store(0, A, 4, 1);
+    p.load(1, A, 4); // task 1 copies: exclusivity lost
+    const Counter txns = p.nBusTransactions;
+    p.store(0, A + 4, 4, 2); // new word, line now shared
+    EXPECT_GT(p.nBusTransactions, txns)
+        << "a shared line's store must announce itself";
+}
+
+TEST(DesignBehavior, ExclusiveStoreValueChangeIsLocal)
+{
+    MainMemory mem;
+    SvcConfig cfg = cfgFor(SvcDesign::Final, 16);
+    cfg.snarfing = false;
+    SvcProtocol p(cfg, mem);
+    p.assignTask(0, 0);
+    p.store(0, A, 4, 1);
+    const Counter txns = p.nBusTransactions;
+    p.store(0, A, 4, 2); // same bytes, exclusive: local
+    EXPECT_EQ(p.nBusTransactions, txns);
+    p.assignTask(1, 1);
+    EXPECT_EQ(p.load(1, A, 4).data, 2u);
+}
+
+// ------------------------------- section 3.8.1 optional retention
+
+TEST(DesignBehavior, RetainFlushedDirtyKeepsCleanCopy)
+{
+    for (bool retain : {false, true}) {
+        MainMemory mem;
+        SvcConfig cfg = cfgFor(SvcDesign::Final, 16);
+        cfg.retainFlushedDirty = retain;
+        cfg.snarfing = false;
+        SvcProtocol p(cfg, mem);
+        p.assignTask(0, 0);
+        p.store(0, A, 4, 0xaa);
+        p.commitTask(0);
+        // Another PU's access flushes the committed version.
+        p.assignTask(1, 1);
+        EXPECT_EQ(p.load(1, A, 4).data, 0xaau);
+        EXPECT_EQ(mem.readWord(A), 0xaau);
+        const SvcLine *line = p.peekLine(0, A);
+        if (retain) {
+            ASSERT_NE(line, nullptr)
+                << "flushed version retained as a clean copy";
+            EXPECT_FALSE(line->isDirty());
+            EXPECT_FALSE(line->stale);
+        } else {
+            EXPECT_EQ(line, nullptr);
+        }
+    }
+}
+
+TEST(DesignBehavior, RetainedFlushedCopyIsReusable)
+{
+    MainMemory mem;
+    SvcConfig cfg = cfgFor(SvcDesign::Final, 16);
+    cfg.retainFlushedDirty = true;
+    cfg.snarfing = false;
+    SvcProtocol p(cfg, mem);
+    p.assignTask(0, 0);
+    p.store(0, A, 4, 0xbb);
+    p.commitTask(0);
+    p.assignTask(1, 1);
+    p.load(1, A, 4); // flush + retain on PU 0
+    p.commitTask(1);
+    // PU 0's next task reuses its retained copy without the bus.
+    p.assignTask(0, 2);
+    const Counter txns = p.nBusTransactions;
+    auto res = p.load(0, A, 4);
+    EXPECT_TRUE(res.reused);
+    EXPECT_EQ(res.data, 0xbbu);
+    EXPECT_EQ(p.nBusTransactions, txns);
+}
+
+TEST(DesignBehavior, StaleFlushedVersionIsNotRetained)
+{
+    MainMemory mem;
+    SvcConfig cfg = cfgFor(SvcDesign::Final, 16);
+    cfg.retainFlushedDirty = true;
+    cfg.snarfing = false;
+    SvcProtocol p(cfg, mem);
+    p.assignTask(0, 0);
+    p.assignTask(1, 1);
+    p.store(0, A, 4, 1);
+    p.store(1, A, 4, 2); // newer version: PU 0's becomes stale
+    p.commitTask(0);
+    p.commitTask(1);
+    p.assignTask(2, 2);
+    EXPECT_EQ(p.load(2, A, 4).data, 2u);
+    // PU 0's stale version must NOT survive the purge.
+    EXPECT_EQ(p.peekLine(0, A), nullptr);
+    p.checkInvariants();
+}
+
+// ------------------------------------------------- flushCommitted
+
+TEST(DesignBehavior, FlushCommittedDrainsEverything)
+{
+    MainMemory mem;
+    SvcProtocol p(cfgFor(SvcDesign::Final, 16), mem);
+    for (PuId pu = 0; pu < 4; ++pu) {
+        p.assignTask(pu, pu);
+        p.store(pu, A + 16 * pu, 4, 100 + pu);
+    }
+    for (PuId pu = 0; pu < 4; ++pu)
+        p.commitTask(pu);
+    p.flushCommitted();
+    for (PuId pu = 0; pu < 4; ++pu) {
+        EXPECT_EQ(mem.readWord(A + 16 * pu), 100u + pu);
+        const SvcLine *line = p.peekLine(pu, A + 16 * pu);
+        EXPECT_TRUE(line == nullptr || !line->isDirty());
+    }
+}
+
+} // namespace
+} // namespace svc

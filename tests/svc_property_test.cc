@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Property tests: random task scripts executed speculatively on the
+ * SVC protocol (every design point, several geometries) and on the
+ * reference versioning memory must preserve sequential semantics —
+ * every surviving load observes the sequential value and the final
+ * memory image matches a purely sequential execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mem/main_memory.hh"
+#include "mem/ref_spec_mem.hh"
+#include "svc/protocol.hh"
+#include "tests/support/engine_adapters.hh"
+#include "tests/support/task_script.hh"
+
+namespace svc
+{
+namespace
+{
+
+using test::EngineOps;
+using test::RunResult;
+using test::ScriptConfig;
+using test::TaskScript;
+
+void
+expectMatchesSequential(const TaskScript &script,
+                        const RunResult &seq, const RunResult &spec,
+                        MainMemory &seq_mem, MainMemory &spec_mem,
+                        Addr base, unsigned range)
+{
+    for (std::size_t t = 0; t < script.tasks.size(); ++t) {
+        for (std::size_t i = 0; i < script.tasks[t].size(); ++i) {
+            if (script.tasks[t][i].isStore)
+                continue;
+            ASSERT_EQ(spec.observed[t][i], seq.observed[t][i])
+                << "task " << t << " op " << i << " at address 0x"
+                << std::hex << script.tasks[t][i].addr;
+        }
+    }
+    EXPECT_EQ(spec_mem.hashRange(base, range),
+              seq_mem.hashRange(base, range))
+        << "final memory image differs from sequential execution";
+}
+
+// ---------------------------------------------------------- oracle
+
+TEST(RefSpecMemProperty, MatchesSequentialSemantics)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        ScriptConfig cfg;
+        cfg.seed = seed;
+        cfg.numTasks = 32;
+        const TaskScript script = generateScript(cfg);
+
+        MainMemory seq_mem;
+        RunResult seq = runSequential(script, seq_mem);
+
+        MainMemory spec_mem;
+        RefSpecMem ref(spec_mem, 4);
+        RunResult spec = runSpeculative(
+            script, test::adaptReference(ref), 4, seed * 7 + 1);
+
+        expectMatchesSequential(script, seq, spec, seq_mem, spec_mem,
+                                cfg.base, cfg.addrRange);
+    }
+}
+
+// --------------------------------------------- SVC protocol sweeps
+
+struct SvcPropertyParam
+{
+    SvcDesign design;
+    unsigned lineBytes;
+    unsigned versioningBytes;
+    unsigned numPus;
+};
+
+class SvcProperty
+    : public ::testing::TestWithParam<SvcPropertyParam>
+{};
+
+TEST_P(SvcProperty, PreservesSequentialSemantics)
+{
+    const SvcPropertyParam p = GetParam();
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        ScriptConfig scfg;
+        scfg.seed = seed;
+        scfg.numTasks = 40;
+        scfg.maxOpsPerTask = 10;
+        scfg.addrRange = 96;
+        const TaskScript script = generateScript(scfg);
+
+        MainMemory seq_mem;
+        RunResult seq = runSequential(script, seq_mem);
+
+        SvcConfig cfg;
+        cfg.numPus = p.numPus;
+        cfg.cacheBytes = 512;
+        cfg.assoc = 4;
+        cfg.lineBytes = p.lineBytes;
+        cfg = makeDesign(p.design, cfg);
+        if (p.design == SvcDesign::RL || p.design == SvcDesign::Final)
+            cfg.versioningBytes = p.versioningBytes;
+
+        MainMemory spec_mem;
+        SvcProtocol proto(cfg, spec_mem);
+        RunResult spec = runSpeculative(
+            script, test::adaptProtocol(proto), p.numPus,
+            seed * 13 + 3);
+        proto.checkInvariants();
+
+        // Commits write back lazily: flush before comparing memory.
+        proto.flushCommitted();
+
+        expectMatchesSequential(script, seq, spec, seq_mem, spec_mem,
+                                scfg.base, scfg.addrRange);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, SvcProperty,
+    ::testing::Values(
+        SvcPropertyParam{SvcDesign::Base, 4, 4, 4},
+        SvcPropertyParam{SvcDesign::EC, 4, 4, 4},
+        SvcPropertyParam{SvcDesign::ECS, 4, 4, 4},
+        SvcPropertyParam{SvcDesign::HR, 4, 4, 4},
+        SvcPropertyParam{SvcDesign::RL, 16, 1, 4},
+        SvcPropertyParam{SvcDesign::RL, 16, 4, 4},
+        SvcPropertyParam{SvcDesign::RL, 16, 16, 4},
+        SvcPropertyParam{SvcDesign::Final, 16, 1, 4},
+        SvcPropertyParam{SvcDesign::Final, 16, 4, 4},
+        SvcPropertyParam{SvcDesign::Final, 32, 1, 4},
+        SvcPropertyParam{SvcDesign::Final, 16, 1, 2},
+        SvcPropertyParam{SvcDesign::Final, 16, 1, 8}),
+    [](const ::testing::TestParamInfo<SvcPropertyParam> &info) {
+        const auto &p = info.param;
+        return std::string(svcDesignName(p.design)) + "_line" +
+               std::to_string(p.lineBytes) + "_vb" +
+               std::to_string(p.versioningBytes) + "_pus" +
+               std::to_string(p.numPus);
+    });
+
+/**
+ * Heavier conflict pressure: tiny address range, store-dominated —
+ * maximizes violations, squashes, replays and purge traffic.
+ */
+TEST(SvcPropertyStress, HighConflictWorkload)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        ScriptConfig scfg;
+        scfg.seed = seed;
+        scfg.numTasks = 30;
+        scfg.maxOpsPerTask = 6;
+        scfg.addrRange = 24;
+        scfg.storePercent = 70;
+        const TaskScript script = generateScript(scfg);
+
+        MainMemory seq_mem;
+        RunResult seq = runSequential(script, seq_mem);
+
+        SvcConfig cfg;
+        cfg.numPus = 4;
+        cfg.cacheBytes = 256;
+        cfg.assoc = 2;
+        cfg.lineBytes = 16;
+        cfg = makeDesign(SvcDesign::Final, cfg);
+
+        MainMemory spec_mem;
+        SvcProtocol proto(cfg, spec_mem);
+        RunResult spec = runSpeculative(
+            script, test::adaptProtocol(proto), 4, seed + 99);
+        proto.checkInvariants();
+
+        proto.flushCommitted();
+
+        expectMatchesSequential(script, seq, spec, seq_mem, spec_mem,
+                                scfg.base, scfg.addrRange);
+        EXPECT_GT(spec.squashes + proto.nViolations, 0u)
+            << "the stress workload should actually conflict";
+    }
+}
+
+/**
+ * Tiny caches: constant replacement pressure exercises cast-outs,
+ * the head-only eviction rule and stall-retry paths.
+ */
+TEST(SvcPropertyStress, TinyCachesForceReplacements)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        ScriptConfig scfg;
+        scfg.seed = seed;
+        scfg.numTasks = 24;
+        scfg.addrRange = 256;
+        const TaskScript script = generateScript(scfg);
+
+        MainMemory seq_mem;
+        RunResult seq = runSequential(script, seq_mem);
+
+        SvcConfig cfg;
+        cfg.numPus = 4;
+        cfg.cacheBytes = 64; // 4 lines of 16B
+        cfg.assoc = 2;
+        cfg.lineBytes = 16;
+        cfg = makeDesign(SvcDesign::Final, cfg);
+
+        MainMemory spec_mem;
+        SvcProtocol proto(cfg, spec_mem);
+        RunResult spec = runSpeculative(
+            script, test::adaptProtocol(proto), 4, seed * 3 + 5);
+        proto.checkInvariants();
+
+        proto.flushCommitted();
+
+        expectMatchesSequential(script, seq, spec, seq_mem, spec_mem,
+                                scfg.base, scfg.addrRange);
+        EXPECT_GT(proto.nCastouts, 0u);
+    }
+}
+
+} // namespace
+} // namespace svc

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Timed-layer detail tests: MSHR combining of secondary misses,
+ * bus occupancy accounting under contention, write-back buffer
+ * deferral of committed-version flushes, and timing monotonicity
+ * (slower parameters must never make a run faster).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hh"
+#include "svc/system.hh"
+
+namespace svc
+{
+namespace
+{
+
+SvcConfig
+baseConfig()
+{
+    SvcConfig cfg;
+    cfg.numPus = 4;
+    cfg.cacheBytes = 8 * 1024;
+    cfg.assoc = 4;
+    cfg.lineBytes = 16;
+    return makeDesign(SvcDesign::Final, cfg);
+}
+
+/** Run one access asynchronously; tick until all of @p done. */
+void
+drain(SvcSystem &sys, const std::vector<bool *> &done,
+      unsigned limit = 100000)
+{
+    auto all = [&] {
+        for (bool *d : done) {
+            if (!*d)
+                return false;
+        }
+        return true;
+    };
+    for (unsigned i = 0; i < limit && !all(); ++i)
+        sys.tick();
+    EXPECT_TRUE(all());
+}
+
+TEST(SvcTiming, SecondaryMissCombinesOnMshr)
+{
+    MainMemory mem;
+    SvcSystem sys(baseConfig(), mem);
+    sys.assignTask(0, 0);
+    bool d1 = false, d2 = false;
+    // Two loads to the same missing line: one bus transaction.
+    ASSERT_TRUE(sys.issue({0, false, 0x100, 4, 0},
+                          [&](std::uint64_t) { d1 = true; }));
+    ASSERT_TRUE(sys.issue({0, false, 0x104, 4, 0},
+                          [&](std::uint64_t) { d2 = true; }));
+    drain(sys, {&d1, &d2});
+    EXPECT_EQ(sys.bus().transactionCount(BusCmd::BusRead), 1u)
+        << "the secondary miss must piggyback on the fill";
+    EXPECT_EQ(sys.protocol().nBusTransactions, 1u);
+}
+
+TEST(SvcTiming, MshrFileLimitsOutstandingMisses)
+{
+    SvcConfig cfg = baseConfig();
+    cfg.numMshrs = 1;
+    MainMemory mem;
+    SvcSystem sys(cfg, mem);
+    sys.assignTask(0, 0);
+    bool d1 = false;
+    ASSERT_TRUE(sys.issue({0, false, 0x100, 4, 0},
+                          [&](std::uint64_t) { d1 = true; }));
+    // A miss to a different line must be refused while the single
+    // MSHR is busy.
+    EXPECT_FALSE(sys.issue({0, false, 0x900, 4, 0},
+                           [](std::uint64_t) {}));
+    drain(sys, {&d1});
+    bool d2 = false;
+    EXPECT_TRUE(sys.issue({0, false, 0x900, 4, 0},
+                          [&](std::uint64_t) { d2 = true; }));
+    drain(sys, {&d2});
+}
+
+TEST(SvcTiming, ContendedBusSerializesTransactions)
+{
+    MainMemory mem;
+    SvcSystem sys(baseConfig(), mem);
+    bool done[4] = {false, false, false, false};
+    std::vector<bool *> ptrs;
+    for (PuId pu = 0; pu < 4; ++pu) {
+        sys.assignTask(pu, pu);
+        ptrs.push_back(&done[pu]);
+    }
+    const Cycle start = sys.now();
+    for (PuId pu = 0; pu < 4; ++pu) {
+        bool *flag = &done[pu];
+        ASSERT_TRUE(sys.issue(
+            {pu, false, 0x1000 + 0x100 * pu, 4, 0},
+            [flag](std::uint64_t) { *flag = true; }));
+    }
+    drain(sys, ptrs);
+    const Cycle elapsed = sys.now() - start;
+    // Four distinct-line memory misses: each needs the bus for 3
+    // cycles; the last fill cannot complete before ~4*3+10.
+    EXPECT_GE(elapsed, 4 * 3 + 10u);
+    EXPECT_EQ(sys.bus().transactionCount(BusCmd::BusRead), 4u);
+}
+
+TEST(SvcTiming, FlushesDeferToWritebackBuffer)
+{
+    MainMemory mem;
+    SvcSystem sys(baseConfig(), mem);
+    sys.assignTask(0, 0);
+    bool d = false;
+    sys.issue({0, true, 0x100, 4, 0xaa},
+              [&](std::uint64_t) { d = true; });
+    drain(sys, {&d});
+    sys.commitTask(0);
+    // The next task's access purges the committed version; the
+    // flush parks in the write-back buffer rather than lengthening
+    // the transaction.
+    sys.assignTask(1, 1);
+    bool d2 = false;
+    sys.issue({1, false, 0x100, 4, 0},
+              [&](std::uint64_t) { d2 = true; });
+    drain(sys, {&d2});
+    const StatSet s = sys.stats();
+    EXPECT_GE(s.get("deferred_flushes"), 1.0);
+    // The deferred write-back eventually occupies the bus.
+    for (int i = 0; i < 50; ++i)
+        sys.tick();
+    EXPECT_GE(sys.bus().transactionCount(BusCmd::BusWback), 1u);
+}
+
+TEST(SvcTiming, SlowerBusNeverFaster)
+{
+    for (unsigned pattern = 0; pattern < 2; ++pattern) {
+        Cycle fast_cycles = 0, slow_cycles = 0;
+        for (Cycle bus_cycles : {Cycle{1}, Cycle{10}}) {
+            SvcConfig cfg = baseConfig();
+            cfg.busTransferCycles = bus_cycles;
+            MainMemory mem;
+            SvcSystem sys(cfg, mem);
+            sys.assignTask(0, 0);
+            sys.assignTask(1, 1);
+            const Cycle start = sys.now();
+            for (unsigned i = 0; i < 16; ++i) {
+                const PuId pu = i & 1;
+                bool done = false;
+                const Addr a = pattern == 0 ? 0x100 + 0x40 * i
+                                            : 0x100 + 0x10 * (i & 3);
+                sys.issue({pu, (i & 3) == 0, a, 4, i},
+                          [&](std::uint64_t) { done = true; });
+                drain(sys, {&done});
+            }
+            (bus_cycles == 1 ? fast_cycles : slow_cycles) =
+                sys.now() - start;
+        }
+        EXPECT_LE(fast_cycles, slow_cycles)
+            << "pattern " << pattern;
+    }
+}
+
+TEST(SvcTiming, HigherMissPenaltyCostsMore)
+{
+    Cycle cheap = 0, expensive = 0;
+    for (Cycle penalty : {Cycle{0}, Cycle{40}}) {
+        SvcConfig cfg = baseConfig();
+        cfg.missPenalty = penalty;
+        MainMemory mem;
+        SvcSystem sys(cfg, mem);
+        sys.assignTask(0, 0);
+        const Cycle start = sys.now();
+        for (unsigned i = 0; i < 8; ++i) {
+            bool done = false;
+            sys.issue({0, false, 0x100 + 0x40 * i, 4, 0},
+                      [&](std::uint64_t) { done = true; });
+            drain(sys, {&done});
+        }
+        (penalty == 0 ? cheap : expensive) = sys.now() - start;
+    }
+    EXPECT_GE(expensive, cheap + 8 * 40);
+}
+
+} // namespace
+} // namespace svc

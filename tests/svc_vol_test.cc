@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for Version Ordering List reconstruction: chain walking for
+ * committed entries, task-order sorting for active entries, repair
+ * after squashes (dangling pointers), and stale-bit maintenance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "svc/vol.hh"
+
+namespace svc
+{
+namespace
+{
+
+struct VolFixture : ::testing::Test
+{
+    // Four standalone lines, one per "cache".
+    SvcLine line[4];
+
+    VolNode
+    node(PuId pu, TaskSeq seq = kNoTask)
+    {
+        return {pu, &line[pu], seq};
+    }
+};
+
+TEST_F(VolFixture, EmptyList)
+{
+    Vol vol = Vol::build({});
+    EXPECT_TRUE(vol.empty());
+    EXPECT_EQ(vol.lastVersionIndex(), -1);
+    EXPECT_EQ(vol.indexOf(0), -1);
+}
+
+TEST_F(VolFixture, ActivesOrderedBySeq)
+{
+    line[0].commit = line[1].commit = line[2].commit = false;
+    Vol vol = Vol::build({node(0, 30), node(1, 10), node(2, 20)});
+    ASSERT_EQ(vol.size(), 3u);
+    EXPECT_EQ(vol.ordered()[0].pu, 1u);
+    EXPECT_EQ(vol.ordered()[1].pu, 2u);
+    EXPECT_EQ(vol.ordered()[2].pu, 0u);
+}
+
+TEST_F(VolFixture, PassivesFollowPointerChain)
+{
+    // Chain: 2 -> 0 -> 3 (pointer order, not PU order).
+    line[2].commit = true;
+    line[2].nextPu = 0;
+    line[0].commit = true;
+    line[0].nextPu = 3;
+    line[3].commit = true;
+    line[3].nextPu = kNoPu;
+    Vol vol = Vol::build({node(0), node(2), node(3)});
+    ASSERT_EQ(vol.size(), 3u);
+    EXPECT_EQ(vol.ordered()[0].pu, 2u);
+    EXPECT_EQ(vol.ordered()[1].pu, 0u);
+    EXPECT_EQ(vol.ordered()[2].pu, 3u);
+}
+
+TEST_F(VolFixture, PassivesPrecedeActives)
+{
+    line[0].commit = true;
+    line[0].nextPu = kNoPu;
+    line[1].commit = false;
+    line[2].commit = false;
+    Vol vol = Vol::build({node(1, 5), node(0), node(2, 3)});
+    ASSERT_EQ(vol.size(), 3u);
+    EXPECT_EQ(vol.ordered()[0].pu, 0u);
+    EXPECT_EQ(vol.ordered()[1].pu, 2u);
+    EXPECT_EQ(vol.ordered()[2].pu, 1u);
+}
+
+TEST_F(VolFixture, DanglingPointerAfterSquashIsRepaired)
+{
+    // Passive chain 0 -> 1, but 1's pointer dangles to a squashed
+    // PU 3 that no longer holds the line (figure 17).
+    line[0].commit = true;
+    line[0].nextPu = 1;
+    line[1].commit = true;
+    line[1].nextPu = 3; // dangling
+    Vol vol = Vol::build({node(0), node(1)});
+    ASSERT_EQ(vol.size(), 2u);
+    EXPECT_EQ(vol.ordered()[0].pu, 0u);
+    EXPECT_EQ(vol.ordered()[1].pu, 1u);
+    vol.rewritePointers();
+    EXPECT_EQ(line[1].nextPu, kNoPu); // repaired
+}
+
+TEST_F(VolFixture, OrphanPassiveCopiesAreAppended)
+{
+    // 0 is a version; 1 was reused (became active) leaving copy 2
+    // unreachable through the passive chain.
+    line[0].commit = true;
+    line[0].sMask = 1;
+    line[0].nextPu = 1;
+    line[1].commit = false; // reused: active now
+    line[1].nextPu = 2;
+    line[2].commit = true;
+    line[2].sMask = 0;
+    line[2].nextPu = kNoPu;
+    Vol vol = Vol::build({node(0), node(1, 9), node(2)});
+    ASSERT_EQ(vol.size(), 3u);
+    // Version 0 first among passives; orphan copy 2 appended before
+    // the actives.
+    EXPECT_EQ(vol.ordered()[0].pu, 0u);
+    EXPECT_EQ(vol.ordered()[1].pu, 2u);
+    EXPECT_EQ(vol.ordered()[2].pu, 1u);
+}
+
+TEST_F(VolFixture, RewritePointersBuildsChain)
+{
+    line[0].commit = false;
+    line[1].commit = false;
+    line[2].commit = false;
+    Vol vol = Vol::build({node(2, 3), node(0, 1), node(1, 2)});
+    vol.rewritePointers();
+    EXPECT_EQ(line[0].nextPu, 1u);
+    EXPECT_EQ(line[1].nextPu, 2u);
+    EXPECT_EQ(line[2].nextPu, kNoPu);
+}
+
+TEST_F(VolFixture, LastVersionIndex)
+{
+    line[0].commit = false;
+    line[0].sMask = 1;
+    line[1].commit = false;
+    line[1].sMask = 0;
+    line[2].commit = false;
+    line[2].sMask = 1;
+    Vol vol = Vol::build({node(0, 1), node(1, 2), node(2, 3)});
+    EXPECT_EQ(vol.lastVersionIndex(), 2);
+    line[2].sMask = 0;
+    EXPECT_EQ(vol.lastVersionIndex(), 0);
+}
+
+TEST_F(VolFixture, StaleBitInvariant)
+{
+    // Versions at positions 0 and 2; copy at 1 and 3.
+    line[0].commit = false;
+    line[0].sMask = 1;
+    line[1].commit = false;
+    line[2].commit = false;
+    line[2].sMask = 1;
+    line[3].commit = false;
+    Vol vol = Vol::build(
+        {node(0, 1), node(1, 2), node(2, 3), node(3, 4)});
+    vol.recomputeStaleBits();
+    EXPECT_TRUE(line[0].stale);  // before the last version
+    EXPECT_TRUE(line[1].stale);
+    EXPECT_FALSE(line[2].stale); // the most recent version
+    EXPECT_FALSE(line[3].stale); // its copy
+}
+
+TEST_F(VolFixture, NoVersionMeansNothingStale)
+{
+    line[0].commit = false;
+    line[1].commit = false;
+    line[0].stale = line[1].stale = true;
+    Vol vol = Vol::build({node(0, 1), node(1, 2)});
+    vol.recomputeStaleBits();
+    EXPECT_FALSE(line[0].stale);
+    EXPECT_FALSE(line[1].stale);
+}
+
+TEST_F(VolFixture, EraseRemovesNode)
+{
+    line[0].commit = false;
+    line[1].commit = false;
+    Vol vol = Vol::build({node(0, 1), node(1, 2)});
+    vol.erase(0);
+    ASSERT_EQ(vol.size(), 1u);
+    EXPECT_EQ(vol.ordered()[0].pu, 1u);
+    EXPECT_EQ(vol.indexOf(0), -1);
+}
+
+TEST_F(VolFixture, CyclicPointersTerminate)
+{
+    // Defensive: corrupt pointers forming a cycle must not hang.
+    line[0].commit = true;
+    line[0].nextPu = 1;
+    line[1].commit = true;
+    line[1].nextPu = 0;
+    Vol vol = Vol::build({node(0), node(1)});
+    EXPECT_EQ(vol.size(), 2u);
+}
+
+} // namespace
+} // namespace svc

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Trace-generator tests: determinism, footprint/layout properties
+ * per pattern, and end-to-end sequential-semantics runs of every
+ * pattern through the SVC (functional driver against the oracle).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/main_memory.hh"
+#include "svc/protocol.hh"
+#include "tests/support/engine_adapters.hh"
+#include "tests/support/task_script.hh"
+#include "workloads/trace_gen.hh"
+
+namespace svc
+{
+namespace
+{
+
+using workloads::generateTrace;
+using workloads::TaskTrace;
+using workloads::TraceGenConfig;
+using workloads::TracePattern;
+
+TEST(TraceGen, Deterministic)
+{
+    TraceGenConfig cfg;
+    TaskTrace a = generateTrace(cfg);
+    TaskTrace b = generateTrace(cfg);
+    ASSERT_EQ(a.tasks.size(), b.tasks.size());
+    for (std::size_t t = 0; t < a.tasks.size(); ++t) {
+        ASSERT_EQ(a.tasks[t].size(), b.tasks[t].size());
+        for (std::size_t i = 0; i < a.tasks[t].size(); ++i) {
+            EXPECT_EQ(a.tasks[t][i].addr, b.tasks[t][i].addr);
+            EXPECT_EQ(a.tasks[t][i].isStore, b.tasks[t][i].isStore);
+        }
+    }
+}
+
+TEST(TraceGen, SeedChangesTrace)
+{
+    TraceGenConfig a_cfg, b_cfg;
+    b_cfg.seed = 999;
+    TaskTrace a = generateTrace(a_cfg);
+    TaskTrace b = generateTrace(b_cfg);
+    bool differ = false;
+    for (std::size_t t = 0; t < a.tasks.size() && !differ; ++t) {
+        for (std::size_t i = 0; i < a.tasks[t].size(); ++i) {
+            if (a.tasks[t][i].addr != b.tasks[t][i].addr) {
+                differ = true;
+                break;
+            }
+        }
+    }
+    EXPECT_TRUE(differ);
+}
+
+TEST(TraceGen, PrivateRegionsAreDisjoint)
+{
+    TraceGenConfig cfg;
+    cfg.pattern = TracePattern::Private;
+    TaskTrace trace = generateTrace(cfg);
+    for (std::size_t t = 0; t < trace.tasks.size(); ++t) {
+        const Addr lo = cfg.base + t * cfg.privateBytes;
+        for (const auto &op : trace.tasks[t]) {
+            EXPECT_GE(op.addr, lo);
+            EXPECT_LT(op.addr + op.size, lo + cfg.privateBytes + 1);
+        }
+    }
+}
+
+TEST(TraceGen, ReadSharedHasNoStores)
+{
+    TraceGenConfig cfg;
+    cfg.pattern = TracePattern::ReadShared;
+    TaskTrace trace = generateTrace(cfg);
+    for (const auto &task : trace.tasks) {
+        for (const auto &op : task)
+            EXPECT_FALSE(op.isStore);
+    }
+}
+
+TEST(TraceGen, MigratoryCellsAreHandedOff)
+{
+    TraceGenConfig cfg;
+    cfg.pattern = TracePattern::Migratory;
+    TaskTrace trace = generateTrace(cfg);
+    // Every task both loads and stores, on a tiny set of cells.
+    std::set<Addr> cells;
+    for (const auto &task : trace.tasks) {
+        bool loads = false, stores = false;
+        for (const auto &op : task) {
+            (op.isStore ? stores : loads) = true;
+            cells.insert(op.addr);
+        }
+        EXPECT_TRUE(loads);
+        EXPECT_TRUE(stores);
+    }
+    EXPECT_LE(cells.size(), cfg.migratoryCells);
+}
+
+TEST(TraceGen, FalseSharingIsByteDisjointPerTaskSlot)
+{
+    TraceGenConfig cfg;
+    cfg.pattern = TracePattern::FalseSharing;
+    cfg.numTasks = 4; // one slot per task with 16B lines
+    TaskTrace trace = generateTrace(cfg);
+    // Any two different tasks' ops never overlap bytes...
+    for (std::size_t t1 = 0; t1 < trace.tasks.size(); ++t1) {
+        for (std::size_t t2 = t1 + 1; t2 < trace.tasks.size();
+             ++t2) {
+            for (const auto &a : trace.tasks[t1]) {
+                for (const auto &b : trace.tasks[t2]) {
+                    const bool overlap = a.addr < b.addr + b.size &&
+                                         b.addr < a.addr + a.size;
+                    EXPECT_FALSE(overlap);
+                }
+            }
+        }
+    }
+    // ...but they do share cache lines.
+    std::set<Addr> lines_t0, lines_t1;
+    for (const auto &op : trace.tasks[0])
+        lines_t0.insert(alignDown(op.addr, cfg.lineBytes));
+    for (const auto &op : trace.tasks[1])
+        lines_t1.insert(alignDown(op.addr, cfg.lineBytes));
+    bool shared_line = false;
+    for (Addr l : lines_t0)
+        shared_line |= lines_t1.count(l) != 0;
+    EXPECT_TRUE(shared_line);
+}
+
+/** Convert a trace into the test driver's script format. */
+test::TaskScript
+toScript(const TaskTrace &trace)
+{
+    test::TaskScript script;
+    for (const auto &task : trace.tasks) {
+        script.tasks.emplace_back();
+        for (const auto &op : task) {
+            script.tasks.back().push_back(
+                {op.isStore, op.addr, op.size, op.value});
+        }
+    }
+    return script;
+}
+
+class TracePatternRun
+    : public ::testing::TestWithParam<TracePattern>
+{};
+
+TEST_P(TracePatternRun, SvcPreservesSequentialSemantics)
+{
+    TraceGenConfig cfg;
+    cfg.pattern = GetParam();
+    cfg.numTasks = 32;
+    TaskTrace trace = generateTrace(cfg);
+    test::TaskScript script = toScript(trace);
+
+    MainMemory seq_mem;
+    test::RunResult seq = runSequential(script, seq_mem);
+
+    SvcConfig scfg = makeDesign(SvcDesign::Final);
+    scfg.cacheBytes = 2048;
+    scfg.assoc = 4;
+    MainMemory spec_mem;
+    SvcProtocol proto(scfg, spec_mem);
+    test::RunResult spec = runSpeculative(
+        script, test::adaptProtocol(proto), 4, 77);
+    proto.checkInvariants();
+    proto.flushCommitted();
+
+    for (std::size_t t = 0; t < script.tasks.size(); ++t) {
+        for (std::size_t i = 0; i < script.tasks[t].size(); ++i) {
+            if (script.tasks[t][i].isStore)
+                continue;
+            ASSERT_EQ(spec.observed[t][i], seq.observed[t][i])
+                << "task " << t << " op " << i;
+        }
+    }
+    // Patterns are regional; hash a generous window.
+    EXPECT_EQ(spec_mem.hashRange(cfg.base, 64 * 1024),
+              seq_mem.hashRange(cfg.base, 64 * 1024));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, TracePatternRun,
+    ::testing::Values(TracePattern::Private,
+                      TracePattern::ReadShared,
+                      TracePattern::Migratory,
+                      TracePattern::FalseSharing,
+                      TracePattern::Mixed),
+    [](const auto &info) {
+        std::string n = workloads::tracePatternName(info.param);
+        for (auto &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n;
+    });
+
+} // namespace
+} // namespace svc

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Golden regression tests for the workload kernels: checksums and
+ * instruction counts are frozen so accidental kernel changes (which
+ * would silently invalidate EXPERIMENTS.md) are caught, plus task
+ * shape and predictor-behaviour sanity checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/interpreter.hh"
+#include "mem/ref_spec_mem.hh"
+#include "multiscalar/processor.hh"
+#include "workloads/workloads.hh"
+
+namespace svc
+{
+namespace
+{
+
+struct Golden
+{
+    const char *name;
+    std::uint32_t checksum;
+    std::uint64_t instructions;
+};
+
+// Frozen at workload scale 1, seed 12345. Regenerate only for a
+// deliberate kernel change (and then refresh EXPERIMENTS.md).
+const Golden kGolden[] = {
+    {"compress", 0x00000002u, 12732ull},
+    {"gcc", 0x97e667dfu, 13751ull},
+    {"vortex", 0x00000320u, 4742ull},
+    {"perl", 0x000039b8u, 3150ull},
+    {"ijpeg", 0x00000490u, 57360ull},
+    {"mgrid", 0x007039e5u, 30159ull},
+    {"apsi", 0x00f85e42u, 25495ull},
+};
+
+class GoldenTest : public ::testing::TestWithParam<Golden>
+{};
+
+TEST_P(GoldenTest, InterpreterChecksumAndCount)
+{
+    const Golden g = GetParam();
+    workloads::Workload w =
+        workloads::makeWorkload(g.name, {1, 12345});
+    MainMemory mem;
+    auto res = isa::Interpreter::run(w.program, mem, 1ull << 33);
+    ASSERT_TRUE(res.halted);
+    EXPECT_EQ(mem.readWord(w.checkBase), g.checksum);
+    EXPECT_EQ(res.instructions, g.instructions);
+}
+
+TEST_P(GoldenTest, SpeculativeRunReproducesGolden)
+{
+    const Golden g = GetParam();
+    workloads::Workload w =
+        workloads::makeWorkload(g.name, {1, 12345});
+    MainMemory mem;
+    RefSpecMem perfect(mem, 4);
+    w.program.loadInto(mem);
+    MultiscalarConfig cfg;
+    cfg.maxCycles = 20'000'000;
+    Processor cpu(cfg, w.program, perfect);
+    RunStats rs = cpu.run();
+    ASSERT_TRUE(rs.halted);
+    EXPECT_EQ(mem.readWord(w.checkBase), g.checksum);
+    EXPECT_EQ(rs.committedInstructions, g.instructions);
+}
+
+TEST_P(GoldenTest, PredictorLearnsTheTaskLoop)
+{
+    // All kernels are loop-dominated: the path-based predictor must
+    // reach high accuracy once warmed up.
+    const Golden g = GetParam();
+    workloads::Workload w =
+        workloads::makeWorkload(g.name, {2, 12345});
+    MainMemory mem;
+    RefSpecMem perfect(mem, 4);
+    w.program.loadInto(mem);
+    MultiscalarConfig cfg;
+    cfg.maxCycles = 40'000'000;
+    Processor cpu(cfg, w.program, perfect);
+    RunStats rs = cpu.run();
+    ASSERT_TRUE(rs.halted);
+    const auto &pred = cpu.taskPredictor();
+    const double resolved =
+        static_cast<double>(pred.nCorrect + pred.nMispredicts);
+    ASSERT_GT(resolved, 0.0);
+    EXPECT_GT(static_cast<double>(pred.nCorrect) / resolved, 0.80)
+        << "task predictor should capture loop-dominated control";
+}
+
+TEST_P(GoldenTest, DifferentSeedsChangeResults)
+{
+    const Golden g = GetParam();
+    workloads::Workload w1 =
+        workloads::makeWorkload(g.name, {1, 12345});
+    workloads::Workload w2 =
+        workloads::makeWorkload(g.name, {1, 99999});
+    MainMemory m1, m2;
+    isa::Interpreter::run(w1.program, m1, 1ull << 33);
+    isa::Interpreter::run(w2.program, m2, 1ull << 33);
+    EXPECT_NE(m1.readWord(w1.checkBase), m2.readWord(w2.checkBase))
+        << "the seed must drive the synthetic input";
+}
+
+INSTANTIATE_TEST_SUITE_P(Spec95, GoldenTest,
+                         ::testing::ValuesIn(kGolden),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
+
+} // namespace
+} // namespace svc

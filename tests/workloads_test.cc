@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Workload validation: every SPEC95-analog kernel must terminate on
+ * the sequential interpreter, produce a non-trivial checksum, be
+ * properly task-annotated, and produce identical results when run
+ * speculatively on the multiscalar with the SVC, the ARB and the
+ * perfect memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arb/arb_system.hh"
+#include "isa/interpreter.hh"
+#include "mem/ref_spec_mem.hh"
+#include "multiscalar/processor.hh"
+#include "svc/system.hh"
+#include "workloads/workloads.hh"
+
+namespace svc
+{
+namespace
+{
+
+using workloads::Workload;
+using workloads::WorkloadParams;
+
+class WorkloadTest : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    Workload
+    build(unsigned scale = 1)
+    {
+        WorkloadParams p;
+        p.scale = scale;
+        return workloads::makeWorkload(GetParam(), p);
+    }
+};
+
+TEST_P(WorkloadTest, RunsOnInterpreter)
+{
+    Workload w = build();
+    MainMemory mem;
+    auto res = isa::Interpreter::run(w.program, mem, 50'000'000);
+    EXPECT_TRUE(res.halted) << "kernel did not reach HALT";
+    EXPECT_GT(res.instructions, 1000u) << "kernel too trivial";
+    EXPECT_NE(mem.readWord(w.checkBase), 0u)
+        << "checksum should be non-zero";
+}
+
+TEST_P(WorkloadTest, IsTaskAnnotated)
+{
+    Workload w = build();
+    EXPECT_GE(w.program.tasks.size(), 3u);
+    EXPECT_TRUE(w.program.isTaskEntry(w.program.entry));
+    for (const auto &[entry, desc] : w.program.tasks) {
+        EXPECT_LE(desc.targets.size(), 4u);
+        EXPECT_EQ(desc.entry, entry);
+    }
+}
+
+TEST_P(WorkloadTest, ProducesManyTasks)
+{
+    Workload w = build();
+    MainMemory mem;
+    auto res =
+        isa::Interpreter::run(w.program, mem, 50'000'000, true);
+    EXPECT_GE(res.taskTrace.size(), 50u)
+        << "workloads must expose task-level parallelism";
+}
+
+TEST_P(WorkloadTest, MatchesOnMultiscalarPerfectMemory)
+{
+    Workload w = build();
+    MainMemory ref_mem;
+    auto ref = isa::Interpreter::run(w.program, ref_mem, 50'000'000);
+    ASSERT_TRUE(ref.halted);
+
+    MainMemory mem;
+    RefSpecMem perfect(mem, 4);
+    w.program.loadInto(mem);
+    MultiscalarConfig cfg;
+    cfg.maxCycles = 50'000'000;
+    Processor cpu(cfg, w.program, perfect);
+    RunStats rs = cpu.run();
+    ASSERT_TRUE(rs.halted);
+    EXPECT_EQ(rs.committedInstructions, ref.instructions);
+    EXPECT_EQ(mem.readWord(w.checkBase),
+              ref_mem.readWord(w.checkBase))
+        << "checksum mismatch vs sequential execution";
+}
+
+TEST_P(WorkloadTest, MatchesOnMultiscalarSvc)
+{
+    Workload w = build();
+    MainMemory ref_mem;
+    auto ref = isa::Interpreter::run(w.program, ref_mem, 50'000'000);
+    ASSERT_TRUE(ref.halted);
+
+    MainMemory mem;
+    SvcConfig scfg = makeDesign(SvcDesign::Final);
+    SvcSystem svc_sys(scfg, mem);
+    w.program.loadInto(mem);
+    MultiscalarConfig cfg;
+    cfg.maxCycles = 50'000'000;
+    Processor cpu(cfg, w.program, svc_sys);
+    RunStats rs = cpu.run();
+    ASSERT_TRUE(rs.halted);
+    svc_sys.protocol().flushCommitted();
+    EXPECT_EQ(mem.readWord(w.checkBase),
+              ref_mem.readWord(w.checkBase))
+        << "checksum mismatch vs sequential execution";
+    EXPECT_EQ(rs.committedInstructions, ref.instructions);
+}
+
+TEST_P(WorkloadTest, MatchesOnMultiscalarArb)
+{
+    Workload w = build();
+    MainMemory ref_mem;
+    auto ref = isa::Interpreter::run(w.program, ref_mem, 50'000'000);
+    ASSERT_TRUE(ref.halted);
+
+    MainMemory mem;
+    ArbTimingConfig acfg;
+    ArbSystem arb_sys(acfg, mem);
+    w.program.loadInto(mem);
+    MultiscalarConfig cfg;
+    cfg.maxCycles = 50'000'000;
+    Processor cpu(cfg, w.program, arb_sys);
+    RunStats rs = cpu.run();
+    ASSERT_TRUE(rs.halted);
+    arb_sys.arb().flushArchitectural();
+    arb_sys.arb().flushDataCache();
+    EXPECT_EQ(mem.readWord(w.checkBase),
+              ref_mem.readWord(w.checkBase))
+        << "checksum mismatch vs sequential execution";
+}
+
+TEST_P(WorkloadTest, ScalesDeterministically)
+{
+    WorkloadParams p;
+    p.scale = 2;
+    Workload w1 = workloads::makeWorkload(GetParam(), p);
+    Workload w2 = workloads::makeWorkload(GetParam(), p);
+    ASSERT_EQ(w1.program.code.size(), w2.program.code.size());
+    EXPECT_EQ(w1.program.code, w2.program.code);
+
+    MainMemory m1;
+    auto r1 = isa::Interpreter::run(w1.program, m1, 50'000'000);
+    Workload w_small = build(1);
+    MainMemory m2;
+    auto r2 = isa::Interpreter::run(w_small.program, m2, 50'000'000);
+    EXPECT_GT(r1.instructions, r2.instructions)
+        << "scale must increase work";
+}
+
+INSTANTIATE_TEST_SUITE_P(Spec95, WorkloadTest,
+                         ::testing::Values("compress", "gcc",
+                                           "vortex", "perl", "ijpeg",
+                                           "mgrid", "apsi"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+TEST(WorkloadRegistry, AllSevenInTableOrder)
+{
+    auto all = workloads::allWorkloads({});
+    ASSERT_EQ(all.size(), 7u);
+    EXPECT_EQ(all[0].name, "compress");
+    EXPECT_EQ(all[1].name, "gcc");
+    EXPECT_EQ(all[2].name, "vortex");
+    EXPECT_EQ(all[3].name, "perl");
+    EXPECT_EQ(all[4].name, "ijpeg");
+    EXPECT_EQ(all[5].name, "mgrid");
+    EXPECT_EQ(all[6].name, "apsi");
+}
+
+} // namespace
+} // namespace svc

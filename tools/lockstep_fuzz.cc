@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Lockstep fuzzer: drives the SVC protocol and the reference
+ * versioning memory through identical random task scripts and
+ * compares every load value, every violation set (the SVC may
+ * conservatively over-report under coarse versioning blocks, but
+ * must never miss a true violation) and the final memory image.
+ * This is the tool that found the protocol's subtlest bugs during
+ * development; run it when touching src/svc/.
+ *
+ * Usage: lockstep_fuzz [num_seeds] [design 0..5] [line_bytes] [vb]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "mem/main_memory.hh"
+#include "mem/ref_spec_mem.hh"
+#include "svc/protocol.hh"
+#include "tests/support/task_script.hh"
+
+using namespace svc;
+using namespace svc::test;
+
+namespace
+{
+
+int
+runSeed(std::uint64_t seed, SvcDesign design, unsigned line_bytes,
+        unsigned vb)
+{
+    ScriptConfig scfg;
+    scfg.seed = seed;
+    scfg.numTasks = 48;
+    scfg.maxOpsPerTask = 10;
+    scfg.addrRange = 96;
+    const TaskScript script = generateScript(scfg);
+
+    SvcConfig cfg;
+    cfg.numPus = 4;
+    cfg.cacheBytes = 512;
+    cfg.assoc = 4;
+    cfg.lineBytes = line_bytes;
+    cfg = makeDesign(design, cfg);
+    if (design == SvcDesign::RL || design == SvcDesign::Final)
+        cfg.versioningBytes = vb;
+
+    MainMemory svc_mem, ref_mem;
+    SvcProtocol proto(cfg, svc_mem);
+    RefSpecMem ref(ref_mem, 4);
+
+    Rng rng(seed * 13 + 3);
+    const std::size_t n = script.tasks.size();
+    std::vector<std::size_t> task_of_pu(4, SIZE_MAX);
+    std::vector<std::size_t> op_idx(4, 0);
+    std::size_t next_task = 0, next_commit = 0;
+    auto pu_of_task = [&](std::size_t t) -> PuId {
+        for (PuId p = 0; p < 4; ++p) {
+            if (task_of_pu[p] == t)
+                return p;
+        }
+        return kNoPu;
+    };
+
+    std::uint64_t steps = 0;
+    while (next_commit < n && steps++ < 1000000) {
+        for (PuId p = 0; p < 4 && next_task < n; ++p) {
+            if (task_of_pu[p] == SIZE_MAX) {
+                task_of_pu[p] = next_task;
+                op_idx[p] = 0;
+                proto.assignTask(p, next_task);
+                ref.assignTaskF(p, next_task);
+                ++next_task;
+            }
+        }
+        std::vector<PuId> busy;
+        for (PuId p = 0; p < 4; ++p) {
+            if (task_of_pu[p] != SIZE_MAX)
+                busy.push_back(p);
+        }
+        const PuId pu = busy[rng.below(busy.size())];
+        const std::size_t task = task_of_pu[pu];
+        const auto &ops = script.tasks[task];
+        if (op_idx[pu] >= ops.size()) {
+            if (task == next_commit) {
+                proto.commitTask(pu);
+                ref.commitTaskF(pu);
+                task_of_pu[pu] = SIZE_MAX;
+                ++next_commit;
+            }
+            continue;
+        }
+        const TaskOp &op = ops[op_idx[pu]];
+        if (op.isStore) {
+            AccessResult r =
+                proto.store(pu, op.addr, op.size, op.value);
+            if (r.stalled)
+                continue;
+            auto ref_violators =
+                ref.storeF(pu, op.addr, op.size, op.value);
+            ++op_idx[pu];
+
+            std::vector<std::size_t> got, want;
+            for (PuId v : r.violators)
+                got.push_back(task_of_pu[v]);
+            for (PuId v : ref_violators)
+                want.push_back(task_of_pu[v]);
+            std::sort(got.begin(), got.end());
+            std::sort(want.begin(), want.end());
+            for (std::size_t t : want) {
+                if (std::find(got.begin(), got.end(), t) ==
+                    got.end()) {
+                    std::printf("FAIL seed %llu: SVC missed a true "
+                                "violation of task %zu\n",
+                                (unsigned long long)seed, t);
+                    return 1;
+                }
+            }
+            std::size_t oldest = SIZE_MAX;
+            for (std::size_t t : got)
+                oldest = std::min(oldest, t);
+            for (std::size_t t : want)
+                oldest = std::min(oldest, t);
+            if (oldest != SIZE_MAX) {
+                for (std::size_t t = n; t-- > oldest;) {
+                    const PuId p = pu_of_task(t);
+                    if (p == kNoPu)
+                        continue;
+                    proto.squashTask(p);
+                    ref.squashTaskF(p);
+                    task_of_pu[p] = SIZE_MAX;
+                }
+                next_task = std::min(next_task, oldest);
+            }
+        } else {
+            AccessResult r = proto.load(pu, op.addr, op.size);
+            if (r.stalled)
+                continue;
+            const std::uint64_t want =
+                ref.loadF(pu, op.addr, op.size);
+            ++op_idx[pu];
+            if (r.data != want) {
+                std::printf("FAIL seed %llu: task %zu load @0x%llx "
+                            "got %llx want %llx\n",
+                            (unsigned long long)seed, task,
+                            (unsigned long long)op.addr,
+                            (unsigned long long)r.data,
+                            (unsigned long long)want);
+                return 1;
+            }
+        }
+        if (steps % 64 == 0)
+            proto.checkInvariants();
+    }
+
+    proto.flushCommitted();
+    if (svc_mem.hashRange(scfg.base, scfg.addrRange) !=
+        ref_mem.hashRange(scfg.base, scfg.addrRange)) {
+        std::printf("FAIL seed %llu: final memory differs\n",
+                    (unsigned long long)seed);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t seeds =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 100;
+    const int design = argc > 2 ? std::atoi(argv[2]) : 5;
+    const unsigned line_bytes =
+        argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 16;
+    const unsigned vb =
+        argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 1;
+
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        if (runSeed(seed, static_cast<SvcDesign>(design), line_bytes,
+                    vb)) {
+            return 1;
+        }
+    }
+    std::printf("OK: %llu seeds, design %s, line %u, vb %u\n",
+                (unsigned long long)seeds,
+                svcDesignName(static_cast<SvcDesign>(design)),
+                line_bytes, vb);
+    return 0;
+}
