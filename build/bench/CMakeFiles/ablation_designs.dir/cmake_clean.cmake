@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_designs.dir/ablation_designs.cc.o"
+  "CMakeFiles/ablation_designs.dir/ablation_designs.cc.o.d"
+  "ablation_designs"
+  "ablation_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

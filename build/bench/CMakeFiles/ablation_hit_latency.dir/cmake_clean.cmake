@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hit_latency.dir/ablation_hit_latency.cc.o"
+  "CMakeFiles/ablation_hit_latency.dir/ablation_hit_latency.cc.o.d"
+  "ablation_hit_latency"
+  "ablation_hit_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hit_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

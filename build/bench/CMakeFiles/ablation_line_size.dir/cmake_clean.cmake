@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_line_size.dir/ablation_line_size.cc.o"
+  "CMakeFiles/ablation_line_size.dir/ablation_line_size.cc.o.d"
+  "ablation_line_size"
+  "ablation_line_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_line_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_snarfing.cc" "bench/CMakeFiles/ablation_snarfing.dir/ablation_snarfing.cc.o" "gcc" "bench/CMakeFiles/ablation_snarfing.dir/ablation_snarfing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/svc_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/svc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiscalar/CMakeFiles/svc_multiscalar.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/svc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/svc/CMakeFiles/svc_svc.dir/DependInfo.cmake"
+  "/root/repo/build/src/arb/CMakeFiles/svc_arb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/svc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/svc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_snarfing.dir/ablation_snarfing.cc.o"
+  "CMakeFiles/ablation_snarfing.dir/ablation_snarfing.cc.o.d"
+  "ablation_snarfing"
+  "ablation_snarfing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_snarfing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

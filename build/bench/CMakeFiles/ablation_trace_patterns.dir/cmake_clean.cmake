@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trace_patterns.dir/ablation_trace_patterns.cc.o"
+  "CMakeFiles/ablation_trace_patterns.dir/ablation_trace_patterns.cc.o.d"
+  "ablation_trace_patterns"
+  "ablation_trace_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trace_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

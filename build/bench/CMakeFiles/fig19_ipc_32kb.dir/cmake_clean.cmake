@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_ipc_32kb.dir/fig19_ipc_32kb.cc.o"
+  "CMakeFiles/fig19_ipc_32kb.dir/fig19_ipc_32kb.cc.o.d"
+  "fig19_ipc_32kb"
+  "fig19_ipc_32kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_ipc_32kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_ipc_64kb.dir/fig20_ipc_64kb.cc.o"
+  "CMakeFiles/fig20_ipc_64kb.dir/fig20_ipc_64kb.cc.o.d"
+  "fig20_ipc_64kb"
+  "fig20_ipc_64kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_ipc_64kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

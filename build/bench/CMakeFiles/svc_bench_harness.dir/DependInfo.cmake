@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/harness.cc" "bench/CMakeFiles/svc_bench_harness.dir/harness.cc.o" "gcc" "bench/CMakeFiles/svc_bench_harness.dir/harness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/svc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiscalar/CMakeFiles/svc_multiscalar.dir/DependInfo.cmake"
+  "/root/repo/build/src/svc/CMakeFiles/svc_svc.dir/DependInfo.cmake"
+  "/root/repo/build/src/arb/CMakeFiles/svc_arb.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/svc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/svc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/svc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

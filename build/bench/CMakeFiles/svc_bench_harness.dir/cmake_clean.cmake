@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/svc_bench_harness.dir/harness.cc.o.d"
+  "libsvc_bench_harness.a"
+  "libsvc_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

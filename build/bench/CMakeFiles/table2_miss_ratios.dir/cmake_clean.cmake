@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_miss_ratios.dir/table2_miss_ratios.cc.o"
+  "CMakeFiles/table2_miss_ratios.dir/table2_miss_ratios.cc.o.d"
+  "table2_miss_ratios"
+  "table2_miss_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_miss_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_bus_utilization.dir/table3_bus_utilization.cc.o"
+  "CMakeFiles/table3_bus_utilization.dir/table3_bus_utilization.cc.o.d"
+  "table3_bus_utilization"
+  "table3_bus_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bus_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_table2_miss_ratios "/root/repo/build/bench/table2_miss_ratios")
+set_tests_properties(bench_smoke_table2_miss_ratios PROPERTIES  ENVIRONMENT "SVC_BENCH_SCALE=1" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table3_bus_utilization "/root/repo/build/bench/table3_bus_utilization")
+set_tests_properties(bench_smoke_table3_bus_utilization PROPERTIES  ENVIRONMENT "SVC_BENCH_SCALE=1" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig19_ipc_32kb "/root/repo/build/bench/fig19_ipc_32kb")
+set_tests_properties(bench_smoke_fig19_ipc_32kb PROPERTIES  ENVIRONMENT "SVC_BENCH_SCALE=1" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig20_ipc_64kb "/root/repo/build/bench/fig20_ipc_64kb")
+set_tests_properties(bench_smoke_fig20_ipc_64kb PROPERTIES  ENVIRONMENT "SVC_BENCH_SCALE=1" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_designs "/root/repo/build/bench/ablation_designs")
+set_tests_properties(bench_smoke_ablation_designs PROPERTIES  ENVIRONMENT "SVC_BENCH_SCALE=1" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_hit_latency "/root/repo/build/bench/ablation_hit_latency")
+set_tests_properties(bench_smoke_ablation_hit_latency PROPERTIES  ENVIRONMENT "SVC_BENCH_SCALE=1" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_snarfing "/root/repo/build/bench/ablation_snarfing")
+set_tests_properties(bench_smoke_ablation_snarfing PROPERTIES  ENVIRONMENT "SVC_BENCH_SCALE=1" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_line_size "/root/repo/build/bench/ablation_line_size")
+set_tests_properties(bench_smoke_ablation_line_size PROPERTIES  ENVIRONMENT "SVC_BENCH_SCALE=1" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_trace_patterns "/root/repo/build/bench/ablation_trace_patterns")
+set_tests_properties(bench_smoke_ablation_trace_patterns PROPERTIES  ENVIRONMENT "SVC_BENCH_SCALE=1" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")

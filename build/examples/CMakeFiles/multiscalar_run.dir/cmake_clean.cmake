@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiscalar_run.dir/multiscalar_run.cpp.o"
+  "CMakeFiles/multiscalar_run.dir/multiscalar_run.cpp.o.d"
+  "multiscalar_run"
+  "multiscalar_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiscalar_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioning_scenarios.dir/versioning_scenarios.cpp.o"
+  "CMakeFiles/versioning_scenarios.dir/versioning_scenarios.cpp.o.d"
+  "versioning_scenarios"
+  "versioning_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioning_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

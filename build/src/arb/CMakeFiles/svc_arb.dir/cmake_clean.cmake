@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_arb.dir/arb.cc.o"
+  "CMakeFiles/svc_arb.dir/arb.cc.o.d"
+  "libsvc_arb.a"
+  "libsvc_arb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_arb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

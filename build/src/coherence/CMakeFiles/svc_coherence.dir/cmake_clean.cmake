@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_coherence.dir/msi_system.cc.o"
+  "CMakeFiles/svc_coherence.dir/msi_system.cc.o.d"
+  "libsvc_coherence.a"
+  "libsvc_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

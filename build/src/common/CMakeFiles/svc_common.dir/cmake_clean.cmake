@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_common.dir/log.cc.o"
+  "CMakeFiles/svc_common.dir/log.cc.o.d"
+  "CMakeFiles/svc_common.dir/stats.cc.o"
+  "CMakeFiles/svc_common.dir/stats.cc.o.d"
+  "libsvc_common.a"
+  "libsvc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

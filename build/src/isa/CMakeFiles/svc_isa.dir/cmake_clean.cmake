@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_isa.dir/assembler.cc.o"
+  "CMakeFiles/svc_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/svc_isa.dir/builder.cc.o"
+  "CMakeFiles/svc_isa.dir/builder.cc.o.d"
+  "CMakeFiles/svc_isa.dir/disassembler.cc.o"
+  "CMakeFiles/svc_isa.dir/disassembler.cc.o.d"
+  "CMakeFiles/svc_isa.dir/encoding.cc.o"
+  "CMakeFiles/svc_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/svc_isa.dir/interpreter.cc.o"
+  "CMakeFiles/svc_isa.dir/interpreter.cc.o.d"
+  "CMakeFiles/svc_isa.dir/program.cc.o"
+  "CMakeFiles/svc_isa.dir/program.cc.o.d"
+  "libsvc_isa.a"
+  "libsvc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_mem.dir/bus.cc.o"
+  "CMakeFiles/svc_mem.dir/bus.cc.o.d"
+  "CMakeFiles/svc_mem.dir/main_memory.cc.o"
+  "CMakeFiles/svc_mem.dir/main_memory.cc.o.d"
+  "CMakeFiles/svc_mem.dir/ref_spec_mem.cc.o"
+  "CMakeFiles/svc_mem.dir/ref_spec_mem.cc.o.d"
+  "libsvc_mem.a"
+  "libsvc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

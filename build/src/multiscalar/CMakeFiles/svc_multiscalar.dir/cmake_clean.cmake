@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_multiscalar.dir/predictor.cc.o"
+  "CMakeFiles/svc_multiscalar.dir/predictor.cc.o.d"
+  "CMakeFiles/svc_multiscalar.dir/processor.cc.o"
+  "CMakeFiles/svc_multiscalar.dir/processor.cc.o.d"
+  "CMakeFiles/svc_multiscalar.dir/pu.cc.o"
+  "CMakeFiles/svc_multiscalar.dir/pu.cc.o.d"
+  "CMakeFiles/svc_multiscalar.dir/regring.cc.o"
+  "CMakeFiles/svc_multiscalar.dir/regring.cc.o.d"
+  "libsvc_multiscalar.a"
+  "libsvc_multiscalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_multiscalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

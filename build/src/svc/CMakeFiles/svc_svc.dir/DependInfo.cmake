@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svc/design.cc" "src/svc/CMakeFiles/svc_svc.dir/design.cc.o" "gcc" "src/svc/CMakeFiles/svc_svc.dir/design.cc.o.d"
+  "/root/repo/src/svc/protocol.cc" "src/svc/CMakeFiles/svc_svc.dir/protocol.cc.o" "gcc" "src/svc/CMakeFiles/svc_svc.dir/protocol.cc.o.d"
+  "/root/repo/src/svc/system.cc" "src/svc/CMakeFiles/svc_svc.dir/system.cc.o" "gcc" "src/svc/CMakeFiles/svc_svc.dir/system.cc.o.d"
+  "/root/repo/src/svc/vol.cc" "src/svc/CMakeFiles/svc_svc.dir/vol.cc.o" "gcc" "src/svc/CMakeFiles/svc_svc.dir/vol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/svc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/svc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

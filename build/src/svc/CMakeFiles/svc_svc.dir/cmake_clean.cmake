@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_svc.dir/design.cc.o"
+  "CMakeFiles/svc_svc.dir/design.cc.o.d"
+  "CMakeFiles/svc_svc.dir/protocol.cc.o"
+  "CMakeFiles/svc_svc.dir/protocol.cc.o.d"
+  "CMakeFiles/svc_svc.dir/system.cc.o"
+  "CMakeFiles/svc_svc.dir/system.cc.o.d"
+  "CMakeFiles/svc_svc.dir/vol.cc.o"
+  "CMakeFiles/svc_svc.dir/vol.cc.o.d"
+  "libsvc_svc.a"
+  "libsvc_svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

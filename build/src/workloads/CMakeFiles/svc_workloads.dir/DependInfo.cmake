@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apsi.cc" "src/workloads/CMakeFiles/svc_workloads.dir/apsi.cc.o" "gcc" "src/workloads/CMakeFiles/svc_workloads.dir/apsi.cc.o.d"
+  "/root/repo/src/workloads/compress.cc" "src/workloads/CMakeFiles/svc_workloads.dir/compress.cc.o" "gcc" "src/workloads/CMakeFiles/svc_workloads.dir/compress.cc.o.d"
+  "/root/repo/src/workloads/gcc_ir.cc" "src/workloads/CMakeFiles/svc_workloads.dir/gcc_ir.cc.o" "gcc" "src/workloads/CMakeFiles/svc_workloads.dir/gcc_ir.cc.o.d"
+  "/root/repo/src/workloads/ijpeg.cc" "src/workloads/CMakeFiles/svc_workloads.dir/ijpeg.cc.o" "gcc" "src/workloads/CMakeFiles/svc_workloads.dir/ijpeg.cc.o.d"
+  "/root/repo/src/workloads/mgrid.cc" "src/workloads/CMakeFiles/svc_workloads.dir/mgrid.cc.o" "gcc" "src/workloads/CMakeFiles/svc_workloads.dir/mgrid.cc.o.d"
+  "/root/repo/src/workloads/perl.cc" "src/workloads/CMakeFiles/svc_workloads.dir/perl.cc.o" "gcc" "src/workloads/CMakeFiles/svc_workloads.dir/perl.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/svc_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/svc_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/trace_gen.cc" "src/workloads/CMakeFiles/svc_workloads.dir/trace_gen.cc.o" "gcc" "src/workloads/CMakeFiles/svc_workloads.dir/trace_gen.cc.o.d"
+  "/root/repo/src/workloads/vortex.cc" "src/workloads/CMakeFiles/svc_workloads.dir/vortex.cc.o" "gcc" "src/workloads/CMakeFiles/svc_workloads.dir/vortex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/svc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/svc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/svc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

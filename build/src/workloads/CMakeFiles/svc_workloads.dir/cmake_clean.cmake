@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_workloads.dir/apsi.cc.o"
+  "CMakeFiles/svc_workloads.dir/apsi.cc.o.d"
+  "CMakeFiles/svc_workloads.dir/compress.cc.o"
+  "CMakeFiles/svc_workloads.dir/compress.cc.o.d"
+  "CMakeFiles/svc_workloads.dir/gcc_ir.cc.o"
+  "CMakeFiles/svc_workloads.dir/gcc_ir.cc.o.d"
+  "CMakeFiles/svc_workloads.dir/ijpeg.cc.o"
+  "CMakeFiles/svc_workloads.dir/ijpeg.cc.o.d"
+  "CMakeFiles/svc_workloads.dir/mgrid.cc.o"
+  "CMakeFiles/svc_workloads.dir/mgrid.cc.o.d"
+  "CMakeFiles/svc_workloads.dir/perl.cc.o"
+  "CMakeFiles/svc_workloads.dir/perl.cc.o.d"
+  "CMakeFiles/svc_workloads.dir/registry.cc.o"
+  "CMakeFiles/svc_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/svc_workloads.dir/trace_gen.cc.o"
+  "CMakeFiles/svc_workloads.dir/trace_gen.cc.o.d"
+  "CMakeFiles/svc_workloads.dir/vortex.cc.o"
+  "CMakeFiles/svc_workloads.dir/vortex.cc.o.d"
+  "libsvc_workloads.a"
+  "libsvc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assembler_error_test.dir/assembler_error_test.cc.o"
+  "CMakeFiles/assembler_error_test.dir/assembler_error_test.cc.o.d"
+  "assembler_error_test"
+  "assembler_error_test.pdb"
+  "assembler_error_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assembler_error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

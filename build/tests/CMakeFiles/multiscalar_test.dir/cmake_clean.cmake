@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiscalar_test.dir/multiscalar_test.cc.o"
+  "CMakeFiles/multiscalar_test.dir/multiscalar_test.cc.o.d"
+  "multiscalar_test"
+  "multiscalar_test.pdb"
+  "multiscalar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiscalar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

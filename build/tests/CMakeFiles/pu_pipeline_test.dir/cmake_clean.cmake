@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pu_pipeline_test.dir/pu_pipeline_test.cc.o"
+  "CMakeFiles/pu_pipeline_test.dir/pu_pipeline_test.cc.o.d"
+  "pu_pipeline_test"
+  "pu_pipeline_test.pdb"
+  "pu_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pu_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_mem_contract_test.dir/spec_mem_contract_test.cc.o"
+  "CMakeFiles/spec_mem_contract_test.dir/spec_mem_contract_test.cc.o.d"
+  "spec_mem_contract_test"
+  "spec_mem_contract_test.pdb"
+  "spec_mem_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_mem_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_design_behavior_test.dir/svc_design_behavior_test.cc.o"
+  "CMakeFiles/svc_design_behavior_test.dir/svc_design_behavior_test.cc.o.d"
+  "svc_design_behavior_test"
+  "svc_design_behavior_test.pdb"
+  "svc_design_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_design_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

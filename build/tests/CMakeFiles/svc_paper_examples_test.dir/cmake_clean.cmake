@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_paper_examples_test.dir/svc_paper_examples_test.cc.o"
+  "CMakeFiles/svc_paper_examples_test.dir/svc_paper_examples_test.cc.o.d"
+  "svc_paper_examples_test"
+  "svc_paper_examples_test.pdb"
+  "svc_paper_examples_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_paper_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

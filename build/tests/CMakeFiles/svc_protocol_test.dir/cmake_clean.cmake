@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_protocol_test.dir/svc_protocol_test.cc.o"
+  "CMakeFiles/svc_protocol_test.dir/svc_protocol_test.cc.o.d"
+  "svc_protocol_test"
+  "svc_protocol_test.pdb"
+  "svc_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

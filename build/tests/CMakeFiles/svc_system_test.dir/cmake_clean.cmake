@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_system_test.dir/svc_system_test.cc.o"
+  "CMakeFiles/svc_system_test.dir/svc_system_test.cc.o.d"
+  "svc_system_test"
+  "svc_system_test.pdb"
+  "svc_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

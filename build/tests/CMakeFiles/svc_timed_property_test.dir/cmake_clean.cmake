@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_timed_property_test.dir/svc_timed_property_test.cc.o"
+  "CMakeFiles/svc_timed_property_test.dir/svc_timed_property_test.cc.o.d"
+  "svc_timed_property_test"
+  "svc_timed_property_test.pdb"
+  "svc_timed_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_timed_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

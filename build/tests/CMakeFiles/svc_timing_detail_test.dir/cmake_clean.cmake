@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_timing_detail_test.dir/svc_timing_detail_test.cc.o"
+  "CMakeFiles/svc_timing_detail_test.dir/svc_timing_detail_test.cc.o.d"
+  "svc_timing_detail_test"
+  "svc_timing_detail_test.pdb"
+  "svc_timing_detail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_timing_detail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_vol_test.dir/svc_vol_test.cc.o"
+  "CMakeFiles/svc_vol_test.dir/svc_vol_test.cc.o.d"
+  "svc_vol_test"
+  "svc_vol_test.pdb"
+  "svc_vol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_vol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_golden_test.dir/workload_golden_test.cc.o"
+  "CMakeFiles/workload_golden_test.dir/workload_golden_test.cc.o.d"
+  "workload_golden_test"
+  "workload_golden_test.pdb"
+  "workload_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockstep_fuzz.dir/lockstep_fuzz.cc.o"
+  "CMakeFiles/lockstep_fuzz.dir/lockstep_fuzz.cc.o.d"
+  "lockstep_fuzz"
+  "lockstep_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockstep_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
