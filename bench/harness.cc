@@ -4,7 +4,6 @@
 #include <cstdlib>
 
 #include "isa/interpreter.hh"
-#include "mem/ref_spec_mem.hh"
 
 namespace svc::bench
 {
@@ -96,8 +95,9 @@ finishRow(const workloads::Workload &w, const RunStats &rs,
 } // namespace
 
 BenchRow
-runOnSvc(const std::string &workload_name, unsigned scale,
-         const SvcConfig &svc_cfg)
+runOn(const std::string &mem_kind,
+      const std::string &workload_name, unsigned scale,
+      const SpecMemConfig &cfg, TraceSink *sink)
 {
     workloads::WorkloadParams wp;
     wp.scale = scale;
@@ -105,54 +105,47 @@ runOnSvc(const std::string &workload_name, unsigned scale,
         workloads::makeWorkload(workload_name, wp);
 
     MainMemory mem;
-    SvcSystem sys(svc_cfg, mem);
+    std::unique_ptr<SpecMem> sys =
+        makeSpecMem(mem_kind, cfg, mem, sink);
     w.program.loadInto(mem);
-    Processor cpu(paperCpuConfig(), w.program, sys);
+    Processor cpu(paperCpuConfig(), w.program, *sys);
     RunStats rs = cpu.run();
-    sys.protocol().flushCommitted();
+    sys->finalizeMemory();
 
-    BenchRow row = finishRow(w, rs, mem, "svc");
-    row.missRatio = sys.missRatio();
-    row.busUtilization = sys.bus().utilization();
+    BenchRow row = finishRow(w, rs, mem, sys->name());
+    row.missRatio = sys->missRatio();
+    const StatSet st = sys->stats();
+    if (st.has("bus.utilization"))
+        row.busUtilization = st.get("bus.utilization");
+    if (const Distribution *d = st.distribution("bus.occupancy"))
+        row.busOccupancy = d->summarize();
+    if (const Distribution *d = st.distribution("miss_latency"))
+        row.missLatency = d->summarize();
     return row;
+}
+
+BenchRow
+runOnSvc(const std::string &workload_name, unsigned scale,
+         const SvcConfig &svc_cfg)
+{
+    SpecMemConfig cfg;
+    cfg.svc = svc_cfg;
+    return runOn("svc", workload_name, scale, cfg);
 }
 
 BenchRow
 runOnArb(const std::string &workload_name, unsigned scale,
          const ArbTimingConfig &arb_cfg)
 {
-    workloads::WorkloadParams wp;
-    wp.scale = scale;
-    workloads::Workload w =
-        workloads::makeWorkload(workload_name, wp);
-
-    MainMemory mem;
-    ArbSystem sys(arb_cfg, mem);
-    w.program.loadInto(mem);
-    Processor cpu(paperCpuConfig(), w.program, sys);
-    RunStats rs = cpu.run();
-    sys.arb().flushArchitectural();
-    sys.arb().flushDataCache();
-
-    BenchRow row = finishRow(w, rs, mem, "arb");
-    row.missRatio = sys.missRatio();
-    return row;
+    SpecMemConfig cfg;
+    cfg.arb = arb_cfg;
+    return runOn("arb", workload_name, scale, cfg);
 }
 
 BenchRow
 runOnPerfect(const std::string &workload_name, unsigned scale)
 {
-    workloads::WorkloadParams wp;
-    wp.scale = scale;
-    workloads::Workload w =
-        workloads::makeWorkload(workload_name, wp);
-
-    MainMemory mem;
-    RefSpecMem sys(mem, 4);
-    w.program.loadInto(mem);
-    Processor cpu(paperCpuConfig(), w.program, sys);
-    RunStats rs = cpu.run();
-    return finishRow(w, rs, mem, "perfect");
+    return runOn("perfect", workload_name, scale, SpecMemConfig{});
 }
 
 void

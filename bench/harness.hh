@@ -17,6 +17,8 @@
 
 #include "arb/arb_system.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
+#include "mem/spec_mem_factory.hh"
 #include "multiscalar/processor.hh"
 #include "svc/system.hh"
 #include "workloads/workloads.hh"
@@ -37,6 +39,10 @@ struct BenchRow
     std::uint64_t violationSquashes = 0;
     std::uint64_t taskMispredicts = 0;
     bool verified = false; ///< checksum matched the interpreter
+    /** "bus.occupancy" distribution summary ("" if absent). */
+    std::string busOccupancy;
+    /** "miss_latency" distribution summary ("" if absent). */
+    std::string missLatency;
 };
 
 /** @return SVC_BENCH_SCALE or @p def. */
@@ -54,6 +60,16 @@ ArbTimingConfig paperArbConfig(unsigned dcache_kb,
 
 /** The paper's multiscalar config (section 4.2). */
 MultiscalarConfig paperCpuConfig();
+
+/**
+ * Run @p workload_name on the memory system registered under
+ * @p mem_kind ("svc", "arb", "ref"/"perfect", ...), constructed
+ * through makeSpecMem. @p sink, when non-null, receives the full
+ * event trace of the measured run.
+ */
+BenchRow runOn(const std::string &mem_kind,
+               const std::string &workload_name, unsigned scale,
+               const SpecMemConfig &cfg, TraceSink *sink = nullptr);
 
 /** Run @p workload_name on an SVC memory system. */
 BenchRow runOnSvc(const std::string &workload_name, unsigned scale,

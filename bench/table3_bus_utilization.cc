@@ -10,6 +10,9 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/harness.hh"
 
@@ -30,6 +33,7 @@ main()
     const SvcConfig small_cfg = paperSvcConfig(8);
     const SvcConfig large_cfg = paperSvcConfig(16);
 
+    std::vector<std::pair<std::string, std::string>> occupancy;
     for (const char *name : {"compress", "gcc", "vortex", "perl",
                              "ijpeg", "mgrid", "apsi"}) {
         BenchRow small = runOnSvc(name, scale, small_cfg);
@@ -39,8 +43,14 @@ main()
                       TablePrinter::num(large.busUtilization, 3),
                       small.verified && large.verified ? "yes"
                                                        : "NO"});
+        occupancy.emplace_back(name, small.busOccupancy);
     }
     std::printf("%s\n", table.format().c_str());
+
+    std::printf("Bus transaction occupancy, cycles (4x8KB):\n");
+    for (const auto &[name, dist] : occupancy)
+        std::printf("  %-10s %s\n", name.c_str(), dist.c_str());
+    std::printf("\n");
     std::printf("Paper's Table 3 for reference:\n"
                 "  compress .348/.341  gcc .219/.203  vortex "
                 ".360/.354  perl .313/.291\n"

@@ -20,8 +20,8 @@
 #include "isa/builder.hh"
 #include "isa/disassembler.hh"
 #include "isa/interpreter.hh"
+#include "mem/spec_mem_factory.hh"
 #include "multiscalar/processor.hh"
-#include "svc/system.hh"
 
 int
 main()
@@ -96,13 +96,14 @@ main()
 
     // Speculative run on the multiscalar + SVC.
     MainMemory mem;
-    SvcConfig scfg = makeDesign(SvcDesign::Final);
-    SvcSystem sys(scfg, mem);
+    SpecMemConfig mem_cfg;
+    mem_cfg.svc = makeDesign(SvcDesign::Final);
+    auto sys = makeSpecMem("svc", mem_cfg, mem);
     prog.loadInto(mem);
     MultiscalarConfig cfg;
-    Processor cpu(cfg, prog, sys);
+    Processor cpu(cfg, prog, *sys);
     RunStats rs = cpu.run();
-    sys.protocol().flushCommitted();
+    sys->finalizeMemory();
 
     std::printf("histogram of %u elements over %u buckets:\n",
                 kElems, kBuckets);

@@ -1,24 +1,31 @@
 /**
  * @file
  * Run a SPEC95-analog workload on the full stack — the multiscalar
- * processor over either the SVC or the ARB — and print the
+ * processor over any registered memory system — and print the
  * statistics the paper reports (IPC, miss ratio, bus utilization,
  * squashes, prediction accuracy).
  *
  * Usage:
- *   ./build/examples/multiscalar_run [workload] [svc|arb] [scale]
+ *   ./build/examples/multiscalar_run [workload] [svc|arb|ref]
+ *                                    [scale] [--trace FILE]
  * e.g.
- *   ./build/examples/multiscalar_run vortex svc 8
+ *   ./build/examples/multiscalar_run vortex svc 8 --trace out.json
+ *
+ * A ".json" trace file is written in Chrome trace_event format —
+ * open it at chrome://tracing (or https://ui.perfetto.dev) to see
+ * bus transactions, VCL dispositions and task lifetimes on a
+ * per-PU timeline. Any other extension gets a plain text trace.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <vector>
 
-#include "arb/arb_system.hh"
 #include "isa/interpreter.hh"
+#include "mem/spec_mem_factory.hh"
 #include "multiscalar/processor.hh"
-#include "svc/system.hh"
 #include "workloads/workloads.hh"
 
 int
@@ -26,10 +33,25 @@ main(int argc, char **argv)
 {
     using namespace svc;
 
-    const std::string name = argc > 1 ? argv[1] : "vortex";
-    const std::string memsys = argc > 2 ? argv[2] : "svc";
+    std::vector<std::string> pos;
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--trace") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--trace needs a file name\n");
+                return 1;
+            }
+            trace_path = argv[++i];
+        } else {
+            pos.push_back(arg);
+        }
+    }
+    const std::string name = pos.size() > 0 ? pos[0] : "vortex";
+    const std::string memsys = pos.size() > 1 ? pos[1] : "svc";
     const unsigned scale =
-        argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 4;
+        pos.size() > 2 ? static_cast<unsigned>(std::atoi(pos[2].c_str()))
+                       : 4;
 
     workloads::WorkloadParams wp;
     wp.scale = scale;
@@ -43,37 +65,33 @@ main(int argc, char **argv)
     std::printf("sequential reference: %llu instructions\n",
                 (unsigned long long)ref.instructions);
 
+    std::unique_ptr<TraceSink> sink;
+    if (!trace_path.empty())
+        sink = openTraceSink(trace_path);
+
+    SpecMemConfig mem_cfg;
+    mem_cfg.svc = makeDesign(SvcDesign::Final);
+    mem_cfg.arb.hitLatency = 2;
+
     MultiscalarConfig cpu_cfg; // paper section 4.2 defaults
     MainMemory mem;
-    RunStats rs;
-    StatSet stats;
-    std::uint32_t checksum = 0;
+    std::unique_ptr<SpecMem> sys =
+        makeSpecMem(memsys, mem_cfg, mem, sink.get());
+    w.program.loadInto(mem);
+    Processor cpu(cpu_cfg, w.program, *sys);
+    cpu.attachTracer(sink.get());
+    RunStats rs = cpu.run();
+    sys->finalizeMemory();
+    StatSet stats = cpu.stats();
+    stats.merge("mem", sys->stats());
+    const std::uint32_t checksum = mem.readWord(w.checkBase);
 
-    if (memsys == "arb") {
-        ArbTimingConfig acfg;
-        acfg.hitLatency = 2;
-        ArbSystem sys(acfg, mem);
-        w.program.loadInto(mem);
-        Processor cpu(cpu_cfg, w.program, sys);
-        rs = cpu.run();
-        sys.arb().flushArchitectural();
-        sys.arb().flushDataCache();
-        stats = cpu.stats();
-        stats.merge("mem", sys.stats());
-        checksum = mem.readWord(w.checkBase);
-    } else {
-        SvcConfig scfg = makeDesign(SvcDesign::Final);
-        SvcSystem sys(scfg, mem);
-        w.program.loadInto(mem);
-        Processor cpu(cpu_cfg, w.program, sys);
-        rs = cpu.run();
-        sys.protocol().flushCommitted();
-        stats = cpu.stats();
-        stats.merge("mem", sys.stats());
-        checksum = mem.readWord(w.checkBase);
+    if (sink) {
+        sink->flush();
+        std::printf("trace written to %s\n", trace_path.c_str());
     }
 
-    std::printf("\n--- run summary (%s) ---\n", memsys.c_str());
+    std::printf("\n--- run summary (%s) ---\n", sys->name());
     std::printf("cycles                 %llu\n",
                 (unsigned long long)rs.cycles);
     std::printf("committed instructions %llu\n",
@@ -83,6 +101,7 @@ main(int argc, char **argv)
                 (unsigned long long)rs.taskMispredicts);
     std::printf("violation squashes     %llu\n",
                 (unsigned long long)rs.violationSquashes);
+    std::printf("miss ratio             %.3f\n", sys->missRatio());
     std::printf("verified               %s\n",
                 checksum == ref_mem.readWord(w.checkBase)
                     ? "yes (checksum matches the interpreter)"

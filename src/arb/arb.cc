@@ -412,20 +412,17 @@ StatSet
 ArbCore::stats() const
 {
     StatSet s;
-    s.add("loads", static_cast<double>(nLoads));
-    s.add("stores", static_cast<double>(nStores));
-    s.add("arb_hits", static_cast<double>(nArbHits));
-    s.add("dcache_hits", static_cast<double>(nDcacheHits));
-    s.add("mem_supplied", static_cast<double>(nMemSupplied));
-    s.add("violations", static_cast<double>(nViolations));
-    s.add("commits", static_cast<double>(nCommits));
-    s.add("squashes", static_cast<double>(nSquashes));
-    s.add("stalls", static_cast<double>(nStalls));
-    s.add("row_reclaims", static_cast<double>(nRowReclaims));
-    const double accesses = static_cast<double>(nLoads + nStores);
-    s.add("miss_ratio",
-          accesses == 0 ? 0.0
-                        : static_cast<double>(nMemSupplied) / accesses);
+    s.addCounter("loads", nLoads);
+    s.addCounter("stores", nStores);
+    s.addCounter("arb_hits", nArbHits);
+    s.addCounter("dcache_hits", nDcacheHits);
+    s.addCounter("mem_supplied", nMemSupplied);
+    s.addCounter("violations", nViolations);
+    s.addCounter("commits", nCommits);
+    s.addCounter("squashes", nSquashes);
+    s.addCounter("stalls", nStalls);
+    s.addCounter("row_reclaims", nRowReclaims);
+    s.addRatio("miss_ratio", nMemSupplied, nLoads + nStores);
     return s;
 }
 

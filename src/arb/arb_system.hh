@@ -16,6 +16,7 @@
 
 #include "arb/arb.hh"
 #include "common/event_queue.hh"
+#include "common/trace.hh"
 #include "mem/spec_mem.hh"
 
 namespace svc
@@ -54,6 +55,7 @@ class ArbSystem : public SpecMem
     assignTask(PuId pu, TaskSeq seq) override
     {
         core.assignTask(pu, seq);
+        trace(TraceCat::Task, "mem_assign", pu, kNoAddr, seq);
     }
 
     bool
@@ -78,6 +80,11 @@ class ArbSystem : public SpecMem
         const Cycle latency =
             cfg.hitLatency +
             (res.memSupplied ? cfg.missPenalty : Cycle{0});
+        accessLatency.sample(static_cast<double>(latency));
+        trace(TraceCat::Vcl,
+              req.isStore ? "arb_store" : "arb_load", req.pu,
+              req.addr, latency,
+              res.memSupplied ? "mem" : "hit");
         ++inFlight;
         events.schedule(currentCycle + latency,
                         [this, done, data = res.data]() {
@@ -87,8 +94,21 @@ class ArbSystem : public SpecMem
         return true;
     }
 
-    void commitTask(PuId pu) override { core.commitTask(pu); }
-    void squashTask(PuId pu) override { core.squashTask(pu); }
+    void
+    commitTask(PuId pu) override
+    {
+        const TaskSeq seq = core.taskOf(pu);
+        core.commitTask(pu);
+        trace(TraceCat::Task, "mem_commit", pu, kNoAddr, seq);
+    }
+
+    void
+    squashTask(PuId pu) override
+    {
+        const TaskSeq seq = core.taskOf(pu);
+        core.squashTask(pu);
+        trace(TraceCat::Task, "mem_squash", pu, kNoAddr, seq);
+    }
 
     void
     tick() override
@@ -104,16 +124,28 @@ class ArbSystem : public SpecMem
     {
         StatSet s;
         s.merge("arb", core.stats());
+        s.addDistribution("access_latency", accessLatency);
         return s;
     }
 
     const char *name() const override { return "arb"; }
 
+    /** Route task and access events into @p sink. */
+    void attachTracer(TraceSink *sink) override { tracer = sink; }
+
+    /** Drain the architectural stage and data cache into memory. */
+    void
+    finalizeMemory() override
+    {
+        core.flushArchitectural();
+        core.flushDataCache();
+    }
+
     ArbCore &arb() { return core; }
 
     /** The paper's miss ratio for the ARB configuration. */
     double
-    missRatio() const
+    missRatio() const override
     {
         const double accesses =
             static_cast<double>(core.nLoads + core.nStores);
@@ -123,10 +155,23 @@ class ArbSystem : public SpecMem
     }
 
   private:
+    /** Emit a trace event if a sink is attached. */
+    void
+    trace(TraceCat cat, const char *name, PuId pu, Addr addr,
+          std::uint64_t arg = 0, const char *detail = nullptr)
+    {
+        if (tracer)
+            tracer->emit(
+                {currentCycle, 0, cat, name, pu, addr, arg, detail});
+    }
+
     ArbTimingConfig cfg;
     ArbCore core;
     ViolationFn onViolation;
     EventQueue events;
+    /** Issue-to-completion latency of every access, in cycles. */
+    Distribution accessLatency{0.0, 16.0, 16};
+    TraceSink *tracer = nullptr;
     Cycle currentCycle = 0;
     unsigned inFlight = 0;
 };

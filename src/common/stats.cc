@@ -1,6 +1,7 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "common/log.hh"
@@ -8,11 +9,76 @@
 namespace svc
 {
 
+Distribution::Distribution(double lo_, double hi_,
+                           unsigned num_buckets)
+    : lo(lo_), width((hi_ - lo_) / num_buckets),
+      invWidth(num_buckets / (hi_ - lo_)), buckets(num_buckets, 0)
+{
+    if (num_buckets == 0 || hi_ <= lo_)
+        fatal("Distribution: bad bucket geometry [%g, %g) / %u", lo_,
+              hi_, num_buckets);
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    cnt = under = over = 0;
+    sum = sumSq = mn = mx = 0.0;
+}
+
+double
+Distribution::mean() const
+{
+    return cnt == 0 ? 0.0 : sum / static_cast<double>(cnt);
+}
+
+double
+Distribution::stddev() const
+{
+    if (cnt == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = sumSq / static_cast<double>(cnt) - m * m;
+    return var <= 0.0 ? 0.0 : std::sqrt(var);
+}
+
+std::string
+Distribution::summarize() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "cnt=%llu mean=%.3g sd=%.3g min=%.3g max=%.3g",
+                  static_cast<unsigned long long>(cnt), mean(),
+                  stddev(), min(), max());
+    std::string out = buf;
+    if (hasBuckets()) {
+        out += " |";
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(buckets[i]));
+            out += buf;
+            if (i + 1 < buckets.size())
+                out += ' ';
+        }
+        out += '|';
+        if (under || over) {
+            std::snprintf(buf, sizeof(buf), " under=%llu over=%llu",
+                          static_cast<unsigned long long>(under),
+                          static_cast<unsigned long long>(over));
+            out += buf;
+        }
+    }
+    return out;
+}
+
 void
 StatSet::merge(const std::string &prefix, const StatSet &other)
 {
-    for (const auto &e : other.entries)
-        entries.push_back({prefix + "." + e.name, e.value});
+    for (const auto &e : other.entries) {
+        entries.push_back(
+            {prefix + "." + e.name, e.value, e.kind, e.dist});
+    }
 }
 
 double
@@ -32,20 +98,70 @@ StatSet::has(const std::string &name) const
                        [&](const StatEntry &e) { return e.name == name; });
 }
 
+const Distribution *
+StatSet::distribution(const std::string &name) const
+{
+    for (const auto &e : entries) {
+        if (e.name == name && e.kind == StatKind::Distribution)
+            return e.dist.get();
+    }
+    return nullptr;
+}
+
 std::string
 StatSet::format() const
 {
+    // Assemble (name, rendered value) lines first so distribution
+    // sub-lines participate in the column alignment.
+    std::vector<std::pair<std::string, std::string>> lines;
+    char buf[64];
+    auto num = [&](double v) {
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        return std::string(buf);
+    };
+    for (const auto &e : entries) {
+        if (e.kind != StatKind::Distribution) {
+            lines.emplace_back(e.name, num(e.value));
+            continue;
+        }
+        const Distribution &d = *e.dist;
+        lines.emplace_back(e.name + ".count",
+                           num(static_cast<double>(d.count())));
+        lines.emplace_back(e.name + ".mean", num(d.mean()));
+        lines.emplace_back(e.name + ".stddev", num(d.stddev()));
+        lines.emplace_back(e.name + ".min", num(d.min()));
+        lines.emplace_back(e.name + ".max", num(d.max()));
+        if (d.hasBuckets()) {
+            std::string hist = "|";
+            for (unsigned i = 0; i < d.numBuckets(); ++i) {
+                std::snprintf(
+                    buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(d.bucketCount(i)));
+                hist += buf;
+                if (i + 1 < d.numBuckets())
+                    hist += ' ';
+            }
+            hist += '|';
+            if (d.underflow() || d.overflow()) {
+                std::snprintf(
+                    buf, sizeof(buf), " under=%llu over=%llu",
+                    static_cast<unsigned long long>(d.underflow()),
+                    static_cast<unsigned long long>(d.overflow()));
+                hist += buf;
+            }
+            lines.emplace_back(e.name + ".hist", std::move(hist));
+        }
+    }
+
     std::size_t width = 0;
-    for (const auto &e : entries)
-        width = std::max(width, e.name.size());
+    for (const auto &[name, value] : lines)
+        width = std::max(width, name.size());
 
     std::string out;
-    char buf[64];
-    for (const auto &e : entries) {
-        out += e.name;
-        out.append(width - e.name.size() + 2, ' ');
-        std::snprintf(buf, sizeof(buf), "%.6g", e.value);
-        out += buf;
+    for (const auto &[name, value] : lines) {
+        out += name;
+        out.append(width - name.size() + 2, ' ');
+        out += value;
         out += '\n';
     }
     return out;

@@ -2,14 +2,18 @@
  * @file
  * Lightweight statistics collection. Components own plain counters
  * (fast, no indirection) and expose them through a StatSet snapshot
- * for reporting. A StatSet is an ordered list of (name, value)
- * pairs with pretty-printing helpers.
+ * for reporting. A StatSet is an ordered list of typed entries —
+ * scalars, counters, ratios (formulas evaluated at snapshot time)
+ * and full distributions — with pretty-printing helpers. Scalar
+ * entries format exactly as they always have, so golden comparisons
+ * of the text output remain stable.
  */
 
 #ifndef SVC_COMMON_STATS_HH
 #define SVC_COMMON_STATS_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,11 +23,108 @@ namespace svc
 /** A simple event counter. */
 using Counter = std::uint64_t;
 
+/**
+ * A sampled distribution: running min/max/mean/stddev plus an
+ * optional fixed-width bucket histogram over [lo, hi). Samples
+ * outside the bucketed range are tallied as underflow/overflow but
+ * still contribute to the moments.
+ */
+class Distribution
+{
+  public:
+    /** Moments only, no histogram. */
+    Distribution() = default;
+
+    /** Histogram of @p num_buckets equal buckets over [lo, hi). */
+    Distribution(double lo, double hi, unsigned num_buckets);
+
+    /** Record @p v, @p weight times. Inline: this runs on hot
+     *  simulation paths (per access / per bus transaction). */
+    void
+    sample(double v, std::uint64_t weight = 1)
+    {
+        if (weight == 0)
+            return;
+        if (cnt == 0) {
+            mn = mx = v;
+        } else {
+            mn = v < mn ? v : mn;
+            mx = v > mx ? v : mx;
+        }
+        cnt += weight;
+        sum += v * static_cast<double>(weight);
+        sumSq += v * v * static_cast<double>(weight);
+        if (!buckets.empty()) {
+            if (v < lo) {
+                under += weight;
+            } else {
+                const auto idx =
+                    static_cast<std::size_t>((v - lo) * invWidth);
+                if (idx >= buckets.size())
+                    over += weight;
+                else
+                    buckets[idx] += weight;
+            }
+        }
+    }
+
+    /** Discard all samples (bucket geometry is retained). */
+    void reset();
+
+    std::uint64_t count() const { return cnt; }
+    double total() const { return sum; }
+    double min() const { return cnt == 0 ? 0.0 : mn; }
+    double max() const { return cnt == 0 ? 0.0 : mx; }
+    double mean() const;
+    double stddev() const;
+
+    bool hasBuckets() const { return !buckets.empty(); }
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(buckets.size());
+    }
+    std::uint64_t bucketCount(unsigned i) const { return buckets[i]; }
+    double bucketLo(unsigned i) const { return lo + i * width; }
+    double bucketHi(unsigned i) const { return lo + (i + 1) * width; }
+    std::uint64_t underflow() const { return under; }
+    std::uint64_t overflow() const { return over; }
+
+    /** Compact single-line rendering: "cnt=.. mean=.. |h i s t|". */
+    std::string summarize() const;
+
+  private:
+    double lo = 0.0;
+    double width = 0.0;
+    /** 1/width, precomputed so sample() multiplies instead of
+     *  dividing. */
+    double invWidth = 0.0;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t cnt = 0;
+    std::uint64_t under = 0;
+    std::uint64_t over = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    double mn = 0.0;
+    double mx = 0.0;
+};
+
+/** The kind of a StatSet entry. */
+enum class StatKind : std::uint8_t
+{
+    Scalar,       ///< plain double (legacy add())
+    Counter,      ///< monotonic event count
+    Ratio,        ///< numerator / denominator formula
+    Distribution, ///< full sampled distribution
+};
+
 /** One named statistic in a snapshot. */
 struct StatEntry
 {
     std::string name;
-    double value;
+    double value = 0.0;
+    StatKind kind = StatKind::Scalar;
+    /** Present only for StatKind::Distribution. */
+    std::shared_ptr<const Distribution> dist;
 };
 
 /**
@@ -33,25 +134,58 @@ struct StatEntry
 class StatSet
 {
   public:
-    /** Append a statistic. */
+    /** Append a plain scalar statistic. */
     void
     add(const std::string &name, double value)
     {
-        entries.push_back({name, value});
+        entries.push_back({name, value, StatKind::Scalar, nullptr});
+    }
+
+    /** Append an event counter. */
+    void
+    addCounter(const std::string &name, Counter value)
+    {
+        entries.push_back({name, static_cast<double>(value),
+                           StatKind::Counter, nullptr});
+    }
+
+    /** Append @p num / @p den (0 when the denominator is 0). */
+    void
+    addRatio(const std::string &name, double num, double den)
+    {
+        entries.push_back(
+            {name, den == 0.0 ? 0.0 : num / den, StatKind::Ratio,
+             nullptr});
+    }
+
+    /** Append a snapshot of @p d (scalar value = mean). */
+    void
+    addDistribution(const std::string &name, const Distribution &d)
+    {
+        entries.push_back(
+            {name, d.mean(), StatKind::Distribution,
+             std::make_shared<const Distribution>(d)});
     }
 
     /** Append every entry of @p other with @p prefix + "." prepended. */
     void merge(const std::string &prefix, const StatSet &other);
 
-    /** @return the value of @p name; fatal() if absent. */
+    /** @return the value of @p name (a distribution's mean); fatal()
+     *  if absent. */
     double get(const std::string &name) const;
 
     /** @return true if @p name is present. */
     bool has(const std::string &name) const;
 
+    /** @return the distribution entry @p name, or nullptr. */
+    const Distribution *distribution(const std::string &name) const;
+
     const std::vector<StatEntry> &all() const { return entries; }
 
-    /** Render as aligned "name value" lines. */
+    /** Render as aligned "name value" lines. Scalar, counter and
+     *  ratio entries render one line each (format-compatible with
+     *  the historical output); distribution entries expand into
+     *  .count/.mean/.stddev/.min/.max lines plus a histogram. */
     std::string format() const;
 
   private:

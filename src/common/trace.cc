@@ -1,0 +1,168 @@
+#include "common/trace.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.hh"
+
+namespace svc
+{
+
+const char *
+traceCatName(TraceCat cat)
+{
+    switch (cat) {
+      case TraceCat::Bus:
+        return "bus";
+      case TraceCat::Vcl:
+        return "vcl";
+      case TraceCat::Line:
+        return "line";
+      case TraceCat::Mshr:
+        return "mshr";
+      case TraceCat::Task:
+        return "task";
+    }
+    return "?";
+}
+
+void
+TextTraceSink::emit(const TraceEvent &ev)
+{
+    char buf[256];
+    char pu_buf[16] = "-";
+    if (ev.pu != kNoPu)
+        std::snprintf(pu_buf, sizeof(pu_buf), "%u", ev.pu);
+    char addr_buf[24] = "-";
+    if (ev.addr != kNoAddr) {
+        std::snprintf(addr_buf, sizeof(addr_buf), "0x%llx",
+                      static_cast<unsigned long long>(ev.addr));
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%10llu  %-4s %-16s pu=%-3s addr=%-10s dur=%-4llu "
+                  "arg=%llu%s%s\n",
+                  static_cast<unsigned long long>(ev.cycle),
+                  traceCatName(ev.cat), ev.name, pu_buf, addr_buf,
+                  static_cast<unsigned long long>(ev.dur),
+                  static_cast<unsigned long long>(ev.arg),
+                  ev.detail ? " detail=" : "",
+                  ev.detail ? ev.detail : "");
+    out << buf;
+}
+
+void
+TextTraceSink::flush()
+{
+    out.flush();
+}
+
+ChromeTraceSink::ChromeTraceSink(std::ostream &os) : out(os)
+{
+    out << "[\n";
+}
+
+ChromeTraceSink::~ChromeTraceSink()
+{
+    flush();
+}
+
+void
+ChromeTraceSink::emit(const TraceEvent &ev)
+{
+    if (closed)
+        return;
+    if (!first)
+        out << ",\n";
+    first = false;
+
+    // One swim-lane per PU; events with no PU (e.g. write-back
+    // drains) land on a dedicated lane.
+    const unsigned tid = ev.pu == kNoPu ? 99 : ev.pu;
+    char buf[384];
+    char addr_buf[24] = "-";
+    if (ev.addr != kNoAddr) {
+        std::snprintf(addr_buf, sizeof(addr_buf), "0x%llx",
+                      static_cast<unsigned long long>(ev.addr));
+    }
+    if (ev.dur > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+            "\"ts\":%llu,\"dur\":%llu,\"pid\":0,\"tid\":%u,"
+            "\"args\":{\"addr\":\"%s\",\"arg\":%llu,"
+            "\"detail\":\"%s\"}}",
+            ev.name, traceCatName(ev.cat),
+            static_cast<unsigned long long>(ev.cycle),
+            static_cast<unsigned long long>(ev.dur), tid, addr_buf,
+            static_cast<unsigned long long>(ev.arg),
+            ev.detail ? ev.detail : "");
+    } else {
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+            "\"s\":\"t\",\"ts\":%llu,\"pid\":0,\"tid\":%u,"
+            "\"args\":{\"addr\":\"%s\",\"arg\":%llu,"
+            "\"detail\":\"%s\"}}",
+            ev.name, traceCatName(ev.cat),
+            static_cast<unsigned long long>(ev.cycle), tid, addr_buf,
+            static_cast<unsigned long long>(ev.arg),
+            ev.detail ? ev.detail : "");
+    }
+    out << buf;
+}
+
+void
+ChromeTraceSink::flush()
+{
+    if (closed)
+        return;
+    closed = true;
+    out << "\n]\n";
+    out.flush();
+}
+
+struct FileTraceSink::Impl
+{
+    std::ofstream file;
+    std::unique_ptr<TraceSink> sink;
+};
+
+FileTraceSink::FileTraceSink(const std::string &path)
+    : impl(std::make_unique<Impl>())
+{
+    impl->file.open(path);
+    if (!impl->file)
+        fatal("trace: cannot open '%s' for writing", path.c_str());
+    const bool json = path.size() >= 5 &&
+                      path.compare(path.size() - 5, 5, ".json") == 0;
+    if (json)
+        impl->sink = std::make_unique<ChromeTraceSink>(impl->file);
+    else
+        impl->sink = std::make_unique<TextTraceSink>(impl->file);
+}
+
+FileTraceSink::~FileTraceSink()
+{
+    flush();
+}
+
+void
+FileTraceSink::emit(const TraceEvent &ev)
+{
+    impl->sink->emit(ev);
+}
+
+void
+FileTraceSink::flush()
+{
+    if (impl->sink)
+        impl->sink->flush();
+}
+
+std::unique_ptr<TraceSink>
+openTraceSink(const std::string &path)
+{
+    return std::make_unique<FileTraceSink>(path);
+}
+
+} // namespace svc

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Structured event tracing. Components emit typed TraceEvents (bus
+ * request/grant/release, VCL dispositions, line-state transitions,
+ * MSHR allocate/retire, task lifecycle) into a pluggable TraceSink.
+ * Tracing is zero-overhead when disabled: every emit point is a
+ * single null-pointer test, and no sink is installed by default.
+ *
+ * Three sinks are provided:
+ *  - TextTraceSink: deterministic one-line-per-event text, suitable
+ *    for diffing two runs (same seed => byte-identical trace);
+ *  - ChromeTraceSink: the Chrome trace_event JSON array format —
+ *    open the file in chrome://tracing (or ui.perfetto.dev) to see
+ *    bus occupancy and task lifecycles on a timeline;
+ *  - CountingTraceSink: per-category event counters for tests.
+ */
+
+#ifndef SVC_COMMON_TRACE_HH
+#define SVC_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "common/types.hh"
+
+namespace svc
+{
+
+/** Top-level event taxonomy (see DESIGN.md "Observability"). */
+enum class TraceCat : std::uint8_t
+{
+    Bus,  ///< snooping-bus arbitration: request, grant, release
+    Vcl,  ///< VCL dispositions: hits, bus reads/writes, violations
+    Line, ///< line-state transitions: castout, purge, snarf, update
+    Mshr, ///< MSHR allocate / combine / retire / full-stall
+    Task, ///< task lifecycle: assign, commit, squash, mispredict
+};
+
+/** Number of trace categories (for counting sinks). */
+inline constexpr unsigned kNumTraceCats = 5;
+
+/** @return a printable name for @p cat ("bus", "vcl", ...). */
+const char *traceCatName(TraceCat cat);
+
+/**
+ * One structured trace event. The name and detail strings must be
+ * string literals (sinks keep only the pointer while formatting).
+ * Events with dur > 0 are spans (e.g. a granted bus transaction);
+ * dur == 0 means an instant event.
+ */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    Cycle dur = 0;
+    TraceCat cat = TraceCat::Bus;
+    const char *name = "";
+    PuId pu = kNoPu;
+    Addr addr = kNoAddr;
+    std::uint64_t arg = 0;       ///< event-specific (seq, count, ...)
+    const char *detail = nullptr; ///< event-specific qualifier
+};
+
+/** Abstract destination for trace events. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void emit(const TraceEvent &ev) = 0;
+    /** Complete any buffered output (called at end of run). */
+    virtual void flush() {}
+};
+
+/** Deterministic aligned-text sink, one line per event. */
+class TextTraceSink : public TraceSink
+{
+  public:
+    /** @param os destination stream (not owned). */
+    explicit TextTraceSink(std::ostream &os) : out(os) {}
+    void emit(const TraceEvent &ev) override;
+    void flush() override;
+
+  private:
+    std::ostream &out;
+};
+
+/**
+ * Chrome trace_event JSON sink. Produces a JSON array of events
+ * ("X" complete events for spans, "i" instant events otherwise),
+ * with the PU as the thread id so chrome://tracing lays out one
+ * swim-lane per processing unit.
+ */
+class ChromeTraceSink : public TraceSink
+{
+  public:
+    /** @param os destination stream (not owned). */
+    explicit ChromeTraceSink(std::ostream &os);
+    ~ChromeTraceSink() override;
+    void emit(const TraceEvent &ev) override;
+    /** Close the JSON array (idempotent). */
+    void flush() override;
+
+  private:
+    std::ostream &out;
+    bool first = true;
+    bool closed = false;
+};
+
+/** Counts events per category; for tests and cheap summaries. */
+class CountingTraceSink : public TraceSink
+{
+  public:
+    void
+    emit(const TraceEvent &ev) override
+    {
+        ++total;
+        ++perCat[static_cast<unsigned>(ev.cat)];
+    }
+
+    std::uint64_t count(TraceCat cat) const
+    {
+        return perCat[static_cast<unsigned>(cat)];
+    }
+
+    std::uint64_t total = 0;
+    std::uint64_t perCat[kNumTraceCats] = {};
+};
+
+/**
+ * A TraceSink that owns the file stream it writes to; flushes and
+ * closes on destruction.
+ */
+class FileTraceSink : public TraceSink
+{
+  public:
+    /**
+     * Open @p path and trace into it; the format is chosen by
+     * extension (".json" => Chrome trace_event, else text).
+     * fatal() if the file cannot be opened.
+     */
+    explicit FileTraceSink(const std::string &path);
+    ~FileTraceSink() override;
+    void emit(const TraceEvent &ev) override;
+    void flush() override;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+/** Convenience: open a FileTraceSink (see above). */
+std::unique_ptr<TraceSink> openTraceSink(const std::string &path);
+
+} // namespace svc
+
+#endif // SVC_COMMON_TRACE_HH

@@ -21,15 +21,15 @@ StatSet
 SnoopingBus::stats() const
 {
     StatSet s;
-    s.add("busy_cycles", static_cast<double>(busyCycles));
-    s.add("observed_cycles", static_cast<double>(observedCycles));
-    s.add("utilization", utilization());
-    s.add("bus_reads",
-          static_cast<double>(transactionCount(BusCmd::BusRead)));
-    s.add("bus_writes",
-          static_cast<double>(transactionCount(BusCmd::BusWrite)));
-    s.add("bus_wbacks",
-          static_cast<double>(transactionCount(BusCmd::BusWback)));
+    s.addCounter("busy_cycles", busyCycles);
+    s.addCounter("observed_cycles", observedCycles);
+    s.addRatio("utilization", static_cast<double>(busyCycles),
+               static_cast<double>(observedCycles));
+    s.addCounter("bus_reads", transactionCount(BusCmd::BusRead));
+    s.addCounter("bus_writes", transactionCount(BusCmd::BusWrite));
+    s.addCounter("bus_wbacks", transactionCount(BusCmd::BusWback));
+    s.addDistribution("occupancy", occupancyDist);
+    s.addDistribution("arb_wait", waitDist);
     return s;
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 
 namespace svc
@@ -43,6 +44,8 @@ struct BusRequest
     BusCmd cmd = BusCmd::BusRead;
     Addr lineAddr = 0;
     std::function<Cycle(Cycle grant_cycle)> perform;
+    /** Cycle the request was enqueued (for wait-time stats). */
+    Cycle issueCycle = 0;
 };
 
 /**
@@ -56,6 +59,11 @@ class SnoopingBus
     void
     request(BusRequest req)
     {
+        if (tracer) {
+            tracer->emit({req.issueCycle, 0, TraceCat::Bus,
+                          "bus_request", req.requester, req.lineAddr,
+                          0, busCmdName(req.cmd)});
+        }
         queue.push_back(std::move(req));
     }
 
@@ -75,7 +83,20 @@ class SnoopingBus
         const Cycle occupancy = req.perform(now);
         busyCycles += occupancy;
         busyUntil = now + occupancy;
+        occupancyDist.sample(static_cast<double>(occupancy));
+        waitDist.sample(static_cast<double>(now - req.issueCycle));
+        if (tracer) {
+            tracer->emit({now, occupancy, TraceCat::Bus, "bus_grant",
+                          req.requester, req.lineAddr, occupancy,
+                          busCmdName(req.cmd)});
+            tracer->emit({busyUntil, 0, TraceCat::Bus, "bus_release",
+                          req.requester, req.lineAddr, 0,
+                          busCmdName(req.cmd)});
+        }
     }
+
+    /** Route bus events into @p sink (nullptr disables tracing). */
+    void attachTracer(TraceSink *sink) { tracer = sink; }
 
     /** @return true if a transaction is in flight at cycle @p now. */
     bool busy(Cycle now) const { return now < busyUntil; }
@@ -99,15 +120,26 @@ class SnoopingBus
         return transactions[static_cast<unsigned>(cmd)];
     }
 
+    /** Per-transaction occupancy histogram (paper Table 3 detail). */
+    const Distribution &occupancy() const { return occupancyDist; }
+
+    /** Arbitration wait (enqueue to grant) histogram. */
+    const Distribution &arbitrationWait() const { return waitDist; }
+
     /** Snapshot bus statistics. */
     StatSet stats() const;
 
   private:
     std::deque<BusRequest> queue;
+    TraceSink *tracer = nullptr;
     Cycle busyUntil = 0;
     Counter busyCycles = 0;
     Counter observedCycles = 0;
     Counter transactions[3] = {0, 0, 0};
+    /** Cycles each granted transaction held the bus (1..~8). */
+    Distribution occupancyDist{0.0, 16.0, 16};
+    /** Cycles each request waited in the arbitration queue. */
+    Distribution waitDist{0.0, 64.0, 16};
 };
 
 } // namespace svc

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 
 namespace svc
@@ -48,6 +49,19 @@ class MshrFile
     MshrFile(unsigned num_mshrs, unsigned max_targets)
         : maxTargets(max_targets), file(num_mshrs)
     {}
+
+    /**
+     * Route MSHR events into @p sink. @p clock points at the owning
+     * system's cycle counter (the MSHR file has no clock of its
+     * own); @p owner labels events with the owning PU.
+     */
+    void
+    attachTracer(TraceSink *sink, const Cycle *clock, PuId owner)
+    {
+        tracer = sink;
+        clk = clock;
+        pu = owner;
+    }
 
     /** @return the MSHR tracking @p line_addr, or nullptr. */
     Mshr *
@@ -89,11 +103,14 @@ class MshrFile
              bool &is_primary)
     {
         if (Mshr *m = find(line_addr)) {
-            if (m->targets.size() >= maxTargets)
+            if (m->targets.size() >= maxTargets) {
+                emitTrace("mshr_target_full", line_addr);
                 return false;
+            }
             m->targets.push_back({std::move(on_fill)});
             is_primary = false;
             ++combinedAccesses;
+            emitTrace("mshr_combine", line_addr);
             return true;
         }
         for (auto &m : file) {
@@ -104,10 +121,12 @@ class MshrFile
                 m.targets.push_back({std::move(on_fill)});
                 is_primary = true;
                 ++primaryMisses;
+                emitTrace("mshr_alloc", line_addr);
                 return true;
             }
         }
         ++fullStalls;
+        emitTrace("mshr_full", line_addr);
         return false;
     }
 
@@ -121,6 +140,7 @@ class MshrFile
         Mshr *m = find(line_addr);
         if (!m)
             return;
+        emitTrace("mshr_retire", line_addr, m->targets.size());
         // Free before running targets: a target may immediately miss
         // on the same line again (e.g., it raced with an
         // invalidation) and needs a free MSHR.
@@ -144,15 +164,28 @@ class MshrFile
     stats() const
     {
         StatSet s;
-        s.add("primary_misses", static_cast<double>(primaryMisses));
-        s.add("combined_accesses", static_cast<double>(combinedAccesses));
-        s.add("full_stalls", static_cast<double>(fullStalls));
+        s.addCounter("primary_misses", primaryMisses);
+        s.addCounter("combined_accesses", combinedAccesses);
+        s.addCounter("full_stalls", fullStalls);
         return s;
     }
 
   private:
+    void
+    emitTrace(const char *name, Addr line_addr,
+              std::uint64_t arg = 0)
+    {
+        if (tracer) {
+            tracer->emit({clk ? *clk : 0, 0, TraceCat::Mshr, name,
+                          pu, line_addr, arg, nullptr});
+        }
+    }
+
     unsigned maxTargets;
     std::vector<Mshr> file;
+    TraceSink *tracer = nullptr;
+    const Cycle *clk = nullptr;
+    PuId pu = kNoPu;
     Counter primaryMisses = 0;
     Counter combinedAccesses = 0;
     Counter fullStalls = 0;

@@ -168,9 +168,9 @@ StatSet
 RefSpecMem::stats() const
 {
     StatSet s;
-    s.add("loads", static_cast<double>(nLoads));
-    s.add("stores", static_cast<double>(nStores));
-    s.add("violations", static_cast<double>(nViolations));
+    s.addCounter("loads", nLoads);
+    s.addCounter("stores", nStores);
+    s.addCounter("violations", nViolations);
     return s;
 }
 

@@ -19,6 +19,8 @@
 namespace svc
 {
 
+class TraceSink;
+
 /** One memory request from a PU's load/store queue. */
 struct MemReq
 {
@@ -80,6 +82,30 @@ class SpecMem
 
     /** @return a short name for reports ("svc", "arb", ...). */
     virtual const char *name() const = 0;
+
+    // ---- Observability & lifecycle hooks (defaulted so existing
+    //      implementations keep compiling unchanged) ----
+
+    /**
+     * Route this system's trace events into @p sink (nullptr
+     * disables tracing). Implementations without instrumentation
+     * simply ignore the sink.
+     */
+    virtual void attachTracer(TraceSink *sink) { (void)sink; }
+
+    /**
+     * Drain all committed speculative state into main memory at the
+     * end of a run, so memory holds the full architected image
+     * (e.g. the SVC's lazy write-backs, the ARB's architectural
+     * stage). A no-op for systems without buffered state.
+     */
+    virtual void finalizeMemory() {}
+
+    /**
+     * The paper's miss ratio — next-level supplies / accesses
+     * (section 4.4) — or 0 for systems without a memory hierarchy.
+     */
+    virtual double missRatio() const { return 0.0; }
 };
 
 } // namespace svc

@@ -1,0 +1,79 @@
+#include "mem/spec_mem_factory.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/log.hh"
+#include "mem/ref_spec_mem.hh"
+#include "svc/system.hh"
+
+namespace svc
+{
+
+namespace
+{
+
+/**
+ * The registry. Built-ins are registered eagerly here rather than
+ * through static registrar objects, which a static library would
+ * silently drop at link time.
+ */
+std::map<std::string, SpecMemMaker> &
+registry()
+{
+    static std::map<std::string, SpecMemMaker> r = [] {
+        std::map<std::string, SpecMemMaker> m;
+        m["svc"] = [](const SpecMemConfig &cfg, MainMemory &mem) {
+            return std::make_unique<SvcSystem>(cfg.svc, mem);
+        };
+        m["arb"] = [](const SpecMemConfig &cfg, MainMemory &mem) {
+            return std::make_unique<ArbSystem>(cfg.arb, mem);
+        };
+        m["ref"] = [](const SpecMemConfig &cfg, MainMemory &mem) {
+            return std::make_unique<RefSpecMem>(mem, cfg.numPus,
+                                                cfg.refLatency);
+        };
+        m["perfect"] = m["ref"];
+        return m;
+    }();
+    return r;
+}
+
+} // namespace
+
+std::unique_ptr<SpecMem>
+makeSpecMem(const std::string &kind, const SpecMemConfig &config,
+            MainMemory &memory, TraceSink *sink)
+{
+    auto &reg = registry();
+    auto it = reg.find(kind);
+    if (it == reg.end()) {
+        std::ostringstream known;
+        for (const auto &[name, maker] : reg)
+            known << (known.tellp() > 0 ? ", " : "") << name;
+        fatal("makeSpecMem: unknown memory system '%s' (known: %s)",
+              kind.c_str(), known.str().c_str());
+    }
+    std::unique_ptr<SpecMem> sys = it->second(config, memory);
+    if (sink)
+        sys->attachTracer(sink);
+    return sys;
+}
+
+void
+registerSpecMem(const std::string &kind, SpecMemMaker maker)
+{
+    registry()[kind] = std::move(maker);
+}
+
+std::vector<std::string>
+specMemKinds()
+{
+    std::vector<std::string> kinds;
+    for (const auto &[name, maker] : registry())
+        kinds.push_back(name);
+    return kinds;
+}
+
+} // namespace svc

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * String-keyed factory for speculative memory systems. Benchmarks,
+ * examples and tools construct their SpecMem through one entry
+ * point — makeSpecMem("svc"|"arb"|"ref", ...) — instead of naming
+ * concrete types, so a new memory system (or a renamed config) only
+ * touches the registry. The factory also wires up observability:
+ * the optional TraceSink is attached before the system is returned.
+ */
+
+#ifndef SVC_MEM_SPEC_MEM_FACTORY_HH
+#define SVC_MEM_SPEC_MEM_FACTORY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arb/arb_system.hh"
+#include "common/log.hh"
+#include "common/types.hh"
+#include "mem/spec_mem.hh"
+#include "svc/design.hh"
+
+namespace svc
+{
+
+class MainMemory;
+class TraceSink;
+
+/**
+ * Union of the per-system configurations. Each maker reads only its
+ * own section; the defaults reproduce the paper's section 4.2 setup
+ * closely enough for examples and tests to run unconfigured.
+ */
+struct SpecMemConfig
+{
+    /** SVC section ("svc"). */
+    SvcConfig svc;
+    /** ARB section ("arb"). */
+    ArbTimingConfig arb;
+    /** PU count for systems without their own config ("ref"). */
+    unsigned numPus = 4;
+    /** Fixed latency of the reference memory, in cycles. */
+    Cycle refLatency = 1;
+};
+
+/** Constructor signature stored in the registry. */
+using SpecMemMaker = std::function<std::unique_ptr<SpecMem>(
+    const SpecMemConfig &, MainMemory &)>;
+
+/**
+ * Construct the memory system registered under @p kind ("svc",
+ * "arb", "ref" — "perfect" is an alias for "ref"), attach @p sink
+ * when non-null, and return it. fatal()s on an unknown kind, naming
+ * the registered alternatives.
+ */
+std::unique_ptr<SpecMem> makeSpecMem(const std::string &kind,
+                                     const SpecMemConfig &config,
+                                     MainMemory &memory,
+                                     TraceSink *sink = nullptr);
+
+/** Register @p maker under @p kind (replaces an existing entry). */
+void registerSpecMem(const std::string &kind, SpecMemMaker maker);
+
+/** @return the registered kinds, sorted. */
+std::vector<std::string> specMemKinds();
+
+/**
+ * Downcast a factory-made system to a concrete type, for callers
+ * that need an implementation-specific side API (e.g. the reference
+ * memory's functional interface). fatal()s on a type mismatch
+ * instead of returning nullptr — a wrong kind string is a usage
+ * bug, not a recoverable condition.
+ */
+template <typename T>
+T &
+specMemAs(SpecMem &sys)
+{
+    T *p = dynamic_cast<T *>(&sys);
+    if (!p)
+        fatal("specMemAs: memory system '%s' is not the requested "
+              "concrete type",
+              sys.name());
+    return *p;
+}
+
+} // namespace svc
+
+#endif // SVC_MEM_SPEC_MEM_FACTORY_HH

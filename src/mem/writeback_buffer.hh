@@ -67,7 +67,7 @@ class WritebackBuffer
     stats() const
     {
         StatSet s;
-        s.add("writebacks", static_cast<double>(pushes));
+        s.addCounter("writebacks", pushes);
         return s;
     }
 

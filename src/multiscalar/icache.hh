@@ -57,8 +57,8 @@ class ICache
     stats() const
     {
         StatSet s;
-        s.add("accesses", static_cast<double>(accesses));
-        s.add("misses", static_cast<double>(misses));
+        s.addCounter("accesses", accesses);
+        s.addCounter("misses", misses);
         return s;
     }
 

@@ -163,14 +163,12 @@ StatSet
 TaskPredictor::stats() const
 {
     StatSet s;
-    s.add("predictions", static_cast<double>(nPredictions));
-    s.add("correct", static_cast<double>(nCorrect));
-    s.add("mispredicts", static_cast<double>(nMispredicts));
-    s.add("desc_misses", static_cast<double>(nDescMisses));
-    s.add("ras_uses", static_cast<double>(nRasUses));
-    const double resolved = static_cast<double>(nCorrect + nMispredicts);
-    s.add("accuracy",
-          resolved == 0 ? 0.0 : static_cast<double>(nCorrect) / resolved);
+    s.addCounter("predictions", nPredictions);
+    s.addCounter("correct", nCorrect);
+    s.addCounter("mispredicts", nMispredicts);
+    s.addCounter("desc_misses", nDescMisses);
+    s.addCounter("ras_uses", nRasUses);
+    s.addRatio("accuracy", nCorrect, nCorrect + nMispredicts);
     return s;
 }
 

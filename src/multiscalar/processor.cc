@@ -53,6 +53,8 @@ Processor::assignTasks()
         task.entry = nextEntry;
         task.pu = pu;
         task.pathBefore = predictor.path();
+        task.assignedAt = currentCycle;
+        trace("task_assign", pu, task.seq);
 
         const isa::TaskDescriptor &desc = prog.taskAt(task.entry);
         mem.assignTask(pu, task.seq);
@@ -80,6 +82,7 @@ Processor::squashFromIndex(std::size_t idx, bool reassign_first)
         mem.squashTask(t.pu);
         ring.squashTask(t.pu);
         ++nSquashedTasks;
+        trace("task_squash", t.pu, t.seq);
     }
     active.erase(active.begin() + idx, active.end());
     nextSeq = first_seq;
@@ -96,6 +99,7 @@ Processor::handleViolation(PuId pu)
     for (std::size_t i = 0; i < active.size(); ++i) {
         if (active[i].pu == pu && !pus[pu]->idle()) {
             ++nViolationSquashes;
+            trace("task_violation", pu, active[i].seq);
             squashFromIndex(i, true);
             return;
         }
@@ -123,6 +127,7 @@ Processor::resolveAndCommit()
             // Task misprediction: discard the wrong successors and
             // resume sequencing from the real target (figure 1).
             ++nTaskMispredicts;
+            trace("task_mispredict", t.pu, t.seq);
             predictor.restorePath(t.prediction.pathBefore);
             squashFromIndex(i + 1, false);
             nextEntry = actual;
@@ -138,8 +143,10 @@ Processor::resolveAndCommit()
             nextEntry = actual;
             if (actual != kNoAddr)
                 predictor.notePath(actual);
-            if (t.prediction.next != kNoAddr)
+            if (t.prediction.next != kNoAddr) {
                 ++nTaskMispredicts;
+                trace("task_mispredict", t.pu, t.seq);
+            }
         }
         t.resolved = true;
     }
@@ -150,6 +157,10 @@ Processor::resolveAndCommit()
         if (pus[head.pu]->finished() && head.resolved) {
             nCommittedInstructions += pus[head.pu]->taskRetired();
             ++nCommittedTasks;
+            taskLifetime.sample(
+                static_cast<double>(currentCycle - head.assignedAt));
+            trace("task_commit", head.pu, head.seq, nullptr,
+                  head.assignedAt, currentCycle - head.assignedAt);
             const bool halted = pus[head.pu]->haltedTask();
             mem.commitTask(head.pu);
             ring.commitTask(head.pu);
@@ -246,18 +257,14 @@ StatSet
 Processor::stats() const
 {
     StatSet s;
-    s.add("cycles", static_cast<double>(currentCycle));
-    s.add("committed_instructions",
-          static_cast<double>(nCommittedInstructions));
-    s.add("committed_tasks", static_cast<double>(nCommittedTasks));
-    s.add("task_mispredicts", static_cast<double>(nTaskMispredicts));
-    s.add("violation_squashes",
-          static_cast<double>(nViolationSquashes));
-    s.add("squashed_tasks", static_cast<double>(nSquashedTasks));
-    s.add("ipc", currentCycle == 0
-                     ? 0.0
-                     : static_cast<double>(nCommittedInstructions) /
-                           static_cast<double>(currentCycle));
+    s.addCounter("cycles", currentCycle);
+    s.addCounter("committed_instructions", nCommittedInstructions);
+    s.addCounter("committed_tasks", nCommittedTasks);
+    s.addCounter("task_mispredicts", nTaskMispredicts);
+    s.addCounter("violation_squashes", nViolationSquashes);
+    s.addCounter("squashed_tasks", nSquashedTasks);
+    s.addRatio("ipc", nCommittedInstructions, currentCycle);
+    s.addDistribution("task_lifetime", taskLifetime);
     s.merge("predictor", predictor.stats());
     s.merge("ring", ring.stats());
     for (unsigned i = 0; i < pus.size(); ++i) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "isa/program.hh"
 #include "mem/spec_mem.hh"
 #include "multiscalar/config.hh"
@@ -76,6 +77,13 @@ class Processor
 
     StatSet stats() const;
 
+    /**
+     * Route task-lifecycle events (assign/commit/squash/violation/
+     * mispredict) into @p sink. The memory system is instrumented
+     * separately via SpecMem::attachTracer.
+     */
+    void attachTracer(TraceSink *sink) { tracer = sink; }
+
     /** Print sequencer and PU state (deadlock diagnostics). */
     void debugDump() const;
 
@@ -98,12 +106,24 @@ class Processor
         bool predictionMade = false;
         bool resolved = false; ///< successor prediction validated
         Cycle dispatchReadyAt = 0;
+        Cycle assignedAt = 0; ///< cycle the task was dispatched
     };
 
     void assignTasks();
     void resolveAndCommit();
     void squashFromIndex(std::size_t idx, bool reassign_first);
     void handleViolation(PuId pu);
+
+    /** Emit a task-lifecycle trace event if a sink is attached. */
+    void
+    trace(const char *name, PuId pu, std::uint64_t arg,
+          const char *detail = nullptr, Cycle at = 0, Cycle dur = 0)
+    {
+        if (tracer)
+            tracer->emit({at ? at : currentCycle, dur,
+                          TraceCat::Task, name, pu, kNoAddr, arg,
+                          detail});
+    }
 
     MultiscalarConfig cfg;
     const isa::Program &prog;
@@ -115,6 +135,9 @@ class Processor
 
     std::deque<ActiveTask> active; ///< oldest first
     std::deque<PuId> pendingViolations;
+    /** Assign-to-commit lifetime of committed tasks, in cycles. */
+    Distribution taskLifetime{0.0, 256.0, 16};
+    TraceSink *tracer = nullptr;
     TaskSeq nextSeq = 0;
     Addr nextEntry = kNoAddr; ///< next task to sequence
     Cycle nextAssignAt = 0;   ///< dispatch throttle (1/cycle +

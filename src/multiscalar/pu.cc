@@ -448,12 +448,10 @@ StatSet
 Pu::stats() const
 {
     StatSet s;
-    s.add("busy_cycles", static_cast<double>(busyCycles));
-    s.add("retired", static_cast<double>(totalRetired));
-    s.add("branch_mispredicts",
-          static_cast<double>(branchMispredicts));
-    s.add("fetch_stall_cycles",
-          static_cast<double>(fetchStallCycles));
+    s.addCounter("busy_cycles", busyCycles);
+    s.addCounter("retired", totalRetired);
+    s.addCounter("branch_mispredicts", branchMispredicts);
+    s.addCounter("fetch_stall_cycles", fetchStallCycles);
     return s;
 }
 

@@ -249,8 +249,8 @@ StatSet
 RegisterRing::stats() const
 {
     StatSet s;
-    s.add("forwards", static_cast<double>(nForwards));
-    s.add("deliveries", static_cast<double>(nDeliveries));
+    s.addCounter("forwards", nForwards);
+    s.addCounter("deliveries", nDeliveries);
     return s;
 }
 

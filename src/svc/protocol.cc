@@ -32,6 +32,7 @@ SvcProtocol::assignTask(PuId pu, TaskSeq seq)
     assert(pu < cfg.numPus);
     assert(seq != kNoTask);
     tasks[pu] = seq;
+    trace(TraceCat::Task, "mem_assign", pu, kNoAddr, seq);
 }
 
 bool
@@ -140,6 +141,10 @@ SvcProtocol::purgeCommitted(Addr line_addr, Vol &vol)
         vol.erase(pu);
     }
     nFlushes += flushed_versions.size();
+    if (!flushed_versions.empty()) {
+        trace(TraceCat::Line, "purge", kNoPu, line_addr,
+              flushed_versions.size());
+    }
     return static_cast<unsigned>(flushed_versions.size());
 }
 
@@ -190,6 +195,11 @@ SvcProtocol::castout(PuId pu, Frame &frame, AccessResult &res)
     const Addr victim_addr = caches[pu].frameAddr(frame);
     SvcLine &line = frame.payload;
     ++nCastouts;
+    trace(TraceCat::Line, "castout", pu, victim_addr, 0,
+          line.isPassive() ? (line.isDirty() ? "passive_dirty"
+                                             : "passive_clean")
+                           : (line.isDirty() ? "active_dirty"
+                                             : "active_clean"));
 
     if (line.isPassive()) {
         if (line.isDirty()) {
@@ -258,6 +268,7 @@ SvcProtocol::obtainFrame(PuId pu, Addr line_addr, AccessResult &res)
     if (!victim) {
         res.stalled = true;
         ++nStalls;
+        trace(TraceCat::Vcl, "stall", pu, line_addr);
         return nullptr;
     }
     if (victim->valid)
@@ -317,6 +328,7 @@ SvcProtocol::load(PuId pu, Addr addr, unsigned size)
         line.lMask |= vbs & ~line.sMask;
         cache.touch(*f);
         ++nHits;
+        trace(TraceCat::Vcl, "load_hit", pu, line_addr);
         for (unsigned i = 0; i < size; ++i)
             res.data |= std::uint64_t{line.data[offset + i]} << (8 * i);
         return res;
@@ -336,6 +348,7 @@ SvcProtocol::load(PuId pu, Addr addr, unsigned size)
         cache.touch(*f);
         ++nHits;
         ++nReuseHits;
+        trace(TraceCat::Vcl, "load_reuse", pu, line_addr);
         res.reused = true;
         for (unsigned i = 0; i < size; ++i)
             res.data |= std::uint64_t{line.data[offset + i]} << (8 * i);
@@ -432,6 +445,8 @@ SvcProtocol::busRead(PuId pu, Addr line_addr, std::uint64_t req_vbs,
         if (cfg.trackMissMap)
             ++missMap[line_addr];
     }
+    trace(TraceCat::Vcl, "bus_read", pu, line_addr, req_vbs,
+          res.memSupplied ? "mem" : "cache");
 
     if (cfg.snarfing)
         snarf(line_addr, pu, res);
@@ -492,6 +507,7 @@ SvcProtocol::snarf(Addr line_addr, PuId requester, AccessResult &res)
                    isHeadPu(requester) || tasks[pu] < req_seq);
         nl.debugSeq = tasks[pu];
         ++nSnarfs;
+        trace(TraceCat::Line, "snarf", pu, line_addr);
         // A later task now holds a copy derived from the
         // requester's image: the requester loses exclusivity.
         if (tasks[pu] > req_seq) {
@@ -548,6 +564,7 @@ SvcProtocol::store(PuId pu, Addr addr, unsigned size,
         line.lMask |= newly_stored & ~full_cover;
         cache.touch(*f);
         ++nHits;
+        trace(TraceCat::Vcl, "store_hit", pu, line_addr);
         return res;
     }
 
@@ -705,6 +722,7 @@ SvcProtocol::busWrite(PuId pu, Addr line_addr, std::uint64_t store_vbs,
                         other.data[b] = bytes[b - offset];
                     other.arch = other.arch && isHeadPu(pu);
                     ++nUpdates;
+                    trace(TraceCat::Line, "update", n.pu, line_addr);
                 } else {
                     // Write-invalidate: the block's copy is stale.
                     other.vMask &= ~(1ull << vb);
@@ -717,9 +735,18 @@ SvcProtocol::busWrite(PuId pu, Addr line_addr, std::uint64_t store_vbs,
             }
         }
     }
-    for (PuId v : violators)
+    for (PuId v : violators) {
         res.violators.push_back(v);
+        trace(TraceCat::Vcl, "violation", v, line_addr, req_seq);
+    }
     nViolations += violators.size();
+    if (fill != 0) {
+        trace(TraceCat::Vcl, "bus_write", pu, line_addr, store_vbs,
+              res.memSupplied ? "mem" : "cache");
+    } else {
+        trace(TraceCat::Vcl, "bus_write", pu, line_addr, store_vbs,
+              "upgrade");
+    }
 
     Vol after = snoop(line_addr);
     after.rewritePointers();
@@ -742,6 +769,8 @@ SvcProtocol::commitTask(PuId pu)
     assert(isHeadPu(pu) && "only the head task can commit");
     CommitResult res;
     ++nCommits;
+    trace(TraceCat::Task, "mem_commit", pu, kNoAddr, tasks[pu],
+          cfg.lazyCommit ? "flash" : "writeback");
 
     Storage &cache = caches[pu];
     if (cfg.lazyCommit) {
@@ -783,6 +812,7 @@ SvcProtocol::squashTask(PuId pu)
 {
     assert(pu < cfg.numPus);
     ++nSquashes;
+    trace(TraceCat::Task, "mem_squash", pu, kNoAddr, tasks[pu]);
     Storage &cache = caches[pu];
     cache.forEachValid([&](Frame &f) {
         SvcLine &line = f.payload;
@@ -892,26 +922,24 @@ StatSet
 SvcProtocol::stats() const
 {
     StatSet s;
-    s.add("loads", static_cast<double>(nLoads));
-    s.add("stores", static_cast<double>(nStores));
-    s.add("hits", static_cast<double>(nHits));
-    s.add("reuse_hits", static_cast<double>(nReuseHits));
-    s.add("bus_transactions", static_cast<double>(nBusTransactions));
-    s.add("mem_supplied", static_cast<double>(nMemSupplied));
-    s.add("cache_supplied", static_cast<double>(nCacheSupplied));
-    s.add("flushes", static_cast<double>(nFlushes));
-    s.add("violations", static_cast<double>(nViolations));
-    s.add("snarfs", static_cast<double>(nSnarfs));
-    s.add("updates", static_cast<double>(nUpdates));
-    s.add("commits", static_cast<double>(nCommits));
-    s.add("squashes", static_cast<double>(nSquashes));
-    s.add("stalls", static_cast<double>(nStalls));
-    s.add("eager_writebacks", static_cast<double>(nEagerWritebacks));
-    s.add("castouts", static_cast<double>(nCastouts));
-    const double accesses = static_cast<double>(nLoads + nStores);
-    s.add("miss_ratio",
-          accesses == 0 ? 0.0
-                        : static_cast<double>(nMemSupplied) / accesses);
+    s.addCounter("loads", nLoads);
+    s.addCounter("stores", nStores);
+    s.addCounter("hits", nHits);
+    s.addCounter("reuse_hits", nReuseHits);
+    s.addCounter("bus_transactions", nBusTransactions);
+    s.addCounter("mem_supplied", nMemSupplied);
+    s.addCounter("cache_supplied", nCacheSupplied);
+    s.addCounter("flushes", nFlushes);
+    s.addCounter("violations", nViolations);
+    s.addCounter("snarfs", nSnarfs);
+    s.addCounter("updates", nUpdates);
+    s.addCounter("commits", nCommits);
+    s.addCounter("squashes", nSquashes);
+    s.addCounter("stalls", nStalls);
+    s.addCounter("eager_writebacks", nEagerWritebacks);
+    s.addCounter("castouts", nCastouts);
+    s.addRatio("miss_ratio", static_cast<double>(nMemSupplied),
+               static_cast<double>(nLoads + nStores));
     return s;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "mem/cache_storage.hh"
 #include "mem/main_memory.hh"
@@ -134,6 +135,19 @@ class SvcProtocol
 
     const SvcConfig &config() const { return cfg; }
 
+    /**
+     * Route VCL-disposition and line-state events into @p sink.
+     * @p clock points at the owning timed system's cycle counter so
+     * events carry cycle stamps (nullptr: events stamped 0, for
+     * purely functional use).
+     */
+    void
+    attachTracer(TraceSink *sink, const Cycle *clock = nullptr)
+    {
+        tracer = sink;
+        clk = clock;
+    }
+
     StatSet stats() const;
 
     // Raw counters (public for cheap harness access).
@@ -226,10 +240,24 @@ class SvcProtocol
     /** HR design: offer the fill to other caches (paper 3.6). */
     void snarf(Addr line_addr, PuId requester, AccessResult &res);
 
+    /** @return the tracing cycle stamp (0 when untimed). */
+    Cycle nowc() const { return clk ? *clk : 0; }
+
+    /** Emit a trace event if a sink is attached. */
+    void
+    trace(TraceCat cat, const char *name, PuId pu, Addr addr,
+          std::uint64_t arg = 0, const char *detail = nullptr)
+    {
+        if (tracer)
+            tracer->emit({nowc(), 0, cat, name, pu, addr, arg, detail});
+    }
+
     SvcConfig cfg;
     MainMemory &mem;
     std::vector<Storage> caches;
     std::vector<TaskSeq> tasks;
+    TraceSink *tracer = nullptr;
+    const Cycle *clk = nullptr;
 };
 
 } // namespace svc

@@ -18,6 +18,16 @@ SvcSystem::SvcSystem(const SvcConfig &config, MainMemory &memory)
 }
 
 void
+SvcSystem::attachTracer(TraceSink *sink)
+{
+    tracer = sink;
+    snoopBus.attachTracer(sink);
+    proto.attachTracer(sink, &currentCycle);
+    for (PuId pu = 0; pu < cfg.numPus; ++pu)
+        mshrs[pu].attachTracer(sink, &currentCycle, pu);
+}
+
+void
 SvcSystem::assignTask(PuId pu, TaskSeq seq)
 {
     ++epochs[pu];
@@ -93,9 +103,13 @@ SvcSystem::issue(const MemReq &req, DoneFn done)
             snoopBus.request(
                 {req.pu,
                  req.isStore ? BusCmd::BusWrite : BusCmd::BusRead,
-                 line_addr, [this, req, slot, epoch](Cycle grant) {
-                     return performMiss(req, grant, slot, epoch);
-                 }});
+                 line_addr,
+                 [this, req, slot, epoch,
+                  issued = currentCycle](Cycle grant) {
+                     return performMiss(req, grant, slot, epoch,
+                                        issued);
+                 },
+                 currentCycle});
         }
     } else {
         ok = mshrs[req.pu].allocate(
@@ -115,7 +129,7 @@ Cycle
 SvcSystem::performMiss(const MemReq &req, Cycle grant,
                        std::shared_ptr<std::optional<std::uint64_t>>
                            slot,
-                       std::uint64_t epoch)
+                       std::uint64_t epoch, Cycle issued)
 {
     const Addr line_addr = req.addr & ~Addr{cfg.lineBytes - 1};
 
@@ -140,9 +154,11 @@ SvcSystem::performMiss(const MemReq &req, Cycle grant,
                           req.isStore ? BusCmd::BusWrite
                                       : BusCmd::BusRead,
                           line_addr,
-                          [this, req, slot, epoch](Cycle g) {
-                              return performMiss(req, g, slot, epoch);
-                          }});
+                          [this, req, slot, epoch, issued](Cycle g) {
+                              return performMiss(req, g, slot, epoch,
+                                                 issued);
+                          },
+                          grant});
         return 1;
     }
 
@@ -167,6 +183,8 @@ SvcSystem::performMiss(const MemReq &req, Cycle grant,
         flush_cycles;
     const Cycle fill_delay =
         occupancy + (res.memSupplied ? cfg.missPenalty : Cycle{0});
+    missLatency.sample(
+        static_cast<double>(grant + fill_delay - issued));
     events.schedule(grant + fill_delay, [this, line_addr,
                                          pu = req.pu]() {
         mshrs[pu].complete(line_addr);
@@ -231,7 +249,8 @@ SvcSystem::commitTask(PuId pu)
                               return Cycle{n} *
                                      (cfg.busTransferCycles +
                                       cfg.busFlushExtra);
-                          }});
+                          },
+                          currentCycle});
     }
 }
 
@@ -253,7 +272,8 @@ SvcSystem::tick()
         snoopBus.request({0, BusCmd::BusWback, 0,
                           [this](Cycle) {
                               return cfg.busFlushExtra;
-                          }});
+                          },
+                          currentCycle});
     }
     snoopBus.tick(currentCycle);
     events.runDue(currentCycle);
@@ -283,9 +303,10 @@ SvcSystem::stats() const
     s.merge("bus", snoopBus.stats());
     for (PuId pu = 0; pu < cfg.numPus; ++pu)
         s.merge("mshr" + std::to_string(pu), mshrs[pu].stats());
-    s.add("deferred_flushes", static_cast<double>(nDeferredFlushes));
-    s.add("wb_full_stalls", static_cast<double>(nWbFullStalls));
+    s.addCounter("deferred_flushes", nDeferredFlushes);
+    s.addCounter("wb_full_stalls", nWbFullStalls);
     s.add("miss_ratio", missRatio());
+    s.addDistribution("miss_latency", missLatency);
     return s;
 }
 

@@ -44,22 +44,29 @@ class SvcSystem : public SpecMem
     StatSet stats() const override;
     const char *name() const override { return "svc"; }
 
+    /** Route bus, VCL, line, MSHR and task events into @p sink. */
+    void attachTracer(TraceSink *sink) override;
+
+    /** Drain lazily committed versions into main memory. */
+    void finalizeMemory() override { proto.flushCommitted(); }
+
+    /** The paper's miss ratio: next-level supplies / accesses. */
+    double missRatio() const override;
+
     /** Direct access for tests and harnesses. */
     SvcProtocol &protocol() { return proto; }
     const SnoopingBus &bus() const { return snoopBus; }
     Cycle now() const { return currentCycle; }
 
-    /** The paper's miss ratio: next-level supplies / accesses. */
-    double missRatio() const;
-
   private:
     /** Handle a miss once the bus grants it; the access result is
      *  published through @p slot for the primary target. @p epoch
-     *  guards against squash/reassign races. */
+     *  guards against squash/reassign races; @p issued is the cycle
+     *  the access entered the system (for latency stats). */
     Cycle performMiss(const MemReq &req, Cycle grant,
                       std::shared_ptr<std::optional<std::uint64_t>>
                           slot,
-                      std::uint64_t epoch);
+                      std::uint64_t epoch, Cycle issued);
 
     /** Re-run an access after its line was filled. */
     void finishAfterFill(const MemReq &req, DoneFn done,
@@ -89,6 +96,9 @@ class SvcSystem : public SpecMem
     WritebackBuffer wbBuffer;
     Counter nDeferredFlushes = 0;
     Counter nWbFullStalls = 0;
+    /** Issue-to-fill latency of primary misses, in cycles. */
+    Distribution missLatency{0.0, 64.0, 16};
+    TraceSink *tracer = nullptr;
     std::vector<std::uint64_t> epochs;
     ViolationFn onViolation;
     Cycle currentCycle = 0;

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Observability-layer tests: Distribution bucket math, the typed
+ * StatSet entries, trace determinism (two identical runs produce
+ * byte-identical text traces), Chrome trace_event well-formedness,
+ * and the SpecMem factory registry.
+ */
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "common/trace.hh"
+#include "mem/main_memory.hh"
+#include "mem/ref_spec_mem.hh"
+#include "mem/spec_mem_factory.hh"
+#include "multiscalar/processor.hh"
+#include "workloads/workloads.hh"
+
+using namespace svc;
+
+// ---------------------------------------------------------------
+// Distribution
+// ---------------------------------------------------------------
+
+TEST(Distribution, MomentsOnly)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_FALSE(d.hasBuckets());
+
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(6.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.total(), 12.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 6.0);
+    // Population stddev of {2,4,6} is sqrt(8/3).
+    EXPECT_NEAR(d.stddev(), 1.632993, 1e-5);
+}
+
+TEST(Distribution, BucketMath)
+{
+    Distribution d(0.0, 10.0, 5); // buckets of width 2 over [0,10)
+    EXPECT_TRUE(d.hasBuckets());
+    EXPECT_EQ(d.numBuckets(), 5u);
+    EXPECT_DOUBLE_EQ(d.bucketLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(d.bucketHi(0), 2.0);
+    EXPECT_DOUBLE_EQ(d.bucketLo(4), 8.0);
+    EXPECT_DOUBLE_EQ(d.bucketHi(4), 10.0);
+
+    d.sample(0.0);        // bucket 0
+    d.sample(1.999);      // bucket 0
+    d.sample(2.0);        // bucket 1 (half-open boundaries)
+    d.sample(9.999);      // bucket 4
+    d.sample(10.0);       // overflow (hi is exclusive)
+    d.sample(-0.5);       // underflow
+    d.sample(5.0, 3);     // bucket 2, weight 3
+
+    EXPECT_EQ(d.bucketCount(0), 2u);
+    EXPECT_EQ(d.bucketCount(1), 1u);
+    EXPECT_EQ(d.bucketCount(2), 3u);
+    EXPECT_EQ(d.bucketCount(3), 0u);
+    EXPECT_EQ(d.bucketCount(4), 1u);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_EQ(d.count(), 9u); // weights included
+    EXPECT_DOUBLE_EQ(d.min(), -0.5);
+    EXPECT_DOUBLE_EQ(d.max(), 10.0);
+
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.bucketCount(2), 0u);
+    EXPECT_TRUE(d.hasBuckets()); // geometry survives reset
+}
+
+TEST(Distribution, SummarizeMentionsCountAndMean)
+{
+    Distribution d(0.0, 4.0, 4);
+    d.sample(1.0);
+    d.sample(3.0);
+    const std::string s = d.summarize();
+    EXPECT_NE(s.find("cnt=2"), std::string::npos) << s;
+    EXPECT_NE(s.find("mean=2"), std::string::npos) << s;
+}
+
+// ---------------------------------------------------------------
+// Typed StatSet entries
+// ---------------------------------------------------------------
+
+TEST(StatSet, TypedEntriesAndLookup)
+{
+    StatSet s;
+    s.addCounter("hits", 41);
+    s.addRatio("ratio", 1, 2);
+    s.addRatio("div0", 1, 0);
+    Distribution d(0.0, 8.0, 4);
+    d.sample(2.0);
+    s.addDistribution("lat", d);
+
+    EXPECT_TRUE(s.has("hits"));
+    EXPECT_FALSE(s.has("nope"));
+    EXPECT_DOUBLE_EQ(s.get("hits"), 41.0);
+    EXPECT_DOUBLE_EQ(s.get("ratio"), 0.5);
+    EXPECT_DOUBLE_EQ(s.get("div0"), 0.0);
+    ASSERT_NE(s.distribution("lat"), nullptr);
+    EXPECT_EQ(s.distribution("lat")->count(), 1u);
+    EXPECT_EQ(s.distribution("hits"), nullptr);
+}
+
+TEST(StatSet, ScalarFormatUnchangedByKind)
+{
+    // Counters and ratios must render exactly like legacy scalars
+    // so golden text comparisons stay stable.
+    StatSet legacy, typed;
+    legacy.add("a.count", 123.0);
+    legacy.add("a.ratio", 0.375);
+    typed.addCounter("a.count", 123);
+    typed.addRatio("a.ratio", 3, 8);
+    EXPECT_EQ(legacy.format(), typed.format());
+}
+
+TEST(StatSet, DistributionFormatExpands)
+{
+    StatSet s;
+    Distribution d(0.0, 4.0, 2);
+    d.sample(1.0);
+    d.sample(3.0);
+    s.addDistribution("lat", d);
+    const std::string out = s.format();
+    EXPECT_NE(out.find("lat.count"), std::string::npos) << out;
+    EXPECT_NE(out.find("lat.mean"), std::string::npos) << out;
+    EXPECT_NE(out.find("lat.hist"), std::string::npos) << out;
+}
+
+// ---------------------------------------------------------------
+// Trace sinks
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** Run a small workload on a factory-made system, tracing into
+ *  @p sink; returns the run's committed instruction count. */
+std::uint64_t
+tracedRun(const std::string &kind, TraceSink *sink)
+{
+    workloads::WorkloadParams wp;
+    wp.scale = 1;
+    workloads::Workload w = workloads::makeWorkload("compress", wp);
+
+    MainMemory mem;
+    SpecMemConfig cfg;
+    auto sys = makeSpecMem(kind, cfg, mem, sink);
+    w.program.loadInto(mem);
+    MultiscalarConfig cpu_cfg;
+    Processor cpu(cpu_cfg, w.program, *sys);
+    cpu.attachTracer(sink);
+    RunStats rs = cpu.run();
+    sys->finalizeMemory();
+    if (sink)
+        sink->flush();
+    return rs.committedInstructions;
+}
+
+} // namespace
+
+TEST(Trace, TextTraceIsDeterministic)
+{
+    std::ostringstream a, b;
+    TextTraceSink sink_a(a), sink_b(b);
+    const auto insns_a = tracedRun("svc", &sink_a);
+    const auto insns_b = tracedRun("svc", &sink_b);
+    EXPECT_EQ(insns_a, insns_b);
+    EXPECT_FALSE(a.str().empty());
+    EXPECT_EQ(a.str(), b.str()) << "same seed must give a "
+                                   "byte-identical trace";
+}
+
+TEST(Trace, CountingSinkSeesAllCategories)
+{
+    CountingTraceSink sink;
+    tracedRun("svc", &sink);
+    EXPECT_GT(sink.total, 0u);
+    EXPECT_GT(sink.perCat[static_cast<unsigned>(TraceCat::Bus)], 0u);
+    EXPECT_GT(sink.perCat[static_cast<unsigned>(TraceCat::Vcl)], 0u);
+    EXPECT_GT(sink.perCat[static_cast<unsigned>(TraceCat::Task)], 0u);
+}
+
+TEST(Trace, ChromeTraceIsWellFormedJson)
+{
+    std::ostringstream out;
+    {
+        ChromeTraceSink sink(out);
+        tracedRun("svc", &sink);
+    }
+    const std::string json = out.str();
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '[');
+    // Flushed and closed: last non-whitespace char is ']'.
+    const auto last = json.find_last_not_of(" \n\r\t");
+    ASSERT_NE(last, std::string::npos);
+    EXPECT_EQ(json[last], ']');
+    // Balanced braces and no trailing comma before the close.
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_FALSE(in_string);
+    EXPECT_EQ(json.find(",]"), std::string::npos);
+    // The acceptance categories all appear.
+    EXPECT_NE(json.find("\"cat\":\"bus\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"vcl\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"task\""), std::string::npos);
+}
+
+TEST(Trace, ChromeFlushIsIdempotent)
+{
+    std::ostringstream out;
+    ChromeTraceSink sink(out);
+    sink.emit({1, 0, TraceCat::Bus, "bus_grant", 0, 0x40, 0, "read"});
+    sink.flush();
+    const std::string once = out.str();
+    sink.flush();
+    EXPECT_EQ(out.str(), once);
+}
+
+// ---------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------
+
+TEST(SpecMemFactory, MakesEveryRegisteredKind)
+{
+    MainMemory mem;
+    SpecMemConfig cfg;
+    EXPECT_STREQ(makeSpecMem("svc", cfg, mem)->name(), "svc");
+    EXPECT_STREQ(makeSpecMem("arb", cfg, mem)->name(), "arb");
+    EXPECT_STREQ(makeSpecMem("ref", cfg, mem)->name(), "perfect");
+    EXPECT_STREQ(makeSpecMem("perfect", cfg, mem)->name(), "perfect");
+    EXPECT_GE(specMemKinds().size(), 4u);
+}
+
+TEST(SpecMemFactory, DowncastHelper)
+{
+    MainMemory mem;
+    SpecMemConfig cfg;
+    cfg.numPus = 2;
+    auto sys = makeSpecMem("ref", cfg, mem);
+    RefSpecMem &ref = specMemAs<RefSpecMem>(*sys);
+    ref.assignTaskF(0, 0);
+    EXPECT_EQ(ref.taskOf(0), 0u);
+}
+
+TEST(SpecMemFactory, CustomRegistration)
+{
+    registerSpecMem("ref-fast",
+                    [](const SpecMemConfig &c, MainMemory &m) {
+                        return std::make_unique<RefSpecMem>(
+                            m, c.numPus, Cycle{0});
+                    });
+    MainMemory mem;
+    SpecMemConfig cfg;
+    auto sys = makeSpecMem("ref-fast", cfg, mem);
+    EXPECT_STREQ(sys->name(), "perfect");
+}
+
+TEST(SpecMemFactory, AttachesTracerBeforeReturning)
+{
+    CountingTraceSink sink;
+    MainMemory mem;
+    SpecMemConfig cfg;
+    auto sys = makeSpecMem("svc", cfg, mem, &sink);
+    sys->assignTask(0, 0);
+    EXPECT_GT(sink.total, 0u) << "mem_assign must be traced";
+}

@@ -17,6 +17,7 @@
 
 #include "mem/main_memory.hh"
 #include "mem/ref_spec_mem.hh"
+#include "mem/spec_mem_factory.hh"
 #include "svc/protocol.hh"
 #include "tests/support/task_script.hh"
 
@@ -48,7 +49,12 @@ runSeed(std::uint64_t seed, SvcDesign design, unsigned line_bytes,
 
     MainMemory svc_mem, ref_mem;
     SvcProtocol proto(cfg, svc_mem);
-    RefSpecMem ref(ref_mem, 4);
+    // The reference is built through the factory like every other
+    // SpecMem; its functional lockstep API needs the concrete type.
+    SpecMemConfig ref_cfg;
+    ref_cfg.numPus = 4;
+    auto ref_sys = makeSpecMem("ref", ref_cfg, ref_mem);
+    RefSpecMem &ref = specMemAs<RefSpecMem>(*ref_sys);
 
     Rng rng(seed * 13 + 3);
     const std::size_t n = script.tasks.size();
