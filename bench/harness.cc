@@ -1,8 +1,10 @@
 #include "bench/harness.hh"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/log.hh"
 #include "isa/interpreter.hh"
 
 namespace svc::bench
@@ -11,12 +13,26 @@ namespace svc::bench
 unsigned
 benchScale(unsigned def)
 {
-    if (const char *env = std::getenv("SVC_BENCH_SCALE")) {
-        const int v = std::atoi(env);
-        if (v > 0)
-            return static_cast<unsigned>(v);
+    const char *env = std::getenv("SVC_BENCH_SCALE");
+    if (!env)
+        return def;
+    // Strict parse: a malformed value silently falling back to the
+    // default would invalidate a benchmark sweep without warning.
+    unsigned long v = 0;
+    const char *p = env;
+    if (*p == '\0')
+        fatal("SVC_BENCH_SCALE is empty: expected a positive integer");
+    for (; *p; ++p) {
+        if (!std::isdigit(static_cast<unsigned char>(*p)) ||
+            p - env > 8) {
+            fatal("invalid SVC_BENCH_SCALE '%s': expected a positive "
+                  "integer", env);
+        }
+        v = v * 10 + static_cast<unsigned long>(*p - '0');
     }
-    return def;
+    if (v == 0)
+        fatal("invalid SVC_BENCH_SCALE '%s': must be positive", env);
+    return static_cast<unsigned>(v);
 }
 
 SvcConfig

@@ -7,9 +7,19 @@
  *
  * Usage:
  *   ./build/examples/multiscalar_run [workload] [svc|arb|ref]
- *                                    [scale] [--trace FILE]
+ *                                    [scale] [--trace FILE] [--check]
+ *                                    [--faults SEED]
  * e.g.
  *   ./build/examples/multiscalar_run vortex svc 8 --trace out.json
+ *
+ * --check runs the protocol invariant engine after every bus
+ * transaction (svc memory system only) and fails the run with a
+ * structured report if any invariant is violated.
+ *
+ * --faults injects seeded transient faults (bus NACKs, delayed
+ * snoop responses, write-back stalls, spurious squashes) into the
+ * svc memory system; the run must still verify against the
+ * sequential interpreter — the full-stack recovery demonstration.
  *
  * A ".json" trace file is written in Chrome trace_event format —
  * open it at chrome://tracing (or https://ui.perfetto.dev) to see
@@ -17,16 +27,41 @@
  * per-PU timeline. Any other extension gets a plain text trace.
  */
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/invariants.hh"
 #include "isa/interpreter.hh"
+#include "mem/fault_injector.hh"
 #include "mem/spec_mem_factory.hh"
 #include "multiscalar/processor.hh"
+#include "svc/system.hh"
 #include "workloads/workloads.hh"
+
+namespace
+{
+
+/** Strict unsigned decimal parse; @return false on any garbage. */
+bool
+parseUnsigned(const std::string &text, unsigned &out)
+{
+    if (text.empty() || text.size() > 9)
+        return false;
+    unsigned long v = 0;
+    for (char c : text) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+        v = v * 10 + static_cast<unsigned long>(c - '0');
+    }
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -35,6 +70,9 @@ main(int argc, char **argv)
 
     std::vector<std::string> pos;
     std::string trace_path;
+    bool check = false;
+    bool faults = false;
+    unsigned fault_seed = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--trace") {
@@ -43,15 +81,34 @@ main(int argc, char **argv)
                 return 1;
             }
             trace_path = argv[++i];
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--faults") {
+            if (i + 1 >= argc ||
+                !parseUnsigned(argv[i + 1], fault_seed)) {
+                std::fprintf(stderr,
+                             "--faults needs an unsigned seed\n");
+                return 1;
+            }
+            ++i;
+            faults = true;
         } else {
             pos.push_back(arg);
         }
     }
     const std::string name = pos.size() > 0 ? pos[0] : "vortex";
     const std::string memsys = pos.size() > 1 ? pos[1] : "svc";
-    const unsigned scale =
-        pos.size() > 2 ? static_cast<unsigned>(std::atoi(pos[2].c_str()))
-                       : 4;
+    unsigned scale = 4;
+    if (pos.size() > 2 && (!parseUnsigned(pos[2], scale) ||
+                           scale == 0)) {
+        std::fprintf(stderr,
+                     "invalid scale '%s': expected a positive "
+                     "integer\nusage: multiscalar_run [workload] "
+                     "[svc|arb|ref] [scale] [--trace FILE] "
+                     "[--check] [--faults SEED]\n",
+                     pos[2].c_str());
+        return 1;
+    }
 
     workloads::WorkloadParams wp;
     wp.scale = scale;
@@ -66,8 +123,14 @@ main(int argc, char **argv)
                 (unsigned long long)ref.instructions);
 
     std::unique_ptr<TraceSink> sink;
-    if (!trace_path.empty())
-        sink = openTraceSink(trace_path);
+    if (!trace_path.empty()) {
+        std::string err;
+        sink = tryOpenTraceSink(trace_path, err);
+        if (!sink) {
+            std::fprintf(stderr, "trace: %s\n", err.c_str());
+            return 1;
+        }
+    }
 
     SpecMemConfig mem_cfg;
     mem_cfg.svc = makeDesign(SvcDesign::Final);
@@ -77,6 +140,33 @@ main(int argc, char **argv)
     MainMemory mem;
     std::unique_ptr<SpecMem> sys =
         makeSpecMem(memsys, mem_cfg, mem, sink.get());
+    FaultConfig fault_cfg;
+    fault_cfg.seed = fault_seed;
+    fault_cfg.nackPercent = 20;
+    fault_cfg.delayPercent = 20;
+    fault_cfg.wbStallPercent = 30;
+    fault_cfg.squashPer10k = 10;
+    fault_cfg.maxInjections = 200;
+    FaultInjector injector(fault_cfg);
+    InvariantEngine engine;
+    auto *svc_sys = dynamic_cast<SvcSystem *>(sys.get());
+    if ((check || faults) && !svc_sys) {
+        std::fprintf(stderr,
+                     "--check/--faults are only supported for the "
+                     "svc memory system\n");
+        return 1;
+    }
+    if (faults) {
+        svc_sys->attachFaultInjector(&injector);
+        std::printf("fault injection: seed %u (transient faults "
+                    "only; the run must still verify)\n",
+                    fault_seed);
+    }
+    if (check) {
+        svc_sys->attachInvariants(engine);
+        std::printf("invariant engine: checking after every "
+                    "bus transaction\n");
+    }
     w.program.loadInto(mem);
     Processor cpu(cpu_cfg, w.program, *sys);
     cpu.attachTracer(sink.get());
@@ -102,11 +192,35 @@ main(int argc, char **argv)
     std::printf("violation squashes     %llu\n",
                 (unsigned long long)rs.violationSquashes);
     std::printf("miss ratio             %.3f\n", sys->missRatio());
+    const bool verified =
+        checksum == ref_mem.readWord(w.checkBase);
     std::printf("verified               %s\n",
-                checksum == ref_mem.readWord(w.checkBase)
+                verified
                     ? "yes (checksum matches the interpreter)"
                     : "NO - MISMATCH");
+    if (faults) {
+        std::printf("injected faults        %llu\n",
+                    (unsigned long long)injector.totalInjected());
+    }
     std::printf("\n--- full statistics ---\n%s",
                 stats.format().c_str());
+
+    if (check) {
+        engine.runFinalChecks();
+        std::printf("invariant checks: %llu run, %s\n",
+                    (unsigned long long)engine.checksRun(),
+                    engine.clean() ? "all clean" : "VIOLATIONS");
+        if (!engine.clean()) {
+            std::fprintf(stderr, "%s\n",
+                         engine.formatReport().c_str());
+            return 1;
+        }
+    }
+    if (!verified) {
+        std::fprintf(stderr,
+                     "verification FAILED: final checksum does not "
+                     "match the sequential interpreter\n");
+        return 1;
+    }
     return 0;
 }

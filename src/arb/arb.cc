@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "arb/invariants.hh"
 #include "common/intmath.hh"
 #include "common/log.hh"
 
@@ -395,17 +396,12 @@ ArbCore::flushDataCache()
 void
 ArbCore::checkInvariants() const
 {
-    for (const auto &row : rows) {
-        if (!row.valid)
-            continue;
-        for (unsigned s = 0; s < cfg.numStages; ++s) {
-            const StageEntry &st = row.stages[s];
-            if ((st.loadMask || st.storeMask) &&
-                stageTasks[s] == kNoTask) {
-                panic("ARB invariant: live bits in a free stage");
-            }
-        }
-    }
+    ArbInvariantChecker checker(*this);
+    InvariantEngine eng; // only provides the cycle stamp (0)
+    InvariantReport rep(8);
+    checker.check(eng, rep);
+    if (!rep.clean())
+        panic("ARB invariant violated:\n%s", rep.format().c_str());
 }
 
 StatSet

@@ -183,6 +183,9 @@ class ArbCore
     /** Ensure @p addr's line is resident; @return the frame. */
     Dcache::Frame &dcacheEnsure(Addr addr, bool &hit);
 
+    /** Read-only deep inspection for the invariant checkers. */
+    friend class ArbInvariantChecker;
+
     ArbConfig cfg;
     MainMemory &mem;
     std::vector<Row> rows;

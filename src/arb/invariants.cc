@@ -1,0 +1,55 @@
+#include "arb/invariants.hh"
+
+#include <sstream>
+
+namespace svc
+{
+
+void
+ArbInvariantChecker::check(const InvariantEngine &eng,
+                           InvariantReport &rep)
+{
+    const Cycle now = eng.now();
+    for (const auto &row : arb.rows) {
+        if (!row.valid)
+            continue;
+        auto rowDump = [&]() {
+            std::ostringstream os;
+            os << "row word 0x" << std::hex << row.wordAddr
+               << std::dec << " arch=0x" << std::hex
+               << unsigned{row.archMask} << std::dec;
+            for (unsigned s = 0; s < row.stages.size(); ++s) {
+                os << "; stage " << s << " task ";
+                if (arb.stageTasks[s] == kNoTask)
+                    os << "-";
+                else
+                    os << arb.stageTasks[s];
+                os << " L=0x" << std::hex
+                   << unsigned{row.stages[s].loadMask} << " S=0x"
+                   << unsigned{row.stages[s].storeMask} << std::dec;
+            }
+            return os.str();
+        };
+        if (row.stages.size() != arb.cfg.numStages) {
+            rep.flag({"arb.stage_count",
+                      "row has " + std::to_string(row.stages.size()) +
+                          " stage entries for " +
+                          std::to_string(arb.cfg.numStages) +
+                          " stages",
+                      rowDump(), now, kNoPu, row.wordAddr});
+            continue;
+        }
+        for (unsigned s = 0; s < arb.cfg.numStages; ++s) {
+            const auto &st = row.stages[s];
+            if ((st.loadMask || st.storeMask) &&
+                arb.stageTasks[s] == kNoTask) {
+                rep.flag({"arb.free_stage_bits",
+                          "live load/store bits in unassigned stage " +
+                              std::to_string(s),
+                          rowDump(), now, kNoPu, row.wordAddr});
+            }
+        }
+    }
+}
+
+} // namespace svc

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * ARB invariant checker for the runtime invariant engine: every row
+ * of the Address Resolution Buffer must be internally consistent
+ * with the task-to-stage assignment — a stage slot with no assigned
+ * task can hold no live load/store bits (they could never be
+ * committed or squashed), and every valid row carries exactly one
+ * stage entry per configured stage.
+ */
+
+#ifndef SVC_ARB_INVARIANTS_HH
+#define SVC_ARB_INVARIANTS_HH
+
+#include "arb/arb.hh"
+#include "common/invariants.hh"
+
+namespace svc
+{
+
+/** Row/stage consistency validator for ArbCore. */
+class ArbInvariantChecker : public InvariantChecker
+{
+  public:
+    explicit ArbInvariantChecker(const ArbCore &core) : arb(core) {}
+
+    const char *name() const override { return "arb.rows"; }
+
+    void check(const InvariantEngine &eng,
+               InvariantReport &rep) override;
+
+  private:
+    const ArbCore &arb;
+};
+
+} // namespace svc
+
+#endif // SVC_ARB_INVARIANTS_HH

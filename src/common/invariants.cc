@@ -1,0 +1,182 @@
+#include "common/invariants.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace svc
+{
+
+namespace
+{
+
+bool
+checksDefault()
+{
+    const char *env = std::getenv("SVC_CHECKS");
+    if (env && std::strcmp(env, "0") == 0)
+        return false;
+    return true;
+}
+
+bool &
+checksFlag()
+{
+    static bool enabled = checksDefault();
+    return enabled;
+}
+
+} // namespace
+
+bool
+runtimeChecksEnabled()
+{
+    return checksFlag();
+}
+
+void
+setRuntimeChecks(bool enabled)
+{
+    checksFlag() = enabled;
+}
+
+std::string
+InvariantReport::format() const
+{
+    std::ostringstream os;
+    os << "invariant report: " << nFlagged << " finding(s)";
+    if (nSuppressed)
+        os << " (" << nSuppressed << " suppressed)";
+    os << "\n";
+    for (const InvariantFinding &f : list) {
+        os << "  [" << f.invariant << "] cycle " << f.cycle;
+        if (f.pu != kNoPu)
+            os << " pu " << f.pu;
+        if (f.addr != kNoAddr)
+            os << " addr 0x" << std::hex << f.addr << std::dec;
+        os << ": " << f.message << "\n";
+        if (!f.diagnostic.empty()) {
+            std::istringstream lines(f.diagnostic);
+            std::string line;
+            while (std::getline(lines, line))
+                os << "    | " << line << "\n";
+        }
+    }
+    return os.str();
+}
+
+InvariantEngine::InvariantEngine(InvariantConfig config)
+    : cfg(config), report_(config.maxFindings)
+{}
+
+void
+InvariantEngine::addChecker(std::unique_ptr<InvariantChecker> checker)
+{
+    checkers.push_back(std::move(checker));
+}
+
+void
+InvariantEngine::emit(const TraceEvent &ev)
+{
+    lastCycle = ev.cycle;
+
+    // Conservation bookkeeping from well-known event names. The
+    // names are part of the observability layer's stable vocabulary
+    // (DESIGN.md "Observability").
+    if (ev.cat == TraceCat::Bus) {
+        if (std::strcmp(ev.name, "bus_request") == 0)
+            ++nBusRequests;
+        else if (std::strcmp(ev.name, "bus_grant") == 0)
+            ++nBusGrants;
+        else if (std::strcmp(ev.name, "bus_nack") == 0)
+            ++nBusNacks;
+    } else if (ev.cat == TraceCat::Mshr && ev.pu != kNoPu) {
+        if (mshrPerPu.size() <= ev.pu)
+            mshrPerPu.resize(ev.pu + 1, 0);
+        if (std::strcmp(ev.name, "mshr_alloc") == 0)
+            ++mshrPerPu[ev.pu];
+        else if (std::strcmp(ev.name, "mshr_retire") == 0)
+            --mshrPerPu[ev.pu];
+    }
+
+    if (downstream)
+        downstream->emit(ev);
+
+    // Anchor the checks on completed bus transactions: at grant
+    // time the perform() callback has finished every protocol state
+    // change, so the global state is consistent.
+    if (ev.cat == TraceCat::Bus &&
+        std::strcmp(ev.name, "bus_grant") == 0 && !inCheck) {
+        if (cfg.granularity == CheckGranularity::EveryBusTransaction)
+            runChecks(ev.cycle);
+        else if (cfg.granularity == CheckGranularity::EveryNCycles &&
+                 ev.cycle >= lastCheckCycle + cfg.interval)
+            runChecks(ev.cycle);
+    }
+}
+
+std::int64_t
+InvariantEngine::mshrOutstanding(PuId pu) const
+{
+    return pu < mshrPerPu.size() ? mshrPerPu[pu] : 0;
+}
+
+void
+InvariantEngine::noteFindings(std::size_t before)
+{
+    if (cfg.abortOnViolation && report_.findings().size() > before) {
+        panic("invariant violation detected:\n%s",
+              report_.format().c_str());
+    }
+}
+
+void
+InvariantEngine::runChecks(Cycle now)
+{
+    // Checkers may walk components that themselves emit events;
+    // guard against recursive anchoring.
+    inCheck = true;
+    lastCheckCycle = now;
+    ++nChecks;
+    const std::size_t before = report_.findings().size();
+    for (auto &c : checkers)
+        c->check(*this, report_);
+    inCheck = false;
+    noteFindings(before);
+}
+
+void
+InvariantEngine::runFinalChecks()
+{
+    inCheck = true;
+    ++nChecks;
+    const std::size_t before = report_.findings().size();
+    for (auto &c : checkers)
+        c->checkFinal(*this, report_);
+    inCheck = false;
+    noteFindings(before);
+}
+
+void
+InvariantEngine::flush()
+{
+    runFinalChecks();
+    if (downstream)
+        downstream->flush();
+}
+
+StatSet
+InvariantEngine::stats() const
+{
+    StatSet s;
+    s.addCounter("checks_run", nChecks);
+    s.addCounter("findings", report_.flagged());
+    s.addCounter("bus_requests_seen", nBusRequests);
+    s.addCounter("bus_grants_seen", nBusGrants);
+    s.addCounter("bus_nacks_seen", nBusNacks);
+    return s;
+}
+
+} // namespace svc

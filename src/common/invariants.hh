@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Runtime invariant engine. The engine is a TraceSink: it subscribes
+ * to the structured event stream of the observability layer, keeps
+ * cheap conservation counters derived from the events (bus requests
+ * vs. grants, MSHR allocations vs. retirements), and runs a set of
+ * registered InvariantCheckers at configurable anchor points — after
+ * every bus transaction, every N cycles, or only at end of run.
+ *
+ * Checkers validate the paper's global protocol properties (see
+ * DESIGN.md "Paper invariants") against live component state and
+ * report violations as structured findings: a short invariant id, a
+ * human-readable message, and a multi-line diagnostic dump (VOL /
+ * line state) — instead of undefined behavior or a bare abort().
+ *
+ * The engine chains to an optional downstream sink, so tracing to a
+ * file and invariant checking compose.
+ */
+
+#ifndef SVC_COMMON_INVARIANTS_HH
+#define SVC_COMMON_INVARIANTS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/trace.hh"
+#include "common/types.hh"
+
+namespace svc
+{
+
+/**
+ * Global switch for the SVC_CHECK release-mode assertions (see
+ * svc/protocol.hh). Defaults to enabled; reads the SVC_CHECKS
+ * environment variable once ("0" disables). Tests and benches can
+ * override programmatically.
+ */
+bool runtimeChecksEnabled();
+
+/** Override the SVC_CHECK switch (tests / benchmarks). */
+void setRuntimeChecks(bool enabled);
+
+/** One detected invariant violation. */
+struct InvariantFinding
+{
+    /** Short stable identifier, e.g. "svc.vol_ptr_range". */
+    std::string invariant;
+    /** One-line human-readable description of the violation. */
+    std::string message;
+    /** Structured multi-line state dump (VOL / line state / ...). */
+    std::string diagnostic;
+    Cycle cycle = 0;
+    PuId pu = kNoPu;
+    Addr addr = kNoAddr;
+};
+
+/** Collector passed to checkers; caps the number of findings. */
+class InvariantReport
+{
+  public:
+    explicit InvariantReport(std::size_t max_findings = 64)
+        : cap(max_findings)
+    {}
+
+    /** Record @p f (dropped once the cap is reached). */
+    void
+    flag(InvariantFinding f)
+    {
+        ++nFlagged;
+        if (list.size() < cap)
+            list.push_back(std::move(f));
+        else
+            ++nSuppressed;
+    }
+
+    bool clean() const { return list.empty(); }
+    const std::vector<InvariantFinding> &findings() const
+    {
+        return list;
+    }
+    Counter flagged() const { return nFlagged; }
+    Counter suppressed() const { return nSuppressed; }
+
+    /** Render every finding (message + diagnostic) as text. */
+    std::string format() const;
+
+  private:
+    std::size_t cap;
+    std::vector<InvariantFinding> list;
+    Counter nFlagged = 0;
+    Counter nSuppressed = 0;
+};
+
+class InvariantEngine;
+
+/** One subsystem's invariant validator. */
+class InvariantChecker
+{
+  public:
+    virtual ~InvariantChecker() = default;
+
+    /** Stable checker name ("svc.protocol", "svc.system", ...). */
+    virtual const char *name() const = 0;
+
+    /** Validate at an anchor point; flag violations into @p rep. */
+    virtual void check(const InvariantEngine &eng,
+                       InvariantReport &rep) = 0;
+
+    /**
+     * Validate at end of run. Defaults to check(); checkers whose
+     * property only holds once the run has drained (e.g. memory
+     * image equivalence) override this and make check() a no-op.
+     */
+    virtual void
+    checkFinal(const InvariantEngine &eng, InvariantReport &rep)
+    {
+        check(eng, rep);
+    }
+};
+
+/** When the engine runs its checkers. */
+enum class CheckGranularity : std::uint8_t
+{
+    EveryBusTransaction, ///< at each bus_grant event
+    EveryNCycles,        ///< at the first bus_grant >= N cycles later
+    EndOfRun,            ///< only from flush()
+};
+
+/** Engine configuration. */
+struct InvariantConfig
+{
+    CheckGranularity granularity =
+        CheckGranularity::EveryBusTransaction;
+    /** Check interval for EveryNCycles. */
+    Cycle interval = 1000;
+    /** Maximum findings retained (further ones are counted only). */
+    std::size_t maxFindings = 64;
+    /** panic() with the full report on the first finding — turns
+     *  the engine into a hard tripwire for fuzzing and CI. */
+    bool abortOnViolation = false;
+};
+
+/**
+ * The invariant engine. Install it as (or chained in front of) the
+ * trace sink of the system under test, register checkers, and
+ * inspect findings()/clean() — or set abortOnViolation.
+ */
+class InvariantEngine : public TraceSink
+{
+  public:
+    explicit InvariantEngine(InvariantConfig config = {});
+
+    /** Forward every event to @p sink as well (nullptr: none). */
+    void chain(TraceSink *sink) { downstream = sink; }
+
+    /** Register @p checker; the engine owns it. */
+    void addChecker(std::unique_ptr<InvariantChecker> checker);
+
+    // ---- TraceSink ----
+    void emit(const TraceEvent &ev) override;
+    /** Runs the end-of-run checks, then flushes downstream. */
+    void flush() override;
+
+    /** Run every checker's periodic check now (anchor @p now). */
+    void runChecks(Cycle now);
+
+    /** Run every checker's end-of-run check (idempotent per call). */
+    void runFinalChecks();
+
+    // ---- Results ----
+    bool clean() const { return report_.clean(); }
+    const std::vector<InvariantFinding> &findings() const
+    {
+        return report_.findings();
+    }
+    std::string formatReport() const { return report_.format(); }
+    Counter checksRun() const { return nChecks; }
+
+    // ---- Event-derived conservation state (for checkers) ----
+
+    /** bus_request events minus bus_grant events so far. */
+    std::int64_t busOutstanding() const
+    {
+        return static_cast<std::int64_t>(nBusRequests) -
+               static_cast<std::int64_t>(nBusGrants);
+    }
+    Counter busRequests() const { return nBusRequests; }
+    Counter busGrants() const { return nBusGrants; }
+    Counter busNacks() const { return nBusNacks; }
+
+    /** mshr_alloc minus mshr_retire events for @p pu so far. */
+    std::int64_t mshrOutstanding(PuId pu) const;
+
+    /** Cycle stamp of the most recent event. */
+    Cycle now() const { return lastCycle; }
+
+    StatSet stats() const;
+
+  private:
+    void noteFindings(std::size_t before);
+
+    InvariantConfig cfg;
+    TraceSink *downstream = nullptr;
+    std::vector<std::unique_ptr<InvariantChecker>> checkers;
+    InvariantReport report_;
+    Counter nChecks = 0;
+    Counter nBusRequests = 0;
+    Counter nBusGrants = 0;
+    Counter nBusNacks = 0;
+    std::vector<std::int64_t> mshrPerPu;
+    Cycle lastCycle = 0;
+    Cycle lastCheckCycle = 0;
+    bool inCheck = false;
+};
+
+} // namespace svc
+
+#endif // SVC_COMMON_INVARIANTS_HH

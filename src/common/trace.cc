@@ -165,4 +165,20 @@ openTraceSink(const std::string &path)
     return std::make_unique<FileTraceSink>(path);
 }
 
+std::unique_ptr<TraceSink>
+tryOpenTraceSink(const std::string &path, std::string &error)
+{
+    // Probe with a plain ofstream first: FileTraceSink's
+    // constructor treats an unopenable path as fatal.
+    {
+        std::ofstream probe(path);
+        if (!probe) {
+            error = "cannot open '" + path + "' for writing";
+            return nullptr;
+        }
+    }
+    error.clear();
+    return std::make_unique<FileTraceSink>(path);
+}
+
 } // namespace svc

@@ -152,6 +152,14 @@ class FileTraceSink : public TraceSink
 /** Convenience: open a FileTraceSink (see above). */
 std::unique_ptr<TraceSink> openTraceSink(const std::string &path);
 
+/**
+ * Non-fatal variant for tools that want to report the problem and
+ * exit cleanly: @return nullptr if @p path cannot be opened for
+ * writing, with a description in @p error.
+ */
+std::unique_ptr<TraceSink> tryOpenTraceSink(const std::string &path,
+                                            std::string &error);
+
 } // namespace svc
 
 #endif // SVC_COMMON_TRACE_HH

@@ -28,6 +28,7 @@ SnoopingBus::stats() const
     s.addCounter("bus_reads", transactionCount(BusCmd::BusRead));
     s.addCounter("bus_writes", transactionCount(BusCmd::BusWrite));
     s.addCounter("bus_wbacks", transactionCount(BusCmd::BusWback));
+    s.addCounter("nacks", nNacks);
     s.addDistribution("occupancy", occupancyDist);
     s.addDistribution("arb_wait", waitDist);
     return s;

@@ -6,6 +6,15 @@
  * bus cycles the transaction occupies (the paper's typical
  * transaction is 3 processor cycles, plus one extra cycle when a
  * committed version is flushed to the next level of memory).
+ *
+ * The bus also implements a bounded retry-with-backoff path: a
+ * grant may be negatively acknowledged (today only by an attached
+ * FaultInjector; a real hierarchy would NACK on buffer exhaustion),
+ * in which case the request re-arbitrates after an exponential
+ * backoff. NACKs are bounded per request, so forward progress is
+ * guaranteed, and the perform() callback is *not* run on a NACKed
+ * grant — no protocol state changes, the transient fault is
+ * invisible to the functional protocol.
  */
 
 #ifndef SVC_MEM_BUS_HH
@@ -19,6 +28,7 @@
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
+#include "mem/fault_injector.hh"
 
 namespace svc
 {
@@ -46,6 +56,8 @@ struct BusRequest
     std::function<Cycle(Cycle grant_cycle)> perform;
     /** Cycle the request was enqueued (for wait-time stats). */
     Cycle issueCycle = 0;
+    /** NACK count so far (bounded by the bus retry limit). */
+    unsigned retries = 0;
 };
 
 /**
@@ -75,10 +87,33 @@ class SnoopingBus
     tick(Cycle now)
     {
         ++observedCycles;
+        // Matured backoffs re-arbitrate ahead of fresh requests
+        // (they have already waited), preserving relative order.
+        if (!deferred.empty())
+            promoteMatured(now);
         if (now < busyUntil || queue.empty())
             return;
         BusRequest req = std::move(queue.front());
         queue.pop_front();
+        if (faults &&
+            faults->nackBusGrant(req.retries, retryLimit)) {
+            // Negative acknowledge: the arbitration cycle is spent,
+            // no protocol work happens, and the request backs off
+            // exponentially before re-arbitrating.
+            ++nNacks;
+            busyCycles += 1;
+            busyUntil = now + 1;
+            const Cycle backoff =
+                backoffBase << (req.retries < 4 ? req.retries : 4);
+            ++req.retries;
+            if (tracer) {
+                tracer->emit({now, 0, TraceCat::Bus, "bus_nack",
+                              req.requester, req.lineAddr,
+                              req.retries, busCmdName(req.cmd)});
+            }
+            deferred.push_back({now + backoff, std::move(req)});
+            return;
+        }
         ++transactions[static_cast<unsigned>(req.cmd)];
         const Cycle occupancy = req.perform(now);
         busyCycles += occupancy;
@@ -98,11 +133,33 @@ class SnoopingBus
     /** Route bus events into @p sink (nullptr disables tracing). */
     void attachTracer(TraceSink *sink) { tracer = sink; }
 
+    /**
+     * Consult @p injector before every grant (nullptr: no faults).
+     * @p max_retries bounds NACKs per request; @p backoff_base is
+     * the first backoff delay (doubling per retry, capped).
+     */
+    void
+    attachFaultInjector(FaultInjector *injector,
+                        unsigned max_retries = 4,
+                        Cycle backoff_base = 2)
+    {
+        faults = injector;
+        retryLimit = max_retries;
+        backoffBase = backoff_base;
+    }
+
     /** @return true if a transaction is in flight at cycle @p now. */
     bool busy(Cycle now) const { return now < busyUntil; }
 
-    /** @return number of requests waiting for the bus. */
-    std::size_t pending() const { return queue.size(); }
+    /** @return number of requests waiting for the bus, including
+     *  NACKed requests sitting out their backoff. */
+    std::size_t pending() const
+    {
+        return queue.size() + deferred.size();
+    }
+
+    /** NACKed grants so far. */
+    Counter nackCount() const { return nNacks; }
 
     /** busy-cycle / observed-cycle ratio (paper Table 3). */
     double
@@ -130,8 +187,45 @@ class SnoopingBus
     StatSet stats() const;
 
   private:
+    /** One NACKed request sitting out its backoff. */
+    struct DeferredRequest
+    {
+        Cycle readyAt = 0;
+        BusRequest req;
+    };
+
+    /** Move every matured deferred request to the queue front. */
+    void
+    promoteMatured(Cycle now)
+    {
+        std::deque<BusRequest> matured;
+        for (auto it = deferred.begin(); it != deferred.end();) {
+            if (it->readyAt <= now) {
+                if (tracer) {
+                    tracer->emit({now, 0, TraceCat::Bus, "bus_retry",
+                                  it->req.requester, it->req.lineAddr,
+                                  it->req.retries,
+                                  busCmdName(it->req.cmd)});
+                }
+                matured.push_back(std::move(it->req));
+                it = deferred.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        while (!matured.empty()) {
+            queue.push_front(std::move(matured.back()));
+            matured.pop_back();
+        }
+    }
+
     std::deque<BusRequest> queue;
+    std::deque<DeferredRequest> deferred;
     TraceSink *tracer = nullptr;
+    FaultInjector *faults = nullptr;
+    unsigned retryLimit = 4;
+    Cycle backoffBase = 2;
+    Counter nNacks = 0;
     Cycle busyUntil = 0;
     Counter busyCycles = 0;
     Counter observedCycles = 0;

@@ -1,0 +1,28 @@
+#include "mem/fault_injector.hh"
+
+namespace svc
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::BusNack:
+        return "bus_nack";
+      case FaultKind::SnoopDelay:
+        return "snoop_delay";
+      case FaultKind::WritebackStall:
+        return "wb_stall";
+      case FaultKind::SpuriousSquash:
+        return "spurious_squash";
+      case FaultKind::CorruptVolPointer:
+        return "corrupt_vol_ptr";
+      case FaultKind::CorruptMask:
+        return "corrupt_mask";
+      case FaultKind::CorruptData:
+        return "corrupt_data";
+    }
+    return "unknown";
+}
+
+} // namespace svc

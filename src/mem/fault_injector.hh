@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Deterministic fault injection. A FaultInjector owns a seeded RNG
+ * and answers yes/no (or how-long) queries from the timed memory
+ * system's fault points:
+ *
+ *  - bus NACKs: a granted request is negatively acknowledged and
+ *    must re-arbitrate after a bounded exponential backoff;
+ *  - delayed snoop responses: a transaction's occupancy stretches;
+ *  - write-back buffer stalls: a flush is forced onto the slow
+ *    (serialized) path as if the buffer were full;
+ *  - spurious task squashes: the sequencer receives a violation
+ *    report for a task that did nothing wrong.
+ *
+ * All of these are *transient* faults: a correct system recovers
+ * and produces results identical to a fault-free run (the fault
+ * matrix ctest tier verifies exactly this). Protocol *corruption*
+ * faults — forged VOL pointers, impossible mask bits, flipped data
+ * bytes — mutate SVC line state directly and must be *detected* by
+ * the invariant engine; they are applied by svc::SvcCorruptor
+ * (svc/corruptor.hh), which records its injections here so one
+ * object carries the whole fault ledger.
+ *
+ * Determinism: decisions consume the injector's private RNG in call
+ * order, so a given (seed, config, workload) triple always injects
+ * the same faults at the same points.
+ */
+
+#ifndef SVC_MEM_FAULT_INJECTOR_HH
+#define SVC_MEM_FAULT_INJECTOR_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace svc
+{
+
+/** Every fault kind the injection layer knows about. */
+enum class FaultKind : std::uint8_t
+{
+    // Transient (recoverable) faults.
+    BusNack,        ///< grant negatively acknowledged; retry
+    SnoopDelay,     ///< slow snoop response stretches occupancy
+    WritebackStall, ///< write-back buffer behaves as if full
+    SpuriousSquash, ///< violation reported for an innocent task
+    // Protocol corruption (must be detected, never recovered).
+    CorruptVolPointer, ///< forged out-of-range VOL pointer
+    CorruptMask,       ///< S/V mask bit that cannot legally exist
+    CorruptData,       ///< flipped byte in a clean copy
+};
+
+/** Number of fault kinds (for counter arrays). */
+inline constexpr unsigned kNumFaultKinds = 7;
+
+/** @return a printable name for @p kind. */
+const char *faultKindName(FaultKind kind);
+
+/** Injection rates and bounds. All rates default to 0 (no faults). */
+struct FaultConfig
+{
+    std::uint64_t seed = 1;
+    /** Probability (percent) that a bus grant is NACKed. Applies
+     *  only while the request is under its retry bound, so forward
+     *  progress is guaranteed even at 100. */
+    unsigned nackPercent = 0;
+    /** Probability (percent) that a snoop response is delayed. */
+    unsigned delayPercent = 0;
+    /** Extra occupancy cycles of a delayed snoop response. */
+    Cycle delayCycles = 4;
+    /** Probability (percent) that a flush sees a "full" buffer. */
+    unsigned wbStallPercent = 0;
+    /** Spurious-squash probability per tick, in units of 1/10000. */
+    unsigned squashPer10k = 0;
+    /** Hard cap on total injections (keeps runs terminating even
+     *  under aggressive rates). */
+    std::uint64_t maxInjections = UINT64_MAX;
+};
+
+/** The deterministic fault oracle (see file comment). */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &config)
+        : cfg(config), rng(config.seed * 0x9e3779b97f4a7c15ull + 1)
+    {}
+
+    /**
+     * Should the bus NACK the grant of a request that has already
+     * been retried @p retries times? Never fires at or above the
+     * retry bound, so every request is eventually served.
+     */
+    bool
+    nackBusGrant(unsigned retries, unsigned retry_limit)
+    {
+        if (cfg.nackPercent == 0 || retries >= retry_limit)
+            return false;
+        ++nQueries;
+        if (!budgetLeft() || !rng.chance(cfg.nackPercent))
+            return false;
+        return inject(FaultKind::BusNack);
+    }
+
+    /** Extra occupancy cycles for this snoop response (0: none). */
+    Cycle
+    snoopResponseDelay()
+    {
+        if (cfg.delayPercent == 0)
+            return 0;
+        ++nQueries;
+        if (!budgetLeft() || !rng.chance(cfg.delayPercent))
+            return 0;
+        inject(FaultKind::SnoopDelay);
+        return cfg.delayCycles;
+    }
+
+    /** Should this flush behave as if the WB buffer were full? */
+    bool
+    writebackStall()
+    {
+        if (cfg.wbStallPercent == 0)
+            return false;
+        ++nQueries;
+        if (!budgetLeft() || !rng.chance(cfg.wbStallPercent))
+            return false;
+        return inject(FaultKind::WritebackStall);
+    }
+
+    /** Should the system report a spurious violation this tick? */
+    bool
+    spuriousSquash()
+    {
+        if (cfg.squashPer10k == 0)
+            return false;
+        ++nQueries;
+        if (!budgetLeft() || rng.below(10000) >= cfg.squashPer10k)
+            return false;
+        return inject(FaultKind::SpuriousSquash);
+    }
+
+    /** Record a corruption applied externally (SvcCorruptor). */
+    void recordCorruption(FaultKind kind) { inject(kind); }
+
+    /** The injector's RNG, for corruption-site selection. */
+    Rng &raw() { return rng; }
+
+    Counter injected(FaultKind kind) const
+    {
+        return counts[static_cast<unsigned>(kind)];
+    }
+
+    Counter
+    totalInjected() const
+    {
+        Counter t = 0;
+        for (Counter c : counts)
+            t += c;
+        return t;
+    }
+
+    /** Times any fault point consulted the injector. */
+    Counter queries() const { return nQueries; }
+
+    StatSet
+    stats() const
+    {
+        StatSet s;
+        s.addCounter("queries", nQueries);
+        for (unsigned k = 0; k < kNumFaultKinds; ++k) {
+            s.addCounter(faultKindName(static_cast<FaultKind>(k)),
+                         counts[k]);
+        }
+        return s;
+    }
+
+  private:
+    bool budgetLeft() const { return totalInjected() < cfg.maxInjections; }
+
+    bool
+    inject(FaultKind kind)
+    {
+        ++counts[static_cast<unsigned>(kind)];
+        return true;
+    }
+
+    FaultConfig cfg;
+    Rng rng;
+    Counter nQueries = 0;
+    Counter counts[kNumFaultKinds] = {};
+};
+
+} // namespace svc
+
+#endif // SVC_MEM_FAULT_INJECTOR_HH

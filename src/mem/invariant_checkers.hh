@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Memory-level invariant checkers: final-image equivalence between
+ * a system under test and a reference memory (the SVC-vs-reference
+ * value-equivalence property at the coarsest, whole-run scope).
+ */
+
+#ifndef SVC_MEM_INVARIANT_CHECKERS_HH
+#define SVC_MEM_INVARIANT_CHECKERS_HH
+
+#include <sstream>
+
+#include "common/invariants.hh"
+#include "mem/main_memory.hh"
+
+namespace svc
+{
+
+/**
+ * End-of-run checker: the architected memory images of two runs
+ * over [base, base+length) must hash identically. The caller must
+ * finalize both systems (drain lazy commits) before the final
+ * check runs.
+ */
+class MemoryEquivalenceChecker : public InvariantChecker
+{
+  public:
+    MemoryEquivalenceChecker(const MainMemory &got,
+                             const MainMemory &want, Addr base,
+                             std::size_t length)
+        : gotMem(got), wantMem(want), base_(base), len(length)
+    {}
+
+    const char *name() const override { return "mem.equivalence"; }
+
+    /** Mid-run images legitimately differ (lazy commits); no-op. */
+    void check(const InvariantEngine &, InvariantReport &) override {}
+
+    void
+    checkFinal(const InvariantEngine &eng,
+               InvariantReport &rep) override
+    {
+        const std::uint64_t got = gotMem.hashRange(base_, len);
+        const std::uint64_t want = wantMem.hashRange(base_, len);
+        if (got == want)
+            return;
+        std::ostringstream diag;
+        diag << "hash got 0x" << std::hex << got << " want 0x"
+             << want << std::dec << " over [0x" << std::hex << base_
+             << ", 0x" << base_ + len << ")" << std::dec;
+        // Pinpoint the first differing byte for the diagnostic.
+        for (std::size_t i = 0; i < len; ++i) {
+            const auto g = gotMem.readByte(base_ + i);
+            const auto w = wantMem.readByte(base_ + i);
+            if (g != w) {
+                diag << "\nfirst difference at 0x" << std::hex
+                     << base_ + i << ": got 0x" << unsigned{g}
+                     << " want 0x" << unsigned{w} << std::dec;
+                break;
+            }
+        }
+        rep.flag({"mem.final_image",
+                  "final memory image diverges from the reference",
+                  diag.str(), eng.now(), kNoPu, base_});
+    }
+
+  private:
+    const MainMemory &gotMem;
+    const MainMemory &wantMem;
+    Addr base_;
+    std::size_t len;
+};
+
+} // namespace svc
+
+#endif // SVC_MEM_INVARIANT_CHECKERS_HH

@@ -36,6 +36,7 @@ class WritebackBuffer
     bool full() const { return entries.size() >= cap; }
     bool empty() const { return entries.empty(); }
     std::size_t size() const { return entries.size(); }
+    unsigned capacity() const { return cap; }
 
     /** Park a write-back; caller must have checked full(). */
     void

@@ -1,0 +1,152 @@
+#include "svc/corruptor.hh"
+
+#include <vector>
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace svc
+{
+
+namespace
+{
+
+/** One mutable resident (pu, line) pair. */
+struct Target
+{
+    PuId pu;
+    Addr addr;
+    SvcLine *line;
+    unsigned bit; ///< versioning-block index (mask/data kinds)
+};
+
+} // namespace
+
+CorruptionResult
+SvcCorruptor::corrupt(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::CorruptVolPointer:
+        return corruptVolPointer();
+      case FaultKind::CorruptMask:
+        return corruptMask();
+      case FaultKind::CorruptData:
+        return corruptData();
+      default:
+        panic("SvcCorruptor: %s is not a corruption kind",
+              faultKindName(kind));
+    }
+}
+
+CorruptionResult
+SvcCorruptor::corruptVolPointer()
+{
+    std::vector<Target> targets;
+    for (Addr a : proto.residentAddrs()) {
+        for (PuId pu = 0; pu < proto.cfg.numPus; ++pu) {
+            if (auto *f = proto.caches[pu].find(a))
+                targets.push_back({pu, a, &f->payload, 0});
+        }
+    }
+    CorruptionResult res;
+    if (targets.empty())
+        return res;
+    Target &t = targets[faults.raw().below(targets.size())];
+    const PuId forged = proto.cfg.numPus + 1 +
+                        static_cast<PuId>(faults.raw().below(8));
+    t.line->nextPu = forged;
+    faults.recordCorruption(FaultKind::CorruptVolPointer);
+    res.injected = true;
+    res.pu = t.pu;
+    res.addr = t.addr;
+    res.note = "forged VOL pointer to nonexistent pu " +
+               std::to_string(forged);
+    return res;
+}
+
+CorruptionResult
+SvcCorruptor::corruptMask()
+{
+    const unsigned vbs = proto.cfg.blocksPerLine();
+    // Preferred mutation: set an S bit on a versioning block with no
+    // valid data (violates S ⊆ V). Fallback when every resident
+    // line is fully valid: set a mask bit beyond the line's blocks.
+    std::vector<Target> s_targets, range_targets;
+    for (Addr a : proto.residentAddrs()) {
+        for (PuId pu = 0; pu < proto.cfg.numPus; ++pu) {
+            auto *f = proto.caches[pu].find(a);
+            if (!f)
+                continue;
+            SvcLine &l = f->payload;
+            const std::uint64_t invalid = ~l.vMask & mask(vbs);
+            if (invalid != 0) {
+                for (unsigned vb = 0; vb < vbs; ++vb) {
+                    if (invalid & (1ull << vb))
+                        s_targets.push_back({pu, a, &l, vb});
+                }
+            }
+            if (vbs < 64)
+                range_targets.push_back({pu, a, &l, vbs});
+        }
+    }
+    CorruptionResult res;
+    auto &targets = !s_targets.empty() ? s_targets : range_targets;
+    if (targets.empty())
+        return res;
+    Target &t = targets[faults.raw().below(targets.size())];
+    t.line->sMask |= 1ull << t.bit;
+    faults.recordCorruption(FaultKind::CorruptMask);
+    res.injected = true;
+    res.pu = t.pu;
+    res.addr = t.addr;
+    res.note = "set illegal store-mask bit " + std::to_string(t.bit);
+    return res;
+}
+
+CorruptionResult
+SvcCorruptor::corruptData()
+{
+    // Flip one byte of a *clean* copy block (V set, S clear): its
+    // value is fully determined by the closest previous version (or
+    // memory), so the mutation must trip the value-consistency
+    // check. Flipping a version's own bytes would be undetectable —
+    // a version is the definition of its value.
+    const unsigned vbs = proto.cfg.blocksPerLine();
+    std::vector<Target> targets;
+    for (Addr a : proto.residentAddrs()) {
+        for (PuId pu = 0; pu < proto.cfg.numPus; ++pu) {
+            auto *f = proto.caches[pu].find(a);
+            if (!f)
+                continue;
+            SvcLine &l = f->payload;
+            // Stale pure copies are outside the checker's reach by
+            // design (their reference version is ambiguous, see
+            // svc/invariants.cc), so they are not eligible targets.
+            if (l.isPassive() && !l.isDirty() && l.stale)
+                continue;
+            const std::uint64_t clean = l.vMask & ~l.sMask;
+            for (unsigned vb = 0; vb < vbs; ++vb) {
+                if (clean & (1ull << vb))
+                    targets.push_back({pu, a, &l, vb});
+            }
+        }
+    }
+    CorruptionResult res;
+    if (targets.empty())
+        return res;
+    Target &t = targets[faults.raw().below(targets.size())];
+    const unsigned byte =
+        t.bit * proto.cfg.versioningBytes +
+        static_cast<unsigned>(
+            faults.raw().below(proto.cfg.versioningBytes));
+    t.line->data[byte] ^= 0xFF;
+    faults.recordCorruption(FaultKind::CorruptData);
+    res.injected = true;
+    res.pu = t.pu;
+    res.addr = t.addr;
+    res.note = "flipped byte " + std::to_string(byte) +
+               " of clean block " + std::to_string(t.bit);
+    return res;
+}
+
+} // namespace svc

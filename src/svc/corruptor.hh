@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deliberate protocol-state corruption for fault-injection tests:
+ * forge a VOL pointer, set an illegal mask bit, or flip a byte of a
+ * clean copy. Each corruption produces a state the invariant engine
+ * (svc/invariants.hh) must detect and report with a structured
+ * diagnostic — the test harness for "corruption is flagged, never
+ * silent UB".
+ *
+ * The corruptor draws its choices from the FaultInjector's seeded
+ * RNG, so a corruption campaign is exactly reproducible from the
+ * fault seed.
+ */
+
+#ifndef SVC_SVC_CORRUPTOR_HH
+#define SVC_SVC_CORRUPTOR_HH
+
+#include <string>
+
+#include "mem/fault_injector.hh"
+#include "svc/protocol.hh"
+
+namespace svc
+{
+
+/** What a corrupt() call actually did (for test assertions). */
+struct CorruptionResult
+{
+    /** False when no resident state was eligible for the kind. */
+    bool injected = false;
+    PuId pu = kNoPu;
+    Addr addr = kNoAddr;
+    /** Human-readable description of the mutation. */
+    std::string note;
+};
+
+/** Mutates live SvcProtocol state (friend access) on demand. */
+class SvcCorruptor
+{
+  public:
+    SvcCorruptor(SvcProtocol &protocol, FaultInjector &injector)
+        : proto(protocol), faults(injector)
+    {}
+
+    /**
+     * Apply one corruption of @p kind (one of CorruptVolPointer,
+     * CorruptMask, CorruptData) to a randomly chosen resident line.
+     */
+    CorruptionResult corrupt(FaultKind kind);
+
+  private:
+    CorruptionResult corruptVolPointer();
+    CorruptionResult corruptMask();
+    CorruptionResult corruptData();
+
+    SvcProtocol &proto;
+    FaultInjector &faults;
+};
+
+} // namespace svc
+
+#endif // SVC_SVC_CORRUPTOR_HH

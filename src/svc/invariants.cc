@@ -1,0 +1,275 @@
+#include "svc/invariants.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "common/intmath.hh"
+#include "svc/system.hh"
+#include "svc/vol.hh"
+
+namespace svc
+{
+
+void
+SvcProtocolChecker::check(const InvariantEngine &eng,
+                          InvariantReport &rep)
+{
+    for (Addr a : proto.residentAddrs())
+        checkLine(a, eng.now(), rep);
+}
+
+void
+SvcProtocolChecker::checkLine(Addr line_addr, Cycle now,
+                              InvariantReport &rep)
+{
+    // snoop() only reads state but is non-const (it hands out
+    // mutable line pointers for the protocol's own use).
+    auto *self = const_cast<SvcProtocol *>(&proto);
+    const Vol vol = self->snoop(line_addr);
+    const SvcConfig &cfg = proto.cfg;
+    const auto &ordered = vol.ordered();
+
+    auto flag = [&](const char *id, const std::string &msg, PuId pu) {
+        rep.flag({id, msg, proto.dumpLineState(line_addr), now, pu,
+                  line_addr});
+    };
+    auto puStr = [](PuId pu) {
+        return "pu " + std::to_string(pu);
+    };
+
+    const std::uint64_t legal = mask(cfg.blocksPerLine());
+    TaskSeq min_active = kNoTask;
+    for (PuId p = 0; p < cfg.numPus; ++p) {
+        if (proto.tasks[p] != kNoTask)
+            min_active = std::min(min_active, proto.tasks[p]);
+    }
+
+    bool seen_active = false;
+    TaskSeq last_committed_seq = 0;
+    unsigned nonstale_dirty = 0;
+    std::size_t nonstale_idx = 0;
+    std::size_t last_dirty_idx = 0;
+    bool any_dirty = false;
+
+    for (std::size_t idx = 0; idx < ordered.size(); ++idx) {
+        const VolNode &n = ordered[idx];
+        const SvcLine &line = *n.line;
+
+        // -- Mask well-formedness (paper fig. 16 line format). --
+        if ((line.vMask | line.sMask | line.lMask) & ~legal) {
+            flag("svc.mask_range",
+                 puStr(n.pu) + ": mask bit beyond the line's " +
+                     std::to_string(cfg.blocksPerLine()) +
+                     " versioning blocks",
+                 n.pu);
+        }
+        if (line.sMask & ~line.vMask) {
+            flag("svc.s_in_v",
+                 puStr(n.pu) +
+                     ": store mask not within valid mask",
+                 n.pu);
+        }
+        if (line.lMask & ~line.vMask) {
+            flag("svc.l_in_v",
+                 puStr(n.pu) + ": load mask not within valid mask",
+                 n.pu);
+        }
+
+        // -- VOL pointer range (paper section 3.2: pointers name
+        //    PUs). Dangling-but-in-range pointers are legal after a
+        //    squash (fig. 17); out-of-range pointers never are. --
+        if (line.nextPu != kNoPu && line.nextPu >= cfg.numPus) {
+            flag("svc.vol_ptr_range",
+                 puStr(n.pu) + ": VOL pointer names PU " +
+                     std::to_string(line.nextPu) + " of " +
+                     std::to_string(cfg.numPus),
+                 n.pu);
+        }
+
+        if (line.isActive()) {
+            seen_active = true;
+            // -- Active lines belong to the PU's current task
+            //    (sequencer task order, paper fig. 5). --
+            if (n.seq == kNoTask) {
+                flag("svc.active_idle_pu",
+                     puStr(n.pu) + ": active line on an idle PU",
+                     n.pu);
+            } else if (line.debugSeq != n.seq) {
+                flag("svc.active_task_order",
+                     puStr(n.pu) +
+                         ": active line created by task " +
+                         std::to_string(line.debugSeq) +
+                         " but the PU runs task " +
+                         std::to_string(n.seq),
+                     n.pu);
+            }
+        } else {
+            // -- Committed entries precede active entries. --
+            if (seen_active) {
+                flag("svc.vol_order",
+                     puStr(n.pu) +
+                         ": passive entry after an active entry",
+                     n.pu);
+            }
+            if (line.isDirty() && line.debugSeq != kNoTask) {
+                // -- Committed data never comes from a task the
+                //    sequencer still considers speculative. --
+                if (min_active != kNoTask &&
+                    line.debugSeq >= min_active) {
+                    flag("svc.committed_before_head",
+                         puStr(n.pu) +
+                             ": committed version of task " +
+                             std::to_string(line.debugSeq) +
+                             " is not older than the head",
+                         n.pu);
+                }
+                // -- Committed versions appear in program order. --
+                if (line.debugSeq < last_committed_seq) {
+                    flag("svc.committed_order",
+                         puStr(n.pu) +
+                             ": committed versions out of program "
+                             "order in the VOL",
+                         n.pu);
+                }
+                last_committed_seq = line.debugSeq;
+            }
+        }
+
+        if (line.isDirty()) {
+            any_dirty = true;
+            last_dirty_idx = idx;
+            if (!line.stale) {
+                ++nonstale_dirty;
+                nonstale_idx = idx;
+            }
+        }
+    }
+
+    // -- Single-dirty-last (paper section 3.4.3): the stale bit may
+    //    conservatively mark the newest version stale (post-squash),
+    //    but at most one version can claim to be the most recent,
+    //    and it must be the newest dirty entry in the VOL. --
+    if (nonstale_dirty > 1) {
+        flag("svc.single_dirty_last",
+             std::to_string(nonstale_dirty) +
+                 " non-stale versions of one line",
+             ordered[nonstale_idx].pu);
+    } else if (nonstale_dirty == 1 && any_dirty &&
+               nonstale_idx != last_dirty_idx) {
+        flag("svc.single_dirty_last",
+             "a non-stale version is older than another version",
+             ordered[nonstale_idx].pu);
+    }
+
+    // -- Value consistency (the property that makes stale-bit reads
+    //    safe, sections 3.4.3/3.8): every clean versioning block of
+    //    every entry must equal the version it is a copy of, or
+    //    architected memory when no version covers the block.
+    //
+    //    Which version that is depends on how reliable the entry's
+    //    VOL position is. Active entries and passive *dirty* entries
+    //    sit in reliably ordered positions (task program order /
+    //    the surviving pointer chain), so their reference is the
+    //    closest previous version by position. Passive pure copies
+    //    can land in disconnected chain segments whose relative
+    //    order is arbitrary, so position means nothing for them:
+    //    a *stale* copy legally holds any historical image (skip);
+    //    a *non-stale* copy is by definition a copy of the most
+    //    recent version, i.e. the newest S holder anywhere in the
+    //    VOL. --
+    const unsigned vb_bytes = cfg.versioningBytes;
+    for (unsigned vb = 0; vb < cfg.blocksPerLine(); ++vb) {
+        const std::uint64_t bit = 1ull << vb;
+        for (std::size_t idx = 0; idx < ordered.size(); ++idx) {
+            const SvcLine &line = *ordered[idx].line;
+            if (!(line.vMask & bit) || (line.sMask & bit))
+                continue;
+            const bool pure_copy =
+                line.isPassive() && !line.isDirty();
+            if (pure_copy && line.stale)
+                continue;
+            const std::size_t scan_from =
+                pure_copy ? ordered.size() : idx;
+            const std::uint8_t *want = nullptr;
+            std::uint8_t mem_bytes[kMaxLineBytes];
+            for (std::size_t j = scan_from; j-- > 0;) {
+                if (j == idx)
+                    continue;
+                const SvcLine &prev = *ordered[j].line;
+                if (prev.sMask & bit) {
+                    want = prev.data.data() + vb * vb_bytes;
+                    break;
+                }
+            }
+            if (!want) {
+                proto.mem.readBlock(line_addr + vb * vb_bytes,
+                                    mem_bytes, vb_bytes);
+                want = mem_bytes;
+            }
+            const std::uint8_t *got =
+                line.data.data() + vb * vb_bytes;
+            if (std::memcmp(got, want, vb_bytes) != 0) {
+                flag("svc.copy_value",
+                     puStr(ordered[idx].pu) + ": clean copy of vb " +
+                         std::to_string(vb) +
+                         " diverges from its reference version",
+                     ordered[idx].pu);
+            }
+        }
+    }
+}
+
+void
+SvcSystemChecker::check(const InvariantEngine &eng,
+                        InvariantReport &rep)
+{
+    const SvcConfig &cfg = sys.config();
+    const Cycle now = eng.now();
+
+    auto sysDump = [&]() {
+        std::ostringstream os;
+        os << "bus pending " << sys.bus().pending()
+           << ", event balance " << eng.busOutstanding()
+           << "; wb buffer " << sys.writebackBuffer().size() << "/"
+           << sys.writebackBuffer().capacity();
+        for (PuId p = 0; p < cfg.numPus; ++p) {
+            os << "; mshr" << p << " " << sys.mshrFile(p).inFlight()
+               << " (events " << eng.mshrOutstanding(p) << ")";
+        }
+        return os.str();
+    };
+
+    for (PuId p = 0; p < cfg.numPus; ++p) {
+        const unsigned have = sys.mshrFile(p).inFlight();
+        if (have > cfg.numMshrs) {
+            rep.flag({"svc.mshr_bound",
+                      "MSHR file exceeds its configured capacity",
+                      sysDump(), now, p, kNoAddr});
+        }
+        if (static_cast<std::int64_t>(have) !=
+            eng.mshrOutstanding(p)) {
+            rep.flag({"svc.mshr_conservation",
+                      "MSHR occupancy diverges from the "
+                      "alloc/retire event balance",
+                      sysDump(), now, p, kNoAddr});
+        }
+    }
+
+    if (sys.writebackBuffer().size() >
+        sys.writebackBuffer().capacity()) {
+        rep.flag({"svc.wb_bound",
+                  "write-back buffer exceeds its capacity",
+                  sysDump(), now, kNoPu, kNoAddr});
+    }
+
+    if (eng.busOutstanding() !=
+        static_cast<std::int64_t>(sys.bus().pending())) {
+        rep.flag({"svc.bus_conservation",
+                  "bus queue occupancy diverges from the "
+                  "request/grant event balance",
+                  sysDump(), now, kNoPu, kNoAddr});
+    }
+}
+
+} // namespace svc

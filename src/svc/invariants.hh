@@ -1,0 +1,83 @@
+/**
+ * @file
+ * SVC invariant checkers for the runtime invariant engine
+ * (common/invariants.hh):
+ *
+ *  - SvcProtocolChecker validates the paper's cross-cache protocol
+ *    properties over every resident line: mask well-formedness, VOL
+ *    pointer range and ordering vs. the sequencer's task order,
+ *    commit ordering, the single-dirty-last property of the stale
+ *    bit, and byte-level value consistency of every clean copy
+ *    against its closest previous version (the property that makes
+ *    stale-bit reads safe);
+ *
+ *  - SvcSystemChecker validates the timed layer's conservation
+ *    properties: per-PU MSHR occupancy equals the alloc/retire
+ *    event balance and respects the configured bound, the
+ *    write-back buffer respects its capacity, and bus queue
+ *    occupancy equals the request/grant event balance.
+ *
+ * Soundness notes (why some "obvious" checks are absent): after a
+ * squash, dangling VOL pointers and all-stale lines are *legal*
+ * (paper figure 17 — repair happens on the next access), so the
+ * checkers never require chain completeness or a non-stale last
+ * version; they only reject states no execution can repair.
+ */
+
+#ifndef SVC_SVC_INVARIANTS_HH
+#define SVC_SVC_INVARIANTS_HH
+
+#include "common/invariants.hh"
+#include "svc/protocol.hh"
+
+namespace svc
+{
+
+class SvcSystem;
+
+/** Cross-cache protocol state validator (see file comment). */
+class SvcProtocolChecker : public InvariantChecker
+{
+  public:
+    explicit SvcProtocolChecker(const SvcProtocol &protocol)
+        : proto(protocol)
+    {}
+
+    const char *name() const override { return "svc.protocol"; }
+
+    void check(const InvariantEngine &eng,
+               InvariantReport &rep) override;
+
+  private:
+    void checkLine(Addr line_addr, Cycle now, InvariantReport &rep);
+
+    const SvcProtocol &proto;
+};
+
+/** Timed-layer conservation validator (see file comment). */
+class SvcSystemChecker : public InvariantChecker
+{
+  public:
+    explicit SvcSystemChecker(const SvcSystem &system) : sys(system)
+    {}
+
+    const char *name() const override { return "svc.system"; }
+
+    void check(const InvariantEngine &eng,
+               InvariantReport &rep) override;
+
+    /** Conservation must also hold drained at end of run. */
+    void
+    checkFinal(const InvariantEngine &eng,
+               InvariantReport &rep) override
+    {
+        check(eng, rep);
+    }
+
+  private:
+    const SvcSystem &sys;
+};
+
+} // namespace svc
+
+#endif // SVC_SVC_INVARIANTS_HH

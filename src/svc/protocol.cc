@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <set>
+#include <sstream>
 
 #include "common/intmath.hh"
 #include "common/log.hh"
+#include "svc/invariants.hh"
 
 namespace svc
 {
@@ -29,8 +31,8 @@ SvcProtocol::SvcProtocol(const SvcConfig &config, MainMemory &memory)
 void
 SvcProtocol::assignTask(PuId pu, TaskSeq seq)
 {
-    assert(pu < cfg.numPus);
-    assert(seq != kNoTask);
+    SVC_CHECK(*this, pu < cfg.numPus, pu, kNoAddr);
+    SVC_CHECK(*this, seq != kNoTask, pu, kNoAddr);
     tasks[pu] = seq;
     trace(TraceCat::Task, "mem_assign", pu, kNoAddr, seq);
 }
@@ -72,6 +74,11 @@ SvcProtocol::snoop(Addr line_addr)
     std::vector<VolNode> nodes;
     for (PuId pu = 0; pu < cfg.numPus; ++pu) {
         if (Frame *f = caches[pu].find(line_addr)) {
+            // Plain assert, not SVC_CHECK: snoop() runs inside the
+            // invariant checkers and the SVC_CHECK failure path
+            // (dumpLineState); it must tolerate — not abort on —
+            // states the checkers exist to report. The equivalent
+            // property is the checker's "svc.active_idle_pu".
             assert(f->payload.isPassive() || tasks[pu] != kNoTask);
             nodes.push_back({pu, &f->payload, tasks[pu]});
         }
@@ -136,7 +143,7 @@ SvcProtocol::purgeCommitted(Addr line_addr, Vol &vol)
     }
     for (PuId pu : purged) {
         Frame *f = caches[pu].find(line_addr);
-        assert(f);
+        SVC_CHECK(*this, f != nullptr, pu, line_addr);
         caches[pu].invalidate(*f);
         vol.erase(pu);
     }
@@ -308,16 +315,17 @@ SvcProtocol::wouldHit(PuId pu, Addr addr, unsigned size,
 AccessResult
 SvcProtocol::load(PuId pu, Addr addr, unsigned size)
 {
-    assert(pu < cfg.numPus && tasks[pu] != kNoTask);
-    assert(size >= 1 && size <= 8);
+    SVC_CHECK(*this, pu < cfg.numPus && tasks[pu] != kNoTask, pu,
+              addr);
+    SVC_CHECK(*this, size >= 1 && size <= 8, pu, addr);
     AccessResult res;
     ++nLoads;
 
     Storage &cache = caches[pu];
     const Addr line_addr = cache.lineAddr(addr);
     const unsigned offset = addr & (cfg.lineBytes - 1);
-    assert(offset + size <= cfg.lineBytes &&
-           "accesses must not cross a line boundary");
+    // Accesses must not cross a line boundary.
+    SVC_CHECK(*this, offset + size <= cfg.lineBytes, pu, line_addr);
     const std::uint64_t vbs = vbMaskFor(offset, size);
 
     Frame *f = cache.find(line_addr);
@@ -359,7 +367,7 @@ SvcProtocol::load(PuId pu, Addr addr, unsigned size)
     if (res.stalled)
         return res;
     f = cache.find(line_addr);
-    assert(f);
+    SVC_CHECK(*this, f != nullptr, pu, line_addr);
     for (unsigned i = 0; i < size; ++i)
         res.data |= std::uint64_t{f->payload.data[offset + i]} << (8 * i);
     return res;
@@ -460,7 +468,7 @@ void
 SvcProtocol::snarf(Addr line_addr, PuId requester, AccessResult &res)
 {
     const Frame *req_frame = caches[requester].find(line_addr);
-    assert(req_frame);
+    SVC_CHECK(*this, req_frame != nullptr, requester, line_addr);
     const TaskSeq req_seq = tasks[requester];
 
     Vol vol = snoop(line_addr);
@@ -493,7 +501,8 @@ SvcProtocol::snarf(Addr line_addr, PuId requester, AccessResult &res)
             continue;
         AccessResult dummy;
         Frame *nf = obtainFrame(pu, line_addr, dummy);
-        assert(nf && "a free frame was verified above");
+        // A free frame was verified above.
+        SVC_CHECK(*this, nf != nullptr, pu, line_addr);
         SvcLine &nl = nf->payload;
         nl.data = req_frame->payload.data;
         nl.vMask = req_frame->payload.vMask;
@@ -521,16 +530,17 @@ AccessResult
 SvcProtocol::store(PuId pu, Addr addr, unsigned size,
                    std::uint64_t value)
 {
-    assert(pu < cfg.numPus && tasks[pu] != kNoTask);
-    assert(size >= 1 && size <= 8);
+    SVC_CHECK(*this, pu < cfg.numPus && tasks[pu] != kNoTask, pu,
+              addr);
+    SVC_CHECK(*this, size >= 1 && size <= 8, pu, addr);
     AccessResult res;
     ++nStores;
 
     Storage &cache = caches[pu];
     const Addr line_addr = cache.lineAddr(addr);
     const unsigned offset = addr & (cfg.lineBytes - 1);
-    assert(offset + size <= cfg.lineBytes &&
-           "accesses must not cross a line boundary");
+    // Accesses must not cross a line boundary.
+    SVC_CHECK(*this, offset + size <= cfg.lineBytes, pu, line_addr);
     const std::uint64_t vbs = vbMaskFor(offset, size);
 
     std::uint8_t bytes[8];
@@ -699,7 +709,7 @@ SvcProtocol::busWrite(PuId pu, Addr line_addr, std::uint64_t store_vbs,
                 other.lMask &= ~(1ull << vb);
                 if (other.vMask == 0) {
                     Frame *of = caches[n.pu].find(line_addr);
-                    assert(of);
+                    SVC_CHECK(*this, of != nullptr, n.pu, line_addr);
                     caches[n.pu].invalidate(*of);
                 }
                 continue;
@@ -728,7 +738,8 @@ SvcProtocol::busWrite(PuId pu, Addr line_addr, std::uint64_t store_vbs,
                     other.vMask &= ~(1ull << vb);
                     if (other.vMask == 0) {
                         Frame *of = caches[n.pu].find(line_addr);
-                        assert(of);
+                        SVC_CHECK(*this, of != nullptr, n.pu,
+                                  line_addr);
                         caches[n.pu].invalidate(*of);
                     }
                 }
@@ -765,8 +776,10 @@ SvcProtocol::busWrite(PuId pu, Addr line_addr, std::uint64_t store_vbs,
 CommitResult
 SvcProtocol::commitTask(PuId pu)
 {
-    assert(pu < cfg.numPus && tasks[pu] != kNoTask);
-    assert(isHeadPu(pu) && "only the head task can commit");
+    SVC_CHECK(*this, pu < cfg.numPus && tasks[pu] != kNoTask, pu,
+              kNoAddr);
+    // Only the head task can commit.
+    SVC_CHECK(*this, isHeadPu(pu), pu, kNoAddr);
     CommitResult res;
     ++nCommits;
     trace(TraceCat::Task, "mem_commit", pu, kNoAddr, tasks[pu],
@@ -810,7 +823,7 @@ SvcProtocol::commitTask(PuId pu)
 void
 SvcProtocol::squashTask(PuId pu)
 {
-    assert(pu < cfg.numPus);
+    SVC_CHECK(*this, pu < cfg.numPus, pu, kNoAddr);
     ++nSquashes;
     trace(TraceCat::Task, "mem_squash", pu, kNoAddr, tasks[pu]);
     Storage &cache = caches[pu];
@@ -864,58 +877,92 @@ SvcProtocol::peekLine(PuId pu, Addr addr) const
     return f ? &f->payload : nullptr;
 }
 
-void
-SvcProtocol::checkInvariants() const
+std::vector<Addr>
+SvcProtocol::residentAddrs() const
 {
-    // Gather every resident line address.
     std::set<Addr> addrs;
     for (PuId pu = 0; pu < cfg.numPus; ++pu) {
         caches[pu].forEachValid([&](const Frame &f) {
             addrs.insert(caches[pu].frameAddr(f));
         });
     }
-    auto *self = const_cast<SvcProtocol *>(this);
-    for (Addr a : addrs) {
-        Vol vol = self->snoop(a);
-        const auto &ordered = vol.ordered();
-        TaskSeq min_active = kNoTask;
-        for (PuId p = 0; p < cfg.numPus; ++p) {
-            if (tasks[p] != kNoTask)
-                min_active = std::min(min_active, tasks[p]);
-        }
-        TaskSeq last_version_seq = 0;
-        bool seen_active = false;
-        for (const VolNode &n : ordered) {
-            const SvcLine &line = *n.line;
-            // Stored blocks must hold valid data.
-            if ((line.sMask & ~line.vMask) != 0)
-                panic("SVC invariant: S mask not within V mask");
-            if ((line.lMask & ~line.vMask) != 0)
-                panic("SVC invariant: L mask not within V mask");
-            if (line.isActive()) {
-                seen_active = true;
-                if (n.seq == kNoTask)
-                    panic("SVC invariant: active line on idle PU");
-            } else {
-                if (seen_active)
-                    panic("SVC invariant: passive entry after "
-                          "active entry in VOL");
-                if (line.debugSeq != kNoTask &&
-                    min_active != kNoTask &&
-                    line.debugSeq >= min_active && line.isDirty())
-                    panic("SVC invariant: committed version from a "
-                          "task newer than the head");
-                if (line.isDirty()) {
-                    if (line.debugSeq != kNoTask &&
-                        line.debugSeq < last_version_seq)
-                        panic("SVC invariant: committed versions "
-                              "out of order in VOL");
-                    if (line.debugSeq != kNoTask)
-                        last_version_seq = line.debugSeq;
-                }
-            }
-        }
+    return {addrs.begin(), addrs.end()};
+}
+
+std::string
+SvcProtocol::dumpLineState(Addr line_addr) const
+{
+    std::ostringstream os;
+    os << "line 0x" << std::hex << line_addr << std::dec << " ("
+       << cfg.numPus << " pus, " << cfg.blocksPerLine() << " vbs):";
+    bool any = false;
+    for (PuId pu = 0; pu < cfg.numPus; ++pu) {
+        const auto *f = caches[pu].find(line_addr);
+        if (!f)
+            continue;
+        any = true;
+        const SvcLine &l = f->payload;
+        os << "\npu " << pu;
+        if (tasks[pu] != kNoTask)
+            os << " (task " << tasks[pu] << ")";
+        else
+            os << " (idle)";
+        os << ": V=0x" << std::hex << l.vMask << " S=0x" << l.sMask
+           << " L=0x" << l.lMask << std::dec;
+        os << (l.commit ? " C" : "") << (l.stale ? " T" : "")
+           << (l.arch ? " A" : "") << (l.shared ? " X" : "");
+        os << " next=";
+        if (l.nextPu == kNoPu)
+            os << "-";
+        else
+            os << l.nextPu;
+        os << " seq=";
+        if (l.debugSeq == kNoTask)
+            os << "-";
+        else
+            os << l.debugSeq;
     }
+    if (!any) {
+        os << " not resident";
+        return os.str();
+    }
+    // The reconstructed VOL order (what the VCL would compute).
+    const Vol vol = const_cast<SvcProtocol *>(this)->snoop(line_addr);
+    os << "\nVOL:";
+    for (const VolNode &n : vol.ordered()) {
+        os << " pu" << n.pu
+           << (n.line->isActive() ? "(active)" : "(passive)");
+    }
+    return os.str();
+}
+
+void
+SvcProtocol::checkFailed(const char *expr, const char *file, int line,
+                         PuId pu, Addr addr) const
+{
+    // Re-entrancy guard: if producing the diagnostic itself fails a
+    // check, abort with the original context instead of recursing.
+    static bool failing = false;
+    if (failing)
+        panic("SVC_CHECK failed recursively: %s at %s:%d", expr, file,
+              line);
+    failing = true;
+    std::string dump = addr != kNoAddr
+                           ? dumpLineState(addr)
+                           : std::string("(no line context)");
+    panic("SVC_CHECK failed: %s\n  at %s:%d (pu %u)\n%s", expr, file,
+          line, pu, dump.c_str());
+}
+
+void
+SvcProtocol::checkInvariants() const
+{
+    SvcProtocolChecker checker(*this);
+    InvariantEngine eng; // only provides the cycle stamp (0: untimed)
+    InvariantReport rep(8);
+    checker.check(eng, rep);
+    if (!rep.clean())
+        panic("SVC invariant violated:\n%s", rep.format().c_str());
 }
 
 StatSet

@@ -16,8 +16,10 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "common/invariants.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
@@ -130,8 +132,33 @@ class SvcProtocol
     /** @return the line state for @p addr in @p pu's cache. */
     const SvcLine *peekLine(PuId pu, Addr addr) const;
 
-    /** Verify protocol invariants over every resident line. */
+    /**
+     * Verify protocol invariants over every resident line; panics
+     * with the first finding's message and diagnostic. Implemented
+     * on top of SvcProtocolChecker (svc/invariants.hh) — use the
+     * checker directly for structured, non-aborting reports.
+     */
     void checkInvariants() const;
+
+    /** @return every distinct resident line address, sorted. */
+    std::vector<Addr> residentAddrs() const;
+
+    /**
+     * Render the full cross-cache state of @p line_addr: each
+     * cache's masks/bits plus the reconstructed VOL order — the
+     * structured diagnostic attached to invariant findings and
+     * SVC_CHECK failures.
+     */
+    std::string dumpLineState(Addr line_addr) const;
+
+    /**
+     * SVC_CHECK failure path: logs the failed expression and the
+     * offending line's VOL + state dump, then panics. Out of line
+     * so the check macro stays branch-cheap.
+     */
+    [[noreturn]] void checkFailed(const char *expr, const char *file,
+                                  int line, PuId pu,
+                                  Addr addr) const;
 
     const SvcConfig &config() const { return cfg; }
 
@@ -258,8 +285,28 @@ class SvcProtocol
     std::vector<TaskSeq> tasks;
     TraceSink *tracer = nullptr;
     const Cycle *clk = nullptr;
+
+    /** Read-only deep inspection for the invariant checkers. */
+    friend class SvcProtocolChecker;
+    /** Deliberate state mutation for fault-injection tests. */
+    friend class SvcCorruptor;
 };
 
 } // namespace svc
+
+/**
+ * Release-mode protocol assertion. Unlike assert(), SVC_CHECK is
+ * compiled in every build type and gated by the runtime switch
+ * (common/invariants.hh: runtimeChecksEnabled, SVC_CHECKS=0 env).
+ * On failure it dumps the offending line's VOL + state before
+ * aborting. @p proto is the SvcProtocol, @p pu/@p addr give the
+ * failure context (kNoPu / kNoAddr when not applicable).
+ */
+#define SVC_CHECK(proto, cond, pu, addr)                              \
+    do {                                                              \
+        if (::svc::runtimeChecksEnabled() && !(cond)) [[unlikely]]    \
+            (proto).checkFailed(#cond, __FILE__, __LINE__, (pu),      \
+                                (addr));                              \
+    } while (0)
 
 #endif // SVC_SVC_PROTOCOL_HH

@@ -1,8 +1,10 @@
 #include "svc/system.hh"
 
 #include <cassert>
+#include <memory>
 
 #include "common/log.hh"
+#include "svc/invariants.hh"
 
 namespace svc
 {
@@ -25,6 +27,23 @@ SvcSystem::attachTracer(TraceSink *sink)
     proto.attachTracer(sink, &currentCycle);
     for (PuId pu = 0; pu < cfg.numPus; ++pu)
         mshrs[pu].attachTracer(sink, &currentCycle, pu);
+}
+
+void
+SvcSystem::attachFaultInjector(FaultInjector *injector)
+{
+    faults = injector;
+    snoopBus.attachFaultInjector(injector);
+}
+
+void
+SvcSystem::attachInvariants(InvariantEngine &engine)
+{
+    engine.addChecker(std::make_unique<SvcProtocolChecker>(proto));
+    engine.addChecker(std::make_unique<SvcSystemChecker>(*this));
+    // Keep any sink attached earlier: the engine tees into it.
+    engine.chain(tracer);
+    attachTracer(&engine);
 }
 
 void
@@ -170,7 +189,10 @@ SvcSystem::performMiss(const MemReq &req, Cycle grant,
     // extra flush cycles into this transaction.
     Cycle flush_cycles = 0;
     for (unsigned f = 0; f < res.flushes; ++f) {
-        if (wbBuffer.full()) {
+        // An injected stall makes the buffer behave as if full:
+        // purely extra latency, never a functional change.
+        if (wbBuffer.full() ||
+            (faults && faults->writebackStall())) {
             flush_cycles += cfg.busFlushExtra;
             ++nWbFullStalls;
         } else {
@@ -178,9 +200,13 @@ SvcSystem::performMiss(const MemReq &req, Cycle grant,
             ++nDeferredFlushes;
         }
     }
+    // An injected snoop-response delay stretches the transaction's
+    // bus occupancy (a slow responder), again timing-only.
+    const Cycle snoop_delay =
+        faults ? faults->snoopResponseDelay() : Cycle{0};
     const Cycle occupancy =
         (res.busUsed ? cfg.busTransferCycles : Cycle{1}) +
-        flush_cycles;
+        flush_cycles + snoop_delay;
     const Cycle fill_delay =
         occupancy + (res.memSupplied ? cfg.missPenalty : Cycle{0});
     missLatency.sample(
@@ -265,6 +291,28 @@ void
 SvcSystem::tick()
 {
     ++currentCycle;
+    // Spurious squash injection: report a dependence violation on
+    // the youngest non-head busy PU. The protocol state is never
+    // touched here — the sequencer's normal squash/replay recovery
+    // runs, which is exactly what makes the fault survivable.
+    if (faults && onViolation) {
+        PuId victim = kNoPu;
+        for (PuId p = 0; p < cfg.numPus; ++p) {
+            const TaskSeq t = proto.taskOf(p);
+            if (t == kNoTask || proto.isHeadPu(p))
+                continue;
+            if (victim == kNoPu || t > proto.taskOf(victim))
+                victim = p;
+        }
+        if (victim != kNoPu && faults->spuriousSquash()) {
+            if (tracer) {
+                tracer->emit({currentCycle, 0, TraceCat::Task,
+                              "fault_squash", victim, kNoAddr,
+                              proto.taskOf(victim), nullptr});
+            }
+            onViolation(victim);
+        }
+    }
     // Drain one parked write-back per idle bus cycle.
     if (!wbBuffer.empty() && !snoopBus.busy(currentCycle) &&
         snoopBus.pending() == 0) {

@@ -17,8 +17,10 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/invariants.hh"
 #include "common/types.hh"
 #include "mem/bus.hh"
+#include "mem/fault_injector.hh"
 #include "mem/main_memory.hh"
 #include "mem/mshr.hh"
 #include "mem/writeback_buffer.hh"
@@ -57,6 +59,30 @@ class SvcSystem : public SpecMem
     SvcProtocol &protocol() { return proto; }
     const SnoopingBus &bus() const { return snoopBus; }
     Cycle now() const { return currentCycle; }
+
+    /** Read-only component access for the invariant checkers. */
+    const SvcProtocol &protocol() const { return proto; }
+    const MshrFile &mshrFile(PuId pu) const { return mshrs[pu]; }
+    const WritebackBuffer &writebackBuffer() const { return wbBuffer; }
+    const SvcConfig &config() const { return cfg; }
+
+    /**
+     * Inject timing faults: bus NACKs (with bounded retry/backoff,
+     * see SnoopingBus), delayed snoop responses, write-back-buffer
+     * stalls, and spurious task squashes (reported through the
+     * violation handler exactly like a real dependence violation, so
+     * the sequencer's recovery path handles them). Must be wired
+     * before traffic starts; @p injector must outlive this system.
+     */
+    void attachFaultInjector(FaultInjector *injector);
+
+    /**
+     * Register this system's invariant checkers with @p engine and
+     * install the engine as this system's trace sink, chaining to
+     * any previously attached sink. Call before traffic starts so
+     * the engine's conservation counters see every event.
+     */
+    void attachInvariants(InvariantEngine &engine);
 
   private:
     /** Handle a miss once the bus grants it; the access result is
@@ -103,6 +129,7 @@ class SvcSystem : public SpecMem
     ViolationFn onViolation;
     Cycle currentCycle = 0;
     unsigned inFlight = 0;
+    FaultInjector *faults = nullptr;
 };
 
 } // namespace svc

@@ -1,0 +1,513 @@
+/**
+ * @file
+ * Tests for the runtime invariant engine and the fault-injection
+ * layer: event-derived conservation counters, check granularities,
+ * sink chaining, deterministic fault decisions, bounded bus
+ * NACK/retry recovery, corruption detection with structured
+ * diagnostics, SVC_CHECK release-mode assertions, and the graceful
+ * trace-open error path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/invariants.hh"
+#include "common/trace.hh"
+#include "mem/bus.hh"
+#include "mem/fault_injector.hh"
+#include "mem/invariant_checkers.hh"
+#include "mem/main_memory.hh"
+#include "svc/corruptor.hh"
+#include "svc/invariants.hh"
+#include "svc/protocol.hh"
+#include "svc/system.hh"
+#include "tests/support/engine_adapters.hh"
+#include "tests/support/task_script.hh"
+
+namespace svc
+{
+namespace
+{
+
+SvcConfig
+finalConfig()
+{
+    SvcConfig cfg;
+    cfg.numPus = 4;
+    cfg.cacheBytes = 8 * 1024;
+    cfg.assoc = 4;
+    cfg.lineBytes = 16;
+    cfg = makeDesign(SvcDesign::Final, cfg);
+    cfg.versioningBytes = 4;
+    return cfg;
+}
+
+TraceEvent
+busEvent(const char *name, Cycle cycle)
+{
+    return {cycle, 0, TraceCat::Bus, name, 0, 0x100, 0, nullptr};
+}
+
+/** Checker that counts invocations and optionally flags. */
+class ProbeChecker : public InvariantChecker
+{
+  public:
+    const char *name() const override { return "probe"; }
+
+    void
+    check(const InvariantEngine &, InvariantReport &rep) override
+    {
+        ++checkCalls;
+        if (flagEveryCheck) {
+            rep.flag({"probe.always", "requested finding",
+                      "probe diagnostic", 0, kNoPu, kNoAddr});
+        }
+    }
+
+    void
+    checkFinal(const InvariantEngine &, InvariantReport &) override
+    {
+        ++finalCalls;
+    }
+
+    unsigned checkCalls = 0;
+    unsigned finalCalls = 0;
+    bool flagEveryCheck = false;
+};
+
+TEST(InvariantReport, CapsFindingsAndCountsSuppressed)
+{
+    InvariantReport rep(2);
+    for (int i = 0; i < 5; ++i) {
+        rep.flag({"svc.test_id", "message " + std::to_string(i),
+                  "diag line", 7, 1, 0x40});
+    }
+    EXPECT_FALSE(rep.clean());
+    EXPECT_EQ(rep.findings().size(), 2u);
+    EXPECT_EQ(rep.flagged(), 5u);
+    EXPECT_EQ(rep.suppressed(), 3u);
+    const std::string text = rep.format();
+    EXPECT_NE(text.find("svc.test_id"), std::string::npos);
+    EXPECT_NE(text.find("message 0"), std::string::npos);
+    EXPECT_NE(text.find("diag line"), std::string::npos);
+    EXPECT_NE(text.find("suppressed"), std::string::npos);
+}
+
+TEST(InvariantEngine, TracksConservationCountersFromEvents)
+{
+    InvariantEngine eng;
+    eng.emit(busEvent("bus_request", 10));
+    eng.emit(busEvent("bus_request", 11));
+    eng.emit(busEvent("bus_nack", 12));
+    eng.emit(busEvent("bus_grant", 14));
+    eng.emit({15, 0, TraceCat::Mshr, "mshr_alloc", 2, 0x200, 0,
+              nullptr});
+    eng.emit({16, 0, TraceCat::Mshr, "mshr_alloc", 2, 0x240, 0,
+              nullptr});
+    eng.emit({20, 0, TraceCat::Mshr, "mshr_retire", 2, 0x200, 0,
+              nullptr});
+
+    EXPECT_EQ(eng.busRequests(), 2u);
+    EXPECT_EQ(eng.busGrants(), 1u);
+    EXPECT_EQ(eng.busNacks(), 1u);
+    EXPECT_EQ(eng.busOutstanding(), 1);
+    EXPECT_EQ(eng.mshrOutstanding(2), 1);
+    EXPECT_EQ(eng.mshrOutstanding(0), 0);
+    EXPECT_EQ(eng.now(), 20u);
+}
+
+TEST(InvariantEngine, ChainsEveryEventDownstream)
+{
+    InvariantEngine eng;
+    CountingTraceSink counting;
+    eng.chain(&counting);
+    eng.emit(busEvent("bus_request", 1));
+    eng.emit(busEvent("bus_grant", 2));
+    eng.emit({3, 0, TraceCat::Task, "task_assign", 1, kNoAddr, 4,
+              nullptr});
+    EXPECT_EQ(counting.total, 3u);
+    EXPECT_EQ(counting.count(TraceCat::Bus), 2u);
+    EXPECT_EQ(counting.count(TraceCat::Task), 1u);
+}
+
+TEST(InvariantEngine, ChecksAnchorOnEveryBusGrant)
+{
+    InvariantEngine eng;
+    auto probe = std::make_unique<ProbeChecker>();
+    ProbeChecker *p = probe.get();
+    eng.addChecker(std::move(probe));
+
+    eng.emit(busEvent("bus_request", 1));
+    EXPECT_EQ(p->checkCalls, 0u) << "requests are not anchors";
+    eng.emit(busEvent("bus_grant", 2));
+    eng.emit(busEvent("bus_grant", 3));
+    EXPECT_EQ(p->checkCalls, 2u);
+    EXPECT_EQ(eng.checksRun(), 2u);
+}
+
+TEST(InvariantEngine, EveryNCyclesThrottlesChecks)
+{
+    InvariantConfig cfg;
+    cfg.granularity = CheckGranularity::EveryNCycles;
+    cfg.interval = 100;
+    InvariantEngine eng(cfg);
+    auto probe = std::make_unique<ProbeChecker>();
+    ProbeChecker *p = probe.get();
+    eng.addChecker(std::move(probe));
+
+    eng.emit(busEvent("bus_grant", 100)); // first anchor
+    eng.emit(busEvent("bus_grant", 150)); // within interval
+    eng.emit(busEvent("bus_grant", 199)); // still within
+    eng.emit(busEvent("bus_grant", 200)); // next interval
+    EXPECT_EQ(p->checkCalls, 2u);
+}
+
+TEST(InvariantEngine, EndOfRunChecksOnlyAtFlush)
+{
+    InvariantConfig cfg;
+    cfg.granularity = CheckGranularity::EndOfRun;
+    InvariantEngine eng(cfg);
+    auto probe = std::make_unique<ProbeChecker>();
+    ProbeChecker *p = probe.get();
+    eng.addChecker(std::move(probe));
+
+    for (Cycle c = 1; c <= 50; ++c)
+        eng.emit(busEvent("bus_grant", c));
+    EXPECT_EQ(p->checkCalls, 0u);
+    eng.flush();
+    EXPECT_EQ(p->finalCalls, 1u);
+}
+
+TEST(InvariantEngine, FindingsSurfaceInReport)
+{
+    InvariantEngine eng;
+    auto probe = std::make_unique<ProbeChecker>();
+    probe->flagEveryCheck = true;
+    eng.addChecker(std::move(probe));
+    eng.emit(busEvent("bus_grant", 5));
+    EXPECT_FALSE(eng.clean());
+    ASSERT_EQ(eng.findings().size(), 1u);
+    EXPECT_EQ(eng.findings()[0].invariant, "probe.always");
+    EXPECT_NE(eng.formatReport().find("probe diagnostic"),
+              std::string::npos);
+}
+
+TEST(FaultInjector, SameSeedSameDecisions)
+{
+    FaultConfig cfg;
+    cfg.seed = 42;
+    cfg.nackPercent = 50;
+    cfg.delayPercent = 30;
+    FaultInjector a(cfg), b(cfg);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(a.nackBusGrant(0, 4), b.nackBusGrant(0, 4));
+        EXPECT_EQ(a.snoopResponseDelay(), b.snoopResponseDelay());
+    }
+    EXPECT_EQ(a.totalInjected(), b.totalInjected());
+    EXPECT_GT(a.totalInjected(), 0u);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge)
+{
+    FaultConfig ca, cb;
+    ca.seed = 1;
+    cb.seed = 2;
+    ca.nackPercent = cb.nackPercent = 50;
+    FaultInjector a(ca), b(cb);
+    std::vector<bool> da, db;
+    for (int i = 0; i < 64; ++i) {
+        da.push_back(a.nackBusGrant(0, 4));
+        db.push_back(b.nackBusGrant(0, 4));
+    }
+    EXPECT_NE(da, db);
+}
+
+TEST(FaultInjector, NackNeverFiresAtRetryLimit)
+{
+    FaultConfig cfg;
+    cfg.nackPercent = 100; // would otherwise always fire
+    FaultInjector inj(cfg);
+    EXPECT_TRUE(inj.nackBusGrant(0, 4));
+    EXPECT_TRUE(inj.nackBusGrant(3, 4));
+    EXPECT_FALSE(inj.nackBusGrant(4, 4));
+    EXPECT_FALSE(inj.nackBusGrant(9, 4));
+}
+
+TEST(FaultInjector, InjectionBudgetIsHonored)
+{
+    FaultConfig cfg;
+    cfg.nackPercent = 100;
+    cfg.maxInjections = 3;
+    FaultInjector inj(cfg);
+    unsigned fired = 0;
+    for (int i = 0; i < 20; ++i)
+        fired += inj.nackBusGrant(0, 4) ? 1 : 0;
+    EXPECT_EQ(fired, 3u);
+    EXPECT_EQ(inj.totalInjected(), 3u);
+}
+
+TEST(SnoopingBus, NackedRequestRecoversWithinRetryBound)
+{
+    FaultConfig fcfg;
+    fcfg.nackPercent = 100; // NACK every grant below the bound
+    FaultInjector inj(fcfg);
+    SnoopingBus bus;
+    bus.attachFaultInjector(&inj, 4, 2);
+
+    unsigned performed = 0;
+    BusRequest req;
+    req.requester = 0;
+    req.cmd = BusCmd::BusRead;
+    req.lineAddr = 0x100;
+    req.issueCycle = 0;
+    req.perform = [&](Cycle) -> Cycle {
+        ++performed;
+        return 3;
+    };
+    bus.request(std::move(req));
+
+    for (Cycle now = 0; now < 200 && performed == 0; ++now)
+        bus.tick(now);
+
+    EXPECT_EQ(performed, 1u)
+        << "the bounded retry path must guarantee forward progress";
+    EXPECT_EQ(bus.nackCount(), 4u)
+        << "100% NACK rate fires exactly retry-limit times";
+    EXPECT_EQ(bus.pending(), 0u);
+    EXPECT_EQ(inj.injected(FaultKind::BusNack), 4u);
+}
+
+TEST(SnoopingBus, NackEmitsRetryTraceEvents)
+{
+    FaultConfig fcfg;
+    fcfg.nackPercent = 100;
+    FaultInjector inj(fcfg);
+    SnoopingBus bus;
+    bus.attachFaultInjector(&inj, 2, 2);
+    CountingTraceSink sink;
+    bus.attachTracer(&sink);
+
+    bool performed = false;
+    bus.request({0, BusCmd::BusRead, 0x100,
+                 [&](Cycle) -> Cycle {
+                     performed = true;
+                     return 3;
+                 },
+                 0, 0});
+    for (Cycle now = 0; now < 100 && !performed; ++now)
+        bus.tick(now);
+    EXPECT_TRUE(performed);
+    // request + 2x(nack + retry) + grant + release.
+    EXPECT_EQ(sink.count(TraceCat::Bus), 7u);
+}
+
+TEST(MemoryEquivalence, FlagsFirstDifferingByte)
+{
+    MainMemory got, want;
+    for (Addr a = 0; a < 64; ++a) {
+        got.writeByte(0x1000 + a, 0xab);
+        want.writeByte(0x1000 + a, 0xab);
+    }
+    got.writeByte(0x1010, 0xcd);
+
+    InvariantEngine eng;
+    eng.addChecker(std::make_unique<MemoryEquivalenceChecker>(
+        got, want, 0x1000, 64));
+    eng.runChecks(0);
+    EXPECT_TRUE(eng.clean()) << "mid-run images may differ";
+    eng.runFinalChecks();
+    ASSERT_FALSE(eng.clean());
+    EXPECT_EQ(eng.findings()[0].invariant, "mem.final_image");
+    EXPECT_NE(eng.findings()[0].diagnostic.find("0x1010"),
+              std::string::npos);
+}
+
+TEST(MemoryEquivalence, CleanWhenImagesMatch)
+{
+    MainMemory got, want;
+    got.writeByte(0x1000, 0x11);
+    want.writeByte(0x1000, 0x11);
+    InvariantEngine eng;
+    eng.addChecker(std::make_unique<MemoryEquivalenceChecker>(
+        got, want, 0x1000, 16));
+    eng.runFinalChecks();
+    EXPECT_TRUE(eng.clean());
+}
+
+TEST(TraceSink, TryOpenReportsUnwritablePath)
+{
+    std::string err;
+    auto sink =
+        tryOpenTraceSink("/nonexistent-dir-xyz/trace.json", err);
+    EXPECT_EQ(sink, nullptr);
+    EXPECT_NE(err.find("cannot open"), std::string::npos);
+    EXPECT_NE(err.find("/nonexistent-dir-xyz/trace.json"),
+              std::string::npos);
+}
+
+TEST(TraceSink, TryOpenSucceedsOnWritablePath)
+{
+    std::string err;
+    auto sink = tryOpenTraceSink("invariant_test_trace.txt", err);
+    ASSERT_NE(sink, nullptr);
+    EXPECT_TRUE(err.empty());
+    sink->emit({1, 0, TraceCat::Bus, "bus_request", 0, 0x100, 0,
+                nullptr});
+    sink->flush();
+}
+
+// ---- Corruption detection: every forged state must be flagged
+// ---- with a structured diagnostic, never silent UB.
+
+/** A protocol with one dirty block and one clean copy resident. */
+struct CorruptionFixture
+{
+    CorruptionFixture() : proto(finalConfig(), mem)
+    {
+        mem.writeByte(0x104, 0x5a);
+        proto.assignTask(0, 0);
+        EXPECT_FALSE(proto.store(0, 0x100, 4, 0xdeadbeef).stalled);
+        EXPECT_FALSE(proto.load(0, 0x104, 4).stalled);
+        eng.addChecker(
+            std::make_unique<SvcProtocolChecker>(proto));
+        eng.runChecks(0);
+        EXPECT_TRUE(eng.clean()) << eng.formatReport();
+    }
+
+    MainMemory mem;
+    SvcProtocol proto;
+    InvariantEngine eng;
+};
+
+void
+expectDetected(InvariantEngine &eng, const CorruptionResult &res)
+{
+    ASSERT_TRUE(res.injected) << "fixture left no eligible state";
+    eng.runChecks(1);
+    ASSERT_FALSE(eng.clean())
+        << "corruption went undetected: " << res.note;
+    EXPECT_FALSE(eng.findings()[0].diagnostic.empty())
+        << "findings must carry a structured state dump";
+    EXPECT_NE(eng.formatReport().find("invariant"),
+              std::string::npos);
+}
+
+TEST(Corruption, ForgedVolPointerIsDetected)
+{
+    CorruptionFixture f;
+    FaultConfig fcfg;
+    fcfg.seed = 7;
+    FaultInjector inj(fcfg);
+    SvcCorruptor corruptor(f.proto, inj);
+    const CorruptionResult res =
+        corruptor.corrupt(FaultKind::CorruptVolPointer);
+    expectDetected(f.eng, res);
+    EXPECT_EQ(f.eng.findings()[0].invariant, "svc.vol_ptr_range");
+    EXPECT_EQ(inj.injected(FaultKind::CorruptVolPointer), 1u);
+}
+
+TEST(Corruption, IllegalMaskBitIsDetected)
+{
+    CorruptionFixture f;
+    FaultConfig fcfg;
+    fcfg.seed = 11;
+    FaultInjector inj(fcfg);
+    SvcCorruptor corruptor(f.proto, inj);
+    const CorruptionResult res =
+        corruptor.corrupt(FaultKind::CorruptMask);
+    expectDetected(f.eng, res);
+}
+
+TEST(Corruption, FlippedCleanCopyByteIsDetected)
+{
+    CorruptionFixture f;
+    FaultConfig fcfg;
+    fcfg.seed = 13;
+    FaultInjector inj(fcfg);
+    SvcCorruptor corruptor(f.proto, inj);
+    const CorruptionResult res =
+        corruptor.corrupt(FaultKind::CorruptData);
+    expectDetected(f.eng, res);
+    bool copy_value = false;
+    for (const InvariantFinding &fd : f.eng.findings())
+        copy_value |= fd.invariant == "svc.copy_value";
+    EXPECT_TRUE(copy_value) << f.eng.formatReport();
+}
+
+// ---- SVC_CHECK: release-mode protocol assertions with state dump.
+
+using SvcCheckDeathTest = ::testing::Test;
+
+TEST(SvcCheckDeathTest, CommitOfNonHeadDumpsAndAborts)
+{
+    setRuntimeChecks(true);
+    MainMemory mem;
+    SvcProtocol proto(finalConfig(), mem);
+    proto.assignTask(0, 0);
+    proto.assignTask(1, 1);
+    EXPECT_FALSE(proto.store(1, 0x100, 4, 0x1).stalled);
+    EXPECT_DEATH(proto.commitTask(1), "SVC_CHECK failed");
+}
+
+TEST(SvcCheckDeathTest, OutOfRangePuDumpsAndAborts)
+{
+    setRuntimeChecks(true);
+    MainMemory mem;
+    SvcProtocol proto(finalConfig(), mem);
+    EXPECT_DEATH(proto.assignTask(99, 0), "SVC_CHECK failed");
+}
+
+TEST(SvcCheck, RuntimeSwitchToggles)
+{
+    setRuntimeChecks(false);
+    EXPECT_FALSE(runtimeChecksEnabled());
+    setRuntimeChecks(true);
+    EXPECT_TRUE(runtimeChecksEnabled());
+}
+
+// ---- End-to-end: a timed SVC run under 100% bus NACKs completes
+// ---- and stays invariant-clean.
+
+TEST(SvcSystemFaults, FullNackRateStillCompletesCleanly)
+{
+    test::ScriptConfig scfg;
+    scfg.seed = 3;
+    scfg.numTasks = 12;
+    scfg.addrRange = 96;
+    const test::TaskScript script = generateScript(scfg);
+
+    MainMemory oracle_mem;
+    const test::RunResult want = runSequential(script, oracle_mem);
+
+    FaultConfig fcfg;
+    fcfg.seed = 3;
+    fcfg.nackPercent = 100;
+    FaultInjector inj(fcfg);
+
+    MainMemory mem;
+    SvcSystem sys(finalConfig(), mem);
+    InvariantEngine eng;
+    sys.attachFaultInjector(&inj);
+    sys.attachInvariants(eng);
+
+    test::TimedEngine timed(sys);
+    const test::RunResult got =
+        runSpeculative(script, timed.ops(), 4, scfg.seed);
+    sys.finalizeMemory();
+    eng.runFinalChecks();
+
+    EXPECT_GT(sys.bus().nackCount(), 0u);
+    EXPECT_EQ(got.observed, want.observed)
+        << "transient faults must not change observable results";
+    EXPECT_EQ(mem.hashRange(scfg.base, scfg.addrRange),
+              oracle_mem.hashRange(scfg.base, scfg.addrRange));
+    EXPECT_TRUE(eng.clean()) << eng.formatReport();
+    EXPECT_GT(eng.checksRun(), 0u);
+    EXPECT_GT(eng.busNacks(), 0u);
+}
+
+} // namespace
+} // namespace svc

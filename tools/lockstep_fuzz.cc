@@ -172,16 +172,37 @@ runSeed(std::uint64_t seed, SvcDesign design, unsigned line_bytes,
 
 } // namespace
 
+namespace
+{
+
+/** Strict decimal parse; usage + exit 1 beats fuzzing garbage. */
+bool
+parseArg(const char *text, unsigned long &out)
+{
+    char *end = nullptr;
+    out = std::strtoul(text, &end, 10);
+    return end != text && *end == '\0';
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t seeds =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 100;
-    const int design = argc > 2 ? std::atoi(argv[2]) : 5;
-    const unsigned line_bytes =
-        argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 16;
-    const unsigned vb =
-        argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 1;
+    unsigned long seeds = 100, design = 5, line_bytes = 16, vb = 1;
+    const bool ok =
+        (argc <= 1 || parseArg(argv[1], seeds)) &&
+        (argc <= 2 || parseArg(argv[2], design)) &&
+        (argc <= 3 || parseArg(argv[3], line_bytes)) &&
+        (argc <= 4 || parseArg(argv[4], vb));
+    if (!ok || design > 5 || line_bytes == 0 || vb == 0 ||
+        line_bytes % vb != 0) {
+        std::fprintf(stderr,
+                     "usage: lockstep_fuzz [num_seeds] [design 0..5] "
+                     "[line_bytes] [vb]\n(vb must divide "
+                     "line_bytes; all arguments decimal)\n");
+        return 1;
+    }
 
     for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
         if (runSeed(seed, static_cast<SvcDesign>(design), line_bytes,
@@ -189,7 +210,7 @@ main(int argc, char **argv)
             return 1;
         }
     }
-    std::printf("OK: %llu seeds, design %s, line %u, vb %u\n",
+    std::printf("OK: %llu seeds, design %s, line %lu, vb %lu\n",
                 (unsigned long long)seeds,
                 svcDesignName(static_cast<SvcDesign>(design)),
                 line_bytes, vb);
