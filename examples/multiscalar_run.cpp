@@ -9,6 +9,9 @@
  *   ./build/examples/multiscalar_run [workload] [svc|arb|ref]
  *                                    [scale] [--trace FILE] [--check]
  *                                    [--faults SEED]
+ *                                    [--checkpoint-every N]
+ *                                    [--checkpoint-file PREFIX]
+ *                                    [--restore FILE] [--watchdog N]
  * e.g.
  *   ./build/examples/multiscalar_run vortex svc 8 --trace out.json
  *
@@ -21,12 +24,27 @@
  * svc memory system; the run must still verify against the
  * sequential interpreter — the full-stack recovery demonstration.
  *
+ * --checkpoint-every N snapshots the whole simulation at the first
+ * snapshot-safe cycle at or after every multiple of N cycles, to
+ * PREFIX-<cycle>.ckpt (--checkpoint-file, default "multiscalar").
+ * --restore FILE resumes such a run bit-identically: the continued
+ * run produces the same final memory image and statistics as the
+ * uninterrupted one. A truncated or corrupted checkpoint is
+ * rejected with a structured error (checksum-verified), exit 1.
+ *
+ * --watchdog N sets the forward-progress watchdog interval (cycles
+ * without a task commit before the run is declared wedged; 0
+ * disables). A trip emits a diagnostic bundle: a forced checkpoint
+ * (PREFIX-watchdog.ckpt), the most recent trace events, and the
+ * VOL state of resident lines (svc memory system).
+ *
  * A ".json" trace file is written in Chrome trace_event format —
  * open it at chrome://tracing (or https://ui.perfetto.dev) to see
  * bus transactions, VCL dispositions and task lifetimes on a
  * per-PU timeline. Any other extension gets a plain text trace.
  */
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -35,9 +53,11 @@
 #include <vector>
 
 #include "common/invariants.hh"
+#include "common/snapshot.hh"
 #include "isa/interpreter.hh"
 #include "mem/fault_injector.hh"
 #include "mem/spec_mem_factory.hh"
+#include "multiscalar/checkpoint.hh"
 #include "multiscalar/processor.hh"
 #include "svc/system.hh"
 #include "workloads/workloads.hh"
@@ -73,6 +93,11 @@ main(int argc, char **argv)
     bool check = false;
     bool faults = false;
     unsigned fault_seed = 0;
+    unsigned checkpoint_every = 0;
+    std::string checkpoint_prefix = "multiscalar";
+    std::string restore_path;
+    bool watchdog_set = false;
+    unsigned watchdog_interval = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--trace") {
@@ -92,6 +117,37 @@ main(int argc, char **argv)
             }
             ++i;
             faults = true;
+        } else if (arg == "--checkpoint-every") {
+            if (i + 1 >= argc ||
+                !parseUnsigned(argv[i + 1], checkpoint_every) ||
+                checkpoint_every == 0) {
+                std::fprintf(stderr, "--checkpoint-every needs a "
+                                     "positive cycle count\n");
+                return 1;
+            }
+            ++i;
+        } else if (arg == "--checkpoint-file") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--checkpoint-file needs a prefix\n");
+                return 1;
+            }
+            checkpoint_prefix = argv[++i];
+        } else if (arg == "--restore") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--restore needs a file name\n");
+                return 1;
+            }
+            restore_path = argv[++i];
+        } else if (arg == "--watchdog") {
+            if (i + 1 >= argc ||
+                !parseUnsigned(argv[i + 1], watchdog_interval)) {
+                std::fprintf(stderr, "--watchdog needs an unsigned "
+                                     "cycle count (0 disables)\n");
+                return 1;
+            }
+            ++i;
+            watchdog_set = true;
         } else {
             pos.push_back(arg);
         }
@@ -137,9 +193,17 @@ main(int argc, char **argv)
     mem_cfg.arb.hitLatency = 2;
 
     MultiscalarConfig cpu_cfg; // paper section 4.2 defaults
+    if (watchdog_set)
+        cpu_cfg.watchdogInterval = watchdog_interval;
+
+    // Always keep a ring of recent trace events for the watchdog
+    // diagnostic bundle; tee into the user's sink when present.
+    RingTraceSink ring_sink(512);
+    TeeTraceSink tee(sink.get(), &ring_sink);
+
     MainMemory mem;
     std::unique_ptr<SpecMem> sys =
-        makeSpecMem(memsys, mem_cfg, mem, sink.get());
+        makeSpecMem(memsys, mem_cfg, mem, &tee);
     FaultConfig fault_cfg;
     fault_cfg.seed = fault_seed;
     fault_cfg.nackPercent = 20;
@@ -169,7 +233,112 @@ main(int argc, char **argv)
     }
     w.program.loadInto(mem);
     Processor cpu(cpu_cfg, w.program, *sys);
-    cpu.attachTracer(sink.get());
+    cpu.attachTracer(&tee);
+
+    // Everything that shapes serialized state must agree between
+    // the saving and the restoring run.
+    const std::string run_desc = name + "/" + std::to_string(scale) +
+                                 "/" + (faults ? "faults" : "clean");
+    const std::uint64_t cfg_hash = checkpointConfigHash(
+        cpu_cfg, memsys,
+        snapshotFnv1a(run_desc.data(), run_desc.size()));
+    FaultInjector *ckpt_faults = faults ? &injector : nullptr;
+
+    if (!restore_path.empty()) {
+        std::vector<std::uint8_t> image;
+        std::string err;
+        if (!readSnapshotFile(restore_path, image, err) ||
+            !restoreCheckpoint(image, cpu, *sys, mem, ckpt_faults,
+                               cfg_hash, err)) {
+            std::fprintf(stderr, "restore: %s\n", err.c_str());
+            return 1;
+        }
+        std::printf("restored checkpoint %s (cycle %llu)\n",
+                    restore_path.c_str(),
+                    (unsigned long long)cpu.now());
+    }
+
+    if (checkpoint_every > 0) {
+        // Checkpoint at the first snapshot-safe cycle at or after
+        // every multiple of the interval. The recurrence is a pure
+        // function of the cycle number, so an uninterrupted run and
+        // a restored one take checkpoints at identical cycles.
+        auto next_cp = std::make_shared<Cycle>(
+            (cpu.now() / checkpoint_every + 1) * checkpoint_every);
+        cpu.setTickHook([&, next_cp](Cycle at) {
+            if (at < *next_cp || !cpu.checkpointQuiescent())
+                return;
+            std::vector<std::uint8_t> image;
+            std::string err;
+            if (!saveCheckpoint(cpu, *sys, mem, ckpt_faults,
+                                cfg_hash, false, image, err)) {
+                std::fprintf(stderr, "checkpoint: %s\n", err.c_str());
+            } else {
+                const std::string path =
+                    checkpoint_prefix + "-" + std::to_string(at) +
+                    ".ckpt";
+                if (!writeSnapshotFile(path, image, err)) {
+                    std::fprintf(stderr, "checkpoint: %s\n",
+                                 err.c_str());
+                } else {
+                    std::printf("checkpoint written to %s "
+                                "(cycle %llu)\n",
+                                path.c_str(), (unsigned long long)at);
+                }
+            }
+            while (*next_cp <= at)
+                *next_cp += checkpoint_every;
+        });
+    }
+
+    cpu.setWatchdogHandler([&]() {
+        std::fprintf(stderr,
+                     "watchdog: no task committed in %llu cycles "
+                     "(cycle %llu) - emitting diagnostic bundle\n",
+                     (unsigned long long)cpu_cfg.watchdogInterval,
+                     (unsigned long long)cpu.now());
+        std::vector<std::uint8_t> image;
+        std::string err;
+        const std::string path = checkpoint_prefix + "-watchdog.ckpt";
+        if (saveCheckpoint(cpu, *sys, mem, ckpt_faults, cfg_hash,
+                           /*force=*/true, image, err) &&
+            writeSnapshotFile(path, image, err)) {
+            // A trip at a quiescent cycle yields a normal restorable
+            // snapshot; mid-flight the image is diagnostic-only and
+            // restore will refuse it.
+            std::fprintf(stderr,
+                         "watchdog: forced checkpoint written to %s (%s)\n",
+                         path.c_str(),
+                         cpu.checkpointQuiescent()
+                             ? "snapshot-safe, restorable"
+                             : "diagnostic only, not restorable");
+        } else {
+            std::fprintf(stderr, "watchdog: checkpoint failed: %s\n",
+                         err.c_str());
+        }
+        std::fprintf(stderr, "%s", ring_sink.dump().c_str());
+        if (svc_sys) {
+            const std::vector<Addr> lines =
+                svc_sys->protocol().residentAddrs();
+            const std::size_t limit = std::min<std::size_t>(
+                lines.size(), 8);
+            for (std::size_t i = 0; i < limit; ++i) {
+                std::fprintf(
+                    stderr, "%s",
+                    svc_sys->protocol()
+                        .dumpLineState(lines[i])
+                        .c_str());
+            }
+            if (lines.size() > limit) {
+                std::fprintf(stderr,
+                             "watchdog: %zu further resident lines "
+                             "elided\n",
+                             lines.size() - limit);
+            }
+        }
+        cpu.debugDump();
+    });
+
     RunStats rs = cpu.run();
     sys->finalizeMemory();
     StatSet stats = cpu.stats();

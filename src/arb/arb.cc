@@ -6,6 +6,7 @@
 #include "arb/invariants.hh"
 #include "common/intmath.hh"
 #include "common/log.hh"
+#include "common/snapshot.hh"
 
 namespace svc
 {
@@ -420,6 +421,111 @@ ArbCore::stats() const
     s.addCounter("row_reclaims", nRowReclaims);
     s.addRatio("miss_ratio", nMemSupplied, nLoads + nStores);
     return s;
+}
+
+void
+ArbCore::saveState(SnapshotWriter &w) const
+{
+    w.putU64(tasks.size());
+    for (TaskSeq t : tasks)
+        w.putU64(t);
+    w.putU64(stageTasks.size());
+    for (TaskSeq t : stageTasks)
+        w.putU64(t);
+
+    w.putU64(rows.size());
+    for (const Row &row : rows) {
+        w.putBool(row.valid);
+        w.putU64(row.wordAddr);
+        for (const StageEntry &st : row.stages) {
+            w.putU8(st.loadMask);
+            w.putU8(st.storeMask);
+            w.putBytes(st.value.data(), st.value.size());
+        }
+        w.putU8(row.archMask);
+        w.putBytes(row.archValue.data(), row.archValue.size());
+    }
+
+    w.putU64(dcache.lruClock());
+    const auto &frames = dcache.rawFrames();
+    w.putU64(frames.size());
+    for (const auto &f : frames) {
+        w.putBool(f.valid);
+        w.putU64(f.tag);
+        w.putU64(f.lruStamp);
+        w.putBool(f.payload.dirty);
+        w.putVec(f.payload.data);
+    }
+
+    const Counter *counters[] = {
+        &nLoads, &nStores, &nArbHits, &nDcacheHits, &nMemSupplied,
+        &nViolations, &nCommits, &nSquashes, &nStalls, &nRowReclaims,
+    };
+    for (const Counter *c : counters)
+        w.putU64(*c);
+}
+
+bool
+ArbCore::restoreState(SnapshotReader &r)
+{
+    std::uint64_t n = r.getCount(8);
+    if (n != tasks.size()) {
+        r.fail("snapshot: ARB PU count mismatch");
+        return false;
+    }
+    for (TaskSeq &t : tasks)
+        t = r.getU64();
+    n = r.getCount(8);
+    if (n != stageTasks.size()) {
+        r.fail("snapshot: ARB stage count mismatch");
+        return false;
+    }
+    for (TaskSeq &t : stageTasks)
+        t = r.getU64();
+
+    n = r.getCount(9 + kWordBytes);
+    if (n != rows.size()) {
+        r.fail("snapshot: ARB row count mismatch");
+        return false;
+    }
+    rowIndex.clear();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        Row &row = rows[i];
+        row.valid = r.getBool();
+        row.wordAddr = r.getU64();
+        for (StageEntry &st : row.stages) {
+            st.loadMask = r.getU8();
+            st.storeMask = r.getU8();
+            r.getBytes(st.value.data(), st.value.size());
+        }
+        row.archMask = r.getU8();
+        r.getBytes(row.archValue.data(), row.archValue.size());
+        if (row.valid)
+            rowIndex[row.wordAddr] = i;
+    }
+
+    dcache.setLruClock(r.getU64());
+    auto &frames = dcache.rawFrames();
+    n = r.getCount(18);
+    if (n != frames.size()) {
+        r.fail("snapshot: ARB data cache geometry mismatch");
+        return false;
+    }
+    for (auto &f : frames) {
+        f.valid = r.getBool();
+        f.tag = r.getU64();
+        f.lruStamp = r.getU64();
+        f.payload.dirty = r.getBool();
+        f.payload.data = r.getVec();
+    }
+
+    Counter *counters[] = {
+        &nLoads, &nStores, &nArbHits, &nDcacheHits, &nMemSupplied,
+        &nViolations, &nCommits, &nSquashes, &nStalls, &nRowReclaims,
+    };
+    for (Counter *c : counters)
+        *c = r.getU64();
+    return r.ok();
 }
 
 } // namespace svc

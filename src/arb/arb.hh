@@ -115,6 +115,15 @@ class ArbCore
 
     StatSet stats() const;
 
+    /**
+     * Serialize rows, stage assignments, data cache and counters
+     * (the functional ARB is instant — no in-flight state).
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore into an identically configured ARB. */
+    bool restoreState(SnapshotReader &r);
+
     Counter nLoads = 0;
     Counter nStores = 0;
     Counter nArbHits = 0;

@@ -16,6 +16,7 @@
 
 #include "arb/arb.hh"
 #include "common/event_queue.hh"
+#include "common/snapshot.hh"
 #include "common/trace.hh"
 #include "mem/spec_mem.hh"
 
@@ -152,6 +153,33 @@ class ArbSystem : public SpecMem
         return accesses == 0 ? 0.0
                              : static_cast<double>(core.nMemSupplied) /
                                    accesses;
+    }
+
+    bool
+    checkpointQuiescent() const override
+    {
+        return inFlight == 0 && events.empty();
+    }
+
+    void
+    saveState(SnapshotWriter &w) const override
+    {
+        w.putU64(currentCycle);
+        accessLatency.saveState(w);
+        core.saveState(w);
+    }
+
+    bool
+    restoreState(SnapshotReader &r) override
+    {
+        if (!checkpointQuiescent()) {
+            r.fail("snapshot: cannot restore into a busy ARB "
+                   "system");
+            return false;
+        }
+        currentCycle = r.getU64();
+        return accessLatency.restoreState(r) &&
+               core.restoreState(r) && r.ok();
     }
 
   private:

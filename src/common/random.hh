@@ -64,6 +64,12 @@ class Rng
         return static_cast<double>(next() >> 11) * 0x1.0p-53;
     }
 
+    /** Raw generator state, for checkpointing. */
+    std::uint64_t rawState() const { return state; }
+
+    /** Restore a state captured with rawState(). */
+    void setRawState(std::uint64_t s) { state = s; }
+
   private:
     std::uint64_t state;
 };

@@ -1,0 +1,143 @@
+#include "common/snapshot.hh"
+
+#include <cstdio>
+
+namespace svc
+{
+
+std::uint64_t
+snapshotFnv1a(const void *data, std::size_t n, std::uint64_t seed)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::vector<std::uint8_t>
+frameSnapshot(const SnapshotHeader &hdr,
+              const std::vector<std::uint8_t> &body)
+{
+    SnapshotWriter w;
+    w.putU64(kSnapshotMagic);
+    w.putU32(hdr.formatVersion ? hdr.formatVersion
+                               : kSnapshotVersion);
+    w.putU32(hdr.flags);
+    w.putU64(hdr.cycle);
+    w.putU64(hdr.configHash);
+    w.putBytes(body.data(), body.size());
+    std::vector<std::uint8_t> image = w.bytes();
+    const std::uint64_t sum =
+        snapshotFnv1a(image.data(), image.size());
+    for (int i = 0; i < 8; ++i)
+        image.push_back(static_cast<std::uint8_t>(sum >> (8 * i)));
+    return image;
+}
+
+bool
+unframeSnapshot(const std::vector<std::uint8_t> &image,
+                SnapshotHeader &hdr,
+                const std::uint8_t *&body, std::size_t &bodyLen,
+                std::string &error)
+{
+    // Fixed header (32 bytes) + trailing checksum (8 bytes).
+    constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8;
+    if (image.size() < kHeaderBytes + 8) {
+        error = "checkpoint is truncated: " +
+                std::to_string(image.size()) +
+                " bytes, need at least " +
+                std::to_string(kHeaderBytes + 8);
+        return false;
+    }
+    const std::size_t sumAt = image.size() - 8;
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i)
+        stored |= static_cast<std::uint64_t>(image[sumAt + i])
+                  << (8 * i);
+    const std::uint64_t computed =
+        snapshotFnv1a(image.data(), sumAt);
+    if (stored != computed) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "checkpoint checksum mismatch: stored "
+                      "%016llx, computed %016llx (file is "
+                      "corrupted or truncated)",
+                      (unsigned long long)stored,
+                      (unsigned long long)computed);
+        error = buf;
+        return false;
+    }
+    SnapshotReader r(image.data(), sumAt);
+    const std::uint64_t magic = r.getU64();
+    if (magic != kSnapshotMagic) {
+        error = "not a checkpoint file (bad magic)";
+        return false;
+    }
+    hdr.formatVersion = r.getU32();
+    hdr.flags = r.getU32();
+    hdr.cycle = r.getU64();
+    hdr.configHash = r.getU64();
+    if (!r.ok()) {
+        error = "checkpoint header is truncated";
+        return false;
+    }
+    if (hdr.formatVersion != kSnapshotVersion) {
+        error = "unsupported checkpoint format version " +
+                std::to_string(hdr.formatVersion) + " (expected " +
+                std::to_string(kSnapshotVersion) + ")";
+        return false;
+    }
+    body = image.data() + kHeaderBytes;
+    bodyLen = sumAt - kHeaderBytes;
+    return true;
+}
+
+bool
+writeSnapshotFile(const std::string &path,
+                  const std::vector<std::uint8_t> &image,
+                  std::string &error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    const std::size_t wrote =
+        image.empty() ? 0
+                      : std::fwrite(image.data(), 1, image.size(), f);
+    const bool closed = std::fclose(f) == 0;
+    if (wrote != image.size() || !closed) {
+        error = "short write to '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+readSnapshotFile(const std::string &path,
+                 std::vector<std::uint8_t> &image,
+                 std::string &error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        error = "cannot open '" + path + "' for reading";
+        return false;
+    }
+    image.clear();
+    std::uint8_t buf[65536];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        image.insert(image.end(), buf, buf + n);
+    const bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    if (bad) {
+        error = "read error on '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace svc

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Versioned, checksummed binary snapshots (checkpoints).
+ *
+ * A snapshot file is:
+ *
+ *   u64  magic          "SVCSNAP1" (little-endian bytes)
+ *   u32  formatVersion  currently 1
+ *   u32  flags          bit 0: quiescent (restorable); a forced
+ *                       diagnostic snapshot clears it
+ *   u64  cycle          simulated cycle the snapshot was taken at
+ *   u64  configHash     FNV-1a hash of the canonical run config
+ *   ...  sections       { u32 tag, u64 length, length bytes } ...
+ *   u64  checksum       FNV-1a over every preceding byte
+ *
+ * All integers are little-endian. Components serialize themselves
+ * into sections with SnapshotWriter and read themselves back with
+ * SnapshotReader. The reader is fully bounds-checked: a truncated
+ * or corrupted file produces a structured error message (the
+ * checksum is verified before any section is parsed), never
+ * undefined behaviour and never an unbounded allocation.
+ *
+ * Error model: no exceptions. Both writer and reader carry an
+ * ok/error pair; the first failure sticks and subsequent reads
+ * return zero values. Callers check ok() once at the end.
+ */
+
+#ifndef SVC_COMMON_SNAPSHOT_HH
+#define SVC_COMMON_SNAPSHOT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace svc
+{
+
+/** Snapshot file magic: "SVCSNAP1" as a little-endian u64. */
+inline constexpr std::uint64_t kSnapshotMagic = 0x3150414e53435653ull;
+
+/** Current snapshot format version. */
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/** Header flag: snapshot was taken at a quiescent point. */
+inline constexpr std::uint32_t kSnapFlagQuiescent = 1u << 0;
+
+/** FNV-1a over @p n bytes, continuing from @p seed. */
+std::uint64_t snapshotFnv1a(const void *data, std::size_t n,
+                            std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/** Section tags (ASCII fourcc) used by the checkpoint layers. */
+enum class SnapSection : std::uint32_t
+{
+    Processor  = 0x434f5250, // "PROC" - multiscalar sequencer + PUs
+    SpecMem    = 0x534d454d, // "MEMS" - memory-system state
+    MainMemory = 0x4d454d4d, // "MMEM" - sparse backing store
+    Faults     = 0x544c4146, // "FALT" - fault injector + RNG
+};
+
+/**
+ * Accumulates a snapshot into a byte buffer. Primitive writes
+ * append little-endian; sections frame component payloads so a
+ * reader can skip unknown tags.
+ */
+class SnapshotWriter
+{
+  public:
+    SnapshotWriter() { buf.reserve(4096); }
+
+    void putU8(std::uint8_t v) { buf.push_back(v); }
+
+    void
+    putU32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    putU64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void putBool(bool v) { putU8(v ? 1 : 0); }
+
+    void
+    putBytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        buf.insert(buf.end(), p, p + n);
+    }
+
+    /** Length-prefixed byte vector. */
+    void
+    putVec(const std::vector<std::uint8_t> &v)
+    {
+        putU64(v.size());
+        putBytes(v.data(), v.size());
+    }
+
+    /** Length-prefixed string. */
+    void
+    putString(const std::string &s)
+    {
+        putU64(s.size());
+        putBytes(s.data(), s.size());
+    }
+
+    /**
+     * Open a section: writes the tag and a length placeholder.
+     * Sections must be closed in LIFO order with endSection().
+     */
+    void
+    beginSection(SnapSection tag)
+    {
+        putU32(static_cast<std::uint32_t>(tag));
+        sectionStack.push_back(buf.size());
+        putU64(0); // length patched by endSection()
+    }
+
+    void
+    endSection()
+    {
+        const std::size_t at = sectionStack.back();
+        sectionStack.pop_back();
+        const std::uint64_t len = buf.size() - at - 8;
+        for (int i = 0; i < 8; ++i)
+            buf[at + static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(len >> (8 * i));
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return buf; }
+
+  private:
+    std::vector<std::uint8_t> buf;
+    std::vector<std::size_t> sectionStack;
+};
+
+/**
+ * Bounds-checked reader over a snapshot byte buffer. Any read past
+ * the end (or past the current section) sets a sticky error and
+ * returns zero; vector/string lengths are validated against the
+ * remaining bytes before allocating.
+ */
+class SnapshotReader
+{
+  public:
+    SnapshotReader(const std::uint8_t *data, std::size_t n)
+        : base(data), size(n)
+    {}
+
+    explicit SnapshotReader(const std::vector<std::uint8_t> &v)
+        : base(v.data()), size(v.size())
+    {}
+
+    bool ok() const { return okFlag; }
+    const std::string &error() const { return errorMsg; }
+
+    /** Record a structured failure; the first message sticks. */
+    void
+    fail(const std::string &msg)
+    {
+        if (okFlag) {
+            okFlag = false;
+            errorMsg = msg;
+        }
+    }
+
+    std::size_t remaining() const
+    {
+        return okFlag ? limit - pos : 0;
+    }
+
+    std::uint8_t
+    getU8()
+    {
+        if (!need(1))
+            return 0;
+        return base[pos++];
+    }
+
+    std::uint32_t
+    getU32()
+    {
+        if (!need(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(base[pos++]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    getU64()
+    {
+        if (!need(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(base[pos++]) << (8 * i);
+        return v;
+    }
+
+    bool getBool() { return getU8() != 0; }
+
+    bool
+    getBytes(void *out, std::size_t n)
+    {
+        if (!need(n)) {
+            std::memset(out, 0, n);
+            return false;
+        }
+        std::memcpy(out, base + pos, n);
+        pos += n;
+        return true;
+    }
+
+    std::vector<std::uint8_t>
+    getVec()
+    {
+        const std::uint64_t n = getU64();
+        if (!okFlag || n > remaining()) {
+            fail("snapshot: vector length exceeds remaining bytes");
+            return {};
+        }
+        std::vector<std::uint8_t> v(static_cast<std::size_t>(n));
+        getBytes(v.data(), v.size());
+        return v;
+    }
+
+    std::string
+    getString()
+    {
+        const std::uint64_t n = getU64();
+        if (!okFlag || n > remaining()) {
+            fail("snapshot: string length exceeds remaining bytes");
+            return {};
+        }
+        std::string s(static_cast<std::size_t>(n), '\0');
+        getBytes(s.empty() ? nullptr : &s[0], s.size());
+        return s;
+    }
+
+    /**
+     * Validate an element count read from the stream against the
+     * minimum encoded size per element, so corruption cannot force
+     * a huge allocation. @return the count, or 0 after fail().
+     */
+    std::uint64_t
+    getCount(std::size_t minBytesPerElem)
+    {
+        const std::uint64_t n = getU64();
+        if (!okFlag)
+            return 0;
+        if (minBytesPerElem == 0)
+            minBytesPerElem = 1;
+        if (n > remaining() / minBytesPerElem) {
+            fail("snapshot: element count exceeds remaining bytes");
+            return 0;
+        }
+        return n;
+    }
+
+    /**
+     * Enter the next section, which must carry @p tag; the reader
+     * is then clamped to the section payload until endSection().
+     */
+    bool
+    beginSection(SnapSection tag)
+    {
+        const std::uint32_t got = getU32();
+        const std::uint64_t len = getU64();
+        if (!okFlag)
+            return false;
+        if (got != static_cast<std::uint32_t>(tag)) {
+            fail("snapshot: unexpected section tag");
+            return false;
+        }
+        if (len > remaining()) {
+            fail("snapshot: section length exceeds remaining bytes");
+            return false;
+        }
+        limitStack.push_back(limit);
+        limit = pos + static_cast<std::size_t>(len);
+        return true;
+    }
+
+    /** Leave the current section (skipping any unread payload). */
+    void
+    endSection()
+    {
+        if (limitStack.empty()) {
+            fail("snapshot: endSection without beginSection");
+            return;
+        }
+        if (okFlag)
+            pos = limit;
+        limit = limitStack.back();
+        limitStack.pop_back();
+    }
+
+  private:
+    bool
+    need(std::size_t n)
+    {
+        if (!okFlag)
+            return false;
+        if (limit - pos < n) {
+            fail("snapshot: truncated (read past end of data)");
+            return false;
+        }
+        return true;
+    }
+
+    const std::uint8_t *base;
+    std::size_t size;
+    std::size_t pos = 0;
+    std::size_t limit{size};
+    std::vector<std::size_t> limitStack;
+    bool okFlag = true;
+    std::string errorMsg;
+};
+
+/** Parsed snapshot file header (see file comment for layout). */
+struct SnapshotHeader
+{
+    std::uint32_t formatVersion = 0;
+    std::uint32_t flags = 0;
+    std::uint64_t cycle = 0;
+    std::uint64_t configHash = 0;
+
+    bool quiescent() const { return flags & kSnapFlagQuiescent; }
+};
+
+/**
+ * Frame @p body (the concatenated sections) into a complete file
+ * image: header + body + trailing checksum.
+ */
+std::vector<std::uint8_t>
+frameSnapshot(const SnapshotHeader &hdr,
+              const std::vector<std::uint8_t> &body);
+
+/**
+ * Verify magic/version/checksum of a complete file image and parse
+ * the header. On success @p body is positioned over the section
+ * bytes. @return false with a structured message in @p error on
+ * any mismatch (wrong magic, unsupported version, bad checksum,
+ * truncation).
+ */
+bool unframeSnapshot(const std::vector<std::uint8_t> &image,
+                     SnapshotHeader &hdr,
+                     const std::uint8_t *&body, std::size_t &bodyLen,
+                     std::string &error);
+
+/** Write @p image to @p path. @return false + message on I/O error. */
+bool writeSnapshotFile(const std::string &path,
+                       const std::vector<std::uint8_t> &image,
+                       std::string &error);
+
+/** Read a whole file. @return false + message on I/O error. */
+bool readSnapshotFile(const std::string &path,
+                      std::vector<std::uint8_t> &image,
+                      std::string &error);
+
+} // namespace svc
+
+#endif // SVC_COMMON_SNAPSHOT_HH

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "common/log.hh"
+#include "common/snapshot.hh"
 
 namespace svc
 {
@@ -41,6 +43,68 @@ Distribution::stddev() const
     const double m = mean();
     const double var = sumSq / static_cast<double>(cnt) - m * m;
     return var <= 0.0 ? 0.0 : std::sqrt(var);
+}
+
+namespace
+{
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+}
+
+double
+bitsDouble(std::uint64_t u)
+{
+    double v;
+    std::memcpy(&v, &u, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+void
+Distribution::saveState(SnapshotWriter &w) const
+{
+    w.putU64(doubleBits(lo));
+    w.putU64(doubleBits(width));
+    w.putU64(buckets.size());
+    for (std::uint64_t b : buckets)
+        w.putU64(b);
+    w.putU64(cnt);
+    w.putU64(under);
+    w.putU64(over);
+    w.putU64(doubleBits(sum));
+    w.putU64(doubleBits(sumSq));
+    w.putU64(doubleBits(mn));
+    w.putU64(doubleBits(mx));
+}
+
+bool
+Distribution::restoreState(SnapshotReader &r)
+{
+    const double sLo = bitsDouble(r.getU64());
+    const double sWidth = bitsDouble(r.getU64());
+    const std::uint64_t nb = r.getCount(8);
+    if (!r.ok())
+        return false;
+    if (sLo != lo || sWidth != width || nb != buckets.size()) {
+        r.fail("snapshot: distribution bucket geometry mismatch");
+        return false;
+    }
+    for (auto &b : buckets)
+        b = r.getU64();
+    cnt = r.getU64();
+    under = r.getU64();
+    over = r.getU64();
+    sum = bitsDouble(r.getU64());
+    sumSq = bitsDouble(r.getU64());
+    mn = bitsDouble(r.getU64());
+    mx = bitsDouble(r.getU64());
+    return r.ok();
 }
 
 std::string

@@ -20,6 +20,9 @@
 namespace svc
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** A simple event counter. */
 using Counter = std::uint64_t;
 
@@ -91,6 +94,17 @@ class Distribution
 
     /** Compact single-line rendering: "cnt=.. mean=.. |h i s t|". */
     std::string summarize() const;
+
+    /** Serialize samples + geometry for checkpointing. */
+    void saveState(SnapshotWriter &w) const;
+
+    /**
+     * Restore samples saved with saveState(). The bucket geometry
+     * in the snapshot must match this instance's (checkpoints are
+     * only restored into an identically configured run); @return
+     * false after SnapshotReader::fail() otherwise.
+     */
+    bool restoreState(SnapshotReader &r);
 
   private:
     double lo = 0.0;

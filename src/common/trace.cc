@@ -26,8 +26,12 @@ traceCatName(TraceCat cat)
     return "?";
 }
 
-void
-TextTraceSink::emit(const TraceEvent &ev)
+namespace
+{
+
+/** Shared one-line text rendering (TextTraceSink + RingTraceSink). */
+std::string
+formatTraceLine(const TraceEvent &ev)
 {
     char buf[256];
     char pu_buf[16] = "-";
@@ -47,7 +51,15 @@ TextTraceSink::emit(const TraceEvent &ev)
                   static_cast<unsigned long long>(ev.arg),
                   ev.detail ? " detail=" : "",
                   ev.detail ? ev.detail : "");
-    out << buf;
+    return buf;
+}
+
+} // namespace
+
+void
+TextTraceSink::emit(const TraceEvent &ev)
+{
+    out << formatTraceLine(ev);
 }
 
 void
@@ -119,6 +131,38 @@ ChromeTraceSink::flush()
     closed = true;
     out << "\n]\n";
     out.flush();
+}
+
+RingTraceSink::RingTraceSink(std::size_t capacity)
+    : lines(capacity == 0 ? 1 : capacity)
+{}
+
+void
+RingTraceSink::emit(const TraceEvent &ev)
+{
+    lines[head] = formatTraceLine(ev);
+    head = (head + 1) % lines.size();
+    ++total;
+}
+
+std::string
+RingTraceSink::dump() const
+{
+    char hdr[96];
+    const std::uint64_t kept =
+        total < lines.size() ? total
+                             : static_cast<std::uint64_t>(lines.size());
+    std::snprintf(hdr, sizeof(hdr),
+                  "--- trace ring: last %llu of %llu events ---\n",
+                  static_cast<unsigned long long>(kept),
+                  static_cast<unsigned long long>(total));
+    std::string out = hdr;
+    // Oldest retained line first: when the ring has wrapped, that
+    // is the slot `head` points at.
+    const std::size_t start = total < lines.size() ? 0 : head;
+    for (std::uint64_t i = 0; i < kept; ++i)
+        out += lines[(start + i) % lines.size()];
+    return out;
 }
 
 struct FileTraceSink::Impl

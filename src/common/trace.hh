@@ -22,6 +22,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -125,6 +126,59 @@ class CountingTraceSink : public TraceSink
 
     std::uint64_t total = 0;
     std::uint64_t perCat[kNumTraceCats] = {};
+};
+
+/**
+ * Keeps the last N events as formatted text lines (the same format
+ * TextTraceSink writes). The watchdog diagnostic bundle dumps this
+ * ring so a wedged run's recent history survives even when full
+ * tracing was never enabled. O(1) per event, bounded memory.
+ */
+class RingTraceSink : public TraceSink
+{
+  public:
+    explicit RingTraceSink(std::size_t capacity = 256);
+    void emit(const TraceEvent &ev) override;
+
+    /** Events seen so far (including those that fell off). */
+    std::uint64_t seen() const { return total; }
+
+    /** The retained lines, oldest first, with a header. */
+    std::string dump() const;
+
+  private:
+    std::vector<std::string> lines; ///< ring buffer of capacity()
+    std::size_t head = 0;           ///< next slot to overwrite
+    std::uint64_t total = 0;
+};
+
+/** Forwards every event to two sinks (either may be null). */
+class TeeTraceSink : public TraceSink
+{
+  public:
+    TeeTraceSink(TraceSink *a_, TraceSink *b_) : a(a_), b(b_) {}
+
+    void
+    emit(const TraceEvent &ev) override
+    {
+        if (a)
+            a->emit(ev);
+        if (b)
+            b->emit(ev);
+    }
+
+    void
+    flush() override
+    {
+        if (a)
+            a->flush();
+        if (b)
+            b->flush();
+    }
+
+  private:
+    TraceSink *a;
+    TraceSink *b;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "mem/bus.hh"
 
+#include "common/snapshot.hh"
+
 namespace svc
 {
 
@@ -29,9 +31,50 @@ SnoopingBus::stats() const
     s.addCounter("bus_writes", transactionCount(BusCmd::BusWrite));
     s.addCounter("bus_wbacks", transactionCount(BusCmd::BusWback));
     s.addCounter("nacks", nNacks);
+    s.addCounter("retries", nRetries);
+    s.addCounter("backoff_queue_peak",
+                 static_cast<Counter>(deferredPeak));
+    s.addCounter("backoff_queue_depth",
+                 static_cast<Counter>(deferred.size()));
     s.addDistribution("occupancy", occupancyDist);
     s.addDistribution("arb_wait", waitDist);
     return s;
+}
+
+void
+SnoopingBus::saveState(SnapshotWriter &w) const
+{
+    w.putU64(busyUntil);
+    w.putU64(busyCycles);
+    w.putU64(observedCycles);
+    w.putU64(nNacks);
+    w.putU64(nRetries);
+    w.putU64(deferredPeak);
+    for (Counter t : transactions)
+        w.putU64(t);
+    occupancyDist.saveState(w);
+    waitDist.saveState(w);
+}
+
+bool
+SnoopingBus::restoreState(SnapshotReader &r)
+{
+    if (pending() != 0) {
+        r.fail("snapshot: cannot restore into a bus with pending "
+               "requests");
+        return false;
+    }
+    busyUntil = r.getU64();
+    busyCycles = r.getU64();
+    observedCycles = r.getU64();
+    nNacks = r.getU64();
+    nRetries = r.getU64();
+    deferredPeak = static_cast<std::size_t>(r.getU64());
+    for (Counter &t : transactions)
+        t = r.getU64();
+    if (!occupancyDist.restoreState(r) || !waitDist.restoreState(r))
+        return false;
+    return r.ok();
 }
 
 } // namespace svc

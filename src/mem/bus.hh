@@ -112,6 +112,13 @@ class SnoopingBus
                               req.retries, busCmdName(req.cmd)});
             }
             deferred.push_back({now + backoff, std::move(req)});
+            if (deferred.size() > deferredPeak)
+                deferredPeak = deferred.size();
+            if (tracer) {
+                tracer->emit({now, 0, TraceCat::Bus,
+                              "bus_backoff_depth", kNoPu, kNoAddr,
+                              deferred.size(), nullptr});
+            }
             return;
         }
         ++transactions[static_cast<unsigned>(req.cmd)];
@@ -161,6 +168,15 @@ class SnoopingBus
     /** NACKed grants so far. */
     Counter nackCount() const { return nNacks; }
 
+    /** NACKed requests that matured and re-arbitrated. */
+    Counter retryCount() const { return nRetries; }
+
+    /** High-water mark of the NACK/backoff queue. */
+    std::size_t backoffQueuePeak() const { return deferredPeak; }
+
+    /** Requests currently sitting out a backoff. */
+    std::size_t backoffQueueDepth() const { return deferred.size(); }
+
     /** busy-cycle / observed-cycle ratio (paper Table 3). */
     double
     utilization() const
@@ -186,6 +202,17 @@ class SnoopingBus
     /** Snapshot bus statistics. */
     StatSet stats() const;
 
+    /**
+     * Serialize timing + counters. Queued requests hold perform()
+     * closures, so the owning system only checkpoints when
+     * pending() == 0 (quiescent point); busyUntil and the counters
+     * are plain data and may be arbitrary.
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore state saved by saveState(); requires pending()==0. */
+    bool restoreState(SnapshotReader &r);
+
   private:
     /** One NACKed request sitting out its backoff. */
     struct DeferredRequest
@@ -207,6 +234,7 @@ class SnoopingBus
                                   it->req.retries,
                                   busCmdName(it->req.cmd)});
                 }
+                ++nRetries;
                 matured.push_back(std::move(it->req));
                 it = deferred.erase(it);
             } else {
@@ -226,6 +254,8 @@ class SnoopingBus
     unsigned retryLimit = 4;
     Cycle backoffBase = 2;
     Counter nNacks = 0;
+    Counter nRetries = 0;
+    std::size_t deferredPeak = 0;
     Cycle busyUntil = 0;
     Counter busyCycles = 0;
     Counter observedCycles = 0;

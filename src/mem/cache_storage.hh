@@ -194,6 +194,14 @@ class CacheStorage
                (Addr{idx} << offsetBits);
     }
 
+    /** Raw frame access, for checkpoint serialization only. */
+    std::vector<Frame> &rawFrames() { return frames; }
+    const std::vector<Frame> &rawFrames() const { return frames; }
+
+    /** LRU clock, for checkpoint serialization only. */
+    std::uint64_t lruClock() const { return clock; }
+    void setLruClock(std::uint64_t c) { clock = c; }
+
   private:
     unsigned lineBytes;
     unsigned ways;

@@ -29,9 +29,12 @@
 #ifndef SVC_MEM_FAULT_INJECTOR_HH
 #define SVC_MEM_FAULT_INJECTOR_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "common/random.hh"
+#include "common/snapshot.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -79,6 +82,23 @@ struct FaultConfig
     std::uint64_t maxInjections = UINT64_MAX;
 };
 
+/**
+ * One fault pinned to a query serial number: "the @p at'th time any
+ * fault point consults the injector, answer yes with @p kind". A
+ * list of these (a FaultSchedule) replays a recorded run's fault
+ * decisions exactly, without consuming any randomness — which is
+ * what lets the fault minimizer delete individual faults from a
+ * failing run and re-execute deterministically.
+ */
+struct ScheduledFault
+{
+    FaultKind kind = FaultKind::BusNack;
+    std::uint64_t at = 0; ///< query serial (1-based, see queries())
+};
+
+/** An explicit fault schedule, sorted by query serial. */
+using FaultSchedule = std::vector<ScheduledFault>;
+
 /** The deterministic fault oracle (see file comment). */
 class FaultInjector
 {
@@ -95,9 +115,18 @@ class FaultInjector
     bool
     nackBusGrant(unsigned retries, unsigned retry_limit)
     {
+        if (replaying) {
+            ++nQueries;
+            if (retries >= retry_limit)
+                return false;
+            return scheduledHit(FaultKind::BusNack);
+        }
+        if (countAll)
+            ++nQueries;
         if (cfg.nackPercent == 0 || retries >= retry_limit)
             return false;
-        ++nQueries;
+        if (!countAll)
+            ++nQueries;
         if (!budgetLeft() || !rng.chance(cfg.nackPercent))
             return false;
         return inject(FaultKind::BusNack);
@@ -107,9 +136,18 @@ class FaultInjector
     Cycle
     snoopResponseDelay()
     {
+        if (replaying) {
+            ++nQueries;
+            return scheduledHit(FaultKind::SnoopDelay)
+                       ? cfg.delayCycles
+                       : 0;
+        }
+        if (countAll)
+            ++nQueries;
         if (cfg.delayPercent == 0)
             return 0;
-        ++nQueries;
+        if (!countAll)
+            ++nQueries;
         if (!budgetLeft() || !rng.chance(cfg.delayPercent))
             return 0;
         inject(FaultKind::SnoopDelay);
@@ -120,9 +158,16 @@ class FaultInjector
     bool
     writebackStall()
     {
+        if (replaying) {
+            ++nQueries;
+            return scheduledHit(FaultKind::WritebackStall);
+        }
+        if (countAll)
+            ++nQueries;
         if (cfg.wbStallPercent == 0)
             return false;
-        ++nQueries;
+        if (!countAll)
+            ++nQueries;
         if (!budgetLeft() || !rng.chance(cfg.wbStallPercent))
             return false;
         return inject(FaultKind::WritebackStall);
@@ -132,9 +177,16 @@ class FaultInjector
     bool
     spuriousSquash()
     {
+        if (replaying) {
+            ++nQueries;
+            return scheduledHit(FaultKind::SpuriousSquash);
+        }
+        if (countAll)
+            ++nQueries;
         if (cfg.squashPer10k == 0)
             return false;
-        ++nQueries;
+        if (!countAll)
+            ++nQueries;
         if (!budgetLeft() || rng.below(10000) >= cfg.squashPer10k)
             return false;
         return inject(FaultKind::SpuriousSquash);
@@ -142,6 +194,45 @@ class FaultInjector
 
     /** Record a corruption applied externally (SvcCorruptor). */
     void recordCorruption(FaultKind kind) { inject(kind); }
+
+    /**
+     * Count every query — including ones the rate config makes
+     * ineligible — so query serials are stable whether faults come
+     * from rates (recording) or a schedule (replay). Off by
+     * default: the legacy rate-only counting is part of the fault
+     * matrix's golden behavior.
+     */
+    void setCountAllQueries(bool on) { countAll = on; }
+
+    /**
+     * Record every rate-driven injection as a (kind, serial) pair.
+     * Implies counting all queries.
+     */
+    void
+    startRecording()
+    {
+        countAll = true;
+        recording = true;
+        recorded.clear();
+    }
+
+    /** The schedule captured since startRecording(). */
+    const FaultSchedule &recordedSchedule() const { return recorded; }
+
+    /**
+     * Switch to replay mode: ignore the rate config and RNG, and
+     * answer yes exactly at the query serials in @p schedule.
+     */
+    void
+    setSchedule(FaultSchedule schedule)
+    {
+        std::sort(schedule.begin(), schedule.end(),
+                  [](const ScheduledFault &a, const ScheduledFault &b)
+                  { return a.at < b.at; });
+        replaySchedule = std::move(schedule);
+        replayIdx = 0;
+        replaying = true;
+    }
 
     /** The injector's RNG, for corruption-site selection. */
     Rng &raw() { return rng; }
@@ -175,6 +266,51 @@ class FaultInjector
         return s;
     }
 
+    /**
+     * Serialize the dynamic state (RNG position, query serial,
+     * counts, replay cursor, recorded schedule). The config and
+     * mode flags are not serialized: a checkpoint is restored into
+     * an injector constructed with the identical configuration.
+     */
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.putU64(rng.rawState());
+        w.putU64(nQueries);
+        for (Counter c : counts)
+            w.putU64(c);
+        w.putU64(replayIdx);
+        w.putU64(recorded.size());
+        for (const ScheduledFault &f : recorded) {
+            w.putU8(static_cast<std::uint8_t>(f.kind));
+            w.putU64(f.at);
+        }
+    }
+
+    bool
+    restoreState(SnapshotReader &r)
+    {
+        rng.setRawState(r.getU64());
+        nQueries = r.getU64();
+        for (Counter &c : counts)
+            c = r.getU64();
+        replayIdx = static_cast<std::size_t>(r.getU64());
+        const std::uint64_t n = r.getCount(9);
+        if (!r.ok())
+            return false;
+        recorded.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::uint8_t k = r.getU8();
+            const std::uint64_t at = r.getU64();
+            if (k >= kNumFaultKinds) {
+                r.fail("snapshot: invalid fault kind in schedule");
+                return false;
+            }
+            recorded.push_back({static_cast<FaultKind>(k), at});
+        }
+        return r.ok();
+    }
+
   private:
     bool budgetLeft() const { return totalInjected() < cfg.maxInjections; }
 
@@ -182,13 +318,39 @@ class FaultInjector
     inject(FaultKind kind)
     {
         ++counts[static_cast<unsigned>(kind)];
+        if (recording)
+            recorded.push_back({kind, nQueries});
         return true;
+    }
+
+    /** Replay-mode decision for the current query serial. */
+    bool
+    scheduledHit(FaultKind kind)
+    {
+        while (replayIdx < replaySchedule.size() &&
+               replaySchedule[replayIdx].at < nQueries) {
+            ++replayIdx;
+        }
+        if (replayIdx < replaySchedule.size() &&
+            replaySchedule[replayIdx].at == nQueries &&
+            replaySchedule[replayIdx].kind == kind) {
+            ++replayIdx;
+            ++counts[static_cast<unsigned>(kind)];
+            return true;
+        }
+        return false;
     }
 
     FaultConfig cfg;
     Rng rng;
     Counter nQueries = 0;
     Counter counts[kNumFaultKinds] = {};
+    bool countAll = false;
+    bool recording = false;
+    bool replaying = false;
+    FaultSchedule recorded;
+    FaultSchedule replaySchedule;
+    std::size_t replayIdx = 0;
 };
 
 } // namespace svc

@@ -1,7 +1,26 @@
 #include "mem/main_memory.hh"
 
+#include <algorithm>
+
+#include "common/snapshot.hh"
+
 namespace svc
 {
+
+namespace
+{
+
+bool
+pageIsZero(const std::array<std::uint8_t, MainMemory::kPageSize> &p)
+{
+    for (std::uint8_t b : p) {
+        if (b != 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
 
 MainMemory::Page *
 MainMemory::findPage(Addr addr) const
@@ -73,6 +92,56 @@ MainMemory::hashRange(Addr addr, std::size_t len) const
         h *= 0x100000001b3ull;
     }
     return h;
+}
+
+std::uint64_t
+MainMemory::hashAll() const
+{
+    std::vector<Addr> order;
+    order.reserve(pages.size());
+    for (const auto &kv : pages) {
+        if (!pageIsZero(*kv.second))
+            order.push_back(kv.first);
+    }
+    std::sort(order.begin(), order.end());
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (Addr pn : order) {
+        h = snapshotFnv1a(&pn, sizeof(pn), h);
+        h = snapshotFnv1a(pages.at(pn)->data(), kPageSize, h);
+    }
+    return h;
+}
+
+void
+MainMemory::saveState(SnapshotWriter &w) const
+{
+    std::vector<Addr> order;
+    order.reserve(pages.size());
+    for (const auto &kv : pages)
+        order.push_back(kv.first);
+    std::sort(order.begin(), order.end());
+    w.putU64(order.size());
+    for (Addr pn : order) {
+        w.putU64(pn);
+        w.putBytes(pages.at(pn)->data(), kPageSize);
+    }
+}
+
+bool
+MainMemory::restoreState(SnapshotReader &r)
+{
+    const std::uint64_t n = r.getCount(8 + kPageSize);
+    if (!r.ok())
+        return false;
+    pages.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr pn = r.getU64();
+        auto page = std::make_unique<Page>();
+        if (!r.getBytes(page->data(), kPageSize))
+            return false;
+        pages[pn] = std::move(page);
+    }
+    return r.ok();
 }
 
 } // namespace svc

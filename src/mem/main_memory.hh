@@ -22,6 +22,9 @@
 namespace svc
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /**
  * Architected main memory. Reads of never-written locations return
  * zero, which gives every simulation a deterministic initial image.
@@ -52,6 +55,19 @@ class MainMemory
      * tests to compare final memory images cheaply.
      */
     std::uint64_t hashRange(Addr addr, std::size_t len) const;
+
+    /**
+     * FNV-1a over the full sparse image (pages in address order;
+     * all-zero pages hash like absent ones). Lets tests compare two
+     * complete memory images without knowing the footprint.
+     */
+    std::uint64_t hashAll() const;
+
+    /** Serialize the sparse image (pages in address order). */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Replace the image with one saved by saveState(). */
+    bool restoreState(SnapshotReader &r);
 
     /** Drop all contents (back to all-zero). */
     void clear() { pages.clear(); }

@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/snapshot.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
@@ -168,6 +169,34 @@ class MshrFile
         s.addCounter("combined_accesses", combinedAccesses);
         s.addCounter("full_stalls", fullStalls);
         return s;
+    }
+
+    /**
+     * Serialize the counters. The MSHR entries themselves hold
+     * onFill closures and cannot be serialized — snapshots are only
+     * taken at quiescent points where inFlight() == 0, which the
+     * owning system guarantees before calling this.
+     */
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.putU64(primaryMisses);
+        w.putU64(combinedAccesses);
+        w.putU64(fullStalls);
+    }
+
+    bool
+    restoreState(SnapshotReader &r)
+    {
+        if (inFlight() != 0) {
+            r.fail("snapshot: cannot restore into an MSHR file "
+                   "with in-flight misses");
+            return false;
+        }
+        primaryMisses = r.getU64();
+        combinedAccesses = r.getU64();
+        fullStalls = r.getU64();
+        return r.ok();
     }
 
   private:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/snapshot.hh"
+
 namespace svc
 {
 
@@ -172,6 +174,67 @@ RefSpecMem::stats() const
     s.addCounter("stores", nStores);
     s.addCounter("violations", nViolations);
     return s;
+}
+
+void
+RefSpecMem::saveState(SnapshotWriter &w) const
+{
+    w.putU64(currentCycle);
+    w.putU64(nLoads);
+    w.putU64(nStores);
+    w.putU64(nViolations);
+    w.putU64(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        w.putU64(tasks[i]);
+        const TaskState &st = states[i];
+        w.putU64(st.seq);
+        // Maps serialize in sorted order for determinism.
+        std::vector<std::pair<Addr, std::uint8_t>> log(
+            st.storeLog.begin(), st.storeLog.end());
+        std::sort(log.begin(), log.end());
+        w.putU64(log.size());
+        for (const auto &[a, b] : log) {
+            w.putU64(a);
+            w.putU8(b);
+        }
+        w.putU64(st.useBeforeDef.size());
+        for (Addr a : st.useBeforeDef)
+            w.putU64(a);
+    }
+}
+
+bool
+RefSpecMem::restoreState(SnapshotReader &r)
+{
+    if (inFlight != 0 || !events.empty()) {
+        r.fail("snapshot: cannot restore into a busy reference "
+               "memory");
+        return false;
+    }
+    currentCycle = r.getU64();
+    nLoads = r.getU64();
+    nStores = r.getU64();
+    nViolations = r.getU64();
+    const std::uint64_t n = r.getCount(16);
+    if (n != tasks.size()) {
+        r.fail("snapshot: reference memory PU count mismatch");
+        return false;
+    }
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        tasks[i] = r.getU64();
+        TaskState &st = states[i];
+        st = TaskState{};
+        st.seq = r.getU64();
+        const std::uint64_t nl = r.getCount(9);
+        for (std::uint64_t j = 0; j < nl; ++j) {
+            const Addr a = r.getU64();
+            st.storeLog[a] = r.getU8();
+        }
+        const std::uint64_t nu = r.getCount(8);
+        for (std::uint64_t j = 0; j < nu; ++j)
+            st.useBeforeDef.insert(r.getU64());
+    }
+    return r.ok();
 }
 
 } // namespace svc

@@ -82,6 +82,14 @@ class RefSpecMem : public SpecMem
     StatSet stats() const override;
     const char *name() const override { return "perfect"; }
 
+    bool
+    checkpointQuiescent() const override
+    {
+        return inFlight == 0 && events.empty();
+    }
+    void saveState(SnapshotWriter &w) const override;
+    bool restoreState(SnapshotReader &r) override;
+
     Counter nLoads = 0;
     Counter nStores = 0;
     Counter nViolations = 0;

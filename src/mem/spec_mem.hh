@@ -19,6 +19,8 @@
 namespace svc
 {
 
+class SnapshotReader;
+class SnapshotWriter;
 class TraceSink;
 
 /** One memory request from a PU's load/store queue. */
@@ -106,6 +108,32 @@ class SpecMem
      * (section 4.4) — or 0 for systems without a memory hierarchy.
      */
     virtual double missRatio() const { return 0.0; }
+
+    // ---- Checkpoint hooks (defaulted: a system that does not
+    //      implement them is simply never checkpointable) ----
+
+    /**
+     * @return true when every in-flight access has completed and
+     * no queued work holds a callback — i.e. the remaining state is
+     * plain data and saveState() would capture it completely. The
+     * checkpoint layer only snapshots at cycles where this holds.
+     */
+    virtual bool checkpointQuiescent() const { return false; }
+
+    /** Serialize all state into @p w (requires quiescence). */
+    virtual void saveState(SnapshotWriter &w) const { (void)w; }
+
+    /**
+     * Restore state saved by saveState() into a freshly constructed
+     * system with the identical configuration. @return false (after
+     * SnapshotReader::fail()) on any mismatch.
+     */
+    virtual bool
+    restoreState(SnapshotReader &r)
+    {
+        (void)r;
+        return false;
+    }
 };
 
 } // namespace svc

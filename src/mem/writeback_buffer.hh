@@ -13,6 +13,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/snapshot.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -70,6 +71,37 @@ class WritebackBuffer
         StatSet s;
         s.addCounter("writebacks", pushes);
         return s;
+    }
+
+    /** Serialize parked entries + counters (entries are plain data). */
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.putU64(entries.size());
+        for (const auto &e : entries) {
+            w.putU64(e.lineAddr);
+            w.putVec(e.data);
+            w.putU64(e.byteMask);
+        }
+        w.putU64(pushes);
+    }
+
+    bool
+    restoreState(SnapshotReader &r)
+    {
+        const std::uint64_t n = r.getCount(24);
+        if (!r.ok())
+            return false;
+        entries.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            WritebackEntry e;
+            e.lineAddr = r.getU64();
+            e.data = r.getVec();
+            e.byteMask = r.getU64();
+            entries.push_back(std::move(e));
+        }
+        pushes = r.getU64();
+        return r.ok();
     }
 
   private:

@@ -1,0 +1,169 @@
+#include "multiscalar/checkpoint.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "mem/fault_injector.hh"
+#include "mem/main_memory.hh"
+#include "mem/spec_mem.hh"
+#include "multiscalar/processor.hh"
+
+namespace svc
+{
+
+std::uint64_t
+checkpointConfigHash(const MultiscalarConfig &cfg,
+                     const std::string &memName, std::uint64_t extra)
+{
+    // Canonical description string: order and format are part of
+    // the snapshot format contract (bump kSnapshotVersion if this
+    // ever changes).
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "pus=%u fetch=%u issue=%u rob=%u fus=%u/%u/%u/%u/%u "
+        "lat=%llu/%llu/%llu/%llu "
+        "ic=%zu/%u/%u/%llu/%llu "
+        "pred=%u/%u/%u/%u/%u/%u/%llu "
+        "ring=%llu/%u limits=%llu/%llu",
+        cfg.numPus, cfg.pu.fetchWidth, cfg.pu.issueWidth,
+        cfg.pu.robEntries, cfg.pu.simpleIntFus, cfg.pu.complexIntFus,
+        cfg.pu.fpFus, cfg.pu.branchFus, cfg.pu.addrFus,
+        static_cast<unsigned long long>(cfg.pu.mulLatency),
+        static_cast<unsigned long long>(cfg.pu.divLatency),
+        static_cast<unsigned long long>(cfg.pu.fpLatency),
+        static_cast<unsigned long long>(cfg.pu.fpDivLatency),
+        cfg.icache.sizeBytes, cfg.icache.assoc, cfg.icache.lineBytes,
+        static_cast<unsigned long long>(cfg.icache.hitLatency),
+        static_cast<unsigned long long>(cfg.icache.missPenalty),
+        cfg.predictor.descCacheEntries, cfg.predictor.descCacheAssoc,
+        cfg.predictor.tableEntries, cfg.predictor.pathBits,
+        cfg.predictor.pathHistory, cfg.predictor.rasEntries,
+        static_cast<unsigned long long>(
+            cfg.predictor.descMissPenalty),
+        static_cast<unsigned long long>(cfg.regHopLatency),
+        cfg.regBandwidth,
+        static_cast<unsigned long long>(cfg.maxInstructions),
+        static_cast<unsigned long long>(cfg.maxCycles));
+    std::uint64_t h = snapshotFnv1a(buf, std::strlen(buf));
+    h = snapshotFnv1a(memName.data(), memName.size(), h);
+    h = snapshotFnv1a(&extra, sizeof(extra), h);
+    return h;
+}
+
+bool
+saveCheckpoint(const Processor &proc, const SpecMem &mem,
+               const MainMemory &mainMem, const FaultInjector *faults,
+               std::uint64_t configHash, bool force,
+               std::vector<std::uint8_t> &image, std::string &error)
+{
+    const bool quiescent = proc.checkpointQuiescent();
+    if (!quiescent && !force) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "checkpoint: cycle %llu is not snapshot-safe "
+                      "(in-flight state)",
+                      static_cast<unsigned long long>(proc.now()));
+        error = buf;
+        return false;
+    }
+
+    SnapshotWriter w;
+    w.beginSection(SnapSection::Processor);
+    proc.saveState(w);
+    w.endSection();
+    w.beginSection(SnapSection::SpecMem);
+    mem.saveState(w);
+    w.endSection();
+    w.beginSection(SnapSection::MainMemory);
+    mainMem.saveState(w);
+    w.endSection();
+    w.beginSection(SnapSection::Faults);
+    w.putBool(faults != nullptr);
+    if (faults)
+        faults->saveState(w);
+    w.endSection();
+
+    SnapshotHeader hdr;
+    hdr.formatVersion = kSnapshotVersion;
+    hdr.flags = quiescent ? kSnapFlagQuiescent : 0;
+    hdr.cycle = proc.now();
+    hdr.configHash = configHash;
+    image = frameSnapshot(hdr, w.bytes());
+    return true;
+}
+
+bool
+restoreCheckpoint(const std::vector<std::uint8_t> &image,
+                  Processor &proc, SpecMem &mem, MainMemory &mainMem,
+                  FaultInjector *faults, std::uint64_t configHash,
+                  std::string &error)
+{
+    SnapshotHeader hdr;
+    const std::uint8_t *body = nullptr;
+    std::size_t bodyLen = 0;
+    if (!unframeSnapshot(image, hdr, body, bodyLen, error))
+        return false;
+    if (!hdr.quiescent()) {
+        error = "checkpoint: snapshot was forced at a non-quiescent "
+                "cycle (diagnostic only, not restorable)";
+        return false;
+    }
+    if (hdr.configHash != configHash) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "checkpoint: configuration mismatch (snapshot "
+                      "%016llx, this run %016llx)",
+                      static_cast<unsigned long long>(hdr.configHash),
+                      static_cast<unsigned long long>(configHash));
+        error = buf;
+        return false;
+    }
+
+    SnapshotReader r(body, bodyLen);
+    bool ok = r.beginSection(SnapSection::Processor) &&
+              proc.restoreState(r);
+    if (ok)
+        r.endSection();
+    ok = ok && r.beginSection(SnapSection::SpecMem) &&
+         mem.restoreState(r);
+    if (ok)
+        r.endSection();
+    ok = ok && r.beginSection(SnapSection::MainMemory) &&
+         mainMem.restoreState(r);
+    if (ok)
+        r.endSection();
+    if (ok && r.beginSection(SnapSection::Faults)) {
+        const bool hadFaults = r.getBool();
+        if (hadFaults && !faults) {
+            r.fail("checkpoint: snapshot carries fault-injector "
+                   "state but no injector is attached");
+        } else if (!hadFaults && faults) {
+            r.fail("checkpoint: this run has a fault injector but "
+                   "the snapshot carries none");
+        } else if (faults && !faults->restoreState(r)) {
+            ok = false;
+        }
+        r.endSection();
+    }
+    if (!r.ok()) {
+        error = r.error();
+        return false;
+    }
+    if (!ok) {
+        error = "checkpoint: restore failed";
+        return false;
+    }
+    return true;
+}
+
+bool
+peekCheckpoint(const std::vector<std::uint8_t> &image,
+               SnapshotHeader &hdr, std::string &error)
+{
+    const std::uint8_t *body = nullptr;
+    std::size_t bodyLen = 0;
+    return unframeSnapshot(image, hdr, body, bodyLen, error);
+}
+
+} // namespace svc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Whole-run checkpointing for a multiscalar simulation: bundles the
+ * processor (sequencer + predictor + ring + I-caches + PUs), the
+ * speculative memory system, the sparse main-memory image and the
+ * optional fault injector into one versioned, checksummed snapshot
+ * (see common/snapshot.hh for the file format).
+ *
+ * Checkpoints are taken at *quiescent* points only — cycles where no
+ * completion callback is in flight anywhere (Processor::
+ * checkpointQuiescent()) — so the remaining state is plain data and
+ * a restored run replays bit-identically: same final memory image,
+ * same statistics, same trace suffix. A *forced* snapshot (watchdog
+ * diagnostics) may be taken at any cycle; it clears the quiescent
+ * header flag and restoreCheckpoint() refuses it.
+ */
+
+#ifndef SVC_MULTISCALAR_CHECKPOINT_HH
+#define SVC_MULTISCALAR_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/snapshot.hh"
+#include "multiscalar/config.hh"
+
+namespace svc
+{
+
+class FaultInjector;
+class MainMemory;
+class Processor;
+class SpecMem;
+
+/**
+ * FNV-1a hash of the canonical run configuration: every parameter
+ * that shapes serialized state geometry (PU count, table/cache
+ * sizes, run limits), the memory-system name, plus @p extra for
+ * caller-specific identity (e.g. a program-image hash and the
+ * memory-system config). The watchdog settings are deliberately
+ * excluded: restoring with a different watchdog is safe and useful.
+ */
+std::uint64_t checkpointConfigHash(const MultiscalarConfig &cfg,
+                                   const std::string &memName,
+                                   std::uint64_t extra = 0);
+
+/**
+ * Serialize the full simulation state into a framed snapshot image.
+ *
+ * @param faults may be null (no fault injection); presence is
+ *        recorded so restore can verify it matches.
+ * @param force take the snapshot even at a non-quiescent cycle
+ *        (diagnostic bundles only — the result is not restorable).
+ * @return false with a structured message in @p error if the system
+ *         is not quiescent (and @p force is unset).
+ */
+bool saveCheckpoint(const Processor &proc, const SpecMem &mem,
+                    const MainMemory &mainMem,
+                    const FaultInjector *faults,
+                    std::uint64_t configHash, bool force,
+                    std::vector<std::uint8_t> &image,
+                    std::string &error);
+
+/**
+ * Restore a snapshot image into freshly constructed, identically
+ * configured components. Verifies (in order) the frame checksum,
+ * the quiescent flag, the config hash, and every per-component
+ * geometry check. @return false with a structured message on any
+ * mismatch; the components are then in an unspecified state and
+ * must be discarded.
+ */
+bool restoreCheckpoint(const std::vector<std::uint8_t> &image,
+                       Processor &proc, SpecMem &mem,
+                       MainMemory &mainMem, FaultInjector *faults,
+                       std::uint64_t configHash, std::string &error);
+
+/**
+ * Parse and verify only the frame (magic, version, checksum) of a
+ * snapshot image, returning its header.
+ */
+bool peekCheckpoint(const std::vector<std::uint8_t> &image,
+                    SnapshotHeader &hdr, std::string &error);
+
+} // namespace svc
+
+#endif // SVC_MULTISCALAR_CHECKPOINT_HH

@@ -72,6 +72,17 @@ struct MultiscalarConfig
     std::uint64_t maxInstructions = 1ull << 62;
     /** Hard wall on simulated cycles (runaway guard). */
     Cycle maxCycles = 1ull << 62;
+    /**
+     * Forward-progress watchdog: if no task commits for this many
+     * cycles the run is declared wedged (0 disables the check).
+     */
+    Cycle watchdogInterval = 1000000;
+    /**
+     * On a watchdog trip: true panics (after the diagnostic
+     * handler, if any, has run); false ends the run gracefully with
+     * RunStats::watchdogTripped set.
+     */
+    bool watchdogFatal = true;
 };
 
 } // namespace svc

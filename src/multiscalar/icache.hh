@@ -10,6 +10,7 @@
 #ifndef SVC_MULTISCALAR_ICACHE_HH
 #define SVC_MULTISCALAR_ICACHE_HH
 
+#include "common/snapshot.hh"
 #include "common/stats.hh"
 #include "mem/cache_storage.hh"
 #include "multiscalar/config.hh"
@@ -60,6 +61,42 @@ class ICache
         s.addCounter("accesses", accesses);
         s.addCounter("misses", misses);
         return s;
+    }
+
+    /** Serialize tags + counters. */
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.putU64(tags.lruClock());
+        const auto &frames = tags.rawFrames();
+        w.putU64(frames.size());
+        for (const auto &f : frames) {
+            w.putBool(f.valid);
+            w.putU64(f.tag);
+            w.putU64(f.lruStamp);
+        }
+        w.putU64(accesses);
+        w.putU64(misses);
+    }
+
+    bool
+    restoreState(SnapshotReader &r)
+    {
+        tags.setLruClock(r.getU64());
+        auto &frames = tags.rawFrames();
+        const std::uint64_t n = r.getCount(17);
+        if (n != frames.size()) {
+            r.fail("snapshot: icache geometry mismatch");
+            return false;
+        }
+        for (auto &f : frames) {
+            f.valid = r.getBool();
+            f.tag = r.getU64();
+            f.lruStamp = r.getU64();
+        }
+        accesses = r.getU64();
+        misses = r.getU64();
+        return r.ok();
     }
 
     Counter accesses = 0;

@@ -1,6 +1,7 @@
 #include "multiscalar/predictor.hh"
 
 #include "common/intmath.hh"
+#include "common/snapshot.hh"
 
 namespace svc
 {
@@ -170,6 +171,88 @@ TaskPredictor::stats() const
     s.addCounter("ras_uses", nRasUses);
     s.addRatio("accuracy", nCorrect, nCorrect + nMispredicts);
     return s;
+}
+
+void
+TaskPredictor::saveState(SnapshotWriter &w) const
+{
+    w.putU32(pathReg);
+    w.putU64(targetTable.size());
+    for (const TargetEntry &e : targetTable) {
+        w.putU8(e.counter);
+        w.putU8(e.target);
+    }
+    w.putU64(addressTable.size());
+    for (const AddressEntry &e : addressTable) {
+        w.putU8(e.counter);
+        w.putU64(e.addr);
+    }
+    w.putU64(ras.size());
+    for (Addr a : ras)
+        w.putU64(a);
+    w.putU64(descCache.lruClock());
+    const auto &frames = descCache.rawFrames();
+    w.putU64(frames.size());
+    for (const auto &f : frames) {
+        w.putBool(f.valid);
+        w.putU64(f.tag);
+        w.putU64(f.lruStamp);
+    }
+    w.putU64(nPredictions);
+    w.putU64(nCorrect);
+    w.putU64(nMispredicts);
+    w.putU64(nDescMisses);
+    w.putU64(nRasUses);
+}
+
+bool
+TaskPredictor::restoreState(SnapshotReader &r)
+{
+    pathReg = r.getU32();
+    std::uint64_t n = r.getCount(2);
+    if (n != targetTable.size()) {
+        r.fail("snapshot: predictor target table size mismatch");
+        return false;
+    }
+    for (TargetEntry &e : targetTable) {
+        e.counter = r.getU8();
+        e.target = r.getU8();
+    }
+    n = r.getCount(9);
+    if (n != addressTable.size()) {
+        r.fail("snapshot: predictor address table size mismatch");
+        return false;
+    }
+    for (AddressEntry &e : addressTable) {
+        e.counter = r.getU8();
+        e.addr = r.getU64();
+    }
+    n = r.getCount(8);
+    if (n > cfg.rasEntries) {
+        r.fail("snapshot: predictor RAS depth exceeds capacity");
+        return false;
+    }
+    ras.clear();
+    for (std::uint64_t i = 0; i < n; ++i)
+        ras.push_back(r.getU64());
+    descCache.setLruClock(r.getU64());
+    auto &frames = descCache.rawFrames();
+    n = r.getCount(17);
+    if (n != frames.size()) {
+        r.fail("snapshot: predictor descriptor cache mismatch");
+        return false;
+    }
+    for (auto &f : frames) {
+        f.valid = r.getBool();
+        f.tag = r.getU64();
+        f.lruStamp = r.getU64();
+    }
+    nPredictions = r.getU64();
+    nCorrect = r.getU64();
+    nMispredicts = r.getU64();
+    nDescMisses = r.getU64();
+    nRasUses = r.getU64();
+    return r.ok();
 }
 
 } // namespace svc

@@ -75,6 +75,12 @@ class TaskPredictor
 
     StatSet stats() const;
 
+    /** Serialize path register, tables, RAS, desc cache, counters. */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore into an identically configured predictor. */
+    bool restoreState(SnapshotReader &r);
+
     Counter nPredictions = 0;
     Counter nCorrect = 0;
     Counter nMispredicts = 0;

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/log.hh"
+#include "common/snapshot.hh"
 
 namespace svc
 {
@@ -199,16 +200,33 @@ Processor::tick()
 RunStats
 Processor::run()
 {
-    Cycle last_commit_check = 0;
-    std::uint64_t last_committed = 0;
+    // Baseline at the current cycle so restored runs don't see the
+    // pre-restore cycles as an (apparent) commit drought.
+    Cycle last_commit_check = currentCycle;
+    std::uint64_t last_committed = nCommittedTasks;
+    bool tripped = false;
     while (!finished && currentCycle < cfg.maxCycles) {
         tick();
+        if (tickHook)
+            tickHook(currentCycle);
         // Forward-progress watchdog.
-        if (currentCycle - last_commit_check >= 1000000) {
-            if (nCommittedTasks == last_committed)
-                panic("multiscalar: no task committed in 1M cycles "
-                      "(cycle %llu)",
-                      static_cast<unsigned long long>(currentCycle));
+        if (cfg.watchdogInterval != 0 &&
+            currentCycle - last_commit_check >=
+                cfg.watchdogInterval) {
+            if (nCommittedTasks == last_committed) {
+                if (watchdogHandler)
+                    watchdogHandler();
+                if (cfg.watchdogFatal) {
+                    panic("multiscalar: no task committed in %llu "
+                          "cycles (cycle %llu)",
+                          static_cast<unsigned long long>(
+                              cfg.watchdogInterval),
+                          static_cast<unsigned long long>(
+                              currentCycle));
+                }
+                tripped = true;
+                break;
+            }
             last_committed = nCommittedTasks;
             last_commit_check = currentCycle;
         }
@@ -221,6 +239,7 @@ Processor::run()
     rs.taskMispredicts = nTaskMispredicts;
     rs.violationSquashes = nViolationSquashes;
     rs.halted = finished;
+    rs.watchdogTripped = tripped;
     rs.ipc = currentCycle == 0
                  ? 0.0
                  : static_cast<double>(nCommittedInstructions) /
@@ -272,6 +291,140 @@ Processor::stats() const
         s.merge("icache" + std::to_string(i), icaches[i].stats());
     }
     return s;
+}
+
+bool
+Processor::checkpointQuiescent() const
+{
+    if (!mem.checkpointQuiescent())
+        return false;
+    if (!ring.checkpointQuiescent())
+        return false;
+    for (const auto &pu : pus) {
+        if (pu->hasInFlightMem())
+            return false;
+    }
+    return true;
+}
+
+void
+Processor::saveState(SnapshotWriter &w) const
+{
+    w.putU64(currentCycle);
+    w.putBool(finished);
+    w.putU64(nCommittedInstructions);
+    w.putU64(nextSeq);
+    w.putU64(nextEntry);
+    w.putU64(nextAssignAt);
+    w.putU64(nCommittedTasks);
+    w.putU64(nTaskMispredicts);
+    w.putU64(nViolationSquashes);
+    w.putU64(nSquashedTasks);
+    w.putU64(pendingViolations.size());
+    for (PuId pu : pendingViolations)
+        w.putU32(pu);
+    w.putU64(active.size());
+    for (const ActiveTask &t : active) {
+        w.putU64(t.seq);
+        w.putU64(t.entry);
+        w.putU32(t.pu);
+        w.putU32(t.pathBefore);
+        w.putU64(t.prediction.next);
+        w.putU32(t.prediction.pathBefore);
+        w.putU32(t.prediction.index);
+        w.putU64(t.prediction.latency);
+        w.putBool(t.prediction.usedRas);
+        w.putBool(t.predictionMade);
+        w.putBool(t.resolved);
+        w.putU64(t.dispatchReadyAt);
+        w.putU64(t.assignedAt);
+    }
+    taskLifetime.saveState(w);
+    predictor.saveState(w);
+    ring.saveState(w);
+    w.putU64(icaches.size());
+    for (const ICache &ic : icaches)
+        ic.saveState(w);
+    w.putU64(pus.size());
+    for (const auto &pu : pus)
+        pu->saveState(w);
+}
+
+bool
+Processor::restoreState(SnapshotReader &r)
+{
+    if (!checkpointQuiescent()) {
+        r.fail("snapshot: cannot restore into a busy processor");
+        return false;
+    }
+    currentCycle = r.getU64();
+    finished = r.getBool();
+    nCommittedInstructions = r.getU64();
+    nextSeq = r.getU64();
+    nextEntry = r.getU64();
+    nextAssignAt = r.getU64();
+    nCommittedTasks = r.getU64();
+    nTaskMispredicts = r.getU64();
+    nViolationSquashes = r.getU64();
+    nSquashedTasks = r.getU64();
+    std::uint64_t n = r.getCount(4);
+    pendingViolations.clear();
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+        const PuId pu = r.getU32();
+        if (pu >= cfg.numPus) {
+            r.fail("snapshot: pending violation names an invalid PU");
+            return false;
+        }
+        pendingViolations.push_back(pu);
+    }
+    n = r.getCount(55);
+    active.clear();
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+        ActiveTask t;
+        t.seq = r.getU64();
+        t.entry = r.getU64();
+        t.pu = r.getU32();
+        if (t.pu >= cfg.numPus) {
+            r.fail("snapshot: active task names an invalid PU");
+            return false;
+        }
+        t.pathBefore = r.getU32();
+        t.prediction.next = r.getU64();
+        t.prediction.pathBefore = r.getU32();
+        t.prediction.index = r.getU32();
+        t.prediction.latency = r.getU64();
+        t.prediction.usedRas = r.getBool();
+        t.predictionMade = r.getBool();
+        t.resolved = r.getBool();
+        t.dispatchReadyAt = r.getU64();
+        t.assignedAt = r.getU64();
+        active.push_back(t);
+    }
+    if (!taskLifetime.restoreState(r))
+        return false;
+    if (!predictor.restoreState(r))
+        return false;
+    if (!ring.restoreState(r))
+        return false;
+    n = r.getCount(8);
+    if (n != icaches.size()) {
+        r.fail("snapshot: processor I-cache count mismatch");
+        return false;
+    }
+    for (ICache &ic : icaches) {
+        if (!ic.restoreState(r))
+            return false;
+    }
+    n = r.getCount(8);
+    if (n != pus.size()) {
+        r.fail("snapshot: processor PU count mismatch");
+        return false;
+    }
+    for (auto &pu : pus) {
+        if (!pu->restoreState(r))
+            return false;
+    }
+    return r.ok();
 }
 
 } // namespace svc

@@ -16,6 +16,7 @@
 #define SVC_MULTISCALAR_PROCESSOR_HH
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -41,6 +42,8 @@ struct RunStats
     std::uint64_t taskMispredicts = 0;
     std::uint64_t violationSquashes = 0;
     bool halted = false;
+    /** The forward-progress watchdog fired (non-fatal mode only). */
+    bool watchdogTripped = false;
     double ipc = 0.0;
     RegisterRing::RegArray finalRegs{};
 };
@@ -86,6 +89,46 @@ class Processor
 
     /** Print sequencer and PU state (deadlock diagnostics). */
     void debugDump() const;
+
+    /**
+     * Called from run() when the forward-progress watchdog trips,
+     * *before* the fatal panic (if watchdogFatal). Use it to emit a
+     * diagnostic bundle (forced checkpoint, trace ring, VOL dumps).
+     */
+    void
+    setWatchdogHandler(std::function<void()> handler)
+    {
+        watchdogHandler = std::move(handler);
+    }
+
+    /**
+     * Called from run() after every cycle with the current cycle
+     * number. Drives periodic checkpointing without perturbing the
+     * simulation.
+     */
+    void
+    setTickHook(std::function<void(Cycle)> hook)
+    {
+        tickHook = std::move(hook);
+    }
+
+    /**
+     * @return true when no closure-held state is in flight anywhere
+     * in the processor: the memory system is quiescent, no register
+     * forward is in transit, and no PU has an outstanding memory
+     * access. Only such cycles are snapshot-safe.
+     */
+    bool checkpointQuiescent() const;
+
+    /**
+     * Serialize sequencer, predictor, ring, I-caches and PUs. The
+     * memory system is serialized separately (see checkpoint.hh).
+     * Requires checkpointQuiescent().
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore into an identically configured processor. */
+    bool restoreState(SnapshotReader &r);
 
     Counter nCommittedTasks = 0;
     Counter nTaskMispredicts = 0;
@@ -138,6 +181,8 @@ class Processor
     /** Assign-to-commit lifetime of committed tasks, in cycles. */
     Distribution taskLifetime{0.0, 256.0, 16};
     TraceSink *tracer = nullptr;
+    std::function<void()> watchdogHandler;
+    std::function<void(Cycle)> tickHook;
     TaskSeq nextSeq = 0;
     Addr nextEntry = kNoAddr; ///< next task to sequence
     Cycle nextAssignAt = 0;   ///< dispatch throttle (1/cycle +

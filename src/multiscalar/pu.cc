@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/log.hh"
+#include "common/snapshot.hh"
 
 namespace svc
 {
@@ -453,6 +454,103 @@ Pu::stats() const
     s.addCounter("branch_mispredicts", branchMispredicts);
     s.addCounter("fetch_stall_cycles", fetchStallCycles);
     return s;
+}
+
+bool
+Pu::hasInFlightMem() const
+{
+    for (const RobEntry &e : rob) {
+        if (e.state == EState::MemIssued)
+            return true;
+    }
+    return false;
+}
+
+void
+Pu::saveState(SnapshotWriter &w) const
+{
+    w.putBool(busy);
+    w.putBool(taskDone);
+    w.putBool(sawHalt);
+    w.putU64(seq);
+    w.putU64(taskEntry);
+    w.putU64(nextTaskEntry);
+    w.putU64(retiredThisTask);
+    w.putU64(fetchPc);
+    w.putBool(fetchStopped);
+    w.putU64(fetchReadyAt);
+    w.putU64(nextEntryId);
+    w.putU64(epoch);
+    w.putU64(busyCycles);
+    w.putU64(totalRetired);
+    w.putU64(branchMispredicts);
+    w.putU64(fetchStallCycles);
+    // ROB entries minus the decoded instruction, which is re-derived
+    // from the (immutable) program image at restore.
+    w.putU64(rob.size());
+    for (const RobEntry &e : rob) {
+        w.putU64(e.pc);
+        w.putU8(static_cast<std::uint8_t>(e.state));
+        w.putU32(e.result);
+        w.putU64(e.effAddr);
+        w.putU32(e.storeData);
+        w.putBool(e.isCtrl);
+        w.putBool(e.ctrlResolved);
+        w.putU64(e.nextPc);
+        w.putU64(e.assumedNext);
+        w.putU64(e.readyAt);
+        w.putU64(e.id);
+    }
+}
+
+bool
+Pu::restoreState(SnapshotReader &r)
+{
+    busy = r.getBool();
+    taskDone = r.getBool();
+    sawHalt = r.getBool();
+    seq = r.getU64();
+    taskEntry = r.getU64();
+    nextTaskEntry = r.getU64();
+    retiredThisTask = r.getU64();
+    fetchPc = r.getU64();
+    fetchStopped = r.getBool();
+    fetchReadyAt = r.getU64();
+    nextEntryId = r.getU64();
+    epoch = r.getU64();
+    busyCycles = r.getU64();
+    totalRetired = r.getU64();
+    branchMispredicts = r.getU64();
+    fetchStallCycles = r.getU64();
+    const std::uint64_t n = r.getCount(51);
+    rob.clear();
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+        RobEntry e;
+        e.pc = r.getU64();
+        const std::uint8_t st = r.getU8();
+        if (st > static_cast<std::uint8_t>(EState::Done)) {
+            r.fail("snapshot: PU ROB entry has invalid state");
+            return false;
+        }
+        e.state = static_cast<EState>(st);
+        if (e.state == EState::MemIssued) {
+            r.fail("snapshot: PU ROB entry has an in-flight memory "
+                   "access (checkpoint was not quiescent)");
+            return false;
+        }
+        e.result = r.getU32();
+        e.effAddr = r.getU64();
+        e.storeData = r.getU32();
+        e.isCtrl = r.getBool();
+        e.ctrlResolved = r.getBool();
+        e.nextPc = r.getU64();
+        e.assumedNext = r.getU64();
+        e.readyAt = r.getU64();
+        e.id = r.getU64();
+        e.inst = isa::decode(prog.fetch(e.pc));
+        rob.push_back(e);
+    }
+    return r.ok();
 }
 
 } // namespace svc

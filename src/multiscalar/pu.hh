@@ -84,6 +84,22 @@ class Pu
     /** Print pipeline state (deadlock diagnostics). */
     void debugDump() const;
 
+    /**
+     * @return true if any ROB entry is waiting on a memory-system
+     * completion callback (not snapshot-safe).
+     */
+    bool hasInFlightMem() const;
+
+    /**
+     * Serialize pipeline state. ROB entries are stored without their
+     * decoded instruction (re-derived from the program image on
+     * restore). Requires hasInFlightMem() == false.
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore into a PU bound to the same program. */
+    bool restoreState(SnapshotReader &r);
+
   private:
     enum class EState : std::uint8_t
     {

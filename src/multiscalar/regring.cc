@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/log.hh"
+#include "common/snapshot.hh"
 
 namespace svc
 {
@@ -252,6 +253,93 @@ RegisterRing::stats() const
     s.addCounter("forwards", nForwards);
     s.addCounter("deliveries", nDeliveries);
     return s;
+}
+
+bool
+RegisterRing::checkpointQuiescent() const
+{
+    if (!events.empty())
+        return false;
+    for (const auto &q : sendQueues) {
+        if (!q.empty())
+            return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+void
+putRegArray(SnapshotWriter &w, const RegisterRing::RegArray &a)
+{
+    for (std::uint32_t v : a)
+        w.putU32(v);
+}
+
+void
+getRegArray(SnapshotReader &r, RegisterRing::RegArray &a)
+{
+    for (std::uint32_t &v : a)
+        v = r.getU32();
+}
+
+} // namespace
+
+void
+RegisterRing::saveState(SnapshotWriter &w) const
+{
+    w.putU64(now);
+    w.putU64(nForwards);
+    w.putU64(nDeliveries);
+    putRegArray(w, arch);
+    w.putU64(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const TaskRegs &t = tasks[i];
+        w.putBool(t.active);
+        w.putU64(t.seq);
+        w.putU32(t.createMask);
+        w.putU32(t.localWritten);
+        w.putU32(t.inputReady);
+        w.putU32(t.released);
+        w.putU32(t.pendingRelease);
+        putRegArray(w, t.local);
+        putRegArray(w, t.input);
+        w.putU64(generations[i]);
+    }
+}
+
+bool
+RegisterRing::restoreState(SnapshotReader &r)
+{
+    if (!checkpointQuiescent()) {
+        r.fail("snapshot: cannot restore into a register ring with "
+               "forwards in transit");
+        return false;
+    }
+    now = r.getU64();
+    nForwards = r.getU64();
+    nDeliveries = r.getU64();
+    getRegArray(r, arch);
+    const std::uint64_t n = r.getCount(64);
+    if (n != tasks.size()) {
+        r.fail("snapshot: register ring PU count mismatch");
+        return false;
+    }
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        TaskRegs &t = tasks[i];
+        t.active = r.getBool();
+        t.seq = r.getU64();
+        t.createMask = r.getU32();
+        t.localWritten = r.getU32();
+        t.inputReady = r.getU32();
+        t.released = r.getU32();
+        t.pendingRelease = r.getU32();
+        getRegArray(r, t.local);
+        getRegArray(r, t.input);
+        generations[i] = r.getU64();
+    }
+    return r.ok();
 }
 
 } // namespace svc

@@ -82,6 +82,18 @@ class RegisterRing
 
     StatSet stats() const;
 
+    /**
+     * @return true when no forward is in transit (send queues and
+     * delivery events empty) — the remaining state is plain data.
+     */
+    bool checkpointQuiescent() const;
+
+    /** Serialize all state (requires quiescence). */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore into an identically configured ring. */
+    bool restoreState(SnapshotReader &r);
+
     Counter nForwards = 0;
     Counter nDeliveries = 0;
 

@@ -7,6 +7,7 @@
 
 #include "common/intmath.hh"
 #include "common/log.hh"
+#include "common/snapshot.hh"
 #include "svc/invariants.hh"
 
 namespace svc
@@ -988,6 +989,117 @@ SvcProtocol::stats() const
     s.addRatio("miss_ratio", static_cast<double>(nMemSupplied),
                static_cast<double>(nLoads + nStores));
     return s;
+}
+
+void
+SvcProtocol::saveState(SnapshotWriter &w) const
+{
+    w.putU64(tasks.size());
+    for (TaskSeq t : tasks)
+        w.putU64(t);
+
+    const Counter *counters[] = {
+        &nLoads, &nStores, &nHits, &nReuseHits, &nBusTransactions,
+        &nMemSupplied, &nCacheSupplied, &nFlushes, &nViolations,
+        &nSnarfs, &nUpdates, &nCommits, &nSquashes, &nStalls,
+        &nEagerWritebacks, &nCastouts,
+    };
+    for (const Counter *c : counters)
+        w.putU64(*c);
+
+    w.putU64(missMap.size());
+    for (const auto &[a, c] : missMap) {
+        w.putU64(a);
+        w.putU64(c);
+    }
+
+    w.putU64(caches.size());
+    for (const Storage &cache : caches) {
+        w.putU64(cache.lruClock());
+        const auto &frames = cache.rawFrames();
+        w.putU64(frames.size());
+        for (const Frame &f : frames) {
+            w.putBool(f.valid);
+            w.putU64(f.tag);
+            w.putU64(f.lruStamp);
+            const SvcLine &l = f.payload;
+            w.putU64(l.vMask);
+            w.putU64(l.sMask);
+            w.putU64(l.lMask);
+            w.putBool(l.commit);
+            w.putBool(l.stale);
+            w.putBool(l.arch);
+            w.putBool(l.shared);
+            w.putU32(l.nextPu);
+            w.putU64(l.debugSeq);
+            w.putBytes(l.data.data(), cfg.lineBytes);
+        }
+    }
+}
+
+bool
+SvcProtocol::restoreState(SnapshotReader &r)
+{
+    const std::uint64_t nt = r.getCount(8);
+    if (!r.ok())
+        return false;
+    if (nt != tasks.size()) {
+        r.fail("snapshot: SVC PU count mismatch");
+        return false;
+    }
+    for (TaskSeq &t : tasks)
+        t = r.getU64();
+
+    Counter *counters[] = {
+        &nLoads, &nStores, &nHits, &nReuseHits, &nBusTransactions,
+        &nMemSupplied, &nCacheSupplied, &nFlushes, &nViolations,
+        &nSnarfs, &nUpdates, &nCommits, &nSquashes, &nStalls,
+        &nEagerWritebacks, &nCastouts,
+    };
+    for (Counter *c : counters)
+        *c = r.getU64();
+
+    const std::uint64_t nm = r.getCount(16);
+    if (!r.ok())
+        return false;
+    missMap.clear();
+    for (std::uint64_t i = 0; i < nm; ++i) {
+        const Addr a = r.getU64();
+        missMap[a] = r.getU64();
+    }
+
+    const std::uint64_t nc = r.getCount(16);
+    if (nc != caches.size()) {
+        r.fail("snapshot: SVC cache count mismatch");
+        return false;
+    }
+    for (Storage &cache : caches) {
+        cache.setLruClock(r.getU64());
+        auto &frames = cache.rawFrames();
+        const std::uint64_t nf = r.getCount(25 + cfg.lineBytes);
+        if (nf != frames.size()) {
+            r.fail("snapshot: SVC cache geometry mismatch");
+            return false;
+        }
+        for (Frame &f : frames) {
+            f.valid = r.getBool();
+            f.tag = r.getU64();
+            f.lruStamp = r.getU64();
+            SvcLine &l = f.payload;
+            l = SvcLine{};
+            l.vMask = r.getU64();
+            l.sMask = r.getU64();
+            l.lMask = r.getU64();
+            l.commit = r.getBool();
+            l.stale = r.getBool();
+            l.arch = r.getBool();
+            l.shared = r.getBool();
+            l.nextPu = r.getU32();
+            l.debugSeq = r.getU64();
+            r.getBytes(l.data.data(), cfg.lineBytes);
+        }
+    }
+    return r.ok();
 }
 
 } // namespace svc

@@ -177,6 +177,17 @@ class SvcProtocol
 
     StatSet stats() const;
 
+    /**
+     * Serialize the full functional state: task table, every
+     * cache's frames (masks, bits, VOL pointers, data) and LRU
+     * clocks, counters and the miss map. Instant protocol — there
+     * is never in-flight state here.
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore into an identically configured protocol instance. */
+    bool restoreState(SnapshotReader &r);
+
     // Raw counters (public for cheap harness access).
     Counter nLoads = 0;
     Counter nStores = 0;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/log.hh"
+#include "common/snapshot.hh"
 #include "svc/invariants.hh"
 
 namespace svc
@@ -356,6 +357,63 @@ SvcSystem::stats() const
     s.add("miss_ratio", missRatio());
     s.addDistribution("miss_latency", missLatency);
     return s;
+}
+
+bool
+SvcSystem::checkpointQuiescent() const
+{
+    if (inFlight != 0 || snoopBus.pending() != 0 || !events.empty())
+        return false;
+    for (const MshrFile &m : mshrs) {
+        if (m.inFlight() != 0)
+            return false;
+    }
+    return true;
+}
+
+void
+SvcSystem::saveState(SnapshotWriter &w) const
+{
+    w.putU64(currentCycle);
+    w.putU64(epochs.size());
+    for (std::uint64_t e : epochs)
+        w.putU64(e);
+    w.putU64(nDeferredFlushes);
+    w.putU64(nWbFullStalls);
+    missLatency.saveState(w);
+    proto.saveState(w);
+    snoopBus.saveState(w);
+    for (const MshrFile &m : mshrs)
+        m.saveState(w);
+    wbBuffer.saveState(w);
+}
+
+bool
+SvcSystem::restoreState(SnapshotReader &r)
+{
+    if (!checkpointQuiescent()) {
+        r.fail("snapshot: cannot restore into a busy SVC system");
+        return false;
+    }
+    currentCycle = r.getU64();
+    const std::uint64_t ne = r.getCount(8);
+    if (ne != epochs.size()) {
+        r.fail("snapshot: SVC system PU count mismatch");
+        return false;
+    }
+    for (std::uint64_t &e : epochs)
+        e = r.getU64();
+    nDeferredFlushes = r.getU64();
+    nWbFullStalls = r.getU64();
+    if (!missLatency.restoreState(r) || !proto.restoreState(r) ||
+        !snoopBus.restoreState(r)) {
+        return false;
+    }
+    for (MshrFile &m : mshrs) {
+        if (!m.restoreState(r))
+            return false;
+    }
+    return wbBuffer.restoreState(r) && r.ok();
 }
 
 } // namespace svc

@@ -84,6 +84,15 @@ class SvcSystem : public SpecMem
      */
     void attachInvariants(InvariantEngine &engine);
 
+    /**
+     * Quiescent: no in-flight access, no queued bus request, no
+     * scheduled event, no outstanding miss. The write-back buffer
+     * and the bus's busyUntil are plain data and may be non-empty.
+     */
+    bool checkpointQuiescent() const override;
+    void saveState(SnapshotWriter &w) const override;
+    bool restoreState(SnapshotReader &r) override;
+
   private:
     /** Handle a miss once the bus grants it; the access result is
      *  published through @p slot for the primary target. @p epoch

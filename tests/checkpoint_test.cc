@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Checkpoint/restore property tests. For every SVC design point and
+ * the ARB baseline: run a program to completion (run A), run it
+ * again saving a checkpoint about a third of the way through (run B
+ * — the save must not perturb the run), then restore that image into
+ * freshly constructed components and continue (run C). A, B and C
+ * must agree on every RunStats field, the engine statistics, and the
+ * final memory image — bit-identical resume, including under fault
+ * injection. Corrupted, truncated and mismatched images must be
+ * rejected with a structured error, never a crash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arb/arb_system.hh"
+#include "isa/builder.hh"
+#include "mem/fault_injector.hh"
+#include "mem/main_memory.hh"
+#include "multiscalar/checkpoint.hh"
+#include "multiscalar/processor.hh"
+#include "svc/design.hh"
+#include "svc/system.hh"
+
+namespace svc
+{
+namespace
+{
+
+using isa::Label;
+using isa::Program;
+using isa::ProgramBuilder;
+
+enum class Engine { Svc, Arb };
+
+/**
+ * Every task increments mem[cell]: guaranteed cross-task load-store
+ * conflicts, so the checkpoint captures non-trivial speculative
+ * state (VOL chains, pending violations, predictor history).
+ */
+Program
+makeSharedCounter(unsigned n)
+{
+    ProgramBuilder b;
+    Label cell = b.allocData("cell", 4);
+
+    b.beginTask("init");
+    Label body = b.newLabel("body");
+    Label done = b.newLabel("done");
+    b.taskTargets({body});
+    b.la(1, cell);
+    b.li(3, n);
+    b.j(body);
+
+    b.bind(body);
+    b.beginTask("body");
+    b.taskTargets({body, done});
+    b.lw(4, 0, 1);
+    b.addi(4, 4, 1);
+    b.sw(4, 0, 1);
+    b.addi(3, 3, -1);
+    b.bne(3, 0, body);
+
+    b.bind(done);
+    b.beginTask("done");
+    b.halt();
+    return b.finalize();
+}
+
+/** One run's worth of components, built identically every time. */
+struct Rig
+{
+    MainMemory mem;
+    std::unique_ptr<SpecMem> sys;
+    std::unique_ptr<FaultInjector> inj;
+};
+
+Rig
+makeRig(Engine eng, SvcDesign design, bool faults)
+{
+    Rig r;
+    if (eng == Engine::Svc) {
+        auto s = std::make_unique<SvcSystem>(makeDesign(design), r.mem);
+        if (faults) {
+            FaultConfig fc;
+            fc.seed = 7;
+            fc.nackPercent = 20;
+            fc.delayPercent = 10;
+            fc.wbStallPercent = 10;
+            r.inj = std::make_unique<FaultInjector>(fc);
+            s->attachFaultInjector(r.inj.get());
+        }
+        r.sys = std::move(s);
+    } else {
+        ArbTimingConfig acfg;
+        r.sys = std::make_unique<ArbSystem>(acfg, r.mem);
+    }
+    return r;
+}
+
+MultiscalarConfig
+testConfig()
+{
+    MultiscalarConfig cfg;
+    cfg.maxCycles = 2'000'000;
+    return cfg;
+}
+
+void
+expectSameRun(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.committedInstructions, b.committedInstructions);
+    EXPECT_EQ(a.committedTasks, b.committedTasks);
+    EXPECT_EQ(a.taskMispredicts, b.taskMispredicts);
+    EXPECT_EQ(a.violationSquashes, b.violationSquashes);
+    EXPECT_EQ(a.halted, b.halted);
+    EXPECT_EQ(a.finalRegs, b.finalRegs);
+}
+
+void
+roundTrip(Engine eng, SvcDesign design, bool faults)
+{
+    Program prog = makeSharedCounter(40);
+    MultiscalarConfig cfg = testConfig();
+    const std::string mem_name = eng == Engine::Svc ? "svc" : "arb";
+    const std::uint64_t chash = checkpointConfigHash(cfg, mem_name);
+
+    // Run A: uninterrupted baseline.
+    Rig a = makeRig(eng, design, faults);
+    prog.loadInto(a.mem);
+    Processor cpu_a(cfg, prog, *a.sys);
+    RunStats rs_a = cpu_a.run();
+    ASSERT_TRUE(rs_a.halted);
+    a.sys->finalizeMemory();
+    const std::uint64_t hash_a = a.mem.hashAll();
+    const std::string stats_a = a.sys->stats().format();
+
+    // Run B: same run, but save a checkpoint at the first
+    // snapshot-safe cycle past a third of the way through. Saving
+    // is const — the run must end exactly like run A.
+    Rig b = makeRig(eng, design, faults);
+    prog.loadInto(b.mem);
+    Processor cpu_b(cfg, prog, *b.sys);
+    std::vector<std::uint8_t> image;
+    const Cycle target = rs_a.cycles / 3;
+    cpu_b.setTickHook([&](Cycle at) {
+        if (!image.empty() || at < target || !cpu_b.checkpointQuiescent() ||
+            !b.sys->checkpointQuiescent()) {
+            return;
+        }
+        std::string err;
+        ASSERT_TRUE(saveCheckpoint(cpu_b, *b.sys, b.mem, b.inj.get(),
+                                   chash, false, image, err))
+            << err;
+        // The writer itself is deterministic: saving the same cycle
+        // twice must produce identical bytes.
+        std::vector<std::uint8_t> again;
+        ASSERT_TRUE(saveCheckpoint(cpu_b, *b.sys, b.mem, b.inj.get(),
+                                   chash, false, again, err))
+            << err;
+        EXPECT_EQ(image, again);
+    });
+    RunStats rs_b = cpu_b.run();
+    ASSERT_TRUE(rs_b.halted);
+    ASSERT_FALSE(image.empty())
+        << "no snapshot-safe cycle found after cycle " << target;
+    expectSameRun(rs_a, rs_b);
+    b.sys->finalizeMemory();
+    EXPECT_EQ(hash_a, b.mem.hashAll());
+
+    // Run C: fresh components, restore, continue to completion.
+    Rig c = makeRig(eng, design, faults);
+    prog.loadInto(c.mem);
+    Processor cpu_c(cfg, prog, *c.sys);
+    std::string err;
+    ASSERT_TRUE(restoreCheckpoint(image, cpu_c, *c.sys, c.mem,
+                                  c.inj.get(), chash, err))
+        << err;
+    RunStats rs_c = cpu_c.run();
+    ASSERT_TRUE(rs_c.halted);
+    expectSameRun(rs_a, rs_c);
+    c.sys->finalizeMemory();
+    EXPECT_EQ(hash_a, c.mem.hashAll());
+    EXPECT_EQ(stats_a, c.sys->stats().format());
+}
+
+TEST(CheckpointRoundTrip, AllSvcDesignPoints)
+{
+    for (SvcDesign d :
+         {SvcDesign::Base, SvcDesign::EC, SvcDesign::ECS, SvcDesign::HR,
+          SvcDesign::RL, SvcDesign::Final}) {
+        SCOPED_TRACE(svcDesignName(d));
+        roundTrip(Engine::Svc, d, false);
+    }
+}
+
+TEST(CheckpointRoundTrip, SvcWithFaultInjection)
+{
+    for (SvcDesign d : {SvcDesign::ECS, SvcDesign::Final}) {
+        SCOPED_TRACE(svcDesignName(d));
+        roundTrip(Engine::Svc, d, true);
+    }
+}
+
+TEST(CheckpointRoundTrip, ArbBaseline)
+{
+    roundTrip(Engine::Arb, SvcDesign::Final, false);
+}
+
+// ------------------------------------------------- rejection paths
+
+/** A valid checkpoint image of a fresh (cycle-0) SVC Final run. */
+std::vector<std::uint8_t>
+makeValidImage(Rig &rig, std::unique_ptr<Processor> &cpu,
+               const Program &prog, std::uint64_t chash)
+{
+    prog.loadInto(rig.mem);
+    cpu = std::make_unique<Processor>(testConfig(), prog, *rig.sys);
+    std::vector<std::uint8_t> image;
+    std::string err;
+    EXPECT_TRUE(saveCheckpoint(*cpu, *rig.sys, rig.mem, rig.inj.get(),
+                               chash, false, image, err))
+        << err;
+    return image;
+}
+
+TEST(CheckpointReject, CorruptedImage)
+{
+    Program prog = makeSharedCounter(8);
+    const std::uint64_t chash = checkpointConfigHash(testConfig(), "svc");
+    Rig rig = makeRig(Engine::Svc, SvcDesign::Final, false);
+    std::unique_ptr<Processor> cpu;
+    std::vector<std::uint8_t> image =
+        makeValidImage(rig, cpu, prog, chash);
+    ASSERT_FALSE(image.empty());
+
+    image[image.size() / 2] ^= 0xff;
+    Rig fresh = makeRig(Engine::Svc, SvcDesign::Final, false);
+    prog.loadInto(fresh.mem);
+    Processor cpu2(testConfig(), prog, *fresh.sys);
+    std::string err;
+    EXPECT_FALSE(restoreCheckpoint(image, cpu2, *fresh.sys, fresh.mem,
+                                   fresh.inj.get(), chash, err));
+    EXPECT_NE(err.find("checksum"), std::string::npos) << err;
+}
+
+TEST(CheckpointReject, TruncatedImage)
+{
+    Program prog = makeSharedCounter(8);
+    const std::uint64_t chash = checkpointConfigHash(testConfig(), "svc");
+    Rig rig = makeRig(Engine::Svc, SvcDesign::Final, false);
+    std::unique_ptr<Processor> cpu;
+    std::vector<std::uint8_t> image =
+        makeValidImage(rig, cpu, prog, chash);
+    ASSERT_GT(image.size(), 64u);
+
+    image.resize(image.size() - 64);
+    Rig fresh = makeRig(Engine::Svc, SvcDesign::Final, false);
+    prog.loadInto(fresh.mem);
+    Processor cpu2(testConfig(), prog, *fresh.sys);
+    std::string err;
+    EXPECT_FALSE(restoreCheckpoint(image, cpu2, *fresh.sys, fresh.mem,
+                                   fresh.inj.get(), chash, err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(CheckpointReject, ConfigMismatch)
+{
+    Program prog = makeSharedCounter(8);
+    const std::uint64_t chash = checkpointConfigHash(testConfig(), "svc");
+    Rig rig = makeRig(Engine::Svc, SvcDesign::Final, false);
+    std::unique_ptr<Processor> cpu;
+    std::vector<std::uint8_t> image =
+        makeValidImage(rig, cpu, prog, chash);
+    ASSERT_FALSE(image.empty());
+
+    Rig fresh = makeRig(Engine::Svc, SvcDesign::Final, false);
+    prog.loadInto(fresh.mem);
+    Processor cpu2(testConfig(), prog, *fresh.sys);
+    std::string err;
+    EXPECT_FALSE(restoreCheckpoint(image, cpu2, *fresh.sys, fresh.mem,
+                                   fresh.inj.get(), chash + 1, err));
+    EXPECT_NE(err.find("configuration mismatch"), std::string::npos)
+        << err;
+}
+
+TEST(CheckpointReject, FaultInjectorPresenceMismatch)
+{
+    Program prog = makeSharedCounter(8);
+    const std::uint64_t chash = checkpointConfigHash(testConfig(), "svc");
+    // Image saved WITHOUT an injector...
+    Rig rig = makeRig(Engine::Svc, SvcDesign::Final, false);
+    std::unique_ptr<Processor> cpu;
+    std::vector<std::uint8_t> image =
+        makeValidImage(rig, cpu, prog, chash);
+
+    // ...restored into a run WITH one must be refused.
+    Rig fresh = makeRig(Engine::Svc, SvcDesign::Final, true);
+    prog.loadInto(fresh.mem);
+    Processor cpu2(testConfig(), prog, *fresh.sys);
+    std::string err;
+    EXPECT_FALSE(restoreCheckpoint(image, cpu2, *fresh.sys, fresh.mem,
+                                   fresh.inj.get(), chash, err));
+    EXPECT_FALSE(err.empty());
+}
+
+} // namespace
+} // namespace svc

@@ -360,6 +360,23 @@ TEST(FaultMatrix, NackCountsAgreeAcrossLayers)
         EXPECT_EQ(inj.injected(FaultKind::BusNack),
                   sys.bus().nackCount());
         EXPECT_EQ(eng.busNacks(), sys.bus().nackCount());
+
+        // Retry/backoff instrumentation: every NACK parks exactly
+        // one request in the backoff queue and every retry unparks
+        // one, so the residual depth is their difference (the script
+        // driver may stop with a straggler still backing off).
+        EXPECT_LE(sys.bus().retryCount(), sys.bus().nackCount());
+        EXPECT_EQ(sys.bus().backoffQueueDepth(),
+                  sys.bus().nackCount() - sys.bus().retryCount());
+        if (sys.bus().nackCount() > 0) {
+            EXPECT_GT(sys.bus().backoffQueuePeak(), 0u);
+        }
+
+        // ...and all of it is exported through the StatSet.
+        const std::string bus_stats = sys.bus().stats().format();
+        EXPECT_NE(bus_stats.find("retries"), std::string::npos);
+        EXPECT_NE(bus_stats.find("backoff_queue_peak"), std::string::npos);
+        EXPECT_NE(bus_stats.find("backoff_queue_depth"), std::string::npos);
     }
 }
 

@@ -300,8 +300,8 @@ TEST(SnoopingBus, NackEmitsRetryTraceEvents)
     for (Cycle now = 0; now < 100 && !performed; ++now)
         bus.tick(now);
     EXPECT_TRUE(performed);
-    // request + 2x(nack + retry) + grant + release.
-    EXPECT_EQ(sink.count(TraceCat::Bus), 7u);
+    // request + 2x(nack + backoff-depth + retry) + grant + release.
+    EXPECT_EQ(sink.count(TraceCat::Bus), 9u);
 }
 
 TEST(MemoryEquivalence, FlagsFirstDifferingByte)

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Forward-progress watchdog tests. A memory system that swallows
+ * requests without ever completing them wedges the processor: no
+ * instruction retires, no task commits. The watchdog must trip at a
+ * deterministic cycle, invoke the diagnostic handler exactly once,
+ * and — in non-fatal mode — end the run with watchdogTripped set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "mem/main_memory.hh"
+#include "mem/ref_spec_mem.hh"
+#include "multiscalar/processor.hh"
+
+namespace svc
+{
+namespace
+{
+
+using isa::Label;
+using isa::Program;
+using isa::ProgramBuilder;
+
+/**
+ * A memory system that accepts every request and then drops it on
+ * the floor: the completion callback never fires, so the issuing PU
+ * stays in MemIssued forever and the run makes no progress.
+ */
+class WedgedMem : public SpecMem
+{
+  public:
+    void setViolationHandler(ViolationFn) override {}
+    void assignTask(PuId, TaskSeq) override {}
+    bool
+    issue(const MemReq &, DoneFn) override
+    {
+        ++nSwallowed;
+        return true;
+    }
+    void commitTask(PuId) override {}
+    void squashTask(PuId) override {}
+    void tick() override {}
+    bool busyWithRequests() const override { return nSwallowed != 0; }
+    StatSet stats() const override { return StatSet(); }
+    const char *name() const override { return "wedged"; }
+
+    std::uint64_t nSwallowed = 0;
+};
+
+/** One task: load a word, then halt. The load never completes. */
+Program
+makeLoadThenHalt()
+{
+    ProgramBuilder b;
+    Label cell = b.allocData("cell", 4);
+    b.beginTask("main");
+    b.la(1, cell);
+    b.lw(2, 0, 1);
+    b.halt();
+    return b.finalize();
+}
+
+TEST(WatchdogTest, WedgedRunTripsDeterministically)
+{
+    Program prog = makeLoadThenHalt();
+    MultiscalarConfig cfg;
+    cfg.maxCycles = 100'000;
+    cfg.watchdogInterval = 2'000;
+    cfg.watchdogFatal = false;
+
+    Cycle tripped_at[2] = {0, 0};
+    for (int run = 0; run < 2; ++run) {
+        WedgedMem wedged;
+        Processor cpu(cfg, prog, wedged);
+        unsigned handler_calls = 0;
+        cpu.setWatchdogHandler([&] { ++handler_calls; });
+        RunStats rs = cpu.run();
+
+        EXPECT_TRUE(rs.watchdogTripped);
+        EXPECT_FALSE(rs.halted);
+        EXPECT_EQ(handler_calls, 1u);
+        EXPECT_EQ(rs.committedTasks, 0u);
+        // Tripped long before the hard cycle cap.
+        EXPECT_LT(rs.cycles, cfg.maxCycles);
+        EXPECT_GE(rs.cycles, cfg.watchdogInterval);
+        tripped_at[run] = rs.cycles;
+    }
+    // Same wedge, same cycle — the watchdog is deterministic.
+    EXPECT_EQ(tripped_at[0], tripped_at[1]);
+}
+
+TEST(WatchdogTest, ZeroIntervalDisablesWatchdog)
+{
+    Program prog = makeLoadThenHalt();
+    MultiscalarConfig cfg;
+    cfg.maxCycles = 20'000;
+    cfg.watchdogInterval = 0; // disabled
+    cfg.watchdogFatal = false;
+
+    WedgedMem wedged;
+    Processor cpu(cfg, prog, wedged);
+    unsigned handler_calls = 0;
+    cpu.setWatchdogHandler([&] { ++handler_calls; });
+    RunStats rs = cpu.run();
+
+    EXPECT_FALSE(rs.watchdogTripped);
+    EXPECT_FALSE(rs.halted);
+    EXPECT_EQ(handler_calls, 0u);
+    // The run wedged all the way to the hard cycle cap instead.
+    EXPECT_GE(rs.cycles, cfg.maxCycles);
+}
+
+TEST(WatchdogTest, HealthyRunDoesNotTrip)
+{
+    // A run that commits normally must never trip, even with a
+    // watchdog interval much shorter than the total run length.
+    ProgramBuilder b;
+    Label cell = b.allocData("cell", 4);
+    b.beginTask("main");
+    b.la(1, cell);
+    b.li(2, 7);
+    b.sw(2, 0, 1);
+    b.lw(3, 0, 1);
+    b.halt();
+    Program prog = b.finalize();
+
+    MultiscalarConfig cfg;
+    cfg.maxCycles = 100'000;
+    cfg.watchdogInterval = 50;
+    cfg.watchdogFatal = false;
+
+    MainMemory mem;
+    RefSpecMem perfect(mem, cfg.numPus);
+    prog.loadInto(mem);
+    Processor cpu(cfg, prog, perfect);
+    unsigned handler_calls = 0;
+    cpu.setWatchdogHandler([&] { ++handler_calls; });
+    RunStats rs = cpu.run();
+
+    EXPECT_TRUE(rs.halted);
+    EXPECT_FALSE(rs.watchdogTripped);
+    EXPECT_EQ(handler_calls, 0u);
+}
+
+} // namespace
+} // namespace svc
