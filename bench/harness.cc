@@ -113,10 +113,12 @@ finishRow(const workloads::Workload &w, const RunStats &rs,
 BenchRow
 runOn(const std::string &mem_kind,
       const std::string &workload_name, unsigned scale,
-      const SpecMemConfig &cfg, TraceSink *sink)
+      const SpecMemConfig &cfg, TraceSink *sink,
+      std::uint64_t workload_seed)
 {
     workloads::WorkloadParams wp;
     wp.scale = scale;
+    wp.seed = workload_seed;
     workloads::Workload w =
         workloads::makeWorkload(workload_name, wp);
 
@@ -129,6 +131,8 @@ runOn(const std::string &mem_kind,
     sys->finalizeMemory();
 
     BenchRow row = finishRow(w, rs, mem, sys->name());
+    row.scale = scale;
+    row.seed = workload_seed;
     row.missRatio = sys->missRatio();
     const StatSet st = sys->stats();
     if (st.has("bus.utilization"))
@@ -142,26 +146,30 @@ runOn(const std::string &mem_kind,
 
 BenchRow
 runOnSvc(const std::string &workload_name, unsigned scale,
-         const SvcConfig &svc_cfg)
+         const SvcConfig &svc_cfg, std::uint64_t workload_seed)
 {
     SpecMemConfig cfg;
     cfg.svc = svc_cfg;
-    return runOn("svc", workload_name, scale, cfg);
+    return runOn("svc", workload_name, scale, cfg, nullptr,
+                 workload_seed);
 }
 
 BenchRow
 runOnArb(const std::string &workload_name, unsigned scale,
-         const ArbTimingConfig &arb_cfg)
+         const ArbTimingConfig &arb_cfg, std::uint64_t workload_seed)
 {
     SpecMemConfig cfg;
     cfg.arb = arb_cfg;
-    return runOn("arb", workload_name, scale, cfg);
+    return runOn("arb", workload_name, scale, cfg, nullptr,
+                 workload_seed);
 }
 
 BenchRow
-runOnPerfect(const std::string &workload_name, unsigned scale)
+runOnPerfect(const std::string &workload_name, unsigned scale,
+             std::uint64_t workload_seed)
 {
-    return runOn("perfect", workload_name, scale, SpecMemConfig{});
+    return runOn("perfect", workload_name, scale, SpecMemConfig{},
+                 nullptr, workload_seed);
 }
 
 void

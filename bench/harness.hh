@@ -31,6 +31,8 @@ struct BenchRow
 {
     std::string workload;
     std::string memSystem;
+    unsigned scale = 0;
+    std::uint64_t seed = 12345; ///< synthetic-input seed
     double ipc = 0.0;
     double missRatio = 0.0;
     double busUtilization = 0.0; ///< SVC only
@@ -65,23 +67,29 @@ MultiscalarConfig paperCpuConfig();
  * Run @p workload_name on the memory system registered under
  * @p mem_kind ("svc", "arb", "ref"/"perfect", ...), constructed
  * through makeSpecMem. @p sink, when non-null, receives the full
- * event trace of the measured run.
+ * event trace of the measured run. @p workload_seed seeds the
+ * synthetic input generation, so a sweep can vary the data set
+ * independently of its size.
  */
 BenchRow runOn(const std::string &mem_kind,
                const std::string &workload_name, unsigned scale,
-               const SpecMemConfig &cfg, TraceSink *sink = nullptr);
+               const SpecMemConfig &cfg, TraceSink *sink = nullptr,
+               std::uint64_t workload_seed = 12345);
 
 /** Run @p workload_name on an SVC memory system. */
 BenchRow runOnSvc(const std::string &workload_name, unsigned scale,
-                  const SvcConfig &svc_cfg);
+                  const SvcConfig &svc_cfg,
+                  std::uint64_t workload_seed = 12345);
 
 /** Run @p workload_name on an ARB memory system. */
 BenchRow runOnArb(const std::string &workload_name, unsigned scale,
-                  const ArbTimingConfig &arb_cfg);
+                  const ArbTimingConfig &arb_cfg,
+                  std::uint64_t workload_seed = 12345);
 
 /** Run @p workload_name on the perfect-memory oracle. */
 BenchRow runOnPerfect(const std::string &workload_name,
-                      unsigned scale);
+                      unsigned scale,
+                      std::uint64_t workload_seed = 12345);
 
 /** Print a standard header naming the experiment. */
 void printHeader(const std::string &title,

@@ -100,7 +100,7 @@ BM_VolBuildAndRewrite(benchmark::State &state)
         lines[i].nextPu = i < 3 ? static_cast<PuId>(i + 1) : kNoPu;
     }
     for (auto _ : state) {
-        std::vector<VolNode> nodes;
+        Vol::NodeVec nodes;
         for (int i = 0; i < 8; ++i) {
             nodes.push_back({static_cast<PuId>(i), &lines[i],
                              i >= 4 ? static_cast<TaskSeq>(i)

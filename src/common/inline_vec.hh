@@ -1,0 +1,212 @@
+/**
+ * @file
+ * A small-buffer vector for hot-path aggregates: up to N elements
+ * live inline (no heap traffic at all), larger sizes spill to a
+ * heap buffer. Built for the VOL snoop fast path, where every bus
+ * transaction used to pay one std::vector allocation per snooped
+ * line; with the common case (nodes <= numPus <= N) the container
+ * is a plain array copy.
+ *
+ * Restricted to trivially copyable element types so growth and
+ * copies are memcpy and destruction is trivial — which is exactly
+ * what the protocol's POD node records need, and what keeps this
+ * simpler than a general small_vector.
+ */
+
+#ifndef SVC_COMMON_INLINE_VEC_HH
+#define SVC_COMMON_INLINE_VEC_HH
+
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+#include <utility>
+
+namespace svc
+{
+
+template <typename T, std::size_t N>
+class InlineVec
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "InlineVec is restricted to trivially copyable "
+                  "types (growth and copies are memcpy)");
+    static_assert(N > 0, "InlineVec needs a non-empty inline buffer");
+
+  public:
+    using value_type = T;
+    using iterator = T *;
+    using const_iterator = const T *;
+
+    InlineVec() = default;
+
+    InlineVec(std::initializer_list<T> init)
+    {
+        append(init.begin(), init.end());
+    }
+
+    InlineVec(const InlineVec &other) { assign(other); }
+
+    InlineVec(InlineVec &&other) noexcept { steal(std::move(other)); }
+
+    InlineVec &
+    operator=(const InlineVec &other)
+    {
+        if (this != &other) {
+            release();
+            assign(other);
+        }
+        return *this;
+    }
+
+    InlineVec &
+    operator=(InlineVec &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            steal(std::move(other));
+        }
+        return *this;
+    }
+
+    ~InlineVec() { release(); }
+
+    T *begin() { return data(); }
+    T *end() { return data() + count; }
+    const T *begin() const { return data(); }
+    const T *end() const { return data() + count; }
+
+    T &operator[](std::size_t i) { return data()[i]; }
+    const T &operator[](std::size_t i) const { return data()[i]; }
+    T &front() { return data()[0]; }
+    const T &front() const { return data()[0]; }
+    T &back() { return data()[count - 1]; }
+    const T &back() const { return data()[count - 1]; }
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    std::size_t capacity() const { return heap ? heapCap : N; }
+
+    /** @return true while no heap spill has happened (telemetry). */
+    bool inlineStorage() const { return heap == nullptr; }
+
+    void
+    push_back(const T &v)
+    {
+        if (count == capacity())
+            grow(count + 1);
+        data()[count++] = v;
+    }
+
+    void
+    pop_back()
+    {
+        --count;
+    }
+
+    /** Remove the element at index @p i, shifting the tail down. */
+    void
+    eraseAt(std::size_t i)
+    {
+        T *d = data();
+        std::memmove(d + i, d + i + 1,
+                     (count - i - 1) * sizeof(T));
+        --count;
+    }
+
+    /** Append the range [@p first, @p last). */
+    void
+    append(const T *first, const T *last)
+    {
+        const std::size_t n =
+            static_cast<std::size_t>(last - first);
+        if (count + n > capacity())
+            grow(count + n);
+        std::memcpy(data() + count, first, n * sizeof(T));
+        count += n;
+    }
+
+    void
+    clear()
+    {
+        count = 0;
+    }
+
+    bool
+    operator==(const InlineVec &other) const
+    {
+        if (count != other.count)
+            return false;
+        for (std::size_t i = 0; i < count; ++i) {
+            if (!(data()[i] == other.data()[i]))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    T *data() { return heap ? heap : reinterpret_cast<T *>(stack); }
+    const T *
+    data() const
+    {
+        return heap ? heap : reinterpret_cast<const T *>(stack);
+    }
+
+    void
+    grow(std::size_t need)
+    {
+        std::size_t cap = capacity() * 2;
+        if (cap < need)
+            cap = need;
+        T *buf = new T[cap];
+        std::memcpy(buf, data(), count * sizeof(T));
+        delete[] heap;
+        heap = buf;
+        heapCap = cap;
+    }
+
+    void
+    assign(const InlineVec &other)
+    {
+        count = other.count;
+        if (other.heap) {
+            heap = new T[other.heapCap];
+            heapCap = other.heapCap;
+            std::memcpy(heap, other.heap, count * sizeof(T));
+        } else {
+            heap = nullptr;
+            heapCap = 0;
+            std::memcpy(stack, other.stack, count * sizeof(T));
+        }
+    }
+
+    void
+    steal(InlineVec &&other)
+    {
+        count = other.count;
+        heap = other.heap;
+        heapCap = other.heapCap;
+        if (!heap)
+            std::memcpy(stack, other.stack, count * sizeof(T));
+        other.heap = nullptr;
+        other.heapCap = 0;
+        other.count = 0;
+    }
+
+    void
+    release()
+    {
+        delete[] heap;
+        heap = nullptr;
+        heapCap = 0;
+    }
+
+    alignas(T) unsigned char stack[N * sizeof(T)];
+    T *heap = nullptr;
+    std::size_t heapCap = 0;
+    std::size_t count = 0;
+};
+
+} // namespace svc
+
+#endif // SVC_COMMON_INLINE_VEC_HH

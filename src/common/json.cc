@@ -1,0 +1,176 @@
+#include "common/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace svc
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separate()
+{
+    if (pendingKey) {
+        pendingKey = false;
+        return; // the key() already emitted comma + indentation
+    }
+    if (depth.empty())
+        return;
+    if (depth.back() > 0)
+        out += ',';
+    ++depth.back();
+    indent();
+}
+
+void
+JsonWriter::indent()
+{
+    if (!prettyPrint)
+        return;
+    out += '\n';
+    out.append(2 * depth.size(), ' ');
+}
+
+void
+JsonWriter::raw(const std::string &s)
+{
+    separate();
+    out += s;
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    out += '{';
+    depth.push_back(0);
+}
+
+void
+JsonWriter::endObject()
+{
+    const bool had_items = depth.back() > 0;
+    depth.pop_back();
+    if (had_items)
+        indent();
+    out += '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    out += '[';
+    depth.push_back(0);
+}
+
+void
+JsonWriter::endArray()
+{
+    const bool had_items = depth.back() > 0;
+    depth.pop_back();
+    if (had_items)
+        indent();
+    out += ']';
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    if (depth.back() > 0)
+        out += ',';
+    ++depth.back();
+    indent();
+    out += '"';
+    out += jsonEscape(name);
+    out += prettyPrint ? "\": " : "\":";
+    pendingKey = true;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    raw('"' + jsonEscape(v) + '"');
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v)) {
+        nonFinite = true;
+        v = 0.0;
+    }
+    char buf[40];
+    // 17 significant digits round-trip any double exactly, making
+    // the byte stream a function of the values alone.
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    raw(buf);
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    raw(buf);
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+    raw(buf);
+}
+
+void
+JsonWriter::value(bool v)
+{
+    raw(v ? "true" : "false");
+}
+
+} // namespace svc

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A minimal streaming JSON writer for machine-readable benchmark
+ * output (BENCH_*.json). Two properties matter more than features:
+ *
+ *  - determinism: doubles are rendered with "%.17g" (shortest exact
+ *    round-trip is overkill; 17 significant digits reproduce the
+ *    bit pattern), so identical results serialize to identical
+ *    bytes regardless of how many threads produced them;
+ *
+ *  - validity: JSON has no NaN/Infinity literals. Non-finite values
+ *    are emitted as 0 and recorded (sawNonFinite()), so the file is
+ *    always parseable and the caller can still fail the run.
+ *
+ * The writer is strictly streaming (no DOM): begin/end calls must
+ * nest correctly, which the emitting code enforces by construction.
+ */
+
+#ifndef SVC_COMMON_JSON_HH
+#define SVC_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svc
+{
+
+class JsonWriter
+{
+  public:
+    /** @param pretty emit newlines + two-space indentation. */
+    explicit JsonWriter(bool pretty = true) : prettyPrint(pretty) {}
+
+    // ---- Containers ----
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Start a named member inside an object (next value/container
+     *  call supplies its value). */
+    void key(const std::string &name);
+
+    // ---- Values ----
+    void value(const std::string &v);
+    void value(const char *v);
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+    void value(bool v);
+
+    // ---- Shorthands ----
+    void
+    member(const std::string &name, const std::string &v)
+    {
+        key(name);
+        value(v);
+    }
+    void
+    member(const std::string &name, const char *v)
+    {
+        key(name);
+        value(v);
+    }
+    void
+    member(const std::string &name, double v)
+    {
+        key(name);
+        value(v);
+    }
+    void
+    member(const std::string &name, std::uint64_t v)
+    {
+        key(name);
+        value(v);
+    }
+    void
+    member(const std::string &name, bool v)
+    {
+        key(name);
+        value(v);
+    }
+
+    /** True if any emitted double was NaN/inf (serialized as 0). */
+    bool sawNonFinite() const { return nonFinite; }
+
+    /** The document built so far (call after the final end*()). */
+    const std::string &str() const { return out; }
+
+  private:
+    void separate();
+    void indent();
+    void raw(const std::string &s);
+
+    std::string out;
+    /** One entry per open container: item count (for commas). */
+    std::vector<unsigned> depth;
+    bool pendingKey = false;
+    bool prettyPrint;
+    bool nonFinite = false;
+};
+
+/** @return @p s with JSON string escaping applied (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace svc
+
+#endif // SVC_COMMON_JSON_HH

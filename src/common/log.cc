@@ -1,6 +1,8 @@
 #include "common/log.hh"
 
 #include <cstdarg>
+#include <string>
+#include <vector>
 
 namespace svc
 {
@@ -11,9 +13,23 @@ namespace
 void
 vreport(const char *prefix, const char *fmt, std::va_list ap)
 {
-    std::fprintf(stderr, "%s: ", prefix);
-    std::vfprintf(stderr, fmt, ap);
-    std::fputc('\n', stderr);
+    // Assemble the whole line before a single write so concurrent
+    // reporters (the sweep runner's worker threads) can never
+    // interleave mid-line. fprintf of one buffer is atomic per the
+    // stdio stream lock; three separate calls are not.
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    const int body = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    std::string line(prefix);
+    line += ": ";
+    if (body > 0) {
+        std::vector<char> buf(static_cast<std::size_t>(body) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+        line.append(buf.data(), static_cast<std::size_t>(body));
+    }
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 } // namespace

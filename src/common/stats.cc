@@ -140,9 +140,25 @@ void
 StatSet::merge(const std::string &prefix, const StatSet &other)
 {
     for (const auto &e : other.entries) {
-        entries.push_back(
-            {prefix + "." + e.name, e.value, e.kind, e.dist});
+        entries.push_back({prefix + "." + e.name, e.value, e.kind,
+                           e.degenerate, e.dist});
     }
+}
+
+bool
+StatSet::allFinite() const
+{
+    for (const auto &e : entries) {
+        if (!std::isfinite(e.value))
+            return false;
+        if (e.dist &&
+            (!std::isfinite(e.dist->mean()) ||
+             !std::isfinite(e.dist->stddev()) ||
+             !std::isfinite(e.dist->min()) ||
+             !std::isfinite(e.dist->max())))
+            return false;
+    }
+    return true;
 }
 
 double

@@ -122,6 +122,24 @@ class Distribution
     double mx = 0.0;
 };
 
+/**
+ * @return @p num / @p den, or 0.0 when the denominator is zero — a
+ * run that retires nothing (e.g. a watchdog trip at cycle 0) must
+ * still report finite numbers, never NaN/inf. When @p degenerate is
+ * non-null it is set (not cleared) on the zero-denominator case so
+ * callers can surface "this ratio is a placeholder" downstream.
+ */
+inline double
+safeRatio(double num, double den, bool *degenerate = nullptr)
+{
+    if (den == 0.0) {
+        if (degenerate)
+            *degenerate = true;
+        return 0.0;
+    }
+    return num / den;
+}
+
 /** The kind of a StatSet entry. */
 enum class StatKind : std::uint8_t
 {
@@ -137,6 +155,9 @@ struct StatEntry
     std::string name;
     double value = 0.0;
     StatKind kind = StatKind::Scalar;
+    /** Ratio whose denominator was zero: the 0.0 value is a
+     *  placeholder, not a measurement. */
+    bool degenerate = false;
     /** Present only for StatKind::Distribution. */
     std::shared_ptr<const Distribution> dist;
 };
@@ -152,7 +173,8 @@ class StatSet
     void
     add(const std::string &name, double value)
     {
-        entries.push_back({name, value, StatKind::Scalar, nullptr});
+        entries.push_back(
+            {name, value, StatKind::Scalar, false, nullptr});
     }
 
     /** Append an event counter. */
@@ -160,16 +182,18 @@ class StatSet
     addCounter(const std::string &name, Counter value)
     {
         entries.push_back({name, static_cast<double>(value),
-                           StatKind::Counter, nullptr});
+                           StatKind::Counter, false, nullptr});
     }
 
-    /** Append @p num / @p den (0 when the denominator is 0). */
+    /** Append @p num / @p den (0, flagged degenerate, when the
+     *  denominator is 0). */
     void
     addRatio(const std::string &name, double num, double den)
     {
+        bool degenerate = false;
+        const double v = safeRatio(num, den, &degenerate);
         entries.push_back(
-            {name, den == 0.0 ? 0.0 : num / den, StatKind::Ratio,
-             nullptr});
+            {name, v, StatKind::Ratio, degenerate, nullptr});
     }
 
     /** Append a snapshot of @p d (scalar value = mean). */
@@ -177,7 +201,7 @@ class StatSet
     addDistribution(const std::string &name, const Distribution &d)
     {
         entries.push_back(
-            {name, d.mean(), StatKind::Distribution,
+            {name, d.mean(), StatKind::Distribution, false,
              std::make_shared<const Distribution>(d)});
     }
 
@@ -193,6 +217,10 @@ class StatSet
 
     /** @return the distribution entry @p name, or nullptr. */
     const Distribution *distribution(const std::string &name) const;
+
+    /** @return true if every entry's value (and every distribution
+     *  moment) is a finite number — the emit-to-JSON precondition. */
+    bool allFinite() const;
 
     const std::vector<StatEntry> &all() const { return entries; }
 

@@ -21,6 +21,8 @@ faultKindName(FaultKind kind)
         return "corrupt_mask";
       case FaultKind::CorruptData:
         return "corrupt_data";
+      case FaultKind::CorruptVolCache:
+        return "corrupt_vol_cache";
     }
     return "unknown";
 }

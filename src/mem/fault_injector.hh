@@ -53,10 +53,11 @@ enum class FaultKind : std::uint8_t
     CorruptVolPointer, ///< forged out-of-range VOL pointer
     CorruptMask,       ///< S/V mask bit that cannot legally exist
     CorruptData,       ///< flipped byte in a clean copy
+    CorruptVolCache,   ///< stale incrementally-maintained VOL order
 };
 
 /** Number of fault kinds (for counter arrays). */
-inline constexpr unsigned kNumFaultKinds = 7;
+inline constexpr unsigned kNumFaultKinds = 8;
 
 /** @return a printable name for @p kind. */
 const char *faultKindName(FaultKind kind);

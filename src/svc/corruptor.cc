@@ -32,6 +32,8 @@ SvcCorruptor::corrupt(FaultKind kind)
         return corruptMask();
       case FaultKind::CorruptData:
         return corruptData();
+      case FaultKind::CorruptVolCache:
+        return corruptVolCache();
       default:
         panic("SvcCorruptor: %s is not a corruption kind",
               faultKindName(kind));
@@ -55,6 +57,10 @@ SvcCorruptor::corruptVolPointer()
     const PuId forged = proto.cfg.numPus + 1 +
                         static_cast<PuId>(faults.raw().below(8));
     t.line->nextPu = forged;
+    // The forged pointer changes the reconstructed order; drop any
+    // cached VOL so the protocol rebuilds through the corruption
+    // exactly as the pre-fast-path combinational VCL would.
+    proto.dropVol(t.addr);
     faults.recordCorruption(FaultKind::CorruptVolPointer);
     res.injected = true;
     res.pu = t.pu;
@@ -146,6 +152,36 @@ SvcCorruptor::corruptData()
     res.addr = t.addr;
     res.note = "flipped byte " + std::to_string(byte) +
                " of clean block " + std::to_string(t.bit);
+    return res;
+}
+
+CorruptionResult
+SvcCorruptor::corruptVolCache()
+{
+    // Desynchronize the incrementally maintained VOL from the line
+    // state it summarizes: warm the cache through the protocol's own
+    // snoop path, then remove one node from a cached order. The
+    // checker's cache-vs-rebuild cross-validation (svc.vol_cache)
+    // must flag the divergence.
+    std::vector<Addr> eligible;
+    for (Addr a : proto.residentAddrs()) {
+        if (!proto.snoop(a).empty())
+            eligible.push_back(a);
+    }
+    CorruptionResult res;
+    if (eligible.empty())
+        return res;
+    const Addr a = eligible[faults.raw().below(eligible.size())];
+    Vol &cached = proto.volCache.at(a);
+    const std::size_t victim = faults.raw().below(cached.size());
+    const PuId pu = cached.ordered()[victim].pu;
+    cached.erase(pu);
+    faults.recordCorruption(FaultKind::CorruptVolCache);
+    res.injected = true;
+    res.pu = pu;
+    res.addr = a;
+    res.note = "dropped pu " + std::to_string(pu) +
+               " from the cached VOL order";
     return res;
 }
 

@@ -44,7 +44,8 @@ class SvcCorruptor
 
     /**
      * Apply one corruption of @p kind (one of CorruptVolPointer,
-     * CorruptMask, CorruptData) to a randomly chosen resident line.
+     * CorruptMask, CorruptData, CorruptVolCache) to a randomly
+     * chosen resident line.
      */
     CorruptionResult corrupt(FaultKind kind);
 
@@ -52,6 +53,7 @@ class SvcCorruptor
     CorruptionResult corruptVolPointer();
     CorruptionResult corruptMask();
     CorruptionResult corruptData();
+    CorruptionResult corruptVolCache();
 
     SvcProtocol &proto;
     FaultInjector &faults;

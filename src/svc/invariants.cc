@@ -23,10 +23,7 @@ void
 SvcProtocolChecker::checkLine(Addr line_addr, Cycle now,
                               InvariantReport &rep)
 {
-    // snoop() only reads state but is non-const (it hands out
-    // mutable line pointers for the protocol's own use).
-    auto *self = const_cast<SvcProtocol *>(&proto);
-    const Vol vol = self->snoop(line_addr);
+    const ConstVol vol = proto.snoopConst(line_addr);
     const SvcConfig &cfg = proto.cfg;
     const auto &ordered = vol.ordered();
 
@@ -52,8 +49,34 @@ SvcProtocolChecker::checkLine(Addr line_addr, Cycle now,
     std::size_t last_dirty_idx = 0;
     bool any_dirty = false;
 
+    // -- VOL cache coherence: when the protocol holds a cached
+    //    order for this line it must match the from-scratch
+    //    reconstruction node for node (same PUs, same frames, same
+    //    task seqs, same order) — the fast path must be
+    //    indistinguishable from the paper's combinational VCL. --
+    if (const Vol *cached = proto.cachedVol(line_addr)) {
+        bool match = cached->size() == ordered.size();
+        for (std::size_t i = 0; match && i < ordered.size(); ++i) {
+            const VolNode &c = cached->ordered()[i];
+            match = c.pu == ordered[i].pu &&
+                    c.line == ordered[i].line &&
+                    c.seq == ordered[i].seq;
+        }
+        if (!match) {
+            std::ostringstream os;
+            os << "cached VOL [";
+            for (const VolNode &c : cached->ordered())
+                os << " pu" << c.pu;
+            os << " ] diverges from the rebuilt order [";
+            for (const auto &r : ordered)
+                os << " pu" << r.pu;
+            os << " ]";
+            flag("svc.vol_cache", os.str(), kNoPu);
+        }
+    }
+
     for (std::size_t idx = 0; idx < ordered.size(); ++idx) {
-        const VolNode &n = ordered[idx];
+        const ConstVolNode &n = ordered[idx];
         const SvcLine &line = *n.line;
 
         // -- Mask well-formedness (paper fig. 16 line format). --

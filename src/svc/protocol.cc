@@ -35,6 +35,7 @@ SvcProtocol::assignTask(PuId pu, TaskSeq seq)
     SVC_CHECK(*this, pu < cfg.numPus, pu, kNoAddr);
     SVC_CHECK(*this, seq != kNoTask, pu, kNoAddr);
     tasks[pu] = seq;
+    dropAllVols();
     trace(TraceCat::Task, "mem_assign", pu, kNoAddr, seq);
 }
 
@@ -70,13 +71,13 @@ SvcProtocol::isExclusive(PuId pu, Addr line_addr) const
 }
 
 Vol
-SvcProtocol::snoop(Addr line_addr)
+SvcProtocol::rebuildVol(Addr line_addr)
 {
-    std::vector<VolNode> nodes;
+    Vol::NodeVec nodes;
     for (PuId pu = 0; pu < cfg.numPus; ++pu) {
         if (Frame *f = caches[pu].find(line_addr)) {
-            // Plain assert, not SVC_CHECK: snoop() runs inside the
-            // invariant checkers and the SVC_CHECK failure path
+            // Plain assert, not SVC_CHECK: the rebuild runs inside
+            // the invariant checkers and the SVC_CHECK failure path
             // (dumpLineState); it must tolerate — not abort on —
             // states the checkers exist to report. The equivalent
             // property is the checker's "svc.active_idle_pu".
@@ -85,6 +86,41 @@ SvcProtocol::snoop(Addr line_addr)
         }
     }
     return Vol::build(std::move(nodes));
+}
+
+Vol
+SvcProtocol::snoop(Addr line_addr)
+{
+    ++nVolSnoops;
+    auto it = volCache.find(line_addr);
+    if (it != volCache.end()) {
+        ++nVolHits;
+        return it->second;
+    }
+    ++nVolRebuilds;
+    Vol vol = rebuildVol(line_addr);
+    volCache.emplace(line_addr, vol);
+    return vol;
+}
+
+ConstVol
+SvcProtocol::snoopConst(Addr line_addr) const
+{
+    ConstVol::NodeVec nodes;
+    for (PuId pu = 0; pu < cfg.numPus; ++pu) {
+        if (const Frame *f = caches[pu].find(line_addr)) {
+            assert(f->payload.isPassive() || tasks[pu] != kNoTask);
+            nodes.push_back({pu, &f->payload, tasks[pu]});
+        }
+    }
+    return ConstVol::build(std::move(nodes));
+}
+
+const Vol *
+SvcProtocol::cachedVol(Addr line_addr) const
+{
+    const auto it = volCache.find(line_addr);
+    return it != volCache.end() ? &it->second : nullptr;
 }
 
 unsigned
@@ -100,6 +136,8 @@ SvcProtocol::purgeCommitted(Addr line_addr, Vol &vol)
         ++passive_count;
     if (passive_count == 0)
         return 0;
+    // The purge invalidates passive entries (membership change).
+    dropVol(line_addr);
 
     // For each versioning block, the newest committed version is
     // the architected value: write it back. Older committed
@@ -202,6 +240,9 @@ SvcProtocol::castout(PuId pu, Frame &frame, AccessResult &res)
 {
     const Addr victim_addr = caches[pu].frameAddr(frame);
     SvcLine &line = frame.payload;
+    // Every cast-out path removes this cache from the victim's VOL
+    // (and the passive-clean path rewrites the chain around it).
+    dropVol(victim_addr);
     ++nCastouts;
     trace(TraceCat::Line, "castout", pu, victim_addr, 0,
           line.isPassive() ? (line.isDirty() ? "passive_dirty"
@@ -282,6 +323,7 @@ SvcProtocol::obtainFrame(PuId pu, Addr line_addr, AccessResult &res)
     if (victim->valid)
         castout(pu, *victim, res);
     cache.install(*victim, line_addr);
+    dropVol(line_addr); // the install adds a VOL member
     return victim;
 }
 
@@ -348,6 +390,7 @@ SvcProtocol::load(PuId pu, Addr addr, unsigned size)
         // Reuse a non-stale committed copy without a bus request:
         // it is (a copy of) the most recent version (figure 15).
         SvcLine &line = f->payload;
+        dropVol(line_addr); // passive -> active without an install
         line.commit = false;
         line.arch = true;
         line.lMask = vbs;
@@ -438,6 +481,8 @@ SvcProtocol::busRead(PuId pu, Addr line_addr, std::uint64_t req_vbs,
     }
     line.vMask |= fill;
     line.lMask |= req_vbs & ~line.sMask;
+    if (line.commit)
+        dropVol(line_addr); // passive frame converts in place
     line.commit = false;
     line.debugSeq = req_seq;
     // Architectural iff no speculative (non-head) version
@@ -663,6 +708,8 @@ SvcProtocol::busWrite(PuId pu, Addr line_addr, std::uint64_t store_vbs,
     const std::uint64_t newly_stored = store_vbs & ~line.sMask;
     line.sMask |= store_vbs;
     line.lMask |= newly_stored & ~full_cover;
+    if (line.commit)
+        dropVol(line_addr); // passive frame converts in place
     line.commit = false;
     line.debugSeq = req_seq;
     line.arch = (was_merge ? line.arch : true) && !speculative &&
@@ -712,6 +759,7 @@ SvcProtocol::busWrite(PuId pu, Addr line_addr, std::uint64_t store_vbs,
                     Frame *of = caches[n.pu].find(line_addr);
                     SVC_CHECK(*this, of != nullptr, n.pu, line_addr);
                     caches[n.pu].invalidate(*of);
+                    dropVol(line_addr);
                 }
                 continue;
             }
@@ -742,6 +790,7 @@ SvcProtocol::busWrite(PuId pu, Addr line_addr, std::uint64_t store_vbs,
                         SVC_CHECK(*this, of != nullptr, n.pu,
                                   line_addr);
                         caches[n.pu].invalidate(*of);
+                        dropVol(line_addr);
                     }
                 }
             }
@@ -783,6 +832,11 @@ SvcProtocol::commitTask(PuId pu)
     SVC_CHECK(*this, isHeadPu(pu), pu, kNoAddr);
     CommitResult res;
     ++nCommits;
+    // The commit flips the whole cache's active lines to passive
+    // and retires the task: every cached order involving them (and
+    // every active seq) is suspect. Task events are rare relative
+    // to bus transactions, so a global drop is cheap.
+    dropAllVols();
     trace(TraceCat::Task, "mem_commit", pu, kNoAddr, tasks[pu],
           cfg.lazyCommit ? "flash" : "writeback");
 
@@ -826,6 +880,7 @@ SvcProtocol::squashTask(PuId pu)
 {
     SVC_CHECK(*this, pu < cfg.numPus, pu, kNoAddr);
     ++nSquashes;
+    dropAllVols();
     trace(TraceCat::Task, "mem_squash", pu, kNoAddr, tasks[pu]);
     Storage &cache = caches[pu];
     cache.forEachValid([&](Frame &f) {
@@ -928,9 +983,9 @@ SvcProtocol::dumpLineState(Addr line_addr) const
         return os.str();
     }
     // The reconstructed VOL order (what the VCL would compute).
-    const Vol vol = const_cast<SvcProtocol *>(this)->snoop(line_addr);
+    const ConstVol vol = snoopConst(line_addr);
     os << "\nVOL:";
-    for (const VolNode &n : vol.ordered()) {
+    for (const ConstVolNode &n : vol.ordered()) {
         os << " pu" << n.pu
            << (n.line->isActive() ? "(active)" : "(passive)");
     }
@@ -986,6 +1041,11 @@ SvcProtocol::stats() const
     s.addCounter("stalls", nStalls);
     s.addCounter("eager_writebacks", nEagerWritebacks);
     s.addCounter("castouts", nCastouts);
+    s.addCounter("vol_snoops", nVolSnoops);
+    s.addCounter("vol_hits", nVolHits);
+    s.addCounter("vol_rebuilds", nVolRebuilds);
+    s.addRatio("vol_hit_ratio", static_cast<double>(nVolHits),
+               static_cast<double>(nVolSnoops));
     s.addRatio("miss_ratio", static_cast<double>(nMemSupplied),
                static_cast<double>(nLoads + nStores));
     return s;
@@ -1002,7 +1062,8 @@ SvcProtocol::saveState(SnapshotWriter &w) const
         &nLoads, &nStores, &nHits, &nReuseHits, &nBusTransactions,
         &nMemSupplied, &nCacheSupplied, &nFlushes, &nViolations,
         &nSnarfs, &nUpdates, &nCommits, &nSquashes, &nStalls,
-        &nEagerWritebacks, &nCastouts,
+        &nEagerWritebacks, &nCastouts, &nVolSnoops, &nVolHits,
+        &nVolRebuilds,
     };
     for (const Counter *c : counters)
         w.putU64(*c);
@@ -1040,6 +1101,8 @@ SvcProtocol::saveState(SnapshotWriter &w) const
 bool
 SvcProtocol::restoreState(SnapshotReader &r)
 {
+    // Cached orders reference the pre-restore line states.
+    dropAllVols();
     const std::uint64_t nt = r.getCount(8);
     if (!r.ok())
         return false;
@@ -1054,7 +1117,8 @@ SvcProtocol::restoreState(SnapshotReader &r)
         &nLoads, &nStores, &nHits, &nReuseHits, &nBusTransactions,
         &nMemSupplied, &nCacheSupplied, &nFlushes, &nViolations,
         &nSnarfs, &nUpdates, &nCommits, &nSquashes, &nStalls,
-        &nEagerWritebacks, &nCastouts,
+        &nEagerWritebacks, &nCastouts, &nVolSnoops, &nVolHits,
+        &nVolRebuilds,
     };
     for (Counter *c : counters)
         *c = r.getU64();

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/invariants.hh"
@@ -152,6 +153,21 @@ class SvcProtocol
     std::string dumpLineState(Addr line_addr) const;
 
     /**
+     * Reconstruct the VOL from scratch for a read-only consumer
+     * (debug dumps, invariant checkers). Genuinely const: never
+     * consults or populates the VOL cache, and the returned list
+     * cannot rewrite pointers or stale bits.
+     */
+    ConstVol snoopConst(Addr line_addr) const;
+
+    /**
+     * @return the cached VOL for @p line_addr, or nullptr if the
+     * line has no live cache entry. For the invariant checker's
+     * cache-vs-rebuild cross-validation; never populates the cache.
+     */
+    const Vol *cachedVol(Addr line_addr) const;
+
+    /**
      * SVC_CHECK failure path: logs the failed expression and the
      * offending line's VOL + state dump, then panics. Out of line
      * so the check macro stays branch-cheap.
@@ -205,6 +221,10 @@ class SvcProtocol
     Counter nStalls = 0;
     Counter nEagerWritebacks = 0;
     Counter nCastouts = 0;
+    // VOL cache effectiveness (snoops = hits + rebuilds).
+    Counter nVolSnoops = 0;
+    Counter nVolHits = 0;
+    Counter nVolRebuilds = 0;
 
     /** Per-line miss counts (only when cfg.trackMissMap). */
     std::map<Addr, Counter> missMap;
@@ -219,8 +239,29 @@ class SvcProtocol
     /** @return byte range [first, last] of versioning block @p vb. */
     unsigned vbBase(unsigned vb) const { return vb * cfg.versioningBytes; }
 
-    /** Collect a VOL snapshot for @p line_addr across all caches. */
+    /**
+     * Collect a VOL snapshot for @p line_addr across all caches:
+     * serve a copy of the cached list when one is live, else
+     * reconstruct (rebuildVol) and cache the result. Every state
+     * transition that can change the *order* — membership, the
+     * passive/active partition, the pointer chain, or the task
+     * table — drops the affected entry (dropVol / dropAllVols);
+     * order-neutral mutations (masks, data, stale/shared bits) are
+     * read through the nodes' live line pointers and need no
+     * invalidation.
+     */
     Vol snoop(Addr line_addr);
+
+    /** From-scratch VOL reconstruction (the VCL's combinational
+     *  path); does not touch the cache. */
+    Vol rebuildVol(Addr line_addr);
+
+    /** Drop the cached VOL for one line (order-changing event). */
+    void dropVol(Addr line_addr) { volCache.erase(line_addr); }
+
+    /** Drop every cached VOL (task-table change: active order and
+     *  node seqs derive from tasks[]). */
+    void dropAllVols() { volCache.clear(); }
 
     /**
      * The X (exclusive) bit of section 3.8.1, evaluated directly:
@@ -294,6 +335,8 @@ class SvcProtocol
     MainMemory &mem;
     std::vector<Storage> caches;
     std::vector<TaskSeq> tasks;
+    /** Per-line VOL orders maintained across bus transactions. */
+    std::unordered_map<Addr, Vol> volCache;
     TraceSink *tracer = nullptr;
     const Cycle *clk = nullptr;
 

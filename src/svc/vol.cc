@@ -1,131 +1,16 @@
 #include "svc/vol.hh"
 
-#include <algorithm>
-#include <cassert>
-
 namespace svc
 {
 
-Vol
-Vol::build(std::vector<VolNode> in)
-{
-    Vol vol;
-
-    // Partition into passive (committed) and active entries.
-    std::vector<VolNode> passive, active;
-    for (auto &n : in) {
-        assert(n.line != nullptr);
-        (n.line->isPassive() ? passive : active).push_back(n);
-    }
-
-    // Order the passive prefix by walking the surviving pointer
-    // chain. Segment starts are passive entries no other passive
-    // entry points to; within a segment we follow nextPu. Multiple
-    // segments can only arise when a middle entry left the passive
-    // set (e.g. a non-stale copy was locally reused); such orphan
-    // segments contain only copies, whose relative order is
-    // immaterial — we keep determinism by starting at the lowest PU.
-    std::vector<VolNode> ordered_passive;
-    if (!passive.empty()) {
-        std::sort(passive.begin(), passive.end(),
-                  [](const VolNode &a, const VolNode &b) {
-                      return a.pu < b.pu;
-                  });
-        auto member = [&](PuId pu) -> VolNode * {
-            for (auto &n : passive) {
-                if (n.pu == pu)
-                    return &n;
-            }
-            return nullptr;
-        };
-        std::vector<bool> pointed(passive.size(), false);
-        for (const auto &n : passive) {
-            for (std::size_t i = 0; i < passive.size(); ++i) {
-                if (passive[i].pu == n.line->nextPu)
-                    pointed[i] = true;
-            }
-        }
-        std::vector<bool> visited(passive.size(), false);
-        for (std::size_t start = 0; start < passive.size(); ++start) {
-            if (pointed[start] || visited[start])
-                continue;
-            // Walk this segment.
-            VolNode *cur = &passive[start];
-            while (cur) {
-                const std::size_t idx = cur - passive.data();
-                if (visited[idx])
-                    break; // defensive: never loop
-                visited[idx] = true;
-                ordered_passive.push_back(*cur);
-                cur = member(cur->line->nextPu);
-            }
-        }
-        // Entries only reachable through a cycle (possible after a
-        // squash left inconsistent pointers) are appended; they can
-        // only be copies.
-        for (std::size_t i = 0; i < passive.size(); ++i) {
-            if (!visited[i])
-                ordered_passive.push_back(passive[i]);
-        }
-    }
-
-    // Active entries are ordered by current task program order.
-    std::sort(active.begin(), active.end(),
-              [](const VolNode &a, const VolNode &b) {
-                  assert(a.seq != kNoTask && b.seq != kNoTask);
-                  return a.seq < b.seq;
-              });
-
-    vol.nodes = std::move(ordered_passive);
-    vol.nodes.insert(vol.nodes.end(), active.begin(), active.end());
-    return vol;
-}
-
-int
-Vol::indexOf(PuId pu) const
-{
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-        if (nodes[i].pu == pu)
-            return static_cast<int>(i);
-    }
-    return -1;
-}
-
-int
-Vol::lastVersionIndex() const
-{
-    for (int i = static_cast<int>(nodes.size()) - 1; i >= 0; --i) {
-        if (nodes[i].line->isDirty())
-            return i;
-    }
-    return -1;
-}
-
-void
-Vol::rewritePointers() const
-{
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-        nodes[i].line->nextPu =
-            i + 1 < nodes.size() ? nodes[i + 1].pu : kNoPu;
-    }
-}
-
-void
-Vol::recomputeStaleBits() const
-{
-    const int last_version = lastVersionIndex();
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-        nodes[i].line->stale =
-            last_version >= 0 && static_cast<int>(i) < last_version;
-    }
-}
-
-void
-Vol::erase(PuId pu)
-{
-    const int idx = indexOf(pu);
-    if (idx >= 0)
-        nodes.erase(nodes.begin() + idx);
-}
+// The reconstruction algorithm lives in the header as a template
+// over the line's constness. Instantiate the protocol's mutating
+// variant here so heavy users get a single copy; the read-only
+// BasicVol<const SvcLine> is deliberately NOT instantiated in full —
+// its rewritePointers/recomputeStaleBits must never be reached
+// (they would write through const lines), and leaving the const
+// variant to implicit instantiation means only the members actually
+// used on const query paths are ever compiled.
+template class BasicVol<SvcLine>;
 
 } // namespace svc

@@ -15,75 +15,228 @@
  *    assignment information" from the sequencer, figure 5);
  *  - after a squash, dangling pointers are ignored and repaired on
  *    the next access (paper section 3.5, figure 17).
+ *
+ * The list is a class template over the line's constness so the
+ * protocol's mutating paths (Vol: rewritePointers, stale-bit
+ * recomputation) and the read-only query paths (ConstVol: debug
+ * dumps, invariant checkers, the cross-validation rebuild) share
+ * one reconstruction algorithm without const_cast. Node storage is
+ * an InlineVec sized for the common PU counts, so reconstructing or
+ * copying a VOL performs no heap allocation on the snoop hot path.
  */
 
 #ifndef SVC_SVC_VOL_HH
 #define SVC_SVC_VOL_HH
 
-#include <vector>
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
 
+#include "common/inline_vec.hh"
 #include "common/types.hh"
 #include "svc/line.hh"
 
 namespace svc
 {
 
+/** Inline node capacity: covers numPus <= 8 without heap spill. */
+inline constexpr std::size_t kVolInlineNodes = 8;
+
 /** One entry of a reconstructed VOL. */
-struct VolNode
+template <typename LineT>
+struct BasicVolNode
 {
     PuId pu = kNoPu;
-    SvcLine *line = nullptr;
+    LineT *line = nullptr;
     /** Task seq of the PU's current task; kNoTask for passive. */
     TaskSeq seq = kNoTask;
+
+    bool
+    operator==(const BasicVolNode &o) const
+    {
+        return pu == o.pu && line == o.line && seq == o.seq;
+    }
 };
 
 /** A reconstructed, ordered Version Ordering List for one line. */
-class Vol
+template <typename LineT>
+class BasicVol
 {
   public:
+    using Node = BasicVolNode<LineT>;
+    using NodeVec = InlineVec<Node, kVolInlineNodes>;
+
     /**
      * Reconstruct the VOL from the snooped lines of every cache.
      *
-     * @param nodes one entry per cache holding the line (any order);
+     * @param in one entry per cache holding the line (any order);
      *        seq must be the PU's current task for active lines.
      * @return nodes ordered oldest-to-newest.
      */
-    static Vol build(std::vector<VolNode> nodes);
+    static BasicVol
+    build(NodeVec in)
+    {
+        BasicVol vol;
 
-    const std::vector<VolNode> &ordered() const { return nodes; }
+        // Partition into passive (committed) and active entries.
+        NodeVec passive, active;
+        for (auto &n : in) {
+            assert(n.line != nullptr);
+            (n.line->isPassive() ? passive : active).push_back(n);
+        }
+
+        // Order the passive prefix by walking the surviving pointer
+        // chain. Segment starts are passive entries no other passive
+        // entry points to; within a segment we follow nextPu.
+        // Multiple segments can only arise when a middle entry left
+        // the passive set (e.g. a non-stale copy was locally
+        // reused); such orphan segments contain only copies, whose
+        // relative order is immaterial — we keep determinism by
+        // starting at the lowest PU.
+        NodeVec ordered_passive;
+        if (!passive.empty()) {
+            std::sort(passive.begin(), passive.end(),
+                      [](const Node &a, const Node &b) {
+                          return a.pu < b.pu;
+                      });
+            auto member = [&](PuId pu) -> Node * {
+                for (auto &n : passive) {
+                    if (n.pu == pu)
+                        return &n;
+                }
+                return nullptr;
+            };
+            InlineVec<std::uint8_t, kVolInlineNodes> pointed, visited;
+            for (std::size_t i = 0; i < passive.size(); ++i) {
+                pointed.push_back(0);
+                visited.push_back(0);
+            }
+            for (const auto &n : passive) {
+                for (std::size_t i = 0; i < passive.size(); ++i) {
+                    if (passive[i].pu == n.line->nextPu)
+                        pointed[i] = 1;
+                }
+            }
+            for (std::size_t start = 0; start < passive.size();
+                 ++start) {
+                if (pointed[start] || visited[start])
+                    continue;
+                // Walk this segment.
+                Node *cur = &passive[start];
+                while (cur) {
+                    const std::size_t idx =
+                        static_cast<std::size_t>(cur -
+                                                 passive.begin());
+                    if (visited[idx])
+                        break; // defensive: never loop
+                    visited[idx] = 1;
+                    ordered_passive.push_back(*cur);
+                    cur = member(cur->line->nextPu);
+                }
+            }
+            // Entries only reachable through a cycle (possible after
+            // a squash left inconsistent pointers) are appended; they
+            // can only be copies.
+            for (std::size_t i = 0; i < passive.size(); ++i) {
+                if (!visited[i])
+                    ordered_passive.push_back(passive[i]);
+            }
+        }
+
+        // Active entries are ordered by current task program order.
+        std::sort(active.begin(), active.end(),
+                  [](const Node &a, const Node &b) {
+                      assert(a.seq != kNoTask && b.seq != kNoTask);
+                      return a.seq < b.seq;
+                  });
+
+        vol.nodes = std::move(ordered_passive);
+        vol.nodes.append(active.begin(), active.end());
+        return vol;
+    }
+
+    const NodeVec &ordered() const { return nodes; }
     bool empty() const { return nodes.empty(); }
     std::size_t size() const { return nodes.size(); }
 
     /** @return index of @p pu in the list, or -1. */
-    int indexOf(PuId pu) const;
+    int
+    indexOf(PuId pu) const
+    {
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (nodes[i].pu == pu)
+                return static_cast<int>(i);
+        }
+        return -1;
+    }
 
     /**
      * @return index of the most recent version (last node with a
      * non-empty store mask), or -1 if only copies exist.
      */
-    int lastVersionIndex() const;
+    int
+    lastVersionIndex() const
+    {
+        for (int i = static_cast<int>(nodes.size()) - 1; i >= 0;
+             --i) {
+            if (nodes[i].line->isDirty())
+                return i;
+        }
+        return -1;
+    }
 
     /**
      * Rewrite every member line's VOL pointer to match this order
      * (the VCL "modifies the pointers in the lines accordingly",
-     * paper section 3.4.1).
+     * paper section 3.4.1). Mutable-line instantiations only.
      */
-    void rewritePointers() const;
+    void
+    rewritePointers() const
+    {
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            nodes[i].line->nextPu =
+                i + 1 < nodes.size() ? nodes[i + 1].pu : kNoPu;
+        }
+    }
 
     /**
      * Re-establish the stale-bit invariant (paper section 3.4.3):
      * the most recent version and every entry after it (its copies)
      * have T reset; entries before it have T set. With no version
-     * present every copy is architectural and T is reset.
+     * present every copy is architectural and T is reset. Mutable-
+     * line instantiations only.
      */
-    void recomputeStaleBits() const;
+    void
+    recomputeStaleBits() const
+    {
+        const int last_version = lastVersionIndex();
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            nodes[i].line->stale =
+                last_version >= 0 &&
+                static_cast<int>(i) < last_version;
+        }
+    }
 
     /** Remove the node for @p pu, if present. */
-    void erase(PuId pu);
+    void
+    erase(PuId pu)
+    {
+        const int idx = indexOf(pu);
+        if (idx >= 0)
+            nodes.eraseAt(static_cast<std::size_t>(idx));
+    }
 
   private:
-    std::vector<VolNode> nodes;
+    NodeVec nodes;
 };
+
+/** The protocol's mutating VOL (rewrites pointers / stale bits). */
+using Vol = BasicVol<SvcLine>;
+using VolNode = BasicVolNode<SvcLine>;
+
+/** Read-only VOL for const query paths (dumps, checkers). */
+using ConstVol = BasicVol<const SvcLine>;
+using ConstVolNode = BasicVolNode<const SvcLine>;
 
 } // namespace svc
 

@@ -468,5 +468,10 @@ TEST(FaultMatrix, CorruptDataIsAlwaysDetected)
     sweepCorruption(FaultKind::CorruptData);
 }
 
+TEST(FaultMatrix, CorruptVolCacheIsAlwaysDetected)
+{
+    sweepCorruption(FaultKind::CorruptVolCache);
+}
+
 } // namespace
 } // namespace svc

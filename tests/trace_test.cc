@@ -6,12 +6,16 @@
  * and the SpecMem factory registry.
  */
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "common/json.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "mem/main_memory.hh"
@@ -44,6 +48,25 @@ TEST(Distribution, MomentsOnly)
     EXPECT_DOUBLE_EQ(d.max(), 6.0);
     // Population stddev of {2,4,6} is sqrt(8/3).
     EXPECT_NEAR(d.stddev(), 1.632993, 1e-5);
+}
+
+TEST(Distribution, StddevClampsNegativeVariance)
+{
+    // Near-constant samples: sumSq - sum^2/n computed in floating
+    // point can land a hair below zero; stddev() must clamp to 0
+    // instead of returning sqrt(negative) = NaN.
+    Distribution d;
+    for (int i = 0; i < 1000; ++i)
+        d.sample(0.1); // 0.1 is not exactly representable
+    EXPECT_TRUE(std::isfinite(d.stddev()));
+    EXPECT_GE(d.stddev(), 0.0);
+    EXPECT_NEAR(d.stddev(), 0.0, 1e-6);
+
+    Distribution big;
+    for (int i = 0; i < 1000; ++i)
+        big.sample(1e15 + 0.25); // catastrophic cancellation range
+    EXPECT_TRUE(std::isfinite(big.stddev()));
+    EXPECT_GE(big.stddev(), 0.0);
 }
 
 TEST(Distribution, BucketMath)
@@ -171,6 +194,119 @@ tracedRun(const std::string &kind, TraceSink *sink)
 }
 
 } // namespace
+
+// ---------------------------------------------------------------
+// safeRatio / degenerate flags / allFinite
+// ---------------------------------------------------------------
+
+TEST(SafeRatio, ZeroDenominatorYieldsZeroAndFlags)
+{
+    bool degenerate = false;
+    EXPECT_DOUBLE_EQ(safeRatio(7.0, 0.0, &degenerate), 0.0);
+    EXPECT_TRUE(degenerate);
+
+    // The flag is set, never cleared, so it accumulates across a
+    // batch of ratios.
+    EXPECT_DOUBLE_EQ(safeRatio(6.0, 3.0, &degenerate), 2.0);
+    EXPECT_TRUE(degenerate);
+
+    EXPECT_DOUBLE_EQ(safeRatio(0.0, 0.0), 0.0); // null flag is fine
+}
+
+TEST(StatSet, DegenerateRatioIsFlaggedAndFinite)
+{
+    StatSet s;
+    s.addRatio("hit_ratio", 0.0, 0.0); // no accesses at all
+    s.addRatio("ipc", 100.0, 50.0);
+    EXPECT_DOUBLE_EQ(s.get("hit_ratio"), 0.0);
+    EXPECT_DOUBLE_EQ(s.get("ipc"), 2.0);
+    ASSERT_EQ(s.all().size(), 2u);
+    EXPECT_TRUE(s.all()[0].degenerate);
+    EXPECT_FALSE(s.all()[1].degenerate);
+    EXPECT_TRUE(s.allFinite());
+}
+
+TEST(StatSet, DegenerateFlagSurvivesMerge)
+{
+    StatSet inner;
+    inner.addRatio("ratio", 1.0, 0.0);
+    StatSet outer;
+    outer.merge("sub", inner);
+    ASSERT_EQ(outer.all().size(), 1u);
+    EXPECT_EQ(outer.all()[0].name, "sub.ratio");
+    EXPECT_TRUE(outer.all()[0].degenerate);
+}
+
+TEST(StatSet, AllFiniteCatchesBadScalarsAndDistributions)
+{
+    StatSet good;
+    good.add("x", 1.5);
+    EXPECT_TRUE(good.allFinite());
+
+    StatSet bad;
+    bad.add("x", std::numeric_limits<double>::infinity());
+    EXPECT_FALSE(bad.allFinite());
+
+    StatSet bad_dist;
+    Distribution d;
+    d.sample(std::numeric_limits<double>::quiet_NaN());
+    bad_dist.addDistribution("lat", d);
+    EXPECT_FALSE(bad_dist.allFinite());
+}
+
+// ---------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------
+
+TEST(JsonWriter, NestsObjectsArraysAndEscapes)
+{
+    JsonWriter w(false); // compact
+    w.beginObject();
+    w.member("name", "a\"b\\c\nd");
+    w.key("list");
+    w.beginArray();
+    w.value(std::uint64_t{1});
+    w.value(-2);
+    w.value(true);
+    w.endArray();
+    w.key("empty");
+    w.beginObject();
+    w.endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"name\":\"a\\\"b\\\\c\\nd\","
+              "\"list\":[1,-2,true],\"empty\":{}}");
+    EXPECT_FALSE(w.sawNonFinite());
+}
+
+TEST(JsonWriter, DoublesRoundTripDeterministically)
+{
+    JsonWriter a(false), b(false);
+    const double v = 0.1 + 0.2; // not representable exactly
+    a.beginObject();
+    a.member("v", v);
+    a.endObject();
+    b.beginObject();
+    b.member("v", v);
+    b.endObject();
+    EXPECT_EQ(a.str(), b.str());
+    // %.17g reproduces the exact bit pattern on parse.
+    const std::string s = a.str();
+    const auto colon = s.find(':');
+    ASSERT_NE(colon, std::string::npos);
+    EXPECT_EQ(std::stod(s.substr(colon + 1)), v);
+}
+
+TEST(JsonWriter, NonFiniteBecomesZeroAndIsRecorded)
+{
+    JsonWriter w(false);
+    w.beginObject();
+    w.member("nan", std::numeric_limits<double>::quiet_NaN());
+    w.member("inf", std::numeric_limits<double>::infinity());
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"nan\":0,\"inf\":0}");
+    EXPECT_TRUE(w.sawNonFinite());
+}
 
 TEST(Trace, TextTraceIsDeterministic)
 {

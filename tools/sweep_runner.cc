@@ -1,0 +1,518 @@
+/**
+ * @file
+ * Parallel sweep runner: shards the experiment grid (design point x
+ * cache size x benchmark x seed, plus the protocol-corruption fault
+ * matrix) across a worker thread pool and aggregates the results
+ * deterministically.
+ *
+ * Every grid item is fully self-contained — each worker constructs
+ * its own MainMemory, SpecMem and Processor (or functional protocol
+ * for fault cells) and draws from its own seeded RNG stream — so
+ * items can run in any order on any thread. Aggregation walks the
+ * item list in definition order, which together with the JSON
+ * writer's fixed number formatting makes the "results" section
+ * byte-identical regardless of --jobs. Wall-clock timing lives in a
+ * separate "timing" section that --results-only omits, so
+ * determinism can be checked with a plain byte compare
+ * (--check-determinism does exactly that).
+ *
+ * Exit status: 0 on success; 1 if any result was non-finite, any
+ * benchmark row failed checksum verification, any injected
+ * corruption went undetected, or the determinism check failed.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "common/invariants.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+#include "mem/fault_injector.hh"
+#include "mem/main_memory.hh"
+#include "svc/corruptor.hh"
+#include "svc/invariants.hh"
+#include "svc/protocol.hh"
+#include "tests/support/engine_adapters.hh"
+#include "tests/support/task_script.hh"
+
+namespace svc
+{
+namespace
+{
+
+const char *const kWorkloads[] = {"compress", "gcc",   "vortex",
+                                  "perl",     "ijpeg", "mgrid",
+                                  "apsi"};
+
+/** One self-contained unit of work. */
+struct SweepItem
+{
+    enum Kind { Bench, Fault };
+
+    std::string id; ///< stable unique name, e.g. "fig19/gcc/svc8k"
+    Kind kind = Bench;
+
+    // Bench items.
+    std::string memKind;  ///< makeSpecMem registry key
+    std::string workload; ///< workload name
+    std::string config;   ///< short config label for the report
+    unsigned scale = 1;
+    std::uint64_t seed = 12345;
+    SpecMemConfig cfg;
+
+    // Fault cells (functional protocol + one corruption).
+    FaultKind faultKind = FaultKind::CorruptVolPointer;
+};
+
+struct ItemResult
+{
+    bench::BenchRow row; ///< bench items only
+    bool injected = false;
+    bool detected = false;
+    unsigned findings = 0;
+    double wallSeconds = 0.0;
+};
+
+struct Options
+{
+    unsigned jobs = 0; ///< 0 = hardware concurrency
+    unsigned scale = 0; ///< 0 = benchScale default
+    std::string grid = "fig19";
+    std::string out = "BENCH_PR4.json";
+    bool resultsOnly = false;
+    bool checkDeterminism = false;
+};
+
+// ---------------------------------------------------------------
+// Grid construction
+// ---------------------------------------------------------------
+
+void
+addIpcGrid(std::vector<SweepItem> &items, const std::string &fig,
+           unsigned arb_dcache_kb, unsigned svc_kb, unsigned scale)
+{
+    for (const char *w : kWorkloads) {
+        for (unsigned lat = 4; lat >= 1; --lat) {
+            SweepItem it;
+            it.memKind = "arb";
+            it.workload = w;
+            it.scale = scale;
+            it.cfg.arb = bench::paperArbConfig(arb_dcache_kb, lat);
+            it.config = "arb" + std::to_string(arb_dcache_kb) +
+                        "k_lat" + std::to_string(lat);
+            it.id = fig + "/" + w + "/" + it.config;
+            items.push_back(std::move(it));
+        }
+        SweepItem it;
+        it.memKind = "svc";
+        it.workload = w;
+        it.scale = scale;
+        it.cfg.svc = bench::paperSvcConfig(svc_kb);
+        it.config = "svc" + std::to_string(svc_kb) + "k_final";
+        it.id = fig + "/" + w + "/" + it.config;
+        items.push_back(std::move(it));
+    }
+}
+
+void
+addFaultGrid(std::vector<SweepItem> &items, unsigned num_seeds)
+{
+    const FaultKind kinds[] = {
+        FaultKind::CorruptVolPointer, FaultKind::CorruptMask,
+        FaultKind::CorruptData, FaultKind::CorruptVolCache};
+    for (FaultKind k : kinds) {
+        for (std::uint64_t seed = 1; seed <= num_seeds; ++seed) {
+            SweepItem it;
+            it.kind = SweepItem::Fault;
+            it.faultKind = k;
+            it.seed = seed;
+            it.id = std::string("faults/final/") + faultKindName(k) +
+                    "/s" + std::to_string(seed);
+            items.push_back(std::move(it));
+        }
+    }
+}
+
+std::vector<SweepItem>
+buildGrid(const std::string &grid, unsigned scale)
+{
+    std::vector<SweepItem> items;
+    if (grid == "fig19") {
+        addIpcGrid(items, "fig19", 32, 8, scale);
+    } else if (grid == "fig20") {
+        addIpcGrid(items, "fig20", 64, 16, scale);
+    } else if (grid == "faults") {
+        addFaultGrid(items, 8);
+    } else if (grid == "smoke") {
+        // A CI-sized cut: two workloads with contrasting sharing
+        // behaviour, one ARB and one SVC point each, plus one fault
+        // cell per corruption kind.
+        for (const char *w : {"compress", "mgrid"}) {
+            SweepItem arb;
+            arb.memKind = "arb";
+            arb.workload = w;
+            arb.scale = scale;
+            arb.cfg.arb = bench::paperArbConfig(32, 2);
+            arb.config = "arb32k_lat2";
+            arb.id = std::string("smoke/") + w + "/arb32k_lat2";
+            items.push_back(std::move(arb));
+            SweepItem svc;
+            svc.memKind = "svc";
+            svc.workload = w;
+            svc.scale = scale;
+            svc.cfg.svc = bench::paperSvcConfig(8);
+            svc.config = "svc8k_final";
+            svc.id = std::string("smoke/") + w + "/svc8k_final";
+            items.push_back(std::move(svc));
+        }
+        addFaultGrid(items, 1);
+    } else if (grid == "full") {
+        addIpcGrid(items, "fig19", 32, 8, scale);
+        addIpcGrid(items, "fig20", 64, 16, scale);
+        addFaultGrid(items, 8);
+    } else {
+        fatal("unknown grid '%s' (fig19, fig20, faults, smoke, "
+              "full)", grid.c_str());
+    }
+    return items;
+}
+
+// ---------------------------------------------------------------
+// Item execution
+// ---------------------------------------------------------------
+
+/** Populate a Final-design protocol, corrupt it, and record whether
+ *  the invariant engine flags the corruption (the same cell shape
+ *  as the ctest fault matrix, reported instead of asserted). */
+ItemResult
+runFaultItem(const SweepItem &it)
+{
+    ItemResult r;
+    MainMemory mem;
+    SvcConfig cfg;
+    cfg.numPus = 4;
+    cfg.cacheBytes = 512;
+    cfg.assoc = 4;
+    cfg.lineBytes = 16;
+    cfg = makeDesign(SvcDesign::Final, cfg);
+    cfg.versioningBytes = 4;
+    SvcProtocol proto(cfg, mem);
+
+    test::ScriptConfig scfg;
+    scfg.seed = it.seed;
+    scfg.numTasks = 12;
+    scfg.addrRange = 96;
+    const test::TaskScript script = test::generateScript(scfg);
+    test::runSpeculative(script, test::adaptProtocol(proto),
+                         cfg.numPus, it.seed * 31);
+
+    InvariantEngine eng;
+    eng.addChecker(std::make_unique<SvcProtocolChecker>(proto));
+
+    FaultConfig fcfg;
+    fcfg.seed = it.seed * 7919 + 1;
+    FaultInjector inj(fcfg);
+    SvcCorruptor corruptor(proto, inj);
+    const CorruptionResult res = corruptor.corrupt(it.faultKind);
+    r.injected = res.injected;
+    if (res.injected) {
+        eng.runChecks(1);
+        r.detected = !eng.clean();
+        r.findings = static_cast<unsigned>(eng.findings().size());
+    }
+    return r;
+}
+
+ItemResult
+runItem(const SweepItem &it)
+{
+    ItemResult r;
+    if (it.kind == SweepItem::Fault) {
+        r = runFaultItem(it);
+    } else {
+        r.row = bench::runOn(it.memKind, it.workload, it.scale,
+                             it.cfg, nullptr, it.seed);
+    }
+    return r;
+}
+
+// ---------------------------------------------------------------
+// Parallel execution with ordered aggregation
+// ---------------------------------------------------------------
+
+std::vector<ItemResult>
+runAll(const std::vector<SweepItem> &items, unsigned jobs)
+{
+    std::vector<ItemResult> results(items.size());
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= items.size())
+                return;
+            const auto t0 = std::chrono::steady_clock::now();
+            results[i] = runItem(items[i]);
+            results[i].wallSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+        }
+    };
+    std::vector<std::thread> pool;
+    for (unsigned t = 1; t < jobs; ++t)
+        pool.emplace_back(worker);
+    worker(); // the main thread is worker 0
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+// ---------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------
+
+void
+writeDoc(JsonWriter &w, const Options &opt, unsigned jobs,
+         const std::vector<SweepItem> &items,
+         const std::vector<ItemResult> &results, bool with_timing,
+         double total_wall)
+{
+    w.beginObject();
+    w.member("schema", "svc-sweep-v1");
+    w.member("grid", opt.grid);
+    w.key("scale");
+    w.value(opt.scale);
+    w.key("items");
+    w.value(static_cast<std::uint64_t>(items.size()));
+
+    w.key("results");
+    w.beginArray();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const SweepItem &it = items[i];
+        const ItemResult &r = results[i];
+        w.beginObject();
+        w.member("id", it.id);
+        if (it.kind == SweepItem::Bench) {
+            w.member("kind", "bench");
+            w.member("workload", it.workload);
+            w.member("mem", r.row.memSystem);
+            w.member("config", it.config);
+            w.key("scale");
+            w.value(it.scale);
+            w.key("seed");
+            w.value(it.seed);
+            w.member("ipc", r.row.ipc);
+            w.member("miss_ratio", r.row.missRatio);
+            w.member("bus_utilization", r.row.busUtilization);
+            w.key("instructions");
+            w.value(r.row.instructions);
+            w.key("cycles");
+            w.value(static_cast<std::uint64_t>(r.row.cycles));
+            w.key("violation_squashes");
+            w.value(r.row.violationSquashes);
+            w.key("task_mispredicts");
+            w.value(r.row.taskMispredicts);
+            w.member("verified", r.row.verified);
+        } else {
+            w.member("kind", "fault");
+            w.member("design", "Final");
+            w.member("fault_kind", faultKindName(it.faultKind));
+            w.key("seed");
+            w.value(it.seed);
+            w.member("injected", r.injected);
+            w.member("detected", r.detected);
+            w.key("findings");
+            w.value(static_cast<std::uint64_t>(r.findings));
+        }
+        w.endObject();
+    }
+    w.endArray();
+
+    if (with_timing) {
+        w.key("timing");
+        w.beginObject();
+        w.key("jobs");
+        w.value(jobs);
+        w.member("wall_seconds_total", total_wall);
+        w.key("items");
+        w.beginArray();
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            w.beginObject();
+            w.member("id", items[i].id);
+            w.member("wall_seconds", results[i].wallSeconds);
+            const double cps =
+                results[i].wallSeconds > 0.0
+                    ? static_cast<double>(results[i].row.cycles) /
+                          results[i].wallSeconds
+                    : 0.0;
+            w.member("sim_cycles_per_second", cps);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+}
+
+/** @return the deterministic (timing-free) rendering. */
+std::string
+renderResults(const Options &opt, const std::vector<SweepItem> &items,
+              const std::vector<ItemResult> &results)
+{
+    JsonWriter w;
+    writeDoc(w, opt, 0, items, results, false, 0.0);
+    return w.str();
+}
+
+/** Scan for correctness failures; prints one line per failure.
+ *  @return the number of failures. */
+unsigned
+countFailures(const std::vector<SweepItem> &items,
+              const std::vector<ItemResult> &results)
+{
+    unsigned failures = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const SweepItem &it = items[i];
+        const ItemResult &r = results[i];
+        if (it.kind == SweepItem::Bench && !r.row.verified) {
+            std::printf("FAIL %s: checksum verification failed\n",
+                        it.id.c_str());
+            ++failures;
+        }
+        if (it.kind == SweepItem::Fault && r.injected &&
+            !r.detected) {
+            std::printf("FAIL %s: corruption went undetected\n",
+                        it.id.c_str());
+            ++failures;
+        }
+    }
+    return failures;
+}
+
+int
+runSweep(const Options &opt)
+{
+    const unsigned jobs =
+        opt.jobs ? opt.jobs
+                 : std::max(1u, std::thread::hardware_concurrency());
+    const std::vector<SweepItem> items =
+        buildGrid(opt.grid, opt.scale);
+
+    std::printf("sweep: grid=%s items=%zu scale=%u jobs=%u\n",
+                opt.grid.c_str(), items.size(), opt.scale, jobs);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<ItemResult> results = runAll(items, jobs);
+    const double total_wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    unsigned failures = countFailures(items, results);
+
+    if (opt.checkDeterminism) {
+        // Re-run single-threaded; the results sections must match
+        // byte for byte.
+        const std::vector<ItemResult> serial = runAll(items, 1);
+        failures += countFailures(items, serial);
+        const std::string a = renderResults(opt, items, results);
+        const std::string b = renderResults(opt, items, serial);
+        if (a != b) {
+            std::printf("FAIL determinism: %u-thread and 1-thread "
+                        "results sections differ\n", jobs);
+            ++failures;
+        } else {
+            std::printf("determinism: %u-thread == 1-thread "
+                        "(%zu bytes)\n", jobs, a.size());
+        }
+    }
+
+    JsonWriter w;
+    writeDoc(w, opt, jobs, items, results, !opt.resultsOnly,
+             total_wall);
+    if (w.sawNonFinite()) {
+        std::printf("FAIL non-finite value in results\n");
+        ++failures;
+    }
+
+    std::FILE *f = std::fopen(opt.out.c_str(), "w");
+    if (!f)
+        fatal("cannot open '%s' for writing", opt.out.c_str());
+    std::fwrite(w.str().data(), 1, w.str().size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+
+    std::printf("sweep: wrote %s (%zu items, %.2fs wall, "
+                "%u failures)\n", opt.out.c_str(), items.size(),
+                total_wall, failures);
+    return failures ? 1 : 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: sweep_runner [options]\n"
+        "  --grid NAME   fig19 | fig20 | faults | smoke | full "
+        "(default fig19)\n"
+        "  --jobs N      worker threads (default: hardware "
+        "concurrency)\n"
+        "  --scale N     workload scale (default: SVC_BENCH_SCALE "
+        "or 4)\n"
+        "  --out FILE    output JSON path (default "
+        "BENCH_PR4.json)\n"
+        "  --results-only       omit the timing section\n"
+        "  --check-determinism  also run 1-threaded and require "
+        "byte-identical results\n");
+}
+
+} // namespace
+} // namespace svc
+
+int
+main(int argc, char **argv)
+{
+    svc::Options opt;
+    opt.scale = svc::bench::benchScale(4);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_arg = [&]() -> const char * {
+            if (i + 1 >= argc)
+                svc::fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--jobs") {
+            opt.jobs = static_cast<unsigned>(
+                std::strtoul(next_arg(), nullptr, 10));
+        } else if (arg == "--scale") {
+            opt.scale = static_cast<unsigned>(
+                std::strtoul(next_arg(), nullptr, 10));
+        } else if (arg == "--grid") {
+            opt.grid = next_arg();
+        } else if (arg == "--out") {
+            opt.out = next_arg();
+        } else if (arg == "--results-only") {
+            opt.resultsOnly = true;
+        } else if (arg == "--check-determinism") {
+            opt.checkDeterminism = true;
+        } else if (arg == "--help" || arg == "-h") {
+            svc::usage();
+            return 0;
+        } else {
+            svc::usage();
+            svc::fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    if (opt.scale == 0)
+        svc::fatal("--scale must be positive");
+    return svc::runSweep(opt);
+}
