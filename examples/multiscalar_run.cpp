@@ -9,9 +9,12 @@
  *   ./build/examples/multiscalar_run [workload] [svc|arb|ref]
  *                                    [scale] [--trace FILE] [--check]
  *                                    [--faults SEED]
+ *                                    [--recover=off|repair|replay|degrade]
+ *                                    [--corrupt KIND@CYCLE[,...]]
  *                                    [--checkpoint-every N]
  *                                    [--checkpoint-file PREFIX]
  *                                    [--restore FILE] [--watchdog N]
+ *                                    [--watchdog-max-trips N]
  * e.g.
  *   ./build/examples/multiscalar_run vortex svc 8 --trace out.json
  *
@@ -24,19 +27,34 @@
  * svc memory system; the run must still verify against the
  * sequential interpreter — the full-stack recovery demonstration.
  *
+ * --corrupt injects protocol corruption at given cycles: KIND is
+ * one of corrupt_vol_ptr, corrupt_mask, corrupt_data,
+ * corrupt_vol_cache (see mem/fault_injector.hh); an injection
+ * retries every cycle until eligible state is resident. Combine
+ * with --check (detect only) or --recover (detect and recover).
+ *
+ * --recover enables the staged recovery manager (svc only; implies
+ * --check): line repair, task squash/replay, checkpoint rollback
+ * and graceful degradation to serialized safe mode, capped at the
+ * named policy. See src/recovery/recovery_manager.hh.
+ *
  * --checkpoint-every N snapshots the whole simulation at the first
  * snapshot-safe cycle at or after every multiple of N cycles, to
  * PREFIX-<cycle>.ckpt (--checkpoint-file, default "multiscalar").
  * --restore FILE resumes such a run bit-identically: the continued
  * run produces the same final memory image and statistics as the
  * uninterrupted one. A truncated or corrupted checkpoint is
- * rejected with a structured error (checksum-verified), exit 1.
+ * rejected with a structured error (checksum-verified) *before*
+ * the full system is constructed, exit 1.
  *
  * --watchdog N sets the forward-progress watchdog interval (cycles
  * without a task commit before the run is declared wedged; 0
  * disables). A trip emits a diagnostic bundle: a forced checkpoint
- * (PREFIX-watchdog.ckpt), the most recent trace events, and the
- * VOL state of resident lines (svc memory system).
+ * (PREFIX-watchdog.ckpt; further trips go to
+ * PREFIX-watchdog-<trip>.ckpt), the most recent trace events, and
+ * the VOL state of resident lines (svc memory system).
+ * --watchdog-max-trips N tolerates N non-fatal trips before the
+ * run ends (implies a non-fatal watchdog).
  *
  * A ".json" trace file is written in Chrome trace_event format —
  * open it at chrome://tracing (or https://ui.perfetto.dev) to see
@@ -59,6 +77,8 @@
 #include "mem/spec_mem_factory.hh"
 #include "multiscalar/checkpoint.hh"
 #include "multiscalar/processor.hh"
+#include "recovery/recovery_manager.hh"
+#include "svc/corruptor.hh"
 #include "svc/system.hh"
 #include "workloads/workloads.hh"
 
@@ -81,6 +101,59 @@ parseUnsigned(const std::string &text, unsigned &out)
     return true;
 }
 
+/** One scheduled protocol corruption (--corrupt). The fired flag
+ *  deliberately lives outside any snapshot: a checkpoint rollback
+ *  must not replay the corruption that caused it. */
+struct CorruptionEvent
+{
+    svc::FaultKind kind;
+    svc::Cycle at;
+    bool fired = false;
+};
+
+/** Map a --corrupt kind name to its corruption FaultKind. */
+bool
+parseCorruptionKind(const std::string &text, svc::FaultKind &out)
+{
+    using svc::FaultKind;
+    for (FaultKind k :
+         {FaultKind::CorruptVolPointer, FaultKind::CorruptMask,
+          FaultKind::CorruptData, FaultKind::CorruptVolCache}) {
+        if (text == svc::faultKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Parse "KIND@CYCLE[,KIND@CYCLE...]". @return false on garbage. */
+bool
+parseCorruptionList(const std::string &text,
+                    std::vector<CorruptionEvent> &out)
+{
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string item = text.substr(pos, comma - pos);
+        const std::size_t at = item.find('@');
+        if (at == std::string::npos)
+            return false;
+        CorruptionEvent ev;
+        unsigned cycle = 0;
+        if (!parseCorruptionKind(item.substr(0, at), ev.kind) ||
+            !parseUnsigned(item.substr(at + 1), cycle)) {
+            return false;
+        }
+        ev.at = cycle;
+        out.push_back(ev);
+        pos = comma + 1;
+    }
+    return !out.empty();
+}
+
 } // namespace
 
 int
@@ -98,6 +171,10 @@ main(int argc, char **argv)
     std::string restore_path;
     bool watchdog_set = false;
     unsigned watchdog_interval = 0;
+    unsigned watchdog_max_trips = 0;
+    RecoveryPolicy recover = RecoveryPolicy::Off;
+    bool recover_set = false;
+    std::vector<CorruptionEvent> corruptions;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--trace") {
@@ -148,6 +225,47 @@ main(int argc, char **argv)
             }
             ++i;
             watchdog_set = true;
+        } else if (arg == "--watchdog-max-trips") {
+            if (i + 1 >= argc ||
+                !parseUnsigned(argv[i + 1], watchdog_max_trips) ||
+                watchdog_max_trips == 0) {
+                std::fprintf(stderr, "--watchdog-max-trips needs a "
+                                     "positive trip count\n");
+                return 1;
+            }
+            ++i;
+        } else if (arg == "--recover" ||
+                   arg.rfind("--recover=", 0) == 0) {
+            std::string mode;
+            if (arg == "--recover") {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "--recover needs a mode\n");
+                    return 1;
+                }
+                mode = argv[++i];
+            } else {
+                mode = arg.substr(10);
+            }
+            if (!parseRecoveryPolicy(mode, recover)) {
+                std::fprintf(stderr,
+                             "--recover: unknown mode '%s' (use "
+                             "off|repair|replay|degrade)\n",
+                             mode.c_str());
+                return 1;
+            }
+            recover_set = true;
+        } else if (arg == "--corrupt") {
+            if (i + 1 >= argc ||
+                !parseCorruptionList(argv[i + 1], corruptions)) {
+                std::fprintf(
+                    stderr,
+                    "--corrupt needs KIND@CYCLE[,KIND@CYCLE...] "
+                    "with KIND one of corrupt_vol_ptr, "
+                    "corrupt_mask, corrupt_data, "
+                    "corrupt_vol_cache\n");
+                return 1;
+            }
+            ++i;
         } else {
             pos.push_back(arg);
         }
@@ -195,6 +313,54 @@ main(int argc, char **argv)
     MultiscalarConfig cpu_cfg; // paper section 4.2 defaults
     if (watchdog_set)
         cpu_cfg.watchdogInterval = watchdog_interval;
+    if (watchdog_max_trips > 0) {
+        // Tolerating multiple trips only makes sense non-fatally.
+        cpu_cfg.watchdogMaxTrips = watchdog_max_trips;
+        cpu_cfg.watchdogFatal = false;
+    }
+
+    // Everything that shapes serialized state must agree between
+    // the saving and the restoring run.
+    std::string run_desc = name + "/" + std::to_string(scale) + "/" +
+                           (faults ? "faults" : "clean");
+    if (recover != RecoveryPolicy::Off)
+        run_desc += std::string("/recover-") +
+                    recoveryPolicyName(recover);
+    const std::uint64_t cfg_hash = checkpointConfigHash(
+        cpu_cfg, memsys,
+        snapshotFnv1a(run_desc.data(), run_desc.size()));
+
+    // Validate a --restore snapshot *before* constructing the full
+    // system: a bad file, a forced (non-restorable) snapshot or a
+    // configuration mismatch fails fast with a structured error.
+    std::vector<std::uint8_t> restore_image;
+    if (!restore_path.empty()) {
+        std::string err;
+        SnapshotHeader hdr;
+        if (!readSnapshotFile(restore_path, restore_image, err) ||
+            !peekCheckpoint(restore_image, hdr, err)) {
+            std::fprintf(stderr, "restore: %s\n", err.c_str());
+            return 1;
+        }
+        if (!hdr.quiescent()) {
+            std::fprintf(stderr,
+                         "restore: %s was forced at a non-quiescent "
+                         "cycle (diagnostic only, not restorable)\n",
+                         restore_path.c_str());
+            return 1;
+        }
+        if (hdr.configHash != cfg_hash) {
+            std::fprintf(
+                stderr,
+                "restore: configuration mismatch (snapshot "
+                "%016llx, this run %016llx) - workload, scale, "
+                "memory system, fault and recovery flags must "
+                "match the saving run\n",
+                (unsigned long long)hdr.configHash,
+                (unsigned long long)cfg_hash);
+            return 1;
+        }
+    }
 
     // Always keep a ring of recent trace events for the watchdog
     // diagnostic bundle; tee into the user's sink when present.
@@ -214,10 +380,12 @@ main(int argc, char **argv)
     FaultInjector injector(fault_cfg);
     InvariantEngine engine;
     auto *svc_sys = dynamic_cast<SvcSystem *>(sys.get());
-    if ((check || faults) && !svc_sys) {
+    const bool recovering = recover != RecoveryPolicy::Off;
+    if ((check || faults || recovering || !corruptions.empty()) &&
+        !svc_sys) {
         std::fprintf(stderr,
-                     "--check/--faults are only supported for the "
-                     "svc memory system\n");
+                     "--check/--faults/--recover/--corrupt are only "
+                     "supported for the svc memory system\n");
         return 1;
     }
     if (faults) {
@@ -226,7 +394,8 @@ main(int argc, char **argv)
                     "only; the run must still verify)\n",
                     fault_seed);
     }
-    if (check) {
+    if (check || recovering) {
+        check = true; // recovery needs detection
         svc_sys->attachInvariants(engine);
         std::printf("invariant engine: checking after every "
                     "bus transaction\n");
@@ -234,22 +403,26 @@ main(int argc, char **argv)
     w.program.loadInto(mem);
     Processor cpu(cpu_cfg, w.program, *sys);
     cpu.attachTracer(&tee);
-
-    // Everything that shapes serialized state must agree between
-    // the saving and the restoring run.
-    const std::string run_desc = name + "/" + std::to_string(scale) +
-                                 "/" + (faults ? "faults" : "clean");
-    const std::uint64_t cfg_hash = checkpointConfigHash(
-        cpu_cfg, memsys,
-        snapshotFnv1a(run_desc.data(), run_desc.size()));
     FaultInjector *ckpt_faults = faults ? &injector : nullptr;
 
+    std::unique_ptr<RecoveryManager> rm;
+    if (recovering) {
+        RecoveryConfig rcfg;
+        rcfg.policy = recover;
+        rm = std::make_unique<RecoveryManager>(
+            rcfg, cpu, *svc_sys, mem, engine, ckpt_faults,
+            cfg_hash);
+        rm->attachTracer(&engine);
+        std::printf("recovery: policy %s\n",
+                    recoveryPolicyName(recover));
+    }
+    CheckpointExtra *ckpt_extra = rm.get();
+
     if (!restore_path.empty()) {
-        std::vector<std::uint8_t> image;
         std::string err;
-        if (!readSnapshotFile(restore_path, image, err) ||
-            !restoreCheckpoint(image, cpu, *sys, mem, ckpt_faults,
-                               cfg_hash, err)) {
+        if (!restoreCheckpoint(restore_image, cpu, *sys, mem,
+                               ckpt_faults, cfg_hash, err,
+                               ckpt_extra)) {
             std::fprintf(stderr, "restore: %s\n", err.c_str());
             return 1;
         }
@@ -258,20 +431,66 @@ main(int argc, char **argv)
                     (unsigned long long)cpu.now());
     }
 
-    if (checkpoint_every > 0) {
-        // Checkpoint at the first snapshot-safe cycle at or after
-        // every multiple of the interval. The recurrence is a pure
-        // function of the cycle number, so an uninterrupted run and
-        // a restored one take checkpoints at identical cycles.
-        auto next_cp = std::make_shared<Cycle>(
-            (cpu.now() / checkpoint_every + 1) * checkpoint_every);
+    // Compose the per-cycle hooks: scheduled corruption first (so
+    // detection and recovery see it the same cycle it lands), then
+    // the recovery safe point, then periodic external checkpoints.
+    std::unique_ptr<SvcCorruptor> corruptor;
+    if (!corruptions.empty()) {
+        corruptor = std::make_unique<SvcCorruptor>(
+            svc_sys->protocol(), injector);
+    }
+    auto next_cp = std::make_shared<Cycle>(
+        checkpoint_every > 0
+            ? (cpu.now() / checkpoint_every + 1) * checkpoint_every
+            : 0);
+    if (corruptor || rm || checkpoint_every > 0) {
         cpu.setTickHook([&, next_cp](Cycle at) {
-            if (at < *next_cp || !cpu.checkpointQuiescent())
+            if (corruptor) {
+                for (CorruptionEvent &ev : corruptions) {
+                    if (ev.fired || at < ev.at)
+                        continue;
+                    // Retry every cycle until eligible state is
+                    // resident. The fired flag is never part of a
+                    // snapshot, so a rollback does not re-inject.
+                    const CorruptionResult res =
+                        corruptor->corrupt(ev.kind);
+                    if (res.injected) {
+                        ev.fired = true;
+                        std::printf("corruption injected at cycle "
+                                    "%llu: %s (%s)\n",
+                                    (unsigned long long)at,
+                                    faultKindName(ev.kind),
+                                    res.note.c_str());
+                        // Detect before first use. A corrupt byte
+                        // inside a clean block is only flaggable
+                        // while the block stays clean: one store
+                        // launders it into a legitimate-looking
+                        // dirty version no later check can
+                        // distinguish. Running the engine at the
+                        // injection point closes that race; the
+                        // bus-anchored checks remain the detection
+                        // path for organically arising faults.
+                        if (check)
+                            engine.runChecks(at);
+                    }
+                }
+            }
+            if (rm)
+                rm->onTick(at);
+            if (checkpoint_every == 0 || at < *next_cp ||
+                !cpu.checkpointQuiescent()) {
                 return;
+            }
+            // Checkpoint at the first snapshot-safe cycle at or
+            // after every multiple of the interval. The recurrence
+            // is a pure function of the cycle number, so an
+            // uninterrupted run and a restored one take
+            // checkpoints at identical cycles.
             std::vector<std::uint8_t> image;
             std::string err;
             if (!saveCheckpoint(cpu, *sys, mem, ckpt_faults,
-                                cfg_hash, false, image, err)) {
+                                cfg_hash, false, image, err,
+                                ckpt_extra)) {
                 std::fprintf(stderr, "checkpoint: %s\n", err.c_str());
             } else {
                 const std::string path =
@@ -291,7 +510,8 @@ main(int argc, char **argv)
         });
     }
 
-    cpu.setWatchdogHandler([&]() {
+    auto watchdog_trip = std::make_shared<unsigned>(0);
+    cpu.setWatchdogHandler([&, watchdog_trip]() {
         std::fprintf(stderr,
                      "watchdog: no task committed in %llu cycles "
                      "(cycle %llu) - emitting diagnostic bundle\n",
@@ -299,9 +519,17 @@ main(int argc, char **argv)
                      (unsigned long long)cpu.now());
         std::vector<std::uint8_t> image;
         std::string err;
-        const std::string path = checkpoint_prefix + "-watchdog.ckpt";
+        // Index the bundle from the second trip on, so a lenient
+        // (watchdogMaxTrips > 1) run keeps every bundle instead of
+        // overwriting the first.
+        const unsigned trip = ++*watchdog_trip;
+        const std::string path =
+            trip == 1 ? checkpoint_prefix + "-watchdog.ckpt"
+                      : checkpoint_prefix + "-watchdog-" +
+                            std::to_string(trip) + ".ckpt";
         if (saveCheckpoint(cpu, *sys, mem, ckpt_faults, cfg_hash,
-                           /*force=*/true, image, err) &&
+                           /*force=*/true, image, err,
+                           ckpt_extra) &&
             writeSnapshotFile(path, image, err)) {
             // A trip at a quiescent cycle yields a normal restorable
             // snapshot; mid-flight the image is diagnostic-only and
@@ -343,6 +571,8 @@ main(int argc, char **argv)
     sys->finalizeMemory();
     StatSet stats = cpu.stats();
     stats.merge("mem", sys->stats());
+    if (rm)
+        stats.merge("recovery", rm->stats());
     const std::uint32_t checksum = mem.readWord(w.checkBase);
 
     if (sink) {
@@ -367,9 +597,20 @@ main(int argc, char **argv)
                 verified
                     ? "yes (checksum matches the interpreter)"
                     : "NO - MISMATCH");
-    if (faults) {
+    if (faults || !corruptions.empty()) {
         std::printf("injected faults        %llu\n",
                     (unsigned long long)injector.totalInjected());
+    }
+    if (rm) {
+        std::printf("recovery episodes      %llu (repairs %llu, "
+                    "replays %llu, rollbacks %llu)\n",
+                    (unsigned long long)rm->nEpisodes,
+                    (unsigned long long)rm->nLineRepairs,
+                    (unsigned long long)rm->nTaskReplays,
+                    (unsigned long long)rm->nRollbacks);
+        std::printf("degraded mode          %s\n",
+                    rm->degraded() ? "yes (serialized safe mode)"
+                                   : "no");
     }
     std::printf("\n--- full statistics ---\n%s",
                 stats.format().c_str());

@@ -126,10 +126,36 @@ InvariantEngine::mshrOutstanding(PuId pu) const
 void
 InvariantEngine::noteFindings(std::size_t before)
 {
+    if (onViolation) {
+        const auto &list = report_.findings();
+        for (std::size_t i = before; i < list.size(); ++i)
+            onViolation(list[i]);
+    }
     if (cfg.abortOnViolation && report_.findings().size() > before) {
         panic("invariant violation detected:\n%s",
               report_.format().c_str());
     }
+}
+
+InvariantReport
+InvariantEngine::probe(std::size_t max_findings)
+{
+    InvariantReport scratch(max_findings);
+    inCheck = true;
+    ++nProbes;
+    for (auto &c : checkers)
+        c->check(*this, scratch);
+    inCheck = false;
+    return scratch;
+}
+
+std::vector<InvariantFinding>
+InvariantEngine::consumeFindings()
+{
+    std::vector<InvariantFinding> out(report_.findings());
+    nConsumed += out.size();
+    report_.clearFindings();
+    return out;
 }
 
 void
@@ -172,7 +198,9 @@ InvariantEngine::stats() const
 {
     StatSet s;
     s.addCounter("checks_run", nChecks);
+    s.addCounter("probes_run", nProbes);
     s.addCounter("findings", report_.flagged());
+    s.addCounter("findings_consumed", nConsumed);
     s.addCounter("bus_requests_seen", nBusRequests);
     s.addCounter("bus_grants_seen", nBusGrants);
     s.addCounter("bus_nacks_seen", nBusNacks);

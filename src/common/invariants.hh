@@ -21,6 +21,7 @@
 #define SVC_COMMON_INVARIANTS_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -83,6 +84,18 @@ class InvariantReport
     }
     Counter flagged() const { return nFlagged; }
     Counter suppressed() const { return nSuppressed; }
+
+    /**
+     * Drop the retained findings (the cumulative flagged counter is
+     * kept). Used by the recovery layer after it has handled — and
+     * re-verified — an episode, so a recovered run ends clean().
+     */
+    void
+    clearFindings()
+    {
+        list.clear();
+        nSuppressed = 0;
+    }
 
     /** Render every finding (message + diagnostic) as text. */
     std::string format() const;
@@ -170,6 +183,34 @@ class InvariantEngine : public TraceSink
     /** Run every checker's end-of-run check (idempotent per call). */
     void runFinalChecks();
 
+    /**
+     * Run every checker into a scratch report without recording the
+     * findings (and without invoking the violation handler or the
+     * abort tripwire). The recovery layer's verification primitive:
+     * "is the live state clean right now?".
+     */
+    InvariantReport probe(std::size_t max_findings = 64);
+
+    /**
+     * Invoke @p handler for every finding as it is recorded (after
+     * the report captures it, before any abortOnViolation panic).
+     * The handler must not re-enter runChecks(); defer any reaction
+     * that mutates the checked components to a safe point.
+     */
+    void
+    setViolationHandler(
+        std::function<void(const InvariantFinding &)> handler)
+    {
+        onViolation = std::move(handler);
+    }
+
+    /**
+     * Consume the retained findings: hand them to the caller and
+     * clear the report so a fully recovered run ends clean().
+     * @return the consumed findings.
+     */
+    std::vector<InvariantFinding> consumeFindings();
+
     // ---- Results ----
     bool clean() const { return report_.clean(); }
     const std::vector<InvariantFinding> &findings() const
@@ -206,7 +247,10 @@ class InvariantEngine : public TraceSink
     TraceSink *downstream = nullptr;
     std::vector<std::unique_ptr<InvariantChecker>> checkers;
     InvariantReport report_;
+    std::function<void(const InvariantFinding &)> onViolation;
     Counter nChecks = 0;
+    Counter nProbes = 0;
+    Counter nConsumed = 0;
     Counter nBusRequests = 0;
     Counter nBusGrants = 0;
     Counter nBusNacks = 0;

@@ -56,6 +56,7 @@ enum class SnapSection : std::uint32_t
     SpecMem    = 0x534d454d, // "MEMS" - memory-system state
     MainMemory = 0x4d454d4d, // "MMEM" - sparse backing store
     Faults     = 0x544c4146, // "FALT" - fault injector + RNG
+    Recovery   = 0x52564352, // "RCVR" - recovery-manager state
 };
 
 /**

@@ -55,7 +55,8 @@ bool
 saveCheckpoint(const Processor &proc, const SpecMem &mem,
                const MainMemory &mainMem, const FaultInjector *faults,
                std::uint64_t configHash, bool force,
-               std::vector<std::uint8_t> &image, std::string &error)
+               std::vector<std::uint8_t> &image, std::string &error,
+               const CheckpointExtra *extra)
 {
     const bool quiescent = proc.checkpointQuiescent();
     if (!quiescent && !force) {
@@ -83,6 +84,11 @@ saveCheckpoint(const Processor &proc, const SpecMem &mem,
     if (faults)
         faults->saveState(w);
     w.endSection();
+    w.beginSection(SnapSection::Recovery);
+    w.putBool(extra != nullptr);
+    if (extra)
+        extra->saveState(w);
+    w.endSection();
 
     SnapshotHeader hdr;
     hdr.formatVersion = kSnapshotVersion;
@@ -97,7 +103,7 @@ bool
 restoreCheckpoint(const std::vector<std::uint8_t> &image,
                   Processor &proc, SpecMem &mem, MainMemory &mainMem,
                   FaultInjector *faults, std::uint64_t configHash,
-                  std::string &error)
+                  std::string &error, CheckpointExtra *extra)
 {
     SnapshotHeader hdr;
     const std::uint8_t *body = nullptr;
@@ -142,6 +148,19 @@ restoreCheckpoint(const std::vector<std::uint8_t> &image,
             r.fail("checkpoint: this run has a fault injector but "
                    "the snapshot carries none");
         } else if (faults && !faults->restoreState(r)) {
+            ok = false;
+        }
+        r.endSection();
+    }
+    if (ok && r.ok() && r.beginSection(SnapSection::Recovery)) {
+        const bool hadExtra = r.getBool();
+        if (hadExtra && !extra) {
+            r.fail("checkpoint: snapshot carries recovery state but "
+                   "no recovery manager is attached");
+        } else if (!hadExtra && extra) {
+            r.fail("checkpoint: this run has a recovery manager but "
+                   "the snapshot carries none");
+        } else if (extra && !extra->restoreState(r)) {
             ok = false;
         }
         r.endSection();

@@ -34,6 +34,21 @@ class Processor;
 class SpecMem;
 
 /**
+ * Optional extra checkpoint payload supplied by a layer above this
+ * one (the recovery manager). Serialized into its own section with
+ * a presence flag, exactly like the fault injector, so a snapshot
+ * written with an extra attached is only restorable with a matching
+ * extra attached.
+ */
+class CheckpointExtra
+{
+  public:
+    virtual ~CheckpointExtra() = default;
+    virtual void saveState(SnapshotWriter &w) const = 0;
+    virtual bool restoreState(SnapshotReader &r) = 0;
+};
+
+/**
  * FNV-1a hash of the canonical run configuration: every parameter
  * that shapes serialized state geometry (PU count, table/cache
  * sizes, run limits), the memory-system name, plus @p extra for
@@ -60,7 +75,8 @@ bool saveCheckpoint(const Processor &proc, const SpecMem &mem,
                     const FaultInjector *faults,
                     std::uint64_t configHash, bool force,
                     std::vector<std::uint8_t> &image,
-                    std::string &error);
+                    std::string &error,
+                    const CheckpointExtra *extra = nullptr);
 
 /**
  * Restore a snapshot image into freshly constructed, identically
@@ -73,7 +89,8 @@ bool saveCheckpoint(const Processor &proc, const SpecMem &mem,
 bool restoreCheckpoint(const std::vector<std::uint8_t> &image,
                        Processor &proc, SpecMem &mem,
                        MainMemory &mainMem, FaultInjector *faults,
-                       std::uint64_t configHash, std::string &error);
+                       std::uint64_t configHash, std::string &error,
+                       CheckpointExtra *extra = nullptr);
 
 /**
  * Parse and verify only the frame (magic, version, checksum) of a

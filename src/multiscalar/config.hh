@@ -83,6 +83,14 @@ struct MultiscalarConfig
      * RunStats::watchdogTripped set.
      */
     bool watchdogFatal = true;
+    /**
+     * Non-fatal trips tolerated before the run ends. The default of
+     * 1 preserves the historical behavior (first trip ends the
+     * run); larger values re-baseline after each trip and keep
+     * running, so the diagnostic handler can fire repeatedly (its
+     * bundles are index-suffixed by the CLI).
+     */
+    unsigned watchdogMaxTrips = 1;
 };
 
 } // namespace svc

@@ -1,5 +1,6 @@
 #include "multiscalar/processor.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include <cstdio>
@@ -36,8 +37,9 @@ Processor::Processor(const MultiscalarConfig &config,
 void
 Processor::assignTasks()
 {
-    while (!finished && nextEntry != kNoAddr &&
-           currentCycle >= nextAssignAt) {
+    while (!finished && !assignPaused && nextEntry != kNoAddr &&
+           currentCycle >= nextAssignAt &&
+           (!serialized || active.empty())) {
         // Tasks go around the PU ring in order so the forwarding
         // distance between consecutive tasks is one hop.
         PuId pu;
@@ -92,6 +94,41 @@ Processor::squashFromIndex(std::size_t idx, bool reassign_first)
         predictor.restorePath(first_path);
     }
     nextAssignAt = currentCycle + 1;
+}
+
+bool
+Processor::squashTaskOnPu(PuId pu)
+{
+    for (std::size_t i = 0; i < active.size(); ++i) {
+        if (active[i].pu == pu && !pus[pu]->idle()) {
+            squashFromIndex(i, true);
+            return true;
+        }
+    }
+    return false;
+}
+
+unsigned
+Processor::squashAllActive()
+{
+    const unsigned n = static_cast<unsigned>(active.size());
+    if (n != 0)
+        squashFromIndex(0, true);
+    return n;
+}
+
+bool
+Processor::drainSpeculativeState(Cycle max_ticks)
+{
+    squashAllActive();
+    const bool was_paused = assignPaused;
+    assignPaused = true;
+    for (Cycle t = 0;
+         t < max_ticks && !checkpointQuiescent() && !finished; ++t) {
+        tick();
+    }
+    assignPaused = was_paused;
+    return checkpointQuiescent();
 }
 
 void
@@ -156,6 +193,11 @@ Processor::resolveAndCommit()
     if (!active.empty()) {
         ActiveTask &head = active.front();
         if (pus[head.pu]->finished() && head.resolved) {
+            // The commit gate can defer the commit (retried next
+            // cycle) — e.g. the recovery layer validating protocol
+            // invariants before speculation becomes architectural.
+            if (commitGate && !commitGate(head.pu))
+                return;
             nCommittedInstructions += pus[head.pu]->taskRetired();
             ++nCommittedTasks;
             taskLifetime.sample(
@@ -201,19 +243,23 @@ RunStats
 Processor::run()
 {
     // Baseline at the current cycle so restored runs don't see the
-    // pre-restore cycles as an (apparent) commit drought.
-    Cycle last_commit_check = currentCycle;
-    std::uint64_t last_committed = nCommittedTasks;
-    bool tripped = false;
+    // pre-restore cycles as an (apparent) commit drought. The
+    // bookkeeping lives in members: a mid-run checkpoint rollback
+    // re-baselines it in restoreState() (the restored cycle is
+    // *behind* the trip point, so a run()-local delta would
+    // underflow).
+    wdLastCheckCycle = currentCycle;
+    wdLastCommitted = nCommittedTasks;
+    wdTrips = 0;
     while (!finished && currentCycle < cfg.maxCycles) {
         tick();
         if (tickHook)
             tickHook(currentCycle);
         // Forward-progress watchdog.
         if (cfg.watchdogInterval != 0 &&
-            currentCycle - last_commit_check >=
+            currentCycle - wdLastCheckCycle >=
                 cfg.watchdogInterval) {
-            if (nCommittedTasks == last_committed) {
+            if (nCommittedTasks == wdLastCommitted) {
                 if (watchdogHandler)
                     watchdogHandler();
                 if (cfg.watchdogFatal) {
@@ -224,11 +270,11 @@ Processor::run()
                           static_cast<unsigned long long>(
                               currentCycle));
                 }
-                tripped = true;
-                break;
+                if (++wdTrips >= std::max(1u, cfg.watchdogMaxTrips))
+                    break;
             }
-            last_committed = nCommittedTasks;
-            last_commit_check = currentCycle;
+            wdLastCommitted = nCommittedTasks;
+            wdLastCheckCycle = currentCycle;
         }
     }
 
@@ -239,7 +285,8 @@ Processor::run()
     rs.taskMispredicts = nTaskMispredicts;
     rs.violationSquashes = nViolationSquashes;
     rs.halted = finished;
-    rs.watchdogTripped = tripped;
+    rs.watchdogTripped = wdTrips != 0;
+    rs.watchdogTrips = wdTrips;
     rs.ipc = currentCycle == 0
                  ? 0.0
                  : static_cast<double>(nCommittedInstructions) /
@@ -424,6 +471,11 @@ Processor::restoreState(SnapshotReader &r)
         if (!pu->restoreState(r))
             return false;
     }
+    // Re-baseline the watchdog at the restored cycle: the restore
+    // may move time backwards (checkpoint rollback), and the cycles
+    // between the snapshot and the restore are not a commit drought.
+    wdLastCheckCycle = currentCycle;
+    wdLastCommitted = nCommittedTasks;
     return r.ok();
 }
 

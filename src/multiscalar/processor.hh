@@ -44,6 +44,8 @@ struct RunStats
     bool halted = false;
     /** The forward-progress watchdog fired (non-fatal mode only). */
     bool watchdogTripped = false;
+    /** How many times it fired (watchdogMaxTrips > 1 only). */
+    unsigned watchdogTrips = 0;
     double ipc = 0.0;
     RegisterRing::RegArray finalRegs{};
 };
@@ -113,6 +115,51 @@ class Processor
     }
 
     /**
+     * Commit gate: consulted just before the head task's memory
+     * commit would make its speculative state architectural. Return
+     * false to defer the commit (it is retried every cycle). The
+     * recovery layer uses this to validate protocol invariants at
+     * the last moment a corrupted task can still be squashed.
+     */
+    void
+    setCommitGate(std::function<bool(PuId)> gate)
+    {
+        commitGate = std::move(gate);
+    }
+
+    // ---- Recovery interface (src/recovery) ----
+
+    /**
+     * Squash the active task on @p pu and all younger tasks through
+     * the normal sequencer squash path; sequencing resumes from the
+     * squashed task's entry. @return false if @p pu runs no task.
+     */
+    bool squashTaskOnPu(PuId pu);
+
+    /**
+     * Squash every active task; sequencing resumes from the oldest.
+     * @return the number of tasks squashed.
+     */
+    unsigned squashAllActive();
+
+    /**
+     * Serialized safe mode: dispatch at most one task at a time, so
+     * no cross-task speculative state ever exists. Reduced IPC,
+     * unchanged results — graceful degradation after repeated
+     * faults.
+     */
+    void setSerializedMode(bool on) { serialized = on; }
+    bool serializedMode() const { return serialized; }
+
+    /**
+     * Squash all speculative work and tick until the whole system
+     * is snapshot-quiescent, with task dispatch paused (so the
+     * drain converges). Bounded by @p max_ticks extra cycles.
+     * @return true once checkpointQuiescent() holds.
+     */
+    bool drainSpeculativeState(Cycle max_ticks);
+
+    /**
      * @return true when no closure-held state is in flight anywhere
      * in the processor: the memory system is quiescent, no register
      * forward is in transit, and no PU has an outstanding memory
@@ -178,6 +225,15 @@ class Processor
 
     std::deque<ActiveTask> active; ///< oldest first
     std::deque<PuId> pendingViolations;
+    std::function<bool(PuId)> commitGate;
+    bool serialized = false;   ///< one task at a time (safe mode)
+    bool assignPaused = false; ///< no new tasks (recovery drain)
+    // Watchdog bookkeeping lives in members (not run() locals) so a
+    // checkpoint rollback that moves currentCycle backwards can
+    // re-baseline it instead of underflowing the cycle delta.
+    Cycle wdLastCheckCycle = 0;
+    std::uint64_t wdLastCommitted = 0;
+    unsigned wdTrips = 0;
     /** Assign-to-commit lifetime of committed tasks, in cycles. */
     Distribution taskLifetime{0.0, 256.0, 16};
     TraceSink *tracer = nullptr;

@@ -1,0 +1,418 @@
+#include "recovery/recovery_manager.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.hh"
+#include "mem/fault_injector.hh"
+#include "mem/main_memory.hh"
+#include "multiscalar/processor.hh"
+#include "svc/system.hh"
+
+namespace svc
+{
+
+namespace
+{
+
+/** Queued findings kept per episode (further ones add no signal). */
+constexpr std::size_t kMaxPendingFindings = 32;
+
+/**
+ * Structural findings concern the version *order* (forged pointers,
+ * a stale cached VOL): repairing the order in place is value-safe.
+ * Everything else may involve corrupt mask bits or data bytes a
+ * task could already have consumed, so it is value-class and needs
+ * at least a squash/replay.
+ */
+bool
+structuralFinding(const InvariantFinding &f)
+{
+    return f.invariant.rfind("svc.vol", 0) == 0;
+}
+
+} // namespace
+
+const char *
+recoveryPolicyName(RecoveryPolicy policy)
+{
+    switch (policy) {
+    case RecoveryPolicy::Off:
+        return "off";
+    case RecoveryPolicy::Repair:
+        return "repair";
+    case RecoveryPolicy::Replay:
+        return "replay";
+    case RecoveryPolicy::Degrade:
+        return "degrade";
+    }
+    return "?";
+}
+
+bool
+parseRecoveryPolicy(const std::string &text, RecoveryPolicy &out)
+{
+    if (text == "off")
+        out = RecoveryPolicy::Off;
+    else if (text == "repair")
+        out = RecoveryPolicy::Repair;
+    else if (text == "replay")
+        out = RecoveryPolicy::Replay;
+    else if (text == "degrade")
+        out = RecoveryPolicy::Degrade;
+    else
+        return false;
+    return true;
+}
+
+RecoveryManager::RecoveryManager(const RecoveryConfig &config,
+                                 Processor &processor,
+                                 SvcSystem &system,
+                                 MainMemory &main_mem,
+                                 InvariantEngine &eng,
+                                 FaultInjector *injector,
+                                 std::uint64_t config_hash)
+    : cfg(config), proc(processor), svc(system), mainMem(main_mem),
+      engine(eng), faults(injector), configHash(config_hash)
+{
+    if (cfg.policy == RecoveryPolicy::Off)
+        return;
+    engine.setViolationHandler([this](const InvariantFinding &f) {
+        // Detection fires mid-check, deep inside the memory tick:
+        // only queue; the episode is handled at the next onTick()
+        // safe point.
+        queueFinding(f);
+        episodePending = true;
+    });
+    proc.setCommitGate([this](PuId pu) {
+        // Last line of containment: never let the head task turn
+        // possibly-corrupt speculative state architectural. The
+        // deferred commit is retried every cycle, so once the
+        // episode is handled (and the state verified clean) the
+        // commit proceeds.
+        InvariantReport rep = engine.probe();
+        if (rep.clean())
+            return true;
+        ++nCommitDeferrals;
+        for (const InvariantFinding &f : rep.findings())
+            queueFinding(f);
+        episodePending = true;
+        trace("recovery.commit_defer", pu);
+        return false;
+    });
+}
+
+unsigned
+RecoveryManager::stageCap() const
+{
+    switch (cfg.policy) {
+    case RecoveryPolicy::Off:
+        return 0;
+    case RecoveryPolicy::Repair:
+        return 1;
+    case RecoveryPolicy::Replay:
+        return 2;
+    case RecoveryPolicy::Degrade:
+        return 4;
+    }
+    return 0;
+}
+
+void
+RecoveryManager::queueFinding(const InvariantFinding &f)
+{
+    if (pending.size() < kMaxPendingFindings)
+        pending.push_back(f);
+}
+
+void
+RecoveryManager::trace(const char *name, std::uint64_t arg,
+                       const char *detail)
+{
+    if (tracer) {
+        tracer->emit({nowCycle, 0, TraceCat::Task, name, kNoPu,
+                      kNoAddr, arg, detail});
+    }
+}
+
+void
+RecoveryManager::onTick(Cycle now)
+{
+    if (cfg.policy == RecoveryPolicy::Off)
+        return;
+    nowCycle = now;
+    if (episodePending)
+        handleEpisode(now);
+    else
+        maybeCheckpoint(now);
+}
+
+unsigned
+RecoveryManager::windowCount(Cycle now)
+{
+    const Cycle horizon =
+        now > cfg.windowCycles ? now - cfg.windowCycles : 0;
+    while (!window.empty() && window.front() < horizon)
+        window.pop_front();
+    return static_cast<unsigned>(window.size());
+}
+
+void
+RecoveryManager::handleEpisode(Cycle now)
+{
+    episodePending = false;
+    // Fold in whatever the engine recorded (the handler queues a
+    // copy, but a finding can also arrive only via the report, e.g.
+    // when the queue cap was hit).
+    for (const InvariantFinding &f : engine.consumeFindings())
+        queueFinding(f);
+    if (pending.empty())
+        return; // drain/rollback aftermath, nothing new
+
+    ++nEpisodes;
+    window.push_back(now);
+
+    bool value_class = false;
+    std::set<Addr> addrs;
+    for (const InvariantFinding &f : pending) {
+        if (!structuralFinding(f))
+            value_class = true;
+        if (f.addr != kNoAddr)
+            addrs.insert(f.addr);
+    }
+    const auto nFindings = pending.size();
+    pending.clear();
+
+    // Base stage from the fault class, escalated by how often
+    // episodes have been arriving lately, capped by policy.
+    unsigned stage = value_class ? 2 : 1;
+    const unsigned recent = windowCount(now);
+    if (recent >= cfg.degradeThreshold)
+        stage = 4;
+    else if (recent >= cfg.rollbackThreshold)
+        stage = 3;
+    stage = std::min(stage, std::max(1u, stageCap()));
+
+    trace("recovery.episode", nFindings,
+          value_class ? "value" : "structural");
+
+    bool clean = false;
+    while (true) {
+        switch (stage) {
+        case 1:
+        case 2:
+            for (Addr a : addrs) {
+                svc.protocol().repairLine(a,
+                                          value_class || stage >= 2);
+                ++nLineRepairs;
+            }
+            if (stage >= 2) {
+                const unsigned squashed = proc.squashAllActive();
+                ++nTaskReplays;
+                trace("recovery.replay", squashed);
+            }
+            break;
+        case 3:
+            // Repair first so the drain ticks over sane state; the
+            // restore then discards it all anyway.
+            for (Addr a : addrs)
+                svc.protocol().repairLine(a, true);
+            if (!rollback(now)) {
+                // No usable snapshot (too early, or the drain did
+                // not converge): fall back to squash/replay and let
+                // the window escalate further next time.
+                proc.squashAllActive();
+                ++nTaskReplays;
+            }
+            break;
+        case 4:
+        default:
+            for (Addr a : addrs)
+                svc.protocol().repairLine(a, true);
+            proc.squashAllActive();
+            enterDegraded(now);
+            break;
+        }
+        highestStage = std::max(highestStage, stage);
+        clean = engine.probe().clean();
+        if (clean || stage >= stageCap() || stage >= 4)
+            break;
+        ++stage; // repair alone did not clean the state: escalate
+    }
+
+    // Recovery actions (squash cascades, the drain before a
+    // rollback) may have re-triggered anchored checks over the
+    // still-dirty state; those findings describe the episode we
+    // just handled. Consume them so a *verified clean* recovered
+    // run ends with engine.clean() — and leave them in place when
+    // recovery failed, so the run reports honestly.
+    if (clean) {
+        engine.consumeFindings();
+        trace("recovery.recovered", stage);
+    } else {
+        ++nUnrecovered;
+        trace("recovery.unrecovered", stage);
+    }
+}
+
+bool
+RecoveryManager::rollback(Cycle now)
+{
+    if (lastGood.empty())
+        return false;
+    if (!proc.drainSpeculativeState(cfg.drainBudget)) {
+        warn("recovery: drain did not reach quiescence within %llu "
+             "cycles; rollback skipped",
+             static_cast<unsigned long long>(cfg.drainBudget));
+        return false;
+    }
+    std::string err;
+    if (!restoreCheckpoint(lastGood, proc, svc, mainMem, faults,
+                           configHash, err, nullptr)) {
+        warn("recovery: rollback restore failed: %s", err.c_str());
+        return false;
+    }
+    ++nRollbacks;
+    const Cycle lost = now >= lastGoodAt ? now - lastGoodAt : 0;
+    rollbackCost.sample(static_cast<double>(lost));
+    trace("recovery.rollback", lost);
+    return true;
+}
+
+void
+RecoveryManager::enterDegraded(Cycle now)
+{
+    if (degraded_)
+        return;
+    degraded_ = true;
+    degradedAt = now;
+    proc.setSerializedMode(true);
+    warn("recovery: fault rate exceeded threshold (%u episodes in "
+         "%llu cycles); entering serialized safe mode at cycle %llu",
+         cfg.degradeThreshold,
+         static_cast<unsigned long long>(cfg.windowCycles),
+         static_cast<unsigned long long>(now));
+    trace("recovery.degrade", now);
+}
+
+void
+RecoveryManager::maybeCheckpoint(Cycle now)
+{
+    if (stageCap() < 3 || cfg.checkpointEvery == 0)
+        return;
+    if (now < nextCheckpointAt || !proc.checkpointQuiescent())
+        return;
+    // Never capture corrupt state: a dirty probe means an episode
+    // is about to be queued anyway (at the latest by the commit
+    // gate); try again after it is handled.
+    if (!engine.probe().clean())
+        return;
+    std::vector<std::uint8_t> image;
+    std::string err;
+    if (!saveCheckpoint(proc, svc, mainMem, faults, configHash,
+                        false, image, err, nullptr)) {
+        return;
+    }
+    lastGood = std::move(image);
+    lastGoodAt = now;
+    nextCheckpointAt = now + cfg.checkpointEvery;
+    ++nCheckpoints;
+    trace("recovery.checkpoint", now);
+}
+
+StatSet
+RecoveryManager::stats() const
+{
+    StatSet s;
+    s.addCounter("episodes", nEpisodes);
+    s.addCounter("line_repairs", nLineRepairs);
+    s.addCounter("task_replays", nTaskReplays);
+    s.addCounter("rollbacks", nRollbacks);
+    s.addCounter("commit_deferrals", nCommitDeferrals);
+    s.addCounter("checkpoints", nCheckpoints);
+    s.addCounter("unrecovered", nUnrecovered);
+    s.addCounter("degraded", degraded_ ? 1 : 0);
+    s.addCounter("degraded_at_cycle", degradedAt);
+    s.addCounter("highest_stage", highestStage);
+    s.addDistribution("rollback_cost", rollbackCost);
+    return s;
+}
+
+void
+RecoveryManager::saveState(SnapshotWriter &w) const
+{
+    // Config identity first: restoring with different escalation
+    // knobs would silently change behavior mid-run.
+    w.putU8(static_cast<std::uint8_t>(cfg.policy));
+    w.putU64(cfg.windowCycles);
+    w.putU64(cfg.rollbackThreshold);
+    w.putU64(cfg.degradeThreshold);
+    w.putU64(cfg.checkpointEvery);
+
+    w.putU64(nEpisodes);
+    w.putU64(nLineRepairs);
+    w.putU64(nTaskReplays);
+    w.putU64(nRollbacks);
+    w.putU64(nCommitDeferrals);
+    w.putU64(nCheckpoints);
+    w.putU64(nUnrecovered);
+    w.putBool(degraded_);
+    w.putU64(degradedAt);
+    w.putU8(static_cast<std::uint8_t>(highestStage));
+    w.putU64(lastGoodAt);
+    w.putU64(nextCheckpointAt);
+    w.putU64(window.size());
+    for (Cycle c : window)
+        w.putU64(c);
+    w.putVec(lastGood);
+    rollbackCost.saveState(w);
+}
+
+bool
+RecoveryManager::restoreState(SnapshotReader &r)
+{
+    const auto policy = static_cast<RecoveryPolicy>(r.getU8());
+    const std::uint64_t win = r.getU64();
+    const std::uint64_t rb = r.getU64();
+    const std::uint64_t dg = r.getU64();
+    const std::uint64_t ce = r.getU64();
+    if (!r.ok())
+        return false;
+    if (policy != cfg.policy || win != cfg.windowCycles ||
+        rb != cfg.rollbackThreshold || dg != cfg.degradeThreshold ||
+        ce != cfg.checkpointEvery) {
+        r.fail("snapshot: recovery configuration mismatch");
+        return false;
+    }
+
+    nEpisodes = r.getU64();
+    nLineRepairs = r.getU64();
+    nTaskReplays = r.getU64();
+    nRollbacks = r.getU64();
+    nCommitDeferrals = r.getU64();
+    nCheckpoints = r.getU64();
+    nUnrecovered = r.getU64();
+    degraded_ = r.getBool();
+    degradedAt = r.getU64();
+    highestStage = r.getU8();
+    lastGoodAt = r.getU64();
+    nextCheckpointAt = r.getU64();
+    const std::uint64_t n = r.getCount(8);
+    window.clear();
+    for (std::uint64_t i = 0; i < n; ++i)
+        window.push_back(r.getU64());
+    lastGood = r.getVec();
+    if (!rollbackCost.restoreState(r))
+        return false;
+    // Transient episode state is never serialized: snapshots are
+    // taken at quiescent safe points, after any pending episode has
+    // been handled.
+    pending.clear();
+    episodePending = false;
+    // Re-establish safe mode: the serialized bit lives in the
+    // processor but is owned by this layer.
+    proc.setSerializedMode(degraded_);
+    return r.ok();
+}
+
+} // namespace svc

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Staged fault recovery: the layer that closes the detect -> recover
+ * loop. The invariant engine (common/invariants.hh) *detects*
+ * protocol corruption; the RecoveryManager subscribed to it *reacts*
+ * with an escalation ladder, treating corruption like one more form
+ * of misspeculation:
+ *
+ *  1. line repair      — purge the affected speculative line(s) and
+ *                        their VOL entries in place; clean data is
+ *                        re-fetched from memory on the next access
+ *                        (SvcProtocol::repairLine).
+ *  2. task replay      — additionally squash every active task
+ *                        through the sequencer, exactly like a
+ *                        dependence violation, because a task may
+ *                        already have consumed corrupt bytes.
+ *  3. rollback         — drain speculative state and restore the
+ *                        last internally captured quiescent
+ *                        checkpoint, then replay deterministically.
+ *  4. degraded mode    — when faults keep arriving inside a sliding
+ *                        window, flip the processor into serialized
+ *                        non-speculative safe mode (one task at a
+ *                        time through the unchanged protocol):
+ *                        correct results at reduced IPC.
+ *
+ * Corrupted state must never commit: the manager installs a commit
+ * gate (Processor::setCommitGate) that probes the invariant engine
+ * before every head-task memory commit and defers the commit while
+ * the live state is dirty. Since un-committed state is always
+ * squashable, squash-based recovery suffices for containment and a
+ * recovered run's final memory is bit-identical to a fault-free run
+ * (the `recovery` ctest tier verifies exactly this).
+ *
+ * Detection fires deep inside the memory system's tick; handlers
+ * only *queue* an episode. The actual recovery runs at the next
+ * tick-hook safe point (onTick), after the cycle has fully settled.
+ */
+
+#ifndef SVC_RECOVERY_RECOVERY_MANAGER_HH
+#define SVC_RECOVERY_RECOVERY_MANAGER_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/invariants.hh"
+#include "common/stats.hh"
+#include "common/trace.hh"
+#include "common/types.hh"
+#include "multiscalar/checkpoint.hh"
+
+namespace svc
+{
+
+class FaultInjector;
+class MainMemory;
+class Processor;
+class SvcSystem;
+
+/** How far the escalation ladder may climb. */
+enum class RecoveryPolicy : std::uint8_t
+{
+    Off,     ///< detect only (legacy behavior)
+    Repair,  ///< stage 1 only: in-place line repair
+    Replay,  ///< up to stage 2: repair + task squash/replay
+    Degrade, ///< full ladder: + rollback and degraded safe mode
+};
+
+/** @return a printable name for @p policy ("off", "repair", ...). */
+const char *recoveryPolicyName(RecoveryPolicy policy);
+
+/** Parse "off|repair|replay|degrade". @return false on junk. */
+bool parseRecoveryPolicy(const std::string &text,
+                         RecoveryPolicy &out);
+
+/** Escalation knobs. */
+struct RecoveryConfig
+{
+    RecoveryPolicy policy = RecoveryPolicy::Degrade;
+    /**
+     * Sliding window for fault-frequency escalation: episodes whose
+     * handling cycle lies within the last windowCycles count toward
+     * the rollback/degrade thresholds.
+     */
+    Cycle windowCycles = 50000;
+    /** Episodes in the window that force a checkpoint rollback. */
+    unsigned rollbackThreshold = 3;
+    /** Episodes in the window that force degraded safe mode. */
+    unsigned degradeThreshold = 4;
+    /**
+     * Cadence of internal last-good checkpoints (cycles; 0
+     * disables). Each capture is taken only at a quiescent point
+     * *and* only after a clean invariant probe, so a rollback can
+     * never restore into corrupt state.
+     */
+    Cycle checkpointEvery = 2000;
+    /** Tick budget for draining to quiescence before a rollback. */
+    Cycle drainBudget = 200000;
+};
+
+/**
+ * The staged recovery driver. Construction wires the violation
+ * handler and the commit gate; the owner must call onTick() from
+ * the processor's tick hook (composing it with any other hooks).
+ *
+ * Implements CheckpointExtra so external checkpoints taken through
+ * multiscalar_run --checkpoint-every carry the recovery state and
+ * --restore works mid-recovery (same stage, counters and window).
+ * The manager's *internal* last-good snapshots are saved without an
+ * extra: its own dynamic state must survive a rollback, or the
+ * escalation memory would be erased by the very stage it drives.
+ */
+class RecoveryManager : public CheckpointExtra
+{
+  public:
+    RecoveryManager(const RecoveryConfig &config, Processor &proc,
+                    SvcSystem &svc, MainMemory &mainMem,
+                    InvariantEngine &engine, FaultInjector *faults,
+                    std::uint64_t configHash);
+
+    /** Safe-point driver; call after every processor cycle. */
+    void onTick(Cycle now);
+
+    /** Route recovery.* events into @p sink (usually the engine). */
+    void attachTracer(TraceSink *sink) { tracer = sink; }
+
+    const RecoveryConfig &config() const { return cfg; }
+
+    /** True once the run entered serialized safe mode. */
+    bool degraded() const { return degraded_; }
+    Cycle degradedAtCycle() const { return degradedAt; }
+
+    /** Highest escalation stage reached so far (0 = none). */
+    unsigned highestStageReached() const { return highestStage; }
+
+    /** Cycle stamp of the last usable internal checkpoint. */
+    Cycle lastGoodCycle() const { return lastGoodAt; }
+
+    StatSet stats() const;
+
+    // ---- CheckpointExtra ----
+    void saveState(SnapshotWriter &w) const override;
+    bool restoreState(SnapshotReader &r) override;
+
+    // Raw counters (public for cheap harness access).
+    Counter nEpisodes = 0;        ///< distinct recovery episodes
+    Counter nLineRepairs = 0;     ///< stage-1 line repairs applied
+    Counter nTaskReplays = 0;     ///< stage-2 squash-all replays
+    Counter nRollbacks = 0;       ///< stage-3 checkpoint rollbacks
+    Counter nCommitDeferrals = 0; ///< commits the gate held back
+    Counter nCheckpoints = 0;     ///< internal last-good captures
+    Counter nUnrecovered = 0;     ///< episodes still dirty after cap
+
+  private:
+    /** Policy -> highest permitted stage. */
+    unsigned stageCap() const;
+
+    /** Bounded queueing of a finding (detection context only). */
+    void queueFinding(const InvariantFinding &f);
+
+    /** Handle every queued finding as one episode. */
+    void handleEpisode(Cycle now);
+
+    /** Stage 3: drain, restore lastGood, re-baseline. */
+    bool rollback(Cycle now);
+
+    /** Stage 4: enter serialized safe mode (idempotent). */
+    void enterDegraded(Cycle now);
+
+    /** Capture an internal last-good checkpoint when due. */
+    void maybeCheckpoint(Cycle now);
+
+    /** Prune the episode window and return its population. */
+    unsigned windowCount(Cycle now);
+
+    /** Emit a recovery.* trace event if a sink is attached. */
+    void trace(const char *name, std::uint64_t arg,
+               const char *detail = nullptr);
+
+    RecoveryConfig cfg;
+    Processor &proc;
+    SvcSystem &svc;
+    MainMemory &mainMem;
+    InvariantEngine &engine;
+    FaultInjector *faults;
+    std::uint64_t configHash;
+    TraceSink *tracer = nullptr;
+    Cycle nowCycle = 0;
+
+    bool episodePending = false;
+    std::vector<InvariantFinding> pending;
+    std::deque<Cycle> window; ///< handling cycles of past episodes
+    bool degraded_ = false;
+    Cycle degradedAt = 0;
+    unsigned highestStage = 0;
+    std::vector<std::uint8_t> lastGood;
+    Cycle lastGoodAt = 0;
+    Cycle nextCheckpointAt = 0;
+    /** Cycles of forward progress discarded per rollback. */
+    Distribution rollbackCost{0.0, 65536.0, 16};
+};
+
+} // namespace svc
+
+#endif // SVC_RECOVERY_RECOVERY_MANAGER_HH

@@ -1,6 +1,7 @@
 #include "svc/protocol.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <set>
 #include <sstream>
@@ -923,6 +924,80 @@ SvcProtocol::flushCommitted()
         vol.rewritePointers();
         vol.recomputeStaleBits();
     }
+}
+
+RepairResult
+SvcProtocol::repairLine(Addr addr, bool drop_clean_copies)
+{
+    const Addr line_addr = caches[0].lineAddr(addr);
+    RepairResult res;
+    // Any rewrite below is an order/membership change; and a forged
+    // pointer may have been captured into the cached VOL itself.
+    dropVol(line_addr);
+
+    const std::uint64_t legal = mask(cfg.blocksPerLine());
+    for (PuId pu = 0; pu < cfg.numPus; ++pu) {
+        Frame *f = caches[pu].find(line_addr);
+        if (!f)
+            continue;
+        SvcLine &line = f->payload;
+        if (line.isActive() && tasks[pu] != kNoTask)
+            res.activePus.push_back(pu);
+
+        // Sanitize the masks: no bits beyond the line's versioning
+        // blocks, S ⊆ V, L ⊆ V (the checker's svc.mask_range /
+        // svc.store_implies_valid invariants).
+        const std::uint64_t v0 = line.vMask, s0 = line.sMask,
+                            l0 = line.lMask;
+        line.vMask &= legal;
+        line.sMask &= legal & line.vMask;
+        line.lMask &= legal & line.vMask;
+        res.maskBitsCleared += static_cast<unsigned>(
+            std::popcount(v0 ^ line.vMask) +
+            std::popcount(s0 ^ line.sMask) +
+            std::popcount(l0 ^ line.lMask));
+
+        // A fully sanitized-away line holds nothing: invalidate.
+        // Clean copies are dropped on request — their bytes may be
+        // the corrupt ones, and a clean copy is always re-fetchable.
+        if (line.vMask == 0 ||
+            (drop_clean_copies && !line.isDirty())) {
+            caches[pu].invalidate(*f);
+            ++res.cleanCopiesInvalidated;
+        } else if (drop_clean_copies &&
+                   (line.vMask & ~line.sMask) != 0) {
+            // A dirty line sheds its *clean* blocks the same way:
+            // only the version blocks it owns are irreplaceable.
+            res.maskBitsCleared += static_cast<unsigned>(
+                std::popcount(line.vMask & ~line.sMask));
+            line.vMask = line.sMask;
+            line.lMask &= line.vMask;
+        }
+    }
+
+    // Rebuild the order from scratch and make the line states match
+    // it — this discards any forged pointer (the VCL repair path of
+    // figure 17, run eagerly instead of on the next access).
+    Vol vol = rebuildVol(line_addr);
+    const auto &ordered = vol.ordered();
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+        const PuId expect_next =
+            i + 1 < ordered.size() ? ordered[i + 1].pu : kNoPu;
+        if (ordered[i].line->nextPu != expect_next)
+            ++res.pointersRewritten;
+    }
+    vol.rewritePointers();
+    vol.recomputeStaleBits();
+
+    res.anyChange = res.maskBitsCleared != 0 ||
+                    res.cleanCopiesInvalidated != 0 ||
+                    res.pointersRewritten != 0;
+    if (res.anyChange) {
+        trace(TraceCat::Line, "repair", kNoPu, line_addr,
+              res.cleanCopiesInvalidated,
+              drop_clean_copies ? "value" : "structural");
+    }
+    return res;
 }
 
 const SvcLine *

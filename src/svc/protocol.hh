@@ -68,6 +68,22 @@ struct CommitResult
     bool busUsed = false;
 };
 
+/** Outcome of a line repair (recovery stage 1). */
+struct RepairResult
+{
+    /** Any copy of the line was modified or invalidated. */
+    bool anyChange = false;
+    /** Out-of-range / inconsistent mask bits cleared. */
+    unsigned maskBitsCleared = 0;
+    /** Clean copies invalidated (re-fetched from memory later). */
+    unsigned cleanCopiesInvalidated = 0;
+    /** VOL pointers that changed when the order was rebuilt. */
+    unsigned pointersRewritten = 0;
+    /** PUs with an active task that held a copy of this line (the
+     *  squash candidates when the fault was a value fault). */
+    std::vector<PuId> activePus;
+};
+
 /**
  * Functional SVC protocol engine: N private caches, the VCL, and
  * the task-assignment table the VCL consults.
@@ -127,6 +143,26 @@ class SvcProtocol
      * equivalent to the purges later accesses would perform.
      */
     void flushCommitted();
+
+    /**
+     * Recovery stage 1 — repair one line in place, treating possible
+     * corruption like a misspeculation (paper section 3.5: dangling
+     * state is repaired on the next access; here we force it):
+     * sanitize every copy's masks (clear bits beyond the line's
+     * versioning blocks and re-establish S ⊆ V and L ⊆ V), then —
+     * when @p drop_clean_copies — invalidate every *clean* copy
+     * (sMask == 0), whose bytes are re-fetchable from memory or a
+     * peer version, and finally rebuild the VOL from scratch,
+     * rewriting pointers and stale bits. Dirty lines (versions) are
+     * never touched: they may be the only copy of committed data.
+     *
+     * Pass @p drop_clean_copies = false for structural faults (a
+     * forged VOL pointer corrupts order, not data) and true for
+     * value faults; in the latter case the caller must also squash
+     * the tasks in RepairResult::activePus (or all active tasks),
+     * because a task may already have consumed the corrupt bytes.
+     */
+    RepairResult repairLine(Addr addr, bool drop_clean_copies);
 
     // ---- Introspection (tests, invariants, stats) ----
 

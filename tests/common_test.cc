@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "common/event_queue.hh"
+#include "common/inline_vec.hh"
 #include "common/intmath.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -177,6 +178,168 @@ TEST(EventQueue, EventMayScheduleSameCycle)
     });
     q.runDue(1);
     EXPECT_EQ(fired, 2);
+}
+
+// ---------------------------------------------------------------
+// InlineVec: the small-buffer vector behind the VOL snoop fast
+// path. The interesting states are the inline<->spilled boundary
+// and the ownership transfers around it.
+// ---------------------------------------------------------------
+
+using IV4 = InlineVec<int, 4>;
+
+IV4
+filled(int n)
+{
+    IV4 v;
+    for (int i = 0; i < n; ++i)
+        v.push_back(i * 10);
+    return v;
+}
+
+TEST(InlineVec, GrowthPastInlineCapacityAndBack)
+{
+    IV4 v;
+    for (int i = 0; i < 4; ++i) {
+        v.push_back(i);
+        EXPECT_TRUE(v.inlineStorage());
+    }
+    EXPECT_EQ(v.capacity(), 4u);
+
+    v.push_back(4); // the spill
+    EXPECT_FALSE(v.inlineStorage());
+    EXPECT_GE(v.capacity(), 5u);
+    EXPECT_EQ(v.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+
+    // Shrinking back below N keeps the heap buffer (capacity is
+    // monotone); the contents must stay addressable and correct.
+    while (v.size() > 2)
+        v.pop_back();
+    EXPECT_FALSE(v.inlineStorage());
+    EXPECT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], 0);
+    EXPECT_EQ(v[1], 1);
+
+    // And growing again from the shrunken state must not re-spill
+    // into a fresh buffer until capacity is actually exhausted.
+    const std::size_t cap = v.capacity();
+    while (v.size() < cap)
+        v.push_back(99);
+    EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(InlineVec, MoveConstructFromInline)
+{
+    IV4 src = filled(3);
+    IV4 dst(std::move(src));
+    EXPECT_TRUE(dst.inlineStorage());
+    ASSERT_EQ(dst.size(), 3u);
+    EXPECT_EQ(dst[0], 0);
+    EXPECT_EQ(dst[2], 20);
+    // The moved-from container is reusable and empty.
+    EXPECT_EQ(src.size(), 0u);
+    src.push_back(7);
+    EXPECT_EQ(src.back(), 7);
+}
+
+TEST(InlineVec, MoveConstructFromSpilled)
+{
+    IV4 src = filled(6);
+    ASSERT_FALSE(src.inlineStorage());
+    IV4 dst(std::move(src));
+    EXPECT_FALSE(dst.inlineStorage());
+    ASSERT_EQ(dst.size(), 6u);
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(dst[i], static_cast<int>(i) * 10);
+    // The heap buffer was stolen, not copied.
+    EXPECT_TRUE(src.inlineStorage());
+    EXPECT_EQ(src.size(), 0u);
+}
+
+TEST(InlineVec, MoveAssignSpilledOverSpilled)
+{
+    IV4 a = filled(5);
+    IV4 b = filled(8);
+    a = std::move(b);
+    ASSERT_EQ(a.size(), 8u);
+    EXPECT_EQ(a.back(), 70);
+    EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(InlineVec, MoveAssignInlineOverSpilled)
+{
+    // The destination's heap buffer must be released, and the
+    // source's inline bytes copied into the destination's stack.
+    IV4 a = filled(6);
+    IV4 b = filled(2);
+    a = std::move(b);
+    EXPECT_TRUE(a.inlineStorage());
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_EQ(a[0], 0);
+    EXPECT_EQ(a[1], 10);
+}
+
+TEST(InlineVec, CopyAssignAndSelfAssign)
+{
+    IV4 a = filled(6);
+    IV4 b;
+    b = a;
+    EXPECT_TRUE(a == b);
+    ASSERT_EQ(b.size(), 6u);
+    b.push_back(99);
+    EXPECT_EQ(a.size(), 6u); // deep copy: b's growth is invisible
+
+    // Self-assignment (both states) must be a no-op.
+    IV4 &ra = a;
+    a = ra;
+    ASSERT_EQ(a.size(), 6u);
+    EXPECT_EQ(a.back(), 50);
+    IV4 c = filled(3);
+    IV4 &rc = c;
+    c = rc;
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.back(), 20);
+}
+
+TEST(InlineVec, IteratorValidityAfterClear)
+{
+    // clear() only resets the count — the storage (inline or heap)
+    // is retained, so begin() stays stable across clear+refill.
+    IV4 v = filled(6);
+    int *before = v.begin();
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.begin(), v.end());
+    EXPECT_EQ(v.begin(), before);
+    v.push_back(42);
+    EXPECT_EQ(v.begin(), before);
+    EXPECT_EQ(*v.begin(), 42);
+
+    IV4 w = filled(2);
+    int *wbefore = w.begin();
+    w.clear();
+    EXPECT_EQ(w.begin(), wbefore);
+}
+
+TEST(InlineVec, EraseAtAndAppendAcrossBoundary)
+{
+    IV4 v = filled(3);
+    v.eraseAt(1);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], 0);
+    EXPECT_EQ(v[1], 20);
+
+    // An append that straddles the inline capacity must spill once
+    // and preserve both halves.
+    const int extra[] = {100, 101, 102, 103};
+    v.append(extra, extra + 4);
+    EXPECT_FALSE(v.inlineStorage());
+    ASSERT_EQ(v.size(), 6u);
+    EXPECT_EQ(v[1], 20);
+    EXPECT_EQ(v[2], 100);
+    EXPECT_EQ(v[5], 103);
 }
 
 TEST(EventQueue, NextEventCycle)

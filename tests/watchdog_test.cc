@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "isa/builder.hh"
 #include "mem/main_memory.hh"
 #include "mem/ref_spec_mem.hh"
@@ -89,6 +91,44 @@ TEST(WatchdogTest, WedgedRunTripsDeterministically)
     }
     // Same wedge, same cycle — the watchdog is deterministic.
     EXPECT_EQ(tripped_at[0], tripped_at[1]);
+}
+
+TEST(WatchdogTest, MultipleNonFatalTripsBeforeGivingUp)
+{
+    // With watchdogMaxTrips > 1, a non-fatal watchdog fires the
+    // handler once per no-progress interval and only abandons the
+    // run after the configured number of trips — giving each trip's
+    // diagnostic bundle a distinct index.
+    Program prog = makeLoadThenHalt();
+    MultiscalarConfig cfg;
+    cfg.maxCycles = 100'000;
+    cfg.watchdogInterval = 2'000;
+    cfg.watchdogFatal = false;
+    cfg.watchdogMaxTrips = 3;
+
+    WedgedMem wedged;
+    Processor cpu(cfg, prog, wedged);
+    unsigned handler_calls = 0;
+    std::vector<Cycle> trip_cycles;
+    cpu.setWatchdogHandler([&] {
+        ++handler_calls;
+        trip_cycles.push_back(cpu.now());
+    });
+    RunStats rs = cpu.run();
+
+    EXPECT_TRUE(rs.watchdogTripped);
+    EXPECT_FALSE(rs.halted);
+    EXPECT_EQ(handler_calls, 3u);
+    EXPECT_EQ(rs.watchdogTrips, 3u);
+    // The run kept going between trips: each trip is a full
+    // interval after the previous one, and the run only ended at
+    // the third.
+    ASSERT_EQ(trip_cycles.size(), 3u);
+    for (std::size_t i = 1; i < trip_cycles.size(); ++i)
+        EXPECT_GE(trip_cycles[i],
+                  trip_cycles[i - 1] + cfg.watchdogInterval);
+    EXPECT_GE(rs.cycles, 3 * cfg.watchdogInterval);
+    EXPECT_LT(rs.cycles, cfg.maxCycles);
 }
 
 TEST(WatchdogTest, ZeroIntervalDisablesWatchdog)

@@ -18,7 +18,8 @@
  *
  * Exit status: 0 on success; 1 if any result was non-finite, any
  * benchmark row failed checksum verification, any injected
- * corruption went undetected, or the determinism check failed.
+ * corruption went undetected, any recovery cell failed to recover,
+ * or the determinism check failed.
  */
 
 #include <algorithm>
@@ -36,13 +37,18 @@
 #include "common/invariants.hh"
 #include "common/json.hh"
 #include "common/log.hh"
+#include "isa/interpreter.hh"
 #include "mem/fault_injector.hh"
 #include "mem/main_memory.hh"
+#include "multiscalar/processor.hh"
+#include "recovery/recovery_manager.hh"
 #include "svc/corruptor.hh"
 #include "svc/invariants.hh"
 #include "svc/protocol.hh"
+#include "svc/system.hh"
 #include "tests/support/engine_adapters.hh"
 #include "tests/support/task_script.hh"
+#include "workloads/workloads.hh"
 
 namespace svc
 {
@@ -56,7 +62,7 @@ const char *const kWorkloads[] = {"compress", "gcc",   "vortex",
 /** One self-contained unit of work. */
 struct SweepItem
 {
-    enum Kind { Bench, Fault };
+    enum Kind { Bench, Fault, Recovery };
 
     std::string id; ///< stable unique name, e.g. "fig19/gcc/svc8k"
     Kind kind = Bench;
@@ -71,6 +77,10 @@ struct SweepItem
 
     // Fault cells (functional protocol + one corruption).
     FaultKind faultKind = FaultKind::CorruptVolPointer;
+
+    // Recovery cells (full multiscalar run + staged recovery).
+    RecoveryPolicy policy = RecoveryPolicy::Degrade;
+    unsigned corruptions = 1;
 };
 
 struct ItemResult
@@ -80,6 +90,19 @@ struct ItemResult
     bool detected = false;
     unsigned findings = 0;
     double wallSeconds = 0.0;
+
+    // Recovery cells: outcome of the recovered run vs its own
+    // fault-free reference.
+    Counter injectedCount = 0;
+    Counter episodes = 0;
+    Counter repairs = 0;
+    Counter replays = 0;
+    Counter rollbacks = 0;
+    bool degraded = false;
+    unsigned highestStage = 0;
+    bool recovered = false; ///< verified + engine clean + halted
+    double ipc = 0.0;
+    double refIpc = 0.0;
 };
 
 struct Options
@@ -142,6 +165,30 @@ addFaultGrid(std::vector<SweepItem> &items, unsigned num_seeds)
     }
 }
 
+void
+addRecoveryGrid(std::vector<SweepItem> &items, unsigned scale,
+                unsigned num_seeds)
+{
+    const FaultKind kinds[] = {
+        FaultKind::CorruptVolPointer, FaultKind::CorruptMask,
+        FaultKind::CorruptData, FaultKind::CorruptVolCache};
+    for (FaultKind k : kinds) {
+        for (std::uint64_t seed = 1; seed <= num_seeds; ++seed) {
+            SweepItem it;
+            it.kind = SweepItem::Recovery;
+            it.workload = "compress";
+            it.scale = scale;
+            it.seed = seed;
+            it.faultKind = k;
+            it.policy = RecoveryPolicy::Degrade;
+            it.corruptions = 1 + static_cast<unsigned>(seed % 3);
+            it.id = std::string("recovery/compress/") +
+                    faultKindName(k) + "/s" + std::to_string(seed);
+            items.push_back(std::move(it));
+        }
+    }
+}
+
 std::vector<SweepItem>
 buildGrid(const std::string &grid, unsigned scale)
 {
@@ -152,6 +199,8 @@ buildGrid(const std::string &grid, unsigned scale)
         addIpcGrid(items, "fig20", 64, 16, scale);
     } else if (grid == "faults") {
         addFaultGrid(items, 8);
+    } else if (grid == "recovery") {
+        addRecoveryGrid(items, scale, 4);
     } else if (grid == "smoke") {
         // A CI-sized cut: two workloads with contrasting sharing
         // behaviour, one ARB and one SVC point each, plus one fault
@@ -175,13 +224,15 @@ buildGrid(const std::string &grid, unsigned scale)
             items.push_back(std::move(svc));
         }
         addFaultGrid(items, 1);
+        addRecoveryGrid(items, scale, 1);
     } else if (grid == "full") {
         addIpcGrid(items, "fig19", 32, 8, scale);
         addIpcGrid(items, "fig20", 64, 16, scale);
         addFaultGrid(items, 8);
+        addRecoveryGrid(items, scale, 4);
     } else {
-        fatal("unknown grid '%s' (fig19, fig20, faults, smoke, "
-              "full)", grid.c_str());
+        fatal("unknown grid '%s' (fig19, fig20, faults, recovery, "
+              "smoke, full)", grid.c_str());
     }
     return items;
 }
@@ -232,12 +283,113 @@ runFaultItem(const SweepItem &it)
     return r;
 }
 
+/**
+ * One recovery cell: a full multiscalar run on the paper's SVC
+ * config with the staged RecoveryManager active and a deterministic
+ * corruption schedule, reported against a fault-free reference run
+ * of the identical workload (the IPC delta is the recovery cost).
+ * Success means the recovered run halts, verifies against the
+ * interpreter, and ends with the invariant engine clean.
+ */
+ItemResult
+runRecoveryItem(const SweepItem &it)
+{
+    ItemResult r;
+    workloads::WorkloadParams wp;
+    wp.scale = it.scale;
+    wp.seed = it.seed;
+    workloads::Workload w = workloads::makeWorkload(it.workload, wp);
+
+    std::uint32_t ref_checksum = 0;
+    {
+        MainMemory mem;
+        auto res =
+            isa::Interpreter::run(w.program, mem, 2'000'000'000);
+        if (!res.halted)
+            fatal("recovery cell: reference interpreter run of "
+                  "'%s' did not halt", w.name.c_str());
+        ref_checksum = mem.readWord(w.checkBase);
+    }
+
+    const SvcConfig svc_cfg = bench::paperSvcConfig(8);
+
+    // Fault-free reference: the denominator of the IPC cost.
+    {
+        MainMemory mem;
+        SvcSystem sys(svc_cfg, mem);
+        w.program.loadInto(mem);
+        Processor cpu(bench::paperCpuConfig(), w.program, sys);
+        const RunStats rs = cpu.run();
+        sys.finalizeMemory();
+        r.refIpc = rs.ipc;
+    }
+
+    // Recovered run.
+    MainMemory mem;
+    SvcSystem sys(svc_cfg, mem);
+    FaultConfig fcfg;
+    fcfg.seed = it.seed * 7919 + 1;
+    FaultInjector inj(fcfg);
+    InvariantEngine eng;
+    sys.attachInvariants(eng);
+    w.program.loadInto(mem);
+    Processor cpu(bench::paperCpuConfig(), w.program, sys);
+    RecoveryConfig rcfg;
+    rcfg.policy = it.policy;
+    RecoveryManager rm(rcfg, cpu, sys, mem, eng, nullptr, 0x5ecu);
+    SvcCorruptor corruptor(sys.protocol(), inj);
+
+    struct Event
+    {
+        Cycle at;
+        bool fired = false;
+    };
+    std::vector<Event> schedule;
+    const Cycle first = 300 + (it.seed % 5) * 137;
+    for (unsigned i = 0; i < it.corruptions; ++i)
+        schedule.push_back({first + i * 400});
+    cpu.setTickHook([&](Cycle at) {
+        for (Event &e : schedule) {
+            if (e.fired || at < e.at)
+                continue;
+            if (corruptor.corrupt(it.faultKind).injected) {
+                e.fired = true;
+                ++r.injectedCount;
+                // Detect before first use (see recovery_test.cc):
+                // once a store dirties the corrupted block, the
+                // damage is indistinguishable from legitimate
+                // speculative data.
+                eng.runChecks(at);
+            }
+            break;
+        }
+        rm.onTick(at);
+    });
+
+    const RunStats rs = cpu.run();
+    sys.finalizeMemory();
+    eng.runFinalChecks();
+
+    r.ipc = rs.ipc;
+    r.episodes = rm.nEpisodes;
+    r.repairs = rm.nLineRepairs;
+    r.replays = rm.nTaskReplays;
+    r.rollbacks = rm.nRollbacks;
+    r.degraded = rm.degraded();
+    r.highestStage = rm.highestStageReached();
+    r.recovered = rs.halted && eng.clean() &&
+                  mem.readWord(w.checkBase) == ref_checksum;
+    return r;
+}
+
 ItemResult
 runItem(const SweepItem &it)
 {
     ItemResult r;
     if (it.kind == SweepItem::Fault) {
         r = runFaultItem(it);
+    } else if (it.kind == SweepItem::Recovery) {
+        r = runRecoveryItem(it);
     } else {
         r.row = bench::runOn(it.memKind, it.workload, it.scale,
                              it.cfg, nullptr, it.seed);
@@ -322,7 +474,7 @@ writeDoc(JsonWriter &w, const Options &opt, unsigned jobs,
             w.key("task_mispredicts");
             w.value(r.row.taskMispredicts);
             w.member("verified", r.row.verified);
-        } else {
+        } else if (it.kind == SweepItem::Fault) {
             w.member("kind", "fault");
             w.member("design", "Final");
             w.member("fault_kind", faultKindName(it.faultKind));
@@ -332,6 +484,36 @@ writeDoc(JsonWriter &w, const Options &opt, unsigned jobs,
             w.member("detected", r.detected);
             w.key("findings");
             w.value(static_cast<std::uint64_t>(r.findings));
+        } else {
+            w.member("kind", "recovery");
+            w.member("workload", it.workload);
+            w.member("policy", recoveryPolicyName(it.policy));
+            w.member("fault_kind", faultKindName(it.faultKind));
+            w.key("scale");
+            w.value(it.scale);
+            w.key("seed");
+            w.value(it.seed);
+            w.key("injected");
+            w.value(r.injectedCount);
+            w.key("episodes");
+            w.value(r.episodes);
+            w.key("line_repairs");
+            w.value(r.repairs);
+            w.key("task_replays");
+            w.value(r.replays);
+            w.key("rollbacks");
+            w.value(r.rollbacks);
+            w.member("degraded", r.degraded);
+            w.key("highest_stage");
+            w.value(static_cast<std::uint64_t>(r.highestStage));
+            w.member("ipc", r.ipc);
+            w.member("ref_ipc", r.refIpc);
+            // Relative IPC cost of recovery vs the fault-free run
+            // of the same workload (0 = free, 1 = total loss).
+            const double cost =
+                r.refIpc > 0.0 ? 1.0 - r.ipc / r.refIpc : 0.0;
+            w.member("ipc_cost", cost);
+            w.member("recovered", r.recovered);
         }
         w.endObject();
     }
@@ -392,6 +574,14 @@ countFailures(const std::vector<SweepItem> &items,
             !r.detected) {
             std::printf("FAIL %s: corruption went undetected\n",
                         it.id.c_str());
+            ++failures;
+        }
+        if (it.kind == SweepItem::Recovery && !r.recovered) {
+            std::printf("FAIL %s: run did not recover "
+                        "(episodes=%llu stage=%u)\n",
+                        it.id.c_str(),
+                        static_cast<unsigned long long>(r.episodes),
+                        r.highestStage);
             ++failures;
         }
     }
@@ -462,8 +652,8 @@ usage()
 {
     std::printf(
         "usage: sweep_runner [options]\n"
-        "  --grid NAME   fig19 | fig20 | faults | smoke | full "
-        "(default fig19)\n"
+        "  --grid NAME   fig19 | fig20 | faults | recovery | smoke "
+        "| full (default fig19)\n"
         "  --jobs N      worker threads (default: hardware "
         "concurrency)\n"
         "  --scale N     workload scale (default: SVC_BENCH_SCALE "
