@@ -43,8 +43,9 @@ main()
         std::printf("--- %s ---\n", name);
         TablePrinter table({"Design", "IPC", "miss ratio",
                             "bus util", "squashes", "verified"});
+        auto stim = kernel(name, scale);
         for (SvcDesign d : designs) {
-            BenchRow r = runOnSvc(name, scale, paperSvcConfig(8, d));
+            BenchRow r = runOn(*stim, svcRun(paperSvcConfig(8, d)));
             table.addRow({svcDesignName(d),
                           TablePrinter::num(r.ipc, 2),
                           TablePrinter::num(r.missRatio, 3),

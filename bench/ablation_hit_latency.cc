@@ -29,12 +29,13 @@ main()
         TablePrinter table({"hit latency", "ARB IPC", "ARB vs 1cyc",
                             "SVC IPC", "SVC vs 1cyc"});
         double arb1 = 0.0, svc1 = 0.0;
+        auto stim = kernel(name, scale);
         for (Cycle lat = 1; lat <= 4; ++lat) {
             BenchRow arb =
-                runOnArb(name, scale, paperArbConfig(32, lat));
+                runOn(*stim, arbRun(paperArbConfig(32, lat)));
             SvcConfig scfg = paperSvcConfig(8);
             scfg.hitLatency = lat;
-            BenchRow svc_row = runOnSvc(name, scale, scfg);
+            BenchRow svc_row = runOn(*stim, svcRun(scfg));
             if (lat == 1) {
                 arb1 = arb.ipc;
                 svc1 = svc_row.ipc;

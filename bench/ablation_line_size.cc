@@ -28,10 +28,11 @@ main()
         std::printf("--- %s ---\n", name);
         TablePrinter table({"versioning block", "violations",
                             "IPC", "miss ratio", "verified"});
+        auto stim = kernel(name, scale);
         for (unsigned vb : {16u, 8u, 4u, 2u, 1u}) {
             SvcConfig cfg = paperSvcConfig(8);
             cfg.versioningBytes = vb;
-            BenchRow r = runOnSvc(name, scale, cfg);
+            BenchRow r = runOn(*stim, svcRun(cfg));
             table.addRow({std::to_string(vb) + " B",
                           std::to_string(r.violationSquashes),
                           TablePrinter::num(r.ipc, 2),

@@ -31,8 +31,9 @@ main()
         off_cfg.snarfing = false;
         SvcConfig on_cfg = paperSvcConfig(8);
         on_cfg.snarfing = true;
-        BenchRow off = runOnSvc(name, scale, off_cfg);
-        BenchRow on = runOnSvc(name, scale, on_cfg);
+        auto stim = kernel(name, scale);
+        BenchRow off = runOn(*stim, svcRun(off_cfg));
+        BenchRow on = runOn(*stim, svcRun(on_cfg));
         table.addRow({name, TablePrinter::num(off.missRatio, 3),
                       TablePrinter::num(on.missRatio, 3),
                       TablePrinter::num(off.ipc, 2),

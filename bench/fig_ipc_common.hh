@@ -37,14 +37,15 @@ runIpcFigure(const std::string &title, const std::string &ref,
 
     for (unsigned i = 0; i < 7; ++i) {
         bool verified = true;
+        auto stim = kernel(names[i], scale);
         for (Cycle lat = 4; lat >= 1; --lat) {
-            BenchRow r = runOnArb(
-                names[i], scale, paperArbConfig(arb_dcache_kb, lat));
+            BenchRow r = runOn(
+                *stim, arbRun(paperArbConfig(arb_dcache_kb, lat)));
             ipc[i].push_back(r.ipc);
             verified &= r.verified;
         }
         BenchRow svc_row =
-            runOnSvc(names[i], scale, paperSvcConfig(svc_cache_kb));
+            runOn(*stim, svcRun(paperSvcConfig(svc_cache_kb)));
         ipc[i].push_back(svc_row.ipc);
         verified &= svc_row.verified;
         table.addRow({names[i], TablePrinter::num(ipc[i][0], 2),

@@ -1,11 +1,14 @@
 #include "bench/harness.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
 #include "common/log.hh"
 #include "isa/interpreter.hh"
+#include "trace_io/trace_recorder.hh"
+#include "trace_io/trace_replayer.hh"
 
 namespace svc::bench
 {
@@ -72,43 +75,243 @@ paperCpuConfig()
     return cfg;
 }
 
+RunConfig
+svcRun(const SvcConfig &svc_cfg)
+{
+    RunConfig rc;
+    rc.memKind = "svc";
+    rc.mem.svc = svc_cfg;
+    return rc;
+}
+
+RunConfig
+arbRun(const ArbTimingConfig &arb_cfg)
+{
+    RunConfig rc;
+    rc.memKind = "arb";
+    rc.mem.arb = arb_cfg;
+    return rc;
+}
+
+RunConfig
+perfectRun()
+{
+    RunConfig rc;
+    rc.memKind = "perfect";
+    return rc;
+}
+
+std::unique_ptr<workloads::StimulusSource>
+kernel(const std::string &name, unsigned scale, std::uint64_t seed)
+{
+    workloads::WorkloadParams params;
+    params.scale = scale;
+    params.seed = seed;
+    return workloads::makeKernelStimulus(name, params);
+}
+
 namespace
 {
 
-/** Interpreter reference checksum for verification. */
+/** Interpreter reference checksum for program verification. */
 std::uint32_t
-referenceChecksum(const workloads::Workload &w)
+referenceChecksum(const workloads::StimulusSource &stim)
 {
     MainMemory mem;
-    auto res = isa::Interpreter::run(w.program, mem, 2'000'000'000);
+    auto res = isa::Interpreter::run(*stim.program(), mem,
+                                     2'000'000'000);
     if (!res.halted)
         fatal("bench: reference run of '%s' did not halt",
-              w.name.c_str());
-    return mem.readWord(w.checkBase);
+              stim.name().c_str());
+    return mem.readWord(stim.checkBase());
 }
 
-BenchRow
-finishRow(const workloads::Workload &w, const RunStats &rs,
-          MainMemory &mem, const char *mem_name)
+/** PU count every backend in @p cfg could expose. */
+unsigned
+maxPus(const RunConfig &rc)
 {
+    unsigned pus = rc.mem.numPus;
+    pus = std::max(pus, rc.mem.svc.numPus);
+    pus = std::max(pus, rc.mem.arb.arb.numPus);
+    pus = std::max(pus, rc.replayPus);
+    return pus;
+}
+
+void
+fillMemStats(BenchRow &row, const SpecMem &sys)
+{
+    row.missRatio = sys.missRatio();
+    const StatSet st = sys.stats();
+    if (st.has("bus.utilization"))
+        row.busUtilization = st.get("bus.utilization");
+    if (const Distribution *d = st.distribution("bus.occupancy"))
+        row.busOccupancy = d->summarize();
+    if (const Distribution *d = st.distribution("miss_latency"))
+        row.missLatency = d->summarize();
+}
+
+void
+writeRecordedTrace(const trace_io::RecordingSpecMem &rec,
+                   const workloads::StimulusSource &stim,
+                   const RunConfig &rc, const MainMemory &mem,
+                   std::uint64_t final_checksum)
+{
+    trace_io::TraceMeta meta;
+    meta.name = stim.name();
+    meta.source = stim.program() ? "kernel" : "stream";
+    meta.scale = stim.scale();
+    meta.seed = stim.seed();
+    meta.checkBase = stim.checkBase();
+    meta.checkLen = stim.checkLen();
+    meta.finalChecksum = final_checksum;
+    std::string err;
+    if (!rec.writeTrace(rc.recordPath, meta, mem, err))
+        fatal("%s", err.c_str());
+    inform("recorded %llu tasks / %llu accesses to %s",
+           static_cast<unsigned long long>(rec.committedTasks()),
+           static_cast<unsigned long long>(rec.committedOps()),
+           rc.recordPath.c_str());
+}
+
+/** Program stimulus: full multiscalar processor run. */
+BenchRow
+runProgram(const workloads::StimulusSource &stim,
+           const RunConfig &rc)
+{
+    MainMemory mem;
+    std::unique_ptr<SpecMem> sys =
+        makeSpecMem(rc.memKind, rc.mem, mem, rc.sink);
+    trace_io::RecordingSpecMem *rec = nullptr;
+    if (!rc.recordPath.empty()) {
+        auto wrapped = std::make_unique<trace_io::RecordingSpecMem>(
+            std::move(sys), maxPus(rc));
+        rec = wrapped.get();
+        sys = std::move(wrapped);
+    }
+
+    stim.loadInitialImage(mem);
+    if (rec)
+        rec->captureInitialImage(mem);
+    Processor cpu(paperCpuConfig(), *stim.program(), *sys);
+    RunStats rs = cpu.run();
+    sys->finalizeMemory();
+
     BenchRow row;
-    row.workload = w.name;
-    row.memSystem = mem_name;
+    row.workload = stim.name();
+    row.memSystem = sys->name();
+    row.kind = "program";
+    row.scale = stim.scale();
+    row.seed = stim.seed();
     row.ipc = rs.ipc;
     row.instructions = rs.committedInstructions;
     row.cycles = rs.cycles;
     row.violationSquashes = rs.violationSquashes;
     row.taskMispredicts = rs.taskMispredicts;
     row.verified =
-        mem.readWord(w.checkBase) == referenceChecksum(w);
+        mem.readWord(stim.checkBase()) == referenceChecksum(stim);
     if (!row.verified) {
-        warn("bench: %s on %s failed verification", w.name.c_str(),
-             mem_name);
+        warn("bench: %s on %s failed verification",
+             stim.name().c_str(), sys->name());
     }
+    fillMemStats(row, *sys);
+    if (rec)
+        writeRecordedTrace(*rec, stim, rc, mem,
+                           mem.readWord(stim.checkBase()));
+    return row;
+}
+
+/** Access-stream stimulus: speculative replay driver run. */
+BenchRow
+runStream(const workloads::StimulusSource &stim, const RunConfig &rc)
+{
+    MainMemory mem;
+    std::unique_ptr<SpecMem> sys =
+        makeSpecMem(rc.memKind, rc.mem, mem, rc.sink);
+    trace_io::RecordingSpecMem *rec = nullptr;
+    if (!rc.recordPath.empty()) {
+        auto wrapped = std::make_unique<trace_io::RecordingSpecMem>(
+            std::move(sys), maxPus(rc));
+        rec = wrapped.get();
+        sys = std::move(wrapped);
+    }
+
+    stim.loadInitialImage(mem);
+    if (rec)
+        rec->captureInitialImage(mem);
+    auto stream = stim.openStream();
+    if (!stream) {
+        fatal("bench: stimulus '%s' provides neither a program nor "
+              "an access stream",
+              stim.name().c_str());
+    }
+
+    trace_io::ReplayConfig rcfg;
+    rcfg.numPus = rc.replayPus;
+    rcfg.interleaveSeed = rc.replaySeed;
+    trace_io::ReplayResult res = replayStream(*stream, *sys, rcfg);
+    sys->finalizeMemory();
+
+    BenchRow row;
+    row.workload = stim.name();
+    row.memSystem = sys->name();
+    row.kind = "stream";
+    row.scale = stim.scale();
+    row.seed = stim.seed();
+    row.ops = res.ops;
+    row.instructions = res.ops;
+    row.cycles = res.ticks;
+    row.ipc = res.ticks ? static_cast<double>(res.ops) /
+                              static_cast<double>(res.ticks)
+                        : 0.0;
+    row.violationSquashes = res.squashes;
+    row.loadValueHash = res.loadValueHash;
+    row.loadMismatches = res.loadMismatches;
+
+    if (!res.ok) {
+        warn("bench: replay of %s on %s failed: %s",
+             stim.name().c_str(), sys->name(), res.error.c_str());
+        row.verified = false;
+        fillMemStats(row, *sys);
+        return row;
+    }
+
+    // Verify against the stimulus' recorded expectations, or — for
+    // streams without them (synthetic generators) — against a fresh
+    // sequential-oracle execution.
+    const workloads::StimulusExpectations exp = stim.expectations();
+    bool ok = res.loadMismatches == 0;
+    if (exp.hasLoadValueHash) {
+        ok = ok && res.loadValueHash == exp.loadValueHash;
+        if (exp.hasFinalMemoryHash)
+            ok = ok && mem.hashAll() == exp.finalMemoryHash;
+    } else {
+        MainMemory oracle_mem;
+        stim.loadInitialImage(oracle_mem);
+        const workloads::SequentialStreamResult oracle =
+            workloads::runStreamSequential(*stream, oracle_mem);
+        ok = ok && res.loadValueHash == oracle.loadValueHash &&
+             mem.hashAll() == oracle_mem.hashAll();
+    }
+    row.verified = ok;
+    if (!row.verified) {
+        warn("bench: %s on %s failed replay verification",
+             stim.name().c_str(), sys->name());
+    }
+    fillMemStats(row, *sys);
+    if (rec)
+        writeRecordedTrace(*rec, stim, rc, mem, 0);
     return row;
 }
 
 } // namespace
+
+BenchRow
+runOn(const workloads::StimulusSource &stimulus, const RunConfig &cfg)
+{
+    if (stimulus.program())
+        return runProgram(stimulus, cfg);
+    return runStream(stimulus, cfg);
+}
 
 BenchRow
 runOn(const std::string &mem_kind,
@@ -119,57 +322,12 @@ runOn(const std::string &mem_kind,
     workloads::WorkloadParams wp;
     wp.scale = scale;
     wp.seed = workload_seed;
-    workloads::Workload w =
-        workloads::makeWorkload(workload_name, wp);
-
-    MainMemory mem;
-    std::unique_ptr<SpecMem> sys =
-        makeSpecMem(mem_kind, cfg, mem, sink);
-    w.program.loadInto(mem);
-    Processor cpu(paperCpuConfig(), w.program, *sys);
-    RunStats rs = cpu.run();
-    sys->finalizeMemory();
-
-    BenchRow row = finishRow(w, rs, mem, sys->name());
-    row.scale = scale;
-    row.seed = workload_seed;
-    row.missRatio = sys->missRatio();
-    const StatSet st = sys->stats();
-    if (st.has("bus.utilization"))
-        row.busUtilization = st.get("bus.utilization");
-    if (const Distribution *d = st.distribution("bus.occupancy"))
-        row.busOccupancy = d->summarize();
-    if (const Distribution *d = st.distribution("miss_latency"))
-        row.missLatency = d->summarize();
-    return row;
-}
-
-BenchRow
-runOnSvc(const std::string &workload_name, unsigned scale,
-         const SvcConfig &svc_cfg, std::uint64_t workload_seed)
-{
-    SpecMemConfig cfg;
-    cfg.svc = svc_cfg;
-    return runOn("svc", workload_name, scale, cfg, nullptr,
-                 workload_seed);
-}
-
-BenchRow
-runOnArb(const std::string &workload_name, unsigned scale,
-         const ArbTimingConfig &arb_cfg, std::uint64_t workload_seed)
-{
-    SpecMemConfig cfg;
-    cfg.arb = arb_cfg;
-    return runOn("arb", workload_name, scale, cfg, nullptr,
-                 workload_seed);
-}
-
-BenchRow
-runOnPerfect(const std::string &workload_name, unsigned scale,
-             std::uint64_t workload_seed)
-{
-    return runOn("perfect", workload_name, scale, SpecMemConfig{},
-                 nullptr, workload_seed);
+    auto stim = workloads::makeKernelStimulus(workload_name, wp);
+    RunConfig rc;
+    rc.memKind = mem_kind;
+    rc.mem = cfg;
+    rc.sink = sink;
+    return runOn(*stim, rc);
 }
 
 void

@@ -1,10 +1,13 @@
 /**
  * @file
- * Shared benchmark harness: runs a SPEC95-analog workload on the
- * multiscalar processor over a configured memory system (SVC, ARB
- * or perfect memory) with the paper's section 4.2 parameters, and
- * verifies the result checksum against the sequential interpreter
- * so every reported number comes from a correct run.
+ * Shared benchmark harness. Any StimulusSource — a SPEC95-analog
+ * MiniISA kernel, a synthetic trace_gen stream, or a recorded
+ * SVCTRC1 trace — runs over a configured memory system (SVC, ARB or
+ * perfect memory) through one entry point, runOn(stimulus, config),
+ * with the paper's section 4.2 parameters and end-to-end
+ * verification: program stimuli are checked against the sequential
+ * interpreter's checksum, access-stream stimuli against their
+ * recorded hashes or the sequential oracle.
  *
  * Environment knobs:
  *   SVC_BENCH_SCALE  workload size multiplier (default 6)
@@ -21,6 +24,7 @@
 #include "mem/spec_mem_factory.hh"
 #include "multiscalar/processor.hh"
 #include "svc/system.hh"
+#include "workloads/stimulus.hh"
 #include "workloads/workloads.hh"
 
 namespace svc::bench
@@ -31,6 +35,8 @@ struct BenchRow
 {
     std::string workload;
     std::string memSystem;
+    /** "program" (full processor) or "stream" (replay driver). */
+    std::string kind = "program";
     unsigned scale = 0;
     std::uint64_t seed = 12345; ///< synthetic-input seed
     double ipc = 0.0;
@@ -40,11 +46,32 @@ struct BenchRow
     Cycle cycles = 0;
     std::uint64_t violationSquashes = 0;
     std::uint64_t taskMispredicts = 0;
-    bool verified = false; ///< checksum matched the interpreter
+    bool verified = false; ///< matched the reference run
+    /** Committed memory accesses (stream runs). */
+    std::uint64_t ops = 0;
+    /** Folded commit-order load-value hash (stream runs). */
+    std::uint64_t loadValueHash = 0;
+    /** Committed loads differing from recorded values. */
+    std::uint64_t loadMismatches = 0;
     /** "bus.occupancy" distribution summary ("" if absent). */
     std::string busOccupancy;
     /** "miss_latency" distribution summary ("" if absent). */
     std::string missLatency;
+};
+
+/** How to run a stimulus: backend, knobs, optional taps. */
+struct RunConfig
+{
+    /** makeSpecMem kind: "svc", "arb", "ref"/"perfect". */
+    std::string memKind = "svc";
+    SpecMemConfig mem;
+    /** Event-trace sink for the measured run (may be null). */
+    TraceSink *sink = nullptr;
+    /** Replay driver: PUs and interleaving seed (stream runs). */
+    unsigned replayPus = 4;
+    std::uint64_t replaySeed = 7;
+    /** When set, record committed traffic to this SVCTRC1 file. */
+    std::string recordPath;
 };
 
 /** @return SVC_BENCH_SCALE or @p def. */
@@ -63,33 +90,39 @@ ArbTimingConfig paperArbConfig(unsigned dcache_kb,
 /** The paper's multiscalar config (section 4.2). */
 MultiscalarConfig paperCpuConfig();
 
+/** RunConfig for an SVC backend with @p svc_cfg. */
+RunConfig svcRun(const SvcConfig &svc_cfg);
+
+/** RunConfig for an ARB backend with @p arb_cfg. */
+RunConfig arbRun(const ArbTimingConfig &arb_cfg);
+
+/** RunConfig for the perfect-memory oracle. */
+RunConfig perfectRun();
+
+/** Kernel-stimulus shortcut for the benches. */
+std::unique_ptr<workloads::StimulusSource>
+kernel(const std::string &name, unsigned scale,
+       std::uint64_t seed = 12345);
+
 /**
- * Run @p workload_name on the memory system registered under
- * @p mem_kind ("svc", "arb", "ref"/"perfect", ...), constructed
- * through makeSpecMem. @p sink, when non-null, receives the full
- * event trace of the measured run. @p workload_seed seeds the
- * synthetic input generation, so a sweep can vary the data set
- * independently of its size.
+ * Run @p stimulus on the backend @p cfg selects — the single
+ * construction path for every experiment. Program stimuli drive the
+ * full multiscalar processor; access-stream stimuli drive the
+ * speculative replay driver. Either shape records an SVCTRC1 trace
+ * of its committed traffic when cfg.recordPath is set.
+ */
+BenchRow runOn(const workloads::StimulusSource &stimulus,
+               const RunConfig &cfg);
+
+/**
+ * Deprecated name-string entry point; builds a kernel stimulus and
+ * forwards to runOn(stimulus, config). Prefer the StimulusSource
+ * overload.
  */
 BenchRow runOn(const std::string &mem_kind,
                const std::string &workload_name, unsigned scale,
                const SpecMemConfig &cfg, TraceSink *sink = nullptr,
                std::uint64_t workload_seed = 12345);
-
-/** Run @p workload_name on an SVC memory system. */
-BenchRow runOnSvc(const std::string &workload_name, unsigned scale,
-                  const SvcConfig &svc_cfg,
-                  std::uint64_t workload_seed = 12345);
-
-/** Run @p workload_name on an ARB memory system. */
-BenchRow runOnArb(const std::string &workload_name, unsigned scale,
-                  const ArbTimingConfig &arb_cfg,
-                  std::uint64_t workload_seed = 12345);
-
-/** Run @p workload_name on the perfect-memory oracle. */
-BenchRow runOnPerfect(const std::string &workload_name,
-                      unsigned scale,
-                      std::uint64_t workload_seed = 12345);
 
 /** Print a standard header naming the experiment. */
 void printHeader(const std::string &title,

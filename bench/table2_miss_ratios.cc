@@ -35,8 +35,9 @@ main()
 
     for (const char *name : {"compress", "gcc", "vortex", "perl",
                              "ijpeg", "mgrid", "apsi"}) {
-        BenchRow arb = runOnArb(name, scale, arb_cfg);
-        BenchRow svc_row = runOnSvc(name, scale, svc_cfg);
+        auto stim = kernel(name, scale);
+        BenchRow arb = runOn(*stim, arbRun(arb_cfg));
+        BenchRow svc_row = runOn(*stim, svcRun(svc_cfg));
         table.addRow(
             {name, TablePrinter::num(arb.missRatio, 3),
              TablePrinter::num(svc_row.missRatio, 3),

@@ -36,8 +36,9 @@ main()
     std::vector<std::pair<std::string, std::string>> occupancy;
     for (const char *name : {"compress", "gcc", "vortex", "perl",
                              "ijpeg", "mgrid", "apsi"}) {
-        BenchRow small = runOnSvc(name, scale, small_cfg);
-        BenchRow large = runOnSvc(name, scale, large_cfg);
+        auto stim = kernel(name, scale);
+        BenchRow small = runOn(*stim, svcRun(small_cfg));
+        BenchRow large = runOn(*stim, svcRun(large_cfg));
         table.addRow({name,
                       TablePrinter::num(small.busUtilization, 3),
                       TablePrinter::num(large.busUtilization, 3),

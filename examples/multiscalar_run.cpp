@@ -8,6 +8,10 @@
  * Usage:
  *   ./build/examples/multiscalar_run [workload] [svc|arb|ref]
  *                                    [scale] [--trace FILE] [--check]
+ *                                    [--workload NAME|gen:PATTERN]
+ *                                    [--trace-in FILE]
+ *                                    [--trace-out FILE]
+ *                                    [--scale N] [--seed N]
  *                                    [--faults SEED]
  *                                    [--recover=off|repair|replay|degrade]
  *                                    [--corrupt KIND@CYCLE[,...]]
@@ -17,6 +21,16 @@
  *                                    [--watchdog-max-trips N]
  * e.g.
  *   ./build/examples/multiscalar_run vortex svc 8 --trace out.json
+ *
+ * The stimulus flags are shared with sweep_runner (same parsing,
+ * same error messages; see src/trace_io/stimulus_cli.hh) and
+ * override the positional workload/scale. --trace-out records the
+ * run's committed accesses to an SVCTRC1 trace; --trace-in replays
+ * a recorded trace (and --workload gen:<pattern> replays a
+ * synthetic stream) through the speculative replay driver instead
+ * of the full processor. Stimulus-trace runs go through the bench
+ * harness's unified runOn() path and cannot be combined with the
+ * fault/recovery/checkpoint/watchdog flags below.
  *
  * --check runs the protocol invariant engine after every bus
  * transaction (svc memory system only) and fails the run with a
@@ -70,6 +84,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/harness.hh"
 #include "common/invariants.hh"
 #include "common/snapshot.hh"
 #include "isa/interpreter.hh"
@@ -80,6 +95,7 @@
 #include "recovery/recovery_manager.hh"
 #include "svc/corruptor.hh"
 #include "svc/system.hh"
+#include "trace_io/stimulus_cli.hh"
 #include "workloads/workloads.hh"
 
 namespace
@@ -175,7 +191,13 @@ main(int argc, char **argv)
     RecoveryPolicy recover = RecoveryPolicy::Off;
     bool recover_set = false;
     std::vector<CorruptionEvent> corruptions;
+    trace_io::StimulusOptions stim;
     for (int i = 1; i < argc; ++i) {
+        // Shared stimulus flags first (--workload, --trace-in,
+        // --trace-out, --scale, --seed), identical to
+        // sweep_runner's parsing and error messages.
+        if (trace_io::parseStimulusFlag(argc, argv, i, stim))
+            continue;
         const std::string arg = argv[i];
         if (arg == "--trace") {
             if (i + 1 >= argc) {
@@ -270,31 +292,45 @@ main(int argc, char **argv)
             pos.push_back(arg);
         }
     }
-    const std::string name = pos.size() > 0 ? pos[0] : "vortex";
-    const std::string memsys = pos.size() > 1 ? pos[1] : "svc";
+    // Positional arguments, classified by shape rather than strict
+    // order so a mem-system name still lands right when the
+    // workload comes from --workload or --trace-in: a positive
+    // integer is the scale, a registered mem-system kind selects
+    // the backend, anything else names the workload.
+    std::string name = "vortex";
+    std::string memsys = "svc";
     unsigned scale = 4;
-    if (pos.size() > 2 && (!parseUnsigned(pos[2], scale) ||
-                           scale == 0)) {
-        std::fprintf(stderr,
-                     "invalid scale '%s': expected a positive "
-                     "integer\nusage: multiscalar_run [workload] "
-                     "[svc|arb|ref] [scale] [--trace FILE] "
-                     "[--check] [--faults SEED]\n",
-                     pos[2].c_str());
-        return 1;
+    bool name_set = false, mem_set = false, scale_set = false;
+    const std::vector<std::string> mem_kinds = specMemKinds();
+    for (const std::string &p : pos) {
+        unsigned v = 0;
+        if (!scale_set && parseUnsigned(p, v) && v > 0) {
+            scale = v;
+            scale_set = true;
+        } else if (!mem_set &&
+                   std::find(mem_kinds.begin(), mem_kinds.end(),
+                             p) != mem_kinds.end()) {
+            memsys = p;
+            mem_set = true;
+        } else if (!name_set) {
+            name = p;
+            name_set = true;
+        } else {
+            std::fprintf(stderr,
+                         "unexpected argument '%s'\nusage: "
+                         "multiscalar_run [workload] [svc|arb|ref] "
+                         "[scale] [--trace FILE] [--check] "
+                         "[--faults SEED]\n",
+                         p.c_str());
+            return 1;
+        }
     }
-
-    workloads::WorkloadParams wp;
-    wp.scale = scale;
-    workloads::Workload w = workloads::makeWorkload(name, wp);
-    std::printf("workload: %s (analog of %s), scale %u\n",
-                w.name.c_str(), w.specAnalog.c_str(), scale);
-
-    // Reference run for verification.
-    MainMemory ref_mem;
-    auto ref = isa::Interpreter::run(w.program, ref_mem, 1ull << 40);
-    std::printf("sequential reference: %llu instructions\n",
-                (unsigned long long)ref.instructions);
+    // The shared stimulus flags override the legacy positionals.
+    if (!stim.workload.empty())
+        name = stim.workload;
+    if (stim.scaleSet)
+        scale = stim.scale;
+    stim.scale = scale;
 
     std::unique_ptr<TraceSink> sink;
     if (!trace_path.empty()) {
@@ -309,6 +345,82 @@ main(int argc, char **argv)
     SpecMemConfig mem_cfg;
     mem_cfg.svc = makeDesign(SvcDesign::Final);
     mem_cfg.arb.hitLatency = 2;
+
+    // Trace-stimulus runs — recording (--trace-out), trace replay
+    // (--trace-in) and synthetic streams (gen:<pattern>) — go
+    // through the bench harness's unified runOn() path, which
+    // handles recording, replay and verification. They are plain
+    // measured runs: the fault/recovery/checkpoint machinery below
+    // drives its own bespoke Processor and is not combinable.
+    if (!stim.traceIn.empty() || !stim.traceOut.empty() ||
+        name.rfind("gen:", 0) == 0) {
+        if (check || faults || recover_set || !corruptions.empty() ||
+            checkpoint_every > 0 || !restore_path.empty() ||
+            watchdog_set || watchdog_max_trips > 0) {
+            std::fprintf(
+                stderr,
+                "--trace-in/--trace-out/gen: workloads cannot be "
+                "combined with --check, --faults, --recover, "
+                "--corrupt, --checkpoint-every, --restore or "
+                "--watchdog\n");
+            return 1;
+        }
+        const auto stimulus = trace_io::makeStimulus(stim, name);
+        bench::RunConfig rc;
+        rc.memKind = memsys;
+        rc.mem = mem_cfg;
+        rc.sink = sink.get();
+        rc.recordPath = stim.traceOut;
+        std::printf("stimulus: %s, scale %u\n",
+                    stimulus->name().c_str(), stimulus->scale());
+        const bench::BenchRow row = bench::runOn(*stimulus, rc);
+        if (sink) {
+            sink->flush();
+            std::printf("trace written to %s\n", trace_path.c_str());
+        }
+        std::printf("\n--- run summary (%s, %s) ---\n",
+                    row.memSystem.c_str(), row.kind.c_str());
+        std::printf("cycles                 %llu\n",
+                    (unsigned long long)row.cycles);
+        if (row.kind == "stream") {
+            std::printf("committed accesses     %llu\n",
+                        (unsigned long long)row.ops);
+            std::printf("accesses/cycle         %.3f\n", row.ipc);
+            std::printf("load value hash        0x%016llx\n",
+                        (unsigned long long)row.loadValueHash);
+            std::printf("load mismatches        %llu\n",
+                        (unsigned long long)row.loadMismatches);
+        } else {
+            std::printf("committed instructions %llu\n",
+                        (unsigned long long)row.instructions);
+            std::printf("IPC                    %.3f\n", row.ipc);
+        }
+        std::printf("violation squashes     %llu\n",
+                    (unsigned long long)row.violationSquashes);
+        std::printf("miss ratio             %.3f\n", row.missRatio);
+        std::printf("verified               %s\n",
+                    row.verified ? "yes" : "NO - MISMATCH");
+        if (!row.verified) {
+            std::fprintf(stderr,
+                         "verification FAILED: the run does not "
+                         "match its reference\n");
+            return 1;
+        }
+        return 0;
+    }
+
+    workloads::WorkloadParams wp;
+    wp.scale = scale;
+    wp.seed = stim.seed;
+    workloads::Workload w = workloads::makeWorkload(name, wp);
+    std::printf("workload: %s (analog of %s), scale %u\n",
+                w.name.c_str(), w.specAnalog.c_str(), scale);
+
+    // Reference run for verification.
+    MainMemory ref_mem;
+    auto ref = isa::Interpreter::run(w.program, ref_mem, 1ull << 40);
+    std::printf("sequential reference: %llu instructions\n",
+                (unsigned long long)ref.instructions);
 
     MultiscalarConfig cpu_cfg; // paper section 4.2 defaults
     if (watchdog_set)

@@ -1,0 +1,138 @@
+#include "trace_io/stimulus_cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "trace_io/trace_reader.hh"
+
+namespace svc::trace_io
+{
+
+std::uint64_t
+parseUnsignedArg(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr, "%s needs an unsigned integer, got "
+                             "'%s'\n",
+                     flag, text);
+        std::exit(1);
+    }
+    return v;
+}
+
+namespace
+{
+
+const char *
+flagValue(int argc, char **argv, int &i, const char *flag)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(1);
+    }
+    return argv[++i];
+}
+
+} // namespace
+
+bool
+parseStimulusFlag(int argc, char **argv, int &i,
+                  StimulusOptions &opts)
+{
+    const char *arg = argv[i];
+    if (std::strcmp(arg, "--workload") == 0) {
+        opts.workload = flagValue(argc, argv, i, arg);
+    } else if (std::strcmp(arg, "--trace-in") == 0) {
+        opts.traceIn = flagValue(argc, argv, i, arg);
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+        opts.traceOut = flagValue(argc, argv, i, arg);
+    } else if (std::strcmp(arg, "--scale") == 0) {
+        const std::uint64_t v = parseUnsignedArg(
+            arg, flagValue(argc, argv, i, arg));
+        if (v == 0 || v > 1u << 20) {
+            std::fprintf(stderr,
+                         "--scale must be between 1 and %u\n",
+                         1u << 20);
+            std::exit(1);
+        }
+        opts.scale = static_cast<unsigned>(v);
+        opts.scaleSet = true;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+        opts.seed = parseUnsignedArg(
+            arg, flagValue(argc, argv, i, arg));
+        opts.seedSet = true;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+workloads::TraceGenConfig
+genConfigFor(workloads::TracePattern pattern, unsigned scale,
+             std::uint64_t seed)
+{
+    workloads::TraceGenConfig cfg;
+    cfg.pattern = pattern;
+    cfg.numTasks = 256 * scale;
+    cfg.opsPerTask = 16;
+    cfg.seed = seed;
+    return cfg;
+}
+
+std::unique_ptr<workloads::StimulusSource>
+makeStimulus(const StimulusOptions &opts,
+             const std::string &defaultWorkload)
+{
+    if (!opts.traceIn.empty()) {
+        std::string err;
+        auto source = makeTraceStimulus(opts.traceIn, err);
+        if (!source) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            std::exit(1);
+        }
+        return source;
+    }
+
+    const std::string name =
+        opts.workload.empty() ? defaultWorkload : opts.workload;
+    if (name.rfind("gen:", 0) == 0) {
+        workloads::TracePattern pattern;
+        const std::string pat = name.substr(4);
+        if (!workloads::parseTracePattern(pat, pattern)) {
+            std::fprintf(stderr,
+                         "unknown gen pattern '%s' (expected "
+                         "private, readshared, migratory, "
+                         "falsesharing or mixed)\n",
+                         pat.c_str());
+            std::exit(1);
+        }
+        return workloads::makeGeneratedStimulus(
+            genConfigFor(pattern, opts.scale, opts.seed));
+    }
+
+    bool known = false;
+    for (const auto &w : workloads::workloadNames())
+        known = known || w == name;
+    if (!known) {
+        std::string names;
+        for (const auto &w : workloads::workloadNames()) {
+            if (!names.empty())
+                names += ", ";
+            names += w;
+        }
+        std::fprintf(stderr,
+                     "unknown workload '%s' (expected one of: %s, "
+                     "or gen:<pattern>)\n",
+                     name.c_str(), names.c_str());
+        std::exit(1);
+    }
+    workloads::WorkloadParams params;
+    params.scale = opts.scale;
+    params.seed = opts.seed;
+    return workloads::makeKernelStimulus(name, params);
+}
+
+} // namespace svc::trace_io

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared stimulus CLI parsing for multiscalar_run and sweep_runner.
+ * Both tools accept the same flags — --workload, --trace-in,
+ * --trace-out, --scale, --seed — with identical error messages
+ * (message to stderr + exit 1), and resolve them into one
+ * StimulusSource through the same rules:
+ *
+ *   --trace-in FILE       replay a recorded SVCTRC1 trace
+ *   --workload NAME       a registered MiniISA kernel, or
+ *   --workload gen:PAT    a synthetic trace_gen stream (PAT one of
+ *                         private, readshared, migratory,
+ *                         falsesharing, mixed)
+ *
+ * Generated streams size with --scale: ~256 threads of 16 accesses
+ * per scale unit, so --scale 256 is a ≥1M-access stream.
+ */
+
+#ifndef SVC_TRACE_IO_STIMULUS_CLI_HH
+#define SVC_TRACE_IO_STIMULUS_CLI_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "workloads/stimulus.hh"
+
+namespace svc::trace_io
+{
+
+/** The shared stimulus flags, as parsed. */
+struct StimulusOptions
+{
+    std::string workload; ///< kernel name or "gen:<pattern>"
+    std::string traceIn;
+    std::string traceOut;
+    unsigned scale = 1;
+    std::uint64_t seed = 12345;
+    bool scaleSet = false;
+    bool seedSet = false;
+};
+
+/**
+ * Strict unsigned parse: the whole of @p text must be a number.
+ * On failure prints "<flag> needs an unsigned integer" and exits 1.
+ */
+std::uint64_t parseUnsignedArg(const char *flag, const char *text);
+
+/**
+ * Try to consume argv[@p i] (advancing @p i past any value) as one
+ * of the shared stimulus flags into @p opts. @return false when the
+ * argument is not a stimulus flag (caller handles it); malformed
+ * stimulus flags print a message and exit 1.
+ */
+bool parseStimulusFlag(int argc, char **argv, int &i,
+                       StimulusOptions &opts);
+
+/**
+ * Generated-stream sizing for "gen:<pattern>" workloads: scale
+ * multiplies the thread count so total accesses grow linearly
+ * (~4096 accesses per scale unit).
+ */
+workloads::TraceGenConfig
+genConfigFor(workloads::TracePattern pattern, unsigned scale,
+             std::uint64_t seed);
+
+/**
+ * Resolve the parsed options into a stimulus: --trace-in wins,
+ * otherwise --workload (falling back to @p defaultWorkload).
+ * Unknown workloads, bad gen: patterns and unreadable traces print
+ * a message and exit 1.
+ */
+std::unique_ptr<workloads::StimulusSource>
+makeStimulus(const StimulusOptions &opts,
+             const std::string &defaultWorkload);
+
+} // namespace svc::trace_io
+
+#endif // SVC_TRACE_IO_STIMULUS_CLI_HH

@@ -1,0 +1,83 @@
+#include "trace_io/trace_format.hh"
+
+#include "common/snapshot.hh"
+
+namespace svc::trace_io
+{
+
+void
+encodeTraceRecord(std::uint8_t *out, const workloads::TraceOp &op)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<std::uint8_t>(op.addr >> (8 * i));
+    for (int i = 0; i < 8; ++i)
+        out[8 + i] = static_cast<std::uint8_t>(op.value >> (8 * i));
+    out[16] = op.isStore ? kTraceRecStore : 0;
+    out[17] = static_cast<std::uint8_t>(op.size);
+    for (int i = 18; i < 24; ++i)
+        out[i] = 0;
+}
+
+workloads::TraceOp
+decodeTraceRecord(const std::uint8_t *in)
+{
+    workloads::TraceOp op;
+    op.addr = 0;
+    op.value = 0;
+    for (int i = 0; i < 8; ++i)
+        op.addr |= std::uint64_t{in[i]} << (8 * i);
+    for (int i = 0; i < 8; ++i)
+        op.value |= std::uint64_t{in[8 + i]} << (8 * i);
+    op.isStore = (in[16] & kTraceRecStore) != 0;
+    op.size = in[17];
+    return op;
+}
+
+std::vector<std::uint8_t>
+buildTraceImage(const TraceMeta &meta,
+                const std::vector<std::uint8_t> &initialImage,
+                const std::vector<std::vector<workloads::TraceOp>>
+                    &threads)
+{
+    SnapshotWriter w;
+    w.putU64(kTraceMagic);
+    w.putU32(meta.formatVersion);
+    w.putU32(meta.flags);
+    w.putString(meta.name);
+    w.putString(meta.source);
+    w.putU32(meta.scale);
+    w.putU64(meta.seed);
+    w.putU64(meta.loadValueHash);
+    w.putU64(meta.finalMemoryHash);
+    w.putU64(meta.checkBase);
+    w.putU64(meta.checkLen);
+    w.putU64(meta.finalChecksum);
+    w.putVec(initialImage);
+    w.putU64(threads.size());
+    for (const auto &ops : threads)
+        w.putU64(ops.size());
+    std::uint8_t rec[kTraceRecordBytes];
+    for (const auto &ops : threads) {
+        for (const auto &op : ops) {
+            encodeTraceRecord(rec, op);
+            w.putBytes(rec, sizeof(rec));
+        }
+    }
+
+    std::vector<std::uint8_t> image = w.bytes();
+    const std::uint64_t sum =
+        snapshotFnv1a(image.data(), image.size());
+    for (int i = 0; i < 8; ++i)
+        image.push_back(static_cast<std::uint8_t>(sum >> (8 * i)));
+    return image;
+}
+
+bool
+writeTraceFile(const std::string &path,
+               const std::vector<std::uint8_t> &image,
+               std::string &error)
+{
+    return writeSnapshotFile(path, image, error);
+}
+
+} // namespace svc::trace_io

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The SVCTRC1 binary trace format.
+ *
+ * A trace file captures one workload's committed memory traffic as
+ * per-thread access records in program order — the format's
+ * first-class invariant, so a replay through the SVC or ARB remains
+ * sequentially explainable — plus everything a replay needs to
+ * reproduce and verify the run: the initial memory image, the
+ * live run's load-value hash, and its final-memory hash.
+ *
+ * File layout (all integers little-endian):
+ *
+ *   u64  magic          "SVCTRC1\0"
+ *   u32  formatVersion  currently 1
+ *   u32  flags          bit 0: records carry observed load values
+ *   ...  metadata       name, source, scale, seed, hashes (below)
+ *   u64  imageLen       initial MainMemory image (saveState bytes)
+ *   u8[] image
+ *   u64  numThreads     thread directory: per-thread record counts
+ *   u64  opCount[numThreads]
+ *   rec[] records       fixed 24-byte records, thread-major
+ *   u64  checksum       FNV-1a over every preceding byte
+ *
+ * One record:
+ *
+ *   u64  addr
+ *   u64  value          store payload / observed load value
+ *   u8   flags          bit 0: store
+ *   u8   size           access size in bytes
+ *   u8[6] reserved      zero
+ *
+ * Fixed-size records plus the up-front thread directory are what
+ * make the mmap'd reader (trace_reader.hh) zero-copy: record i of
+ * thread t lives at a computable offset, so a squash-and-replay
+ * restart is random access into the mapping, never a re-parse.
+ *
+ * The framing discipline mirrors src/common/snapshot.hh (SVCSNAP1):
+ * checksum verified before anything is parsed, bounds-checked
+ * sticky-error reads, structured error messages, no exceptions.
+ */
+
+#ifndef SVC_TRACE_IO_TRACE_FORMAT_HH
+#define SVC_TRACE_IO_TRACE_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "workloads/trace_gen.hh"
+
+namespace svc::trace_io
+{
+
+/** Trace file magic: "SVCTRC1\0" as a little-endian u64. */
+inline constexpr std::uint64_t kTraceMagic = 0x0031435254435653ull;
+
+/** Current trace format version. */
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/** Header flag: record values carry observed load values. */
+inline constexpr std::uint32_t kTraceFlagLoadValues = 1u << 0;
+
+/** Bytes per access record. */
+inline constexpr std::size_t kTraceRecordBytes = 24;
+
+/** Record flag: the access is a store. */
+inline constexpr std::uint8_t kTraceRecStore = 1u << 0;
+
+/** Trace metadata: identity plus the live run's expected results. */
+struct TraceMeta
+{
+    std::uint32_t formatVersion = kTraceVersion;
+    std::uint32_t flags = 0;
+    std::string name;   ///< stimulus name ("compress", "gen:mixed")
+    std::string source; ///< producing frontend ("kernel", "gen")
+    std::uint32_t scale = 1;
+    std::uint64_t seed = 0;
+    /** Folded commit-order load-value hash of the recorded run. */
+    std::uint64_t loadValueHash = 0;
+    /** MainMemory::hashAll() after the recorded run finalized. */
+    std::uint64_t finalMemoryHash = 0;
+    /** Verification window of the recorded program (0 for none). */
+    std::uint64_t checkBase = 0;
+    std::uint64_t checkLen = 0;
+    /** readWord(checkBase) of the recorded run (program traces). */
+    std::uint64_t finalChecksum = 0;
+
+    bool hasLoadValues() const { return flags & kTraceFlagLoadValues; }
+};
+
+/** Encode @p op into @p out (kTraceRecordBytes bytes). */
+void encodeTraceRecord(std::uint8_t *out,
+                       const workloads::TraceOp &op);
+
+/** Decode one record from @p in (kTraceRecordBytes bytes). */
+workloads::TraceOp decodeTraceRecord(const std::uint8_t *in);
+
+/**
+ * Build a complete SVCTRC1 file image: header, metadata, initial
+ * memory image (MainMemory::saveState() bytes), thread directory,
+ * records, trailing checksum.
+ */
+std::vector<std::uint8_t>
+buildTraceImage(const TraceMeta &meta,
+                const std::vector<std::uint8_t> &initialImage,
+                const std::vector<std::vector<workloads::TraceOp>>
+                    &threads);
+
+/** Write @p image to @p path. @return false + message on error. */
+bool writeTraceFile(const std::string &path,
+                    const std::vector<std::uint8_t> &image,
+                    std::string &error);
+
+} // namespace svc::trace_io
+
+#endif // SVC_TRACE_IO_TRACE_FORMAT_HH

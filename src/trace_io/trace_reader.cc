@@ -1,0 +1,324 @@
+#include "trace_io/trace_reader.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hh"
+#include "common/snapshot.hh"
+#include "mem/main_memory.hh"
+
+namespace svc::trace_io
+{
+
+// ---- MappedFile -------------------------------------------------
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : base(other.base), len(other.len)
+{
+    other.base = nullptr;
+    other.len = 0;
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this != &other) {
+        reset();
+        base = other.base;
+        len = other.len;
+        other.base = nullptr;
+        other.len = 0;
+    }
+    return *this;
+}
+
+void
+MappedFile::reset()
+{
+    if (base) {
+        ::munmap(const_cast<std::uint8_t *>(base), len);
+        base = nullptr;
+        len = 0;
+    }
+}
+
+bool
+MappedFile::open(const std::string &path, std::string &error)
+{
+    reset();
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        error = "trace: cannot open '" + path +
+                "': " + std::strerror(errno);
+        return false;
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        error = "trace: cannot stat '" + path +
+                "': " + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    if (st.st_size <= 0) {
+        error = "trace: '" + path + "' is empty";
+        ::close(fd);
+        return false;
+    }
+    const std::size_t n = static_cast<std::size_t>(st.st_size);
+    void *p = ::mmap(nullptr, n, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (p == MAP_FAILED) {
+        error = "trace: cannot mmap '" + path +
+                "': " + std::strerror(errno);
+        return false;
+    }
+    base = static_cast<const std::uint8_t *>(p);
+    len = n;
+    return true;
+}
+
+// ---- TraceReader ------------------------------------------------
+
+bool
+TraceReader::open(const std::string &path, std::string &error)
+{
+    if (!map.open(path, error))
+        return false;
+    return parse(map.data(), map.size(), error);
+}
+
+bool
+TraceReader::fromImage(std::vector<std::uint8_t> img,
+                       std::string &error)
+{
+    owned = std::move(img);
+    return parse(owned.data(), owned.size(), error);
+}
+
+bool
+TraceReader::parse(const std::uint8_t *data, std::size_t n,
+                   std::string &error)
+{
+    // Smallest well-formed trace: header + empty metadata +
+    // directory + checksum. Anything under the fixed fields is
+    // trivially truncated.
+    if (n < 24) {
+        error = "trace: truncated (file smaller than header)";
+        return false;
+    }
+
+    // Verify the trailing checksum before parsing anything — the
+    // snapshot.hh discipline: corruption is one structured error,
+    // never undefined behaviour.
+    const std::size_t bodyLen = n - 8;
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i)
+        stored |= std::uint64_t{data[bodyLen + i]} << (8 * i);
+    if (snapshotFnv1a(data, bodyLen) != stored) {
+        error = "trace: checksum mismatch (truncated or corrupted)";
+        return false;
+    }
+
+    SnapshotReader r(data, bodyLen);
+    const std::uint64_t magic = r.getU64();
+    if (r.ok() && magic != kTraceMagic) {
+        error = "trace: bad magic (not an SVCTRC1 trace)";
+        return false;
+    }
+    md.formatVersion = r.getU32();
+    if (r.ok() && md.formatVersion != kTraceVersion) {
+        error = "trace: unsupported format version " +
+                std::to_string(md.formatVersion) + " (expected " +
+                std::to_string(kTraceVersion) + ")";
+        return false;
+    }
+    md.flags = r.getU32();
+    md.name = r.getString();
+    md.source = r.getString();
+    md.scale = r.getU32();
+    md.seed = r.getU64();
+    md.loadValueHash = r.getU64();
+    md.finalMemoryHash = r.getU64();
+    md.checkBase = r.getU64();
+    md.checkLen = r.getU64();
+    md.finalChecksum = r.getU64();
+
+    // Initial memory image: keep a pointer into the underlying
+    // bytes rather than copying (it can be the workload's whole
+    // data segment).
+    const std::uint64_t imgLen = r.getU64();
+    if (!r.ok() || imgLen > r.remaining()) {
+        error = r.ok() ? "trace: image length exceeds file size"
+                       : r.error();
+        return false;
+    }
+    image = data + (bodyLen - r.remaining());
+    imageLen = static_cast<std::size_t>(imgLen);
+
+    // Thread directory, then the fixed-size record region. A second
+    // bounds-checked reader positioned past the image keeps the
+    // image bytes themselves unparsed (zero-copy).
+    const std::uint8_t *rest = image + imageLen;
+    SnapshotReader r2(rest,
+                      bodyLen -
+                          static_cast<std::size_t>(rest - data));
+    const std::uint64_t nThreads = r2.getCount(8);
+    threadStart.clear();
+    threadStart.reserve(static_cast<std::size_t>(nThreads) + 1);
+    threadStart.push_back(0);
+    for (std::uint64_t t = 0; t < nThreads; ++t) {
+        const std::uint64_t count = r2.getU64();
+        if (!r2.ok())
+            break;
+        const std::uint64_t total = threadStart.back() + count;
+        if (total < count ||
+            total > r2.remaining() / kTraceRecordBytes +
+                        (nThreads - t) /* directory not yet read */) {
+            r2.fail("trace: record counts exceed file size");
+            break;
+        }
+        threadStart.push_back(total);
+    }
+    if (!r2.ok()) {
+        error = r2.error();
+        return false;
+    }
+    const std::uint64_t totalRecs = threadStart.back();
+    if (r2.remaining() != totalRecs * kTraceRecordBytes) {
+        error = "trace: record region size mismatch (truncated or "
+                "corrupted)";
+        return false;
+    }
+    records = rest + (bodyLen -
+                      static_cast<std::size_t>(rest - data) -
+                      r2.remaining());
+    error.clear();
+    return true;
+}
+
+namespace
+{
+
+/** Zero-copy AccessStream over a TraceReader's mapped records. */
+class TraceStream : public workloads::AccessStream
+{
+  public:
+    explicit TraceStream(const TraceReader &r) : reader(r) {}
+
+    std::uint64_t numThreads() const override
+    {
+        return reader.numThreads();
+    }
+
+    std::uint64_t
+    threadOps(std::uint64_t thread) const override
+    {
+        return reader.threadOps(thread);
+    }
+
+    workloads::TraceOp
+    op(std::uint64_t thread, std::uint64_t index) const override
+    {
+        return reader.op(thread, index);
+    }
+
+    bool hasLoadValues() const override
+    {
+        return reader.meta().hasLoadValues();
+    }
+
+  private:
+    const TraceReader &reader;
+};
+
+/** A validated trace file as a replayable stimulus. */
+class TraceStimulus : public workloads::StimulusSource
+{
+  public:
+    explicit TraceStimulus(std::unique_ptr<TraceReader> r)
+        : reader(std::move(r)),
+          label("trace:" + reader->meta().name)
+    {}
+
+    const std::string &name() const override { return label; }
+    unsigned scale() const override { return reader->meta().scale; }
+    std::uint64_t seed() const override { return reader->meta().seed; }
+    Addr checkBase() const override { return reader->meta().checkBase; }
+
+    std::size_t checkLen() const override
+    {
+        return static_cast<std::size_t>(reader->meta().checkLen);
+    }
+
+    std::unique_ptr<workloads::AccessStream>
+    openStream() const override
+    {
+        return reader->stream();
+    }
+
+    void
+    loadInitialImage(MainMemory &mem) const override
+    {
+        std::string err;
+        if (!reader->restoreInitialImage(mem, err))
+            fatal("%s", err.c_str());
+    }
+
+    workloads::StimulusExpectations
+    expectations() const override
+    {
+        workloads::StimulusExpectations e;
+        e.hasLoadValueHash = true;
+        e.loadValueHash = reader->meta().loadValueHash;
+        e.hasFinalMemoryHash = true;
+        e.finalMemoryHash = reader->meta().finalMemoryHash;
+        return e;
+    }
+
+  private:
+    std::unique_ptr<TraceReader> reader;
+    std::string label;
+};
+
+} // namespace
+
+std::unique_ptr<workloads::AccessStream>
+TraceReader::stream() const
+{
+    return std::make_unique<TraceStream>(*this);
+}
+
+bool
+TraceReader::restoreInitialImage(MainMemory &mem,
+                                 std::string &error) const
+{
+    mem.clear();
+    if (imageLen == 0)
+        return true; // recorded from all-zero memory
+    SnapshotReader r(image, imageLen);
+    if (!mem.restoreState(r) || !r.ok()) {
+        error = "trace: bad initial memory image: " +
+                (r.error().empty() ? std::string("restore failed")
+                                   : r.error());
+        return false;
+    }
+    return true;
+}
+
+std::unique_ptr<workloads::StimulusSource>
+makeTraceStimulus(const std::string &path, std::string &error)
+{
+    auto reader = std::make_unique<TraceReader>();
+    if (!reader->open(path, error))
+        return nullptr;
+    return std::make_unique<TraceStimulus>(std::move(reader));
+}
+
+} // namespace svc::trace_io

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Zero-copy SVCTRC1 trace reading.
+ *
+ * TraceReader validates a trace image up front (magic, version,
+ * trailing checksum, every length against the remaining bytes — the
+ * snapshot.hh discipline) and then serves records straight out of
+ * the underlying bytes: for a file that means an mmap'd read-only
+ * mapping, so a multi-gigabyte trace streams through replay without
+ * ever being copied into the heap. A prefix-sum thread directory
+ * gives O(1) random access to any record, which the replayer needs
+ * to restart a thread from its beginning after a dependence-
+ * violation squash.
+ *
+ * makeTraceStimulus() wraps a validated trace in the unified
+ * workloads::StimulusSource API, carrying the recorded run's
+ * expected hashes for replay verification.
+ */
+
+#ifndef SVC_TRACE_IO_TRACE_READER_HH
+#define SVC_TRACE_IO_TRACE_READER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace_io/trace_format.hh"
+#include "workloads/stimulus.hh"
+
+namespace svc
+{
+class MainMemory;
+} // namespace svc
+
+namespace svc::trace_io
+{
+
+/** RAII read-only memory mapping of a whole file. */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile();
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+
+    /** Map @p path read-only. @return false + message on error. */
+    bool open(const std::string &path, std::string &error);
+
+    const std::uint8_t *data() const { return base; }
+    std::size_t size() const { return len; }
+    bool mapped() const { return base != nullptr; }
+
+  private:
+    void reset();
+
+    const std::uint8_t *base = nullptr;
+    std::size_t len = 0;
+};
+
+/**
+ * A validated SVCTRC1 trace. After open()/fromImage() succeeds the
+ * metadata, initial image and records are all addressable without
+ * further parsing or copying.
+ */
+class TraceReader
+{
+  public:
+    /** Map and validate @p path. @return false + message on error. */
+    bool open(const std::string &path, std::string &error);
+
+    /** Validate an in-memory image (takes ownership of the bytes). */
+    bool fromImage(std::vector<std::uint8_t> image,
+                   std::string &error);
+
+    const TraceMeta &meta() const { return md; }
+
+    std::uint64_t numThreads() const
+    {
+        return threadStart.empty() ? 0 : threadStart.size() - 1;
+    }
+
+    std::uint64_t totalOps() const
+    {
+        return threadStart.empty() ? 0 : threadStart.back();
+    }
+
+    std::uint64_t
+    threadOps(std::uint64_t thread) const
+    {
+        return threadStart[static_cast<std::size_t>(thread) + 1] -
+               threadStart[static_cast<std::size_t>(thread)];
+    }
+
+    /** Decode record @p index of @p thread from the mapping. */
+    workloads::TraceOp
+    op(std::uint64_t thread, std::uint64_t index) const
+    {
+        const std::uint64_t rec =
+            threadStart[static_cast<std::size_t>(thread)] + index;
+        return decodeTraceRecord(
+            records + static_cast<std::size_t>(rec) *
+                          kTraceRecordBytes);
+    }
+
+    /**
+     * Zero-copy AccessStream over the mapped records. Valid only
+     * while this reader is alive.
+     */
+    std::unique_ptr<workloads::AccessStream> stream() const;
+
+    /** Restore the recorded initial memory image into @p mem. */
+    bool restoreInitialImage(MainMemory &mem,
+                             std::string &error) const;
+
+  private:
+    bool parse(const std::uint8_t *data, std::size_t n,
+               std::string &error);
+
+    MappedFile map;
+    std::vector<std::uint8_t> owned;
+    TraceMeta md;
+    const std::uint8_t *image = nullptr; ///< initial-memory bytes
+    std::size_t imageLen = 0;
+    const std::uint8_t *records = nullptr;
+    /** Prefix sums: thread t's records are [start[t], start[t+1]). */
+    std::vector<std::uint64_t> threadStart;
+};
+
+/**
+ * Open @p path as a replayable stimulus. The returned source owns
+ * the reader (and its mapping) and carries the recorded run's
+ * hashes as expectations. @return nullptr + message on error.
+ */
+std::unique_ptr<workloads::StimulusSource>
+makeTraceStimulus(const std::string &path, std::string &error);
+
+} // namespace svc::trace_io
+
+#endif // SVC_TRACE_IO_TRACE_READER_HH

@@ -1,0 +1,159 @@
+#include "trace_io/trace_recorder.hh"
+
+#include <utility>
+
+#include "common/snapshot.hh"
+#include "mem/main_memory.hh"
+#include "workloads/stimulus.hh"
+
+namespace svc::trace_io
+{
+
+RecordingSpecMem::RecordingSpecMem(std::unique_ptr<SpecMem> wrapped,
+                                   unsigned numPus)
+    : wrappedMem(std::move(wrapped)), pending(numPus)
+{}
+
+void
+RecordingSpecMem::captureInitialImage(const MainMemory &mem)
+{
+    SnapshotWriter w;
+    mem.saveState(w);
+    initialImage = w.bytes();
+}
+
+std::uint64_t
+RecordingSpecMem::committedOps() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ops : threads)
+        total += ops.size();
+    return total;
+}
+
+std::uint64_t
+RecordingSpecMem::loadValueHash() const
+{
+    using workloads::kStimulusHashInit;
+    std::uint64_t global = kStimulusHashInit;
+    for (const auto &ops : threads) {
+        std::uint64_t thread_hash = kStimulusHashInit;
+        for (const auto &op : ops) {
+            if (!op.isStore)
+                thread_hash =
+                    workloads::hashLoadValue(thread_hash, op.value);
+        }
+        global = workloads::foldThreadHash(global, thread_hash);
+    }
+    return global;
+}
+
+bool
+RecordingSpecMem::writeTrace(const std::string &path, TraceMeta meta,
+                             const MainMemory &finalMem,
+                             std::string &error) const
+{
+    meta.formatVersion = kTraceVersion;
+    meta.flags |= kTraceFlagLoadValues;
+    meta.loadValueHash = loadValueHash();
+    meta.finalMemoryHash = finalMem.hashAll();
+    const auto image = buildTraceImage(meta, initialImage, threads);
+    return writeTraceFile(path, image, error);
+}
+
+void
+RecordingSpecMem::setViolationHandler(ViolationFn fn)
+{
+    wrappedMem->setViolationHandler(std::move(fn));
+}
+
+void
+RecordingSpecMem::assignTask(PuId pu, TaskSeq seq)
+{
+    pending[pu].clear();
+    wrappedMem->assignTask(pu, seq);
+}
+
+bool
+RecordingSpecMem::issue(const MemReq &req, DoneFn done)
+{
+    auto slot = std::make_shared<PendingOp>();
+    slot->op.isStore = req.isStore;
+    slot->op.addr = req.addr;
+    slot->op.size = req.size;
+    slot->op.value = req.data;
+    const bool accepted = wrappedMem->issue(
+        req, [slot, done = std::move(done)](std::uint64_t data) {
+            if (!slot->op.isStore)
+                slot->op.value = data;
+            done(data);
+        });
+    if (accepted)
+        pending[req.pu].push_back(std::move(slot));
+    return accepted;
+}
+
+void
+RecordingSpecMem::commitTask(PuId pu)
+{
+    std::vector<workloads::TraceOp> ops;
+    ops.reserve(pending[pu].size());
+    for (const auto &slot : pending[pu])
+        ops.push_back(slot->op);
+    threads.push_back(std::move(ops));
+    pending[pu].clear();
+    wrappedMem->commitTask(pu);
+}
+
+void
+RecordingSpecMem::squashTask(PuId pu)
+{
+    // Discard: squashed executions never reach the trace. Any
+    // still-in-flight callback holds its own slot reference.
+    pending[pu].clear();
+    wrappedMem->squashTask(pu);
+}
+
+void
+RecordingSpecMem::tick()
+{
+    wrappedMem->tick();
+}
+
+bool
+RecordingSpecMem::busyWithRequests() const
+{
+    return wrappedMem->busyWithRequests();
+}
+
+StatSet
+RecordingSpecMem::stats() const
+{
+    return wrappedMem->stats();
+}
+
+const char *
+RecordingSpecMem::name() const
+{
+    return wrappedMem->name();
+}
+
+void
+RecordingSpecMem::attachTracer(TraceSink *sink)
+{
+    wrappedMem->attachTracer(sink);
+}
+
+void
+RecordingSpecMem::finalizeMemory()
+{
+    wrappedMem->finalizeMemory();
+}
+
+double
+RecordingSpecMem::missRatio() const
+{
+    return wrappedMem->missRatio();
+}
+
+} // namespace svc::trace_io

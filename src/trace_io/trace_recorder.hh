@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Trace recording: a SpecMem decorator that taps the instrumented
+ * memory path of any live run and dumps an SVCTRC1 trace.
+ *
+ * The recorder buffers each PU's in-flight task accesses and keeps
+ * them only if the task commits: a squashed task's buffer is
+ * discarded, so the trace contains exactly the committed accesses of
+ * every task, in commit order — which for the multiscalar sequencer
+ * equals sequential program order. Each committed task becomes one
+ * trace thread, making per-thread program order the trace's
+ * first-class invariant: a replay through any speculative backend
+ * must reproduce the same committed values regardless of its own
+ * interleaving, which is precisely what the SVC's sequential-
+ * consistency guarantee promises and what record→replay tests
+ * verify.
+ *
+ * Load records capture the value the access observed (delivered by
+ * the completion callback); store records capture the payload.
+ */
+
+#ifndef SVC_TRACE_IO_TRACE_RECORDER_HH
+#define SVC_TRACE_IO_TRACE_RECORDER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/spec_mem.hh"
+#include "trace_io/trace_format.hh"
+#include "workloads/trace_gen.hh"
+
+namespace svc
+{
+class MainMemory;
+} // namespace svc
+
+namespace svc::trace_io
+{
+
+/**
+ * Wraps any SpecMem, forwarding every operation while recording the
+ * accesses of tasks that commit. Checkpointing is deliberately not
+ * forwarded — a recording run is not restorable.
+ */
+class RecordingSpecMem : public SpecMem
+{
+  public:
+    RecordingSpecMem(std::unique_ptr<SpecMem> wrapped,
+                     unsigned numPus);
+
+    /** The wrapped system (for backend-specific queries). */
+    SpecMem &inner() { return *wrappedMem; }
+    const SpecMem &inner() const { return *wrappedMem; }
+
+    /**
+     * Capture the pre-run memory image (call after the program is
+     * loaded, before the first cycle) so a replay can reproduce
+     * every load value.
+     */
+    void captureInitialImage(const MainMemory &mem);
+
+    std::uint64_t committedTasks() const { return threads.size(); }
+    std::uint64_t committedOps() const;
+
+    /** Folded commit-order load-value hash of the recorded run. */
+    std::uint64_t loadValueHash() const;
+
+    /**
+     * Build and write the SVCTRC1 file. Fills in the record flags,
+     * load-value hash and @p finalMem's image hash; the caller
+     * provides identity metadata (name, source, scale, seed,
+     * checkBase/checkLen/finalChecksum). @return false + message on
+     * I/O error.
+     */
+    bool writeTrace(const std::string &path, TraceMeta meta,
+                    const MainMemory &finalMem,
+                    std::string &error) const;
+
+    // ---- SpecMem: forwarded, with recording taps ----
+    void setViolationHandler(ViolationFn fn) override;
+    void assignTask(PuId pu, TaskSeq seq) override;
+    bool issue(const MemReq &req, DoneFn done) override;
+    void commitTask(PuId pu) override;
+    void squashTask(PuId pu) override;
+    void tick() override;
+    bool busyWithRequests() const override;
+    StatSet stats() const override;
+    const char *name() const override;
+    void attachTracer(TraceSink *sink) override;
+    void finalizeMemory() override;
+    double missRatio() const override;
+
+  private:
+    /** One buffered access; the done callback fills load values. */
+    struct PendingOp
+    {
+        workloads::TraceOp op;
+    };
+
+    std::unique_ptr<SpecMem> wrappedMem;
+    /**
+     * Per-PU buffer of the current task's accesses. Slots are
+     * shared_ptrs so a completion callback that fires after its
+     * task was squashed writes into an orphaned slot harmlessly.
+     */
+    std::vector<std::vector<std::shared_ptr<PendingOp>>> pending;
+    /** Committed tasks' accesses, in commit (= program) order. */
+    std::vector<std::vector<workloads::TraceOp>> threads;
+    std::vector<std::uint8_t> initialImage;
+};
+
+} // namespace svc::trace_io
+
+#endif // SVC_TRACE_IO_TRACE_RECORDER_HH

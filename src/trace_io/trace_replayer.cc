@@ -1,0 +1,195 @@
+#include "trace_io/trace_replayer.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace svc::trace_io
+{
+
+namespace
+{
+
+/** Per-PU replay state; everything resets on squash/assign. */
+struct PuState
+{
+    std::uint64_t task = kNoTask;
+    std::uint64_t opIdx = 0;
+    std::uint64_t opCount = 0;
+    std::uint64_t threadHash = workloads::kStimulusHashInit;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t mismatches = 0;
+    std::uint64_t firstMismatchIndex = 0;
+    std::uint64_t firstMismatchExpected = 0;
+    std::uint64_t firstMismatchObserved = 0;
+
+    void
+    start(std::uint64_t t, std::uint64_t ops)
+    {
+        task = t;
+        opIdx = 0;
+        opCount = ops;
+        threadHash = workloads::kStimulusHashInit;
+        loads = stores = mismatches = 0;
+    }
+};
+
+} // namespace
+
+ReplayResult
+replayStream(const workloads::AccessStream &stream, SpecMem &sys,
+             const ReplayConfig &cfg)
+{
+    ReplayResult r;
+    const std::uint64_t n = stream.numThreads();
+    r.threads = n;
+    if (cfg.numPus == 0) {
+        r.error = "replay: numPus must be nonzero";
+        return r;
+    }
+
+    const bool checkValues =
+        cfg.checkLoadValues && stream.hasLoadValues();
+
+    std::vector<PuId> pendingViolators;
+    sys.setViolationHandler(
+        [&pendingViolators](PuId pu) { pendingViolators.push_back(pu); });
+
+    Rng rng(cfg.interleaveSeed);
+    std::vector<PuState> pus(cfg.numPus);
+    std::uint64_t next_task = 0;
+    std::uint64_t next_commit = 0;
+    std::uint64_t global_hash = workloads::kStimulusHashInit;
+
+    // Forward-progress guard: generous slack per scheduling step,
+    // reset whenever an access completes or a task commits.
+    std::uint64_t idle = 0;
+    constexpr std::uint64_t kIdleLimit = 5'000'000;
+
+    std::vector<PuId> busy;
+    busy.reserve(cfg.numPus);
+
+    while (next_commit < n) {
+        if (++idle > kIdleLimit) {
+            r.error = "replay: no forward progress (engine stalled)";
+            return r;
+        }
+
+        // Fill free PUs with the next threads, in program order.
+        for (PuId p = 0; p < cfg.numPus && next_task < n; ++p) {
+            if (pus[p].task == kNoTask) {
+                pus[p].start(next_task, stream.threadOps(next_task));
+                sys.assignTask(p, next_task);
+                ++next_task;
+            }
+        }
+
+        // Pick a random busy PU and step it one access.
+        busy.clear();
+        for (PuId p = 0; p < cfg.numPus; ++p) {
+            if (pus[p].task != kNoTask)
+                busy.push_back(p);
+        }
+        const PuId pu =
+            busy[static_cast<std::size_t>(rng.below(busy.size()))];
+        PuState &st = pus[pu];
+
+        if (st.opIdx >= st.opCount) {
+            // Thread complete; commit iff it is the oldest.
+            if (st.task == next_commit) {
+                sys.commitTask(pu);
+                global_hash = workloads::foldThreadHash(global_hash,
+                                                        st.threadHash);
+                r.ops += st.opCount;
+                r.loads += st.loads;
+                r.stores += st.stores;
+                if (st.mismatches && !r.loadMismatches) {
+                    r.firstMismatchThread = st.task;
+                    r.firstMismatchIndex = st.firstMismatchIndex;
+                    r.firstMismatchExpected = st.firstMismatchExpected;
+                    r.firstMismatchObserved = st.firstMismatchObserved;
+                }
+                r.loadMismatches += st.mismatches;
+                st.task = kNoTask;
+                ++next_commit;
+                idle = 0;
+            }
+            continue;
+        }
+
+        const workloads::TraceOp op = stream.op(st.task, st.opIdx);
+        bool finished = false;
+        std::uint64_t value = 0;
+        MemReq req;
+        req.pu = pu;
+        req.isStore = op.isStore;
+        req.addr = op.addr;
+        req.size = op.size;
+        req.data = op.isStore ? op.value : 0;
+        if (!sys.issue(req, [&finished, &value](std::uint64_t v) {
+                finished = true;
+                value = v;
+            })) {
+            // Port busy: drain one cycle and retry later.
+            sys.tick();
+            ++r.ticks;
+            continue;
+        }
+        while (!finished) {
+            sys.tick();
+            if (++r.ticks, ++idle > kIdleLimit) {
+                r.error = "replay: access never completed";
+                return r;
+            }
+        }
+        idle = 0;
+
+        if (op.isStore) {
+            ++st.stores;
+        } else {
+            ++st.loads;
+            st.threadHash =
+                workloads::hashLoadValue(st.threadHash, value);
+            if (checkValues && value != op.value) {
+                if (st.mismatches == 0) {
+                    st.firstMismatchIndex = st.opIdx;
+                    st.firstMismatchExpected = op.value;
+                    st.firstMismatchObserved = value;
+                }
+                ++st.mismatches;
+            }
+        }
+        ++st.opIdx;
+
+        if (!pendingViolators.empty()) {
+            // Squash the oldest violating task and every younger
+            // one, then rewind assignment to re-execute them.
+            std::uint64_t oldest = kNoTask;
+            for (PuId v : pendingViolators) {
+                if (pus[v].task != kNoTask)
+                    oldest = std::min(oldest, pus[v].task);
+            }
+            pendingViolators.clear();
+            if (oldest != kNoTask) {
+                ++r.squashes;
+                for (PuId p = 0; p < cfg.numPus; ++p) {
+                    if (pus[p].task != kNoTask &&
+                        pus[p].task >= oldest) {
+                        sys.squashTask(p);
+                        pus[p].task = kNoTask;
+                        ++r.taskReplays;
+                    }
+                }
+                next_task = std::min(next_task, oldest);
+            }
+        }
+    }
+
+    r.loadValueHash = global_hash;
+    r.ok = true;
+    return r;
+}
+
+} // namespace svc::trace_io

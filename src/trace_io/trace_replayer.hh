@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Speculative trace replay: streams an AccessStream's threads
+ * through any SpecMem backend as speculative tasks.
+ *
+ * Each trace thread becomes one task. The driver fills free PUs
+ * with threads in program order, interleaves their accesses
+ * pseudo-randomly (seeded, so replay is deterministic), squashes
+ * and re-executes on dependence violations, and commits strictly in
+ * thread order — the same discipline as the multiscalar sequencer,
+ * scaled to millions of threads (all bookkeeping is per-PU, never
+ * per-thread).
+ *
+ * Verification: each thread's surviving load values are folded into
+ * a per-thread FNV-1a hash during execution (reset on squash) and
+ * folded into a global hash at commit, in commit order — so the
+ * result is independent of the speculative interleaving and
+ * directly comparable to the recorded run's hash or the sequential
+ * oracle. When the stream carries observed load values, per-load
+ * mismatches are additionally counted, but only for executions that
+ * survive to commit: a to-be-squashed execution legitimately reads
+ * values that never occur sequentially.
+ */
+
+#ifndef SVC_TRACE_IO_TRACE_REPLAYER_HH
+#define SVC_TRACE_IO_TRACE_REPLAYER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "mem/spec_mem.hh"
+#include "workloads/stimulus.hh"
+
+namespace svc::trace_io
+{
+
+/** Replay driver knobs. */
+struct ReplayConfig
+{
+    unsigned numPus = 4;
+    /** Seed for the (deterministic) access interleaving. */
+    std::uint64_t interleaveSeed = 7;
+    /** Compare loads against recorded values (when carried). */
+    bool checkLoadValues = true;
+};
+
+/** Outcome of a replay. */
+struct ReplayResult
+{
+    bool ok = false;
+    std::string error; ///< set when !ok (e.g. no forward progress)
+
+    std::uint64_t threads = 0;
+    std::uint64_t ops = 0;    ///< committed accesses
+    std::uint64_t loads = 0;  ///< committed loads
+    std::uint64_t stores = 0; ///< committed stores
+    std::uint64_t squashes = 0;
+    std::uint64_t taskReplays = 0; ///< task executions discarded
+    std::uint64_t ticks = 0;
+
+    /** Folded commit-order load-value hash (see file comment). */
+    std::uint64_t loadValueHash = 0;
+
+    /** Committed loads that differed from the recorded value. */
+    std::uint64_t loadMismatches = 0;
+    std::uint64_t firstMismatchThread = kNoTask;
+    std::uint64_t firstMismatchIndex = 0;
+    std::uint64_t firstMismatchExpected = 0;
+    std::uint64_t firstMismatchObserved = 0;
+};
+
+/**
+ * Replay @p stream through @p sys. The caller owns setup (initial
+ * memory image) and teardown (finalizeMemory(), final-image
+ * hashing). Replaces any violation handler installed on @p sys.
+ */
+ReplayResult replayStream(const workloads::AccessStream &stream,
+                          SpecMem &sys, const ReplayConfig &cfg);
+
+} // namespace svc::trace_io
+
+#endif // SVC_TRACE_IO_TRACE_REPLAYER_HH

@@ -18,8 +18,11 @@
 namespace svc::workloads
 {
 
+namespace
+{
+
 Workload
-makeApsi(const WorkloadParams &params)
+buildApsi(const WorkloadParams &params)
 {
     using namespace isa;
     const unsigned rows = 16 + 2 * params.scale;
@@ -107,5 +110,9 @@ makeApsi(const WorkloadParams &params)
     w.checkLen = 4;
     return w;
 }
+
+} // namespace
+
+WorkloadRegistrar apsiRegistrar{"apsi", &buildApsi};
 
 } // namespace svc::workloads

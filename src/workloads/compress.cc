@@ -18,8 +18,11 @@
 namespace svc::workloads
 {
 
+namespace
+{
+
 Workload
-makeCompress(const WorkloadParams &params)
+buildCompress(const WorkloadParams &params)
 {
     using namespace isa;
     constexpr unsigned kTableEntries = 512; // 8 bytes each
@@ -113,5 +116,9 @@ makeCompress(const WorkloadParams &params)
     w.checkLen = 4;
     return w;
 }
+
+} // namespace
+
+WorkloadRegistrar compressRegistrar{"compress", &buildCompress};
 
 } // namespace svc::workloads

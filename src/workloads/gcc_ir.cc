@@ -50,8 +50,11 @@ makeIr(unsigned nodes, std::uint64_t seed)
 
 } // namespace
 
+namespace
+{
+
 Workload
-makeGcc(const WorkloadParams &params)
+buildGcc(const WorkloadParams &params)
 {
     using namespace isa;
     // A bounded IR walked by repeated optimization passes — gcc's
@@ -149,5 +152,9 @@ makeGcc(const WorkloadParams &params)
     w.checkLen = 4;
     return w;
 }
+
+} // namespace
+
+WorkloadRegistrar gccRegistrar{"gcc", &buildGcc};
 
 } // namespace svc::workloads

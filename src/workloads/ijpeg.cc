@@ -15,8 +15,11 @@
 namespace svc::workloads
 {
 
+namespace
+{
+
 Workload
-makeIjpeg(const WorkloadParams &params)
+buildIjpeg(const WorkloadParams &params)
 {
     using namespace isa;
     // A bounded image tile processed in multiple passes — real
@@ -112,5 +115,9 @@ makeIjpeg(const WorkloadParams &params)
     w.checkLen = 4;
     return w;
 }
+
+} // namespace
+
+WorkloadRegistrar ijpegRegistrar{"ijpeg", &buildIjpeg};
 
 } // namespace svc::workloads

@@ -19,8 +19,11 @@
 namespace svc::workloads
 {
 
+namespace
+{
+
 Workload
-makeMgrid(const WorkloadParams &params)
+buildMgrid(const WorkloadParams &params)
 {
     using namespace isa;
     const unsigned n = 10 + 2 * params.scale; // grid edge
@@ -118,5 +121,9 @@ makeMgrid(const WorkloadParams &params)
     w.checkLen = 4;
     return w;
 }
+
+} // namespace
+
+WorkloadRegistrar mgridRegistrar{"mgrid", &buildMgrid};
 
 } // namespace svc::workloads

@@ -61,8 +61,11 @@ makeBytecode(unsigned ops, std::uint64_t seed)
 
 } // namespace
 
+namespace
+{
+
 Workload
-makePerl(const WorkloadParams &params)
+buildPerl(const WorkloadParams &params)
 {
     using namespace isa;
     constexpr unsigned kHandlerStride = 16; // instructions
@@ -163,5 +166,9 @@ makePerl(const WorkloadParams &params)
     w.checkLen = 4;
     return w;
 }
+
+} // namespace
+
+WorkloadRegistrar perlRegistrar{"perl", &buildPerl};
 
 } // namespace svc::workloads

@@ -1,50 +1,158 @@
 /**
  * @file
- * Workload registry: the paper's seven SPEC95 benchmarks in Table 2
- * order.
+ * Self-registering workload registry. Kernel translation units
+ * register their makers through WorkloadRegistrar static objects;
+ * lookup() is the single construction entry point. The anchor table
+ * below forces the linker to pull every kernel object out of the
+ * static archive even though nothing references their symbols
+ * directly — without it the self-registration would never run.
  */
 
 #include "workloads/workloads.hh"
+
+#include <map>
 
 #include "common/log.hh"
 
 namespace svc::workloads
 {
 
+// Registrars defined at namespace scope in the kernel files.
+extern WorkloadRegistrar compressRegistrar;
+extern WorkloadRegistrar gccRegistrar;
+extern WorkloadRegistrar vortexRegistrar;
+extern WorkloadRegistrar perlRegistrar;
+extern WorkloadRegistrar ijpegRegistrar;
+extern WorkloadRegistrar mgridRegistrar;
+extern WorkloadRegistrar apsiRegistrar;
+
+namespace
+{
+
+/** Function-local static: safe against init-order across TUs. */
+std::map<std::string, WorkloadMaker> &
+registryMap()
+{
+    static std::map<std::string, WorkloadMaker> map;
+    return map;
+}
+
+} // namespace
+
+/**
+ * Archive-member anchors: referencing the registrar objects makes
+ * registry.o (which every consumer links) depend on each kernel
+ * object, so their static self-registration always runs. External
+ * linkage (non-const, namespace scope) keeps the compiler from
+ * discarding the array and its relocations.
+ */
+WorkloadRegistrar *workloadKernelAnchors[] = {
+    &compressRegistrar, &gccRegistrar,   &vortexRegistrar,
+    &perlRegistrar,     &ijpegRegistrar, &mgridRegistrar,
+    &apsiRegistrar,
+};
+
+void
+registerWorkload(const std::string &name, WorkloadMaker maker)
+{
+    registryMap()[name] = maker;
+}
+
+WorkloadRegistrar::WorkloadRegistrar(const char *name,
+                                     WorkloadMaker maker)
+{
+    registerWorkload(name, maker);
+}
+
+Workload
+lookup(const std::string &name, const WorkloadParams &params)
+{
+    const auto &map = registryMap();
+    const auto it = map.find(name);
+    if (it == map.end()) {
+        std::string known;
+        for (const auto &[n, maker] : map) {
+            (void)maker;
+            if (!known.empty())
+                known += ", ";
+            known += n;
+        }
+        fatal("unknown workload '%s' (registered: %s)", name.c_str(),
+              known.c_str());
+    }
+    return it->second(params);
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[n, maker] : registryMap()) {
+        (void)maker;
+        names.push_back(n);
+    }
+    return names;
+}
+
 std::vector<Workload>
 allWorkloads(const WorkloadParams &params)
 {
+    // The paper's Table 2 order, not registry (alphabetical) order.
     std::vector<Workload> out;
-    out.push_back(makeCompress(params));
-    out.push_back(makeGcc(params));
-    out.push_back(makeVortex(params));
-    out.push_back(makePerl(params));
-    out.push_back(makeIjpeg(params));
-    out.push_back(makeMgrid(params));
-    out.push_back(makeApsi(params));
+    for (const char *name : {"compress", "gcc", "vortex", "perl",
+                             "ijpeg", "mgrid", "apsi"}) {
+        out.push_back(lookup(name, params));
+    }
     return out;
 }
 
 Workload
 makeWorkload(const std::string &name, const WorkloadParams &params)
 {
-    if (name == "compress")
-        return makeCompress(params);
-    if (name == "gcc")
-        return makeGcc(params);
-    if (name == "vortex")
-        return makeVortex(params);
-    if (name == "perl")
-        return makePerl(params);
-    if (name == "ijpeg")
-        return makeIjpeg(params);
-    if (name == "mgrid")
-        return makeMgrid(params);
-    if (name == "apsi")
-        return makeApsi(params);
-    fatal("unknown workload '%s' (expected one of compress, gcc, "
-          "vortex, perl, ijpeg, mgrid, apsi)",
-          name.c_str());
+    return lookup(name, params);
+}
+
+// Deprecated thin wrappers over the registry.
+Workload
+makeCompress(const WorkloadParams &params)
+{
+    return lookup("compress", params);
+}
+
+Workload
+makeGcc(const WorkloadParams &params)
+{
+    return lookup("gcc", params);
+}
+
+Workload
+makeVortex(const WorkloadParams &params)
+{
+    return lookup("vortex", params);
+}
+
+Workload
+makePerl(const WorkloadParams &params)
+{
+    return lookup("perl", params);
+}
+
+Workload
+makeIjpeg(const WorkloadParams &params)
+{
+    return lookup("ijpeg", params);
+}
+
+Workload
+makeMgrid(const WorkloadParams &params)
+{
+    return lookup("mgrid", params);
+}
+
+Workload
+makeApsi(const WorkloadParams &params)
+{
+    return lookup("apsi", params);
 }
 
 } // namespace svc::workloads

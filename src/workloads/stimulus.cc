@@ -1,0 +1,194 @@
+#include "workloads/stimulus.hh"
+
+#include "common/log.hh"
+#include "common/snapshot.hh"
+#include "isa/program.hh"
+#include "mem/main_memory.hh"
+
+namespace svc::workloads
+{
+
+std::uint64_t
+hashLoadValue(std::uint64_t thread_hash, std::uint64_t value)
+{
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    return snapshotFnv1a(bytes, sizeof(bytes), thread_hash);
+}
+
+std::uint64_t
+foldThreadHash(std::uint64_t global_hash, std::uint64_t thread_hash)
+{
+    return hashLoadValue(global_hash, thread_hash);
+}
+
+std::uint64_t
+AccessStream::totalOps() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t t = 0; t < numThreads(); ++t)
+        total += threadOps(t);
+    return total;
+}
+
+void
+StimulusSource::loadInitialImage(MainMemory &mem) const
+{
+    (void)mem; // access streams start from all-zero memory
+}
+
+namespace
+{
+
+/** A registered MiniISA kernel as a program stimulus. */
+class KernelStimulus : public StimulusSource
+{
+  public:
+    KernelStimulus(Workload workload, const WorkloadParams &p)
+        : w(std::move(workload)), params(p)
+    {}
+
+    const std::string &name() const override { return w.name; }
+    unsigned scale() const override { return params.scale; }
+    std::uint64_t seed() const override { return params.seed; }
+
+    const isa::Program *program() const override
+    {
+        return &w.program;
+    }
+
+    Addr checkBase() const override { return w.checkBase; }
+    std::size_t checkLen() const override { return w.checkLen; }
+
+    void
+    loadInitialImage(MainMemory &mem) const override
+    {
+        w.program.loadInto(mem);
+    }
+
+  private:
+    Workload w;
+    WorkloadParams params;
+};
+
+/** Zero-copy view over a TaskTrace owned by its stimulus. */
+class TaskTraceView : public AccessStream
+{
+  public:
+    explicit TaskTraceView(const TaskTrace &t) : trace(t) {}
+
+    std::uint64_t numThreads() const override
+    {
+        return trace.tasks.size();
+    }
+
+    std::uint64_t
+    threadOps(std::uint64_t thread) const override
+    {
+        return trace.tasks[static_cast<std::size_t>(thread)].size();
+    }
+
+    TraceOp
+    op(std::uint64_t thread, std::uint64_t index) const override
+    {
+        return trace.tasks[static_cast<std::size_t>(thread)]
+                          [static_cast<std::size_t>(index)];
+    }
+
+  private:
+    const TaskTrace &trace;
+};
+
+/** A synthetic trace_gen trace as an access-stream stimulus. */
+class GeneratedStimulus : public StimulusSource
+{
+  public:
+    explicit GeneratedStimulus(const TraceGenConfig &config)
+        : cfg(config), trace(generateTrace(config))
+    {
+        label = std::string("gen:") + trace.name;
+    }
+
+    const std::string &name() const override { return label; }
+    std::uint64_t seed() const override { return cfg.seed; }
+
+    std::unique_ptr<AccessStream>
+    openStream() const override
+    {
+        // Generated load values are random filler, not observations.
+        return std::make_unique<TaskTraceView>(trace);
+    }
+
+  private:
+    TraceGenConfig cfg;
+    TaskTrace trace;
+    std::string label;
+};
+
+} // namespace
+
+std::unique_ptr<StimulusSource>
+makeKernelStimulus(const std::string &name,
+                   const WorkloadParams &params)
+{
+    return std::make_unique<KernelStimulus>(lookup(name, params),
+                                            params);
+}
+
+std::unique_ptr<StimulusSource>
+makeGeneratedStimulus(const TraceGenConfig &config)
+{
+    return std::make_unique<GeneratedStimulus>(config);
+}
+
+bool
+parseTracePattern(const std::string &name, TracePattern &out)
+{
+    for (TracePattern p :
+         {TracePattern::Private, TracePattern::ReadShared,
+          TracePattern::Migratory, TracePattern::FalseSharing,
+          TracePattern::Mixed}) {
+        if (name == tracePatternName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+SequentialStreamResult
+runStreamSequential(const AccessStream &stream, MainMemory &mem)
+{
+    SequentialStreamResult r;
+    std::uint64_t global = kStimulusHashInit;
+    for (std::uint64_t t = 0; t < stream.numThreads(); ++t) {
+        std::uint64_t thread_hash = kStimulusHashInit;
+        const std::uint64_t n = stream.threadOps(t);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const TraceOp op = stream.op(t, i);
+            ++r.ops;
+            if (op.isStore) {
+                ++r.stores;
+                for (unsigned b = 0; b < op.size; ++b) {
+                    mem.writeByte(op.addr + b,
+                                  static_cast<std::uint8_t>(
+                                      op.value >> (8 * b)));
+                }
+            } else {
+                ++r.loads;
+                std::uint64_t v = 0;
+                for (unsigned b = 0; b < op.size; ++b) {
+                    v |= std::uint64_t{mem.readByte(op.addr + b)}
+                         << (8 * b);
+                }
+                thread_hash = hashLoadValue(thread_hash, v);
+            }
+        }
+        global = foldThreadHash(global, thread_hash);
+    }
+    r.loadValueHash = global;
+    return r;
+}
+
+} // namespace svc::workloads

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The unified stimulus API. Everything that can drive a speculative
+ * memory system — a task-annotated MiniISA kernel, a synthetic
+ * access-pattern generator, or a recorded binary trace — implements
+ * StimulusSource, and every consumer (the bench harness, the sweep
+ * runner, the multiscalar_run CLI) constructs its workload through
+ * this one interface instead of ad-hoc name-string plumbing.
+ *
+ * Two stimulus shapes exist:
+ *
+ *  - Program stimuli (program() != nullptr) carry a MiniISA program
+ *    and drive the full multiscalar processor; verification compares
+ *    the final checksum word against the sequential interpreter.
+ *
+ *  - Access-stream stimuli (openStream() != nullptr) carry per-thread
+ *    memory-operation lists in program order — the trace's
+ *    first-class invariant, so a replay through the SVC or ARB
+ *    remains sequentially explainable — and drive the memory system
+ *    alone through the speculative replay driver
+ *    (src/trace_io/trace_replayer.hh).
+ *
+ * Verification of access streams is hash-based: the surviving load
+ * values of every thread are folded (FNV-1a, thread order) into one
+ * load-value hash, and the final memory image into a second hash.
+ * A stimulus either carries expected hashes (recorded traces) or
+ * the harness derives them from a sequential oracle pass.
+ */
+
+#ifndef SVC_WORKLOADS_STIMULUS_HH
+#define SVC_WORKLOADS_STIMULUS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "workloads/trace_gen.hh"
+#include "workloads/workloads.hh"
+
+namespace svc
+{
+class MainMemory;
+namespace isa
+{
+class Program;
+} // namespace isa
+} // namespace svc
+
+namespace svc::workloads
+{
+
+/** FNV-1a basis for the stimulus hash discipline. */
+inline constexpr std::uint64_t kStimulusHashInit =
+    0xcbf29ce484222325ull;
+
+/** Fold one surviving load value into a per-thread hash. */
+std::uint64_t hashLoadValue(std::uint64_t thread_hash,
+                            std::uint64_t value);
+
+/** Fold a completed thread's hash into the global hash. Threads are
+ *  folded in thread (commit) order, so the global hash is
+ *  independent of the speculative interleaving. */
+std::uint64_t foldThreadHash(std::uint64_t global_hash,
+                             std::uint64_t thread_hash);
+
+/**
+ * A bounded collection of per-thread memory operations in program
+ * order, with random access so the replay driver can re-execute a
+ * thread from its start after a dependence-violation squash. Views
+ * returned by StimulusSource::openStream() stay valid only while
+ * the source is alive.
+ */
+class AccessStream
+{
+  public:
+    virtual ~AccessStream() = default;
+
+    virtual std::uint64_t numThreads() const = 0;
+
+    /** Operations of thread @p thread. */
+    virtual std::uint64_t threadOps(std::uint64_t thread) const = 0;
+
+    /** Operation @p index of thread @p thread (program order). */
+    virtual TraceOp op(std::uint64_t thread,
+                       std::uint64_t index) const = 0;
+
+    /**
+     * @return true when op().value carries the live-run observed
+     * value for loads (recorded traces), enabling exact per-load
+     * replay verification. Generated streams leave load values
+     * meaningless and verify against the sequential oracle instead.
+     */
+    virtual bool hasLoadValues() const { return false; }
+
+    /** Total operations across all threads. */
+    std::uint64_t totalOps() const;
+};
+
+/** In-memory AccessStream over per-thread operation vectors. */
+class VectorStream : public AccessStream
+{
+  public:
+    VectorStream(std::vector<std::vector<TraceOp>> threads,
+                 bool has_load_values)
+        : ops(std::move(threads)), withValues(has_load_values)
+    {}
+
+    std::uint64_t numThreads() const override { return ops.size(); }
+
+    std::uint64_t
+    threadOps(std::uint64_t thread) const override
+    {
+        return ops[static_cast<std::size_t>(thread)].size();
+    }
+
+    TraceOp
+    op(std::uint64_t thread, std::uint64_t index) const override
+    {
+        return ops[static_cast<std::size_t>(thread)]
+                  [static_cast<std::size_t>(index)];
+    }
+
+    bool hasLoadValues() const override { return withValues; }
+
+  private:
+    std::vector<std::vector<TraceOp>> ops;
+    bool withValues;
+};
+
+/** Expected results a stimulus carries for replay verification. */
+struct StimulusExpectations
+{
+    bool hasLoadValueHash = false;
+    std::uint64_t loadValueHash = 0;
+    /** MainMemory::hashAll() of the final architected image. */
+    bool hasFinalMemoryHash = false;
+    std::uint64_t finalMemoryHash = 0;
+};
+
+/**
+ * One stimulus: a named, reproducible workload for a speculative
+ * memory system. Exactly one of program() / openStream() is
+ * non-null.
+ */
+class StimulusSource
+{
+  public:
+    virtual ~StimulusSource() = default;
+
+    virtual const std::string &name() const = 0;
+
+    /** Size multiplier the stimulus was built with (reports). */
+    virtual unsigned scale() const { return 1; }
+
+    /** Input-generation seed the stimulus was built with. */
+    virtual std::uint64_t seed() const { return 0; }
+
+    /** Task-annotated program, or nullptr for access streams. */
+    virtual const isa::Program *program() const { return nullptr; }
+
+    /** Verification window of a program stimulus. */
+    virtual Addr checkBase() const { return 0; }
+    virtual std::size_t checkLen() const { return 0; }
+
+    /** Per-thread access stream, or nullptr for program stimuli.
+     *  The stream is valid only while this source is alive. */
+    virtual std::unique_ptr<AccessStream>
+    openStream() const
+    {
+        return nullptr;
+    }
+
+    /**
+     * Establish the initial memory image of a run: program stimuli
+     * load their program, recorded traces restore the image captured
+     * at record time, generated streams start from all-zero memory.
+     */
+    virtual void loadInitialImage(MainMemory &mem) const;
+
+    /** Expected hashes, when the stimulus carries them. */
+    virtual StimulusExpectations expectations() const { return {}; }
+};
+
+/** Kernel stimulus: one of the registered MiniISA workloads. */
+std::unique_ptr<StimulusSource>
+makeKernelStimulus(const std::string &name,
+                   const WorkloadParams &params);
+
+/** Generated stimulus: a synthetic access-pattern trace. */
+std::unique_ptr<StimulusSource>
+makeGeneratedStimulus(const TraceGenConfig &config);
+
+/** Map a pattern name ("private", "readshared", "migratory",
+ *  "falsesharing", "mixed") to its TracePattern. */
+bool parseTracePattern(const std::string &name, TracePattern &out);
+
+/** Result of the sequential oracle pass over a stream. */
+struct SequentialStreamResult
+{
+    std::uint64_t ops = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    /** Folded load-value hash (the stream's sequential truth). */
+    std::uint64_t loadValueHash = kStimulusHashInit;
+};
+
+/**
+ * Execute @p stream in pure thread-major program order on @p mem,
+ * folding every load value into the oracle hash. This is both the
+ * verification oracle for generated streams and the functional
+ * model a recorded trace's hashes are checked against in tests.
+ */
+SequentialStreamResult runStreamSequential(const AccessStream &stream,
+                                           MainMemory &mem);
+
+} // namespace svc::workloads
+
+#endif // SVC_WORKLOADS_STIMULUS_HH

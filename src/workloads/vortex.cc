@@ -16,8 +16,11 @@
 namespace svc::workloads
 {
 
+namespace
+{
+
 Workload
-makeVortex(const WorkloadParams &params)
+buildVortex(const WorkloadParams &params)
 {
     using namespace isa;
     constexpr unsigned kBuckets = 64;         // power of two
@@ -103,5 +106,9 @@ makeVortex(const WorkloadParams &params)
     w.checkLen = 4;
     return w;
 }
+
+} // namespace
+
+WorkloadRegistrar vortexRegistrar{"vortex", &buildVortex};
 
 } // namespace svc::workloads

@@ -47,6 +47,50 @@ struct Workload
     std::size_t checkLen = 0;
 };
 
+// ---- Workload registry ------------------------------------------
+//
+// Workloads self-register by name: each kernel translation unit
+// defines a WorkloadRegistrar at namespace scope, and every
+// consumer constructs through the single lookup() entry point. A
+// new workload touches only its own .cc file (plus one anchor line
+// in registry.cc that pulls the object out of the static archive).
+
+/** Maker signature stored in the registry. */
+using WorkloadMaker = Workload (*)(const WorkloadParams &);
+
+/** Register @p maker under @p name (replaces an existing entry). */
+void registerWorkload(const std::string &name, WorkloadMaker maker);
+
+/**
+ * Build the workload registered under @p name — the single
+ * construction entry point. fatal() on unknown names, listing the
+ * registered alternatives.
+ */
+Workload lookup(const std::string &name,
+                const WorkloadParams &params);
+
+/** @return the registered workload names, sorted. */
+std::vector<std::string> workloadNames();
+
+/**
+ * Self-registration handle: defining one at namespace scope in a
+ * kernel's translation unit registers its maker before main().
+ */
+class WorkloadRegistrar
+{
+  public:
+    WorkloadRegistrar(const char *name, WorkloadMaker maker);
+};
+
+/** All seven benchmarks, in the paper's Table 2 order. */
+std::vector<Workload> allWorkloads(const WorkloadParams &params);
+
+/** Deprecated alias for lookup(); prefer lookup(). */
+Workload makeWorkload(const std::string &name,
+                      const WorkloadParams &params);
+
+// Deprecated per-kernel wrappers, kept so existing call sites
+// compile; construct through lookup(name, params) instead.
 Workload makeCompress(const WorkloadParams &params); ///< LZW hashing
 Workload makeGcc(const WorkloadParams &params);    ///< IR rewriting
 Workload makeVortex(const WorkloadParams &params); ///< OO database
@@ -54,13 +98,6 @@ Workload makePerl(const WorkloadParams &params);   ///< interpreter
 Workload makeIjpeg(const WorkloadParams &params);  ///< 8x8 blocks
 Workload makeMgrid(const WorkloadParams &params);  ///< 3-D stencil
 Workload makeApsi(const WorkloadParams &params);   ///< mesh sweeps
-
-/** All seven benchmarks, in the paper's Table 2 order. */
-std::vector<Workload> allWorkloads(const WorkloadParams &params);
-
-/** Build one workload by name; fatal() on unknown names. */
-Workload makeWorkload(const std::string &name,
-                      const WorkloadParams &params);
 
 } // namespace svc::workloads
 

@@ -16,6 +16,13 @@
  * determinism can be checked with a plain byte compare
  * (--check-determinism does exactly that).
  *
+ * Stimulus selection uses the shared trace_io CLI flags
+ * (--workload, --trace-in, --scale, --seed): bench grids construct
+ * every item through trace_io::makeStimulus, and the "trace" grid
+ * replays one recorded SVCTRC1 trace (or a gen:<pattern> stream)
+ * through the paper's six SVC designs plus the ARB. The runner
+ * never records; --trace-out is rejected (use multiscalar_run).
+ *
  * Exit status: 0 on success; 1 if any result was non-finite, any
  * benchmark row failed checksum verification, any injected
  * corruption went undetected, any recovery cell failed to recover,
@@ -48,6 +55,8 @@
 #include "svc/system.hh"
 #include "tests/support/engine_adapters.hh"
 #include "tests/support/task_script.hh"
+#include "trace_io/stimulus_cli.hh"
+#include "workloads/stimulus.hh"
 #include "workloads/workloads.hh"
 
 namespace svc
@@ -67,10 +76,11 @@ struct SweepItem
     std::string id; ///< stable unique name, e.g. "fig19/gcc/svc8k"
     Kind kind = Bench;
 
-    // Bench items.
-    std::string memKind;  ///< makeSpecMem registry key
-    std::string workload; ///< workload name
-    std::string config;   ///< short config label for the report
+    // Bench items (kernel, gen:<pattern> or trace replay).
+    std::string memKind;   ///< makeSpecMem registry key
+    std::string workload;  ///< workload name or "gen:<pattern>"
+    std::string tracePath; ///< SVCTRC1 path ("" = use workload)
+    std::string config;    ///< short config label for the report
     unsigned scale = 1;
     std::uint64_t seed = 12345;
     SpecMemConfig cfg;
@@ -110,9 +120,10 @@ struct Options
     unsigned jobs = 0; ///< 0 = hardware concurrency
     unsigned scale = 0; ///< 0 = benchScale default
     std::string grid = "fig19";
-    std::string out = "BENCH_PR4.json";
+    std::string out = "BENCH_PR6.json";
     bool resultsOnly = false;
     bool checkDeterminism = false;
+    trace_io::StimulusOptions stim; ///< shared stimulus flags
 };
 
 // ---------------------------------------------------------------
@@ -189,8 +200,48 @@ addRecoveryGrid(std::vector<SweepItem> &items, unsigned scale,
     }
 }
 
+/** The "trace" grid: one stimulus (a recorded trace or a synthetic
+ *  gen:<pattern> stream) replayed through the paper's six SVC
+ *  design points plus the ARB. */
+void
+addTraceGrid(std::vector<SweepItem> &items,
+             const trace_io::StimulusOptions &stim, unsigned scale)
+{
+    if (stim.traceIn.empty() && stim.workload.empty())
+        fatal("--grid trace needs --trace-in FILE or "
+              "--workload gen:<pattern>");
+    const std::string src =
+        !stim.traceIn.empty() ? stim.traceIn : stim.workload;
+    const SvcDesign designs[] = {SvcDesign::Base, SvcDesign::EC,
+                                 SvcDesign::ECS, SvcDesign::HR,
+                                 SvcDesign::RL, SvcDesign::Final};
+    for (SvcDesign d : designs) {
+        SweepItem it;
+        it.memKind = "svc";
+        it.workload = stim.workload;
+        it.tracePath = stim.traceIn;
+        it.scale = scale;
+        it.seed = stim.seed;
+        it.cfg.svc = bench::paperSvcConfig(8, d);
+        it.config = std::string("svc8k_") + svcDesignName(d);
+        it.id = "trace/" + src + "/" + it.config;
+        items.push_back(std::move(it));
+    }
+    SweepItem arb;
+    arb.memKind = "arb";
+    arb.workload = stim.workload;
+    arb.tracePath = stim.traceIn;
+    arb.scale = scale;
+    arb.seed = stim.seed;
+    arb.cfg.arb = bench::paperArbConfig(32, 2);
+    arb.config = "arb32k_lat2";
+    arb.id = "trace/" + src + "/" + arb.config;
+    items.push_back(std::move(arb));
+}
+
 std::vector<SweepItem>
-buildGrid(const std::string &grid, unsigned scale)
+buildGrid(const std::string &grid, unsigned scale,
+          const trace_io::StimulusOptions &stim)
 {
     std::vector<SweepItem> items;
     if (grid == "fig19") {
@@ -230,9 +281,33 @@ buildGrid(const std::string &grid, unsigned scale)
         addIpcGrid(items, "fig20", 64, 16, scale);
         addFaultGrid(items, 8);
         addRecoveryGrid(items, scale, 4);
+    } else if (grid == "trace") {
+        addTraceGrid(items, stim, scale);
     } else {
         fatal("unknown grid '%s' (fig19, fig20, faults, recovery, "
-              "smoke, full)", grid.c_str());
+              "smoke, full, trace)", grid.c_str());
+    }
+
+    // Outside the trace grid, --workload narrows the sweep to one
+    // stimulus and --seed reseeds the bench rows (fault/recovery
+    // cells keep their own per-cell seed schedule).
+    if (grid != "trace" && !stim.workload.empty()) {
+        std::vector<SweepItem> kept;
+        for (SweepItem &it : items) {
+            if (it.kind == SweepItem::Fault ||
+                it.workload == stim.workload)
+                kept.push_back(std::move(it));
+        }
+        if (kept.empty())
+            fatal("grid '%s' has no items matching --workload '%s'",
+                  grid.c_str(), stim.workload.c_str());
+        items = std::move(kept);
+    }
+    if (stim.seedSet) {
+        for (SweepItem &it : items) {
+            if (it.kind == SweepItem::Bench)
+                it.seed = stim.seed;
+        }
     }
     return items;
 }
@@ -391,8 +466,20 @@ runItem(const SweepItem &it)
     } else if (it.kind == SweepItem::Recovery) {
         r = runRecoveryItem(it);
     } else {
-        r.row = bench::runOn(it.memKind, it.workload, it.scale,
-                             it.cfg, nullptr, it.seed);
+        // The unified construction path: every bench item — kernel,
+        // synthetic stream or trace replay — resolves through the
+        // same helper the CLI flags use. Each worker opens its own
+        // stimulus so items stay self-contained.
+        trace_io::StimulusOptions so;
+        so.workload = it.workload;
+        so.traceIn = it.tracePath;
+        so.scale = it.scale;
+        so.seed = it.seed;
+        const auto stim = trace_io::makeStimulus(so, it.workload);
+        bench::RunConfig rc;
+        rc.memKind = it.memKind;
+        rc.mem = it.cfg;
+        r.row = bench::runOn(*stim, rc);
     }
     return r;
 }
@@ -455,7 +542,8 @@ writeDoc(JsonWriter &w, const Options &opt, unsigned jobs,
         w.member("id", it.id);
         if (it.kind == SweepItem::Bench) {
             w.member("kind", "bench");
-            w.member("workload", it.workload);
+            w.member("workload", r.row.workload);
+            w.member("run_kind", r.row.kind);
             w.member("mem", r.row.memSystem);
             w.member("config", it.config);
             w.key("scale");
@@ -473,6 +561,17 @@ writeDoc(JsonWriter &w, const Options &opt, unsigned jobs,
             w.value(r.row.violationSquashes);
             w.key("task_mispredicts");
             w.value(r.row.taskMispredicts);
+            w.key("ops");
+            w.value(r.row.ops);
+            w.key("load_mismatches");
+            w.value(r.row.loadMismatches);
+            // Fixed-width hex keeps the determinism byte-compare
+            // independent of JSON number formatting.
+            char hash[20];
+            std::snprintf(hash, sizeof(hash), "0x%016llx",
+                          static_cast<unsigned long long>(
+                              r.row.loadValueHash));
+            w.member("load_value_hash", hash);
             w.member("verified", r.row.verified);
         } else if (it.kind == SweepItem::Fault) {
             w.member("kind", "fault");
@@ -595,7 +694,7 @@ runSweep(const Options &opt)
         opt.jobs ? opt.jobs
                  : std::max(1u, std::thread::hardware_concurrency());
     const std::vector<SweepItem> items =
-        buildGrid(opt.grid, opt.scale);
+        buildGrid(opt.grid, opt.scale, opt.stim);
 
     std::printf("sweep: grid=%s items=%zu scale=%u jobs=%u\n",
                 opt.grid.c_str(), items.size(), opt.scale, jobs);
@@ -653,16 +752,27 @@ usage()
     std::printf(
         "usage: sweep_runner [options]\n"
         "  --grid NAME   fig19 | fig20 | faults | recovery | smoke "
-        "| full (default fig19)\n"
+        "| full | trace (default fig19)\n"
         "  --jobs N      worker threads (default: hardware "
         "concurrency)\n"
         "  --scale N     workload scale (default: SVC_BENCH_SCALE "
         "or 4)\n"
         "  --out FILE    output JSON path (default "
-        "BENCH_PR4.json)\n"
+        "BENCH_PR6.json)\n"
+        "  --workload W  narrow bench grids to one workload; with "
+        "--grid trace,\n"
+        "                a kernel name or gen:<pattern> stream to "
+        "replay\n"
+        "  --trace-in F  with --grid trace: replay the recorded "
+        "SVCTRC1 trace F\n"
+        "                through six SVC designs and the ARB\n"
+        "  --seed N      synthetic-input seed for bench rows "
+        "(default 12345)\n"
         "  --results-only       omit the timing section\n"
         "  --check-determinism  also run 1-threaded and require "
-        "byte-identical results\n");
+        "byte-identical results\n"
+        "sweep_runner never records traces; use multiscalar_run "
+        "--trace-out.\n");
 }
 
 } // namespace
@@ -672,8 +782,13 @@ int
 main(int argc, char **argv)
 {
     svc::Options opt;
-    opt.scale = svc::bench::benchScale(4);
     for (int i = 1; i < argc; ++i) {
+        // Shared stimulus flags first (--workload, --trace-in,
+        // --trace-out, --scale, --seed), identical to
+        // multiscalar_run's parsing and error messages.
+        if (svc::trace_io::parseStimulusFlag(argc, argv, i,
+                                             opt.stim))
+            continue;
         const std::string arg = argv[i];
         auto next_arg = [&]() -> const char * {
             if (i + 1 >= argc)
@@ -682,9 +797,6 @@ main(int argc, char **argv)
         };
         if (arg == "--jobs") {
             opt.jobs = static_cast<unsigned>(
-                std::strtoul(next_arg(), nullptr, 10));
-        } else if (arg == "--scale") {
-            opt.scale = static_cast<unsigned>(
                 std::strtoul(next_arg(), nullptr, 10));
         } else if (arg == "--grid") {
             opt.grid = next_arg();
@@ -702,6 +814,13 @@ main(int argc, char **argv)
             svc::fatal("unknown option '%s'", arg.c_str());
         }
     }
+    if (!opt.stim.traceOut.empty()) {
+        std::fprintf(stderr, "sweep_runner does not record traces; "
+                             "use multiscalar_run --trace-out\n");
+        return 1;
+    }
+    opt.scale = opt.stim.scaleSet ? opt.stim.scale
+                                  : svc::bench::benchScale(4);
     if (opt.scale == 0)
         svc::fatal("--scale must be positive");
     return svc::runSweep(opt);
