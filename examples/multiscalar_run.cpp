@@ -412,7 +412,7 @@ main(int argc, char **argv)
     workloads::WorkloadParams wp;
     wp.scale = scale;
     wp.seed = stim.seed;
-    workloads::Workload w = workloads::makeWorkload(name, wp);
+    workloads::Workload w = workloads::lookup(name, wp);
     std::printf("workload: %s (analog of %s), scale %u\n",
                 w.name.c_str(), w.specAnalog.c_str(), scale);
 

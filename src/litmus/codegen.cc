@@ -1,0 +1,210 @@
+#include "litmus/codegen.hh"
+
+#include "common/log.hh"
+#include "isa/builder.hh"
+#include "mem/main_memory.hh"
+
+namespace svc::litmus
+{
+
+namespace
+{
+
+/** Register plan shared by every task (tasks are independent:
+ *  each recomputes its own addresses, so the only inter-task
+ *  dependences are the memory conflicts under test). */
+constexpr isa::Reg kRegLocs = 1; ///< base address of the locations
+constexpr isa::Reg kRegVal = 2;  ///< store payload
+constexpr isa::Reg kRegTmp = 3;  ///< load destination
+constexpr isa::Reg kRegObs = 4;  ///< base address of the obs area
+constexpr isa::Reg kRegSum = 5;  ///< observer checksum accumulator
+constexpr isa::Reg kRegMul = 6;  ///< checksum mixing constant
+
+/** Observation-slot base index of each original thread. */
+std::vector<unsigned>
+obsBases(const LitmusTest &test)
+{
+    std::vector<unsigned> base;
+    unsigned n = 0;
+    for (const LitmusThread &t : test.threads) {
+        base.push_back(n);
+        n += t.numLoads;
+    }
+    return base;
+}
+
+} // namespace
+
+Addr
+locAddr(unsigned loc, const CodegenOptions &opts)
+{
+    // Matches ProgramBuilder's default data base, so program and
+    // stream lowerings agree on addresses.
+    return 0x100000 + static_cast<Addr>(loc) * opts.locStride;
+}
+
+LitmusProgram
+buildProgram(const LitmusTest &test, const TaskOrder &order,
+             const CodegenOptions &opts)
+{
+    if (order.size() != test.threads.size())
+        fatal("litmus %s: order/thread count mismatch",
+              test.name.c_str());
+
+    const unsigned nLocs =
+        static_cast<unsigned>(test.locations.size());
+    const unsigned nLoads = test.totalLoads();
+    const std::vector<unsigned> base = obsBases(test);
+
+    isa::ProgramBuilder b;
+    // The locations come first so they land at the fixed
+    // locAddr() addresses shared with the stream lowering.
+    isa::Label locs =
+        b.allocData("litmus.locs", nLocs * opts.locStride);
+    // Obs area: [checksum][loads (thread-major)][final per loc].
+    isa::Label obs =
+        b.allocData("litmus.obs", (1 + nLoads + nLocs) * 4);
+
+    std::vector<isa::Label> entries;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        entries.push_back(b.newLabel(
+            "task." + test.threads[order[i]].name));
+    }
+    isa::Label fini = b.newLabel("fini");
+
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const unsigned t = order[i];
+        const LitmusThread &th = test.threads[t];
+        b.bind(entries[i]);
+        b.beginTask(th.name);
+        b.taskTargets(
+            {i + 1 < order.size() ? entries[i + 1] : fini});
+        b.la(kRegLocs, locs);
+        if (th.numLoads)
+            b.la(kRegObs, obs);
+        for (const LitmusOp &op : th.ops) {
+            const std::int32_t off =
+                static_cast<std::int32_t>(op.loc * opts.locStride);
+            if (op.isStore) {
+                b.li(kRegVal, op.value);
+                b.sw(kRegVal, off, kRegLocs);
+            } else {
+                b.lw(kRegTmp, off, kRegLocs);
+                b.sw(kRegTmp,
+                     static_cast<std::int32_t>(
+                         (1 + base[t] + op.obs) * 4),
+                     kRegObs);
+            }
+        }
+        // Fall through into the next task's entry.
+    }
+
+    // Observer task: snapshot every location's final value and fold
+    // the whole obs area into the checksum word the harnesses
+    // verify against the sequential interpreter.
+    b.bind(fini);
+    b.beginTask("fini");
+    b.la(kRegLocs, locs);
+    b.la(kRegObs, obs);
+    b.li(kRegMul, 31);
+    b.li(kRegSum, 0);
+    for (unsigned l = 0; l < nLocs; ++l) {
+        b.lw(kRegTmp,
+             static_cast<std::int32_t>(l * opts.locStride),
+             kRegLocs);
+        b.sw(kRegTmp,
+             static_cast<std::int32_t>((1 + nLoads + l) * 4),
+             kRegObs);
+    }
+    for (unsigned w = 0; w < nLoads + nLocs; ++w) {
+        b.lw(kRegTmp, static_cast<std::int32_t>((1 + w) * 4),
+             kRegObs);
+        b.mul(kRegSum, kRegSum, kRegMul);
+        b.add(kRegSum, kRegSum, kRegTmp);
+    }
+    b.sw(kRegSum, 0, kRegObs);
+    b.halt();
+
+    LitmusProgram out;
+    out.locsBase = b.addrOf(locs);
+    out.obsBase = b.addrOf(obs);
+    out.locStride = opts.locStride;
+    out.checkBase = out.obsBase;
+    out.checkLen = (1 + nLoads + nLocs) * 4;
+    out.program = b.finalize();
+    if (out.locsBase != locAddr(0, opts))
+        fatal("litmus %s: layout drifted from locAddr()",
+              test.name.c_str());
+    return out;
+}
+
+std::vector<std::vector<workloads::TraceOp>>
+buildStream(const LitmusTest &test, const TaskOrder &order,
+            const CodegenOptions &opts)
+{
+    std::vector<std::vector<workloads::TraceOp>> threads;
+    for (unsigned t : order) {
+        std::vector<workloads::TraceOp> ops;
+        for (const LitmusOp &op : test.threads[t].ops) {
+            workloads::TraceOp to;
+            to.isStore = op.isStore;
+            to.addr = locAddr(op.loc, opts);
+            to.size = 4;
+            to.value = op.isStore ? op.value : 0;
+            ops.push_back(to);
+        }
+        threads.push_back(std::move(ops));
+    }
+    return threads;
+}
+
+Outcome
+extractOutcome(const LitmusTest &test, const LitmusProgram &prog,
+               const MainMemory &mem)
+{
+    const unsigned nLoads = test.totalLoads();
+    Outcome o;
+    for (unsigned r = 0; r < nLoads; ++r)
+        o.regs.push_back(mem.readWord(prog.obsBase + (1 + r) * 4));
+    for (unsigned l = 0;
+         l < static_cast<unsigned>(test.locations.size()); ++l) {
+        o.mem.push_back(
+            mem.readWord(prog.obsBase + (1 + nLoads + l) * 4));
+    }
+    return o;
+}
+
+Outcome
+streamOutcome(
+    const LitmusTest &test, const TaskOrder &order,
+    const std::vector<std::vector<std::uint64_t>> &capturedLoads,
+    const MainMemory &mem, const CodegenOptions &opts)
+{
+    if (capturedLoads.size() != order.size())
+        fatal("litmus %s: replay captured %zu threads, expected "
+              "%zu", test.name.c_str(), capturedLoads.size(),
+              order.size());
+    const std::vector<unsigned> base = obsBases(test);
+    Outcome o;
+    o.regs.assign(test.totalLoads(), 0);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const unsigned t = order[i];
+        if (capturedLoads[i].size() != test.threads[t].numLoads)
+            fatal("litmus %s: thread %s committed %zu loads, "
+                  "program order has %u",
+                  test.name.c_str(),
+                  test.threads[t].name.c_str(),
+                  capturedLoads[i].size(),
+                  test.threads[t].numLoads);
+        for (std::size_t k = 0; k < capturedLoads[i].size(); ++k) {
+            o.regs[base[t] + k] =
+                static_cast<Value>(capturedLoads[i][k]);
+        }
+    }
+    for (unsigned l = 0;
+         l < static_cast<unsigned>(test.locations.size()); ++l)
+        o.mem.push_back(mem.readWord(locAddr(l, opts)));
+    return o;
+}
+
+} // namespace svc::litmus

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Litmus code generation: lower a LitmusTest plus a task order into
+ * the two stimulus shapes the rails already execute —
+ *
+ *  - a task-annotated MiniISA program (one speculative task per
+ *    litmus thread, in the chosen order, plus a final observer
+ *    task that snapshots every location and writes a checksum), so
+ *    the full multiscalar + SVC/ARB stack, the fault injectors and
+ *    the recovery ladder all apply unchanged; and
+ *
+ *  - a per-thread access stream for the speculative replay driver
+ *    (trace_io/trace_replayer.hh), whose seeded interleaving gives
+ *    cheap high-volume outcome sampling.
+ *
+ * Observation slots are laid out by *original* thread index, so an
+ * outcome extracted from memory is independent of the permutation
+ * that produced it. The location stride is a knob: 64 puts every
+ * location on its own cache line, 4 packs them into one line — the
+ * false-sharing flavor of the same shape.
+ */
+
+#ifndef SVC_LITMUS_CODEGEN_HH
+#define SVC_LITMUS_CODEGEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "litmus/oracle.hh"
+#include "workloads/trace_gen.hh"
+
+namespace svc
+{
+class MainMemory;
+}
+
+namespace svc::litmus
+{
+
+/** Lowering knobs. */
+struct CodegenOptions
+{
+    /** Byte distance between consecutive locations: 64 = one line
+     *  each (paper geometry), 4 = packed into a shared line. */
+    unsigned locStride = 64;
+};
+
+/** A lowered litmus program plus its memory map. */
+struct LitmusProgram
+{
+    isa::Program program;
+    Addr locsBase = 0;  ///< location l lives at locsBase+l*stride
+    Addr obsBase = 0;   ///< checksum word, then loads, then finals
+    unsigned locStride = 64;
+    /** Verification window (checksum + observations + finals). */
+    Addr checkBase = 0;
+    std::size_t checkLen = 0;
+};
+
+/** Lower @p test with threads running as tasks in @p order. */
+LitmusProgram buildProgram(const LitmusTest &test,
+                           const TaskOrder &order,
+                           const CodegenOptions &opts = {});
+
+/**
+ * The same lowering as a replay-driver access stream: trace thread
+ * i carries the ops of original thread order[i] against the same
+ * location addresses (no observer thread — the replayer captures
+ * committed load values directly).
+ */
+std::vector<std::vector<workloads::TraceOp>>
+buildStream(const LitmusTest &test, const TaskOrder &order,
+            const CodegenOptions &opts = {});
+
+/** Location address under @p opts (stream and program agree). */
+Addr locAddr(unsigned loc, const CodegenOptions &opts);
+
+/**
+ * Read the outcome a finished program run left in @p mem (the
+ * observer task's snapshot plus every load's observation slot).
+ */
+Outcome extractOutcome(const LitmusTest &test,
+                       const LitmusProgram &prog,
+                       const MainMemory &mem);
+
+/**
+ * Assemble the outcome of a stream replay: @p capturedLoads are
+ * the replayer's committed load values per *trace* thread (in
+ * @p order), final location values are read from @p mem.
+ */
+Outcome streamOutcome(
+    const LitmusTest &test, const TaskOrder &order,
+    const std::vector<std::vector<std::uint64_t>> &capturedLoads,
+    const MainMemory &mem, const CodegenOptions &opts = {});
+
+} // namespace svc::litmus
+
+#endif // SVC_LITMUS_CODEGEN_HH

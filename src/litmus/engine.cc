@@ -1,0 +1,402 @@
+#include "litmus/engine.hh"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "arb/arb_system.hh"
+#include "common/invariants.hh"
+#include "common/log.hh"
+#include "litmus/codegen.hh"
+#include "mem/main_memory.hh"
+#include "multiscalar/processor.hh"
+#include "svc/corruptor.hh"
+#include "svc/system.hh"
+#include "trace_io/trace_replayer.hh"
+#include "workloads/stimulus.hh"
+
+namespace svc::litmus
+{
+
+namespace
+{
+
+bool
+isCorruption(FaultKind kind)
+{
+    return kind == FaultKind::CorruptVolPointer ||
+           kind == FaultKind::CorruptMask ||
+           kind == FaultKind::CorruptData ||
+           kind == FaultKind::CorruptVolCache;
+}
+
+/** Same transient rates as the fault/recovery matrices. */
+FaultConfig
+transientConfig(FaultKind kind, std::uint64_t seed)
+{
+    FaultConfig fcfg;
+    fcfg.seed = seed * 977 + static_cast<std::uint64_t>(kind);
+    switch (kind) {
+      case FaultKind::BusNack:
+        fcfg.nackPercent = 40;
+        break;
+      case FaultKind::SnoopDelay:
+        fcfg.delayPercent = 40;
+        fcfg.delayCycles = 5;
+        break;
+      case FaultKind::WritebackStall:
+        fcfg.wbStallPercent = 60;
+        break;
+      case FaultKind::SpuriousSquash:
+        fcfg.squashPer10k = 30;
+        fcfg.maxInjections = 6;
+        break;
+      default:
+        fcfg.seed = seed * 7919 + 1; // corruption: RNG source only
+        break;
+    }
+    return fcfg;
+}
+
+/** Per-iteration variation, decoded deterministically from the
+ *  iteration index so any campaign is exactly reproducible. */
+struct IterPlan
+{
+    TaskOrder order;
+    std::uint64_t permIndex = 0;
+    CodegenOptions opts;
+    bool faulted = false;
+    FaultKind kind = FaultKind::BusNack;
+    std::uint64_t seed = 0;
+};
+
+IterPlan
+planFor(const LitmusTest &test, const EngineConfig &cfg,
+        std::uint64_t iter)
+{
+    IterPlan p;
+    const std::uint64_t nPerms = numTaskOrders(test);
+    p.permIndex = iter % nPerms;
+    p.order = taskOrderByIndex(test, p.permIndex);
+    // Alternate per-line (64) and packed/false-sharing (4) layouts
+    // once every full permutation sweep.
+    p.opts.locStride = ((iter / nPerms) % 2) ? 4u : 64u;
+    p.seed = cfg.seed * 1000003 + iter * 7919 + 13;
+
+    switch (cfg.faultMode) {
+      case FaultMode::None:
+        break;
+      case FaultMode::Single:
+        p.faulted = true;
+        p.kind = cfg.faultKind;
+        break;
+      case FaultMode::Mix: {
+        // Slot 0 of each cycle is fault-free; the replay rail has
+        // no tick hook, so it mixes transient kinds only.
+        const unsigned kinds =
+            cfg.mode == ExecMode::Replay ? 4u : kNumFaultKinds;
+        const std::uint64_t slot =
+            (iter / (nPerms * 2)) % (kinds + 1);
+        if (slot > 0) {
+            p.faulted = true;
+            p.kind = static_cast<FaultKind>(slot - 1);
+        }
+        break;
+      }
+    }
+    return p;
+}
+
+/** What one iteration hands back for classification. */
+struct IterOut
+{
+    bool completed = false;
+    std::string failure; ///< when !completed
+    Outcome outcome;
+    bool hasChecksum = false; ///< processor rail only
+    Value checksum = 0;
+    std::uint64_t squashes = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t episodes = 0;
+};
+
+IterOut
+runProcessorIter(const LitmusTest &test, const EngineConfig &cfg,
+                 const IterPlan &plan)
+{
+    IterOut out;
+    const LitmusProgram prog =
+        buildProgram(test, plan.order, plan.opts);
+
+    MainMemory mem;
+    std::unique_ptr<SpecMem> sys;
+    SvcSystem *svcSys = nullptr;
+    if (cfg.backend == Backend::Arb) {
+        sys = std::make_unique<ArbSystem>(ArbTimingConfig{}, mem);
+    } else {
+        auto s = std::make_unique<SvcSystem>(makeDesign(cfg.design),
+                                             mem);
+        svcSys = s.get();
+        sys = std::move(s);
+    }
+    prog.program.loadInto(mem);
+
+    FaultInjector inj(transientConfig(plan.kind, plan.seed));
+    const bool transient = plan.faulted && !isCorruption(plan.kind);
+    const bool corrupting = plan.faulted && isCorruption(plan.kind);
+    if (transient && svcSys)
+        svcSys->attachFaultInjector(&inj);
+
+    InvariantEngine eng;
+    const bool recovered = cfg.recover && svcSys != nullptr;
+    if (recovered)
+        svcSys->attachInvariants(eng);
+
+    MultiscalarConfig mcfg;
+    mcfg.maxCycles = 2'000'000;
+    mcfg.watchdogFatal = false;
+    Processor cpu(mcfg, prog.program, *sys);
+
+    std::unique_ptr<RecoveryManager> rm;
+    if (recovered) {
+        RecoveryConfig rcfg; // defaults: full degrade ladder
+        rm = std::make_unique<RecoveryManager>(
+            rcfg, cpu, *svcSys, mem, eng,
+            transient ? &inj : nullptr, 0x117u + plan.seed);
+    }
+    std::unique_ptr<SvcCorruptor> corruptor;
+    if (corrupting && svcSys) {
+        corruptor =
+            std::make_unique<SvcCorruptor>(svcSys->protocol(), inj);
+    }
+
+    // A litmus program is a few dozen cycles long: one corruption,
+    // armed early and retried each cycle until live speculative
+    // state is eligible, is the whole schedule.
+    Counter applied = 0;
+    bool pending = corruptor != nullptr;
+    const Cycle first = 10 + (plan.seed % 7);
+    cpu.setTickHook([&](Cycle at) {
+        if (pending && at >= first &&
+            corruptor->corrupt(plan.kind).injected) {
+            pending = false;
+            ++applied;
+            // Detect before first use (recovery rail only): a
+            // corrupt byte laundered by a later store is invisible
+            // to every checker.
+            if (recovered)
+                eng.runChecks(at);
+        }
+        if (rm)
+            rm->onTick(at);
+    });
+
+    const RunStats rs = cpu.run();
+    sys->finalizeMemory();
+
+    out.completed = rs.halted;
+    if (!rs.halted) {
+        out.failure = rs.watchdogTripped ? "watchdog tripped"
+                                         : "cycle cap exceeded";
+    }
+    out.outcome = extractOutcome(test, prog, mem);
+    out.hasChecksum = true;
+    out.checksum = static_cast<Value>(mem.readWord(prog.obsBase));
+    out.squashes = rs.violationSquashes;
+    out.injected = transient ? inj.injected(plan.kind) : applied;
+    out.episodes = rm ? rm->nEpisodes : 0;
+    return out;
+}
+
+IterOut
+runReplayIter(const LitmusTest &test, const EngineConfig &cfg,
+              const IterPlan &plan)
+{
+    IterOut out;
+    workloads::VectorStream stream(
+        buildStream(test, plan.order, plan.opts),
+        /*has_load_values=*/false);
+
+    MainMemory mem; // zeroed: litmus locations all start at 0
+    std::unique_ptr<SpecMem> sys;
+    SvcSystem *svcSys = nullptr;
+    if (cfg.backend == Backend::Arb) {
+        sys = std::make_unique<ArbSystem>(ArbTimingConfig{}, mem);
+    } else {
+        auto s = std::make_unique<SvcSystem>(makeDesign(cfg.design),
+                                             mem);
+        svcSys = s.get();
+        sys = std::move(s);
+    }
+
+    FaultInjector inj(transientConfig(plan.kind, plan.seed));
+    const bool transient = plan.faulted && !isCorruption(plan.kind);
+    if (transient && svcSys)
+        svcSys->attachFaultInjector(&inj);
+
+    trace_io::ReplayConfig rcfg;
+    rcfg.numPus = cfg.numPus;
+    rcfg.interleaveSeed = plan.seed;
+    rcfg.checkLoadValues = false;
+    rcfg.captureLoadValues = true;
+    const trace_io::ReplayResult r =
+        trace_io::replayStream(stream, *sys, rcfg);
+    sys->finalizeMemory();
+
+    out.completed = r.ok;
+    if (!r.ok)
+        out.failure = r.error;
+    else
+        out.outcome = streamOutcome(test, plan.order,
+                                    r.committedLoads, mem,
+                                    plan.opts);
+    out.squashes = r.squashes;
+    out.injected = transient ? inj.injected(plan.kind) : 0;
+    return out;
+}
+
+/** The observer task's checksum discipline (codegen.cc fini). */
+Value
+foldOutcome(const Outcome &o)
+{
+    Value sum = 0;
+    for (Value v : o.regs)
+        sum = sum * 31 + v;
+    for (Value v : o.mem)
+        sum = sum * 31 + v;
+    return sum;
+}
+
+} // namespace
+
+ShapeReport
+runShape(const LitmusTest &test, const EngineConfig &cfg)
+{
+    if (cfg.backend == Backend::Arb && cfg.faultMode != FaultMode::None)
+        fatal("litmus %s: the ARB baseline has no fault hooks",
+              test.name.c_str());
+    if (cfg.mode == ExecMode::Replay &&
+        cfg.faultMode == FaultMode::Single &&
+        isCorruption(cfg.faultKind)) {
+        fatal("litmus %s: corruption kinds need the processor "
+              "rail's tick hook, not the replay rail",
+              test.name.c_str());
+    }
+
+    ShapeReport rep;
+    rep.shape = test.name;
+    const AllowedSet allowed = AllowedSet::enumerate(test);
+    const std::vector<Outcome> sc = enumerateScOutcomes(test);
+    rep.allowedSize = allowed.outcomes().size();
+    rep.scSize = sc.size();
+
+    // serialOutcome() per permutation, computed once.
+    std::map<std::uint64_t, Outcome> serialByPerm;
+    std::set<Outcome> seenAllowed;
+
+    for (std::uint64_t iter = 0; iter < cfg.iterations; ++iter) {
+        const IterPlan plan = planFor(test, cfg, iter);
+        const IterOut io = cfg.mode == ExecMode::Processor
+                               ? runProcessorIter(test, cfg, plan)
+                               : runReplayIter(test, cfg, plan);
+        ++rep.iterations;
+        rep.squashes += io.squashes;
+        rep.injected += io.injected;
+        rep.episodes += io.episodes;
+
+        auto flag = [&](const std::string &kind,
+                        const std::string &detail) {
+            ++rep.violationCount;
+            if (rep.violations.size() >= cfg.maxDiagnostics)
+                return;
+            LitmusViolation v;
+            v.iteration = iter;
+            v.permIndex = plan.permIndex;
+            v.kind = kind;
+            v.order = taskOrderString(test, plan.order);
+            v.observed = outcomeString(test, io.outcome);
+            auto it = serialByPerm.find(plan.permIndex);
+            if (it != serialByPerm.end())
+                v.expected = outcomeString(test, it->second);
+            v.detail = detail;
+            rep.violations.push_back(std::move(v));
+        };
+
+        if (!io.completed) {
+            flag("no-progress", io.failure);
+            continue;
+        }
+
+        auto it = serialByPerm.find(plan.permIndex);
+        if (it == serialByPerm.end()) {
+            it = serialByPerm
+                     .emplace(plan.permIndex,
+                              serialOutcome(test, plan.order))
+                     .first;
+        }
+        const Outcome &serial = it->second;
+
+        rep.histogram[outcomeString(test, io.outcome)]++;
+        if (allowed.contains(io.outcome))
+            seenAllowed.insert(io.outcome);
+
+        if (io.hasChecksum &&
+            io.checksum != foldOutcome(io.outcome)) {
+            flag("observer-checksum",
+                 "checksum word does not fold from the recorded "
+                 "observations — observer state is torn");
+            continue;
+        }
+
+        if (!allowed.contains(io.outcome)) {
+            const bool inSc =
+                std::binary_search(sc.begin(), sc.end(), io.outcome);
+            std::string detail =
+                inSc ? "inside per-op SC: task atomicity was broken"
+                     : "outside even per-op SC";
+            if (!test.interesting.empty() &&
+                outcomeString(test, io.outcome) == test.interesting)
+                detail += " (the classic weak-memory outcome)";
+            flag(inSc ? "forbidden-sc-only" : "forbidden-non-sc",
+                 detail);
+        } else if (!(io.outcome == serial)) {
+            const TaskOrder *w = allowed.witness(io.outcome);
+            flag("order-divergence",
+                 "explained only by " +
+                     (w ? taskOrderString(test, *w)
+                        : std::string("<none>")) +
+                     ", not the program's task order");
+        }
+    }
+
+    rep.allowedCovered = seenAllowed.size();
+    rep.ok = rep.iterations == cfg.iterations &&
+             rep.violationCount == 0;
+    return rep;
+}
+
+std::string
+reportString(const ShapeReport &r)
+{
+    std::string s = r.shape + ": " +
+                    std::to_string(r.iterations) + " iterations, " +
+                    std::to_string(r.histogram.size()) +
+                    " distinct outcomes (allowed " +
+                    std::to_string(r.allowedSize) + ", covered " +
+                    std::to_string(r.allowedCovered) + ", SC " +
+                    std::to_string(r.scSize) + "), " +
+                    std::to_string(r.violationCount) +
+                    " violations\n";
+    for (const auto &[key, count] : r.histogram) {
+        s += "  " + std::to_string(count) + "x {" + key + "}\n";
+    }
+    for (const LitmusViolation &v : r.violations) {
+        s += "  VIOLATION [" + v.kind + "] iter " +
+             std::to_string(v.iteration) + " order " + v.order +
+             "\n    observed {" + v.observed + "}\n    expected {" +
+             v.expected + "}\n    " + v.detail + "\n";
+    }
+    return s;
+}
+
+} // namespace svc::litmus

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The iterated litmus runner: executes one shape thousands of times
+ * across task permutations, location strides and (optionally) fault
+ * injections, histograms the observed outcomes, and checks every
+ * single one against the enumeration oracle.
+ *
+ * Two execution rails, selected by EngineConfig::mode:
+ *
+ *  - Processor: the shape is lowered to a task-annotated MiniISA
+ *    program and run through the full multiscalar + SVC (or ARB)
+ *    stack — the rail where every FaultKind and the staged recovery
+ *    ladder apply, exactly as in the recovery matrix.
+ *
+ *  - Replay: the shape is lowered to a per-thread access stream and
+ *    driven through the speculative replay driver with a seeded
+ *    interleaving — cheap volume, a different speculation schedule
+ *    per iteration (transient faults only; corruptions need the
+ *    processor's tick hook).
+ *
+ * Both rails fix the sequential task order per iteration, so the
+ * correctness contract is two-tiered: the outcome must equal the
+ * serial outcome of *that* order (the strict check), and any
+ * deviation is classified against the full task-serial allowed set
+ * and the per-op SC set to say exactly how bad it is — order
+ * divergence, task atomicity broken, or fully non-SC.
+ */
+
+#ifndef SVC_LITMUS_ENGINE_HH
+#define SVC_LITMUS_ENGINE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "litmus/oracle.hh"
+#include "mem/fault_injector.hh"
+#include "recovery/recovery_manager.hh"
+#include "svc/design.hh"
+
+namespace svc::litmus
+{
+
+/** Which memory system executes the shape. */
+enum class Backend
+{
+    Svc, ///< one of the six SVC design points
+    Arb  ///< the ARB baseline (no fault hooks)
+};
+
+/** Which rail executes the shape (see file comment). */
+enum class ExecMode
+{
+    Processor,
+    Replay
+};
+
+/** Fault campaign across the iteration space. */
+enum class FaultMode
+{
+    None,   ///< fault-free
+    Single, ///< EngineConfig::faultKind on every iteration
+    Mix     ///< cycle through every applicable kind (plus none)
+};
+
+/** One litmus campaign's knobs. */
+struct EngineConfig
+{
+    Backend backend = Backend::Svc;
+    SvcDesign design = SvcDesign::Final;
+    ExecMode mode = ExecMode::Processor;
+    std::uint64_t iterations = 1000;
+    /** Base seed; per-iteration seeds derive deterministically. */
+    std::uint64_t seed = 1;
+    FaultMode faultMode = FaultMode::None;
+    FaultKind faultKind = FaultKind::BusNack; ///< FaultMode::Single
+    /**
+     * Attach the RecoveryManager (policy ladder at its defaults) so
+     * corruptions are repaired before they can leak into an
+     * outcome. Processor+Svc only; ignored elsewhere.
+     */
+    bool recover = true;
+    /** Replay rail: PUs of the replay driver. */
+    unsigned numPus = 4;
+    /** Cap on retained violation diagnostics. */
+    std::size_t maxDiagnostics = 8;
+};
+
+/** One forbidden (or malformed) observation, fully explained. */
+struct LitmusViolation
+{
+    std::uint64_t iteration = 0;
+    std::uint64_t permIndex = 0;
+    /**
+     * Classification:
+     *  - "no-progress": the run did not halt / replay stalled;
+     *  - "observer-checksum": the observer task's checksum does not
+     *    fold from the observations (torn observer state);
+     *  - "order-divergence": outcome is serially explainable, but
+     *    by a *different* order than the program's task sequence;
+     *  - "forbidden-sc-only": outside the task-serial set but
+     *    inside per-op SC — task atomicity was broken;
+     *  - "forbidden-non-sc": outside even per-op SC.
+     */
+    std::string kind;
+    std::string order;    ///< the iteration's task order
+    std::string observed; ///< outcomeString() of what happened
+    std::string expected; ///< serial outcome of that order
+    std::string detail;   ///< witness / classification notes
+};
+
+/** Everything one campaign reports. */
+struct ShapeReport
+{
+    std::string shape;
+    std::uint64_t iterations = 0;
+    /** outcomeString() -> times observed. */
+    std::map<std::string, std::uint64_t> histogram;
+    std::uint64_t violationCount = 0;
+    std::vector<LitmusViolation> violations; ///< first maxDiagnostics
+    /** Task-serial allowed set size (the oracle's). */
+    std::size_t allowedSize = 0;
+    /** Per-op SC set size (diagnostic superset). */
+    std::size_t scSize = 0;
+    /** Distinct allowed outcomes actually observed. */
+    std::size_t allowedCovered = 0;
+    std::uint64_t squashes = 0; ///< dependence-violation squashes
+    std::uint64_t injected = 0; ///< faults actually injected
+    std::uint64_t episodes = 0; ///< recovery episodes handled
+    bool ok = false; ///< ran to completion with zero violations
+};
+
+/** Run one campaign. fatal() on unsupported combinations (faults on
+ *  ARB; corruption kinds on the replay rail). */
+ShapeReport runShape(const LitmusTest &test, const EngineConfig &cfg);
+
+/** Render @p r as a compact human-readable block (CLI/test logs). */
+std::string reportString(const ShapeReport &r);
+
+} // namespace svc::litmus
+
+#endif // SVC_LITMUS_ENGINE_HH

@@ -1,0 +1,118 @@
+#include "litmus/litmus.hh"
+
+#include "common/log.hh"
+
+namespace svc::litmus
+{
+
+unsigned
+LitmusTest::totalLoads() const
+{
+    unsigned n = 0;
+    for (const LitmusThread &t : threads)
+        n += t.numLoads;
+    return n;
+}
+
+std::string
+outcomeString(const LitmusTest &test, const Outcome &o)
+{
+    std::string s;
+    std::size_t r = 0;
+    for (const LitmusThread &t : test.threads) {
+        for (unsigned i = 0; i < t.numLoads; ++i, ++r) {
+            if (!s.empty())
+                s += ' ';
+            s += t.name + ":r" + std::to_string(i) + '=';
+            s += r < o.regs.size() ? std::to_string(o.regs[r])
+                                   : std::string("?");
+        }
+    }
+    if (!test.locations.empty()) {
+        s += s.empty() ? "| " : " | ";
+        for (std::size_t l = 0; l < test.locations.size(); ++l) {
+            if (l)
+                s += ' ';
+            s += test.locations[l] + '=';
+            s += l < o.mem.size() ? std::to_string(o.mem[l])
+                                  : std::string("?");
+        }
+    }
+    return s;
+}
+
+LitmusBuilder::LitmusBuilder(const std::string &name)
+{
+    test.name = name;
+}
+
+unsigned
+LitmusBuilder::loc(const std::string &name)
+{
+    for (unsigned i = 0; i < test.locations.size(); ++i) {
+        if (test.locations[i] == name)
+            return i;
+    }
+    test.locations.push_back(name);
+    return static_cast<unsigned>(test.locations.size() - 1);
+}
+
+LitmusBuilder &
+LitmusBuilder::thread(const std::string &name)
+{
+    LitmusThread t;
+    t.name = name;
+    test.threads.push_back(std::move(t));
+    return *this;
+}
+
+LitmusBuilder &
+LitmusBuilder::st(const std::string &location, Value value)
+{
+    if (test.threads.empty())
+        fatal("litmus %s: st() before thread()", test.name.c_str());
+    LitmusOp op;
+    op.isStore = true;
+    op.loc = loc(location);
+    op.value = value;
+    test.threads.back().ops.push_back(op);
+    return *this;
+}
+
+LitmusBuilder &
+LitmusBuilder::ld(const std::string &location)
+{
+    if (test.threads.empty())
+        fatal("litmus %s: ld() before thread()", test.name.c_str());
+    LitmusThread &t = test.threads.back();
+    LitmusOp op;
+    op.loc = loc(location);
+    op.obs = t.numLoads++;
+    t.ops.push_back(op);
+    return *this;
+}
+
+LitmusBuilder &
+LitmusBuilder::interesting(const std::string &description)
+{
+    test.interesting = description;
+    return *this;
+}
+
+LitmusTest
+LitmusBuilder::build()
+{
+    if (built)
+        fatal("litmus %s: build() called twice", test.name.c_str());
+    built = true;
+    if (test.threads.empty())
+        fatal("litmus %s: no threads", test.name.c_str());
+    for (const LitmusThread &t : test.threads) {
+        if (t.ops.empty())
+            fatal("litmus %s: thread %s has no operations",
+                  test.name.c_str(), t.name.c_str());
+    }
+    return test;
+}
+
+} // namespace svc::litmus

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Litmus-test DSL for adversarial memory-ordering scenarios.
+ *
+ * A litmus test is a small concurrent skeleton: a handful of named
+ * shared locations, a handful of threads each issuing a few loads
+ * and stores in program order, and an outcome — the values every
+ * load observed plus the final value of every location. The classic
+ * shapes (MP, SB, LB, WRC, IRIW, CoRR, ...) are exactly the
+ * adversarial patterns a weakly ordered memory system reorders; a
+ * speculative versioning system must instead make every execution
+ * explainable by a *sequential task order* (the SVC's whole
+ * correctness claim), so the allowed outcome set is computed by the
+ * enumeration oracle (litmus/oracle.hh), never hand-written.
+ *
+ * Threads map 1:1 onto speculative tasks. The task order is a
+ * permutation of the threads chosen per instantiation, so an
+ * iterated campaign observes every serial order the oracle allows —
+ * and nothing else, or the run is flagged with a structured
+ * diagnostic.
+ */
+
+#ifndef SVC_LITMUS_LITMUS_HH
+#define SVC_LITMUS_LITMUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svc::litmus
+{
+
+/** Values stored/observed by litmus operations (MiniISA words). */
+using Value = std::uint32_t;
+
+/** One litmus operation: a store of a constant, or a load whose
+ *  observed value becomes part of the outcome. */
+struct LitmusOp
+{
+    bool isStore = false;
+    unsigned loc = 0; ///< index into LitmusTest::locations
+    Value value = 0;  ///< store payload (stores only)
+    /** Observation index of a load, dense per thread in program
+     *  order (assigned by the builder). */
+    unsigned obs = 0;
+};
+
+/** One litmus thread (one speculative task). */
+struct LitmusThread
+{
+    std::string name; ///< "P0", "P1", ...
+    std::vector<LitmusOp> ops;
+    unsigned numLoads = 0;
+};
+
+/** A complete litmus test. */
+struct LitmusTest
+{
+    std::string name;
+    /** Shared locations ("x", "y", ...); all start at 0. */
+    std::vector<std::string> locations;
+    std::vector<LitmusThread> threads;
+    /**
+     * The shape's classic weak-memory outcome (the "exists" clause
+     * of the litmus literature), formatted like outcomeString().
+     * Purely informational: the allowed set always comes from the
+     * oracle, and for every shape in the library this outcome lies
+     * outside it.
+     */
+    std::string interesting;
+
+    /** Total loads across all threads. */
+    unsigned totalLoads() const;
+};
+
+/**
+ * One observed (or enumerated) execution result: every load's
+ * value in thread-major program order, then every location's final
+ * value. Ordering is by original thread index — independent of the
+ * task permutation a run used — so outcomes from different
+ * permutations histogram into the same key space.
+ */
+struct Outcome
+{
+    std::vector<Value> regs; ///< loads, thread-major program order
+    std::vector<Value> mem;  ///< final value per location
+
+    bool operator==(const Outcome &o) const
+    {
+        return regs == o.regs && mem == o.mem;
+    }
+    bool
+    operator<(const Outcome &o) const
+    {
+        if (regs != o.regs)
+            return regs < o.regs;
+        return mem < o.mem;
+    }
+};
+
+/** Render @p o against @p test: "P1:r0=1 P1:r1=0 | x=1 y=1". */
+std::string outcomeString(const LitmusTest &test, const Outcome &o);
+
+/** Fluent construction of LitmusTests (see litmus/shapes.cc). */
+class LitmusBuilder
+{
+  public:
+    explicit LitmusBuilder(const std::string &name);
+
+    /** Declare a shared location; @return its index. Locations may
+     *  also be declared implicitly by first use. */
+    unsigned loc(const std::string &name);
+
+    /** Start a new thread; subsequent st()/ld() append to it. */
+    LitmusBuilder &thread(const std::string &name);
+
+    /** Append a store of @p value to @p location. */
+    LitmusBuilder &st(const std::string &location, Value value);
+
+    /** Append a load whose observation joins the outcome. */
+    LitmusBuilder &ld(const std::string &location);
+
+    /** Attach the classic weak-memory outcome description. */
+    LitmusBuilder &interesting(const std::string &description);
+
+    /** Validate and return the finished test (one shot). */
+    LitmusTest build();
+
+  private:
+    LitmusTest test;
+    bool built = false;
+};
+
+} // namespace svc::litmus
+
+#endif // SVC_LITMUS_LITMUS_HH

@@ -1,0 +1,208 @@
+#include "litmus/oracle.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.hh"
+
+namespace svc::litmus
+{
+
+namespace
+{
+
+/** Functional execution state: location values + observations. */
+struct ExecState
+{
+    std::vector<Value> mem;  ///< per location
+    std::vector<Value> regs; ///< per load, thread-major
+    /** Base index of each thread's observation block. */
+    std::vector<unsigned> regBase;
+
+    explicit ExecState(const LitmusTest &test)
+        : mem(test.locations.size(), 0),
+          regs(test.totalLoads(), 0)
+    {
+        unsigned base = 0;
+        for (const LitmusThread &t : test.threads) {
+            regBase.push_back(base);
+            base += t.numLoads;
+        }
+    }
+
+    void
+    apply(unsigned thread, const LitmusOp &op)
+    {
+        if (op.isStore)
+            mem[op.loc] = op.value;
+        else
+            regs[regBase[thread] + op.obs] = mem[op.loc];
+    }
+
+    Outcome
+    outcome() const
+    {
+        Outcome o;
+        o.regs = regs;
+        o.mem = mem;
+        return o;
+    }
+};
+
+} // namespace
+
+std::uint64_t
+numTaskOrders(const LitmusTest &test)
+{
+    std::uint64_t f = 1;
+    for (std::size_t i = 2; i <= test.threads.size(); ++i)
+        f *= i;
+    return f;
+}
+
+TaskOrder
+taskOrderByIndex(const LitmusTest &test, std::uint64_t index)
+{
+    const unsigned n = static_cast<unsigned>(test.threads.size());
+    std::vector<unsigned> pool;
+    for (unsigned i = 0; i < n; ++i)
+        pool.push_back(i);
+    std::uint64_t k = index % numTaskOrders(test);
+    // Factorial number system: digit i selects from the remaining
+    // pool, giving the k'th lexicographic permutation.
+    std::uint64_t radix = numTaskOrders(test);
+    TaskOrder order;
+    for (unsigned i = 0; i < n; ++i) {
+        radix /= (n - i);
+        const std::size_t pick = static_cast<std::size_t>(k / radix);
+        k %= radix;
+        order.push_back(pool[pick]);
+        pool.erase(pool.begin() +
+                   static_cast<std::ptrdiff_t>(pick));
+    }
+    return order;
+}
+
+std::string
+taskOrderString(const LitmusTest &test, const TaskOrder &order)
+{
+    std::string s;
+    for (unsigned t : order) {
+        if (!s.empty())
+            s += "->";
+        s += test.threads[t].name;
+    }
+    return s;
+}
+
+Outcome
+serialOutcome(const LitmusTest &test, const TaskOrder &order)
+{
+    if (order.size() != test.threads.size())
+        fatal("litmus %s: order has %zu entries for %zu threads",
+              test.name.c_str(), order.size(),
+              test.threads.size());
+    ExecState st(test);
+    for (unsigned t : order) {
+        for (const LitmusOp &op : test.threads[t].ops)
+            st.apply(t, op);
+    }
+    return st.outcome();
+}
+
+bool
+AllowedSet::contains(const Outcome &o) const
+{
+    return std::binary_search(sorted.begin(), sorted.end(), o);
+}
+
+const TaskOrder *
+AllowedSet::witness(const Outcome &o) const
+{
+    const auto it =
+        std::lower_bound(sorted.begin(), sorted.end(), o);
+    if (it == sorted.end() || !(*it == o))
+        return nullptr;
+    return &explainedBy[static_cast<std::size_t>(
+        it - sorted.begin())];
+}
+
+std::string
+AllowedSet::describe(const LitmusTest &test) const
+{
+    std::string s;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        s += "  {" + outcomeString(test, sorted[i]) + "}  <=  " +
+             taskOrderString(test, explainedBy[i]) + '\n';
+    }
+    return s;
+}
+
+AllowedSet
+AllowedSet::enumerate(const LitmusTest &test)
+{
+    struct Entry
+    {
+        Outcome o;
+        TaskOrder order;
+        bool operator<(const Entry &e) const { return o < e.o; }
+    };
+    std::set<Entry> found;
+    const std::uint64_t n = numTaskOrders(test);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const TaskOrder order = taskOrderByIndex(test, i);
+        found.insert({serialOutcome(test, order), order});
+    }
+    AllowedSet set;
+    for (const Entry &e : found) {
+        set.sorted.push_back(e.o);
+        set.explainedBy.push_back(e.order);
+    }
+    return set;
+}
+
+namespace
+{
+
+void
+scDfs(const LitmusTest &test, ExecState &st,
+      std::vector<std::size_t> &pc, std::set<Outcome> &out)
+{
+    bool any = false;
+    for (unsigned t = 0; t < test.threads.size(); ++t) {
+        const auto &ops = test.threads[t].ops;
+        if (pc[t] >= ops.size())
+            continue;
+        any = true;
+        const LitmusOp &op = ops[pc[t]];
+        // Save-apply-recurse-restore: stores clobber one memory
+        // cell, loads one observation slot.
+        const Value saved = op.isStore
+                                ? st.mem[op.loc]
+                                : st.regs[st.regBase[t] + op.obs];
+        st.apply(t, op);
+        ++pc[t];
+        scDfs(test, st, pc, out);
+        --pc[t];
+        if (op.isStore)
+            st.mem[op.loc] = saved;
+        else
+            st.regs[st.regBase[t] + op.obs] = saved;
+    }
+    if (!any)
+        out.insert(st.outcome());
+}
+
+} // namespace
+
+std::vector<Outcome>
+enumerateScOutcomes(const LitmusTest &test)
+{
+    ExecState st(test);
+    std::vector<std::size_t> pc(test.threads.size(), 0);
+    std::set<Outcome> out;
+    scDfs(test, st, pc, out);
+    return {out.begin(), out.end()};
+}
+
+} // namespace svc::litmus

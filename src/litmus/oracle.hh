@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The SC-explainability oracle: computes a litmus test's allowed
+ * outcome set by exhaustive enumeration instead of hand-written
+ * expectations.
+ *
+ * Two granularities matter:
+ *
+ *  - Task-serial enumeration executes whole threads atomically in
+ *    every permutation (n! serial orders). This is the speculative
+ *    versioning contract — the paper's claim is that *any*
+ *    execution, however wild the speculation, is explainable by a
+ *    sequential order of the tasks — so it is the set every
+ *    observed outcome is checked against.
+ *
+ *  - Per-operation SC enumeration interleaves individual accesses
+ *    (program order preserved per thread). This is classical
+ *    sequential consistency — a strict superset of the task-serial
+ *    set — reported alongside so diagnostics can say whether a
+ *    forbidden outcome is merely "task atomicity broken" (inside
+ *    SC, outside task-serial) or fully non-SC.
+ *
+ * Both enumerations run a functional model over a location→value
+ * map; litmus programs are tiny (≤ 4 threads × ≤ 4 ops), so the
+ * state space is trivially exhaustible.
+ */
+
+#ifndef SVC_LITMUS_ORACLE_HH
+#define SVC_LITMUS_ORACLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "litmus/litmus.hh"
+
+namespace svc::litmus
+{
+
+/** A task order: order[i] is the original thread index that runs
+ *  as the i'th speculative task. */
+using TaskOrder = std::vector<unsigned>;
+
+/** @return n! for the test's thread count. */
+std::uint64_t numTaskOrders(const LitmusTest &test);
+
+/** @return the @p index'th lexicographic permutation of threads. */
+TaskOrder taskOrderByIndex(const LitmusTest &test,
+                           std::uint64_t index);
+
+/** Render an order as "P1->P0->P2". */
+std::string taskOrderString(const LitmusTest &test,
+                            const TaskOrder &order);
+
+/**
+ * Execute @p test functionally with whole threads run atomically
+ * in @p order. The result's regs/mem are indexed by *original*
+ * thread/location index (see Outcome), so results from different
+ * orders are directly comparable.
+ */
+Outcome serialOutcome(const LitmusTest &test, const TaskOrder &order);
+
+/** The task-serial allowed set plus one explaining order per
+ *  outcome (the explainability witness for diagnostics). */
+class AllowedSet
+{
+  public:
+    bool contains(const Outcome &o) const;
+
+    /** An order explaining @p o, or nullptr if not allowed. */
+    const TaskOrder *witness(const Outcome &o) const;
+
+    const std::vector<Outcome> &outcomes() const { return sorted; }
+
+    /** "{P0:... | x=..} <= P0->P1 ..." multi-line listing. */
+    std::string describe(const LitmusTest &test) const;
+
+    /** Enumerate all n! serial task orders of @p test. */
+    static AllowedSet enumerate(const LitmusTest &test);
+
+  private:
+    std::vector<Outcome> sorted;        ///< unique, ascending
+    std::vector<TaskOrder> explainedBy; ///< parallel to sorted
+};
+
+/**
+ * Classical SC: every per-operation interleaving that preserves
+ * each thread's program order. @return the sorted unique outcome
+ * set (a superset of the task-serial set).
+ */
+std::vector<Outcome> enumerateScOutcomes(const LitmusTest &test);
+
+} // namespace svc::litmus
+
+#endif // SVC_LITMUS_ORACLE_HH

@@ -1,0 +1,164 @@
+#include "litmus/shapes.hh"
+
+namespace svc::litmus
+{
+
+namespace
+{
+
+/** Message passing: the consumer must not see the flag without the
+ *  payload. */
+LitmusTest
+makeMp()
+{
+    LitmusBuilder b("MP");
+    b.thread("P0").st("x", 1).st("y", 1);
+    b.thread("P1").ld("y").ld("x");
+    b.interesting("P1:r0=1 P1:r1=0 | x=1 y=1");
+    return b.build();
+}
+
+/** Store buffering: both threads must not read 0 (the TSO-visible
+ *  reordering). */
+LitmusTest
+makeSb()
+{
+    LitmusBuilder b("SB");
+    b.thread("P0").st("x", 1).ld("y");
+    b.thread("P1").st("y", 1).ld("x");
+    b.interesting("P0:r0=0 P1:r0=0 | x=1 y=1");
+    return b.build();
+}
+
+/** Load buffering: loads must not both observe the other thread's
+ *  later store. */
+LitmusTest
+makeLb()
+{
+    LitmusBuilder b("LB");
+    b.thread("P0").ld("x").st("y", 1);
+    b.thread("P1").ld("y").st("x", 1);
+    b.interesting("P0:r0=1 P1:r0=1 | x=1 y=1");
+    return b.build();
+}
+
+/** Write-to-read causality: P2 sees P1's write (which saw P0's)
+ *  but not P0's — causality chain broken. */
+LitmusTest
+makeWrc()
+{
+    LitmusBuilder b("WRC");
+    b.thread("P0").st("x", 1);
+    b.thread("P1").ld("x").st("y", 1);
+    b.thread("P2").ld("y").ld("x");
+    b.interesting(
+        "P1:r0=1 P2:r0=1 P2:r1=0 | x=1 y=1");
+    return b.build();
+}
+
+/** Independent reads of independent writes: the two readers must
+ *  agree on the order of the writes. */
+LitmusTest
+makeIriw()
+{
+    LitmusBuilder b("IRIW");
+    b.thread("P0").st("x", 1);
+    b.thread("P1").st("y", 1);
+    b.thread("P2").ld("x").ld("y");
+    b.thread("P3").ld("y").ld("x");
+    b.interesting("P2:r0=1 P2:r1=0 P3:r0=1 P3:r1=0 | x=1 y=1");
+    return b.build();
+}
+
+/** Coherence read-read: two reads of one location must not go
+ *  backwards in its coherence order. */
+LitmusTest
+makeCoRr()
+{
+    LitmusBuilder b("CoRR");
+    b.thread("P0").st("x", 1);
+    b.thread("P1").ld("x").ld("x");
+    b.interesting("P1:r0=1 P1:r1=0 | x=1");
+    return b.build();
+}
+
+/** Coherence write-write: program-order stores of one thread must
+ *  settle in program order against a concurrent writer. */
+LitmusTest
+makeCoWw()
+{
+    LitmusBuilder b("CoWW");
+    b.thread("P0").st("x", 1).st("x", 2);
+    b.thread("P1").st("x", 3);
+    b.interesting("| x=1");
+    return b.build();
+}
+
+/** 2+2W: the cross-written pair must not end with both first
+ *  writes surviving. */
+LitmusTest
+make2p2w()
+{
+    LitmusBuilder b("2+2W");
+    b.thread("P0").st("x", 1).st("y", 2);
+    b.thread("P1").st("y", 1).st("x", 2);
+    b.interesting("| x=1 y=1");
+    return b.build();
+}
+
+/** R: a write racing a write-then-read — the reader must not miss
+ *  the other thread's first write if its own write lost. */
+LitmusTest
+makeR()
+{
+    LitmusBuilder b("R");
+    b.thread("P0").st("x", 1).st("y", 1);
+    b.thread("P1").st("y", 2).ld("x");
+    b.interesting("P1:r0=0 | x=1 y=2");
+    return b.build();
+}
+
+/** S: a write-then-write racing a read-then-write — the early
+ *  write must not survive a writer the reader observed. */
+LitmusTest
+makeS()
+{
+    LitmusBuilder b("S");
+    b.thread("P0").st("x", 2).st("y", 1);
+    b.thread("P1").ld("y").st("x", 1);
+    b.interesting("P1:r0=1 | x=2 y=1");
+    return b.build();
+}
+
+} // namespace
+
+const std::vector<LitmusTest> &
+shapeLibrary()
+{
+    static const std::vector<LitmusTest> shapes = {
+        makeMp(),  makeSb(),   makeLb(), makeWrc(), makeIriw(),
+        makeCoRr(), makeCoWw(), make2p2w(), makeR(), makeS(),
+    };
+    return shapes;
+}
+
+const LitmusTest *
+findShape(const std::string &name)
+{
+    for (const LitmusTest &t : shapeLibrary()) {
+        if (t.name == name)
+            return &t;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+shapeNames()
+{
+    std::vector<std::string> names;
+    for (const LitmusTest &t : shapeLibrary())
+        names.push_back(t.name);
+    return names;
+}
+
+} // namespace svc::litmus

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The classic litmus shapes, instantiated over speculative tasks.
+ * Each shape is the canonical adversarial skeleton from the weak
+ * memory-model literature; the `interesting` annotation names the
+ * outcome a weakly ordered machine could produce and a sequentially
+ * explainable one must not. The allowed sets are never written down
+ * here — the oracle enumerates them.
+ */
+
+#ifndef SVC_LITMUS_SHAPES_HH
+#define SVC_LITMUS_SHAPES_HH
+
+#include <string>
+#include <vector>
+
+#include "litmus/litmus.hh"
+
+namespace svc::litmus
+{
+
+/** All library shapes, in canonical order: MP, SB, LB, WRC, IRIW,
+ *  CoRR, CoWW, 2+2W, R, S. */
+const std::vector<LitmusTest> &shapeLibrary();
+
+/** @return the library shape named @p name (case-sensitive), or
+ *  nullptr when unknown. */
+const LitmusTest *findShape(const std::string &name);
+
+/** The library's shape names, in canonical order. */
+std::vector<std::string> shapeNames();
+
+} // namespace svc::litmus
+
+#endif // SVC_LITMUS_SHAPES_HH

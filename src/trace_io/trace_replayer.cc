@@ -24,6 +24,8 @@ struct PuState
     std::uint64_t firstMismatchIndex = 0;
     std::uint64_t firstMismatchExpected = 0;
     std::uint64_t firstMismatchObserved = 0;
+    /** Committed-load capture (ReplayConfig::captureLoadValues). */
+    std::vector<std::uint64_t> values;
 
     void
     start(std::uint64_t t, std::uint64_t ops)
@@ -33,6 +35,7 @@ struct PuState
         opCount = ops;
         threadHash = workloads::kStimulusHashInit;
         loads = stores = mismatches = 0;
+        values.clear();
     }
 };
 
@@ -52,6 +55,8 @@ replayStream(const workloads::AccessStream &stream, SpecMem &sys,
 
     const bool checkValues =
         cfg.checkLoadValues && stream.hasLoadValues();
+    if (cfg.captureLoadValues)
+        r.committedLoads.resize(static_cast<std::size_t>(n));
 
     std::vector<PuId> pendingViolators;
     sys.setViolationHandler(
@@ -112,6 +117,10 @@ replayStream(const workloads::AccessStream &stream, SpecMem &sys,
                     r.firstMismatchObserved = st.firstMismatchObserved;
                 }
                 r.loadMismatches += st.mismatches;
+                if (cfg.captureLoadValues) {
+                    r.committedLoads[static_cast<std::size_t>(
+                        st.task)] = std::move(st.values);
+                }
                 st.task = kNoTask;
                 ++next_commit;
                 idle = 0;
@@ -152,6 +161,8 @@ replayStream(const workloads::AccessStream &stream, SpecMem &sys,
             ++st.loads;
             st.threadHash =
                 workloads::hashLoadValue(st.threadHash, value);
+            if (cfg.captureLoadValues)
+                st.values.push_back(value);
             if (checkValues && value != op.value) {
                 if (st.mismatches == 0) {
                     st.firstMismatchIndex = st.opIdx;

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 #include "mem/spec_mem.hh"
@@ -43,6 +44,13 @@ struct ReplayConfig
     std::uint64_t interleaveSeed = 7;
     /** Compare loads against recorded values (when carried). */
     bool checkLoadValues = true;
+    /**
+     * Keep every committed load value per thread (squashed
+     * executions are discarded with their task). Off by default:
+     * million-thread traces only need the folded hash; the litmus
+     * engine needs the raw observations.
+     */
+    bool captureLoadValues = false;
 };
 
 /** Outcome of a replay. */
@@ -61,6 +69,10 @@ struct ReplayResult
 
     /** Folded commit-order load-value hash (see file comment). */
     std::uint64_t loadValueHash = 0;
+
+    /** Per-thread committed load values, program order (only when
+     *  ReplayConfig::captureLoadValues is set). */
+    std::vector<std::vector<std::uint64_t>> committedLoads;
 
     /** Committed loads that differed from the recorded value. */
     std::uint64_t loadMismatches = 0;

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Litmus shapes as registered workloads: every shape in the litmus
+ * library is constructible as "litmus:<shape>" through the one
+ * workload registry, so the bench harness, the sweep runner and the
+ * multiscalar_run CLI can all drive adversarial memory-ordering
+ * programs through their existing rails.
+ *
+ * The WorkloadParams map onto the litmus iteration space: the seed
+ * selects the task permutation (seed % n!), and scale >= 2 packs
+ * all locations into one cache line (the false-sharing layout)
+ * instead of one line each. The lowered program ends with the
+ * observer task's checksum fold over the whole observation area, so
+ * the harness's interpreter-reference verification is itself a
+ * serial-explainability check: any speculative reordering that
+ * escapes into an observation changes the checksum.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/log.hh"
+#include "litmus/codegen.hh"
+#include "litmus/shapes.hh"
+
+namespace svc::workloads
+{
+
+namespace
+{
+
+Workload
+makeLitmusShape(const char *shape, const WorkloadParams &params)
+{
+    const litmus::LitmusTest *test = litmus::findShape(shape);
+    if (!test)
+        fatal("litmus workload: unknown shape '%s'", shape);
+
+    const std::uint64_t nPerms = litmus::numTaskOrders(*test);
+    const litmus::TaskOrder order =
+        litmus::taskOrderByIndex(*test, params.seed % nPerms);
+    litmus::CodegenOptions opts;
+    opts.locStride = params.scale >= 2 ? 4u : 64u;
+    litmus::LitmusProgram prog =
+        litmus::buildProgram(*test, order, opts);
+
+    Workload w;
+    w.name = std::string("litmus:") + shape;
+    w.specAnalog = "litmus shape " + test->name;
+    w.program = std::move(prog.program);
+    w.checkBase = prog.checkBase;
+    w.checkLen = prog.checkLen;
+    return w;
+}
+
+#define SVC_LITMUS_MAKER(fn, shape)                                  \
+    Workload fn(const WorkloadParams &params)                        \
+    {                                                                \
+        return makeLitmusShape(shape, params);                       \
+    }
+
+SVC_LITMUS_MAKER(makeLitmusMp, "MP")
+SVC_LITMUS_MAKER(makeLitmusSb, "SB")
+SVC_LITMUS_MAKER(makeLitmusLb, "LB")
+SVC_LITMUS_MAKER(makeLitmusWrc, "WRC")
+SVC_LITMUS_MAKER(makeLitmusIriw, "IRIW")
+SVC_LITMUS_MAKER(makeLitmusCoRr, "CoRR")
+SVC_LITMUS_MAKER(makeLitmusCoWw, "CoWW")
+SVC_LITMUS_MAKER(makeLitmus2p2w, "2+2W")
+SVC_LITMUS_MAKER(makeLitmusR, "R")
+SVC_LITMUS_MAKER(makeLitmusS, "S")
+
+#undef SVC_LITMUS_MAKER
+
+// Registry keys are lowercase like every other workload name. MP
+// registers via the external anchor below.
+WorkloadRegistrar reg2("litmus:sb", makeLitmusSb);
+WorkloadRegistrar reg3("litmus:lb", makeLitmusLb);
+WorkloadRegistrar reg4("litmus:wrc", makeLitmusWrc);
+WorkloadRegistrar reg5("litmus:iriw", makeLitmusIriw);
+WorkloadRegistrar reg6("litmus:corr", makeLitmusCoRr);
+WorkloadRegistrar reg7("litmus:coww", makeLitmusCoWw);
+WorkloadRegistrar reg8("litmus:2p2w", makeLitmus2p2w);
+WorkloadRegistrar reg9("litmus:r", makeLitmusR);
+WorkloadRegistrar reg10("litmus:s", makeLitmusS);
+
+} // namespace
+
+// Archive-member anchor referenced by registry.cc (pulling any one
+// symbol links the whole object, running every registrar above).
+WorkloadRegistrar litmusRegistrar("litmus:mp", makeLitmusMp);
+
+} // namespace svc::workloads

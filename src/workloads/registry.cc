@@ -25,6 +25,7 @@ extern WorkloadRegistrar perlRegistrar;
 extern WorkloadRegistrar ijpegRegistrar;
 extern WorkloadRegistrar mgridRegistrar;
 extern WorkloadRegistrar apsiRegistrar;
+extern WorkloadRegistrar litmusRegistrar;
 
 namespace
 {
@@ -49,7 +50,7 @@ registryMap()
 WorkloadRegistrar *workloadKernelAnchors[] = {
     &compressRegistrar, &gccRegistrar,   &vortexRegistrar,
     &perlRegistrar,     &ijpegRegistrar, &mgridRegistrar,
-    &apsiRegistrar,
+    &apsiRegistrar,     &litmusRegistrar,
 };
 
 void
@@ -104,55 +105,6 @@ allWorkloads(const WorkloadParams &params)
         out.push_back(lookup(name, params));
     }
     return out;
-}
-
-Workload
-makeWorkload(const std::string &name, const WorkloadParams &params)
-{
-    return lookup(name, params);
-}
-
-// Deprecated thin wrappers over the registry.
-Workload
-makeCompress(const WorkloadParams &params)
-{
-    return lookup("compress", params);
-}
-
-Workload
-makeGcc(const WorkloadParams &params)
-{
-    return lookup("gcc", params);
-}
-
-Workload
-makeVortex(const WorkloadParams &params)
-{
-    return lookup("vortex", params);
-}
-
-Workload
-makePerl(const WorkloadParams &params)
-{
-    return lookup("perl", params);
-}
-
-Workload
-makeIjpeg(const WorkloadParams &params)
-{
-    return lookup("ijpeg", params);
-}
-
-Workload
-makeMgrid(const WorkloadParams &params)
-{
-    return lookup("mgrid", params);
-}
-
-Workload
-makeApsi(const WorkloadParams &params)
-{
-    return lookup("apsi", params);
 }
 
 } // namespace svc::workloads

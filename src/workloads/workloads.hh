@@ -85,20 +85,6 @@ class WorkloadRegistrar
 /** All seven benchmarks, in the paper's Table 2 order. */
 std::vector<Workload> allWorkloads(const WorkloadParams &params);
 
-/** Deprecated alias for lookup(); prefer lookup(). */
-Workload makeWorkload(const std::string &name,
-                      const WorkloadParams &params);
-
-// Deprecated per-kernel wrappers, kept so existing call sites
-// compile; construct through lookup(name, params) instead.
-Workload makeCompress(const WorkloadParams &params); ///< LZW hashing
-Workload makeGcc(const WorkloadParams &params);    ///< IR rewriting
-Workload makeVortex(const WorkloadParams &params); ///< OO database
-Workload makePerl(const WorkloadParams &params);   ///< interpreter
-Workload makeIjpeg(const WorkloadParams &params);  ///< 8x8 blocks
-Workload makeMgrid(const WorkloadParams &params);  ///< 3-D stencil
-Workload makeApsi(const WorkloadParams &params);   ///< mesh sweeps
-
 } // namespace svc::workloads
 
 #endif // SVC_WORKLOADS_WORKLOADS_HH

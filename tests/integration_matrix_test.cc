@@ -32,7 +32,7 @@ TEST_P(IntegrationMatrix, WorkloadVerifiesOnDesign)
 {
     const auto [name, design] = GetParam();
     workloads::Workload w =
-        workloads::makeWorkload(name, {1, 12345});
+        workloads::lookup(name, {1, 12345});
 
     MainMemory ref_mem;
     auto ref = isa::Interpreter::run(w.program, ref_mem, 1ull << 33);

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The litmus acceptance matrix (ctest -L litmus): every shape in
+ * the library x all six SVC design points x the ARB baseline, at
+ * >= 1000 iterations per campaign, must yield only SC-explainable
+ * outcomes — including under the fault mix (every applicable
+ * FaultKind cycled through the iteration space) with the staged
+ * recovery ladder enabled, and under each FaultKind individually.
+ *
+ * Sharded one TEST per design so ctest -j spreads the matrix
+ * across cores; each shard runs all ten shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/engine.hh"
+#include "litmus/shapes.hh"
+
+namespace svc::litmus
+{
+namespace
+{
+
+constexpr std::uint64_t kIters = 1000;
+
+/** Run every library shape under @p cfg; assert each is clean. */
+void
+runAllShapes(EngineConfig cfg, bool expectFaults)
+{
+    std::uint64_t injected = 0;
+    for (const LitmusTest &t : shapeLibrary()) {
+        const ShapeReport r = runShape(t, cfg);
+        EXPECT_TRUE(r.ok) << reportString(r);
+        EXPECT_EQ(r.iterations, cfg.iterations) << t.name;
+        // The campaign must actually exercise the oracle's space:
+        // every task-serial outcome appears at this volume.
+        EXPECT_EQ(r.allowedCovered, r.allowedSize)
+            << t.name << ": allowed set not fully covered";
+        injected += r.injected;
+    }
+    if (expectFaults)
+        EXPECT_GT(injected, 0u)
+            << "fault campaign injected nothing across the library";
+}
+
+EngineConfig
+faultedSvc(SvcDesign d)
+{
+    EngineConfig cfg;
+    cfg.design = d;
+    cfg.iterations = kIters;
+    cfg.faultMode = FaultMode::Mix;
+    cfg.recover = true;
+    return cfg;
+}
+
+// One shard per design point: 10 shapes x 1000 iterations under
+// the full fault mix with recovery.
+TEST(LitmusMatrix, SvcBase) { runAllShapes(faultedSvc(SvcDesign::Base), true); }
+TEST(LitmusMatrix, SvcEC) { runAllShapes(faultedSvc(SvcDesign::EC), true); }
+TEST(LitmusMatrix, SvcECS) { runAllShapes(faultedSvc(SvcDesign::ECS), true); }
+TEST(LitmusMatrix, SvcHR) { runAllShapes(faultedSvc(SvcDesign::HR), true); }
+TEST(LitmusMatrix, SvcRL) { runAllShapes(faultedSvc(SvcDesign::RL), true); }
+TEST(LitmusMatrix, SvcFinal)
+{
+    runAllShapes(faultedSvc(SvcDesign::Final), true);
+}
+
+// The ARB baseline has no fault hooks; it must still be serially
+// explainable at volume, fault-free.
+TEST(LitmusMatrix, ArbBaseline)
+{
+    EngineConfig cfg;
+    cfg.backend = Backend::Arb;
+    cfg.iterations = kIters;
+    runAllShapes(cfg, false);
+}
+
+// Every FaultKind individually (the mix dilutes each kind; the
+// Single campaigns concentrate one kind per run) on the Final
+// design with recovery enabled.
+TEST(LitmusMatrix, EveryFaultKindRecovered)
+{
+    for (unsigned k = 0; k < kNumFaultKinds; ++k) {
+        EngineConfig cfg;
+        cfg.iterations = 250;
+        cfg.faultMode = FaultMode::Single;
+        cfg.faultKind = static_cast<FaultKind>(k);
+        cfg.recover = true;
+        std::uint64_t injected = 0;
+        for (const LitmusTest &t : shapeLibrary()) {
+            const ShapeReport r = runShape(t, cfg);
+            EXPECT_TRUE(r.ok)
+                << faultKindName(cfg.faultKind) << ": "
+                << reportString(r);
+            injected += r.injected;
+        }
+        EXPECT_GT(injected, 0u) << faultKindName(cfg.faultKind);
+    }
+}
+
+// The replay rail at volume: a different seeded speculation
+// schedule per iteration, transient fault mix (corruptions need
+// the processor's tick hook and are excluded by the engine).
+TEST(LitmusMatrix, ReplayRailVolume)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Replay;
+    cfg.iterations = kIters;
+    cfg.faultMode = FaultMode::Mix;
+    runAllShapes(cfg, true);
+}
+
+} // namespace
+} // namespace svc::litmus

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Litmus engine tier-1 tests: DSL/oracle units, the three-way
+ * cross-check (task-serial oracle == lowered-program interpreter
+ * run, for every shape x every permutation x both location
+ * layouts), engine smoke campaigns on both rails, and the sabotage
+ * proof — a seeded protocol corruption with recovery disabled must
+ * surface as a forbidden outcome with a structured diagnostic,
+ * while the identical campaign with recovery enabled stays clean.
+ *
+ * The exhaustive shape x design x 1000-iteration matrix lives in
+ * litmus_matrix_test.cc (ctest -L litmus).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "isa/interpreter.hh"
+#include "litmus/codegen.hh"
+#include "litmus/engine.hh"
+#include "litmus/litmus.hh"
+#include "litmus/oracle.hh"
+#include "litmus/shapes.hh"
+#include "mem/main_memory.hh"
+#include "workloads/workloads.hh"
+
+namespace svc::litmus
+{
+namespace
+{
+
+// ------------------------------------------------- DSL and oracle
+
+TEST(LitmusDsl, BuilderAssignsLocationsAndObsSlots)
+{
+    LitmusBuilder b("T");
+    b.thread("P0").st("x", 1).ld("y");
+    b.thread("P1").st("y", 2).ld("x").ld("y");
+    const LitmusTest t = b.build();
+
+    ASSERT_EQ(t.locations.size(), 2u);
+    EXPECT_EQ(t.locations[0], "x");
+    EXPECT_EQ(t.locations[1], "y");
+    ASSERT_EQ(t.threads.size(), 2u);
+    EXPECT_EQ(t.threads[0].numLoads, 1u);
+    EXPECT_EQ(t.threads[1].numLoads, 2u);
+    EXPECT_EQ(t.totalLoads(), 3u);
+    // Loads get dense per-thread observation indices.
+    EXPECT_EQ(t.threads[1].ops[1].obs, 0u);
+    EXPECT_EQ(t.threads[1].ops[2].obs, 1u);
+}
+
+TEST(LitmusOracle, PermutationsAreLexicographicAndComplete)
+{
+    const LitmusTest *wrc = findShape("WRC");
+    ASSERT_NE(wrc, nullptr);
+    ASSERT_EQ(numTaskOrders(*wrc), 6u);
+
+    std::set<TaskOrder> seen;
+    for (std::uint64_t i = 0; i < 6; ++i)
+        seen.insert(taskOrderByIndex(*wrc, i));
+    EXPECT_EQ(seen.size(), 6u);
+    EXPECT_EQ(taskOrderByIndex(*wrc, 0), (TaskOrder{0, 1, 2}));
+    EXPECT_EQ(taskOrderByIndex(*wrc, 5), (TaskOrder{2, 1, 0}));
+}
+
+TEST(LitmusOracle, MpAllowedSetExcludesTheWeakOutcome)
+{
+    const LitmusTest *mp = findShape("MP");
+    ASSERT_NE(mp, nullptr);
+    const AllowedSet allowed = AllowedSet::enumerate(*mp);
+
+    // P0 first: loads see 1,1. P1 first: loads see 0,0.
+    ASSERT_EQ(allowed.outcomes().size(), 2u);
+    const std::vector<Outcome> sc = enumerateScOutcomes(*mp);
+    // SC additionally interleaves P1 between P0's stores: 0,1 read
+    // order means r0 (y) = 0 then r1 (x) = 1.
+    EXPECT_EQ(sc.size(), 3u);
+
+    // Every task-serial outcome is SC (subset relation).
+    for (const Outcome &o : allowed.outcomes()) {
+        EXPECT_TRUE(std::binary_search(sc.begin(), sc.end(), o));
+        EXPECT_NE(allowed.witness(o), nullptr);
+    }
+
+    // The classic forbidden outcome (flag without payload) is in
+    // neither set, and every library shape declares an `interesting`
+    // string that its own allowed set excludes.
+    for (const LitmusTest &t : shapeLibrary()) {
+        ASSERT_FALSE(t.interesting.empty()) << t.name;
+        const AllowedSet a = AllowedSet::enumerate(t);
+        for (const Outcome &o : a.outcomes())
+            EXPECT_NE(outcomeString(t, o), t.interesting) << t.name;
+    }
+}
+
+TEST(LitmusOracle, CoWwSerialFinalValues)
+{
+    const LitmusTest *coww = findShape("CoWW");
+    ASSERT_NE(coww, nullptr);
+    // P0 (Wx1, Wx2) then P1 (Wx3) -> x=3; P1 first -> x=2.
+    const Outcome a = serialOutcome(*coww, {0, 1});
+    const Outcome b = serialOutcome(*coww, {1, 0});
+    ASSERT_EQ(a.mem.size(), 1u);
+    EXPECT_EQ(a.mem[0], 3u);
+    EXPECT_EQ(b.mem[0], 2u);
+}
+
+// ------------------------- codegen vs oracle (interpreter ground)
+
+/**
+ * The lowered program, executed sequentially by the ISA
+ * interpreter, must reproduce the oracle's serial outcome for every
+ * shape, every permutation, and both location layouts — and its
+ * observer checksum must fold from the observations. This pins the
+ * DSL -> MiniISA lowering to the functional model, so the litmus
+ * engine's comparisons mean what they claim.
+ */
+TEST(LitmusCodegen, InterpreterMatchesOracleEverywhere)
+{
+    for (const LitmusTest &t : shapeLibrary()) {
+        const std::uint64_t nPerms = numTaskOrders(t);
+        for (std::uint64_t p = 0; p < nPerms; ++p) {
+            const TaskOrder order = taskOrderByIndex(t, p);
+            for (unsigned stride : {64u, 4u}) {
+                CodegenOptions opts;
+                opts.locStride = stride;
+                const LitmusProgram prog =
+                    buildProgram(t, order, opts);
+                MainMemory mem;
+                prog.program.loadInto(mem);
+                const auto res = isa::Interpreter::run(
+                    prog.program, mem, 1'000'000);
+                ASSERT_TRUE(res.halted)
+                    << t.name << " perm " << p << " stride "
+                    << stride;
+                const Outcome got =
+                    extractOutcome(t, prog, mem);
+                const Outcome want = serialOutcome(t, order);
+                EXPECT_EQ(outcomeString(t, got),
+                          outcomeString(t, want))
+                    << t.name << " perm " << p << " stride "
+                    << stride;
+
+                Value fold = 0;
+                for (Value v : got.regs)
+                    fold = fold * 31 + v;
+                for (Value v : got.mem)
+                    fold = fold * 31 + v;
+                EXPECT_EQ(mem.readWord(prog.obsBase), fold)
+                    << t.name << ": observer checksum drifted";
+            }
+        }
+    }
+}
+
+TEST(LitmusCodegen, StreamLoweringAgreesOnAddresses)
+{
+    const LitmusTest *sb = findShape("SB");
+    ASSERT_NE(sb, nullptr);
+    CodegenOptions opts;
+    const auto threads =
+        buildStream(*sb, taskOrderByIndex(*sb, 0), opts);
+    ASSERT_EQ(threads.size(), 2u);
+    const LitmusProgram prog =
+        buildProgram(*sb, taskOrderByIndex(*sb, 0), opts);
+    // Thread 0 stores x then loads y.
+    EXPECT_EQ(threads[0][0].addr, prog.locsBase);
+    EXPECT_EQ(threads[0][1].addr, prog.locsBase + opts.locStride);
+}
+
+// -------------------------------------------------- engine smoke
+
+TEST(LitmusEngine, ProcessorRailCleanOnFinal)
+{
+    const LitmusTest *mp = findShape("MP");
+    EngineConfig cfg;
+    cfg.iterations = 8;
+    const ShapeReport r = runShape(*mp, cfg);
+    EXPECT_TRUE(r.ok) << reportString(r);
+    EXPECT_EQ(r.iterations, 8u);
+    EXPECT_EQ(r.allowedSize, 2u);
+    EXPECT_EQ(r.scSize, 3u);
+    // Both permutations execute within 8 iterations, so both
+    // serial outcomes appear.
+    EXPECT_EQ(r.allowedCovered, 2u);
+}
+
+TEST(LitmusEngine, ReplayRailCleanOnArb)
+{
+    const LitmusTest *lb = findShape("LB");
+    EngineConfig cfg;
+    cfg.backend = Backend::Arb;
+    cfg.mode = ExecMode::Replay;
+    cfg.iterations = 8;
+    const ShapeReport r = runShape(*lb, cfg);
+    EXPECT_TRUE(r.ok) << reportString(r);
+    EXPECT_EQ(r.allowedCovered, r.allowedSize);
+}
+
+TEST(LitmusEngine, TransientFaultsWithRecoveryStayClean)
+{
+    const LitmusTest *sb = findShape("SB");
+    EngineConfig cfg;
+    cfg.iterations = 24;
+    cfg.faultMode = FaultMode::Single;
+    cfg.faultKind = FaultKind::SpuriousSquash;
+    const ShapeReport r = runShape(*sb, cfg);
+    EXPECT_TRUE(r.ok) << reportString(r);
+    EXPECT_GT(r.injected, 0u) << "fault campaign never fired";
+}
+
+// ---------------------------------------------- sabotage proof
+
+/**
+ * Forbidden-outcome detection, proven end to end: a seeded
+ * CorruptData campaign with recovery disabled leaks corrupt bytes
+ * into committed litmus observations, and the oracle must flag
+ * them as outside the allowed set with a fully populated
+ * structured diagnostic. The identical campaign with the recovery
+ * ladder enabled must stay violation-free. The (seed, iterations)
+ * pair is pinned; every run of this test observes the same
+ * forbidden outcomes.
+ */
+TEST(LitmusSabotage, CorruptionIsCaughtByTheOracle)
+{
+    const LitmusTest *mp = findShape("MP");
+    EngineConfig cfg;
+    cfg.iterations = 120;
+    cfg.seed = 3;
+    cfg.faultMode = FaultMode::Single;
+    cfg.faultKind = FaultKind::CorruptData;
+    cfg.recover = false; // detect-only: the oracle is the net
+
+    const ShapeReport r = runShape(*mp, cfg);
+    EXPECT_FALSE(r.ok);
+    ASSERT_GT(r.violationCount, 0u)
+        << "seeded corruption produced no forbidden outcome";
+    ASSERT_FALSE(r.violations.empty());
+    const LitmusViolation &v = r.violations.front();
+    EXPECT_TRUE(v.kind == "forbidden-non-sc" ||
+                v.kind == "forbidden-sc-only" ||
+                v.kind == "observer-checksum")
+        << v.kind;
+    EXPECT_FALSE(v.order.empty());
+    EXPECT_FALSE(v.observed.empty());
+    EXPECT_FALSE(v.expected.empty());
+    EXPECT_FALSE(v.detail.empty());
+
+    // Same campaign, recovery ladder on: corruption is repaired
+    // before it can commit into an observation.
+    cfg.recover = true;
+    const ShapeReport clean = runShape(*mp, cfg);
+    EXPECT_TRUE(clean.ok) << reportString(clean);
+    EXPECT_GT(clean.injected, 0u);
+    EXPECT_GT(clean.episodes, 0u)
+        << "recovery never engaged, so the clean run proves "
+           "nothing";
+}
+
+// ------------------------------------- registry-facing stimulus
+
+TEST(LitmusWorkloads, ShapesAreRegisteredAndVerifiable)
+{
+    const auto names = workloads::workloadNames();
+    for (const char *n : {"litmus:mp", "litmus:sb", "litmus:iriw",
+                          "litmus:2p2w"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), n),
+                  names.end())
+            << n << " not registered";
+    }
+
+    // The seed selects the permutation; different permutations of
+    // MP lower to different programs with the same check window.
+    workloads::Workload a =
+        workloads::lookup("litmus:mp", {1, 0});
+    workloads::Workload b =
+        workloads::lookup("litmus:mp", {1, 1});
+    EXPECT_EQ(a.checkBase, b.checkBase);
+    EXPECT_EQ(a.checkLen, b.checkLen);
+
+    // And the lowered program interprets to a checksum that the
+    // harness can verify (nonzero obs area, halted run).
+    MainMemory mem;
+    const auto res =
+        isa::Interpreter::run(a.program, mem, 1'000'000);
+    ASSERT_TRUE(res.halted);
+    EXPECT_NE(mem.readWord(a.checkBase), 0u);
+}
+
+} // namespace
+} // namespace svc::litmus

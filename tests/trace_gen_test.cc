@@ -133,6 +133,79 @@ TEST(TraceGen, FalseSharingIsByteDisjointPerTaskSlot)
     EXPECT_TRUE(shared_line);
 }
 
+/** Mirror of the CLI's --scale mapping (stimulus_cli.cc). */
+TraceGenConfig
+scaledConfig(unsigned scale)
+{
+    TraceGenConfig cfg;
+    cfg.numTasks = 256 * scale;
+    cfg.opsPerTask = 16;
+    return cfg;
+}
+
+TEST(TraceGen, ScaleGrowsTraceMonotonically)
+{
+    // --scale multiplies the task count, so total accesses must be
+    // strictly increasing in scale for every pattern.
+    for (TracePattern p :
+         {TracePattern::Private, TracePattern::ReadShared,
+          TracePattern::Migratory, TracePattern::FalseSharing,
+          TracePattern::Mixed}) {
+        std::size_t prev = 0;
+        for (unsigned scale : {1u, 2u, 4u}) {
+            TraceGenConfig cfg = scaledConfig(scale);
+            cfg.pattern = p;
+            const TaskTrace t = generateTrace(cfg);
+            EXPECT_EQ(t.tasks.size(), 256u * scale)
+                << tracePatternName(p);
+            const std::size_t ops = t.totalOps();
+            EXPECT_GT(ops, prev)
+                << tracePatternName(p) << " scale " << scale;
+            // Every task carries its configured op count, so the
+            // growth is exactly linear, not just monotone.
+            EXPECT_EQ(ops, cfg.numTasks *
+                               static_cast<std::size_t>(
+                                   cfg.opsPerTask))
+                << tracePatternName(p) << " scale " << scale;
+            prev = ops;
+        }
+    }
+}
+
+TEST(TraceGen, DegenerateScalesProduceWellFormedTraces)
+{
+    for (TracePattern p :
+         {TracePattern::Private, TracePattern::ReadShared,
+          TracePattern::Migratory, TracePattern::FalseSharing,
+          TracePattern::Mixed}) {
+        // Zero tasks: an empty trace, not a crash.
+        TraceGenConfig none;
+        none.pattern = p;
+        none.numTasks = 0;
+        EXPECT_EQ(generateTrace(none).totalOps(), 0u)
+            << tracePatternName(p);
+
+        // Zero ops per task: tasks exist but are empty.
+        TraceGenConfig empty;
+        empty.pattern = p;
+        empty.opsPerTask = 0;
+        const TaskTrace e = generateTrace(empty);
+        EXPECT_EQ(e.tasks.size(), empty.numTasks);
+        EXPECT_EQ(e.totalOps(), 0u) << tracePatternName(p);
+
+        // The minimal trace: one task, one access, in bounds.
+        TraceGenConfig one;
+        one.pattern = p;
+        one.numTasks = 1;
+        one.opsPerTask = 1;
+        const TaskTrace t = generateTrace(one);
+        ASSERT_EQ(t.tasks.size(), 1u) << tracePatternName(p);
+        ASSERT_EQ(t.totalOps(), 1u) << tracePatternName(p);
+        EXPECT_GE(t.tasks[0][0].addr, one.base);
+        EXPECT_GT(t.tasks[0][0].size, 0u);
+    }
+}
+
 /** Convert a trace into the test driver's script format. */
 test::TaskScript
 toScript(const TaskTrace &trace)

@@ -177,7 +177,7 @@ tracedRun(const std::string &kind, TraceSink *sink)
 {
     workloads::WorkloadParams wp;
     wp.scale = 1;
-    workloads::Workload w = workloads::makeWorkload("compress", wp);
+    workloads::Workload w = workloads::lookup("compress", wp);
 
     MainMemory mem;
     SpecMemConfig cfg;

@@ -44,7 +44,7 @@ TEST_P(GoldenTest, InterpreterChecksumAndCount)
 {
     const Golden g = GetParam();
     workloads::Workload w =
-        workloads::makeWorkload(g.name, {1, 12345});
+        workloads::lookup(g.name, {1, 12345});
     MainMemory mem;
     auto res = isa::Interpreter::run(w.program, mem, 1ull << 33);
     ASSERT_TRUE(res.halted);
@@ -56,7 +56,7 @@ TEST_P(GoldenTest, SpeculativeRunReproducesGolden)
 {
     const Golden g = GetParam();
     workloads::Workload w =
-        workloads::makeWorkload(g.name, {1, 12345});
+        workloads::lookup(g.name, {1, 12345});
     MainMemory mem;
     RefSpecMem perfect(mem, 4);
     w.program.loadInto(mem);
@@ -75,7 +75,7 @@ TEST_P(GoldenTest, PredictorLearnsTheTaskLoop)
     // reach high accuracy once warmed up.
     const Golden g = GetParam();
     workloads::Workload w =
-        workloads::makeWorkload(g.name, {2, 12345});
+        workloads::lookup(g.name, {2, 12345});
     MainMemory mem;
     RefSpecMem perfect(mem, 4);
     w.program.loadInto(mem);
@@ -96,9 +96,9 @@ TEST_P(GoldenTest, DifferentSeedsChangeResults)
 {
     const Golden g = GetParam();
     workloads::Workload w1 =
-        workloads::makeWorkload(g.name, {1, 12345});
+        workloads::lookup(g.name, {1, 12345});
     workloads::Workload w2 =
-        workloads::makeWorkload(g.name, {1, 99999});
+        workloads::lookup(g.name, {1, 99999});
     MainMemory m1, m2;
     isa::Interpreter::run(w1.program, m1, 1ull << 33);
     isa::Interpreter::run(w2.program, m2, 1ull << 33);

@@ -32,7 +32,7 @@ class WorkloadTest : public ::testing::TestWithParam<const char *>
     {
         WorkloadParams p;
         p.scale = scale;
-        return workloads::makeWorkload(GetParam(), p);
+        return workloads::lookup(GetParam(), p);
     }
 };
 
@@ -139,8 +139,8 @@ TEST_P(WorkloadTest, ScalesDeterministically)
 {
     WorkloadParams p;
     p.scale = 2;
-    Workload w1 = workloads::makeWorkload(GetParam(), p);
-    Workload w2 = workloads::makeWorkload(GetParam(), p);
+    Workload w1 = workloads::lookup(GetParam(), p);
+    Workload w2 = workloads::lookup(GetParam(), p);
     ASSERT_EQ(w1.program.code.size(), w2.program.code.size());
     EXPECT_EQ(w1.program.code, w2.program.code);
 

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * bench_compare: diff two sweep_runner result documents and fail on
+ * IPC regressions. CI runs it against the committed baseline
+ * (BENCH_PR6.json) so a perf regression fails the build the same
+ * way a test failure does.
+ *
+ *   bench_compare BASELINE.json CURRENT.json [--threshold PCT]
+ *
+ * Rows are matched by their stable "id"; only bench rows (the ones
+ * carrying "ipc") participate. Ids present on one side only are
+ * reported but never fail the run — grids grow across PRs and the
+ * baseline is only refreshed when benchmarks are re-blessed. Exit:
+ * 0 ok, 1 regression, 2 usage/parse error.
+ *
+ * The scanner below is deliberately minimal: sweep_runner's
+ * JsonWriter emits a known subset of JSON (no escapes inside the
+ * keys we read, one object per result row), so a hand-rolled
+ * object-by-object scan is enough and keeps the tool free of any
+ * parser dependency.
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+/** Extract "key": "string" from one object's text. */
+bool
+findString(const std::string &obj, const std::string &key,
+           std::string &out)
+{
+    const std::string needle = "\"" + key + "\":";
+    std::size_t p = obj.find(needle);
+    if (p == std::string::npos)
+        return false;
+    p += needle.size();
+    while (p < obj.size() && std::isspace(
+                                 static_cast<unsigned char>(obj[p])))
+        ++p;
+    if (p >= obj.size() || obj[p] != '"')
+        return false;
+    const std::size_t end = obj.find('"', p + 1);
+    if (end == std::string::npos)
+        return false;
+    out = obj.substr(p + 1, end - p - 1);
+    return true;
+}
+
+/** Extract "key": number from one object's text. */
+bool
+findNumber(const std::string &obj, const std::string &key,
+           double &out)
+{
+    const std::string needle = "\"" + key + "\":";
+    std::size_t p = obj.find(needle);
+    if (p == std::string::npos)
+        return false;
+    p += needle.size();
+    while (p < obj.size() && std::isspace(
+                                 static_cast<unsigned char>(obj[p])))
+        ++p;
+    char *end = nullptr;
+    out = std::strtod(obj.c_str() + p, &end);
+    return end != obj.c_str() + p;
+}
+
+/**
+ * Scan the document's "results" array and return each row's raw
+ * object text. Brace matching is string-aware so outcome keys in
+ * litmus histograms (which contain ':' and '|') cannot confuse it.
+ */
+std::vector<std::string>
+resultObjects(const std::string &doc)
+{
+    std::vector<std::string> rows;
+    const std::size_t rp = doc.find("\"results\"");
+    if (rp == std::string::npos)
+        return rows;
+    const std::size_t ap = doc.find('[', rp);
+    if (ap == std::string::npos)
+        return rows;
+    std::size_t i = ap + 1;
+    int depth = 0;
+    bool inString = false;
+    std::size_t start = 0;
+    for (; i < doc.size(); ++i) {
+        const char c = doc[i];
+        if (inString) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        if (c == '"') {
+            inString = true;
+        } else if (c == '{') {
+            if (depth == 0)
+                start = i;
+            ++depth;
+        } else if (c == '}') {
+            --depth;
+            if (depth == 0)
+                rows.push_back(doc.substr(start, i - start + 1));
+        } else if (c == ']' && depth == 0) {
+            break;
+        }
+    }
+    return rows;
+}
+
+bool
+loadIpcById(const char *path, std::map<std::string, double> &out)
+{
+    std::ifstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "bench_compare: cannot read %s\n",
+                     path);
+        return false;
+    }
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const std::string doc = ss.str();
+    for (const std::string &row : resultObjects(doc)) {
+        std::string id;
+        double ipc = 0.0;
+        if (findString(row, "id", id) &&
+            findNumber(row, "ipc", ipc))
+            out[id] = ipc;
+    }
+    if (out.empty()) {
+        std::fprintf(stderr,
+                     "bench_compare: no bench rows in %s\n", path);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double thresholdPct = 10.0;
+    std::vector<const char *> files;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threshold") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--threshold needs a value\n");
+                return 2;
+            }
+            thresholdPct = std::strtod(argv[++i], nullptr);
+        } else {
+            files.push_back(argv[i]);
+        }
+    }
+    if (files.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: bench_compare BASELINE.json "
+                     "CURRENT.json [--threshold PCT]\n");
+        return 2;
+    }
+
+    std::map<std::string, double> base, cur;
+    if (!loadIpcById(files[0], base) || !loadIpcById(files[1], cur))
+        return 2;
+
+    unsigned compared = 0, regressions = 0, onlyOne = 0;
+    for (const auto &[id, bIpc] : base) {
+        const auto it = cur.find(id);
+        if (it == cur.end()) {
+            std::printf("note: %s only in baseline\n", id.c_str());
+            ++onlyOne;
+            continue;
+        }
+        ++compared;
+        if (bIpc <= 0.0)
+            continue;
+        const double deltaPct = (it->second - bIpc) / bIpc * 100.0;
+        if (deltaPct < -thresholdPct) {
+            std::printf("REGRESSION %s: ipc %.4f -> %.4f "
+                        "(%.1f%%)\n",
+                        id.c_str(), bIpc, it->second, deltaPct);
+            ++regressions;
+        } else if (deltaPct > thresholdPct) {
+            std::printf("improvement %s: ipc %.4f -> %.4f "
+                        "(+%.1f%%)\n",
+                        id.c_str(), bIpc, it->second, deltaPct);
+        }
+    }
+    for (const auto &[id, ipc] : cur) {
+        (void)ipc;
+        if (!base.count(id)) {
+            std::printf("note: %s only in current\n", id.c_str());
+            ++onlyOne;
+        }
+    }
+
+    std::printf("bench_compare: %u rows compared, %u unmatched, "
+                "%u regressions (threshold %.1f%%)\n",
+                compared, onlyOne, regressions, thresholdPct);
+    if (compared == 0) {
+        std::fprintf(stderr,
+                     "bench_compare: no common bench rows\n");
+        return 2;
+    }
+    return regressions ? 1 : 0;
+}

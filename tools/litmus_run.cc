@@ -1,0 +1,301 @@
+/**
+ * @file
+ * litmus_run: the litmus campaign CLI. Runs shapes from the litmus
+ * library through the iterated engine — any SVC design point or the
+ * ARB baseline, processor or replay rail, optional fault campaigns
+ * with staged recovery — and reports the per-shape outcome
+ * histograms against the enumeration oracle.
+ *
+ *   litmus_run --shape all --design all --iters 1000
+ *   litmus_run --shape MP --mem arb --mode replay --iters 5000
+ *   litmus_run --shape SB --faults mix --iters 2000 --out out.json
+ *   litmus_run --shape MP --faults corrupt_data --no-recover ...
+ *
+ * Exit status: 0 when every campaign is violation-free, 1 when any
+ * observed outcome falls outside the oracle's allowed set (or a run
+ * wedges), 2 on usage errors. The JSON document (--out) carries one
+ * row per campaign with the full histogram and every retained
+ * structured diagnostic — the artifact CI uploads.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "litmus/engine.hh"
+#include "litmus/shapes.hh"
+
+namespace
+{
+
+using namespace svc;
+using namespace svc::litmus;
+
+struct Options
+{
+    std::vector<std::string> shapes; // resolved names
+    std::vector<std::string> cells;  // "arb" or design names
+    ExecMode mode = ExecMode::Processor;
+    std::uint64_t iters = 1000;
+    std::uint64_t seed = 1;
+    FaultMode faultMode = FaultMode::None;
+    FaultKind faultKind = FaultKind::BusNack;
+    bool recover = true;
+    std::string outPath;
+    bool verbose = false;
+};
+
+const struct
+{
+    const char *name;
+    SvcDesign design;
+} kDesigns[] = {
+    {"base", SvcDesign::Base}, {"ec", SvcDesign::EC},
+    {"ecs", SvcDesign::ECS},   {"hr", SvcDesign::HR},
+    {"rl", SvcDesign::RL},     {"final", SvcDesign::Final},
+};
+
+bool
+parseDesign(const std::string &name, SvcDesign &out)
+{
+    for (const auto &d : kDesigns) {
+        if (name == d.name) {
+            out = d.design;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseFault(const std::string &name, FaultMode &mode, FaultKind &kind)
+{
+    if (name == "none") {
+        mode = FaultMode::None;
+        return true;
+    }
+    if (name == "mix") {
+        mode = FaultMode::Mix;
+        return true;
+    }
+    for (unsigned k = 0; k < kNumFaultKinds; ++k) {
+        if (name == faultKindName(static_cast<FaultKind>(k))) {
+            mode = FaultMode::Single;
+            kind = static_cast<FaultKind>(k);
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --shape NAME|all     litmus shape (default all)\n"
+        "  --mem CELL|all       base|ec|ecs|hr|rl|final|arb "
+        "(default all)\n"
+        "  --mode processor|replay\n"
+        "  --iters N            iterations per campaign\n"
+        "  --seed N             base seed\n"
+        "  --faults F           none|mix|<fault kind name>\n"
+        "  --no-recover         detect-only: no recovery manager\n"
+        "  --out FILE           write the JSON report\n"
+        "  --verbose            print full histograms\n",
+        argv0);
+    return 2;
+}
+
+void
+writeReport(JsonWriter &w, const std::string &cell,
+            const ShapeReport &r)
+{
+    w.beginObject();
+    w.member("shape", r.shape);
+    w.member("cell", cell);
+    w.member("iterations", r.iterations);
+    w.member("allowed_outcomes",
+             static_cast<std::uint64_t>(r.allowedSize));
+    w.member("sc_outcomes", static_cast<std::uint64_t>(r.scSize));
+    w.member("allowed_covered",
+             static_cast<std::uint64_t>(r.allowedCovered));
+    w.member("violations", r.violationCount);
+    w.member("squashes", r.squashes);
+    w.member("faults_injected", r.injected);
+    w.member("recovery_episodes", r.episodes);
+    w.member("ok", r.ok);
+    w.key("histogram");
+    w.beginObject();
+    for (const auto &[outcome, count] : r.histogram)
+        w.member(outcome, count);
+    w.endObject();
+    w.key("diagnostics");
+    w.beginArray();
+    for (const LitmusViolation &v : r.violations) {
+        w.beginObject();
+        w.member("iteration", v.iteration);
+        w.member("perm", v.permIndex);
+        w.member("kind", v.kind);
+        w.member("order", v.order);
+        w.member("observed", v.observed);
+        w.member("expected", v.expected);
+        w.member("detail", v.detail);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    std::string shapeArg = "all";
+    std::string memArg = "all";
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--shape") {
+            shapeArg = next();
+        } else if (a == "--mem" || a == "--design") {
+            memArg = next();
+        } else if (a == "--mode") {
+            const std::string m = next();
+            if (m == "processor") {
+                opt.mode = ExecMode::Processor;
+            } else if (m == "replay") {
+                opt.mode = ExecMode::Replay;
+            } else {
+                std::fprintf(stderr, "bad --mode %s\n", m.c_str());
+                return 2;
+            }
+        } else if (a == "--iters") {
+            opt.iters = std::strtoull(next(), nullptr, 0);
+        } else if (a == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 0);
+        } else if (a == "--faults") {
+            if (!parseFault(next(), opt.faultMode, opt.faultKind)) {
+                std::fprintf(stderr, "bad --faults value\n");
+                return 2;
+            }
+        } else if (a == "--no-recover") {
+            opt.recover = false;
+        } else if (a == "--out") {
+            opt.outPath = next();
+        } else if (a == "--verbose") {
+            opt.verbose = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    if (shapeArg == "all") {
+        opt.shapes = shapeNames();
+    } else if (findShape(shapeArg)) {
+        opt.shapes.push_back(shapeArg);
+    } else {
+        std::fprintf(stderr, "unknown shape '%s' (have:",
+                     shapeArg.c_str());
+        for (const std::string &n : shapeNames())
+            std::fprintf(stderr, " %s", n.c_str());
+        std::fprintf(stderr, ")\n");
+        return 2;
+    }
+
+    if (memArg == "all") {
+        for (const auto &d : kDesigns)
+            opt.cells.push_back(d.name);
+        // The ARB baseline has no fault hooks; it joins the
+        // fault-free sweep only.
+        if (opt.faultMode == FaultMode::None)
+            opt.cells.push_back("arb");
+    } else {
+        SvcDesign d;
+        if (memArg != "arb" && !parseDesign(memArg, d)) {
+            std::fprintf(stderr, "bad --mem '%s'\n", memArg.c_str());
+            return 2;
+        }
+        opt.cells.push_back(memArg);
+    }
+
+    JsonWriter w;
+    w.beginObject();
+    w.member("tool", "litmus_run");
+    w.member("mode", opt.mode == ExecMode::Processor ? "processor"
+                                                     : "replay");
+    w.member("iterations", opt.iters);
+    w.member("seed", opt.seed);
+    w.key("campaigns");
+    w.beginArray();
+
+    std::uint64_t totalViolations = 0;
+    for (const std::string &cell : opt.cells) {
+        for (const std::string &shape : opt.shapes) {
+            const LitmusTest *test = findShape(shape);
+            EngineConfig cfg;
+            cfg.mode = opt.mode;
+            cfg.iterations = opt.iters;
+            cfg.seed = opt.seed;
+            cfg.faultMode = opt.faultMode;
+            cfg.faultKind = opt.faultKind;
+            cfg.recover = opt.recover;
+            if (cell == "arb")
+                cfg.backend = Backend::Arb;
+            else
+                parseDesign(cell, cfg.design);
+
+            const ShapeReport rep = runShape(*test, cfg);
+            totalViolations += rep.violationCount;
+            writeReport(w, cell, rep);
+
+            if (opt.verbose || !rep.ok) {
+                std::printf("[%s] %s", cell.c_str(),
+                            reportString(rep).c_str());
+            } else {
+                std::printf(
+                    "[%s] %s: %llu iterations, %zu/%zu allowed "
+                    "outcomes seen, 0 violations\n",
+                    cell.c_str(), shape.c_str(),
+                    static_cast<unsigned long long>(rep.iterations),
+                    rep.allowedCovered, rep.allowedSize);
+            }
+        }
+    }
+
+    w.endArray();
+    w.member("total_violations", totalViolations);
+    w.endObject();
+
+    if (!opt.outPath.empty()) {
+        std::ofstream f(opt.outPath);
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opt.outPath.c_str());
+            return 2;
+        }
+        f << w.str() << "\n";
+    }
+
+    if (totalViolations > 0) {
+        std::fprintf(stderr,
+                     "FAIL: %llu forbidden/malformed outcomes\n",
+                     static_cast<unsigned long long>(
+                         totalViolations));
+        return 1;
+    }
+    return 0;
+}

@@ -47,6 +47,8 @@
 #include "isa/interpreter.hh"
 #include "mem/fault_injector.hh"
 #include "mem/main_memory.hh"
+#include "litmus/engine.hh"
+#include "litmus/shapes.hh"
 #include "multiscalar/processor.hh"
 #include "recovery/recovery_manager.hh"
 #include "svc/corruptor.hh"
@@ -71,7 +73,7 @@ const char *const kWorkloads[] = {"compress", "gcc",   "vortex",
 /** One self-contained unit of work. */
 struct SweepItem
 {
-    enum Kind { Bench, Fault, Recovery };
+    enum Kind { Bench, Fault, Recovery, Litmus };
 
     std::string id; ///< stable unique name, e.g. "fig19/gcc/svc8k"
     Kind kind = Bench;
@@ -91,6 +93,12 @@ struct SweepItem
     // Recovery cells (full multiscalar run + staged recovery).
     RecoveryPolicy policy = RecoveryPolicy::Degrade;
     unsigned corruptions = 1;
+
+    // Litmus campaigns (workload holds the shape name).
+    litmus::Backend litmusBackend = litmus::Backend::Svc;
+    SvcDesign litmusDesign = SvcDesign::Final;
+    bool litmusFaults = false; ///< fault mix + recovery when true
+    std::uint64_t litmusIters = 200;
 };
 
 struct ItemResult
@@ -113,6 +121,9 @@ struct ItemResult
     bool recovered = false; ///< verified + engine clean + halted
     double ipc = 0.0;
     double refIpc = 0.0;
+
+    // Litmus campaigns: the engine's full report.
+    litmus::ShapeReport litmus;
 };
 
 struct Options
@@ -200,6 +211,46 @@ addRecoveryGrid(std::vector<SweepItem> &items, unsigned scale,
     }
 }
 
+/**
+ * The "litmus" grid: every shape in the litmus library across the
+ * six SVC design points (fault mix + staged recovery active) plus
+ * the ARB baseline (fault-free: it has no fault hooks), each an
+ * iterated campaign checked against the enumeration oracle.
+ * Campaigns are internally deterministic, so results are
+ * byte-identical at any --jobs.
+ */
+void
+addLitmusGrid(std::vector<SweepItem> &items, std::uint64_t iters,
+              bool faults)
+{
+    const SvcDesign designs[] = {SvcDesign::Base, SvcDesign::EC,
+                                 SvcDesign::ECS, SvcDesign::HR,
+                                 SvcDesign::RL, SvcDesign::Final};
+    for (const std::string &shape : litmus::shapeNames()) {
+        for (SvcDesign d : designs) {
+            SweepItem it;
+            it.kind = SweepItem::Litmus;
+            it.workload = shape;
+            it.litmusBackend = litmus::Backend::Svc;
+            it.litmusDesign = d;
+            it.litmusFaults = faults;
+            it.litmusIters = iters;
+            it.config = std::string("svc_") + svcDesignName(d);
+            it.id = "litmus/" + shape + "/" + it.config;
+            items.push_back(std::move(it));
+        }
+        SweepItem arb;
+        arb.kind = SweepItem::Litmus;
+        arb.workload = shape;
+        arb.litmusBackend = litmus::Backend::Arb;
+        arb.litmusFaults = false;
+        arb.litmusIters = iters;
+        arb.config = "arb";
+        arb.id = "litmus/" + shape + "/arb";
+        items.push_back(std::move(arb));
+    }
+}
+
 /** The "trace" grid: one stimulus (a recorded trace or a synthetic
  *  gen:<pattern> stream) replayed through the paper's six SVC
  *  design points plus the ARB. */
@@ -276,16 +327,40 @@ buildGrid(const std::string &grid, unsigned scale,
         }
         addFaultGrid(items, 1);
         addRecoveryGrid(items, scale, 1);
+        // Litmus cut: the two canonical shapes on the paper design
+        // and the baseline, enough to catch an ordering regression.
+        for (const char *shape : {"MP", "SB"}) {
+            SweepItem svc;
+            svc.kind = SweepItem::Litmus;
+            svc.workload = shape;
+            svc.litmusDesign = SvcDesign::Final;
+            svc.litmusFaults = true;
+            svc.litmusIters = 60;
+            svc.config = "svc_Final";
+            svc.id = std::string("litmus/") + shape + "/svc_Final";
+            items.push_back(std::move(svc));
+            SweepItem arb;
+            arb.kind = SweepItem::Litmus;
+            arb.workload = shape;
+            arb.litmusBackend = litmus::Backend::Arb;
+            arb.litmusIters = 60;
+            arb.config = "arb";
+            arb.id = std::string("litmus/") + shape + "/arb";
+            items.push_back(std::move(arb));
+        }
+    } else if (grid == "litmus") {
+        addLitmusGrid(items, 100 * scale, true);
     } else if (grid == "full") {
         addIpcGrid(items, "fig19", 32, 8, scale);
         addIpcGrid(items, "fig20", 64, 16, scale);
         addFaultGrid(items, 8);
         addRecoveryGrid(items, scale, 4);
+        addLitmusGrid(items, 100 * scale, true);
     } else if (grid == "trace") {
         addTraceGrid(items, stim, scale);
     } else {
         fatal("unknown grid '%s' (fig19, fig20, faults, recovery, "
-              "smoke, full, trace)", grid.c_str());
+              "smoke, litmus, full, trace)", grid.c_str());
     }
 
     // Outside the trace grid, --workload narrows the sweep to one
@@ -373,7 +448,7 @@ runRecoveryItem(const SweepItem &it)
     workloads::WorkloadParams wp;
     wp.scale = it.scale;
     wp.seed = it.seed;
-    workloads::Workload w = workloads::makeWorkload(it.workload, wp);
+    workloads::Workload w = workloads::lookup(it.workload, wp);
 
     std::uint32_t ref_checksum = 0;
     {
@@ -457,6 +532,27 @@ runRecoveryItem(const SweepItem &it)
     return r;
 }
 
+/** One litmus campaign: the iterated engine on the processor rail,
+ *  fault mix + recovery on SVC cells, oracle-checked throughout. */
+ItemResult
+runLitmusItem(const SweepItem &it)
+{
+    ItemResult r;
+    const litmus::LitmusTest *test = litmus::findShape(it.workload);
+    if (!test)
+        fatal("litmus item: unknown shape '%s'",
+              it.workload.c_str());
+    litmus::EngineConfig cfg;
+    cfg.backend = it.litmusBackend;
+    cfg.design = it.litmusDesign;
+    cfg.iterations = it.litmusIters;
+    cfg.seed = it.seed;
+    cfg.faultMode = it.litmusFaults ? litmus::FaultMode::Mix
+                                    : litmus::FaultMode::None;
+    r.litmus = litmus::runShape(*test, cfg);
+    return r;
+}
+
 ItemResult
 runItem(const SweepItem &it)
 {
@@ -465,6 +561,8 @@ runItem(const SweepItem &it)
         r = runFaultItem(it);
     } else if (it.kind == SweepItem::Recovery) {
         r = runRecoveryItem(it);
+    } else if (it.kind == SweepItem::Litmus) {
+        r = runLitmusItem(it);
     } else {
         // The unified construction path: every bench item — kernel,
         // synthetic stream or trace replay — resolves through the
@@ -583,6 +681,26 @@ writeDoc(JsonWriter &w, const Options &opt, unsigned jobs,
             w.member("detected", r.detected);
             w.key("findings");
             w.value(static_cast<std::uint64_t>(r.findings));
+        } else if (it.kind == SweepItem::Litmus) {
+            w.member("kind", "litmus");
+            w.member("shape", it.workload);
+            w.member("cell", it.config);
+            w.member("iterations", r.litmus.iterations);
+            w.member("allowed_outcomes",
+                     static_cast<std::uint64_t>(
+                         r.litmus.allowedSize));
+            w.member("allowed_covered",
+                     static_cast<std::uint64_t>(
+                         r.litmus.allowedCovered));
+            w.member("violations", r.litmus.violationCount);
+            w.member("faults_injected", r.litmus.injected);
+            w.member("recovery_episodes", r.litmus.episodes);
+            w.member("ok", r.litmus.ok);
+            w.key("histogram");
+            w.beginObject();
+            for (const auto &[outcome, count] : r.litmus.histogram)
+                w.member(outcome, count);
+            w.endObject();
         } else {
             w.member("kind", "recovery");
             w.member("workload", it.workload);
@@ -683,6 +801,14 @@ countFailures(const std::vector<SweepItem> &items,
                         r.highestStage);
             ++failures;
         }
+        if (it.kind == SweepItem::Litmus && !r.litmus.ok) {
+            std::printf("FAIL %s: %llu forbidden outcomes\n%s",
+                        it.id.c_str(),
+                        static_cast<unsigned long long>(
+                            r.litmus.violationCount),
+                        litmus::reportString(r.litmus).c_str());
+            ++failures;
+        }
     }
     return failures;
 }
@@ -752,7 +878,7 @@ usage()
     std::printf(
         "usage: sweep_runner [options]\n"
         "  --grid NAME   fig19 | fig20 | faults | recovery | smoke "
-        "| full | trace (default fig19)\n"
+        "| litmus | full | trace (default fig19)\n"
         "  --jobs N      worker threads (default: hardware "
         "concurrency)\n"
         "  --scale N     workload scale (default: SVC_BENCH_SCALE "
