@@ -6,7 +6,9 @@
 #include <cstdlib>
 
 #include "common/log.hh"
+#include "common/snapshot.hh"
 #include "isa/interpreter.hh"
+#include "multiscalar/checkpoint.hh"
 #include "trace_io/trace_recorder.hh"
 #include "trace_io/trace_replayer.hh"
 
@@ -304,6 +306,127 @@ runStream(const workloads::StimulusSource &stim, const RunConfig &rc)
 }
 
 } // namespace
+
+BenchRow
+runProgramSliced(const workloads::StimulusSource &stim,
+                 const RunConfig &rc, const SliceBudget &budget,
+                 SliceOutcome &outcome)
+{
+    if (!stim.program())
+        fatal("bench: runProgramSliced needs a program stimulus "
+              "('%s' provides only an access stream)",
+              stim.name().c_str());
+    if (!rc.recordPath.empty())
+        fatal("bench: runProgramSliced does not record traces");
+
+    MainMemory mem;
+    std::unique_ptr<SpecMem> sys =
+        makeSpecMem(rc.memKind, rc.mem, mem, rc.sink);
+    stim.loadInitialImage(mem);
+    const MultiscalarConfig cpu_cfg = paperCpuConfig();
+    Processor cpu(cpu_cfg, *stim.program(), *sys);
+
+    // Identity of the saving/restoring run: the cpu config, the
+    // backend, and the stimulus (name/scale/seed). Geometry is
+    // re-verified per component on restore.
+    const std::string desc = stim.name() + "/" +
+                             std::to_string(stim.scale()) + "/" +
+                             std::to_string(stim.seed()) + "/" +
+                             rc.memKind;
+    const std::uint64_t cfg_hash = checkpointConfigHash(
+        cpu_cfg, rc.memKind,
+        snapshotFnv1a(desc.data(), desc.size()));
+
+    if (budget.resumeImage && !budget.resumeImage->empty()) {
+        std::string err;
+        if (!restoreCheckpoint(*budget.resumeImage, cpu, *sys, mem,
+                               nullptr, cfg_hash, err)) {
+            // A stale or mismatched image is survivable: the job is
+            // pure, so restarting from scratch yields the same row.
+            warn("bench: preemption resume failed (%s); restarting "
+                 "'%s' from scratch", err.c_str(),
+                 stim.name().c_str());
+            return runProgramSliced(stim, rc,
+                                    SliceBudget{budget.sliceCycles,
+                                                budget.deadlineCycles,
+                                                nullptr},
+                                    outcome);
+        }
+        budget.resumeImage->clear();
+    }
+
+    outcome = SliceOutcome::Completed;
+    Cycle sliceEnd = budget.sliceCycles
+                         ? cpu.now() + budget.sliceCycles
+                         : 0;
+    std::uint64_t lastInstr = cpu.committedInstructions();
+    Cycle lastProgressAt = cpu.now();
+    // Bounded search for a quiescent point once a slice expires; if
+    // none shows up (e.g. a pathological squash storm) the run just
+    // keeps going — preemption is best-effort, correctness is not.
+    constexpr Cycle kQuiesceWindow = 50'000;
+
+    while (!cpu.done() && cpu.now() < cpu_cfg.maxCycles) {
+        cpu.tick();
+        if (budget.deadlineCycles) {
+            if (cpu.committedInstructions() != lastInstr) {
+                lastInstr = cpu.committedInstructions();
+                lastProgressAt = cpu.now();
+            } else if (cpu.now() - lastProgressAt >=
+                       budget.deadlineCycles) {
+                outcome = SliceOutcome::Timeout;
+                break;
+            }
+        }
+        if (sliceEnd && cpu.now() >= sliceEnd && !cpu.done()) {
+            Cycle extra = 0;
+            while (extra < kQuiesceWindow && !cpu.done() &&
+                   !cpu.checkpointQuiescent()) {
+                cpu.tick();
+                ++extra;
+            }
+            if (!cpu.done() && cpu.checkpointQuiescent() &&
+                budget.resumeImage) {
+                std::string err;
+                std::vector<std::uint8_t> image;
+                if (saveCheckpoint(cpu, *sys, mem, nullptr,
+                                   cfg_hash, false, image, err)) {
+                    *budget.resumeImage = std::move(image);
+                    outcome = SliceOutcome::Preempted;
+                    break;
+                }
+                warn("bench: preemption checkpoint of '%s' failed "
+                     "(%s); continuing", stim.name().c_str(),
+                     err.c_str());
+            }
+            sliceEnd = cpu.now() + budget.sliceCycles;
+        }
+    }
+
+    const RunStats rs = cpu.currentStats();
+    BenchRow row;
+    row.workload = stim.name();
+    row.memSystem = sys->name();
+    row.kind = "program";
+    row.scale = stim.scale();
+    row.seed = stim.seed();
+    row.ipc = rs.ipc;
+    row.instructions = rs.committedInstructions;
+    row.cycles = rs.cycles;
+    row.violationSquashes = rs.violationSquashes;
+    row.taskMispredicts = rs.taskMispredicts;
+    if (outcome == SliceOutcome::Completed) {
+        sys->finalizeMemory();
+        row.verified =
+            mem.readWord(stim.checkBase()) == referenceChecksum(stim);
+        if (!row.verified) {
+            warn("bench: %s on %s failed verification",
+                 stim.name().c_str(), sys->name());
+        }
+        fillMemStats(row, *sys);
+    }
+    return row;
+}
 
 BenchRow
 runOn(const workloads::StimulusSource &stimulus, const RunConfig &cfg)

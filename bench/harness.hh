@@ -115,6 +115,51 @@ BenchRow runOn(const workloads::StimulusSource &stimulus,
                const RunConfig &cfg);
 
 /**
+ * Cooperative slice/deadline control for a preemptible program run
+ * (the sweep service's long-job machinery).
+ */
+struct SliceBudget
+{
+    /** Preemption quantum in cycles; 0 = run to completion. */
+    Cycle sliceCycles = 0;
+    /**
+     * Per-attempt forward-progress deadline: abandon the run (the
+     * PR 3 watchdog discipline, applied per job) if no instruction
+     * commits for this many cycles. 0 disables.
+     */
+    Cycle deadlineCycles = 0;
+    /**
+     * In/out checkpoint image. Non-empty on entry: resume from it
+     * (it must come from an identical stimulus + config, which the
+     * checkpoint config hash enforces). Set on exit when the run
+     * was preempted at a quiescent point.
+     */
+    std::vector<std::uint8_t> *resumeImage = nullptr;
+};
+
+/** How a sliced run ended. */
+enum class SliceOutcome
+{
+    Completed, ///< ran to HALT (row is final and verified)
+    Preempted, ///< checkpointed at a quiescent point; resume later
+    Timeout,   ///< forward-progress deadline expired (row partial)
+};
+
+/**
+ * runOn() for program stimuli with checkpoint-backed preemption:
+ * steps the processor cycle by cycle, and once the slice budget is
+ * spent checkpoints at the next quiescent point into
+ * budget.resumeImage (the caller re-queues the job and calls again
+ * with the same image to continue). With an empty budget this is
+ * exactly runOn(): a run sliced N times produces a byte-identical
+ * BenchRow to an unsliced one (checkpoints restore bit-identically).
+ */
+BenchRow runProgramSliced(const workloads::StimulusSource &stimulus,
+                          const RunConfig &cfg,
+                          const SliceBudget &budget,
+                          SliceOutcome &outcome);
+
+/**
  * Deprecated name-string entry point; builds a kernel stimulus and
  * forwards to runOn(stimulus, config). Prefer the StimulusSource
  * overload.

@@ -1,0 +1,264 @@
+#include "common/journal.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/snapshot.hh"
+
+namespace svc
+{
+namespace
+{
+
+void
+putLeU32(std::vector<std::uint8_t> &buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putLeU64(std::vector<std::uint8_t> &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+getLeU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getLeU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::string
+tornMessage(const char *what, std::size_t offset)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "journal: torn tail at byte %zu: %s (records "
+                  "before the tear are intact)",
+                  offset, what);
+    return buf;
+}
+
+} // namespace
+
+JournalScan
+scanJournal(const std::uint8_t *data, std::size_t n)
+{
+    JournalScan scan;
+    if (n < kJournalHeaderBytes) {
+        scan.error = "journal: file shorter than the 16-byte header";
+        return scan;
+    }
+    if (getLeU64(data) != kJournalMagic) {
+        scan.error = "journal: bad magic (not a SVCJRNL1 journal)";
+        return scan;
+    }
+    const std::uint32_t version = getLeU32(data + 8);
+    if (version != kJournalVersion) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "journal: unsupported format version %u "
+                      "(expected %u)",
+                      version, kJournalVersion);
+        scan.error = buf;
+        return scan;
+    }
+    scan.headerOk = true;
+
+    std::size_t pos = kJournalHeaderBytes;
+    while (pos < n) {
+        const std::size_t recordStart = pos;
+        if (n - pos < 12) {
+            scan.torn = true;
+            scan.tornOffset = recordStart;
+            scan.error =
+                tornMessage("truncated record frame", recordStart);
+            return scan;
+        }
+        const std::uint32_t tag = getLeU32(data + pos);
+        const std::uint64_t len = getLeU64(data + pos + 4);
+        if (len > n - pos - 12 ||
+            n - pos - 12 - static_cast<std::size_t>(len) < 8) {
+            scan.torn = true;
+            scan.tornOffset = recordStart;
+            scan.error = tornMessage(
+                "payload length exceeds remaining bytes",
+                recordStart);
+            return scan;
+        }
+        const std::size_t payloadAt = pos + 12;
+        const std::size_t checksumAt =
+            payloadAt + static_cast<std::size_t>(len);
+        const std::uint64_t want = getLeU64(data + checksumAt);
+        const std::uint64_t got =
+            snapshotFnv1a(data + recordStart, checksumAt - recordStart);
+        if (want != got) {
+            scan.torn = true;
+            scan.tornOffset = recordStart;
+            scan.error =
+                tornMessage("record checksum mismatch", recordStart);
+            return scan;
+        }
+        JournalRecord rec;
+        rec.tag = tag;
+        rec.payload.assign(data + payloadAt, data + checksumAt);
+        scan.records.push_back(std::move(rec));
+        pos = checksumAt + 8;
+    }
+    return scan;
+}
+
+JournalScan
+scanJournal(const std::vector<std::uint8_t> &image)
+{
+    return scanJournal(image.data(), image.size());
+}
+
+JournalScan
+scanJournalFile(const std::string &path)
+{
+    std::vector<std::uint8_t> image;
+    std::string err;
+    if (!readSnapshotFile(path, image, err)) {
+        JournalScan scan;
+        scan.error = err;
+        return scan;
+    }
+    return scanJournal(image);
+}
+
+bool
+JournalWriter::open(const std::string &path, std::string &error)
+{
+    close();
+    // "a+b" creates if absent and positions writes at the end.
+    std::FILE *f = std::fopen(path.c_str(), "a+b");
+    if (!f) {
+        error = "journal: cannot open '" + path +
+                "': " + std::strerror(errno);
+        return false;
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    if (size == 0) {
+        std::vector<std::uint8_t> hdr;
+        putLeU64(hdr, kJournalMagic);
+        putLeU32(hdr, kJournalVersion);
+        putLeU32(hdr, 0);
+        if (std::fwrite(hdr.data(), 1, hdr.size(), f) != hdr.size() ||
+            std::fflush(f) != 0 || ::fsync(fileno(f)) != 0) {
+            error = "journal: cannot write header to '" + path + "'";
+            std::fclose(f);
+            return false;
+        }
+    } else {
+        // Validate the existing header before appending to it.
+        std::uint8_t hdr[kJournalHeaderBytes];
+        std::fseek(f, 0, SEEK_SET);
+        if (std::fread(hdr, 1, sizeof(hdr), f) != sizeof(hdr) ||
+            getLeU64(hdr) != kJournalMagic ||
+            getLeU32(hdr + 8) != kJournalVersion) {
+            error = "journal: '" + path +
+                    "' exists but is not a version-" +
+                    std::to_string(kJournalVersion) +
+                    " SVCJRNL1 journal";
+            std::fclose(f);
+            return false;
+        }
+        std::fseek(f, 0, SEEK_END);
+    }
+    file = f;
+    filePath = path;
+    return true;
+}
+
+bool
+JournalWriter::append(std::uint32_t tag,
+                      const std::vector<std::uint8_t> &payload,
+                      std::string &error)
+{
+    if (!file) {
+        error = "journal: append on a closed journal";
+        return false;
+    }
+    std::vector<std::uint8_t> frame;
+    frame.reserve(payload.size() + kJournalRecordOverhead);
+    putLeU32(frame, tag);
+    putLeU64(frame, payload.size());
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    putLeU64(frame, snapshotFnv1a(frame.data(), frame.size()));
+
+    std::size_t writeBytes = frame.size();
+    unsigned stallMillis = 0;
+    if (writeHook)
+        writeHook(frame.size(), writeBytes, stallMillis);
+    if (stallMillis)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(stallMillis));
+    if (writeBytes > frame.size())
+        writeBytes = frame.size();
+
+    const std::size_t wrote =
+        std::fwrite(frame.data(), 1, writeBytes, file);
+    const bool flushed =
+        std::fflush(file) == 0 && ::fsync(fileno(file)) == 0;
+    if (wrote != frame.size()) {
+        // A short write — injected or real — leaves a torn record
+        // at the tail. The journal is now crashed: recovery must
+        // re-scan it (the tear is detected by the record checksum).
+        error = "journal: short write to '" + filePath + "' (" +
+                std::to_string(wrote) + " of " +
+                std::to_string(frame.size()) + " bytes persisted)";
+        return false;
+    }
+    if (!flushed) {
+        error = "journal: flush/fsync of '" + filePath + "' failed";
+        return false;
+    }
+    ++nAppended;
+    return true;
+}
+
+void
+JournalWriter::close()
+{
+    if (file) {
+        std::fflush(file);
+        ::fsync(fileno(file));
+        std::fclose(file);
+        file = nullptr;
+    }
+}
+
+bool
+atomicReplaceFile(const std::string &tmpPath,
+                  const std::string &path, std::string &error)
+{
+    if (std::rename(tmpPath.c_str(), path.c_str()) != 0) {
+        error = "journal: cannot rename '" + tmpPath + "' over '" +
+                path + "': " + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+} // namespace svc

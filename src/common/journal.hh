@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Crash-safe append-only record journal (write-ahead log atoms).
+ *
+ * A journal file is:
+ *
+ *   u64  magic    "SVCJRNL1" (little-endian bytes)
+ *   u32  version  currently 1
+ *   u32  reserved 0
+ *   ...  records
+ *
+ * and each record is self-framed and self-checksummed:
+ *
+ *   u32  tag       caller-defined record kind (ASCII fourcc)
+ *   u64  length    payload bytes
+ *   ...  payload
+ *   u64  checksum  FNV-1a over tag + length + payload bytes
+ *
+ * This is the same versioned/checksummed discipline as the snapshot
+ * format (common/snapshot.hh) adapted to an append-only stream: the
+ * checksum trails *every record* instead of the whole file, so a
+ * crash mid-append leaves at most one torn record at the tail.
+ * scanJournal() accepts every intact record before the tear and
+ * reports the torn tail as a structured diagnostic — it never
+ * crashes, never allocates unboundedly, and never yields a record
+ * whose checksum does not verify.
+ *
+ * Durability: JournalWriter::append() writes the framed record,
+ * fflush()es and fsync()s before returning, so an acknowledged
+ * record survives a process crash. Compaction rewrites a fresh
+ * journal to a temporary file and publishes it with
+ * atomicReplaceFile() (rename(2)), so readers see either the old or
+ * the new journal, never a mix.
+ *
+ * Error model: no exceptions. Writers and scanners return ok/error
+ * pairs with structured messages.
+ */
+
+#ifndef SVC_COMMON_JOURNAL_HH
+#define SVC_COMMON_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace svc
+{
+
+/** Journal file magic: "SVCJRNL1" as a little-endian u64. */
+inline constexpr std::uint64_t kJournalMagic = 0x314c4e524a435653ull;
+
+/** Current journal format version. */
+inline constexpr std::uint32_t kJournalVersion = 1;
+
+/** Journal file header size in bytes (magic + version + reserved). */
+inline constexpr std::size_t kJournalHeaderBytes = 16;
+
+/** Per-record framing overhead (tag + length + trailing checksum). */
+inline constexpr std::size_t kJournalRecordOverhead = 20;
+
+/** One intact record recovered from a journal. */
+struct JournalRecord
+{
+    std::uint32_t tag = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Result of scanning a journal image or file. */
+struct JournalScan
+{
+    /** Header present and well-formed (magic + version). */
+    bool headerOk = false;
+    /** The tail holds a torn or corrupt record (crash mid-append). */
+    bool torn = false;
+    /** Byte offset of the first torn/corrupt record, if torn. */
+    std::size_t tornOffset = 0;
+    /**
+     * Structured diagnostic: set when the header is bad, the file
+     * is unreadable, or the tail is torn. A torn tail is survivable
+     * (records before tornOffset are intact); a bad header is not.
+     */
+    std::string error;
+    /** Every record whose checksum verified, in append order. */
+    std::vector<JournalRecord> records;
+
+    /** Usable for recovery: header ok (a torn tail is tolerated). */
+    bool recoverable() const { return headerOk; }
+};
+
+/** Scan a journal image (see file comment for the guarantees). */
+JournalScan scanJournal(const std::uint8_t *data, std::size_t n);
+JournalScan scanJournal(const std::vector<std::uint8_t> &image);
+
+/** Read and scan a journal file; a missing/unreadable file yields
+ *  headerOk=false with a structured message. */
+JournalScan scanJournalFile(const std::string &path);
+
+/**
+ * Chaos hook consulted before each physical record write. The hook
+ * may shrink @p writeBytes below the full record size (a torn/short
+ * write: the writer persists only that prefix and reports failure,
+ * simulating a crash mid-append) and/or set @p stallMillis (the
+ * writer sleeps that long before writing, simulating a stalled
+ * journal device without corrupting anything).
+ */
+using JournalWriteHook = std::function<void(
+    std::size_t recordBytes, std::size_t &writeBytes,
+    unsigned &stallMillis)>;
+
+/**
+ * Appends framed records to a journal file with fsync durability.
+ * Not thread-safe: the service serializes appends under its own
+ * lock (the journal is the ordering authority anyway).
+ */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter() { close(); }
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /**
+     * Open @p path for appending, writing the header if the file is
+     * new or empty. An existing file's header is validated.
+     * @return false with a structured message on failure.
+     */
+    bool open(const std::string &path, std::string &error);
+
+    /**
+     * Frame, write and fsync one record. @return false (with a
+     * structured message) on an I/O error or an injected torn
+     * write; the journal must then be treated as crashed and
+     * re-opened through recovery.
+     */
+    bool append(std::uint32_t tag,
+                const std::vector<std::uint8_t> &payload,
+                std::string &error);
+
+    void close();
+    bool isOpen() const { return file != nullptr; }
+    const std::string &path() const { return filePath; }
+
+    /** Install a chaos hook (see JournalWriteHook). */
+    void setWriteHook(JournalWriteHook hook)
+    {
+        writeHook = std::move(hook);
+    }
+
+    /** Records appended (and fsynced) through this writer. */
+    std::uint64_t appended() const { return nAppended; }
+
+  private:
+    std::FILE *file = nullptr;
+    std::string filePath;
+    JournalWriteHook writeHook;
+    std::uint64_t nAppended = 0;
+};
+
+/**
+ * Atomically replace @p path with @p tmpPath (rename(2)): readers
+ * observe either the old or the new file, never a mix. Used by
+ * journal compaction. @return false + message on failure.
+ */
+bool atomicReplaceFile(const std::string &tmpPath,
+                       const std::string &path, std::string &error);
+
+} // namespace svc
+
+#endif // SVC_COMMON_JOURNAL_HH

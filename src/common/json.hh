@@ -52,6 +52,15 @@ class JsonWriter
     void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
     void value(bool v);
 
+    /**
+     * Splice a pre-rendered JSON value verbatim (comma/indentation
+     * handled like any other value). The caller guarantees @p json
+     * is a complete, valid JSON value; the service layer uses this
+     * to aggregate result rows that were rendered (and journaled)
+     * independently without re-parsing them.
+     */
+    void rawValue(const std::string &json) { raw(json); }
+
     // ---- Shorthands ----
     void
     member(const std::string &name, const std::string &v)

@@ -278,6 +278,12 @@ Processor::run()
         }
     }
 
+    return currentStats();
+}
+
+RunStats
+Processor::currentStats() const
+{
     RunStats rs;
     rs.cycles = currentCycle;
     rs.committedInstructions = nCommittedInstructions;

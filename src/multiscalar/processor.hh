@@ -65,6 +65,14 @@ class Processor
     /** Run to HALT (or the configured instruction/cycle limit). */
     RunStats run();
 
+    /**
+     * The statistics run() would return if it stopped now. Lets an
+     * external driver that steps the processor with tick() (the
+     * sweep service's preemptible slice loop) report runs exactly
+     * as run() does.
+     */
+    RunStats currentStats() const;
+
     /** Advance a single cycle (fine-grained test control). */
     void tick();
 

@@ -1,0 +1,119 @@
+#include "service/chaos.hh"
+
+namespace svc::service
+{
+namespace
+{
+
+/** splitmix64 finalizer: a cheap, well-mixed pure hash. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+const char *
+serviceFaultName(ServiceFault kind)
+{
+    switch (kind) {
+    case ServiceFault::None: return "none";
+    case ServiceFault::WorkerKill: return "worker-kill";
+    case ServiceFault::WorkerHang: return "worker-hang";
+    case ServiceFault::JournalStall: return "journal-stall";
+    case ServiceFault::TornWrite: return "torn-write";
+    case ServiceFault::Restart: return "restart";
+    }
+    return "?";
+}
+
+ServiceFault
+serviceFaultFromName(const std::string &name, bool &ok)
+{
+    ok = true;
+    if (name == "none")
+        return ServiceFault::None;
+    if (name == "worker-kill")
+        return ServiceFault::WorkerKill;
+    if (name == "worker-hang")
+        return ServiceFault::WorkerHang;
+    if (name == "journal-stall")
+        return ServiceFault::JournalStall;
+    if (name == "torn-write")
+        return ServiceFault::TornWrite;
+    if (name == "restart")
+        return ServiceFault::Restart;
+    ok = false;
+    return ServiceFault::None;
+}
+
+bool
+ServiceFaultInjector::selected(std::uint64_t job_id) const
+{
+    // Roughly one job in three, seed-scheduled.
+    return mix(cfg.seed * 0x2545f4914f6cdd1dull + job_id) % 3 == 0;
+}
+
+bool
+ServiceFaultInjector::killsAttempt(std::uint64_t job_id,
+                                   unsigned attempt) const
+{
+    if (job_id == cfg.poisonJobId)
+        return true; // every attempt: the quarantine driver
+    // Only attempt 1 dies, so the bounded retry always converges
+    // and the final aggregate matches the fault-free run.
+    return cfg.kind == ServiceFault::WorkerKill && attempt == 1 &&
+           selected(job_id);
+}
+
+bool
+ServiceFaultInjector::hangsAttempt(std::uint64_t job_id,
+                                   unsigned attempt) const
+{
+    return cfg.kind == ServiceFault::WorkerHang && attempt == 1 &&
+           selected(job_id);
+}
+
+JournalWriteHook
+ServiceFaultInjector::journalHook()
+{
+    if (cfg.kind == ServiceFault::TornWrite) {
+        // Tear exactly one append: the k-th (seeded), persisted
+        // only up to half its bytes — a crash mid-write.
+        const std::uint64_t tear_at = 3 + cfg.seed % 5;
+        return [this, tear_at](std::size_t record_bytes,
+                               std::size_t &write_bytes,
+                               unsigned &stall_millis) {
+            (void)stall_millis;
+            ++appendsSeen;
+            if (!tearFired && appendsSeen == tear_at) {
+                tearFired = true;
+                write_bytes = record_bytes / 2;
+            }
+        };
+    }
+    if (cfg.kind == ServiceFault::JournalStall) {
+        const std::uint64_t seed = cfg.seed;
+        return [this, seed](std::size_t, std::size_t &,
+                            unsigned &stall_millis) {
+            ++appendsSeen;
+            if (mix(seed ^ appendsSeen) % 4 == 0)
+                stall_millis = 5;
+        };
+    }
+    return nullptr;
+}
+
+std::uint64_t
+ServiceFaultInjector::restartAfterCompletions() const
+{
+    if (cfg.kind != ServiceFault::Restart)
+        return 0;
+    return 1 + cfg.seed % 4;
+}
+
+} // namespace svc::service

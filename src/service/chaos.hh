@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic seeded chaos for the sweep service. Every fault
+ * decision is a pure function of (kind, seed, jobId, attempt) — two
+ * runs with the same chaos config inject the identical fault
+ * schedule, so the chaos matrix is reproducible and a failing cell
+ * can be replayed from its (kind, seed) pair alone.
+ *
+ * Fault kinds and their determinism story:
+ *
+ *   WorkerKill   a selected subset of jobs dies on attempt 1 (the
+ *                worker "crashes" before producing a row). Retries
+ *                run clean, so the final aggregate is byte-identical
+ *                to the fault-free run.
+ *   WorkerHang   same selection, but the attempt "hangs" and is
+ *                reaped by the per-job forward-progress deadline.
+ *   JournalStall appends to the journal stall for a few
+ *                milliseconds (a slow device); nothing is corrupted
+ *                and no retry happens — pure latency.
+ *   TornWrite    one append persists only a prefix of its record (a
+ *                crash mid-write). The writer reports failure, the
+ *                service treats itself as crashed, and the restart
+ *                replays the journal, which reports the torn tail
+ *                as a structured diagnostic and re-runs the torn
+ *                job. A tear is a crash event, not a persistent
+ *                fault: the front-end drops TornWrite chaos for the
+ *                restarted incarnation (each injector would
+ *                otherwise tear its k-th append again, and an
+ *                unlucky interleaving could stall convergence).
+ *   Restart      the whole service "crashes" after a seeded number
+ *                of completions; the front-end restarts it and it
+ *                resumes from the journal.
+ *
+ * A poison job (ChaosConfig::poisonJobId) dies on *every* attempt —
+ * the quarantine path's test vector.
+ */
+
+#ifndef SVC_SERVICE_CHAOS_HH
+#define SVC_SERVICE_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/journal.hh"
+
+namespace svc::service
+{
+
+enum class ServiceFault
+{
+    None,
+    WorkerKill,
+    WorkerHang,
+    JournalStall,
+    TornWrite,
+    Restart,
+};
+
+const char *serviceFaultName(ServiceFault kind);
+
+/** @return the fault kind named @p name ("none", "worker-kill",
+ *  "worker-hang", "journal-stall", "torn-write", "restart"), or
+ *  None with @p ok = false if unknown. */
+ServiceFault serviceFaultFromName(const std::string &name, bool &ok);
+
+inline constexpr std::uint64_t kNoPoisonJob = ~0ull;
+
+struct ChaosConfig
+{
+    ServiceFault kind = ServiceFault::None;
+    std::uint64_t seed = 1;
+    /** This job fails every attempt (drives quarantine). */
+    std::uint64_t poisonJobId = kNoPoisonJob;
+};
+
+class ServiceFaultInjector
+{
+  public:
+    explicit ServiceFaultInjector(const ChaosConfig &cfg)
+        : cfg(cfg)
+    {}
+
+    const ChaosConfig &config() const { return cfg; }
+
+    /** Should this attempt die before producing a result? (The
+     *  WorkerKill schedule, plus every poison-job attempt.) */
+    bool killsAttempt(std::uint64_t job_id, unsigned attempt) const;
+
+    /** Should this attempt hang (reaped as a deadline timeout)? */
+    bool hangsAttempt(std::uint64_t job_id, unsigned attempt) const;
+
+    /**
+     * Journal write hook implementing TornWrite (truncates the k-th
+     * append, k seeded) and JournalStall (stalls a seeded subset of
+     * appends). Stateful across appends; install once per journal
+     * lifetime.
+     */
+    JournalWriteHook journalHook();
+
+    /** Completions before an injected whole-service crash
+     *  (Restart kind); 0 = never. */
+    std::uint64_t restartAfterCompletions() const;
+
+  private:
+    bool selected(std::uint64_t job_id) const;
+
+    ChaosConfig cfg;
+    std::uint64_t appendsSeen = 0;
+    bool tearFired = false;
+};
+
+} // namespace svc::service
+
+#endif // SVC_SERVICE_CHAOS_HH

@@ -1,0 +1,681 @@
+#include "service/grid.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/invariants.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/snapshot.hh"
+#include "isa/interpreter.hh"
+#include "litmus/shapes.hh"
+#include "mem/main_memory.hh"
+#include "multiscalar/processor.hh"
+#include "svc/corruptor.hh"
+#include "svc/invariants.hh"
+#include "svc/protocol.hh"
+#include "svc/system.hh"
+#include "tests/support/engine_adapters.hh"
+#include "tests/support/task_script.hh"
+#include "workloads/stimulus.hh"
+#include "workloads/workloads.hh"
+
+namespace svc::service
+{
+namespace
+{
+
+const char *const kWorkloads[] = {"compress", "gcc",   "vortex",
+                                  "perl",     "ijpeg", "mgrid",
+                                  "apsi"};
+
+// ---------------------------------------------------------------
+// Grid construction
+// ---------------------------------------------------------------
+
+void
+addIpcGrid(std::vector<SweepItem> &items, const std::string &fig,
+           unsigned arb_dcache_kb, unsigned svc_kb, unsigned scale)
+{
+    for (const char *w : kWorkloads) {
+        for (unsigned lat = 4; lat >= 1; --lat) {
+            SweepItem it;
+            it.memKind = "arb";
+            it.workload = w;
+            it.scale = scale;
+            it.cfg.arb = bench::paperArbConfig(arb_dcache_kb, lat);
+            it.config = "arb" + std::to_string(arb_dcache_kb) +
+                        "k_lat" + std::to_string(lat);
+            it.id = fig + "/" + w + "/" + it.config;
+            items.push_back(std::move(it));
+        }
+        SweepItem it;
+        it.memKind = "svc";
+        it.workload = w;
+        it.scale = scale;
+        it.cfg.svc = bench::paperSvcConfig(svc_kb);
+        it.config = "svc" + std::to_string(svc_kb) + "k_final";
+        it.id = fig + "/" + w + "/" + it.config;
+        items.push_back(std::move(it));
+    }
+}
+
+void
+addFaultGrid(std::vector<SweepItem> &items, unsigned num_seeds)
+{
+    const FaultKind kinds[] = {
+        FaultKind::CorruptVolPointer, FaultKind::CorruptMask,
+        FaultKind::CorruptData, FaultKind::CorruptVolCache};
+    for (FaultKind k : kinds) {
+        for (std::uint64_t seed = 1; seed <= num_seeds; ++seed) {
+            SweepItem it;
+            it.kind = SweepItem::Fault;
+            it.faultKind = k;
+            it.seed = seed;
+            it.id = std::string("faults/final/") + faultKindName(k) +
+                    "/s" + std::to_string(seed);
+            items.push_back(std::move(it));
+        }
+    }
+}
+
+void
+addRecoveryGrid(std::vector<SweepItem> &items, unsigned scale,
+                unsigned num_seeds)
+{
+    const FaultKind kinds[] = {
+        FaultKind::CorruptVolPointer, FaultKind::CorruptMask,
+        FaultKind::CorruptData, FaultKind::CorruptVolCache};
+    for (FaultKind k : kinds) {
+        for (std::uint64_t seed = 1; seed <= num_seeds; ++seed) {
+            SweepItem it;
+            it.kind = SweepItem::Recovery;
+            it.workload = "compress";
+            it.scale = scale;
+            it.seed = seed;
+            it.faultKind = k;
+            it.policy = RecoveryPolicy::Degrade;
+            it.corruptions = 1 + static_cast<unsigned>(seed % 3);
+            it.id = std::string("recovery/compress/") +
+                    faultKindName(k) + "/s" + std::to_string(seed);
+            items.push_back(std::move(it));
+        }
+    }
+}
+
+/**
+ * The "litmus" grid: every shape in the litmus library across the
+ * six SVC design points (fault mix + staged recovery active) plus
+ * the ARB baseline (fault-free: it has no fault hooks), each an
+ * iterated campaign checked against the enumeration oracle.
+ * Campaigns are internally deterministic, so results are
+ * byte-identical at any --jobs.
+ */
+void
+addLitmusGrid(std::vector<SweepItem> &items, std::uint64_t iters,
+              bool faults)
+{
+    const SvcDesign designs[] = {SvcDesign::Base, SvcDesign::EC,
+                                 SvcDesign::ECS, SvcDesign::HR,
+                                 SvcDesign::RL, SvcDesign::Final};
+    for (const std::string &shape : litmus::shapeNames()) {
+        for (SvcDesign d : designs) {
+            SweepItem it;
+            it.kind = SweepItem::Litmus;
+            it.workload = shape;
+            it.litmusBackend = litmus::Backend::Svc;
+            it.litmusDesign = d;
+            it.litmusFaults = faults;
+            it.litmusIters = iters;
+            it.config = std::string("svc_") + svcDesignName(d);
+            it.id = "litmus/" + shape + "/" + it.config;
+            items.push_back(std::move(it));
+        }
+        SweepItem arb;
+        arb.kind = SweepItem::Litmus;
+        arb.workload = shape;
+        arb.litmusBackend = litmus::Backend::Arb;
+        arb.litmusFaults = false;
+        arb.litmusIters = iters;
+        arb.config = "arb";
+        arb.id = "litmus/" + shape + "/arb";
+        items.push_back(std::move(arb));
+    }
+}
+
+/** The "trace" grid: one stimulus (a recorded trace or a synthetic
+ *  gen:<pattern> stream) replayed through the paper's six SVC
+ *  design points plus the ARB. */
+void
+addTraceGrid(std::vector<SweepItem> &items,
+             const trace_io::StimulusOptions &stim, unsigned scale)
+{
+    if (stim.traceIn.empty() && stim.workload.empty())
+        fatal("--grid trace needs --trace-in FILE or "
+              "--workload gen:<pattern>");
+    const std::string src =
+        !stim.traceIn.empty() ? stim.traceIn : stim.workload;
+    const SvcDesign designs[] = {SvcDesign::Base, SvcDesign::EC,
+                                 SvcDesign::ECS, SvcDesign::HR,
+                                 SvcDesign::RL, SvcDesign::Final};
+    for (SvcDesign d : designs) {
+        SweepItem it;
+        it.memKind = "svc";
+        it.workload = stim.workload;
+        it.tracePath = stim.traceIn;
+        it.scale = scale;
+        it.seed = stim.seed;
+        it.cfg.svc = bench::paperSvcConfig(8, d);
+        it.config = std::string("svc8k_") + svcDesignName(d);
+        it.id = "trace/" + src + "/" + it.config;
+        items.push_back(std::move(it));
+    }
+    SweepItem arb;
+    arb.memKind = "arb";
+    arb.workload = stim.workload;
+    arb.tracePath = stim.traceIn;
+    arb.scale = scale;
+    arb.seed = stim.seed;
+    arb.cfg.arb = bench::paperArbConfig(32, 2);
+    arb.config = "arb32k_lat2";
+    arb.id = "trace/" + src + "/" + arb.config;
+    items.push_back(std::move(arb));
+}
+
+// ---------------------------------------------------------------
+// Item execution
+// ---------------------------------------------------------------
+
+/** Populate a Final-design protocol, corrupt it, and record whether
+ *  the invariant engine flags the corruption (the same cell shape
+ *  as the ctest fault matrix, reported instead of asserted). */
+ItemResult
+runFaultItem(const SweepItem &it)
+{
+    ItemResult r;
+    MainMemory mem;
+    SvcConfig cfg;
+    cfg.numPus = 4;
+    cfg.cacheBytes = 512;
+    cfg.assoc = 4;
+    cfg.lineBytes = 16;
+    cfg = makeDesign(SvcDesign::Final, cfg);
+    cfg.versioningBytes = 4;
+    SvcProtocol proto(cfg, mem);
+
+    test::ScriptConfig scfg;
+    scfg.seed = it.seed;
+    scfg.numTasks = 12;
+    scfg.addrRange = 96;
+    const test::TaskScript script = test::generateScript(scfg);
+    test::runSpeculative(script, test::adaptProtocol(proto),
+                         cfg.numPus, it.seed * 31);
+
+    InvariantEngine eng;
+    eng.addChecker(std::make_unique<SvcProtocolChecker>(proto));
+
+    FaultConfig fcfg;
+    fcfg.seed = it.seed * 7919 + 1;
+    FaultInjector inj(fcfg);
+    SvcCorruptor corruptor(proto, inj);
+    const CorruptionResult res = corruptor.corrupt(it.faultKind);
+    r.injected = res.injected;
+    if (res.injected) {
+        eng.runChecks(1);
+        r.detected = !eng.clean();
+        r.findings = static_cast<unsigned>(eng.findings().size());
+    }
+    return r;
+}
+
+/**
+ * One recovery cell: a full multiscalar run on the paper's SVC
+ * config with the staged RecoveryManager active and a deterministic
+ * corruption schedule, reported against a fault-free reference run
+ * of the identical workload (the IPC delta is the recovery cost).
+ * Success means the recovered run halts, verifies against the
+ * interpreter, and ends with the invariant engine clean.
+ */
+ItemResult
+runRecoveryItem(const SweepItem &it)
+{
+    ItemResult r;
+    workloads::WorkloadParams wp;
+    wp.scale = it.scale;
+    wp.seed = it.seed;
+    workloads::Workload w = workloads::lookup(it.workload, wp);
+
+    std::uint32_t ref_checksum = 0;
+    {
+        MainMemory mem;
+        auto res =
+            isa::Interpreter::run(w.program, mem, 2'000'000'000);
+        if (!res.halted)
+            fatal("recovery cell: reference interpreter run of "
+                  "'%s' did not halt", w.name.c_str());
+        ref_checksum = mem.readWord(w.checkBase);
+    }
+
+    const SvcConfig svc_cfg = bench::paperSvcConfig(8);
+
+    // Fault-free reference: the denominator of the IPC cost.
+    {
+        MainMemory mem;
+        SvcSystem sys(svc_cfg, mem);
+        w.program.loadInto(mem);
+        Processor cpu(bench::paperCpuConfig(), w.program, sys);
+        const RunStats rs = cpu.run();
+        sys.finalizeMemory();
+        r.refIpc = rs.ipc;
+    }
+
+    // Recovered run.
+    MainMemory mem;
+    SvcSystem sys(svc_cfg, mem);
+    FaultConfig fcfg;
+    fcfg.seed = it.seed * 7919 + 1;
+    FaultInjector inj(fcfg);
+    InvariantEngine eng;
+    sys.attachInvariants(eng);
+    w.program.loadInto(mem);
+    Processor cpu(bench::paperCpuConfig(), w.program, sys);
+    RecoveryConfig rcfg;
+    rcfg.policy = it.policy;
+    RecoveryManager rm(rcfg, cpu, sys, mem, eng, nullptr, 0x5ecu);
+    SvcCorruptor corruptor(sys.protocol(), inj);
+
+    struct Event
+    {
+        Cycle at;
+        bool fired = false;
+    };
+    std::vector<Event> schedule;
+    const Cycle first = 300 + (it.seed % 5) * 137;
+    for (unsigned i = 0; i < it.corruptions; ++i)
+        schedule.push_back({first + i * 400});
+    cpu.setTickHook([&](Cycle at) {
+        for (Event &e : schedule) {
+            if (e.fired || at < e.at)
+                continue;
+            if (corruptor.corrupt(it.faultKind).injected) {
+                e.fired = true;
+                ++r.injectedCount;
+                // Detect before first use (see recovery_test.cc):
+                // once a store dirties the corrupted block, the
+                // damage is indistinguishable from legitimate
+                // speculative data.
+                eng.runChecks(at);
+            }
+            break;
+        }
+        rm.onTick(at);
+    });
+
+    const RunStats rs = cpu.run();
+    sys.finalizeMemory();
+    eng.runFinalChecks();
+
+    r.ipc = rs.ipc;
+    r.episodes = rm.nEpisodes;
+    r.repairs = rm.nLineRepairs;
+    r.replays = rm.nTaskReplays;
+    r.rollbacks = rm.nRollbacks;
+    r.degraded = rm.degraded();
+    r.highestStage = rm.highestStageReached();
+    r.recovered = rs.halted && eng.clean() &&
+                  mem.readWord(w.checkBase) == ref_checksum;
+    return r;
+}
+
+/** One litmus campaign: the iterated engine on the processor rail,
+ *  fault mix + recovery on SVC cells, oracle-checked throughout. */
+ItemResult
+runLitmusItem(const SweepItem &it)
+{
+    ItemResult r;
+    const litmus::LitmusTest *test = litmus::findShape(it.workload);
+    if (!test)
+        fatal("litmus item: unknown shape '%s'",
+              it.workload.c_str());
+    litmus::EngineConfig cfg;
+    cfg.backend = it.litmusBackend;
+    cfg.design = it.litmusDesign;
+    cfg.iterations = it.litmusIters;
+    cfg.seed = it.seed;
+    cfg.faultMode = it.litmusFaults ? litmus::FaultMode::Mix
+                                    : litmus::FaultMode::None;
+    r.litmus = litmus::runShape(*test, cfg);
+    return r;
+}
+
+/** The unified bench construction path: every bench item — kernel,
+ *  synthetic stream or trace replay — resolves through the same
+ *  helper the CLI flags use. Each caller opens its own stimulus so
+ *  items stay self-contained. */
+std::unique_ptr<workloads::StimulusSource>
+openBenchStimulus(const SweepItem &it)
+{
+    trace_io::StimulusOptions so;
+    so.workload = it.workload;
+    so.traceIn = it.tracePath;
+    so.scale = it.scale;
+    so.seed = it.seed;
+    return trace_io::makeStimulus(so, it.workload);
+}
+
+} // namespace
+
+bool
+isKnownGrid(const std::string &grid)
+{
+    return grid == "fig19" || grid == "fig20" || grid == "faults" ||
+           grid == "recovery" || grid == "smoke" ||
+           grid == "litmus" || grid == "full" || grid == "trace";
+}
+
+std::string
+knownGridNames()
+{
+    return "fig19, fig20, faults, recovery, smoke, litmus, full, "
+           "trace";
+}
+
+std::vector<SweepItem>
+buildGrid(const std::string &grid, unsigned scale,
+          const trace_io::StimulusOptions &stim)
+{
+    std::vector<SweepItem> items;
+    if (grid == "fig19") {
+        addIpcGrid(items, "fig19", 32, 8, scale);
+    } else if (grid == "fig20") {
+        addIpcGrid(items, "fig20", 64, 16, scale);
+    } else if (grid == "faults") {
+        addFaultGrid(items, 8);
+    } else if (grid == "recovery") {
+        addRecoveryGrid(items, scale, 4);
+    } else if (grid == "smoke") {
+        // A CI-sized cut: two workloads with contrasting sharing
+        // behaviour, one ARB and one SVC point each, plus one fault
+        // cell per corruption kind.
+        for (const char *w : {"compress", "mgrid"}) {
+            SweepItem arb;
+            arb.memKind = "arb";
+            arb.workload = w;
+            arb.scale = scale;
+            arb.cfg.arb = bench::paperArbConfig(32, 2);
+            arb.config = "arb32k_lat2";
+            arb.id = std::string("smoke/") + w + "/arb32k_lat2";
+            items.push_back(std::move(arb));
+            SweepItem svc;
+            svc.memKind = "svc";
+            svc.workload = w;
+            svc.scale = scale;
+            svc.cfg.svc = bench::paperSvcConfig(8);
+            svc.config = "svc8k_final";
+            svc.id = std::string("smoke/") + w + "/svc8k_final";
+            items.push_back(std::move(svc));
+        }
+        addFaultGrid(items, 1);
+        addRecoveryGrid(items, scale, 1);
+        // Litmus cut: the two canonical shapes on the paper design
+        // and the baseline, enough to catch an ordering regression.
+        for (const char *shape : {"MP", "SB"}) {
+            SweepItem svc;
+            svc.kind = SweepItem::Litmus;
+            svc.workload = shape;
+            svc.litmusDesign = SvcDesign::Final;
+            svc.litmusFaults = true;
+            svc.litmusIters = 60;
+            svc.config = "svc_Final";
+            svc.id = std::string("litmus/") + shape + "/svc_Final";
+            items.push_back(std::move(svc));
+            SweepItem arb;
+            arb.kind = SweepItem::Litmus;
+            arb.workload = shape;
+            arb.litmusBackend = litmus::Backend::Arb;
+            arb.litmusIters = 60;
+            arb.config = "arb";
+            arb.id = std::string("litmus/") + shape + "/arb";
+            items.push_back(std::move(arb));
+        }
+    } else if (grid == "litmus") {
+        addLitmusGrid(items, 100 * scale, true);
+    } else if (grid == "full") {
+        addIpcGrid(items, "fig19", 32, 8, scale);
+        addIpcGrid(items, "fig20", 64, 16, scale);
+        addFaultGrid(items, 8);
+        addRecoveryGrid(items, scale, 4);
+        addLitmusGrid(items, 100 * scale, true);
+    } else if (grid == "trace") {
+        addTraceGrid(items, stim, scale);
+    } else {
+        fatal("unknown grid '%s' (%s)", grid.c_str(),
+              knownGridNames().c_str());
+    }
+
+    // Outside the trace grid, --workload narrows the sweep to one
+    // stimulus and --seed reseeds the bench rows (fault/recovery
+    // cells keep their own per-cell seed schedule).
+    if (grid != "trace" && !stim.workload.empty()) {
+        std::vector<SweepItem> kept;
+        for (SweepItem &it : items) {
+            if (it.kind == SweepItem::Fault ||
+                it.workload == stim.workload)
+                kept.push_back(std::move(it));
+        }
+        if (kept.empty())
+            fatal("grid '%s' has no items matching --workload '%s'",
+                  grid.c_str(), stim.workload.c_str());
+        items = std::move(kept);
+    }
+    if (stim.seedSet) {
+        for (SweepItem &it : items) {
+            if (it.kind == SweepItem::Bench)
+                it.seed = stim.seed;
+        }
+    }
+    return items;
+}
+
+ItemResult
+runItem(const SweepItem &it)
+{
+    ItemResult r;
+    if (it.kind == SweepItem::Fault) {
+        r = runFaultItem(it);
+    } else if (it.kind == SweepItem::Recovery) {
+        r = runRecoveryItem(it);
+    } else if (it.kind == SweepItem::Litmus) {
+        r = runLitmusItem(it);
+    } else {
+        const auto stim = openBenchStimulus(it);
+        bench::RunConfig rc;
+        rc.memKind = it.memKind;
+        rc.mem = it.cfg;
+        r.row = bench::runOn(*stim, rc);
+    }
+    return r;
+}
+
+ItemResult
+runItemSliced(const SweepItem &it, const bench::SliceBudget &budget,
+              bench::SliceOutcome &outcome)
+{
+    outcome = bench::SliceOutcome::Completed;
+    if (it.kind != SweepItem::Bench)
+        return runItem(it);
+    const auto stim = openBenchStimulus(it);
+    if (!stim->program())
+        return runItem(it); // stream/trace items are not sliceable
+    bench::RunConfig rc;
+    rc.memKind = it.memKind;
+    rc.mem = it.cfg;
+    ItemResult r;
+    r.row = bench::runProgramSliced(*stim, rc, budget, outcome);
+    return r;
+}
+
+std::string
+renderRow(const SweepItem &it, const ItemResult &r)
+{
+    JsonWriter w(/*pretty=*/false);
+    w.beginObject();
+    w.member("id", it.id);
+    if (it.kind == SweepItem::Bench) {
+        w.member("kind", "bench");
+        w.member("workload", r.row.workload);
+        w.member("run_kind", r.row.kind);
+        w.member("mem", r.row.memSystem);
+        w.member("config", it.config);
+        w.key("scale");
+        w.value(it.scale);
+        w.key("seed");
+        w.value(it.seed);
+        w.member("ipc", r.row.ipc);
+        w.member("miss_ratio", r.row.missRatio);
+        w.member("bus_utilization", r.row.busUtilization);
+        w.key("instructions");
+        w.value(r.row.instructions);
+        w.key("cycles");
+        w.value(static_cast<std::uint64_t>(r.row.cycles));
+        w.key("violation_squashes");
+        w.value(r.row.violationSquashes);
+        w.key("task_mispredicts");
+        w.value(r.row.taskMispredicts);
+        w.key("ops");
+        w.value(r.row.ops);
+        w.key("load_mismatches");
+        w.value(r.row.loadMismatches);
+        // Fixed-width hex keeps the determinism byte-compare
+        // independent of JSON number formatting.
+        char hash[20];
+        std::snprintf(hash, sizeof(hash), "0x%016llx",
+                      static_cast<unsigned long long>(
+                          r.row.loadValueHash));
+        w.member("load_value_hash", hash);
+        w.member("verified", r.row.verified);
+    } else if (it.kind == SweepItem::Fault) {
+        w.member("kind", "fault");
+        w.member("design", "Final");
+        w.member("fault_kind", faultKindName(it.faultKind));
+        w.key("seed");
+        w.value(it.seed);
+        w.member("injected", r.injected);
+        w.member("detected", r.detected);
+        w.key("findings");
+        w.value(static_cast<std::uint64_t>(r.findings));
+    } else if (it.kind == SweepItem::Litmus) {
+        w.member("kind", "litmus");
+        w.member("shape", it.workload);
+        w.member("cell", it.config);
+        w.member("iterations", r.litmus.iterations);
+        w.member("allowed_outcomes",
+                 static_cast<std::uint64_t>(r.litmus.allowedSize));
+        w.member("allowed_covered",
+                 static_cast<std::uint64_t>(
+                     r.litmus.allowedCovered));
+        w.member("violations", r.litmus.violationCount);
+        w.member("faults_injected", r.litmus.injected);
+        w.member("recovery_episodes", r.litmus.episodes);
+        w.member("ok", r.litmus.ok);
+        w.key("histogram");
+        w.beginObject();
+        for (const auto &[outcome, count] : r.litmus.histogram)
+            w.member(outcome, count);
+        w.endObject();
+    } else {
+        w.member("kind", "recovery");
+        w.member("workload", it.workload);
+        w.member("policy", recoveryPolicyName(it.policy));
+        w.member("fault_kind", faultKindName(it.faultKind));
+        w.key("scale");
+        w.value(it.scale);
+        w.key("seed");
+        w.value(it.seed);
+        w.key("injected");
+        w.value(r.injectedCount);
+        w.key("episodes");
+        w.value(r.episodes);
+        w.key("line_repairs");
+        w.value(r.repairs);
+        w.key("task_replays");
+        w.value(r.replays);
+        w.key("rollbacks");
+        w.value(r.rollbacks);
+        w.member("degraded", r.degraded);
+        w.key("highest_stage");
+        w.value(static_cast<std::uint64_t>(r.highestStage));
+        w.member("ipc", r.ipc);
+        w.member("ref_ipc", r.refIpc);
+        // Relative IPC cost of recovery vs the fault-free run of
+        // the same workload (0 = free, 1 = total loss).
+        const double cost =
+            r.refIpc > 0.0 ? 1.0 - r.ipc / r.refIpc : 0.0;
+        w.member("ipc_cost", cost);
+        w.member("recovered", r.recovered);
+    }
+    w.endObject();
+    return w.str();
+}
+
+std::string
+rowFailure(const SweepItem &it, const ItemResult &r)
+{
+    if (it.kind == SweepItem::Bench && !r.row.verified)
+        return "checksum verification failed";
+    if (it.kind == SweepItem::Fault && r.injected && !r.detected)
+        return "corruption went undetected";
+    if (it.kind == SweepItem::Recovery && !r.recovered) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "run did not recover (episodes=%llu stage=%u)",
+                      static_cast<unsigned long long>(r.episodes),
+                      r.highestStage);
+        return buf;
+    }
+    if (it.kind == SweepItem::Litmus && !r.litmus.ok) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf),
+                      "%llu forbidden outcomes",
+                      static_cast<unsigned long long>(
+                          r.litmus.violationCount));
+        return std::string(buf) + "\n" +
+               litmus::reportString(r.litmus);
+    }
+    return "";
+}
+
+std::string
+renderResultsDoc(const std::string &grid, unsigned scale,
+                 const std::vector<std::string> &rows)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.member("schema", "svc-sweep-v1");
+    w.member("grid", grid);
+    w.key("scale");
+    w.value(scale);
+    w.key("items");
+    w.value(static_cast<std::uint64_t>(rows.size()));
+    w.key("results");
+    w.beginArray();
+    for (const std::string &row : rows)
+        w.rawValue(row);
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::uint64_t
+gridFingerprint(const std::vector<SweepItem> &items)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const SweepItem &it : items) {
+        h = snapshotFnv1a(it.id.data(), it.id.size(), h);
+        const char sep = '\n';
+        h = snapshotFnv1a(&sep, 1, h);
+    }
+    return h;
+}
+
+} // namespace svc::service

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The sweep grid library: one implementation of grid expansion,
+ * item execution, row rendering and ordered aggregation, shared by
+ * the batch CLI (tools/sweep_runner) and the long-lived job service
+ * (src/service/service.hh + tools/sweep_service).
+ *
+ * Every grid item is a pure function of its description: each run
+ * constructs its own MainMemory/SpecMem/Processor (or functional
+ * protocol) and draws from its own seeded RNG stream, so items can
+ * run in any order, on any thread, any number of times — the
+ * property the service's crash-recovery story rests on (a retried
+ * or replayed job reproduces its row byte for byte).
+ *
+ * Rows are rendered as compact single-line JSON objects so they can
+ * be journaled verbatim and later spliced into an aggregate
+ * document (JsonWriter::rawValue) without re-parsing; aggregation
+ * walks items in definition order, which together with the JSON
+ * writer's fixed number formatting makes the results document
+ * byte-identical regardless of worker count, retry schedule, or
+ * crash/restart history.
+ */
+
+#ifndef SVC_SERVICE_GRID_HH
+#define SVC_SERVICE_GRID_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "litmus/engine.hh"
+#include "mem/fault_injector.hh"
+#include "recovery/recovery_manager.hh"
+#include "trace_io/stimulus_cli.hh"
+
+namespace svc::service
+{
+
+/** One self-contained unit of work. */
+struct SweepItem
+{
+    enum Kind { Bench, Fault, Recovery, Litmus };
+
+    std::string id; ///< stable unique name, e.g. "fig19/gcc/svc8k"
+    Kind kind = Bench;
+
+    // Bench items (kernel, gen:<pattern> or trace replay).
+    std::string memKind;   ///< makeSpecMem registry key
+    std::string workload;  ///< workload name or "gen:<pattern>"
+    std::string tracePath; ///< SVCTRC1 path ("" = use workload)
+    std::string config;    ///< short config label for the report
+    unsigned scale = 1;
+    std::uint64_t seed = 12345;
+    SpecMemConfig cfg;
+
+    // Fault cells (functional protocol + one corruption).
+    FaultKind faultKind = FaultKind::CorruptVolPointer;
+
+    // Recovery cells (full multiscalar run + staged recovery).
+    RecoveryPolicy policy = RecoveryPolicy::Degrade;
+    unsigned corruptions = 1;
+
+    // Litmus campaigns (workload holds the shape name).
+    litmus::Backend litmusBackend = litmus::Backend::Svc;
+    SvcDesign litmusDesign = SvcDesign::Final;
+    bool litmusFaults = false; ///< fault mix + recovery when true
+    std::uint64_t litmusIters = 200;
+};
+
+/** Result of running one item. */
+struct ItemResult
+{
+    bench::BenchRow row; ///< bench items only
+    bool injected = false;
+    bool detected = false;
+    unsigned findings = 0;
+    double wallSeconds = 0.0;
+
+    // Recovery cells: outcome of the recovered run vs its own
+    // fault-free reference.
+    Counter injectedCount = 0;
+    Counter episodes = 0;
+    Counter repairs = 0;
+    Counter replays = 0;
+    Counter rollbacks = 0;
+    bool degraded = false;
+    unsigned highestStage = 0;
+    bool recovered = false; ///< verified + engine clean + halted
+    double ipc = 0.0;
+    double refIpc = 0.0;
+
+    // Litmus campaigns: the engine's full report.
+    litmus::ShapeReport litmus;
+};
+
+/** @return true if @p grid names a known grid. */
+bool isKnownGrid(const std::string &grid);
+
+/** The known grid names, for usage messages. */
+std::string knownGridNames();
+
+/**
+ * Expand @p grid (fig19, fig20, faults, recovery, smoke, litmus,
+ * full, trace) into its item list. Applies the --workload /--seed
+ * narrowing rules from @p stim. fatal()s on an unknown grid or an
+ * empty narrowing — call isKnownGrid() first for a non-fatal check.
+ */
+std::vector<SweepItem>
+buildGrid(const std::string &grid, unsigned scale,
+          const trace_io::StimulusOptions &stim);
+
+/** Run one item to completion (any kind). */
+ItemResult runItem(const SweepItem &it);
+
+/**
+ * Run one item under a slice/deadline budget (the service's
+ * preemptible path). Only Bench items backed by a program stimulus
+ * can actually be preempted or time out; every other kind runs to
+ * completion with outcome Completed.
+ */
+ItemResult runItemSliced(const SweepItem &it,
+                         const bench::SliceBudget &budget,
+                         bench::SliceOutcome &outcome);
+
+/**
+ * Render one result row as a compact single-line JSON object (the
+ * journaled/aggregated form). Deterministic: a function of the item
+ * and result values alone.
+ */
+std::string renderRow(const SweepItem &it, const ItemResult &r);
+
+/**
+ * @return a structured failure description for @p r ("" if the row
+ * is healthy): failed checksum verification, undetected corruption,
+ * unrecovered fault, or a forbidden litmus outcome.
+ */
+std::string rowFailure(const SweepItem &it, const ItemResult &r);
+
+/**
+ * Compose the deterministic results document ("svc-sweep-v1"):
+ * schema/grid/scale/items plus the rows (pre-rendered with
+ * renderRow) spliced in definition order.
+ */
+std::string renderResultsDoc(const std::string &grid, unsigned scale,
+                             const std::vector<std::string> &rows);
+
+/**
+ * Order-sensitive FNV-1a fingerprint of a grid expansion (folds
+ * each item id in definition order): the journal records it so a
+ * resumed campaign can prove it is re-expanding the same grid the
+ * journal was written against.
+ */
+std::uint64_t gridFingerprint(const std::vector<SweepItem> &items);
+
+} // namespace svc::service
+
+#endif // SVC_SERVICE_GRID_HH

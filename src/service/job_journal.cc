@@ -1,0 +1,328 @@
+#include "service/job_journal.hh"
+
+#include <cstdio>
+
+#include "common/snapshot.hh"
+
+namespace svc::service
+{
+namespace
+{
+
+constexpr std::uint32_t kCampaignSpecVersion = 1;
+
+std::vector<std::uint8_t>
+encodeCampaign(const CampaignSpec &spec)
+{
+    SnapshotWriter w;
+    w.putU32(kCampaignSpecVersion);
+    w.putString(spec.grid);
+    w.putU32(spec.scale);
+    w.putString(spec.workload);
+    w.putString(spec.traceIn);
+    w.putU64(spec.seed);
+    w.putBool(spec.seedSet);
+    w.putU64(spec.itemCount);
+    w.putU64(spec.gridFingerprint);
+    return w.bytes();
+}
+
+bool
+decodeCampaign(const std::vector<std::uint8_t> &payload,
+               CampaignSpec &spec, std::string &error)
+{
+    SnapshotReader r(payload);
+    const std::uint32_t ver = r.getU32();
+    if (r.ok() && ver != kCampaignSpecVersion) {
+        error = "journal: unsupported campaign record version " +
+                std::to_string(ver);
+        return false;
+    }
+    spec.grid = r.getString();
+    spec.scale = r.getU32();
+    spec.workload = r.getString();
+    spec.traceIn = r.getString();
+    spec.seed = r.getU64();
+    spec.seedSet = r.getBool();
+    spec.itemCount = r.getU64();
+    spec.gridFingerprint = r.getU64();
+    if (!r.ok()) {
+        error = "journal: malformed campaign record: " + r.error();
+        return false;
+    }
+    return true;
+}
+
+std::string
+recordError(const char *what, std::uint64_t index)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "journal: record %llu: %s",
+                  static_cast<unsigned long long>(index), what);
+    return buf;
+}
+
+} // namespace
+
+const char *
+laneName(Lane lane)
+{
+    switch (lane) {
+    case Lane::High: return "high";
+    case Lane::Normal: return "normal";
+    case Lane::Low: return "low";
+    }
+    return "?";
+}
+
+JournalReplay
+replayJobJournal(const std::vector<std::uint8_t> &image)
+{
+    JournalReplay out;
+    const JournalScan scan = scanJournal(image);
+    if (!scan.headerOk) {
+        out.error = scan.error;
+        return out;
+    }
+    out.torn = scan.torn;
+    out.tornError = scan.error;
+
+    for (std::size_t i = 0; i < scan.records.size(); ++i) {
+        const JournalRecord &rec = scan.records[i];
+        if (i == 0) {
+            if (rec.tag !=
+                static_cast<std::uint32_t>(JobTag::Campaign)) {
+                out.error = recordError(
+                    "journal does not begin with a campaign record",
+                    i);
+                return out;
+            }
+            if (!decodeCampaign(rec.payload, out.campaign,
+                                out.error))
+                return out;
+            // itemCount is validated against the re-expanded grid
+            // by the service; here it only bounds the state table
+            // (the record is checksummed, so this is a version
+            // mismatch guard, not a corruption guard).
+            out.jobs.assign(
+                static_cast<std::size_t>(out.campaign.itemCount),
+                JobState{});
+            ++out.recordsApplied;
+            continue;
+        }
+
+        SnapshotReader r(rec.payload);
+        const std::uint64_t job_id = r.getU64();
+        if (!r.ok() || job_id >= out.jobs.size()) {
+            out.error = recordError("job id out of range", i);
+            return out;
+        }
+        JobState &job = out.jobs[static_cast<std::size_t>(job_id)];
+
+        switch (static_cast<JobTag>(rec.tag)) {
+        case JobTag::Campaign:
+            out.error = recordError("duplicate campaign record", i);
+            return out;
+        case JobTag::Submit:
+            job.itemId = r.getString();
+            job.lane = static_cast<Lane>(r.getU32());
+            job.submitted = true;
+            break;
+        case JobTag::Start: {
+            const std::uint32_t attempt = r.getU32();
+            if (attempt > job.attempts)
+                job.attempts = attempt;
+            job.inFlight = true;
+            break;
+        }
+        case JobTag::Retry: {
+            // Fold the attempt number here too (not just via STRT):
+            // compaction preserves strike counts of unfinished jobs
+            // as a single RTRY record.
+            const std::uint32_t attempt = r.getU32();
+            if (attempt > job.attempts)
+                job.attempts = attempt;
+            job.reason = r.getString();
+            job.inFlight = false;
+            break;
+        }
+        case JobTag::Complete:
+            job.failed = r.getBool();
+            job.rowJson = r.getString();
+            job.completed = true;
+            job.inFlight = false;
+            break;
+        case JobTag::Quarantine: {
+            // Fold strikes into attempts so the count survives
+            // compaction (QUAR is the only record a compacted
+            // journal keeps for a quarantined job).
+            const std::uint32_t strikes = r.getU32();
+            if (strikes > job.attempts)
+                job.attempts = strikes;
+            job.reason = r.getString();
+            job.quarantined = true;
+            job.inFlight = false;
+            break;
+        }
+        case JobTag::Shed:
+            job.shed = true;
+            break;
+        default:
+            out.error = recordError("unknown record tag", i);
+            return out;
+        }
+        if (!r.ok()) {
+            out.error =
+                recordError("malformed record payload", i) + ": " +
+                r.error();
+            return out;
+        }
+        ++out.recordsApplied;
+    }
+
+    if (out.jobs.empty() && scan.records.empty()) {
+        out.error = "journal: empty (no campaign record)";
+        return out;
+    }
+    out.ok = true;
+    return out;
+}
+
+JournalReplay
+replayJobJournalFile(const std::string &path)
+{
+    std::vector<std::uint8_t> image;
+    std::string err;
+    if (!readSnapshotFile(path, image, err)) {
+        JournalReplay out;
+        out.error = "journal: " + err;
+        return out;
+    }
+    return replayJobJournal(image);
+}
+
+bool
+JobJournal::appendCampaign(const CampaignSpec &spec,
+                           std::string &error)
+{
+    return writer.append(
+        static_cast<std::uint32_t>(JobTag::Campaign),
+        encodeCampaign(spec), error);
+}
+
+bool
+JobJournal::appendSubmit(std::uint64_t job_id,
+                         const std::string &item_id, Lane lane,
+                         std::string &error)
+{
+    SnapshotWriter w;
+    w.putU64(job_id);
+    w.putString(item_id);
+    w.putU32(static_cast<std::uint32_t>(lane));
+    return writer.append(static_cast<std::uint32_t>(JobTag::Submit),
+                         w.bytes(), error);
+}
+
+bool
+JobJournal::appendStart(std::uint64_t job_id, unsigned attempt,
+                        std::string &error)
+{
+    SnapshotWriter w;
+    w.putU64(job_id);
+    w.putU32(attempt);
+    return writer.append(static_cast<std::uint32_t>(JobTag::Start),
+                         w.bytes(), error);
+}
+
+bool
+JobJournal::appendRetry(std::uint64_t job_id, unsigned attempt,
+                        const std::string &reason, std::string &error)
+{
+    SnapshotWriter w;
+    w.putU64(job_id);
+    w.putU32(attempt);
+    w.putString(reason);
+    return writer.append(static_cast<std::uint32_t>(JobTag::Retry),
+                         w.bytes(), error);
+}
+
+bool
+JobJournal::appendComplete(std::uint64_t job_id, bool failed,
+                           const std::string &row_json,
+                           std::string &error)
+{
+    SnapshotWriter w;
+    w.putU64(job_id);
+    w.putBool(failed);
+    w.putString(row_json);
+    return writer.append(
+        static_cast<std::uint32_t>(JobTag::Complete), w.bytes(),
+        error);
+}
+
+bool
+JobJournal::appendQuarantine(std::uint64_t job_id, unsigned strikes,
+                             const std::string &reason,
+                             std::string &error)
+{
+    SnapshotWriter w;
+    w.putU64(job_id);
+    w.putU32(strikes);
+    w.putString(reason);
+    return writer.append(
+        static_cast<std::uint32_t>(JobTag::Quarantine), w.bytes(),
+        error);
+}
+
+bool
+JobJournal::appendShed(std::uint64_t job_id, std::string &error)
+{
+    SnapshotWriter w;
+    w.putU64(job_id);
+    return writer.append(static_cast<std::uint32_t>(JobTag::Shed),
+                         w.bytes(), error);
+}
+
+bool
+compactJobJournal(const std::string &path,
+                  const CampaignSpec &campaign,
+                  const std::vector<JobState> &jobs,
+                  std::string &error)
+{
+    const std::string tmp = path + ".compact.tmp";
+    std::remove(tmp.c_str());
+    {
+        JobJournal j;
+        if (!j.open(tmp, error))
+            return false;
+        if (!j.appendCampaign(campaign, error))
+            return false;
+        for (std::size_t id = 0; id < jobs.size(); ++id) {
+            const JobState &job = jobs[id];
+            if (!job.submitted)
+                continue;
+            if (!j.appendSubmit(id, job.itemId, job.lane, error))
+                return false;
+            bool ok = true;
+            if (job.completed)
+                ok = j.appendComplete(id, job.failed, job.rowJson,
+                                      error);
+            else if (job.quarantined)
+                ok = j.appendQuarantine(id, job.attempts, job.reason,
+                                        error);
+            else if (job.shed)
+                ok = j.appendShed(id, error);
+            else if (job.attempts > 0)
+                // Preserve the strike count of an unfinished job as
+                // a single folded retry record.
+                ok = j.appendRetry(id, job.attempts, job.reason,
+                                   error);
+            if (!ok)
+                return false;
+        }
+        j.close();
+    }
+    return atomicReplaceFile(tmp, path, error);
+}
+
+} // namespace svc::service

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The sweep service's write-ahead job journal: campaign-level record
+ * encodings over the generic crash-safe journal atoms
+ * (common/journal.hh), plus the replay state machine that rebuilds
+ * job state after a crash or restart.
+ *
+ * Record protocol (every payload is SnapshotWriter-serialized):
+ *
+ *   CAMP  campaign spec: grid, scale, stimulus narrowing, item
+ *         count, grid fingerprint. Always the first record.
+ *   SUBM  job admitted: jobId (== grid item index), item id, lane.
+ *   STRT  attempt began: jobId, attempt number. Written *before*
+ *         the job executes (write-ahead), so a crash mid-job leaves
+ *         an unmatched STRT and replay re-queues the job.
+ *   RTRY  attempt failed: jobId, attempt, structured reason.
+ *   CMPL  job finished: jobId, failed flag, rendered result row
+ *         (compact JSON, spliced verbatim into the results doc —
+ *         the byte-identical-aggregation property rests on this).
+ *   QUAR  job quarantined after repeated strikes: jobId, strikes,
+ *         reason. Sticky: a quarantined job is never re-queued.
+ *   SHED  job shed by overload control: jobId. Sticky.
+ *
+ * Replay semantics (replayJobJournal):
+ *   - CMPL is durable: the job never runs again and its row is
+ *     restored byte-for-byte.
+ *   - STRT without a matching CMPL/QUAR means the worker died
+ *     mid-attempt: the job is re-queued (the attempt still counts
+ *     as a strike).
+ *   - A torn tail (crash mid-append) is tolerated: records before
+ *     the tear apply, the tear is reported as a structured
+ *     diagnostic, and a job whose CMPL was torn simply re-runs —
+ *     by construction it reproduces the same row.
+ */
+
+#ifndef SVC_SERVICE_JOB_JOURNAL_HH
+#define SVC_SERVICE_JOB_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/journal.hh"
+
+namespace svc::service
+{
+
+/** Journal record tags (ASCII fourcc, little-endian). */
+enum class JobTag : std::uint32_t
+{
+    Campaign   = 0x504d4143, // "CAMP"
+    Submit     = 0x4d425553, // "SUBM"
+    Start      = 0x54525453, // "STRT"
+    Retry      = 0x59525452, // "RTRY"
+    Complete   = 0x4c504d43, // "CMPL"
+    Quarantine = 0x52415551, // "QUAR"
+    Shed       = 0x44454853, // "SHED"
+};
+
+/** Priority lanes, highest first. */
+enum class Lane : std::uint32_t { High = 0, Normal = 1, Low = 2 };
+
+inline constexpr unsigned kNumLanes = 3;
+
+const char *laneName(Lane lane);
+
+/** The durable identity of a campaign: everything needed to
+ *  re-expand the same grid on resume. */
+struct CampaignSpec
+{
+    std::string grid;
+    unsigned scale = 1;
+    std::string workload; ///< --workload narrowing ("" = none)
+    std::string traceIn;  ///< --trace-in (trace grid only)
+    std::uint64_t seed = 12345;
+    bool seedSet = false;
+    std::uint64_t itemCount = 0;
+    std::uint64_t gridFingerprint = 0;
+};
+
+/** Replayed per-job state (jobId == grid item index). */
+struct JobState
+{
+    std::string itemId;
+    Lane lane = Lane::Normal;
+    bool submitted = false;
+    unsigned attempts = 0; ///< highest attempt number journaled
+    /** A STRT with no matching CMPL/QUAR/RTRY (died mid-attempt). */
+    bool inFlight = false;
+    bool completed = false;
+    bool failed = false; ///< row-level failure (completed only)
+    bool quarantined = false;
+    bool shed = false;
+    std::string rowJson; ///< verbatim journaled row (completed)
+    std::string reason;  ///< last retry/quarantine reason
+
+    bool terminal() const { return completed || quarantined || shed; }
+};
+
+/** Result of replaying a job journal. */
+struct JournalReplay
+{
+    /**
+     * The journal yielded a usable campaign (header + CAMP record
+     * decoded). A torn tail does NOT clear this — check torn/
+     * tornError for the tail diagnostic.
+     */
+    bool ok = false;
+    /** Structured diagnostic when !ok (missing file, bad header,
+     *  undecodable record, out-of-range jobId...). */
+    std::string error;
+    /** The scan found a torn/corrupt record at the tail. */
+    bool torn = false;
+    std::string tornError;
+    CampaignSpec campaign;
+    /** Indexed by jobId; size == campaign.itemCount. */
+    std::vector<JobState> jobs;
+    std::uint64_t recordsApplied = 0;
+};
+
+/** Decode + state-machine replay of a journal image or file. A
+ *  missing or headerless file yields ok=false with a structured
+ *  message; it never crashes on any byte sequence. */
+JournalReplay replayJobJournal(const std::vector<std::uint8_t> &image);
+JournalReplay replayJobJournalFile(const std::string &path);
+
+/**
+ * Typed append interface over JournalWriter. Not thread-safe; the
+ * service serializes appends under its own lock.
+ */
+class JobJournal
+{
+  public:
+    bool open(const std::string &path, std::string &error)
+    {
+        return writer.open(path, error);
+    }
+    void close() { writer.close(); }
+    bool isOpen() const { return writer.isOpen(); }
+    const std::string &path() const { return writer.path(); }
+    void setWriteHook(JournalWriteHook hook)
+    {
+        writer.setWriteHook(std::move(hook));
+    }
+    std::uint64_t appended() const { return writer.appended(); }
+
+    bool appendCampaign(const CampaignSpec &spec, std::string &error);
+    bool appendSubmit(std::uint64_t job_id, const std::string &item_id,
+                      Lane lane, std::string &error);
+    bool appendStart(std::uint64_t job_id, unsigned attempt,
+                     std::string &error);
+    bool appendRetry(std::uint64_t job_id, unsigned attempt,
+                     const std::string &reason, std::string &error);
+    bool appendComplete(std::uint64_t job_id, bool failed,
+                        const std::string &row_json,
+                        std::string &error);
+    bool appendQuarantine(std::uint64_t job_id, unsigned strikes,
+                          const std::string &reason,
+                          std::string &error);
+    bool appendShed(std::uint64_t job_id, std::string &error);
+
+  private:
+    JournalWriter writer;
+};
+
+/**
+ * Compact a journal: write a fresh journal holding the campaign
+ * record plus, per submitted job, one SUBM and at most one state
+ * record (CMPL/QUAR/SHED for terminal jobs, a folded RTRY carrying
+ * the strike count for unfinished ones — per-attempt history is
+ * dropped), and publish it over @p path with an atomic rename.
+ * Also the torn-tail repair path: the compacted journal ends on a
+ * record boundary, so appends can safely resume after a tear.
+ */
+bool compactJobJournal(const std::string &path,
+                       const CampaignSpec &campaign,
+                       const std::vector<JobState> &jobs,
+                       std::string &error);
+
+} // namespace svc::service
+
+#endif // SVC_SERVICE_JOB_JOURNAL_HH

@@ -1,0 +1,616 @@
+#include "service/service.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/random.hh"
+#include "mem/fault_injector.hh"
+
+namespace svc::service
+{
+namespace
+{
+
+/** @return true if @p path exists (any kind of file). */
+bool
+fileExists(const std::string &path)
+{
+    if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
+        std::fclose(f);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+SweepService::SweepService(const ServiceConfig &cfg)
+    : cfg(cfg), chaos(cfg.chaos)
+{}
+
+SweepService::~SweepService() { journal.close(); }
+
+Lane
+SweepService::laneForItem(const SweepItem &item)
+{
+    // Fault cells are cheap, high-diagnostic-value probes: run them
+    // first. Litmus baseline (ARB) cells are comparison points, not
+    // primary results: first to go when the service degrades.
+    if (item.kind == SweepItem::Fault)
+        return Lane::High;
+    if (item.kind == SweepItem::Litmus &&
+        item.litmusBackend == litmus::Backend::Arb)
+        return Lane::Low;
+    return Lane::Normal;
+}
+
+std::size_t
+SweepService::pendingLocked() const
+{
+    std::size_t n = inFlight;
+    for (const auto &lane : lanes)
+        n += lane.size();
+    return n;
+}
+
+Admission
+SweepService::admitJob(std::uint64_t job_id, Lane lane)
+{
+    JobState &job = jobs[static_cast<std::size_t>(job_id)];
+    const SweepItem &item = items[static_cast<std::size_t>(job_id)];
+    if (pendingLocked() >= cfg.queueCapacity) {
+        ++stats.rejected;
+        return Admission::Rejected;
+    }
+    const bool overloaded = cfg.overloadThreshold > 0 &&
+                            pendingLocked() >= cfg.overloadThreshold;
+    if (overloaded)
+        degradedFlag.store(true);
+    std::string err;
+    if (overloaded && lane == Lane::Low) {
+        // SUBM first so the journal stays self-describing: a replay
+        // learns the shed job's identity and lane, same as the
+        // compacted form.
+        if (!journal.appendSubmit(job_id, item.id, lane, err) ||
+            !journal.appendShed(job_id, err)) {
+            recordCrash(err);
+            return Admission::Rejected;
+        }
+        job.itemId = item.id;
+        job.lane = lane;
+        job.submitted = true;
+        job.shed = true;
+        ++stats.shed;
+        return Admission::Shed;
+    }
+    if (!journal.appendSubmit(job_id, item.id, lane, err)) {
+        recordCrash(err);
+        return Admission::Rejected;
+    }
+    job.itemId = item.id;
+    job.lane = lane;
+    job.submitted = true;
+    lanes[static_cast<unsigned>(lane)].push_back({job_id, {}});
+    ++stats.submitted;
+    return Admission::Accepted;
+}
+
+bool
+SweepService::start(std::string &error)
+{
+    const bool resuming = fileExists(cfg.journalPath);
+    JournalReplay replay;
+    if (resuming) {
+        replay = replayJobJournalFile(cfg.journalPath);
+        if (!replay.ok) {
+            error = "cannot resume campaign from '" +
+                    cfg.journalPath + "': " + replay.error;
+            return false;
+        }
+        // The journaled campaign spec is authoritative on resume:
+        // the grid is re-expanded from what the journal records,
+        // not from this incarnation's flags, so `resume --journal
+        // X` alone always continues the same campaign (item ids do
+        // not encode scale or seed, so trusting the flags could
+        // silently re-expand a *different* grid under the same
+        // fingerprint).
+        cfg.grid = replay.campaign.grid;
+        cfg.scale = replay.campaign.scale;
+        cfg.stim.workload = replay.campaign.workload;
+        cfg.stim.traceIn = replay.campaign.traceIn;
+        cfg.stim.seed = replay.campaign.seed;
+        cfg.stim.seedSet = replay.campaign.seedSet;
+    }
+
+    if (!isKnownGrid(cfg.grid)) {
+        error = "unknown grid '" + cfg.grid + "' (" +
+                knownGridNames() + ")";
+        return false;
+    }
+    items = buildGrid(cfg.grid, cfg.scale, cfg.stim);
+    spec.grid = cfg.grid;
+    spec.scale = cfg.scale;
+    spec.workload = cfg.stim.workload;
+    spec.traceIn = cfg.stim.traceIn;
+    spec.seed = cfg.stim.seed;
+    spec.seedSet = cfg.stim.seedSet;
+    spec.itemCount = items.size();
+    spec.gridFingerprint = gridFingerprint(items);
+
+    std::lock_guard<std::mutex> lock(mu);
+    jobs.assign(items.size(), JobState{});
+
+    if (resuming) {
+        // With the spec adopted, a mismatch here means the grid
+        // *definition* changed underneath the journal (code drift
+        // between incarnations) — refuse rather than mis-attribute
+        // journaled rows to different cells.
+        if (replay.campaign.gridFingerprint !=
+                spec.gridFingerprint ||
+            replay.campaign.itemCount != spec.itemCount) {
+            char buf[160];
+            std::snprintf(
+                buf, sizeof(buf),
+                "journal '%s' was written for a different campaign "
+                "(grid %s, %llu items, fingerprint %016llx; "
+                "this config expands to %zu items, %016llx)",
+                cfg.journalPath.c_str(),
+                replay.campaign.grid.c_str(),
+                static_cast<unsigned long long>(
+                    replay.campaign.itemCount),
+                static_cast<unsigned long long>(
+                    replay.campaign.gridFingerprint),
+                items.size(),
+                static_cast<unsigned long long>(
+                    spec.gridFingerprint));
+            error = buf;
+            return false;
+        }
+        if (replay.torn)
+            tornDiag = replay.tornError;
+        jobs = replay.jobs;
+        // Compaction doubles as torn-tail repair: the rewritten
+        // journal ends on a record boundary, so it is always safe
+        // to append to (appending after a tear would bury every
+        // later record behind the corrupt bytes).
+        if (!compactJobJournal(cfg.journalPath, spec, jobs, error))
+            return false;
+    }
+
+    if (!journal.open(cfg.journalPath, error))
+        return false;
+    journal.setWriteHook(chaos.journalHook());
+
+    if (!resuming) {
+        if (!journal.appendCampaign(spec, error))
+            return false;
+    }
+
+    for (std::size_t id = 0; id < jobs.size(); ++id) {
+        JobState &job = jobs[id];
+        if (job.terminal()) {
+            ++stats.restored;
+            continue;
+        }
+        if (job.submitted) {
+            // Replayed but unfinished (possibly mid-attempt when
+            // the previous incarnation died): re-queue. Any
+            // preemption checkpoint died with that process; the
+            // job re-runs from scratch, which is always correct.
+            job.inFlight = false;
+            lanes[static_cast<unsigned>(job.lane)].push_back(
+                {id, {}});
+            ++stats.requeued;
+            continue;
+        }
+        if (admitJob(id, laneForItem(items[id])) ==
+            Admission::Rejected) {
+            if (crashedFlag.load())
+                break; // journal failure: resumable via restart
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "queue capacity %zu cannot admit grid "
+                          "item %zu of %zu",
+                          cfg.queueCapacity, id, jobs.size());
+            error = buf;
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+SweepService::recordCrash(const std::string &reason)
+{
+    bool expected = false;
+    if (crashedFlag.compare_exchange_strong(expected, true))
+        crashMsg = reason;
+    stopping = true;
+    cv.notify_all();
+}
+
+std::string
+SweepService::crashReason() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return crashMsg;
+}
+
+bool
+SweepService::allTerminal() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return std::all_of(jobs.begin(), jobs.end(),
+                       [](const JobState &j) { return j.terminal(); });
+}
+
+bool
+SweepService::popJob(QueuedJob &out)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        if (stopping)
+            return false;
+        for (auto &lane : lanes) {
+            if (!lane.empty()) {
+                out = std::move(lane.front());
+                lane.pop_front();
+                ++inFlight;
+                return true;
+            }
+        }
+        if (inFlight == 0)
+            return false; // drained: no queued work, none running
+        cv.wait(lock);
+    }
+}
+
+void
+SweepService::workerLoop()
+{
+    QueuedJob job;
+    while (popJob(job))
+        runJob(std::move(job));
+    // This worker is exiting because the pool looks drained or the
+    // service is stopping; wake the others so they re-check.
+    cv.notify_all();
+}
+
+void
+SweepService::runJob(QueuedJob &&queued)
+{
+    const std::uint64_t id = queued.jobId;
+    const SweepItem &item = items[static_cast<std::size_t>(id)];
+    unsigned attempt = 0;
+    const bool resumed_slice = !queued.resumeImage.empty();
+
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        JobState &job = jobs[static_cast<std::size_t>(id)];
+        // A resumed slice continues its attempt; a fresh dispatch
+        // starts a new one. Either way the STRT is write-ahead: it
+        // hits the journal before any work happens, so a crash
+        // mid-job replays as an unmatched start and re-queues.
+        attempt = resumed_slice ? job.attempts : job.attempts + 1;
+        job.attempts = attempt;
+        job.inFlight = true;
+        std::string err;
+        if (!journal.appendStart(id, attempt, err)) {
+            --inFlight;
+            recordCrash(err);
+            return;
+        }
+        ++stats.started;
+    }
+
+    // ---- execute, unlocked ----
+    ItemResult result;
+    bench::SliceOutcome outcome = bench::SliceOutcome::Completed;
+    std::string strike_reason;
+    bool executed = false;
+    if (chaos.killsAttempt(id, attempt)) {
+        strike_reason = "injected worker kill (attempt died before "
+                        "producing a result)";
+    } else if (chaos.hangsAttempt(id, attempt)) {
+        strike_reason = "forward-progress deadline expired (worker "
+                        "hang reaped by per-job watchdog)";
+    } else {
+        executed = true;
+        if (cfg.sliceCycles > 0 || cfg.deadlineCycles > 0) {
+            bench::SliceBudget budget;
+            budget.sliceCycles = cfg.sliceCycles;
+            budget.deadlineCycles = cfg.deadlineCycles;
+            budget.resumeImage = &queued.resumeImage;
+            result = runItemSliced(item, budget, outcome);
+        } else {
+            result = runItem(item);
+        }
+        if (outcome == bench::SliceOutcome::Timeout)
+            strike_reason = "forward-progress deadline expired "
+                            "(no instruction commit within budget)";
+    }
+
+    std::unique_lock<std::mutex> lock(mu);
+    JobState &job = jobs[static_cast<std::size_t>(id)];
+    if (executed)
+        ++stats.itemRuns;
+    std::string err;
+
+    if (executed && outcome == bench::SliceOutcome::Preempted) {
+        // Quiescent-point checkpoint taken; continue later at the
+        // back of the lane so peers get the worker first. The image
+        // lives only in memory (restart = re-run, still correct).
+        ++stats.preemptions;
+        job.inFlight = false;
+        lanes[static_cast<unsigned>(job.lane)].push_back(
+            std::move(queued));
+        --inFlight;
+        cv.notify_all();
+        return;
+    }
+
+    if (strike_reason.empty()) {
+        const std::string row = renderRow(item, result);
+        const std::string failure = rowFailure(item, result);
+        if (!journal.appendComplete(id, !failure.empty(), row,
+                                    err)) {
+            --inFlight;
+            recordCrash(err);
+            return;
+        }
+        job.completed = true;
+        job.failed = !failure.empty();
+        job.rowJson = row;
+        job.reason = failure;
+        job.inFlight = false;
+        ++stats.completed;
+        const std::uint64_t restart_after =
+            chaos.restartAfterCompletions();
+        if (restart_after > 0 && stats.completed >= restart_after) {
+            --inFlight;
+            recordCrash("injected service restart after " +
+                        std::to_string(stats.completed) +
+                        " completions");
+            return;
+        }
+        --inFlight;
+        cv.notify_all();
+        return;
+    }
+
+    // ---- strike: retry with backoff, or quarantine ----
+    if (!journal.appendRetry(id, attempt, strike_reason, err)) {
+        --inFlight;
+        recordCrash(err);
+        return;
+    }
+    job.reason = strike_reason;
+    job.inFlight = false;
+    if (attempt >= cfg.maxAttempts) {
+        if (!journal.appendQuarantine(id, attempt, strike_reason,
+                                      err)) {
+            --inFlight;
+            recordCrash(err);
+            return;
+        }
+        job.quarantined = true;
+        ++stats.quarantined;
+        const JobState snapshot = job;
+        --inFlight;
+        cv.notify_all();
+        lock.unlock();
+        writeQuarantineBundle(id, snapshot);
+        return;
+    }
+    ++stats.retries;
+    lock.unlock();
+
+    // Exponential backoff with deterministic jitter: pure wall-clock
+    // pacing, invisible in the results.
+    std::uint64_t ms = cfg.backoffBaseMs;
+    for (unsigned i = 1; i < attempt && ms < cfg.backoffMaxMs; ++i)
+        ms *= 2;
+    ms = std::min<std::uint64_t>(ms, cfg.backoffMaxMs);
+    Rng jitter(cfg.chaos.seed ^ (id * 0x9e3779b97f4a7c15ull) ^
+               attempt);
+    ms += jitter.below(ms / 2 + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+
+    lock.lock();
+    queued.resumeImage.clear();
+    lanes[static_cast<unsigned>(job.lane)].push_back(
+        std::move(queued));
+    --inFlight;
+    cv.notify_all();
+}
+
+bool
+SweepService::drain()
+{
+    if (crashedFlag.load())
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = false;
+    }
+    std::vector<std::thread> pool;
+    const unsigned n = std::max(1u, cfg.workers);
+    pool.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        pool.emplace_back([this] { workerLoop(); });
+    for (std::thread &t : pool)
+        t.join();
+    return !crashedFlag.load() && allTerminal();
+}
+
+std::vector<std::string>
+SweepService::completedRows() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::string> rows;
+    rows.reserve(jobs.size());
+    for (const JobState &job : jobs)
+        if (job.completed)
+            rows.push_back(job.rowJson);
+    return rows;
+}
+
+std::string
+SweepService::resultsDocument() const
+{
+    return renderResultsDoc(cfg.grid, cfg.scale, completedRows());
+}
+
+unsigned
+SweepService::failedJobs() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    unsigned n = 0;
+    for (const JobState &job : jobs)
+        n += job.completed && job.failed;
+    return n;
+}
+
+std::string
+SweepService::statusJson() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::size_t pending = 0, completed = 0, quarantined = 0,
+                shed_jobs = 0, failed_rows = 0;
+    for (const JobState &job : jobs) {
+        if (job.completed) {
+            ++completed;
+            failed_rows += job.failed;
+        } else if (job.quarantined) {
+            ++quarantined;
+        } else if (job.shed) {
+            ++shed_jobs;
+        } else {
+            ++pending;
+        }
+    }
+    JsonWriter w;
+    w.beginObject();
+    w.member("schema", "svc-service-status-v1");
+    w.member("grid", spec.grid);
+    w.key("scale");
+    w.value(spec.scale);
+    w.key("items");
+    w.value(spec.itemCount);
+    w.key("pending");
+    w.value(static_cast<std::uint64_t>(pending));
+    w.key("completed");
+    w.value(static_cast<std::uint64_t>(completed));
+    w.key("failed_rows");
+    w.value(static_cast<std::uint64_t>(failed_rows));
+    w.key("quarantined");
+    w.value(static_cast<std::uint64_t>(quarantined));
+    w.key("shed");
+    w.value(static_cast<std::uint64_t>(shed_jobs));
+    w.member("degraded", degradedFlag.load());
+    w.member("crashed", crashedFlag.load());
+    w.member("crash_reason", crashMsg);
+    w.member("journal_diagnostic", tornDiag);
+    w.key("counters");
+    w.beginObject();
+    w.key("submitted");
+    w.value(stats.submitted);
+    w.key("restored");
+    w.value(stats.restored);
+    w.key("requeued");
+    w.value(stats.requeued);
+    w.key("started");
+    w.value(stats.started);
+    w.key("item_runs");
+    w.value(stats.itemRuns);
+    w.key("completed");
+    w.value(stats.completed);
+    w.key("retries");
+    w.value(stats.retries);
+    w.key("preemptions");
+    w.value(stats.preemptions);
+    w.key("quarantined");
+    w.value(stats.quarantined);
+    w.key("shed");
+    w.value(stats.shed);
+    w.key("rejected");
+    w.value(stats.rejected);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+void
+SweepService::writeQuarantineBundle(std::uint64_t job_id,
+                                    const JobState &job)
+{
+    if (cfg.quarantinePrefix.empty())
+        return;
+    const SweepItem &item = items[static_cast<std::size_t>(job_id)];
+    const std::string path = cfg.quarantinePrefix +
+                             "-quarantine-job" +
+                             std::to_string(job_id) + ".json";
+    JsonWriter w;
+    w.beginObject();
+    w.member("schema", "svc-quarantine-v1");
+    w.key("job_id");
+    w.value(job_id);
+    w.member("item_id", job.itemId);
+    w.member("grid", spec.grid);
+    w.key("scale");
+    w.value(spec.scale);
+    w.key("attempts");
+    w.value(static_cast<std::uint64_t>(job.attempts));
+    w.member("reason", job.reason);
+    w.member("lane", laneName(job.lane));
+    // Repro command lines: re-run the cell in isolation.
+    {
+        std::string repro = "sweep_runner --grid " + spec.grid +
+                            " --scale " + std::to_string(spec.scale);
+        if (item.kind == SweepItem::Bench ||
+            item.kind == SweepItem::Recovery)
+            repro += " --workload " + item.workload;
+        w.member("repro_sweep", repro);
+    }
+    if (item.kind == SweepItem::Fault) {
+        // fault_minimizer shrinks a failing corruption schedule to
+        // a minimal repro (PR 3 tooling).
+        w.member("repro_minimizer",
+                 "fault_minimizer --seed " +
+                     std::to_string(item.seed * 7919 + 1) +
+                     " --design final --corrupt " +
+                     std::string(faultKindName(item.faultKind)) +
+                     "@1");
+    }
+    w.endObject();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write quarantine bundle '%s'", path.c_str());
+        return;
+    }
+    const std::string &doc = w.str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    inform("quarantined job %llu (%s): bundle written to %s",
+           static_cast<unsigned long long>(job_id),
+           job.itemId.c_str(), path.c_str());
+}
+
+bool
+SweepService::compact(std::string &error)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    journal.close();
+    if (!compactJobJournal(cfg.journalPath, spec, jobs, error))
+        return false;
+    if (!journal.open(cfg.journalPath, error))
+        return false;
+    journal.setWriteHook(chaos.journalHook());
+    return true;
+}
+
+} // namespace svc::service

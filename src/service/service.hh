@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The fault-tolerant sweep job service: a supervised worker pool
+ * executing a sweep campaign (one job per grid item) behind a
+ * crash-safe write-ahead job journal.
+ *
+ * Lifecycle: construct with a ServiceConfig, start() (which either
+ * begins a fresh campaign — journaling CAMP + one SUBM per admitted
+ * item — or replays an existing journal and re-queues every
+ * non-terminal job), then drain() to run the worker pool until all
+ * jobs are terminal. drain() returns false when the service
+ * "crashed" (an injected whole-service restart or a failed journal
+ * append); the front-end then constructs a fresh service on the
+ * same journal and calls start()/drain() again — completed jobs are
+ * restored from the journal, never re-executed.
+ *
+ * Supervision: each attempt is journaled (STRT) before it runs;
+ * worker death (chaos kill), hangs (reaped by the per-job
+ * forward-progress deadline) and row-level failures count as
+ * strikes, retried with exponential backoff + deterministic jitter
+ * up to maxAttempts, after which the job is quarantined with a
+ * diagnostic bundle (JSON repro: the sweep_runner and
+ * fault_minimizer command lines that replay the cell in isolation).
+ *
+ * Long jobs: when sliceCycles > 0, program-backed bench jobs run
+ * preemptible slices (bench::runProgramSliced); a preempted job
+ * keeps its checkpoint image in memory and re-queues at the back of
+ * its lane, so one long job cannot starve the pool. The image is
+ * deliberately not journaled: a restart simply re-runs the job from
+ * scratch, which is always correct (items are pure).
+ *
+ * Admission and degradation: the queue is bounded
+ * (queueCapacity; overflow → Rejected) and the service enters
+ * overload mode when pending work exceeds overloadThreshold —
+ * low-priority submissions are shed (journaled SHED, so the
+ * decision survives restarts) until pressure drops. Campaign
+ * expansion maps baseline/low-value cells to the Low lane, so
+ * degradation shrinks grid fan-out before it touches primary cells.
+ *
+ * Determinism: jobs are pure functions of their grid item, rows are
+ * rendered by grid::renderRow into compact JSON, journaled verbatim
+ * in CMPL records, and aggregated in item order — so the results
+ * document is byte-identical no matter the worker count, retry
+ * schedule, preemption points, or crash/restart history.
+ */
+
+#ifndef SVC_SERVICE_SERVICE_HH
+#define SVC_SERVICE_SERVICE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/chaos.hh"
+#include "service/grid.hh"
+#include "service/job_journal.hh"
+
+namespace svc::service
+{
+
+struct ServiceConfig
+{
+    std::string journalPath = "sweep.journal";
+    std::string grid = "smoke";
+    unsigned scale = 1;
+    trace_io::StimulusOptions stim; ///< --workload/--seed narrowing
+
+    unsigned workers = 2;
+    unsigned maxAttempts = 3; ///< strikes before quarantine
+    unsigned backoffBaseMs = 1;
+    unsigned backoffMaxMs = 32;
+    /** Preemption quantum for program jobs; 0 = never preempt. */
+    Cycle sliceCycles = 0;
+    /** Per-attempt forward-progress deadline (0 = none): abandon an
+     *  attempt if no instruction commits for this many cycles. */
+    Cycle deadlineCycles = 0;
+
+    std::size_t queueCapacity = 1u << 16;
+    /** Pending jobs above this → overload mode (shed Low lane).
+     *  0 = never degrade. */
+    std::size_t overloadThreshold = 0;
+
+    /** Quarantine bundle path prefix ("" disables bundles). */
+    std::string quarantinePrefix = "sweep";
+
+    ChaosConfig chaos;
+};
+
+/** Admission verdict for one submission. */
+enum class Admission { Accepted, Rejected, Shed };
+
+struct ServiceCounters
+{
+    std::uint64_t submitted = 0; ///< accepted this incarnation
+    std::uint64_t restored = 0;  ///< terminal jobs replayed from
+                                 ///< the journal (not re-run)
+    std::uint64_t requeued = 0;  ///< non-terminal jobs re-queued on
+                                 ///< resume
+    std::uint64_t started = 0;   ///< attempts begun (STRT records)
+    std::uint64_t itemRuns = 0;  ///< grid items actually executed
+    std::uint64_t completed = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t rejected = 0;
+};
+
+class SweepService
+{
+  public:
+    explicit SweepService(const ServiceConfig &cfg);
+    ~SweepService();
+    SweepService(const SweepService &) = delete;
+    SweepService &operator=(const SweepService &) = delete;
+
+    /**
+     * Open (or resume) the journal, expand the campaign grid,
+     * verify a resumed journal matches it (grid fingerprint),
+     * restore terminal jobs and enqueue the rest. @return false
+     * with a structured message on an unusable journal or a
+     * campaign mismatch.
+     */
+    bool start(std::string &error);
+
+    /**
+     * Run the worker pool until every job is terminal, or the
+     * service crashes (injected restart / failed journal append).
+     * @return true when all jobs are terminal.
+     */
+    bool drain();
+
+    bool crashed() const { return crashedFlag.load(); }
+    /** Structured reason for the last crash ("" if none). */
+    std::string crashReason() const;
+    bool allTerminal() const;
+    bool degraded() const { return degradedFlag.load(); }
+
+    const ServiceCounters &counters() const { return stats; }
+    const CampaignSpec &campaign() const { return spec; }
+    /** Torn-tail diagnostic from journal replay ("" if clean). */
+    const std::string &replayDiagnostic() const { return tornDiag; }
+
+    /**
+     * The deterministic aggregate: every completed row in grid item
+     * order (grid::renderResultsDoc). Byte-identical across worker
+     * counts, fault schedules and restarts once all jobs complete.
+     */
+    std::string resultsDocument() const;
+
+    /** The completed rows alone (compact JSON, item order) — for
+     *  front-ends composing their own aggregate documents. */
+    std::vector<std::string> completedRows() const;
+
+    /** One-object JSON status summary (counts, lanes, degraded). */
+    std::string statusJson() const;
+
+    /** @return rows that completed with a row-level failure. */
+    unsigned failedJobs() const;
+
+    /** Compact the journal (terminal jobs only) in place. */
+    bool compact(std::string &error);
+
+  private:
+    struct QueuedJob
+    {
+        std::uint64_t jobId = 0;
+        /** Preempted checkpoint image (in-memory only). */
+        std::vector<std::uint8_t> resumeImage;
+    };
+
+    Admission admitJob(std::uint64_t job_id, Lane lane);
+    void workerLoop();
+    bool popJob(QueuedJob &out);
+    void runJob(QueuedJob &&job);
+    void recordCrash(const std::string &reason);
+    void writeQuarantineBundle(std::uint64_t job_id,
+                               const JobState &job);
+    std::size_t pendingLocked() const;
+    static Lane laneForItem(const SweepItem &item);
+
+    ServiceConfig cfg;
+    ServiceFaultInjector chaos;
+    std::vector<SweepItem> items;
+    CampaignSpec spec;
+    JobJournal journal;
+    std::string tornDiag;
+
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<QueuedJob> lanes[kNumLanes];
+    std::vector<JobState> jobs; ///< indexed by jobId
+    std::size_t inFlight = 0;   ///< jobs popped, not yet re-queued
+    ServiceCounters stats;
+    bool stopping = false;
+    std::atomic<bool> crashedFlag{false};
+    std::atomic<bool> degradedFlag{false};
+    std::string crashMsg;
+};
+
+} // namespace svc::service
+
+#endif // SVC_SERVICE_SERVICE_HH

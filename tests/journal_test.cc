@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Crash-safety tests for the append-only journal atoms
+ * (common/journal.hh) and the sweep service's job journal built on
+ * them (service/job_journal.hh).
+ *
+ * The centerpiece is the truncation property test: a valid job
+ * journal truncated at EVERY byte offset must (a) never crash the
+ * scanner or the replay state machine, (b) never invent state — a
+ * job reported completed by a truncated replay is completed in the
+ * full replay with a byte-identical row (so recovery can never
+ * double-run a completed job), and (c) always surface a structured
+ * diagnostic for the torn tail.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/journal.hh"
+#include "common/snapshot.hh"
+#include "service/job_journal.hh"
+
+namespace svc
+{
+namespace
+{
+
+using service::CampaignSpec;
+using service::JobJournal;
+using service::JobState;
+using service::JournalReplay;
+using service::Lane;
+
+/** RAII temp file path (removed on destruction). */
+struct TempPath
+{
+    explicit TempPath(const std::string &name)
+        : path("journal_test_" + name + ".tmp")
+    {
+        std::remove(path.c_str());
+    }
+    ~TempPath() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+std::vector<std::uint8_t>
+readAll(const std::string &path)
+{
+    std::vector<std::uint8_t> image;
+    std::string err;
+    EXPECT_TRUE(readSnapshotFile(path, image, err)) << err;
+    return image;
+}
+
+// ---------------------------------------------------------------
+// Journal atoms
+// ---------------------------------------------------------------
+
+TEST(Journal, RoundTripRecords)
+{
+    TempPath tmp("roundtrip");
+    std::string err;
+    JournalWriter w;
+    ASSERT_TRUE(w.open(tmp.path, err)) << err;
+    ASSERT_TRUE(w.append(0x41414141, {1, 2, 3}, err)) << err;
+    ASSERT_TRUE(w.append(0x42424242, {}, err)) << err;
+    ASSERT_TRUE(w.append(0x43434343, {9, 8, 7, 6, 5}, err)) << err;
+    EXPECT_EQ(w.appended(), 3u);
+    w.close();
+
+    const JournalScan scan = scanJournalFile(tmp.path);
+    ASSERT_TRUE(scan.headerOk) << scan.error;
+    EXPECT_FALSE(scan.torn);
+    ASSERT_EQ(scan.records.size(), 3u);
+    EXPECT_EQ(scan.records[0].tag, 0x41414141u);
+    EXPECT_EQ(scan.records[0].payload,
+              (std::vector<std::uint8_t>{1, 2, 3}));
+    EXPECT_EQ(scan.records[1].payload.size(), 0u);
+    EXPECT_EQ(scan.records[2].payload.size(), 5u);
+}
+
+TEST(Journal, ReopenAppends)
+{
+    TempPath tmp("reopen");
+    std::string err;
+    {
+        JournalWriter w;
+        ASSERT_TRUE(w.open(tmp.path, err)) << err;
+        ASSERT_TRUE(w.append(1, {1}, err)) << err;
+    }
+    {
+        JournalWriter w;
+        ASSERT_TRUE(w.open(tmp.path, err)) << err;
+        ASSERT_TRUE(w.append(2, {2}, err)) << err;
+    }
+    const JournalScan scan = scanJournalFile(tmp.path);
+    ASSERT_TRUE(scan.headerOk) << scan.error;
+    ASSERT_EQ(scan.records.size(), 2u);
+    EXPECT_EQ(scan.records[1].tag, 2u);
+}
+
+TEST(Journal, RejectsBadHeader)
+{
+    // Too short.
+    EXPECT_FALSE(scanJournal(nullptr, 0).headerOk);
+    std::vector<std::uint8_t> junk(kJournalHeaderBytes, 0xab);
+    const JournalScan scan = scanJournal(junk);
+    EXPECT_FALSE(scan.headerOk);
+    EXPECT_FALSE(scan.error.empty());
+    EXPECT_FALSE(scan.recoverable());
+
+    const JournalScan missing =
+        scanJournalFile("journal_test_does_not_exist.tmp");
+    EXPECT_FALSE(missing.headerOk);
+    EXPECT_FALSE(missing.error.empty());
+}
+
+TEST(Journal, DetectsCorruptRecord)
+{
+    TempPath tmp("corrupt");
+    std::string err;
+    {
+        JournalWriter w;
+        ASSERT_TRUE(w.open(tmp.path, err)) << err;
+        ASSERT_TRUE(w.append(7, {1, 2, 3, 4}, err)) << err;
+        ASSERT_TRUE(w.append(8, {5, 6}, err)) << err;
+    }
+    std::vector<std::uint8_t> image = readAll(tmp.path);
+    // Flip one payload byte of the *second* record: its checksum
+    // must fail, the first record must survive.
+    image[image.size() - 9] ^= 0xff;
+    const JournalScan scan = scanJournal(image);
+    ASSERT_TRUE(scan.headerOk);
+    EXPECT_TRUE(scan.torn);
+    EXPECT_NE(scan.error.find("checksum"), std::string::npos)
+        << scan.error;
+    ASSERT_EQ(scan.records.size(), 1u);
+    EXPECT_EQ(scan.records[0].tag, 7u);
+}
+
+TEST(Journal, InjectedTornWriteReportsAndPersistsPrefix)
+{
+    TempPath tmp("torn");
+    std::string err;
+    JournalWriter w;
+    ASSERT_TRUE(w.open(tmp.path, err)) << err;
+    ASSERT_TRUE(w.append(1, {1, 2, 3}, err)) << err;
+    w.setWriteHook([](std::size_t record_bytes,
+                      std::size_t &write_bytes, unsigned &) {
+        write_bytes = record_bytes / 2;
+    });
+    EXPECT_FALSE(w.append(2, {4, 5, 6}, err));
+    EXPECT_NE(err.find("short write"), std::string::npos) << err;
+    w.close();
+
+    const JournalScan scan = scanJournalFile(tmp.path);
+    ASSERT_TRUE(scan.headerOk);
+    EXPECT_TRUE(scan.torn);
+    ASSERT_EQ(scan.records.size(), 1u);
+}
+
+TEST(Journal, AtomicReplace)
+{
+    TempPath a("replace_tmp"), b("replace_dst");
+    std::string err;
+    {
+        JournalWriter w;
+        ASSERT_TRUE(w.open(a.path, err)) << err;
+        ASSERT_TRUE(w.append(42, {1}, err)) << err;
+    }
+    ASSERT_TRUE(atomicReplaceFile(a.path, b.path, err)) << err;
+    const JournalScan scan = scanJournalFile(b.path);
+    ASSERT_TRUE(scan.headerOk) << scan.error;
+    ASSERT_EQ(scan.records.size(), 1u);
+    EXPECT_EQ(scan.records[0].tag, 42u);
+}
+
+// ---------------------------------------------------------------
+// Job journal replay
+// ---------------------------------------------------------------
+
+CampaignSpec
+testCampaign(std::uint64_t items)
+{
+    CampaignSpec spec;
+    spec.grid = "faults";
+    spec.scale = 1;
+    spec.itemCount = items;
+    spec.gridFingerprint = 0x12345678abcdef01ull;
+    return spec;
+}
+
+/** Build a representative journal: 4 jobs, one completed, one
+ *  retried then completed, one quarantined, one in flight. */
+std::string
+buildJobJournal(const TempPath &tmp)
+{
+    std::string err;
+    JobJournal j;
+    EXPECT_TRUE(j.open(tmp.path, err)) << err;
+    EXPECT_TRUE(j.appendCampaign(testCampaign(4), err)) << err;
+    for (std::uint64_t id = 0; id < 4; ++id)
+        EXPECT_TRUE(j.appendSubmit(id, "item" + std::to_string(id),
+                                   id == 3 ? Lane::Low
+                                           : Lane::Normal,
+                                   err))
+            << err;
+    EXPECT_TRUE(j.appendStart(0, 1, err));
+    EXPECT_TRUE(j.appendComplete(0, false, "{\"id\":\"item0\"}",
+                                 err));
+    EXPECT_TRUE(j.appendStart(1, 1, err));
+    EXPECT_TRUE(j.appendRetry(1, 1, "injected worker kill", err));
+    EXPECT_TRUE(j.appendStart(1, 2, err));
+    EXPECT_TRUE(j.appendComplete(1, true, "{\"id\":\"item1\"}",
+                                 err));
+    EXPECT_TRUE(j.appendStart(2, 1, err));
+    EXPECT_TRUE(j.appendRetry(2, 1, "hang", err));
+    EXPECT_TRUE(j.appendStart(2, 2, err));
+    EXPECT_TRUE(j.appendRetry(2, 2, "hang", err));
+    EXPECT_TRUE(j.appendQuarantine(2, 2, "hang", err));
+    EXPECT_TRUE(j.appendStart(3, 1, err)); // dies mid-attempt
+    return tmp.path;
+}
+
+TEST(JobJournal, ReplayStateMachine)
+{
+    TempPath tmp("replay");
+    buildJobJournal(tmp);
+    const JournalReplay r = service::replayJobJournalFile(tmp.path);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.torn);
+    ASSERT_EQ(r.jobs.size(), 4u);
+
+    EXPECT_TRUE(r.jobs[0].completed);
+    EXPECT_FALSE(r.jobs[0].failed);
+    EXPECT_EQ(r.jobs[0].rowJson, "{\"id\":\"item0\"}");
+
+    EXPECT_TRUE(r.jobs[1].completed);
+    EXPECT_TRUE(r.jobs[1].failed);
+    EXPECT_EQ(r.jobs[1].attempts, 2u);
+
+    EXPECT_TRUE(r.jobs[2].quarantined);
+    EXPECT_FALSE(r.jobs[2].completed);
+    EXPECT_EQ(r.jobs[2].attempts, 2u);
+
+    // Job 3 started but never finished: re-queueable, with the
+    // dead attempt counted as a strike.
+    EXPECT_FALSE(r.jobs[3].terminal());
+    EXPECT_TRUE(r.jobs[3].inFlight);
+    EXPECT_EQ(r.jobs[3].attempts, 1u);
+    EXPECT_EQ(r.jobs[3].lane, Lane::Low);
+}
+
+TEST(JobJournal, RejectsJournalWithoutCampaign)
+{
+    TempPath tmp("nocamp");
+    std::string err;
+    {
+        JobJournal j;
+        ASSERT_TRUE(j.open(tmp.path, err)) << err;
+        ASSERT_TRUE(j.appendSubmit(0, "item0", Lane::Normal, err));
+    }
+    const JournalReplay r = service::replayJobJournalFile(tmp.path);
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.error.empty());
+}
+
+TEST(JobJournal, RejectsOutOfRangeJobId)
+{
+    TempPath tmp("range");
+    std::string err;
+    {
+        JobJournal j;
+        ASSERT_TRUE(j.open(tmp.path, err)) << err;
+        ASSERT_TRUE(j.appendCampaign(testCampaign(2), err));
+        ASSERT_TRUE(j.appendSubmit(7, "item7", Lane::Normal, err));
+    }
+    const JournalReplay r = service::replayJobJournalFile(tmp.path);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("out of range"), std::string::npos)
+        << r.error;
+}
+
+/**
+ * THE truncation property: for every prefix of a valid journal,
+ * replay must not crash, must report a structured diagnostic
+ * whenever anything was lost, and must never claim a job completed
+ * unless the full journal agrees byte-for-byte on its row.
+ */
+TEST(JobJournal, TruncationAtEveryByteOffset)
+{
+    TempPath tmp("truncate");
+    buildJobJournal(tmp);
+    const std::vector<std::uint8_t> full = readAll(tmp.path);
+    const JournalReplay whole = service::replayJobJournal(full);
+    ASSERT_TRUE(whole.ok) << whole.error;
+
+    for (std::size_t n = 0; n < full.size(); ++n) {
+        const std::vector<std::uint8_t> prefix(full.begin(),
+                                               full.begin() + n);
+        const JournalReplay r = service::replayJobJournal(prefix);
+
+        // (a) Structured error, always: a strict prefix lost at
+        // least the tail record, so either the replay failed
+        // outright or it flagged a torn tail.
+        if (r.ok) {
+            EXPECT_TRUE(r.torn || r.recordsApplied <
+                                      whole.recordsApplied)
+                << "offset " << n;
+            if (r.torn)
+                EXPECT_FALSE(r.tornError.empty()) << "offset " << n;
+        } else {
+            EXPECT_FALSE(r.error.empty()) << "offset " << n;
+        }
+
+        // (b) Never invent completion: any completed job in the
+        // prefix replay is completed in the full replay with an
+        // identical journaled row — the no-double-run guarantee.
+        if (r.ok) {
+            ASSERT_EQ(r.jobs.size(), whole.jobs.size());
+            for (std::size_t id = 0; id < r.jobs.size(); ++id) {
+                if (!r.jobs[id].completed)
+                    continue;
+                EXPECT_TRUE(whole.jobs[id].completed)
+                    << "offset " << n << " job " << id;
+                EXPECT_EQ(r.jobs[id].rowJson,
+                          whole.jobs[id].rowJson)
+                    << "offset " << n << " job " << id;
+            }
+        }
+    }
+}
+
+TEST(JobJournal, CompactionPreservesState)
+{
+    TempPath tmp("compact");
+    buildJobJournal(tmp);
+    const JournalReplay before =
+        service::replayJobJournalFile(tmp.path);
+    ASSERT_TRUE(before.ok) << before.error;
+
+    std::string err;
+    ASSERT_TRUE(service::compactJobJournal(
+        tmp.path, before.campaign, before.jobs, err))
+        << err;
+
+    const JournalReplay after =
+        service::replayJobJournalFile(tmp.path);
+    ASSERT_TRUE(after.ok) << after.error;
+    EXPECT_FALSE(after.torn);
+    EXPECT_EQ(after.campaign.gridFingerprint,
+              before.campaign.gridFingerprint);
+    ASSERT_EQ(after.jobs.size(), before.jobs.size());
+    for (std::size_t id = 0; id < after.jobs.size(); ++id) {
+        SCOPED_TRACE(id);
+        EXPECT_EQ(after.jobs[id].completed,
+                  before.jobs[id].completed);
+        EXPECT_EQ(after.jobs[id].quarantined,
+                  before.jobs[id].quarantined);
+        EXPECT_EQ(after.jobs[id].rowJson, before.jobs[id].rowJson);
+        EXPECT_EQ(after.jobs[id].failed, before.jobs[id].failed);
+        // Strike counts survive compaction where they still matter:
+        // unfinished jobs (they gate quarantine) and quarantined
+        // jobs (the QUAR record carries them). Completed jobs fold
+        // their retry history away.
+        if (!before.jobs[id].completed)
+            EXPECT_EQ(after.jobs[id].attempts,
+                      before.jobs[id].attempts);
+        EXPECT_EQ(after.jobs[id].lane, before.jobs[id].lane);
+    }
+    // Compaction folds history: never more records than the live
+    // journal, and the compacted file is appendable again.
+    EXPECT_LE(after.recordsApplied, before.recordsApplied);
+    JobJournal j;
+    ASSERT_TRUE(j.open(tmp.path, err)) << err;
+    EXPECT_TRUE(j.appendStart(3, 2, err)) << err;
+}
+
+/** Compaction after a torn tail yields a clean, appendable file. */
+TEST(JobJournal, CompactionRepairsTornTail)
+{
+    TempPath tmp("repair");
+    buildJobJournal(tmp);
+    std::vector<std::uint8_t> image = readAll(tmp.path);
+    image.resize(image.size() - 5); // tear the last record
+    std::string err;
+    ASSERT_TRUE(writeSnapshotFile(tmp.path, image, err)) << err;
+
+    const JournalReplay torn =
+        service::replayJobJournalFile(tmp.path);
+    ASSERT_TRUE(torn.ok) << torn.error;
+    EXPECT_TRUE(torn.torn);
+
+    ASSERT_TRUE(service::compactJobJournal(tmp.path, torn.campaign,
+                                           torn.jobs, err))
+        << err;
+    const JournalReplay clean =
+        service::replayJobJournalFile(tmp.path);
+    ASSERT_TRUE(clean.ok) << clean.error;
+    EXPECT_FALSE(clean.torn);
+}
+
+} // namespace
+} // namespace svc

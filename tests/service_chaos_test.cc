@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Service-level chaos matrix (ctest label: service-chaos): every
+ * injected service fault kind x 8 seeds, driven through the same
+ * restart loop as the sweep_service front-end, must converge to an
+ * aggregated results document byte-identical to the fault-free
+ * serial reference — at a parallel worker count, so the matrix also
+ * exercises scheduling nondeterminism.
+ *
+ * This is the service analogue of the memory-level fault matrix
+ * (fault_matrix_test): faults here target the *service* — worker
+ * death, hung attempts, stalled/torn journal writes, whole-service
+ * restarts — not the simulated cache protocol.
+ */
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "service/service.hh"
+#include "tests/service_test_util.hh"
+
+namespace svc::service
+{
+namespace
+{
+
+using testutil::CampaignOutcome;
+using testutil::Reference;
+using testutil::runCampaign;
+using testutil::TestJournal;
+
+const Reference &
+smokeRef()
+{
+    static const Reference ref = testutil::serialReference("smoke", 1);
+    return ref;
+}
+
+class ServiceChaosMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<ServiceFault, std::uint64_t>>
+{};
+
+TEST_P(ServiceChaosMatrix, AggregateIsByteIdenticalToFaultFree)
+{
+    const ServiceFault kind = std::get<0>(GetParam());
+    const std::uint64_t seed = std::get<1>(GetParam());
+
+    TestJournal journal(std::string(serviceFaultName(kind)) + "_s" +
+                        std::to_string(seed));
+    ServiceConfig cfg;
+    cfg.journalPath = journal.path;
+    cfg.grid = "smoke";
+    cfg.workers = 4;
+    cfg.quarantinePrefix = "";
+    cfg.chaos.kind = kind;
+    cfg.chaos.seed = seed;
+    // WorkerHang attempts are reaped by the forward-progress
+    // deadline; give the matrix a real deadline so that path runs.
+    if (kind == ServiceFault::WorkerHang)
+        cfg.deadlineCycles = 200000;
+
+    const CampaignOutcome out = runCampaign(cfg);
+    ASSERT_TRUE(out.ok) << serviceFaultName(kind) << " seed " << seed
+                        << ": " << out.error;
+
+    // The whole point: any injected service fault yields the same
+    // bytes as the fault-free run.
+    EXPECT_EQ(out.doc, smokeRef().doc)
+        << serviceFaultName(kind) << " seed " << seed;
+
+    // Kind-specific sanity: the fault actually fired.
+    switch (kind) {
+    case ServiceFault::WorkerKill:
+    case ServiceFault::WorkerHang:
+        EXPECT_GE(out.total.retries, 1u);
+        break;
+    case ServiceFault::TornWrite:
+        // The tear is a one-shot crash event: exactly one restart.
+        EXPECT_EQ(out.restarts, 1u);
+        break;
+    case ServiceFault::Restart:
+        EXPECT_GE(out.restarts, 1u);
+        // Restarts restore completed jobs from the journal rather
+        // than re-running them.
+        EXPECT_GE(out.total.restored, 1u);
+        break;
+    case ServiceFault::JournalStall:
+    case ServiceFault::None:
+        EXPECT_EQ(out.restarts, 0u);
+        EXPECT_EQ(out.total.retries, 0u);
+        break;
+    }
+    EXPECT_EQ(out.total.quarantined, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultBySeed, ServiceChaosMatrix,
+    ::testing::Combine(
+        ::testing::Values(ServiceFault::None,
+                          ServiceFault::WorkerKill,
+                          ServiceFault::WorkerHang,
+                          ServiceFault::JournalStall,
+                          ServiceFault::TornWrite,
+                          ServiceFault::Restart),
+        ::testing::Range<std::uint64_t>(1, 9)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<ServiceFault, std::uint64_t>> &info) {
+        std::string name = serviceFaultName(std::get<0>(info.param));
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace svc::service

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tier-1 tests for the fault-tolerant sweep job service
+ * (service/service.hh): fresh campaigns match the serial reference
+ * byte for byte, crash/restart resumes from the journal without
+ * re-running completed jobs, resume adopts the journaled campaign
+ * spec, mismatched journals are refused, admission control bounds
+ * the queue, overload sheds the Low lane, poison jobs are
+ * quarantined with a diagnostic bundle, and preemptive slicing
+ * preserves determinism.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/service.hh"
+#include "tests/service_test_util.hh"
+
+namespace svc::service
+{
+namespace
+{
+
+using testutil::CampaignOutcome;
+using testutil::Reference;
+using testutil::runCampaign;
+using testutil::TestJournal;
+
+/** The faults grid is the cheap campaign of choice here: 32
+ *  functional-protocol cells, no full-pipeline runs. */
+const Reference &
+faultsRef()
+{
+    static const Reference ref = testutil::serialReference("faults", 1);
+    return ref;
+}
+
+const Reference &
+smokeRef()
+{
+    static const Reference ref = testutil::serialReference("smoke", 1);
+    return ref;
+}
+
+ServiceConfig
+faultsConfig(const TestJournal &journal)
+{
+    ServiceConfig cfg;
+    cfg.journalPath = journal.path;
+    cfg.grid = "faults";
+    cfg.scale = 1;
+    cfg.workers = 4;
+    cfg.quarantinePrefix = ""; // no bundles unless a test wants them
+    return cfg;
+}
+
+bool
+readTextFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return true;
+}
+
+TEST(SweepService, FaultFreeMatchesSerialReference)
+{
+    TestJournal journal("fault_free");
+    const CampaignOutcome out = runCampaign(faultsConfig(journal));
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(out.restarts, 0u);
+    EXPECT_EQ(out.doc, faultsRef().doc);
+    const std::uint64_t items = faultsRef().items.size();
+    EXPECT_EQ(out.total.submitted, items);
+    EXPECT_EQ(out.total.completed, items);
+    EXPECT_EQ(out.total.itemRuns, items);
+    EXPECT_EQ(out.total.retries, 0u);
+    EXPECT_EQ(out.total.quarantined, 0u);
+}
+
+/** The headline recovery property: kill-then-restart mid-campaign
+ *  resumes from the journal and never re-runs a completed job —
+ *  verified by exact job-execution counters (single worker, so the
+ *  injected crash loses no in-flight work). */
+TEST(SweepService, RestartResumesWithoutRerunningCompletedJobs)
+{
+    TestJournal journal("restart");
+    ServiceConfig cfg = faultsConfig(journal);
+    cfg.workers = 1;
+    cfg.chaos.kind = ServiceFault::Restart;
+    cfg.chaos.seed = 3; // crash every 4 completions
+    const CampaignOutcome out = runCampaign(cfg);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_GE(out.restarts, 1u);
+    const std::uint64_t items = faultsRef().items.size();
+    // Every item executed exactly once across all incarnations.
+    EXPECT_EQ(out.total.itemRuns, items);
+    // The final incarnation restored prior completions from the
+    // journal instead of re-running them.
+    EXPECT_GE(out.last.restored, 1u);
+    EXPECT_EQ(out.last.restored + out.last.requeued, items);
+    EXPECT_EQ(out.doc, faultsRef().doc);
+}
+
+/** submit (start, no drain) then resume in a fresh service. */
+TEST(SweepService, SubmitThenResume)
+{
+    TestJournal journal("submit_resume");
+    const ServiceConfig cfg = faultsConfig(journal);
+    {
+        SweepService service(cfg);
+        std::string err;
+        ASSERT_TRUE(service.start(err)) << err;
+        EXPECT_EQ(service.counters().submitted,
+                  faultsRef().items.size());
+        // Destroyed without drain(): jobs stay journaled as
+        // submitted-but-unfinished.
+    }
+    SweepService service(cfg);
+    std::string err;
+    ASSERT_TRUE(service.start(err)) << err;
+    EXPECT_EQ(service.counters().requeued, faultsRef().items.size());
+    EXPECT_EQ(service.counters().restored, 0u);
+    ASSERT_TRUE(service.drain());
+    EXPECT_EQ(service.resultsDocument(), faultsRef().doc);
+}
+
+/** Resume must adopt the journaled campaign spec — the resumed
+ *  incarnation's own grid/scale flags are ignored, so `resume
+ *  --journal X` alone always continues the same campaign. */
+TEST(SweepService, ResumeAdoptsJournaledCampaign)
+{
+    TestJournal journal("adopt");
+    {
+        ServiceConfig cfg = faultsConfig(journal);
+        cfg.scale = 2;
+        SweepService service(cfg);
+        std::string err;
+        ASSERT_TRUE(service.start(err)) << err;
+    }
+    ServiceConfig resumed;
+    resumed.journalPath = journal.path; // grid/scale left at defaults
+    resumed.workers = 4;
+    resumed.quarantinePrefix = "";
+    SweepService service(resumed);
+    std::string err;
+    ASSERT_TRUE(service.start(err)) << err;
+    EXPECT_EQ(service.campaign().grid, "faults");
+    EXPECT_EQ(service.campaign().scale, 2u);
+    ASSERT_TRUE(service.drain());
+    EXPECT_EQ(service.resultsDocument(),
+              testutil::serialReference("faults", 2).doc);
+}
+
+/** A journal written for a different grid expansion is refused with
+ *  a structured diagnostic, not silently re-interpreted. */
+TEST(SweepService, RefusesMismatchedJournal)
+{
+    TestJournal journal("mismatch");
+    {
+        CampaignSpec bogus;
+        bogus.grid = "faults";
+        bogus.scale = 1;
+        bogus.itemCount = faultsRef().items.size();
+        bogus.gridFingerprint = 0xdeadbeefdeadbeefull; // code drift
+        JobJournal j;
+        std::string err;
+        ASSERT_TRUE(j.open(journal.path, err)) << err;
+        ASSERT_TRUE(j.appendCampaign(bogus, err)) << err;
+    }
+    SweepService service(faultsConfig(journal));
+    std::string err;
+    EXPECT_FALSE(service.start(err));
+    EXPECT_NE(err.find("different campaign"), std::string::npos)
+        << err;
+}
+
+/** An unreadable journal (bad header) is a structured error. */
+TEST(SweepService, RefusesCorruptJournal)
+{
+    TestJournal journal("corrupt");
+    std::FILE *f = std::fopen(journal.path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a journal", f);
+    std::fclose(f);
+    SweepService service(faultsConfig(journal));
+    std::string err;
+    EXPECT_FALSE(service.start(err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(SweepService, BoundedQueueRejectsOversizedCampaign)
+{
+    TestJournal journal("reject");
+    ServiceConfig cfg = faultsConfig(journal);
+    cfg.queueCapacity = 4;
+    SweepService service(cfg);
+    std::string err;
+    EXPECT_FALSE(service.start(err));
+    EXPECT_NE(err.find("cannot admit"), std::string::npos) << err;
+    EXPECT_GE(service.counters().rejected, 1u);
+}
+
+/** Overload mode sheds the Low lane (litmus ARB baselines) —
+ *  degradation shrinks grid fan-out before touching primary cells,
+ *  and the decision is journaled (sticky across restarts). */
+TEST(SweepService, OverloadShedsLowLane)
+{
+    TestJournal journal("shed");
+    ServiceConfig cfg;
+    cfg.journalPath = journal.path;
+    cfg.grid = "smoke";
+    cfg.workers = 2;
+    cfg.overloadThreshold = 1;
+    cfg.quarantinePrefix = "";
+    SweepService service(cfg);
+    std::string err;
+    ASSERT_TRUE(service.start(err)) << err;
+    ASSERT_TRUE(service.drain());
+    EXPECT_TRUE(service.degraded());
+    EXPECT_GE(service.counters().shed, 1u);
+    trace_io::StimulusOptions stim;
+    EXPECT_EQ(service.counters().shed + service.counters().completed,
+              buildGrid("smoke", 1, stim).size());
+
+    // Only Low-lane (ARB baseline) cells were shed, and the
+    // decision is durable in the journal.
+    const JournalReplay replay = replayJobJournalFile(journal.path);
+    ASSERT_TRUE(replay.ok) << replay.error;
+    unsigned shed = 0;
+    for (const JobState &job : replay.jobs) {
+        if (!job.shed)
+            continue;
+        ++shed;
+        EXPECT_EQ(job.lane, Lane::Low) << job.itemId;
+        EXPECT_NE(job.itemId.find("arb"), std::string::npos)
+            << job.itemId;
+    }
+    EXPECT_EQ(shed, service.counters().shed);
+}
+
+/** A poison job strikes out and is quarantined with a diagnostic
+ *  bundle holding a ready-to-run repro command line. */
+TEST(SweepService, PoisonJobQuarantinedWithBundle)
+{
+    TestJournal journal("poison");
+    const std::string bundle =
+        "service_test_poison-quarantine-job3.json";
+    std::remove(bundle.c_str());
+    ServiceConfig cfg = faultsConfig(journal);
+    cfg.maxAttempts = 2;
+    cfg.quarantinePrefix = "service_test_poison";
+    cfg.chaos.poisonJobId = 3;
+    const CampaignOutcome out = runCampaign(cfg);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(out.total.quarantined, 1u);
+    EXPECT_EQ(out.total.completed, faultsRef().items.size() - 1);
+    EXPECT_EQ(out.total.retries, 1u); // attempt 1 strike, then out
+
+    std::string text;
+    ASSERT_TRUE(readTextFile(bundle, text)) << bundle;
+    EXPECT_NE(text.find("svc-quarantine-v1"), std::string::npos);
+    EXPECT_NE(text.find("repro_sweep"), std::string::npos);
+    std::remove(bundle.c_str());
+}
+
+/** Preemptive slicing (checkpoint at a quiescent point, re-queue,
+ *  resume) must not perturb the aggregate document. */
+TEST(SweepService, PreemptionPreservesDeterminism)
+{
+    TestJournal journal("slice");
+    ServiceConfig cfg;
+    cfg.journalPath = journal.path;
+    cfg.grid = "smoke";
+    cfg.workers = 2;
+    cfg.sliceCycles = 5000;
+    cfg.quarantinePrefix = "";
+    const CampaignOutcome out = runCampaign(cfg);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_GE(out.total.preemptions, 1u);
+    EXPECT_EQ(out.doc, smokeRef().doc);
+}
+
+TEST(SweepService, StatusJsonSummarizesCampaign)
+{
+    TestJournal journal("status");
+    SweepService service(faultsConfig(journal));
+    std::string err;
+    ASSERT_TRUE(service.start(err)) << err;
+    ASSERT_TRUE(service.drain());
+    const std::string status = service.statusJson();
+    EXPECT_NE(status.find("svc-service-status-v1"),
+              std::string::npos)
+        << status;
+    EXPECT_NE(status.find("\"completed\""), std::string::npos);
+}
+
+} // namespace
+} // namespace svc::service

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared helpers for the sweep service tests: a serial fault-free
+ * reference for a grid, and the restart-loop campaign driver that
+ * mirrors tools/sweep_service (construct/start/drain until done,
+ * restarting on injected crashes, dropping TornWrite chaos after
+ * its one-shot crash event).
+ */
+
+#ifndef SVC_TESTS_SERVICE_TEST_UTIL_HH
+#define SVC_TESTS_SERVICE_TEST_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "service/service.hh"
+
+namespace svc::service::testutil
+{
+
+/** Serial fault-free reference: rows + aggregate document. */
+struct Reference
+{
+    std::vector<SweepItem> items;
+    std::vector<std::string> rows;
+    std::string doc;
+};
+
+inline Reference
+serialReference(const std::string &grid, unsigned scale)
+{
+    Reference ref;
+    trace_io::StimulusOptions stim;
+    ref.items = buildGrid(grid, scale, stim);
+    for (const SweepItem &it : ref.items)
+        ref.rows.push_back(renderRow(it, runItem(it)));
+    ref.doc = renderResultsDoc(grid, scale, ref.rows);
+    return ref;
+}
+
+/** Outcome of driving a campaign to completion through restarts. */
+struct CampaignOutcome
+{
+    bool ok = false;
+    unsigned restarts = 0;      ///< injected-crash restarts taken
+    std::string doc;            ///< final aggregate (ok only)
+    ServiceCounters total;      ///< counters summed over incarnations
+    ServiceCounters last;       ///< final incarnation's counters
+    std::string error;
+};
+
+/**
+ * Mirror of the sweep_service front-end loop: run incarnations of
+ * the service on one journal until every job is terminal. An
+ * injected crash (drain() == false with crashed()) restarts on the
+ * same journal; TornWrite chaos is disarmed after its crash fires
+ * (a tear is a one-shot crash event, not a persistent fault).
+ */
+inline CampaignOutcome
+runCampaign(ServiceConfig cfg, unsigned max_restarts = 16)
+{
+    CampaignOutcome out;
+    for (unsigned inc = 0; inc <= max_restarts; ++inc) {
+        SweepService service(cfg);
+        std::string err;
+        if (!service.start(err)) {
+            out.error = err.empty() ? "start failed" : err;
+            return out;
+        }
+        const bool done = service.drain();
+        const ServiceCounters &c = service.counters();
+        out.total.submitted += c.submitted;
+        out.total.restored += c.restored;
+        out.total.requeued += c.requeued;
+        out.total.started += c.started;
+        out.total.itemRuns += c.itemRuns;
+        out.total.completed += c.completed;
+        out.total.retries += c.retries;
+        out.total.preemptions += c.preemptions;
+        out.total.quarantined += c.quarantined;
+        out.total.shed += c.shed;
+        out.total.rejected += c.rejected;
+        out.last = c;
+        if (done) {
+            out.ok = true;
+            out.restarts = inc;
+            out.doc = service.resultsDocument();
+            return out;
+        }
+        if (!service.crashed()) {
+            out.error = "drain stopped without a crash";
+            return out;
+        }
+        if (cfg.chaos.kind == ServiceFault::TornWrite)
+            cfg.chaos.kind = ServiceFault::None;
+    }
+    out.error = "restart budget exhausted";
+    return out;
+}
+
+/** Journal path scoped to one test, removed on destruction. */
+struct TestJournal
+{
+    explicit TestJournal(const std::string &name)
+        : path("service_test_" + name + ".journal")
+    {
+        std::remove(path.c_str());
+        std::remove((path + ".compact.tmp").c_str());
+    }
+    ~TestJournal()
+    {
+        std::remove(path.c_str());
+        std::remove((path + ".compact.tmp").c_str());
+    }
+    std::string path;
+};
+
+} // namespace svc::service::testutil
+
+#endif // SVC_TESTS_SERVICE_TEST_UTIL_HH

@@ -1,8 +1,8 @@
 /**
  * @file
- * bench_compare: diff two sweep_runner result documents and fail on
- * IPC regressions. CI runs it against the committed baseline
- * (BENCH_PR6.json) so a perf regression fails the build the same
+ * bench_compare: diff two sweep result documents and fail on IPC
+ * regressions. CI runs it against the committed baseline
+ * (BENCH_PR8.json) so a perf regression fails the build the same
  * way a test failure does.
  *
  *   bench_compare BASELINE.json CURRENT.json [--threshold PCT]
@@ -10,8 +10,15 @@
  * Rows are matched by their stable "id"; only bench rows (the ones
  * carrying "ipc") participate. Ids present on one side only are
  * reported but never fail the run — grids grow across PRs and the
- * baseline is only refreshed when benchmarks are re-blessed. Exit:
- * 0 ok, 1 regression, 2 usage/parse error.
+ * baseline is only refreshed when benchmarks are re-blessed.
+ *
+ * A *missing baseline* is not an error: on a branch that predates
+ * the committed baseline (or after an intentional baseline rename)
+ * there is simply nothing to compare against, so the tool emits a
+ * structured warning and exits 0. A missing or unparsable CURRENT
+ * file is still a hard error — the build that was supposed to
+ * produce it is broken. Exit: 0 ok (including missing baseline),
+ * 1 regression, 2 usage/parse error.
  *
  * The scanner below is deliberately minimal: sweep_runner's
  * JsonWriter emits a known subset of JSON (no escapes inside the
@@ -168,6 +175,19 @@ main(int argc, char **argv)
                      "usage: bench_compare BASELINE.json "
                      "CURRENT.json [--threshold PCT]\n");
         return 2;
+    }
+
+    // A baseline that does not exist at all is a skip, not a
+    // failure: report it in a machine-greppable form and succeed.
+    // (An unreadable/unparsable baseline that *does* exist still
+    // falls through to the hard error below.)
+    if (std::FILE *probe = std::fopen(files[0], "rb")) {
+        std::fclose(probe);
+    } else {
+        std::printf("bench_compare: warning: baseline %s not "
+                    "found; skipping comparison "
+                    "(no-baseline-skip)\n", files[0]);
+        return 0;
     }
 
     std::map<std::string, double> base, cur;

@@ -5,16 +5,17 @@
  * matrix) across a worker thread pool and aggregates the results
  * deterministically.
  *
- * Every grid item is fully self-contained — each worker constructs
- * its own MainMemory, SpecMem and Processor (or functional protocol
- * for fault cells) and draws from its own seeded RNG stream — so
- * items can run in any order on any thread. Aggregation walks the
- * item list in definition order, which together with the JSON
- * writer's fixed number formatting makes the "results" section
- * byte-identical regardless of --jobs. Wall-clock timing lives in a
- * separate "timing" section that --results-only omits, so
- * determinism can be checked with a plain byte compare
- * (--check-determinism does exactly that).
+ * Grid expansion, item execution and row rendering live in the
+ * shared sweep grid library (src/service/grid.hh), which this batch
+ * CLI and the long-lived sweep service (tools/sweep_service) both
+ * consume — one implementation, two front-ends. Every grid item is
+ * fully self-contained, so items can run in any order on any
+ * thread. Aggregation walks the item list in definition order,
+ * which together with the JSON writer's fixed number formatting
+ * makes the "results" section byte-identical regardless of --jobs.
+ * Wall-clock timing lives in a separate "timing" section that
+ * --results-only omits, so determinism can be checked with a plain
+ * byte compare (--check-determinism does exactly that).
  *
  * Stimulus selection uses the shared trace_io CLI flags
  * (--workload, --trace-in, --scale, --seed): bench grids construct
@@ -34,97 +35,23 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/harness.hh"
-#include "common/invariants.hh"
 #include "common/json.hh"
 #include "common/log.hh"
-#include "isa/interpreter.hh"
-#include "mem/fault_injector.hh"
-#include "mem/main_memory.hh"
-#include "litmus/engine.hh"
-#include "litmus/shapes.hh"
-#include "multiscalar/processor.hh"
-#include "recovery/recovery_manager.hh"
-#include "svc/corruptor.hh"
-#include "svc/invariants.hh"
-#include "svc/protocol.hh"
-#include "svc/system.hh"
-#include "tests/support/engine_adapters.hh"
-#include "tests/support/task_script.hh"
+#include "service/grid.hh"
 #include "trace_io/stimulus_cli.hh"
-#include "workloads/stimulus.hh"
-#include "workloads/workloads.hh"
 
 namespace svc
 {
 namespace
 {
 
-const char *const kWorkloads[] = {"compress", "gcc",   "vortex",
-                                  "perl",     "ijpeg", "mgrid",
-                                  "apsi"};
-
-/** One self-contained unit of work. */
-struct SweepItem
-{
-    enum Kind { Bench, Fault, Recovery, Litmus };
-
-    std::string id; ///< stable unique name, e.g. "fig19/gcc/svc8k"
-    Kind kind = Bench;
-
-    // Bench items (kernel, gen:<pattern> or trace replay).
-    std::string memKind;   ///< makeSpecMem registry key
-    std::string workload;  ///< workload name or "gen:<pattern>"
-    std::string tracePath; ///< SVCTRC1 path ("" = use workload)
-    std::string config;    ///< short config label for the report
-    unsigned scale = 1;
-    std::uint64_t seed = 12345;
-    SpecMemConfig cfg;
-
-    // Fault cells (functional protocol + one corruption).
-    FaultKind faultKind = FaultKind::CorruptVolPointer;
-
-    // Recovery cells (full multiscalar run + staged recovery).
-    RecoveryPolicy policy = RecoveryPolicy::Degrade;
-    unsigned corruptions = 1;
-
-    // Litmus campaigns (workload holds the shape name).
-    litmus::Backend litmusBackend = litmus::Backend::Svc;
-    SvcDesign litmusDesign = SvcDesign::Final;
-    bool litmusFaults = false; ///< fault mix + recovery when true
-    std::uint64_t litmusIters = 200;
-};
-
-struct ItemResult
-{
-    bench::BenchRow row; ///< bench items only
-    bool injected = false;
-    bool detected = false;
-    unsigned findings = 0;
-    double wallSeconds = 0.0;
-
-    // Recovery cells: outcome of the recovered run vs its own
-    // fault-free reference.
-    Counter injectedCount = 0;
-    Counter episodes = 0;
-    Counter repairs = 0;
-    Counter replays = 0;
-    Counter rollbacks = 0;
-    bool degraded = false;
-    unsigned highestStage = 0;
-    bool recovered = false; ///< verified + engine clean + halted
-    double ipc = 0.0;
-    double refIpc = 0.0;
-
-    // Litmus campaigns: the engine's full report.
-    litmus::ShapeReport litmus;
-};
+using service::ItemResult;
+using service::SweepItem;
 
 struct Options
 {
@@ -136,451 +63,6 @@ struct Options
     bool checkDeterminism = false;
     trace_io::StimulusOptions stim; ///< shared stimulus flags
 };
-
-// ---------------------------------------------------------------
-// Grid construction
-// ---------------------------------------------------------------
-
-void
-addIpcGrid(std::vector<SweepItem> &items, const std::string &fig,
-           unsigned arb_dcache_kb, unsigned svc_kb, unsigned scale)
-{
-    for (const char *w : kWorkloads) {
-        for (unsigned lat = 4; lat >= 1; --lat) {
-            SweepItem it;
-            it.memKind = "arb";
-            it.workload = w;
-            it.scale = scale;
-            it.cfg.arb = bench::paperArbConfig(arb_dcache_kb, lat);
-            it.config = "arb" + std::to_string(arb_dcache_kb) +
-                        "k_lat" + std::to_string(lat);
-            it.id = fig + "/" + w + "/" + it.config;
-            items.push_back(std::move(it));
-        }
-        SweepItem it;
-        it.memKind = "svc";
-        it.workload = w;
-        it.scale = scale;
-        it.cfg.svc = bench::paperSvcConfig(svc_kb);
-        it.config = "svc" + std::to_string(svc_kb) + "k_final";
-        it.id = fig + "/" + w + "/" + it.config;
-        items.push_back(std::move(it));
-    }
-}
-
-void
-addFaultGrid(std::vector<SweepItem> &items, unsigned num_seeds)
-{
-    const FaultKind kinds[] = {
-        FaultKind::CorruptVolPointer, FaultKind::CorruptMask,
-        FaultKind::CorruptData, FaultKind::CorruptVolCache};
-    for (FaultKind k : kinds) {
-        for (std::uint64_t seed = 1; seed <= num_seeds; ++seed) {
-            SweepItem it;
-            it.kind = SweepItem::Fault;
-            it.faultKind = k;
-            it.seed = seed;
-            it.id = std::string("faults/final/") + faultKindName(k) +
-                    "/s" + std::to_string(seed);
-            items.push_back(std::move(it));
-        }
-    }
-}
-
-void
-addRecoveryGrid(std::vector<SweepItem> &items, unsigned scale,
-                unsigned num_seeds)
-{
-    const FaultKind kinds[] = {
-        FaultKind::CorruptVolPointer, FaultKind::CorruptMask,
-        FaultKind::CorruptData, FaultKind::CorruptVolCache};
-    for (FaultKind k : kinds) {
-        for (std::uint64_t seed = 1; seed <= num_seeds; ++seed) {
-            SweepItem it;
-            it.kind = SweepItem::Recovery;
-            it.workload = "compress";
-            it.scale = scale;
-            it.seed = seed;
-            it.faultKind = k;
-            it.policy = RecoveryPolicy::Degrade;
-            it.corruptions = 1 + static_cast<unsigned>(seed % 3);
-            it.id = std::string("recovery/compress/") +
-                    faultKindName(k) + "/s" + std::to_string(seed);
-            items.push_back(std::move(it));
-        }
-    }
-}
-
-/**
- * The "litmus" grid: every shape in the litmus library across the
- * six SVC design points (fault mix + staged recovery active) plus
- * the ARB baseline (fault-free: it has no fault hooks), each an
- * iterated campaign checked against the enumeration oracle.
- * Campaigns are internally deterministic, so results are
- * byte-identical at any --jobs.
- */
-void
-addLitmusGrid(std::vector<SweepItem> &items, std::uint64_t iters,
-              bool faults)
-{
-    const SvcDesign designs[] = {SvcDesign::Base, SvcDesign::EC,
-                                 SvcDesign::ECS, SvcDesign::HR,
-                                 SvcDesign::RL, SvcDesign::Final};
-    for (const std::string &shape : litmus::shapeNames()) {
-        for (SvcDesign d : designs) {
-            SweepItem it;
-            it.kind = SweepItem::Litmus;
-            it.workload = shape;
-            it.litmusBackend = litmus::Backend::Svc;
-            it.litmusDesign = d;
-            it.litmusFaults = faults;
-            it.litmusIters = iters;
-            it.config = std::string("svc_") + svcDesignName(d);
-            it.id = "litmus/" + shape + "/" + it.config;
-            items.push_back(std::move(it));
-        }
-        SweepItem arb;
-        arb.kind = SweepItem::Litmus;
-        arb.workload = shape;
-        arb.litmusBackend = litmus::Backend::Arb;
-        arb.litmusFaults = false;
-        arb.litmusIters = iters;
-        arb.config = "arb";
-        arb.id = "litmus/" + shape + "/arb";
-        items.push_back(std::move(arb));
-    }
-}
-
-/** The "trace" grid: one stimulus (a recorded trace or a synthetic
- *  gen:<pattern> stream) replayed through the paper's six SVC
- *  design points plus the ARB. */
-void
-addTraceGrid(std::vector<SweepItem> &items,
-             const trace_io::StimulusOptions &stim, unsigned scale)
-{
-    if (stim.traceIn.empty() && stim.workload.empty())
-        fatal("--grid trace needs --trace-in FILE or "
-              "--workload gen:<pattern>");
-    const std::string src =
-        !stim.traceIn.empty() ? stim.traceIn : stim.workload;
-    const SvcDesign designs[] = {SvcDesign::Base, SvcDesign::EC,
-                                 SvcDesign::ECS, SvcDesign::HR,
-                                 SvcDesign::RL, SvcDesign::Final};
-    for (SvcDesign d : designs) {
-        SweepItem it;
-        it.memKind = "svc";
-        it.workload = stim.workload;
-        it.tracePath = stim.traceIn;
-        it.scale = scale;
-        it.seed = stim.seed;
-        it.cfg.svc = bench::paperSvcConfig(8, d);
-        it.config = std::string("svc8k_") + svcDesignName(d);
-        it.id = "trace/" + src + "/" + it.config;
-        items.push_back(std::move(it));
-    }
-    SweepItem arb;
-    arb.memKind = "arb";
-    arb.workload = stim.workload;
-    arb.tracePath = stim.traceIn;
-    arb.scale = scale;
-    arb.seed = stim.seed;
-    arb.cfg.arb = bench::paperArbConfig(32, 2);
-    arb.config = "arb32k_lat2";
-    arb.id = "trace/" + src + "/" + arb.config;
-    items.push_back(std::move(arb));
-}
-
-std::vector<SweepItem>
-buildGrid(const std::string &grid, unsigned scale,
-          const trace_io::StimulusOptions &stim)
-{
-    std::vector<SweepItem> items;
-    if (grid == "fig19") {
-        addIpcGrid(items, "fig19", 32, 8, scale);
-    } else if (grid == "fig20") {
-        addIpcGrid(items, "fig20", 64, 16, scale);
-    } else if (grid == "faults") {
-        addFaultGrid(items, 8);
-    } else if (grid == "recovery") {
-        addRecoveryGrid(items, scale, 4);
-    } else if (grid == "smoke") {
-        // A CI-sized cut: two workloads with contrasting sharing
-        // behaviour, one ARB and one SVC point each, plus one fault
-        // cell per corruption kind.
-        for (const char *w : {"compress", "mgrid"}) {
-            SweepItem arb;
-            arb.memKind = "arb";
-            arb.workload = w;
-            arb.scale = scale;
-            arb.cfg.arb = bench::paperArbConfig(32, 2);
-            arb.config = "arb32k_lat2";
-            arb.id = std::string("smoke/") + w + "/arb32k_lat2";
-            items.push_back(std::move(arb));
-            SweepItem svc;
-            svc.memKind = "svc";
-            svc.workload = w;
-            svc.scale = scale;
-            svc.cfg.svc = bench::paperSvcConfig(8);
-            svc.config = "svc8k_final";
-            svc.id = std::string("smoke/") + w + "/svc8k_final";
-            items.push_back(std::move(svc));
-        }
-        addFaultGrid(items, 1);
-        addRecoveryGrid(items, scale, 1);
-        // Litmus cut: the two canonical shapes on the paper design
-        // and the baseline, enough to catch an ordering regression.
-        for (const char *shape : {"MP", "SB"}) {
-            SweepItem svc;
-            svc.kind = SweepItem::Litmus;
-            svc.workload = shape;
-            svc.litmusDesign = SvcDesign::Final;
-            svc.litmusFaults = true;
-            svc.litmusIters = 60;
-            svc.config = "svc_Final";
-            svc.id = std::string("litmus/") + shape + "/svc_Final";
-            items.push_back(std::move(svc));
-            SweepItem arb;
-            arb.kind = SweepItem::Litmus;
-            arb.workload = shape;
-            arb.litmusBackend = litmus::Backend::Arb;
-            arb.litmusIters = 60;
-            arb.config = "arb";
-            arb.id = std::string("litmus/") + shape + "/arb";
-            items.push_back(std::move(arb));
-        }
-    } else if (grid == "litmus") {
-        addLitmusGrid(items, 100 * scale, true);
-    } else if (grid == "full") {
-        addIpcGrid(items, "fig19", 32, 8, scale);
-        addIpcGrid(items, "fig20", 64, 16, scale);
-        addFaultGrid(items, 8);
-        addRecoveryGrid(items, scale, 4);
-        addLitmusGrid(items, 100 * scale, true);
-    } else if (grid == "trace") {
-        addTraceGrid(items, stim, scale);
-    } else {
-        fatal("unknown grid '%s' (fig19, fig20, faults, recovery, "
-              "smoke, litmus, full, trace)", grid.c_str());
-    }
-
-    // Outside the trace grid, --workload narrows the sweep to one
-    // stimulus and --seed reseeds the bench rows (fault/recovery
-    // cells keep their own per-cell seed schedule).
-    if (grid != "trace" && !stim.workload.empty()) {
-        std::vector<SweepItem> kept;
-        for (SweepItem &it : items) {
-            if (it.kind == SweepItem::Fault ||
-                it.workload == stim.workload)
-                kept.push_back(std::move(it));
-        }
-        if (kept.empty())
-            fatal("grid '%s' has no items matching --workload '%s'",
-                  grid.c_str(), stim.workload.c_str());
-        items = std::move(kept);
-    }
-    if (stim.seedSet) {
-        for (SweepItem &it : items) {
-            if (it.kind == SweepItem::Bench)
-                it.seed = stim.seed;
-        }
-    }
-    return items;
-}
-
-// ---------------------------------------------------------------
-// Item execution
-// ---------------------------------------------------------------
-
-/** Populate a Final-design protocol, corrupt it, and record whether
- *  the invariant engine flags the corruption (the same cell shape
- *  as the ctest fault matrix, reported instead of asserted). */
-ItemResult
-runFaultItem(const SweepItem &it)
-{
-    ItemResult r;
-    MainMemory mem;
-    SvcConfig cfg;
-    cfg.numPus = 4;
-    cfg.cacheBytes = 512;
-    cfg.assoc = 4;
-    cfg.lineBytes = 16;
-    cfg = makeDesign(SvcDesign::Final, cfg);
-    cfg.versioningBytes = 4;
-    SvcProtocol proto(cfg, mem);
-
-    test::ScriptConfig scfg;
-    scfg.seed = it.seed;
-    scfg.numTasks = 12;
-    scfg.addrRange = 96;
-    const test::TaskScript script = test::generateScript(scfg);
-    test::runSpeculative(script, test::adaptProtocol(proto),
-                         cfg.numPus, it.seed * 31);
-
-    InvariantEngine eng;
-    eng.addChecker(std::make_unique<SvcProtocolChecker>(proto));
-
-    FaultConfig fcfg;
-    fcfg.seed = it.seed * 7919 + 1;
-    FaultInjector inj(fcfg);
-    SvcCorruptor corruptor(proto, inj);
-    const CorruptionResult res = corruptor.corrupt(it.faultKind);
-    r.injected = res.injected;
-    if (res.injected) {
-        eng.runChecks(1);
-        r.detected = !eng.clean();
-        r.findings = static_cast<unsigned>(eng.findings().size());
-    }
-    return r;
-}
-
-/**
- * One recovery cell: a full multiscalar run on the paper's SVC
- * config with the staged RecoveryManager active and a deterministic
- * corruption schedule, reported against a fault-free reference run
- * of the identical workload (the IPC delta is the recovery cost).
- * Success means the recovered run halts, verifies against the
- * interpreter, and ends with the invariant engine clean.
- */
-ItemResult
-runRecoveryItem(const SweepItem &it)
-{
-    ItemResult r;
-    workloads::WorkloadParams wp;
-    wp.scale = it.scale;
-    wp.seed = it.seed;
-    workloads::Workload w = workloads::lookup(it.workload, wp);
-
-    std::uint32_t ref_checksum = 0;
-    {
-        MainMemory mem;
-        auto res =
-            isa::Interpreter::run(w.program, mem, 2'000'000'000);
-        if (!res.halted)
-            fatal("recovery cell: reference interpreter run of "
-                  "'%s' did not halt", w.name.c_str());
-        ref_checksum = mem.readWord(w.checkBase);
-    }
-
-    const SvcConfig svc_cfg = bench::paperSvcConfig(8);
-
-    // Fault-free reference: the denominator of the IPC cost.
-    {
-        MainMemory mem;
-        SvcSystem sys(svc_cfg, mem);
-        w.program.loadInto(mem);
-        Processor cpu(bench::paperCpuConfig(), w.program, sys);
-        const RunStats rs = cpu.run();
-        sys.finalizeMemory();
-        r.refIpc = rs.ipc;
-    }
-
-    // Recovered run.
-    MainMemory mem;
-    SvcSystem sys(svc_cfg, mem);
-    FaultConfig fcfg;
-    fcfg.seed = it.seed * 7919 + 1;
-    FaultInjector inj(fcfg);
-    InvariantEngine eng;
-    sys.attachInvariants(eng);
-    w.program.loadInto(mem);
-    Processor cpu(bench::paperCpuConfig(), w.program, sys);
-    RecoveryConfig rcfg;
-    rcfg.policy = it.policy;
-    RecoveryManager rm(rcfg, cpu, sys, mem, eng, nullptr, 0x5ecu);
-    SvcCorruptor corruptor(sys.protocol(), inj);
-
-    struct Event
-    {
-        Cycle at;
-        bool fired = false;
-    };
-    std::vector<Event> schedule;
-    const Cycle first = 300 + (it.seed % 5) * 137;
-    for (unsigned i = 0; i < it.corruptions; ++i)
-        schedule.push_back({first + i * 400});
-    cpu.setTickHook([&](Cycle at) {
-        for (Event &e : schedule) {
-            if (e.fired || at < e.at)
-                continue;
-            if (corruptor.corrupt(it.faultKind).injected) {
-                e.fired = true;
-                ++r.injectedCount;
-                // Detect before first use (see recovery_test.cc):
-                // once a store dirties the corrupted block, the
-                // damage is indistinguishable from legitimate
-                // speculative data.
-                eng.runChecks(at);
-            }
-            break;
-        }
-        rm.onTick(at);
-    });
-
-    const RunStats rs = cpu.run();
-    sys.finalizeMemory();
-    eng.runFinalChecks();
-
-    r.ipc = rs.ipc;
-    r.episodes = rm.nEpisodes;
-    r.repairs = rm.nLineRepairs;
-    r.replays = rm.nTaskReplays;
-    r.rollbacks = rm.nRollbacks;
-    r.degraded = rm.degraded();
-    r.highestStage = rm.highestStageReached();
-    r.recovered = rs.halted && eng.clean() &&
-                  mem.readWord(w.checkBase) == ref_checksum;
-    return r;
-}
-
-/** One litmus campaign: the iterated engine on the processor rail,
- *  fault mix + recovery on SVC cells, oracle-checked throughout. */
-ItemResult
-runLitmusItem(const SweepItem &it)
-{
-    ItemResult r;
-    const litmus::LitmusTest *test = litmus::findShape(it.workload);
-    if (!test)
-        fatal("litmus item: unknown shape '%s'",
-              it.workload.c_str());
-    litmus::EngineConfig cfg;
-    cfg.backend = it.litmusBackend;
-    cfg.design = it.litmusDesign;
-    cfg.iterations = it.litmusIters;
-    cfg.seed = it.seed;
-    cfg.faultMode = it.litmusFaults ? litmus::FaultMode::Mix
-                                    : litmus::FaultMode::None;
-    r.litmus = litmus::runShape(*test, cfg);
-    return r;
-}
-
-ItemResult
-runItem(const SweepItem &it)
-{
-    ItemResult r;
-    if (it.kind == SweepItem::Fault) {
-        r = runFaultItem(it);
-    } else if (it.kind == SweepItem::Recovery) {
-        r = runRecoveryItem(it);
-    } else if (it.kind == SweepItem::Litmus) {
-        r = runLitmusItem(it);
-    } else {
-        // The unified construction path: every bench item — kernel,
-        // synthetic stream or trace replay — resolves through the
-        // same helper the CLI flags use. Each worker opens its own
-        // stimulus so items stay self-contained.
-        trace_io::StimulusOptions so;
-        so.workload = it.workload;
-        so.traceIn = it.tracePath;
-        so.scale = it.scale;
-        so.seed = it.seed;
-        const auto stim = trace_io::makeStimulus(so, it.workload);
-        bench::RunConfig rc;
-        rc.memKind = it.memKind;
-        rc.mem = it.cfg;
-        r.row = bench::runOn(*stim, rc);
-    }
-    return r;
-}
 
 // ---------------------------------------------------------------
 // Parallel execution with ordered aggregation
@@ -597,7 +79,7 @@ runAll(const std::vector<SweepItem> &items, unsigned jobs)
             if (i >= items.size())
                 return;
             const auto t0 = std::chrono::steady_clock::now();
-            results[i] = runItem(items[i]);
+            results[i] = service::runItem(items[i]);
             results[i].wallSeconds =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)
@@ -617,6 +99,18 @@ runAll(const std::vector<SweepItem> &items, unsigned jobs)
 // Reporting
 // ---------------------------------------------------------------
 
+/** Render every row through the shared library. */
+std::vector<std::string>
+renderRows(const std::vector<SweepItem> &items,
+           const std::vector<ItemResult> &results)
+{
+    std::vector<std::string> rows;
+    rows.reserve(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i)
+        rows.push_back(service::renderRow(items[i], results[i]));
+    return rows;
+}
+
 void
 writeDoc(JsonWriter &w, const Options &opt, unsigned jobs,
          const std::vector<SweepItem> &items,
@@ -633,107 +127,8 @@ writeDoc(JsonWriter &w, const Options &opt, unsigned jobs,
 
     w.key("results");
     w.beginArray();
-    for (std::size_t i = 0; i < items.size(); ++i) {
-        const SweepItem &it = items[i];
-        const ItemResult &r = results[i];
-        w.beginObject();
-        w.member("id", it.id);
-        if (it.kind == SweepItem::Bench) {
-            w.member("kind", "bench");
-            w.member("workload", r.row.workload);
-            w.member("run_kind", r.row.kind);
-            w.member("mem", r.row.memSystem);
-            w.member("config", it.config);
-            w.key("scale");
-            w.value(it.scale);
-            w.key("seed");
-            w.value(it.seed);
-            w.member("ipc", r.row.ipc);
-            w.member("miss_ratio", r.row.missRatio);
-            w.member("bus_utilization", r.row.busUtilization);
-            w.key("instructions");
-            w.value(r.row.instructions);
-            w.key("cycles");
-            w.value(static_cast<std::uint64_t>(r.row.cycles));
-            w.key("violation_squashes");
-            w.value(r.row.violationSquashes);
-            w.key("task_mispredicts");
-            w.value(r.row.taskMispredicts);
-            w.key("ops");
-            w.value(r.row.ops);
-            w.key("load_mismatches");
-            w.value(r.row.loadMismatches);
-            // Fixed-width hex keeps the determinism byte-compare
-            // independent of JSON number formatting.
-            char hash[20];
-            std::snprintf(hash, sizeof(hash), "0x%016llx",
-                          static_cast<unsigned long long>(
-                              r.row.loadValueHash));
-            w.member("load_value_hash", hash);
-            w.member("verified", r.row.verified);
-        } else if (it.kind == SweepItem::Fault) {
-            w.member("kind", "fault");
-            w.member("design", "Final");
-            w.member("fault_kind", faultKindName(it.faultKind));
-            w.key("seed");
-            w.value(it.seed);
-            w.member("injected", r.injected);
-            w.member("detected", r.detected);
-            w.key("findings");
-            w.value(static_cast<std::uint64_t>(r.findings));
-        } else if (it.kind == SweepItem::Litmus) {
-            w.member("kind", "litmus");
-            w.member("shape", it.workload);
-            w.member("cell", it.config);
-            w.member("iterations", r.litmus.iterations);
-            w.member("allowed_outcomes",
-                     static_cast<std::uint64_t>(
-                         r.litmus.allowedSize));
-            w.member("allowed_covered",
-                     static_cast<std::uint64_t>(
-                         r.litmus.allowedCovered));
-            w.member("violations", r.litmus.violationCount);
-            w.member("faults_injected", r.litmus.injected);
-            w.member("recovery_episodes", r.litmus.episodes);
-            w.member("ok", r.litmus.ok);
-            w.key("histogram");
-            w.beginObject();
-            for (const auto &[outcome, count] : r.litmus.histogram)
-                w.member(outcome, count);
-            w.endObject();
-        } else {
-            w.member("kind", "recovery");
-            w.member("workload", it.workload);
-            w.member("policy", recoveryPolicyName(it.policy));
-            w.member("fault_kind", faultKindName(it.faultKind));
-            w.key("scale");
-            w.value(it.scale);
-            w.key("seed");
-            w.value(it.seed);
-            w.key("injected");
-            w.value(r.injectedCount);
-            w.key("episodes");
-            w.value(r.episodes);
-            w.key("line_repairs");
-            w.value(r.repairs);
-            w.key("task_replays");
-            w.value(r.replays);
-            w.key("rollbacks");
-            w.value(r.rollbacks);
-            w.member("degraded", r.degraded);
-            w.key("highest_stage");
-            w.value(static_cast<std::uint64_t>(r.highestStage));
-            w.member("ipc", r.ipc);
-            w.member("ref_ipc", r.refIpc);
-            // Relative IPC cost of recovery vs the fault-free run
-            // of the same workload (0 = free, 1 = total loss).
-            const double cost =
-                r.refIpc > 0.0 ? 1.0 - r.ipc / r.refIpc : 0.0;
-            w.member("ipc_cost", cost);
-            w.member("recovered", r.recovered);
-        }
-        w.endObject();
-    }
+    for (std::size_t i = 0; i < items.size(); ++i)
+        w.rawValue(service::renderRow(items[i], results[i]));
     w.endArray();
 
     if (with_timing) {
@@ -762,16 +157,6 @@ writeDoc(JsonWriter &w, const Options &opt, unsigned jobs,
     w.endObject();
 }
 
-/** @return the deterministic (timing-free) rendering. */
-std::string
-renderResults(const Options &opt, const std::vector<SweepItem> &items,
-              const std::vector<ItemResult> &results)
-{
-    JsonWriter w;
-    writeDoc(w, opt, 0, items, results, false, 0.0);
-    return w.str();
-}
-
 /** Scan for correctness failures; prints one line per failure.
  *  @return the number of failures. */
 unsigned
@@ -780,33 +165,11 @@ countFailures(const std::vector<SweepItem> &items,
 {
     unsigned failures = 0;
     for (std::size_t i = 0; i < items.size(); ++i) {
-        const SweepItem &it = items[i];
-        const ItemResult &r = results[i];
-        if (it.kind == SweepItem::Bench && !r.row.verified) {
-            std::printf("FAIL %s: checksum verification failed\n",
-                        it.id.c_str());
-            ++failures;
-        }
-        if (it.kind == SweepItem::Fault && r.injected &&
-            !r.detected) {
-            std::printf("FAIL %s: corruption went undetected\n",
-                        it.id.c_str());
-            ++failures;
-        }
-        if (it.kind == SweepItem::Recovery && !r.recovered) {
-            std::printf("FAIL %s: run did not recover "
-                        "(episodes=%llu stage=%u)\n",
-                        it.id.c_str(),
-                        static_cast<unsigned long long>(r.episodes),
-                        r.highestStage);
-            ++failures;
-        }
-        if (it.kind == SweepItem::Litmus && !r.litmus.ok) {
-            std::printf("FAIL %s: %llu forbidden outcomes\n%s",
-                        it.id.c_str(),
-                        static_cast<unsigned long long>(
-                            r.litmus.violationCount),
-                        litmus::reportString(r.litmus).c_str());
+        const std::string why =
+            service::rowFailure(items[i], results[i]);
+        if (!why.empty()) {
+            std::printf("FAIL %s: %s\n", items[i].id.c_str(),
+                        why.c_str());
             ++failures;
         }
     }
@@ -820,7 +183,7 @@ runSweep(const Options &opt)
         opt.jobs ? opt.jobs
                  : std::max(1u, std::thread::hardware_concurrency());
     const std::vector<SweepItem> items =
-        buildGrid(opt.grid, opt.scale, opt.stim);
+        service::buildGrid(opt.grid, opt.scale, opt.stim);
 
     std::printf("sweep: grid=%s items=%zu scale=%u jobs=%u\n",
                 opt.grid.c_str(), items.size(), opt.scale, jobs);
@@ -839,8 +202,10 @@ runSweep(const Options &opt)
         // byte for byte.
         const std::vector<ItemResult> serial = runAll(items, 1);
         failures += countFailures(items, serial);
-        const std::string a = renderResults(opt, items, results);
-        const std::string b = renderResults(opt, items, serial);
+        const std::string a = service::renderResultsDoc(
+            opt.grid, opt.scale, renderRows(items, results));
+        const std::string b = service::renderResultsDoc(
+            opt.grid, opt.scale, renderRows(items, serial));
         if (a != b) {
             std::printf("FAIL determinism: %u-thread and 1-thread "
                         "results sections differ\n", jobs);
@@ -898,7 +263,9 @@ usage()
         "  --check-determinism  also run 1-threaded and require "
         "byte-identical results\n"
         "sweep_runner never records traces; use multiscalar_run "
-        "--trace-out.\n");
+        "--trace-out.\n"
+        "For resumable, fault-tolerant campaigns use sweep_service "
+        "(same grids,\nsame result rows, crash-safe journal).\n");
 }
 
 } // namespace

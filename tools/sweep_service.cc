@@ -1,0 +1,495 @@
+/**
+ * @file
+ * sweep_service: the long-lived, fault-tolerant front-end to the
+ * sweep job service (src/service). Where sweep_runner is a batch
+ * CLI — one process, one grid, results or nothing — sweep_service
+ * runs a campaign behind a crash-safe write-ahead job journal:
+ * kill the process at any point, run it again with the same
+ * --journal, and it resumes where it left off without re-running
+ * completed jobs, producing a results document byte-identical to an
+ * uninterrupted run.
+ *
+ * Commands:
+ *   submit   journal the campaign (CAMP + one SUBM per item) and
+ *            exit without running any jobs
+ *   run      submit (or resume) a campaign and drain it, with a
+ *            supervised restart loop around injected/real crashes
+ *   resume   alias for run (reads better in scripts)
+ *   status   replay the journal and print a status summary (JSON)
+ *   bench    measure service throughput (jobs/s at 1/4/8 workers)
+ *            and restart-recovery latency; writes BENCH_PR8.json
+ *
+ * The --chaos flag drives the deterministic service fault injector
+ * (worker-kill, worker-hang, journal-stall, torn-write, restart):
+ * the chaos matrix in CI runs every kind against several seeds and
+ * asserts the aggregated results are byte-identical to the
+ * fault-free reference. Torn-write chaos is dropped after its
+ * crash fires (a tear is a crash event, not a persistent fault —
+ * see service/chaos.hh).
+ *
+ * Exit status: 0 when every job completed with a healthy row;
+ * 1 when any row failed, any job was quarantined, or the restart
+ * budget was exhausted; 2 on usage errors.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+#include "service/service.hh"
+#include "trace_io/stimulus_cli.hh"
+
+namespace svc
+{
+namespace
+{
+
+using service::ServiceConfig;
+using service::ServiceFault;
+using service::SweepService;
+
+struct Options
+{
+    std::string command;
+    ServiceConfig cfg;
+    std::string out = "sweep_results.json";
+    bool outSet = false;
+    unsigned maxRestarts = 16;
+    trace_io::StimulusOptions stim;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: sweep_service COMMAND [options]\n"
+        "commands:\n"
+        "  submit   journal the campaign without running any jobs\n"
+        "  run      submit (or resume) a campaign and drain it\n"
+        "  resume   alias for run\n"
+        "  status   replay the journal, print a JSON status summary\n"
+        "  bench    measure service throughput and restart-recovery "
+        "latency\n"
+        "options:\n"
+        "  --journal FILE        job journal (default "
+        "sweep.journal)\n"
+        "  --grid NAME           sweep grid (default smoke)\n"
+        "  --jobs N              worker threads (default 2)\n"
+        "  --scale N             workload scale (default "
+        "SVC_BENCH_SCALE or 1)\n"
+        "  --workload W          narrow bench grids to one "
+        "workload\n"
+        "  --seed N              synthetic-input seed for bench "
+        "rows\n"
+        "  --trace-in F          trace grid: replay this SVCTRC1 "
+        "file\n"
+        "  --out FILE            results JSON (run: "
+        "sweep_results.json; bench: BENCH_PR8.json)\n"
+        "  --max-attempts N      strikes before quarantine "
+        "(default 3)\n"
+        "  --slice-cycles N      preemption quantum in cycles "
+        "(default 0 = off)\n"
+        "  --deadline-cycles N   per-attempt forward-progress "
+        "deadline (default 0)\n"
+        "  --queue-capacity N    admission bound (default 65536)\n"
+        "  --overload-threshold N  pending jobs above this shed "
+        "the low lane\n"
+        "  --quarantine-prefix P quarantine bundle path prefix "
+        "(default sweep)\n"
+        "  --chaos KIND          none | worker-kill | worker-hang "
+        "| journal-stall\n"
+        "                        | torn-write | restart\n"
+        "  --chaos-seed N        chaos schedule seed (default 1)\n"
+        "  --poison-job N        this job id fails every attempt\n"
+        "  --max-restarts N      restart-loop budget (default "
+        "16)\n");
+}
+
+/** Print one incarnation's counters (one line, grep-friendly). */
+void
+printCounters(const SweepService &s, unsigned incarnation)
+{
+    const auto &c = s.counters();
+    std::printf("service[%u]: restored=%llu requeued=%llu "
+                "started=%llu item_runs=%llu completed=%llu "
+                "retries=%llu preemptions=%llu quarantined=%llu "
+                "shed=%llu rejected=%llu\n",
+                incarnation,
+                static_cast<unsigned long long>(c.restored),
+                static_cast<unsigned long long>(c.requeued),
+                static_cast<unsigned long long>(c.started),
+                static_cast<unsigned long long>(c.itemRuns),
+                static_cast<unsigned long long>(c.completed),
+                static_cast<unsigned long long>(c.retries),
+                static_cast<unsigned long long>(c.preemptions),
+                static_cast<unsigned long long>(c.quarantined),
+                static_cast<unsigned long long>(c.shed),
+                static_cast<unsigned long long>(c.rejected));
+}
+
+int
+writeFile(const std::string &path, const std::string &doc)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open '%s' for writing\n",
+                     path.c_str());
+        return 1;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return 0;
+}
+
+int
+cmdSubmit(const Options &opt)
+{
+    SweepService s(opt.cfg);
+    std::string err;
+    if (!s.start(err)) {
+        std::fprintf(stderr, "sweep_service: %s\n", err.c_str());
+        return 1;
+    }
+    std::printf("%s\n", s.statusJson().c_str());
+    std::printf("submitted campaign to %s (drain with: "
+                "sweep_service run --journal %s)\n",
+                opt.cfg.journalPath.c_str(),
+                opt.cfg.journalPath.c_str());
+    return 0;
+}
+
+int
+cmdStatus(const Options &opt)
+{
+    const service::JournalReplay replay =
+        service::replayJobJournalFile(opt.cfg.journalPath);
+    if (!replay.ok) {
+        std::fprintf(stderr, "sweep_service: %s\n",
+                     replay.error.c_str());
+        return 1;
+    }
+    std::size_t pending = 0, completed = 0, quarantined = 0,
+                shed = 0, failed = 0;
+    for (const auto &job : replay.jobs) {
+        if (job.completed) {
+            ++completed;
+            failed += job.failed;
+        } else if (job.quarantined)
+            ++quarantined;
+        else if (job.shed)
+            ++shed;
+        else
+            ++pending;
+    }
+    JsonWriter w;
+    w.beginObject();
+    w.member("schema", "svc-service-status-v1");
+    w.member("journal", opt.cfg.journalPath);
+    w.member("grid", replay.campaign.grid);
+    w.key("scale");
+    w.value(replay.campaign.scale);
+    w.key("items");
+    w.value(replay.campaign.itemCount);
+    w.key("records");
+    w.value(replay.recordsApplied);
+    w.key("pending");
+    w.value(static_cast<std::uint64_t>(pending));
+    w.key("completed");
+    w.value(static_cast<std::uint64_t>(completed));
+    w.key("failed_rows");
+    w.value(static_cast<std::uint64_t>(failed));
+    w.key("quarantined");
+    w.value(static_cast<std::uint64_t>(quarantined));
+    w.key("shed");
+    w.value(static_cast<std::uint64_t>(shed));
+    w.member("torn", replay.torn);
+    w.member("journal_diagnostic", replay.tornError);
+    w.endObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+}
+
+/**
+ * The supervised restart loop: construct/start/drain until the
+ * campaign is fully terminal, restarting through injected (or
+ * real) crashes. @return the exit status; on success @p rows_out,
+ * when non-null, receives the completed rows.
+ */
+int
+runToCompletion(Options opt, std::vector<std::string> *rows_out,
+                unsigned *restarts_out = nullptr,
+                double *recovery_seconds = nullptr)
+{
+    unsigned restarts = 0;
+    for (unsigned incarnation = 0;; ++incarnation) {
+        const auto t0 = std::chrono::steady_clock::now();
+        SweepService s(opt.cfg);
+        std::string err;
+        if (!s.start(err)) {
+            std::fprintf(stderr, "sweep_service: %s\n",
+                         err.c_str());
+            return 1;
+        }
+        if (incarnation > 0 && recovery_seconds)
+            *recovery_seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+        if (!s.replayDiagnostic().empty())
+            std::printf("service[%u]: journal recovered with torn "
+                        "tail: %s\n",
+                        incarnation, s.replayDiagnostic().c_str());
+        const bool done = s.drain();
+        printCounters(s, incarnation);
+        if (done) {
+            if (restarts_out)
+                *restarts_out = restarts;
+            const unsigned failed = s.failedJobs();
+            const auto quarantined = s.counters().quarantined;
+            if (rows_out)
+                *rows_out = s.completedRows();
+            if (!opt.out.empty()) {
+                const int rc =
+                    writeFile(opt.out, s.resultsDocument());
+                if (rc)
+                    return rc;
+                std::printf("service: wrote %s\n", opt.out.c_str());
+            }
+            std::printf("%s\n", s.statusJson().c_str());
+            return (failed || quarantined) ? 1 : 0;
+        }
+        if (!s.crashed()) {
+            std::fprintf(stderr,
+                         "sweep_service: drain stalled without a "
+                         "crash (bug?)\n%s\n",
+                         s.statusJson().c_str());
+            return 1;
+        }
+        std::printf("service[%u]: crashed: %s\n", incarnation,
+                    s.crashReason().c_str());
+        // A torn write is a crash event, not a persistent fault:
+        // the restarted incarnation runs with that chaos disarmed
+        // (see service/chaos.hh).
+        if (opt.cfg.chaos.kind == ServiceFault::TornWrite)
+            opt.cfg.chaos.kind = ServiceFault::None;
+        if (++restarts > opt.maxRestarts) {
+            std::fprintf(stderr,
+                         "sweep_service: restart budget (%u) "
+                         "exhausted\n", opt.maxRestarts);
+            return 1;
+        }
+    }
+}
+
+int
+cmdRun(const Options &opt)
+{
+    return runToCompletion(opt, nullptr);
+}
+
+/**
+ * Service benchmark: drain the grid at 1/4/8 workers on fresh
+ * journals (jobs/s), then measure restart-recovery latency with
+ * injected restart chaos. Emits a svc-sweep-v1 document whose
+ * results hold the (deterministic) campaign rows plus service
+ * metric rows; bench_compare keys on "ipc", so only the campaign
+ * rows participate in regression checks.
+ */
+int
+cmdBench(Options opt)
+{
+    if (!opt.outSet)
+        opt.out = "BENCH_PR8.json";
+    const std::string journal_base = opt.cfg.journalPath;
+    std::vector<std::string> rows;
+    struct Point
+    {
+        unsigned jobs;
+        double wall = 0.0;
+        std::size_t items = 0;
+    };
+    std::vector<Point> points;
+    for (unsigned jobs : {1u, 4u, 8u}) {
+        Options o = opt;
+        o.cfg.workers = jobs;
+        o.cfg.journalPath =
+            journal_base + ".bench-jobs" + std::to_string(jobs);
+        o.cfg.quarantinePrefix = ""; // no bundles from the bench
+        o.out.clear();               // no per-point documents
+        std::remove(o.cfg.journalPath.c_str());
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<std::string> point_rows;
+        const int rc = runToCompletion(o, &point_rows);
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                t0)
+                                .count();
+        std::remove(o.cfg.journalPath.c_str());
+        if (rc)
+            return rc;
+        points.push_back({jobs, wall, point_rows.size()});
+        rows = std::move(point_rows); // identical at any --jobs
+    }
+
+    // Restart-recovery latency: crash mid-campaign (injected
+    // restart), then time the resume incarnation's start() — the
+    // journal replay + grid re-expansion + re-queue path.
+    double recovery = 0.0;
+    unsigned restarts = 0;
+    {
+        Options o = opt;
+        o.cfg.journalPath = journal_base + ".bench-recovery";
+        o.cfg.quarantinePrefix = "";
+        o.cfg.chaos.kind = ServiceFault::Restart;
+        o.cfg.chaos.seed = 1;
+        o.out.clear();
+        std::remove(o.cfg.journalPath.c_str());
+        const int rc =
+            runToCompletion(o, nullptr, &restarts, &recovery);
+        std::remove(o.cfg.journalPath.c_str());
+        if (rc)
+            return rc;
+    }
+
+    JsonWriter w;
+    w.beginObject();
+    w.member("schema", "svc-sweep-v1");
+    w.member("grid", opt.cfg.grid);
+    w.key("scale");
+    w.value(opt.cfg.scale);
+    w.key("items");
+    w.value(static_cast<std::uint64_t>(rows.size()));
+    w.key("results");
+    w.beginArray();
+    for (const std::string &row : rows)
+        w.rawValue(row);
+    for (const Point &p : points) {
+        w.beginObject();
+        w.member("id", "service/throughput/jobs" +
+                           std::to_string(p.jobs));
+        w.member("kind", "service");
+        w.key("jobs");
+        w.value(p.jobs);
+        w.key("campaign_items");
+        w.value(static_cast<std::uint64_t>(p.items));
+        w.member("wall_seconds", p.wall);
+        w.member("jobs_per_second",
+                 p.wall > 0.0 ? static_cast<double>(p.items) / p.wall
+                              : 0.0);
+        w.endObject();
+    }
+    w.beginObject();
+    w.member("id", "service/restart_recovery");
+    w.member("kind", "service");
+    w.key("restarts");
+    w.value(restarts);
+    w.member("recovery_seconds", recovery);
+    w.endObject();
+    w.endArray();
+    w.endObject();
+
+    const int rc = writeFile(opt.out, w.str());
+    if (!rc)
+        std::printf("bench: wrote %s\n", opt.out.c_str());
+    return rc;
+}
+
+} // namespace
+} // namespace svc
+
+int
+main(int argc, char **argv)
+{
+    svc::Options opt;
+    if (argc < 2) {
+        svc::usage();
+        return 2;
+    }
+    opt.command = argv[1];
+    if (opt.command == "--help" || opt.command == "-h") {
+        svc::usage();
+        return 0;
+    }
+    for (int i = 2; i < argc; ++i) {
+        if (svc::trace_io::parseStimulusFlag(argc, argv, i,
+                                             opt.stim))
+            continue;
+        const std::string arg = argv[i];
+        auto next_arg = [&]() -> const char * {
+            if (i + 1 >= argc)
+                svc::fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        auto next_u64 = [&]() {
+            return std::strtoull(next_arg(), nullptr, 10);
+        };
+        if (arg == "--journal") {
+            opt.cfg.journalPath = next_arg();
+        } else if (arg == "--grid") {
+            opt.cfg.grid = next_arg();
+        } else if (arg == "--jobs") {
+            opt.cfg.workers = static_cast<unsigned>(next_u64());
+        } else if (arg == "--out") {
+            opt.out = next_arg();
+            opt.outSet = true;
+        } else if (arg == "--max-attempts") {
+            opt.cfg.maxAttempts = static_cast<unsigned>(next_u64());
+        } else if (arg == "--slice-cycles") {
+            opt.cfg.sliceCycles = next_u64();
+        } else if (arg == "--deadline-cycles") {
+            opt.cfg.deadlineCycles = next_u64();
+        } else if (arg == "--queue-capacity") {
+            opt.cfg.queueCapacity =
+                static_cast<std::size_t>(next_u64());
+        } else if (arg == "--overload-threshold") {
+            opt.cfg.overloadThreshold =
+                static_cast<std::size_t>(next_u64());
+        } else if (arg == "--quarantine-prefix") {
+            opt.cfg.quarantinePrefix = next_arg();
+        } else if (arg == "--chaos") {
+            bool ok = false;
+            opt.cfg.chaos.kind =
+                svc::service::serviceFaultFromName(next_arg(), ok);
+            if (!ok) {
+                std::fprintf(stderr, "unknown chaos kind\n");
+                return 2;
+            }
+        } else if (arg == "--chaos-seed") {
+            opt.cfg.chaos.seed = next_u64();
+        } else if (arg == "--poison-job") {
+            opt.cfg.chaos.poisonJobId = next_u64();
+        } else if (arg == "--max-restarts") {
+            opt.maxRestarts = static_cast<unsigned>(next_u64());
+        } else {
+            svc::usage();
+            return 2;
+        }
+    }
+    if (!opt.stim.traceOut.empty()) {
+        std::fprintf(stderr, "sweep_service does not record "
+                             "traces; use multiscalar_run "
+                             "--trace-out\n");
+        return 2;
+    }
+    opt.cfg.scale = opt.stim.scaleSet ? opt.stim.scale
+                                      : svc::bench::benchScale(1);
+    opt.cfg.stim = opt.stim;
+
+    if (opt.command == "submit")
+        return svc::cmdSubmit(opt);
+    if (opt.command == "run" || opt.command == "resume")
+        return svc::cmdRun(opt);
+    if (opt.command == "status")
+        return svc::cmdStatus(opt);
+    if (opt.command == "bench")
+        return svc::cmdBench(opt);
+    svc::usage();
+    return 2;
+}
