@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/log.hh"
 #include "common/snapshot.hh"
@@ -74,8 +75,37 @@ paperCpuConfig()
 {
     MultiscalarConfig cfg; // defaults already match section 4.2
     cfg.maxCycles = 200'000'000;
+    if (const char *env = std::getenv("SVC_KERNEL")) {
+        if (std::strcmp(env, "ticked") == 0)
+            cfg.eventDriven = false;
+        else if (std::strcmp(env, "event") == 0)
+            cfg.eventDriven = true;
+        else
+            fatal("invalid SVC_KERNEL '%s': expected 'ticked' or "
+                  "'event'", env);
+    }
     return cfg;
 }
+
+namespace
+{
+
+/** paperCpuConfig() with the RunConfig's kernel pin applied. */
+MultiscalarConfig
+cpuConfigFor(const RunConfig &rc)
+{
+    MultiscalarConfig cfg = paperCpuConfig();
+    if (rc.kernel == "ticked")
+        cfg.eventDriven = false;
+    else if (rc.kernel == "event")
+        cfg.eventDriven = true;
+    else if (!rc.kernel.empty())
+        fatal("invalid RunConfig kernel '%s': expected '', 'ticked' "
+              "or 'event'", rc.kernel.c_str());
+    return cfg;
+}
+
+} // namespace
 
 RunConfig
 svcRun(const SvcConfig &svc_cfg)
@@ -194,7 +224,7 @@ runProgram(const workloads::StimulusSource &stim,
     stim.loadInitialImage(mem);
     if (rec)
         rec->captureInitialImage(mem);
-    Processor cpu(paperCpuConfig(), *stim.program(), *sys);
+    Processor cpu(cpuConfigFor(rc), *stim.program(), *sys);
     RunStats rs = cpu.run();
     sys->finalizeMemory();
 
@@ -323,7 +353,7 @@ runProgramSliced(const workloads::StimulusSource &stim,
     std::unique_ptr<SpecMem> sys =
         makeSpecMem(rc.memKind, rc.mem, mem, rc.sink);
     stim.loadInitialImage(mem);
-    const MultiscalarConfig cpu_cfg = paperCpuConfig();
+    const MultiscalarConfig cpu_cfg = cpuConfigFor(rc);
     Processor cpu(cpu_cfg, *stim.program(), *sys);
 
     // Identity of the saving/restoring run: the cpu config, the
@@ -400,6 +430,22 @@ runProgramSliced(const workloads::StimulusSource &stim,
                      err.c_str());
             }
             sliceEnd = cpu.now() + budget.sliceCycles;
+        }
+        if (cpu_cfg.eventDriven && !cpu.done()) {
+            // Event kernel: jump to the next due wake, capped at the
+            // slice and deadline boundaries so preemption points and
+            // timeout decisions land on exactly the cycles the
+            // ticked kernel would pick.
+            Cycle wake = std::min(cpu.nextWakeCycle(),
+                                  cpu_cfg.maxCycles);
+            if (sliceEnd)
+                wake = std::min(wake, sliceEnd);
+            if (budget.deadlineCycles) {
+                wake = std::min(wake, lastProgressAt +
+                                          budget.deadlineCycles);
+            }
+            if (wake > cpu.now() + 1)
+                cpu.skipIdleUntil(wake - 1);
         }
     }
 

@@ -72,6 +72,15 @@ struct RunConfig
     std::uint64_t replaySeed = 7;
     /** When set, record committed traffic to this SVCTRC1 file. */
     std::string recordPath;
+    /**
+     * Simulation kernel for program runs: "" follows the default
+     * (event-driven, overridable via SVC_KERNEL=ticked|event);
+     * "ticked" / "event" pin the kernel for this run. Both kernels
+     * produce byte-identical stats, traces and checkpoints — this
+     * knob exists for the lockstep differential rail and the
+     * ticked-vs-event throughput benchmarks.
+     */
+    std::string kernel;
 };
 
 /** @return SVC_BENCH_SCALE or @p def. */

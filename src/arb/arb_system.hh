@@ -120,6 +120,15 @@ class ArbSystem : public SpecMem
 
     bool busyWithRequests() const override { return inFlight > 0; }
 
+    /** All timed work lives in the event queue. */
+    Cycle
+    nextWakeCycle() const override
+    {
+        return events.nextEventCycle();
+    }
+
+    void skipCycles(Cycle n) override { currentCycle += n; }
+
     StatSet
     stats() const override
     {

@@ -47,6 +47,14 @@ inline constexpr TaskSeq kNoTask = std::numeric_limits<TaskSeq>::max();
 /** Sentinel for an invalid address. */
 inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
 
+/**
+ * Wake-scheduling sentinel: "this component never needs another
+ * tick" (no pending work, no armed timer). The event-driven driver
+ * takes the minimum over all components' next-wake cycles, so the
+ * max value is the identity element.
+ */
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
 /** Number of bytes in a MiniISA word. */
 inline constexpr unsigned kWordBytes = 4;
 

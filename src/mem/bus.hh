@@ -20,6 +20,7 @@
 #ifndef SVC_MEM_BUS_HH
 #define SVC_MEM_BUS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -157,6 +158,30 @@ class SnoopingBus
 
     /** @return true if a transaction is in flight at cycle @p now. */
     bool busy(Cycle now) const { return now < busyUntil; }
+
+    /** First cycle at which the bus is (or becomes) free. */
+    Cycle freeAt() const { return busyUntil; }
+
+    /**
+     * Earliest cycle > @p now at which tick() could do real work:
+     * grant a queued request once the bus frees up, or promote a
+     * matured NACK backoff (promotion emits bus_retry trace events
+     * and counts nRetries, so it must happen on its exact cycle).
+     * kNeverCycle when neither queue holds anything.
+     */
+    Cycle
+    nextWakeCycle(Cycle now) const
+    {
+        Cycle wake = kNeverCycle;
+        if (!queue.empty())
+            wake = std::min(wake, std::max(now + 1, busyUntil));
+        for (const DeferredRequest &d : deferred)
+            wake = std::min(wake, std::max(now + 1, d.readyAt));
+        return wake;
+    }
+
+    /** Account for @p n elided ticks (observed-cycle counter). */
+    void skipCycles(Cycle n) { observedCycles += n; }
 
     /** @return number of requests waiting for the bus, including
      *  NACKed requests sitting out their backoff. */

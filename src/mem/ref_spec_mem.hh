@@ -82,6 +82,15 @@ class RefSpecMem : public SpecMem
     StatSet stats() const override;
     const char *name() const override { return "perfect"; }
 
+    /** All timed work lives in the event queue. */
+    Cycle
+    nextWakeCycle() const override
+    {
+        return events.nextEventCycle();
+    }
+
+    void skipCycles(Cycle n) override { currentCycle += n; }
+
     bool
     checkpointQuiescent() const override
     {

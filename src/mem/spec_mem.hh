@@ -109,6 +109,29 @@ class SpecMem
      */
     virtual double missRatio() const { return 0.0; }
 
+    // ---- Wake scheduling (event-driven kernel) ----
+
+    /**
+     * Earliest future cycle at which tick() could change any
+     * observable state (including statistics other than the pure
+     * cycle counters that skipCycles() advances). The driver may
+     * elide every tick strictly before that cycle, replacing them
+     * with one skipCycles() call. A conservative (too early) answer
+     * costs only a no-op tick; a late answer is a lost-wakeup bug.
+     *
+     * The default of 0 means "always due": a system that does not
+     * implement wake scheduling is simply never skipped.
+     */
+    virtual Cycle nextWakeCycle() const { return 0; }
+
+    /**
+     * Account for @p n elided ticks: advance the internal clock and
+     * any per-cycle counters exactly as @p n quiescent ticks would
+     * have. Only called for spans tick() provably would not touch
+     * (see nextWakeCycle()).
+     */
+    virtual void skipCycles(Cycle n) { (void)n; }
+
     // ---- Checkpoint hooks (defaulted: a system that does not
     //      implement them is simply never checkpointable) ----
 

@@ -91,6 +91,15 @@ struct MultiscalarConfig
      * bundles are index-suffixed by the CLI).
      */
     unsigned watchdogMaxTrips = 1;
+    /**
+     * Event-driven simulation kernel: run() jumps the clock from
+     * one due wake cycle to the next instead of ticking every unit
+     * through quiescent cycles. Cycle-visible semantics (stats,
+     * traces, checkpoints) are identical to the ticked kernel —
+     * only wall-clock speed differs. Excluded from the checkpoint
+     * config hash so images are interchangeable between modes.
+     */
+    bool eventDriven = true;
 };
 
 } // namespace svc

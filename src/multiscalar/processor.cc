@@ -26,9 +26,15 @@ Processor::Processor(const MultiscalarConfig &config,
     for (unsigned i = 0; i < cfg.numPus; ++i) {
         pus.push_back(std::make_unique<Pu>(i, cfg.pu, prog,
                                            icaches[i], ring, mem));
+        if (cfg.eventDriven)
+            pus.back()->enableTickElision();
     }
     mem.setViolationHandler([this](PuId pu) {
         pendingViolations.push_back(pu);
+    });
+    ring.setWakeObserver([this](PuId pu) {
+        if (pu < pus.size())
+            pus[pu]->invalidateWake();
     });
     nextEntry = prog.entry;
     predictor.notePath(prog.entry);
@@ -224,10 +230,35 @@ void
 Processor::tick()
 {
     ++currentCycle;
-    for (auto &pu : pus)
-        pu->tick(currentCycle);
-    mem.tick();
-    ring.tick();
+    if (cfg.eventDriven) {
+        // Per-component tick elision: run only the components whose
+        // wake is due; charge the rest one quiescent cycle. Sound
+        // because each component's wake covers every way its tick
+        // could change observable state, and because the elision
+        // does not alter which cycle numbers execute — so ticked and
+        // event kernels see identical per-cycle semantics. The
+        // memory and ring wakes are evaluated after the PU ticks:
+        // a same-cycle issue or release must make them due.
+        for (auto &pu : pus) {
+            if (pu->tickDue(currentCycle))
+                pu->tick(currentCycle);
+            else
+                pu->skipCycles(currentCycle - 1, 1);
+        }
+        if (mem.nextWakeCycle() <= currentCycle)
+            mem.tick();
+        else
+            mem.skipCycles(1);
+        if (ring.nextWakeCycle() <= currentCycle)
+            ring.tick();
+        else
+            ring.skipCycles(1);
+    } else {
+        for (auto &pu : pus)
+            pu->tick(currentCycle);
+        mem.tick();
+        ring.tick();
+    }
     // Memory-dependence violations detected this cycle (deferred to
     // avoid re-entering a PU mid-tick).
     while (!pendingViolations.empty()) {
@@ -237,6 +268,69 @@ Processor::tick()
     }
     resolveAndCommit();
     assignTasks();
+}
+
+Cycle
+Processor::nextWakeCycle() const
+{
+    Cycle wake = mem.nextWakeCycle();
+    wake = std::min(wake, ring.nextWakeCycle());
+    for (const auto &pu : pus) {
+        wake = std::min(wake, pu->cachedWakeAt(currentCycle));
+        if (wake <= currentCycle + 1)
+            return currentCycle + 1;
+    }
+    // Violations are normally drained within the tick that raised
+    // them; a non-empty queue here is defensive.
+    if (!pendingViolations.empty())
+        return currentCycle + 1;
+    // Sequencer work pending at the next tick: an unresolved
+    // finished task (resolve/mispredict), or a resolved finished
+    // head (commit — possibly gate-deferred and retried per cycle).
+    for (const ActiveTask &t : active) {
+        if (pus[t.pu]->finished() && !t.resolved)
+            return currentCycle + 1;
+    }
+    if (!active.empty()) {
+        const ActiveTask &head = active.front();
+        if (pus[head.pu]->finished() && head.resolved)
+            return currentCycle + 1;
+    }
+    // Task assignment: possible except for the dispatch throttle.
+    // Every other gating condition (idle PU, known next entry) only
+    // changes inside executed ticks, which re-evaluate the wake.
+    if (!finished && !assignPaused && nextEntry != kNoAddr &&
+        (!serialized || active.empty())) {
+        const PuId pu = active.empty()
+                            ? PuId{0}
+                            : (active.back().pu + 1) % cfg.numPus;
+        if (pus[pu]->idle()) {
+            wake = std::min(wake,
+                            std::max(currentCycle + 1, nextAssignAt));
+        }
+    }
+    return wake;
+}
+
+Cycle
+Processor::eventWakeCycle() const
+{
+    Cycle wake = nextWakeCycle();
+    wake = std::min(wake, watchdogDueCycle());
+    return std::min(wake, cfg.maxCycles);
+}
+
+void
+Processor::skipIdleUntil(Cycle target)
+{
+    if (target <= currentCycle)
+        return;
+    const Cycle n = target - currentCycle;
+    for (auto &pu : pus)
+        pu->skipCycles(currentCycle, n);
+    mem.skipCycles(n);
+    ring.skipCycles(n);
+    currentCycle = target;
 }
 
 RunStats
@@ -251,6 +345,9 @@ Processor::run()
     wdLastCheckCycle = currentCycle;
     wdLastCommitted = nCommittedTasks;
     wdTrips = 0;
+    // The per-cycle tick hook (periodic checkpointing) observes
+    // every cycle number, so its presence pins the ticked kernel.
+    const bool jump = cfg.eventDriven && !tickHook;
     while (!finished && currentCycle < cfg.maxCycles) {
         tick();
         if (tickHook)
@@ -275,6 +372,15 @@ Processor::run()
             }
             wdLastCommitted = nCommittedTasks;
             wdLastCheckCycle = currentCycle;
+        }
+        if (jump && !finished) {
+            // Jump to the next due wake, capped so the watchdog
+            // check above still fires at exactly the cycle the
+            // ticked kernel would run it, and so the run still ends
+            // at maxCycles with identical idle accounting.
+            const Cycle wake = eventWakeCycle();
+            if (wake > currentCycle + 1)
+                skipIdleUntil(wake - 1);
         }
     }
 

@@ -76,6 +76,46 @@ class Processor
     /** Advance a single cycle (fine-grained test control). */
     void tick();
 
+    /**
+     * Earliest cycle at which the next tick() could change any
+     * state anywhere in the system (sequencer, PUs, ring, memory).
+     * kNeverCycle when nothing is pending (then only maxCycles or
+     * the watchdog end the run). Drives the event kernel: every
+     * tick strictly before the wake cycle is provably a no-op.
+     */
+    Cycle nextWakeCycle() const;
+
+    /**
+     * The run() loop's effective wake: nextWakeCycle() capped at
+     * the next due forward-progress watchdog check and at
+     * maxCycles, so elision never skips past either. Exposed so
+     * the lost-wakeup invariant checker can compare the claimed
+     * wake against watchdogDueCycle() on live runs.
+     */
+    Cycle eventWakeCycle() const;
+
+    /**
+     * Cycle of the next forward-progress watchdog check
+     * (kNeverCycle when the watchdog is disabled). The event
+     * kernel must execute a tick no later than this.
+     */
+    Cycle
+    watchdogDueCycle() const
+    {
+        return cfg.watchdogInterval == 0
+                   ? kNeverCycle
+                   : wdLastCheckCycle + cfg.watchdogInterval;
+    }
+
+    /**
+     * Elide the no-op ticks between now() and @p target (inclusive):
+     * advance every component's clock and per-cycle counters exactly
+     * as that many quiescent ticks would have, without doing the
+     * work. Requires target < nextWakeCycle(); the caller then
+     * tick()s, landing the next executed cycle on target + 1.
+     */
+    void skipIdleUntil(Cycle target);
+
     /** @return true once the halt task has committed. */
     bool done() const { return finished; }
 

@@ -1,5 +1,6 @@
 #include "multiscalar/pu.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include <cstdio>
@@ -36,6 +37,7 @@ Pu::startTask(TaskSeq task_seq, Addr entry)
     fetchReadyAt = 0;
     rob.clear();
     ++epoch;
+    invalidateWake();
 }
 
 void
@@ -46,6 +48,7 @@ Pu::squash()
     taskDone = false;
     seq = kNoTask;
     ++epoch;
+    invalidateWake();
 }
 
 bool
@@ -119,10 +122,15 @@ Pu::endTask(Addr next, bool halted)
 void
 Pu::doComplete(Cycle now)
 {
+    Cycle wake = kNeverCycle;
     for (std::size_t i = 0; i < rob.size(); ++i) {
         RobEntry &e = rob[i];
-        if (e.state != EState::Executing || e.readyAt > now)
+        if (e.state != EState::Executing)
             continue;
+        if (e.readyAt > now) {
+            wake = std::min(wake, e.readyAt);
+            continue;
+        }
         const bool is_mem = e.inst.cls == InstClass::Load ||
                             e.inst.cls == InstClass::Store;
         if (is_mem) {
@@ -131,6 +139,7 @@ Pu::doComplete(Cycle now)
         }
         e.state = EState::Done;
     }
+    phaseCompleteWake = wake;
 }
 
 void
@@ -146,6 +155,12 @@ Pu::doIssue(Cycle now)
     unsigned issued = 0;
     unsigned simple_used = 0, complex_used = 0, fp_used = 0,
              branch_used = 0, addr_used = 0;
+    // Phase wake: a port- or width-starved entry may be ready, so
+    // the phase must retry next cycle; entries whose operands are
+    // not ready become issueable only through events the wake-cache
+    // invalidation hooks already cover.
+    Cycle issue_wake = kNeverCycle;
+    bool resolved_ctrl = false;
 
     for (std::size_t i = 0;
          i < rob.size() && issued < cfg.issueWidth; ++i) {
@@ -157,30 +172,40 @@ Pu::doIssue(Cycle now)
         Cycle latency = 1;
         switch (e.inst.cls) {
           case InstClass::IntSimple:
-            if (simple_used >= cfg.simpleIntFus)
+            if (simple_used >= cfg.simpleIntFus) {
+                issue_wake = now + 1;
                 continue;
+            }
             break;
           case InstClass::IntComplex:
-            if (complex_used >= cfg.complexIntFus)
+            if (complex_used >= cfg.complexIntFus) {
+                issue_wake = now + 1;
                 continue;
+            }
             latency = e.inst.op == Opcode::MUL ? cfg.mulLatency
                                                : cfg.divLatency;
             break;
           case InstClass::Float:
-            if (fp_used >= cfg.fpFus)
+            if (fp_used >= cfg.fpFus) {
+                issue_wake = now + 1;
                 continue;
+            }
             latency = e.inst.op == Opcode::FDIV ? cfg.fpDivLatency
                                                 : cfg.fpLatency;
             break;
           case InstClass::Branch:
           case InstClass::Jump:
-            if (branch_used >= cfg.branchFus)
+            if (branch_used >= cfg.branchFus) {
+                issue_wake = now + 1;
                 continue;
+            }
             break;
           case InstClass::Load:
           case InstClass::Store:
-            if (addr_used >= cfg.addrFus)
+            if (addr_used >= cfg.addrFus) {
+                issue_wake = now + 1;
                 continue;
+            }
             break;
           case InstClass::Nop:
           case InstClass::Halt:
@@ -200,6 +225,7 @@ Pu::doIssue(Cycle now)
         ++issued;
         e.readyAt = now + latency;
         e.state = EState::Executing;
+        phaseCompleteWake = std::min(phaseCompleteWake, e.readyAt);
         switch (e.inst.cls) {
           case InstClass::Nop:
           case InstClass::Halt:
@@ -255,6 +281,7 @@ Pu::doIssue(Cycle now)
         // flush the wrong-path entries and redirect.
         if (e.isCtrl) {
             e.ctrlResolved = true;
+            resolved_ctrl = true;
             if (e.nextPc != e.assumedNext) {
                 if (e.inst.cls == InstClass::Branch ||
                     e.inst.op == Opcode::JALR) {
@@ -268,16 +295,28 @@ Pu::doIssue(Cycle now)
                     fetchStopped = false;
                     fetchReadyAt = now + 1;
                 }
+                issue_wake = now + 1; // unscanned entries remain
                 break; // ROB iterators past i are gone
             }
         }
     }
+    if (issued >= cfg.issueWidth)
+        issue_wake = now + 1; // width-capped: more may be ready
+    phaseIssueWake = issue_wake;
+    // A just-resolved branch may have been the only thing holding
+    // back an older store's memory issue (doMemIssue ran earlier
+    // this tick and concluded "blocked").
+    if (resolved_ctrl)
+        phaseMemWake = now + 1;
 }
 
 void
 Pu::doMemIssue(Cycle now)
 {
-    (void)now;
+    // No attempt due: progress resumes through doComplete (address
+    // generation), doIssue (control resolution) or a memory
+    // completion — each re-arms this wake.
+    phaseMemWake = kNeverCycle;
     // Strict program order among memory operations: find the oldest
     // memory entry that has not been sent; it may go only if it has
     // finished address generation.
@@ -327,6 +366,7 @@ Pu::doMemIssue(Cycle now)
             req, [this, want_id, want_epoch, op](std::uint64_t v) {
                 if (epoch != want_epoch)
                     return;
+                invalidateWake();
                 for (auto &entry : rob) {
                     if (entry.id != want_id)
                         continue;
@@ -350,6 +390,9 @@ Pu::doMemIssue(Cycle now)
             });
         if (ok)
             e.state = EState::MemIssued;
+        // An attempt happened: a NACK retries next cycle, a success
+        // may unblock the next memory op behind it.
+        phaseMemWake = now + 1;
         return; // one memory issue per cycle (one address unit)
     }
 }
@@ -410,19 +453,170 @@ Pu::doFetch(Cycle now)
     }
 }
 
+Cycle
+Pu::nextWakeCycle(Cycle now) const
+{
+    if (!busy || taskDone)
+        return kNeverCycle;
+    Cycle wake = kNeverCycle;
+
+    // Fetch: runs as soon as the I-cache stall clears, provided the
+    // ROB has room (a full ROB reopens only via retire, which the
+    // head-Done term below wakes for). Reaching the fetch stage at
+    // all can mutate state (task-boundary stop, I-cache LRU), so
+    // wake whenever it would run, not only when it would insert.
+    if (!fetchStopped && rob.size() < cfg.robEntries) {
+        if (fetchReadyAt <= now + 1)
+            return now + 1; // fetching flat out: no skip possible
+        wake = std::min(wake, fetchReadyAt);
+    }
+
+    bool mem_order_open = true; // no older unsent mem op seen yet
+    for (std::size_t i = 0; i < rob.size(); ++i) {
+        const RobEntry &e = rob[i];
+        if (i == 0 && e.state == EState::Done)
+            return now + 1; // head retires next tick
+        switch (e.state) {
+          case EState::Executing:
+            if (e.readyAt <= now + 1)
+                return now + 1;
+            wake = std::min(wake, e.readyAt);
+            break;
+          case EState::WaitOps: {
+            // Issueable once every operand reads (conservatively
+            // ignoring FU-port contention: a port-starved wake is a
+            // no-op tick, never a lost one).
+            std::uint32_t v = 0;
+            const bool ready =
+                (!e.inst.readsRs1() || readReg(e.inst.rs1, i, v)) &&
+                (!e.inst.readsRs2() || readReg(e.inst.rs2, i, v)) &&
+                (!e.inst.readsRdAsSource() ||
+                 readReg(e.inst.rd, i, v));
+            if (ready)
+                return now + 1;
+            break;
+          }
+          case EState::WaitMem:
+            // Mirror doMemIssue: the oldest unsent memory op
+            // attempts to issue unless an older in-flight access
+            // overlaps it or (stores) older control is unresolved —
+            // blockers whose own wake terms cover the stall.
+            if (mem_order_open) {
+                bool blocked = false;
+                const Addr lo = e.effAddr;
+                const Addr hi =
+                    e.effAddr + isa::memAccessSize(e.inst.op);
+                for (std::size_t j = 0; j < i && !blocked; ++j) {
+                    const RobEntry &o = rob[j];
+                    if (o.state != EState::MemIssued)
+                        continue;
+                    const Addr olo = o.effAddr;
+                    const Addr ohi =
+                        o.effAddr + isa::memAccessSize(o.inst.op);
+                    blocked = lo < ohi && olo < hi;
+                }
+                if (!blocked && e.inst.cls == InstClass::Store) {
+                    for (std::size_t j = 0; j < i && !blocked; ++j)
+                        blocked = rob[j].isCtrl &&
+                                  !rob[j].ctrlResolved;
+                }
+                if (!blocked)
+                    return now + 1; // issue attempt (or retry)
+            }
+            break;
+          case EState::MemIssued:
+          case EState::Done:
+            // Completion arrives through the memory system's own
+            // wake cycle; a non-head Done entry acts only through
+            // the WaitOps operand checks above.
+            break;
+        }
+        const bool is_mem = e.inst.cls == InstClass::Load ||
+                            e.inst.cls == InstClass::Store;
+        if (is_mem && e.state != EState::MemIssued &&
+            e.state != EState::Done) {
+            mem_order_open = false; // doMemIssue stops at this entry
+        }
+    }
+    return wake;
+}
+
 void
-Pu::tick(Cycle now)
+Pu::skipCycles(Cycle from, Cycle n)
 {
     if (!busy || taskDone)
         return;
-    ++busyCycles;
-    doRetire(now);
-    if (taskDone)
+    busyCycles += n;
+    // doFetch counts a stall cycle whenever fetch is live and the
+    // I-cache refill is still pending — before the ROB-full check,
+    // so ROB occupancy is irrelevant here. Skipped cycles run
+    // from+1 .. from+n; those strictly below fetchReadyAt stall.
+    if (!fetchStopped && fetchReadyAt > from + 1) {
+        fetchStallCycles +=
+            std::min<Cycle>(n, fetchReadyAt - (from + 1));
+    }
+}
+
+void
+Pu::tick(Cycle now)
+{
+    wakeCacheValid = false;
+    if (!busy || taskDone)
         return;
-    doComplete(now);
-    doMemIssue(now);
-    doIssue(now);
+    ++busyCycles;
+    if (!phaseElision) {
+        doRetire(now);
+        if (taskDone)
+            return;
+        doComplete(now);
+        doMemIssue(now);
+        doIssue(now);
+        doFetch(now);
+        return;
+    }
+
+    // Phase-level elision (event kernel): each pipeline phase runs
+    // only when the wake its previous run recorded says it could do
+    // work. A completion this tick can enable a memory attempt or
+    // an issue in the same tick (the ticked phase order), so it
+    // forces both later phases; after an external invalidation one
+    // full tick re-primes every phase wake. Skipped phases are
+    // provably no-ops, so the observable per-cycle semantics are
+    // identical to the ticked kernel's.
+    const bool all = !phaseWakesValid;
+    doRetire(now);
+    if (taskDone) {
+        // The sequencer's resolve/commit terms take over from here.
+        phaseWakesValid = false;
+        wakeCache = kNeverCycle;
+        wakeCacheValid = true;
+        return;
+    }
+    bool completed = false;
+    if (all || phaseCompleteWake <= now) {
+        doComplete(now);
+        completed = true;
+    }
+    if (all || completed || phaseMemWake <= now)
+        doMemIssue(now);
+    if (all || completed || phaseIssueWake <= now)
+        doIssue(now);
+    const std::size_t robBefore = rob.size();
     doFetch(now);
+    if (rob.size() != robBefore)
+        phaseIssueWake = now + 1; // fresh entries: readiness unknown
+
+    Cycle w = kNeverCycle;
+    if (!rob.empty() && rob.front().state == EState::Done)
+        w = now + 1; // head retires next tick
+    w = std::min(w, phaseCompleteWake);
+    w = std::min(w, phaseMemWake);
+    w = std::min(w, phaseIssueWake);
+    if (!fetchStopped && rob.size() < cfg.robEntries)
+        w = std::min(w, std::max(fetchReadyAt, now + 1));
+    wakeCache = w;
+    wakeCacheValid = true;
+    phaseWakesValid = true;
 }
 
 void
@@ -550,6 +744,7 @@ Pu::restoreState(SnapshotReader &r)
         e.inst = isa::decode(prog.fetch(e.pc));
         rob.push_back(e);
     }
+    invalidateWake();
     return r.ok();
 }
 

@@ -53,10 +53,66 @@ class Pu
         busy = false;
         taskDone = false;
         seq = kNoTask;
+        wakeCacheValid = false;
     }
 
     /** Advance one cycle. */
     void tick(Cycle now);
+
+    /**
+     * Earliest cycle > @p now at which tick() could change pipeline
+     * state: a retirable head, an FU completing, a memory issue
+     * attempt, an issueable instruction, or fetch resuming.
+     * kNeverCycle while idle or waiting solely on external events
+     * (memory completions, ring deliveries) — those re-arm the
+     * driver through their own components' wake cycles.
+     */
+    Cycle nextWakeCycle(Cycle now) const;
+
+    /**
+     * Account for @p n ticks elided after cycle @p from: busy and
+     * fetch-stall counters advance exactly as @p n quiescent ticks
+     * from @p from+1 onward would have.
+     */
+    void skipCycles(Cycle from, Cycle n);
+
+    /**
+     * nextWakeCycle() memoized against pipeline mutation: the cached
+     * wake stays valid until this PU ticks or an external event
+     * (memory completion, ring delivery, task assignment/squash/
+     * commit, checkpoint restore) invalidates it. All wake terms are
+     * absolute cycles, so an untouched pipeline's wake never moves.
+     */
+    Cycle
+    cachedWakeAt(Cycle base) const
+    {
+        if (!wakeCacheValid) {
+            wakeCache = nextWakeCycle(base);
+            wakeCacheValid = true;
+        }
+        return wakeCache;
+    }
+
+    /** @return true if tick(@p now) could change pipeline state. */
+    bool tickDue(Cycle now) const { return cachedWakeAt(now - 1) <= now; }
+
+    /** Drop the cached wake (external state feeding this PU moved). */
+    void
+    invalidateWake() const
+    {
+        wakeCacheValid = false;
+        phaseWakesValid = false;
+    }
+
+    /**
+     * Turn on phase-level tick elision (event kernel only): an
+     * executed tick skips doComplete/doMemIssue/doIssue when the
+     * per-phase wakes maintained by the previous tick prove them
+     * no-ops, and assembles the next wake incrementally instead of
+     * re-scanning the ROB. Off (the default), tick() runs every
+     * phase every cycle — the ticked reference behavior.
+     */
+    void enableTickElision() { phaseElision = true; }
 
     /** @return true when the current task has fully retired. */
     bool finished() const { return taskDone; }
@@ -164,6 +220,23 @@ class Pu
     std::uint64_t nextEntryId = 1;
     std::uint64_t epoch = 0; ///< bumped on squash/flush for memory
                              ///< completion callbacks
+
+    /** Memoized nextWakeCycle (see cachedWakeAt). */
+    mutable Cycle wakeCache = 0;
+    mutable bool wakeCacheValid = false;
+
+    /**
+     * Per-phase wake state for phase-level elision. Maintained by
+     * the tick phases themselves (each scan records the earliest
+     * cycle it could next do work); valid only until an external
+     * event invalidates the wake cache, after which one full tick
+     * re-primes them. Never serialized — purely derived.
+     */
+    bool phaseElision = false;
+    mutable bool phaseWakesValid = false;
+    Cycle phaseCompleteWake = 0; ///< min readyAt among Executing
+    Cycle phaseIssueWake = 0;    ///< earliest possible issue
+    Cycle phaseMemWake = 0;      ///< earliest memory-issue attempt
 };
 
 } // namespace svc

@@ -224,6 +224,8 @@ RegisterRing::scheduleDeliveries(const Send &send)
             t.input[send.reg] = send.value;
             t.inputReady |= 1u << send.reg;
             ++nDeliveries;
+            if (wakeObserver)
+                wakeObserver(c);
             if (t.pendingRelease & (1u << send.reg)) {
                 t.pendingRelease &= ~(1u << send.reg);
                 releaseReg(c, send.reg);

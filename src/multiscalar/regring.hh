@@ -19,6 +19,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "common/event_queue.hh"
@@ -79,6 +80,35 @@ class RegisterRing
 
     /** Advance one cycle: drain send queues, deliver forwards. */
     void tick();
+
+    /**
+     * Earliest cycle tick() could do real work: the next scheduled
+     * delivery, or the very next cycle while any send queue still
+     * holds forwards awaiting link bandwidth.
+     */
+    Cycle
+    nextWakeCycle() const
+    {
+        for (const auto &q : sendQueues) {
+            if (!q.empty())
+                return now + 1;
+        }
+        return events.nextEventCycle();
+    }
+
+    /** Account for @p n elided ticks (ring clock). */
+    void skipCycles(Cycle n) { now += n; }
+
+    /**
+     * Observer invoked when a delivery lands on a PU's task — the
+     * event kernel's hook for invalidating that PU's cached wake
+     * (a newly ready input can unblock issue).
+     */
+    void
+    setWakeObserver(std::function<void(PuId)> fn)
+    {
+        wakeObserver = std::move(fn);
+    }
 
     StatSet stats() const;
 
@@ -146,6 +176,7 @@ class RegisterRing
     std::vector<std::deque<Send>> sendQueues;
     EventQueue events;
     Cycle now = 0;
+    std::function<void(PuId)> wakeObserver;
 };
 
 } // namespace svc

@@ -492,6 +492,7 @@ runItem(const SweepItem &it)
         bench::RunConfig rc;
         rc.memKind = it.memKind;
         rc.mem = it.cfg;
+        rc.kernel = it.kernel;
         r.row = bench::runOn(*stim, rc);
     }
     return r;
@@ -510,6 +511,7 @@ runItemSliced(const SweepItem &it, const bench::SliceBudget &budget,
     bench::RunConfig rc;
     rc.memKind = it.memKind;
     rc.mem = it.cfg;
+    rc.kernel = it.kernel;
     ItemResult r;
     r.row = bench::runProgramSliced(*stim, rc, budget, outcome);
     return r;

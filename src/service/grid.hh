@@ -53,6 +53,14 @@ struct SweepItem
     unsigned scale = 1;
     std::uint64_t seed = 12345;
     SpecMemConfig cfg;
+    /**
+     * Simulation-kernel pin for program runs: "" follows the
+     * process default (SVC_KERNEL), "ticked"/"event" force one
+     * kernel. Never rendered into the row — both kernels produce
+     * byte-identical rows, which the bench's kernel-throughput
+     * phase asserts.
+     */
+    std::string kernel;
 
     // Fault cells (functional protocol + one corruption).
     FaultKind faultKind = FaultKind::CorruptVolPointer;

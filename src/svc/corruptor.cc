@@ -47,7 +47,7 @@ SvcCorruptor::corruptVolPointer()
     for (Addr a : proto.residentAddrs()) {
         for (PuId pu = 0; pu < proto.cfg.numPus; ++pu) {
             if (auto *f = proto.caches[pu].find(a))
-                targets.push_back({pu, a, &f->payload, 0});
+                targets.push_back({pu, a, f, 0});
         }
     }
     CorruptionResult res;
@@ -83,7 +83,7 @@ SvcCorruptor::corruptMask()
             auto *f = proto.caches[pu].find(a);
             if (!f)
                 continue;
-            SvcLine &l = f->payload;
+            SvcLine &l = *f;
             const std::uint64_t invalid = ~l.vMask & mask(vbs);
             if (invalid != 0) {
                 for (unsigned vb = 0; vb < vbs; ++vb) {
@@ -124,7 +124,7 @@ SvcCorruptor::corruptData()
             auto *f = proto.caches[pu].find(a);
             if (!f)
                 continue;
-            SvcLine &l = f->payload;
+            SvcLine &l = *f;
             // Stale pure copies are outside the checker's reach by
             // design (their reference version is ambiguous, see
             // svc/invariants.cc), so they are not eligible targets.

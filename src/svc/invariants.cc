@@ -20,6 +20,44 @@ SvcProtocolChecker::check(const InvariantEngine &eng,
 }
 
 void
+SvcLostWakeupChecker::check(const InvariantEngine &eng,
+                            InvariantReport &rep)
+{
+    (void)eng;
+    const Cycle now = sys.now();
+    const Cycle wake = sys.nextWakeCycle();
+    const SnoopingBus &bus = sys.bus();
+    auto flag = [&](const std::string &what, Cycle claimed,
+                    Cycle due) {
+        rep.flag({"svc.lost_wakeup",
+                  what + ": claimed wake cycle " +
+                      std::to_string(claimed) +
+                      " overshoots due cycle " + std::to_string(due),
+                  "", now, kNoPu, kNoAddr});
+    };
+    if (bus.pending() > 0) {
+        const Cycle due = bus.nextWakeCycle(now);
+        if (wake > due)
+            flag("queued bus request", wake, due);
+    }
+    if (!sys.writebackBuffer().empty() && bus.pending() == 0) {
+        const Cycle due = std::max(now + 1, bus.freeAt());
+        if (wake > due)
+            flag("parked write-back on idle bus", wake, due);
+    }
+    if (sys.spuriousSquashArmed() && wake > now + 1)
+        flag("armed spurious-squash fault draw", wake, now + 1);
+    for (const ExternalSource &src : external) {
+        const Cycle due = src.due();
+        if (due == kNeverCycle)
+            continue;
+        const Cycle claimed = src.wake();
+        if (claimed > due)
+            flag(src.name, claimed, due);
+    }
+}
+
+void
 SvcProtocolChecker::checkLine(Addr line_addr, Cycle now,
                               InvariantReport &rep)
 {

@@ -15,7 +15,13 @@
  *    properties: per-PU MSHR occupancy equals the alloc/retire
  *    event balance and respects the configured bound, the
  *    write-back buffer respects its capacity, and bus queue
- *    occupancy equals the request/grant event balance.
+ *    occupancy equals the request/grant event balance;
+ *
+ *  - SvcLostWakeupChecker validates the event kernel's wake
+ *    contract: nextWakeCycle() must never postpone past pending
+ *    work (queued bus request, parked write-back on an idle bus,
+ *    armed fault schedule, or a registered external deadline such
+ *    as the sequencer's forward-progress watchdog).
  *
  * Soundness notes (why some "obvious" checks are absent): after a
  * squash, dangling VOL pointers and all-stale lines are *legal*
@@ -52,6 +58,68 @@ class SvcProtocolChecker : public InvariantChecker
     void checkLine(Addr line_addr, Cycle now, InvariantReport &rep);
 
     const SvcProtocol &proto;
+};
+
+/**
+ * Lost-wakeup tripwire for the event-driven kernel. The timed
+ * system's nextWakeCycle() declares the earliest cycle its tick()
+ * could do real work; the event kernel elides every tick before
+ * it. A wake that overshoots work already pending is a lost wakeup
+ * — the run wedges, or (worse) executes the work late and silently
+ * diverges from the ticked kernel. This checker re-derives the due
+ * bound of each pending-work source from component state,
+ * independently of the terms inside nextWakeCycle():
+ *
+ *  - a queued bus request (pending() > 0) is due by the bus's own
+ *    declared wake;
+ *  - a parked write-back with an idle bus drains on the first free
+ *    bus cycle;
+ *  - an armed spurious-squash fault schedule draws RNG state every
+ *    cycle, so no tick may be elided while it is armed;
+ *  - external sources (the sequencer's forward-progress watchdog)
+ *    register their own wake/due pair via addExternalSource().
+ *
+ * Dropping a term from the wake computation therefore trips this
+ * checker on the next anchor instead of wedging event-mode runs.
+ */
+class SvcLostWakeupChecker : public InvariantChecker
+{
+  public:
+    explicit SvcLostWakeupChecker(const SvcSystem &system)
+        : sys(system)
+    {}
+
+    const char *name() const override { return "svc.lost_wakeup"; }
+
+    void check(const InvariantEngine &eng,
+               InvariantReport &rep) override;
+
+    /**
+     * Register an external wake/due pair: @p wake is the claimed
+     * next wake of some component above the memory system, @p due
+     * the deadline by which its pending work must run (kNeverCycle
+     * when idle). Checked on every anchor alongside the built-in
+     * terms.
+     */
+    void
+    addExternalSource(std::string source_name,
+                      std::function<Cycle()> wake,
+                      std::function<Cycle()> due)
+    {
+        external.push_back({std::move(source_name), std::move(wake),
+                            std::move(due)});
+    }
+
+  private:
+    struct ExternalSource
+    {
+        std::string name;
+        std::function<Cycle()> wake;
+        std::function<Cycle()> due;
+    };
+
+    const SvcSystem &sys;
+    std::vector<ExternalSource> external;
 };
 
 /** Timed-layer conservation validator (see file comment). */

@@ -31,7 +31,7 @@ namespace svc
 /** Maximum supported address-block (line) size in bytes. */
 inline constexpr unsigned kMaxLineBytes = 64;
 
-/** Per-line SVC state. Lives as the payload of a CacheFrame. */
+/** Per-line SVC state. Stored (and handed out) by SvcLineStore. */
 struct SvcLine
 {
     /** Per-versioning-block valid-data mask. */

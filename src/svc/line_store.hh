@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Struct-of-arrays storage for SVC cache lines. Drop-in replacement
+ * for CacheStorage<SvcLine> with the same set-associative geometry,
+ * way ordering and true-LRU policy, but with the frame bookkeeping
+ * split into separate contiguous arrays:
+ *
+ *  - tags[]      — one tag word per frame,
+ *  - lruStamps[] — one LRU stamp per frame,
+ *  - setOcc[]    — one 64-bit valid bitmask per *set* (bit w = way w
+ *                  holds a line),
+ *  - lines[]     — the SvcLine payloads themselves.
+ *
+ * The set occupancy mask is both the valid storage and the indexer:
+ * lookups scan only occupied ways, flash operations (commit, squash,
+ * flush scans) skip empty sets in one load instead of touching every
+ * frame, and free-frame checks are a single mask compare. The frame
+ * handle is a pointer directly into lines[], so protocol code reads
+ * and writes line state with no indirection through a frame struct.
+ *
+ * Semantics are bit-compatible with CacheStorage<SvcLine>: victim
+ * selection visits ways in the same order (first free way, else LRU
+ * among non-vetoed valid ways, lowest way on stamp ties), invalidate
+ * preserves the stale tag/stamp values exactly as CacheStorage does
+ * (they are serialized), and iteration order over valid frames is
+ * set-major / way-minor — so snapshots and traces are byte-identical
+ * across the two implementations.
+ */
+
+#ifndef SVC_SVC_LINE_STORE_HH
+#define SVC_SVC_LINE_STORE_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+#include "common/types.hh"
+#include "svc/line.hh"
+
+namespace svc
+{
+
+/** Set-associative SoA storage for SvcLine payloads. */
+class SvcLineStore
+{
+  public:
+    /** The frame handle IS the payload: no bookkeeping indirection. */
+    using Frame = SvcLine;
+
+    SvcLineStore(std::size_t size_bytes, unsigned assoc,
+                 unsigned line_bytes)
+        : lineBytes(line_bytes),
+          ways(assoc),
+          sets(size_bytes / (std::size_t{assoc} * line_bytes)),
+          offsetBits(floorLog2(line_bytes)),
+          indexBits(floorLog2(sets)),
+          wayMask(mask(assoc)),
+          lines(sets * assoc),
+          tags(sets * assoc, 0),
+          lruStamps(sets * assoc, 0),
+          setOcc(sets, 0)
+    {
+        if (!isPowerOf2(line_bytes) || !isPowerOf2(assoc) ||
+            !isPowerOf2(sets) || sets == 0) {
+            fatal("SvcLineStore: size %zu / assoc %u / line %u "
+                  "must decompose into power-of-two sets",
+                  size_bytes, assoc, line_bytes);
+        }
+        if (assoc > 64)
+            fatal("SvcLineStore: associativity %u exceeds the 64-way "
+                  "occupancy-mask limit", assoc);
+    }
+
+    unsigned lineSize() const { return lineBytes; }
+    unsigned associativity() const { return ways; }
+    std::size_t numSets() const { return sets; }
+    std::size_t numFrames() const { return lines.size(); }
+
+    /** @return the line-aligned address of @p addr. */
+    Addr lineAddr(Addr addr) const { return alignDown(addr, lineBytes); }
+
+    /** @return set index for @p addr. */
+    std::size_t
+    setIndex(Addr addr) const
+    {
+        return bits(addr, offsetBits, indexBits);
+    }
+
+    /** @return tag for @p addr. */
+    Addr tagOf(Addr addr) const { return addr >> (offsetBits + indexBits); }
+
+    /** Find the valid frame holding @p addr, or nullptr. */
+    SvcLine *
+    find(Addr addr)
+    {
+        const std::size_t base = setIndex(addr) * ways;
+        const Addr tag = tagOf(addr);
+        std::uint64_t occ = setOcc[base / ways];
+        while (occ != 0) {
+            const unsigned w = std::countr_zero(occ);
+            occ &= occ - 1;
+            if (tags[base + w] == tag)
+                return &lines[base + w];
+        }
+        return nullptr;
+    }
+
+    const SvcLine *
+    find(Addr addr) const
+    {
+        return const_cast<SvcLineStore *>(this)->find(addr);
+    }
+
+    /** @return true if @p frame currently holds a line. */
+    bool
+    frameValid(const SvcLine &frame) const
+    {
+        const std::size_t idx = indexOf(frame);
+        return (setOcc[idx / ways] >> (idx % ways)) & 1;
+    }
+
+    /** Mark @p frame most recently used. */
+    void touch(SvcLine &frame) { lruStamps[indexOf(frame)] = ++clock; }
+
+    /**
+     * Pick a frame in @p addr's set to hold a new line: an invalid
+     * frame if available, else the LRU valid frame for which
+     * @p may_evict returns true. @return nullptr if every valid
+     * frame is vetoed (caller must stall or choose another victim).
+     */
+    template <typename Pred>
+    SvcLine *
+    pickVictim(Addr addr, Pred &&may_evict)
+    {
+        const std::size_t set = setIndex(addr);
+        const std::size_t base = set * ways;
+        const std::uint64_t free = ~setOcc[set] & wayMask;
+        if (free != 0)
+            return &lines[base + std::countr_zero(free)];
+        SvcLine *victim = nullptr;
+        std::uint64_t best = 0;
+        std::uint64_t occ = setOcc[set];
+        while (occ != 0) {
+            const unsigned w = std::countr_zero(occ);
+            occ &= occ - 1;
+            SvcLine &f = lines[base + w];
+            if (may_evict(f) &&
+                (!victim || lruStamps[base + w] < best)) {
+                victim = &f;
+                best = lruStamps[base + w];
+            }
+        }
+        return victim;
+    }
+
+    /** @return true if @p addr's set has an invalid (free) frame. */
+    bool
+    hasFreeFrame(Addr addr) const
+    {
+        return (~setOcc[setIndex(addr)] & wayMask) != 0;
+    }
+
+    /**
+     * Install a line for @p addr into @p frame (which must belong to
+     * the right set). Resets the payload to a default-constructed
+     * value and marks the frame MRU.
+     */
+    void
+    install(SvcLine &frame, Addr addr)
+    {
+        const std::size_t idx = indexOf(frame);
+        setOcc[idx / ways] |= std::uint64_t{1} << (idx % ways);
+        tags[idx] = tagOf(addr);
+        frame = SvcLine{};
+        touch(frame);
+    }
+
+    /** Invalidate @p frame (tag and LRU stamp keep their values). */
+    void
+    invalidate(SvcLine &frame)
+    {
+        const std::size_t idx = indexOf(frame);
+        setOcc[idx / ways] &= ~(std::uint64_t{1} << (idx % ways));
+        frame = SvcLine{};
+    }
+
+    /**
+     * Apply @p fn to every valid frame, set-major / way-minor (the
+     * CacheStorage frame order). Empty sets cost one mask load.
+     */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn)
+    {
+        for (std::size_t set = 0; set < sets; ++set) {
+            std::uint64_t occ = setOcc[set];
+            while (occ != 0) {
+                const unsigned w = std::countr_zero(occ);
+                occ &= occ - 1;
+                fn(lines[set * ways + w]);
+            }
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (std::size_t set = 0; set < sets; ++set) {
+            std::uint64_t occ = setOcc[set];
+            while (occ != 0) {
+                const unsigned w = std::countr_zero(occ);
+                occ &= occ - 1;
+                fn(static_cast<const SvcLine &>(
+                    lines[set * ways + w]));
+            }
+        }
+    }
+
+    /**
+     * Reconstruct the full line-aligned address of @p frame (used
+     * for write-backs of victims and flash-scan callbacks).
+     */
+    Addr
+    frameAddr(const SvcLine &frame) const
+    {
+        const std::size_t idx = indexOf(frame);
+        return (tags[idx] << (offsetBits + indexBits)) |
+               (Addr{idx / ways} << offsetBits);
+    }
+
+    // ---- Checkpoint serialization (index-addressed) ----
+
+    bool
+    validAt(std::size_t i) const
+    {
+        return (setOcc[i / ways] >> (i % ways)) & 1;
+    }
+    Addr tagAt(std::size_t i) const { return tags[i]; }
+    std::uint64_t lruStampAt(std::size_t i) const { return lruStamps[i]; }
+    const SvcLine &lineAt(std::size_t i) const { return lines[i]; }
+    SvcLine &lineAt(std::size_t i) { return lines[i]; }
+
+    /** Restore one frame's bookkeeping (payload via lineAt). */
+    void
+    setFrameMeta(std::size_t i, bool valid, Addr tag,
+                 std::uint64_t lru_stamp)
+    {
+        const std::uint64_t bit = std::uint64_t{1} << (i % ways);
+        if (valid)
+            setOcc[i / ways] |= bit;
+        else
+            setOcc[i / ways] &= ~bit;
+        tags[i] = tag;
+        lruStamps[i] = lru_stamp;
+    }
+
+    /** LRU clock, for checkpoint serialization only. */
+    std::uint64_t lruClock() const { return clock; }
+    void setLruClock(std::uint64_t c) { clock = c; }
+
+  private:
+    std::size_t
+    indexOf(const SvcLine &frame) const
+    {
+        return static_cast<std::size_t>(&frame - lines.data());
+    }
+
+    unsigned lineBytes;
+    unsigned ways;
+    std::size_t sets;
+    unsigned offsetBits;
+    unsigned indexBits;
+    std::uint64_t wayMask;
+    std::uint64_t clock = 0;
+    /** Payloads, set-major / way-minor; frame handles point here. */
+    std::vector<SvcLine> lines;
+    /** Per-frame tags (parallel to lines). */
+    std::vector<Addr> tags;
+    /** Per-frame LRU stamps (parallel to lines). */
+    std::vector<std::uint64_t> lruStamps;
+    /** Per-set way-occupancy bitmasks (valid bits). */
+    std::vector<std::uint64_t> setOcc;
+};
+
+} // namespace svc
+
+#endif // SVC_SVC_LINE_STORE_HH

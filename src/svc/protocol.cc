@@ -15,7 +15,8 @@ namespace svc
 {
 
 SvcProtocol::SvcProtocol(const SvcConfig &config, MainMemory &memory)
-    : cfg(config), mem(memory), tasks(config.numPus, kNoTask)
+    : cfg(config), mem(memory), tasks(config.numPus, kNoTask),
+      snoopBatch(config.numPus, nullptr)
 {
     if (cfg.lineBytes > kMaxLineBytes)
         fatal("SVC line size %u exceeds the supported maximum %u",
@@ -71,19 +72,28 @@ SvcProtocol::isExclusive(PuId pu, Addr line_addr) const
     return true;
 }
 
+const std::vector<SvcLine *> &
+SvcProtocol::gatherSnoops(Addr line_addr)
+{
+    for (PuId pu = 0; pu < cfg.numPus; ++pu)
+        snoopBatch[pu] = caches[pu].find(line_addr);
+    return snoopBatch;
+}
+
 Vol
 SvcProtocol::rebuildVol(Addr line_addr)
 {
     Vol::NodeVec nodes;
+    const auto &resp = gatherSnoops(line_addr);
     for (PuId pu = 0; pu < cfg.numPus; ++pu) {
-        if (Frame *f = caches[pu].find(line_addr)) {
+        if (SvcLine *f = resp[pu]) {
             // Plain assert, not SVC_CHECK: the rebuild runs inside
             // the invariant checkers and the SVC_CHECK failure path
             // (dumpLineState); it must tolerate — not abort on —
             // states the checkers exist to report. The equivalent
             // property is the checker's "svc.active_idle_pu".
-            assert(f->payload.isPassive() || tasks[pu] != kNoTask);
-            nodes.push_back({pu, &f->payload, tasks[pu]});
+            assert(f->isPassive() || tasks[pu] != kNoTask);
+            nodes.push_back({pu, f, tasks[pu]});
         }
     }
     return Vol::build(std::move(nodes));
@@ -109,9 +119,9 @@ SvcProtocol::snoopConst(Addr line_addr) const
 {
     ConstVol::NodeVec nodes;
     for (PuId pu = 0; pu < cfg.numPus; ++pu) {
-        if (const Frame *f = caches[pu].find(line_addr)) {
-            assert(f->payload.isPassive() || tasks[pu] != kNoTask);
-            nodes.push_back({pu, &f->payload, tasks[pu]});
+        if (const SvcLine *f = caches[pu].find(line_addr)) {
+            assert(f->isPassive() || tasks[pu] != kNoTask);
+            nodes.push_back({pu, f, tasks[pu]});
         }
     }
     return ConstVol::build(std::move(nodes));
@@ -165,7 +175,10 @@ SvcProtocol::purgeCommitted(Addr line_addr, Vol &vol)
     // copies of the most recent version, they stay consistent with
     // the post-purge memory image (so the "no versions present =>
     // nothing stale" rule remains sound).
-    std::vector<PuId> purged;
+    // The VOL nodes are the batched snoop response: invalidate the
+    // purged entries through their frame handles directly instead of
+    // re-probing each cache.
+    std::vector<std::pair<PuId, SvcLine *>> purged;
     for (std::size_t i = 0; i < passive_count; ++i) {
         SvcLine &line = *ordered[i].line;
         if (cfg.retainFlushedDirty && line.isDirty() &&
@@ -179,11 +192,9 @@ SvcProtocol::purgeCommitted(Addr line_addr, Vol &vol)
             continue;
         }
         if (line.isDirty() || line.stale)
-            purged.push_back(ordered[i].pu);
+            purged.push_back({ordered[i].pu, ordered[i].line});
     }
-    for (PuId pu : purged) {
-        Frame *f = caches[pu].find(line_addr);
-        SVC_CHECK(*this, f != nullptr, pu, line_addr);
+    for (auto [pu, f] : purged) {
         caches[pu].invalidate(*f);
         vol.erase(pu);
     }
@@ -240,7 +251,7 @@ void
 SvcProtocol::castout(PuId pu, Frame &frame, AccessResult &res)
 {
     const Addr victim_addr = caches[pu].frameAddr(frame);
-    SvcLine &line = frame.payload;
+    SvcLine &line = frame;
     // Every cast-out path removes this cache from the victim's VOL
     // (and the passive-clean path rewrites the chain around it).
     dropVol(victim_addr);
@@ -264,13 +275,14 @@ SvcProtocol::castout(PuId pu, Frame &frame, AccessResult &res)
             // Bridge the VOL chain across the departing copy so the
             // relative order of the surviving committed versions is
             // preserved (a mid-chain hole would make it ambiguous).
+            // One batched snoop supplies every peer copy at once.
+            const auto &resp = gatherSnoops(victim_addr);
             for (PuId p = 0; p < cfg.numPus; ++p) {
-                if (p == pu)
+                SvcLine *pf = resp[p];
+                if (p == pu || !pf)
                     continue;
-                if (Frame *pf = caches[p].find(victim_addr)) {
-                    if (pf->payload.nextPu == pu)
-                        pf->payload.nextPu = line.nextPu;
-                }
+                if (pf->nextPu == pu)
+                    pf->nextPu = line.nextPu;
             }
             caches[pu].invalidate(frame);
         }
@@ -306,14 +318,14 @@ SvcProtocol::Frame *
 SvcProtocol::obtainFrame(PuId pu, Addr line_addr, AccessResult &res)
 {
     Storage &cache = caches[pu];
-    if (Frame *f = cache.find(line_addr)) {
+    if (SvcLine *f = cache.find(line_addr)) {
         cache.touch(*f);
         return f;
     }
     const bool head = isHeadPu(pu);
-    Frame *victim = cache.pickVictim(
-        line_addr, [head](const Frame &f) {
-            return f.payload.isPassive() || head;
+    SvcLine *victim = cache.pickVictim(
+        line_addr, [head](const SvcLine &f) {
+            return f.isPassive() || head;
         });
     if (!victim) {
         res.stalled = true;
@@ -321,7 +333,7 @@ SvcProtocol::obtainFrame(PuId pu, Addr line_addr, AccessResult &res)
         trace(TraceCat::Vcl, "stall", pu, line_addr);
         return nullptr;
     }
-    if (victim->valid)
+    if (cache.frameValid(*victim))
         castout(pu, *victim, res);
     cache.install(*victim, line_addr);
     dropVol(line_addr); // the install adds a VOL member
@@ -336,10 +348,10 @@ SvcProtocol::wouldHit(PuId pu, Addr addr, unsigned size,
     const Addr line_addr = cache.lineAddr(addr);
     const unsigned offset = addr & (cfg.lineBytes - 1);
     const std::uint64_t vbs = vbMaskFor(offset, size);
-    const Frame *f = cache.find(line_addr);
+    const SvcLine *f = cache.find(line_addr);
     if (!f)
         return false;
-    const SvcLine &line = f->payload;
+    const SvcLine &line = *f;
     if (is_store) {
         if (!line.isActive() || (vbs & ~line.vMask) != 0)
             return false;
@@ -372,11 +384,10 @@ SvcProtocol::load(PuId pu, Addr addr, unsigned size)
     SVC_CHECK(*this, offset + size <= cfg.lineBytes, pu, line_addr);
     const std::uint64_t vbs = vbMaskFor(offset, size);
 
-    Frame *f = cache.find(line_addr);
-    if (f && f->payload.isActive() &&
-        (vbs & ~f->payload.vMask) == 0) {
+    SvcLine *f = cache.find(line_addr);
+    if (f && f->isActive() && (vbs & ~f->vMask) == 0) {
         // Plain hit: the line already holds this task's image.
-        SvcLine &line = f->payload;
+        SvcLine &line = *f;
         line.lMask |= vbs & ~line.sMask;
         cache.touch(*f);
         ++nHits;
@@ -385,12 +396,11 @@ SvcProtocol::load(PuId pu, Addr addr, unsigned size)
             res.data |= std::uint64_t{line.data[offset + i]} << (8 * i);
         return res;
     }
-    if (f && f->payload.isPassive() && cfg.staleBit &&
-        !f->payload.isDirty() && !f->payload.stale &&
-        (vbs & ~f->payload.vMask) == 0) {
+    if (f && f->isPassive() && cfg.staleBit && !f->isDirty() &&
+        !f->stale && (vbs & ~f->vMask) == 0) {
         // Reuse a non-stale committed copy without a bus request:
         // it is (a copy of) the most recent version (figure 15).
-        SvcLine &line = f->payload;
+        SvcLine &line = *f;
         dropVol(line_addr); // passive -> active without an install
         line.commit = false;
         line.arch = true;
@@ -414,7 +424,7 @@ SvcProtocol::load(PuId pu, Addr addr, unsigned size)
     f = cache.find(line_addr);
     SVC_CHECK(*this, f != nullptr, pu, line_addr);
     for (unsigned i = 0; i < size; ++i)
-        res.data |= std::uint64_t{f->payload.data[offset + i]} << (8 * i);
+        res.data |= std::uint64_t{f->data[offset + i]} << (8 * i);
     return res;
 }
 
@@ -463,10 +473,10 @@ SvcProtocol::busRead(PuId pu, Addr line_addr, std::uint64_t req_vbs,
             n.line->shared = true;
     }
 
-    Frame *frame = obtainFrame(pu, line_addr, res);
+    SvcLine *frame = obtainFrame(pu, line_addr, res);
     if (!frame)
         return;
-    SvcLine &line = frame->payload;
+    SvcLine &line = *frame;
 
     const std::uint64_t fill = ~line.vMask & mask(cfg.blocksPerLine());
     std::uint64_t from_cache = 0;
@@ -514,7 +524,7 @@ SvcProtocol::busRead(PuId pu, Addr line_addr, std::uint64_t req_vbs,
 void
 SvcProtocol::snarf(Addr line_addr, PuId requester, AccessResult &res)
 {
-    const Frame *req_frame = caches[requester].find(line_addr);
+    SvcLine *req_frame = caches[requester].find(line_addr);
     SVC_CHECK(*this, req_frame != nullptr, requester, line_addr);
     const TaskSeq req_seq = tasks[requester];
 
@@ -542,33 +552,32 @@ SvcProtocol::snarf(Addr line_addr, PuId requester, AccessResult &res)
         }
         // The requester's own new version (a store snarf source)
         // must not be skipped past for older tasks.
-        if (req_frame->payload.isDirty() && tasks[pu] < req_seq)
+        if (req_frame->isDirty() && tasks[pu] < req_seq)
             blocked = true;
         if (blocked)
             continue;
         AccessResult dummy;
-        Frame *nf = obtainFrame(pu, line_addr, dummy);
+        SvcLine *nf = obtainFrame(pu, line_addr, dummy);
         // A free frame was verified above.
         SVC_CHECK(*this, nf != nullptr, pu, line_addr);
-        SvcLine &nl = nf->payload;
-        nl.data = req_frame->payload.data;
-        nl.vMask = req_frame->payload.vMask;
+        SvcLine &nl = *nf;
+        nl.data = req_frame->data;
+        nl.vMask = req_frame->vMask;
         nl.sMask = 0;
         nl.lMask = 0;
         nl.commit = false;
         // A later snarfer's image includes the requester's own
         // (speculative) version, if any.
-        nl.arch = req_frame->payload.arch &&
-                  (!req_frame->payload.isDirty() ||
+        nl.arch = req_frame->arch &&
+                  (!req_frame->isDirty() ||
                    isHeadPu(requester) || tasks[pu] < req_seq);
         nl.debugSeq = tasks[pu];
         ++nSnarfs;
         trace(TraceCat::Line, "snarf", pu, line_addr);
         // A later task now holds a copy derived from the
         // requester's image: the requester loses exclusivity.
-        if (tasks[pu] > req_seq) {
-            caches[requester].find(line_addr)->payload.shared = true;
-        }
+        if (tasks[pu] > req_seq)
+            req_frame->shared = true;
         (void)res;
     }
 }
@@ -594,16 +603,15 @@ SvcProtocol::store(PuId pu, Addr addr, unsigned size,
     for (unsigned i = 0; i < size; ++i)
         bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
 
-    Frame *f = cache.find(line_addr);
-    if (f && f->payload.isActive() &&
-        (vbs & ~f->payload.vMask) == 0 &&
-        (((vbs & ~f->payload.sMask) == 0 && !f->payload.shared) ||
+    SvcLine *f = cache.find(line_addr);
+    if (f && f->isActive() && (vbs & ~f->vMask) == 0 &&
+        (((vbs & ~f->sMask) == 0 && !f->shared) ||
          isExclusive(pu, line_addr))) {
         // Store hit: either the task already owns a non-shared
         // version of every written block, or this cache holds the
         // only copy in the system (the X bit, section 3.8.1) and
         // may extend its version locally.
-        SvcLine &line = f->payload;
+        SvcLine &line = *f;
         std::uint64_t full_cover = 0;
         for (unsigned vb = 0; vb < cfg.blocksPerLine(); ++vb) {
             if (!(vbs & (1ull << vb)))
@@ -665,10 +673,10 @@ SvcProtocol::busWrite(PuId pu, Addr line_addr, std::uint64_t store_vbs,
             n.line->shared = true;
     }
 
-    Frame *frame = obtainFrame(pu, line_addr, res);
+    SvcLine *frame = obtainFrame(pu, line_addr, res);
     if (!frame)
         return;
-    SvcLine &line = frame->payload;
+    SvcLine &line = *frame;
 
     // Which blocks does this store completely overwrite? Those need
     // no fetch; partially written or untouched invalid blocks are
@@ -757,9 +765,9 @@ SvcProtocol::busWrite(PuId pu, Addr line_addr, std::uint64_t store_vbs,
                 other.vMask &= ~(1ull << vb);
                 other.lMask &= ~(1ull << vb);
                 if (other.vMask == 0) {
-                    Frame *of = caches[n.pu].find(line_addr);
-                    SVC_CHECK(*this, of != nullptr, n.pu, line_addr);
-                    caches[n.pu].invalidate(*of);
+                    // The VOL node is the snoop response: its frame
+                    // handle needs no per-cache re-probe.
+                    caches[n.pu].invalidate(other);
                     dropVol(line_addr);
                 }
                 continue;
@@ -787,10 +795,7 @@ SvcProtocol::busWrite(PuId pu, Addr line_addr, std::uint64_t store_vbs,
                     // Write-invalidate: the block's copy is stale.
                     other.vMask &= ~(1ull << vb);
                     if (other.vMask == 0) {
-                        Frame *of = caches[n.pu].find(line_addr);
-                        SVC_CHECK(*this, of != nullptr, n.pu,
-                                  line_addr);
-                        caches[n.pu].invalidate(*of);
+                        caches[n.pu].invalidate(other);
                         dropVol(line_addr);
                     }
                 }
@@ -845,17 +850,17 @@ SvcProtocol::commitTask(PuId pu)
     if (cfg.lazyCommit) {
         // One-cycle commit: flash-set the C bit; write-backs are
         // deferred to later accesses (section 3.4).
-        cache.forEachValid([&](Frame &f) {
-            if (f.payload.isActive()) {
-                f.payload.commit = true;
-                f.payload.lMask = 0;
+        cache.forEachValid([&](SvcLine &f) {
+            if (f.isActive()) {
+                f.commit = true;
+                f.lMask = 0;
             }
         });
     } else {
         // Base design: write back dirty lines immediately and
         // invalidate everything (section 3.2.4).
-        cache.forEachValid([&](Frame &f) {
-            SvcLine &line = f.payload;
+        cache.forEachValid([&](SvcLine &f) {
+            SvcLine &line = f;
             if (line.isDirty()) {
                 const Addr a = cache.frameAddr(f);
                 for (unsigned vb = 0; vb < cfg.blocksPerLine(); ++vb) {
@@ -884,8 +889,8 @@ SvcProtocol::squashTask(PuId pu)
     dropAllVols();
     trace(TraceCat::Task, "mem_squash", pu, kNoAddr, tasks[pu]);
     Storage &cache = caches[pu];
-    cache.forEachValid([&](Frame &f) {
-        SvcLine &line = f.payload;
+    cache.forEachValid([&](SvcLine &f) {
+        SvcLine &line = f;
         if (line.isPassive() && cfg.lazyCommit)
             return; // committed state is never squashed; with lazy
                     // commits it may be the only copy of the data
@@ -913,8 +918,8 @@ SvcProtocol::flushCommitted()
 {
     std::set<Addr> addrs;
     for (PuId pu = 0; pu < cfg.numPus; ++pu) {
-        caches[pu].forEachValid([&](const Frame &f) {
-            if (f.payload.isPassive() && f.payload.isDirty())
+        caches[pu].forEachValid([&](const SvcLine &f) {
+            if (f.isPassive() && f.isDirty())
                 addrs.insert(caches[pu].frameAddr(f));
         });
     }
@@ -937,10 +942,10 @@ SvcProtocol::repairLine(Addr addr, bool drop_clean_copies)
 
     const std::uint64_t legal = mask(cfg.blocksPerLine());
     for (PuId pu = 0; pu < cfg.numPus; ++pu) {
-        Frame *f = caches[pu].find(line_addr);
+        SvcLine *f = caches[pu].find(line_addr);
         if (!f)
             continue;
-        SvcLine &line = f->payload;
+        SvcLine &line = *f;
         if (line.isActive() && tasks[pu] != kNoTask)
             res.activePus.push_back(pu);
 
@@ -1004,8 +1009,7 @@ const SvcLine *
 SvcProtocol::peekLine(PuId pu, Addr addr) const
 {
     const Storage &cache = caches[pu];
-    const auto *f = cache.find(cache.lineAddr(addr));
-    return f ? &f->payload : nullptr;
+    return cache.find(cache.lineAddr(addr));
 }
 
 std::vector<Addr>
@@ -1013,7 +1017,7 @@ SvcProtocol::residentAddrs() const
 {
     std::set<Addr> addrs;
     for (PuId pu = 0; pu < cfg.numPus; ++pu) {
-        caches[pu].forEachValid([&](const Frame &f) {
+        caches[pu].forEachValid([&](const SvcLine &f) {
             addrs.insert(caches[pu].frameAddr(f));
         });
     }
@@ -1032,7 +1036,7 @@ SvcProtocol::dumpLineState(Addr line_addr) const
         if (!f)
             continue;
         any = true;
-        const SvcLine &l = f->payload;
+        const SvcLine &l = *f;
         os << "\npu " << pu;
         if (tasks[pu] != kNoTask)
             os << " (task " << tasks[pu] << ")";
@@ -1152,13 +1156,12 @@ SvcProtocol::saveState(SnapshotWriter &w) const
     w.putU64(caches.size());
     for (const Storage &cache : caches) {
         w.putU64(cache.lruClock());
-        const auto &frames = cache.rawFrames();
-        w.putU64(frames.size());
-        for (const Frame &f : frames) {
-            w.putBool(f.valid);
-            w.putU64(f.tag);
-            w.putU64(f.lruStamp);
-            const SvcLine &l = f.payload;
+        w.putU64(cache.numFrames());
+        for (std::size_t i = 0; i < cache.numFrames(); ++i) {
+            w.putBool(cache.validAt(i));
+            w.putU64(cache.tagAt(i));
+            w.putU64(cache.lruStampAt(i));
+            const SvcLine &l = cache.lineAt(i);
             w.putU64(l.vMask);
             w.putU64(l.sMask);
             w.putU64(l.lMask);
@@ -1214,17 +1217,17 @@ SvcProtocol::restoreState(SnapshotReader &r)
     }
     for (Storage &cache : caches) {
         cache.setLruClock(r.getU64());
-        auto &frames = cache.rawFrames();
         const std::uint64_t nf = r.getCount(25 + cfg.lineBytes);
-        if (nf != frames.size()) {
+        if (nf != cache.numFrames()) {
             r.fail("snapshot: SVC cache geometry mismatch");
             return false;
         }
-        for (Frame &f : frames) {
-            f.valid = r.getBool();
-            f.tag = r.getU64();
-            f.lruStamp = r.getU64();
-            SvcLine &l = f.payload;
+        for (std::size_t i = 0; i < nf; ++i) {
+            const bool valid = r.getBool();
+            const Addr tag = r.getU64();
+            const std::uint64_t stamp = r.getU64();
+            cache.setFrameMeta(i, valid, tag, stamp);
+            SvcLine &l = cache.lineAt(i);
             l = SvcLine{};
             l.vMask = r.getU64();
             l.sMask = r.getU64();

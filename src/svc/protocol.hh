@@ -24,8 +24,8 @@
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
-#include "mem/cache_storage.hh"
 #include "mem/main_memory.hh"
+#include "svc/line_store.hh"
 #include "svc/design.hh"
 #include "svc/line.hh"
 #include "svc/vol.hh"
@@ -266,8 +266,8 @@ class SvcProtocol
     std::map<Addr, Counter> missMap;
 
   private:
-    using Storage = CacheStorage<SvcLine>;
-    using Frame = Storage::Frame;
+    using Storage = SvcLineStore;
+    using Frame = Storage::Frame; ///< = SvcLine: the handle is the line
 
     /** @return versioning-block mask covering [offset, offset+size). */
     std::uint64_t vbMaskFor(unsigned offset, unsigned size) const;
@@ -291,6 +291,17 @@ class SvcProtocol
     /** From-scratch VOL reconstruction (the VCL's combinational
      *  path); does not touch the cache. */
     Vol rebuildVol(Addr line_addr);
+
+    /**
+     * Batched snoop: collect every cache's copy of @p line_addr in
+     * one pass — the full snoop response vector a bus grant elicits
+     * (all caches respond in parallel). Transaction steps consume
+     * this batch instead of issuing one-at-a-time find() probes per
+     * step. The returned reference is to a per-protocol scratch
+     * buffer, valid until the next gather; entry p is nullptr when
+     * cache p holds no copy.
+     */
+    const std::vector<SvcLine *> &gatherSnoops(Addr line_addr);
 
     /** Drop the cached VOL for one line (order-changing event). */
     void dropVol(Addr line_addr) { volCache.erase(line_addr); }
@@ -373,6 +384,8 @@ class SvcProtocol
     std::vector<TaskSeq> tasks;
     /** Per-line VOL orders maintained across bus transactions. */
     std::unordered_map<Addr, Vol> volCache;
+    /** gatherSnoops() scratch (one slot per cache). */
+    std::vector<SvcLine *> snoopBatch;
     TraceSink *tracer = nullptr;
     const Cycle *clk = nullptr;
 

@@ -1,5 +1,6 @@
 #include "svc/system.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 
@@ -42,6 +43,8 @@ SvcSystem::attachInvariants(InvariantEngine &engine)
 {
     engine.addChecker(std::make_unique<SvcProtocolChecker>(proto));
     engine.addChecker(std::make_unique<SvcSystemChecker>(*this));
+    engine.addChecker(
+        std::make_unique<SvcLostWakeupChecker>(*this));
     // Keep any sink attached earlier: the engine tees into it.
     engine.chain(tracer);
     attachTracer(&engine);
@@ -326,6 +329,47 @@ SvcSystem::tick()
     }
     snoopBus.tick(currentCycle);
     events.runDue(currentCycle);
+}
+
+Cycle
+SvcSystem::nextWakeCycle() const
+{
+    Cycle wake = events.nextEventCycle();
+    wake = std::min(wake, snoopBus.nextWakeCycle(currentCycle));
+    // A parked write-back drains on the first idle bus cycle. The
+    // buffer and pending() cannot change during elided ticks, so the
+    // drain cycle is exactly when the bus frees up.
+    if (!wbBuffer.empty() && snoopBus.pending() == 0) {
+        wake = std::min(wake, std::max(currentCycle + 1,
+                                       snoopBus.freeAt()));
+    }
+    // Fault injection draws the spurious-squash RNG every cycle a
+    // victim exists; eliding those ticks would desynchronize the
+    // deterministic fault stream from the ticked kernel. Victim
+    // existence only changes inside executed ticks, so waking every
+    // cycle while one exists is exact, not just conservative.
+    if (spuriousSquashArmed())
+        wake = std::min(wake, currentCycle + 1);
+    return wake;
+}
+
+bool
+SvcSystem::spuriousSquashArmed() const
+{
+    if (!faults || !onViolation)
+        return false;
+    for (PuId p = 0; p < cfg.numPus; ++p) {
+        if (proto.taskOf(p) != kNoTask && !proto.isHeadPu(p))
+            return true;
+    }
+    return false;
+}
+
+void
+SvcSystem::skipCycles(Cycle n)
+{
+    currentCycle += n;
+    snoopBus.skipCycles(n);
 }
 
 bool

@@ -93,6 +93,26 @@ class SvcSystem : public SpecMem
     void saveState(SnapshotWriter &w) const override;
     bool restoreState(SnapshotReader &r) override;
 
+    /**
+     * Earliest cycle tick() could do real work: a due event (hit
+     * completions, MSHR fills, issue retries), bus arbitration or
+     * NACK promotion, a write-back drain once the bus frees, or —
+     * under fault injection — the per-cycle spurious-squash draw
+     * (which must keep its exact per-cycle RNG cadence).
+     */
+    Cycle nextWakeCycle() const override;
+    void skipCycles(Cycle n) override;
+
+    /**
+     * True while the spurious-squash fault draw is armed: a fault
+     * injector and a violation handler are attached and a non-head
+     * PU holds a task. The draw consumes RNG state every cycle it
+     * is armed, so the event kernel must not elide any tick while
+     * this holds (see nextWakeCycle()); the lost-wakeup invariant
+     * checker re-checks exactly that.
+     */
+    bool spuriousSquashArmed() const;
+
   private:
     /** Handle a miss once the bus grants it; the access result is
      *  published through @p slot for the primary target. @p epoch

@@ -84,6 +84,12 @@ class RecordingSpecMem : public SpecMem
     void commitTask(PuId pu) override;
     void squashTask(PuId pu) override;
     void tick() override;
+    Cycle
+    nextWakeCycle() const override
+    {
+        return wrappedMem->nextWakeCycle();
+    }
+    void skipCycles(Cycle n) override { wrappedMem->skipCycles(n); }
     bool busyWithRequests() const override;
     StatSet stats() const override;
     const char *name() const override;

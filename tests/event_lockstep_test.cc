@@ -1,0 +1,290 @@
+/**
+ * @file
+ * The event-kernel lockstep differential rail (ctest -L
+ * event-lockstep). The event kernel's contract is byte-identity:
+ * executed cycles tick exactly as the ticked kernel ticks them and
+ * only provably no-op ticks are elided, so every cycle-visible
+ * observable — bench rows, the full statistics tree, recorded
+ * SVCTRC1 traces, preemption checkpoint images — must match the
+ * ticked kernel byte for byte. This suite proves each of those
+ * observables across the paper's six SVC design points, the ARB
+ * baseline, all seven workload kernels and multiple seeds, and
+ * additionally runs the lost-wakeup invariant checker (with the
+ * sequencer's forward-progress watchdog registered as an external
+ * wake/due source) over live event-mode runs, fault-injected and
+ * fault-free.
+ *
+ * The statistics byte-compare doubles as the idle-cycle accounting
+ * audit: every cycle counter, distribution bucket and ratio in the
+ * StatSet tree — including the cycles the event kernel elided —
+ * must render identically, so elision provably does not drift any
+ * accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "common/invariants.hh"
+#include "mem/fault_injector.hh"
+#include "mem/main_memory.hh"
+#include "mem/spec_mem_factory.hh"
+#include "multiscalar/processor.hh"
+#include "svc/invariants.hh"
+#include "svc/system.hh"
+
+namespace svc
+{
+namespace
+{
+
+const char *const kWorkloads[] = {"compress", "gcc",   "vortex",
+                                  "perl",     "ijpeg", "mgrid",
+                                  "apsi"};
+
+const SvcDesign kDesigns[] = {SvcDesign::Base, SvcDesign::EC,
+                              SvcDesign::ECS,  SvcDesign::HR,
+                              SvcDesign::RL,   SvcDesign::Final};
+
+/** The seven backends of the rail: six SVC designs + the ARB. */
+std::vector<std::pair<std::string, bench::RunConfig>>
+backends()
+{
+    std::vector<std::pair<std::string, bench::RunConfig>> b;
+    for (SvcDesign d : kDesigns) {
+        b.emplace_back(std::string("svc8k_") + svcDesignName(d),
+                       bench::svcRun(bench::paperSvcConfig(8, d)));
+    }
+    b.emplace_back("arb32k_lat2",
+                   bench::arbRun(bench::paperArbConfig(32, 2)));
+    return b;
+}
+
+/** Every cycle-visible BenchRow field must agree. */
+void
+expectRowsEqual(const bench::BenchRow &t, const bench::BenchRow &e,
+                const std::string &cell)
+{
+    EXPECT_EQ(t.ipc, e.ipc) << cell;
+    EXPECT_EQ(t.cycles, e.cycles) << cell;
+    EXPECT_EQ(t.instructions, e.instructions) << cell;
+    EXPECT_EQ(t.missRatio, e.missRatio) << cell;
+    EXPECT_EQ(t.busUtilization, e.busUtilization) << cell;
+    EXPECT_EQ(t.violationSquashes, e.violationSquashes) << cell;
+    EXPECT_EQ(t.taskMispredicts, e.taskMispredicts) << cell;
+    EXPECT_EQ(t.busOccupancy, e.busOccupancy) << cell;
+    EXPECT_EQ(t.missLatency, e.missLatency) << cell;
+    EXPECT_TRUE(t.verified) << cell;
+    EXPECT_TRUE(e.verified) << cell;
+}
+
+/**
+ * Both kernels' full observable state from one direct run:
+ * RunStats-derived fields plus the complete statistics tree of the
+ * memory system and the processor, rendered to text.
+ */
+struct DirectRun
+{
+    RunStats rs;
+    std::string memStats;
+    std::string cpuStats;
+};
+
+DirectRun
+runDirect(bool event_driven, const bench::RunConfig &rc,
+          const std::string &workload, std::uint64_t seed)
+{
+    auto stim = bench::kernel(workload, 1, seed);
+    MainMemory mem;
+    std::unique_ptr<SpecMem> sys =
+        makeSpecMem(rc.memKind, rc.mem, mem, nullptr);
+    stim->loadInitialImage(mem);
+    MultiscalarConfig cfg = bench::paperCpuConfig();
+    cfg.eventDriven = event_driven;
+    Processor cpu(cfg, *stim->program(), *sys);
+    DirectRun out;
+    out.rs = cpu.run();
+    sys->finalizeMemory();
+    out.memStats = sys->stats().format();
+    out.cpuStats = cpu.stats().format();
+    return out;
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    EXPECT_TRUE(f.good()) << path;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Bench-row identity over the full matrix: 7 backends x 7 workloads
+ * x 2 seeds, each run under both kernels through the same harness
+ * entry point the sweep grids use.
+ */
+TEST(EventLockstep, BenchRowsMatchAcrossKernels)
+{
+    for (const auto &[config, base_rc] : backends()) {
+        for (const char *w : kWorkloads) {
+            for (std::uint64_t seed : {12345ull, 777ull}) {
+                auto stim = bench::kernel(w, 1, seed);
+                bench::RunConfig rc = base_rc;
+                rc.kernel = "ticked";
+                const bench::BenchRow ticked =
+                    bench::runOn(*stim, rc);
+                rc.kernel = "event";
+                const bench::BenchRow event =
+                    bench::runOn(*stim, rc);
+                expectRowsEqual(ticked, event,
+                                config + "/" + w + "/s" +
+                                    std::to_string(seed));
+            }
+        }
+    }
+}
+
+/**
+ * The idle-cycle accounting audit: the complete statistics tree —
+ * processor and memory system, every counter, ratio and
+ * distribution bucket — renders byte-identically under both
+ * kernels, across every backend.
+ */
+TEST(EventLockstep, StatTreesMatchByteForByte)
+{
+    for (const auto &[config, rc] : backends()) {
+        for (const char *w : {"compress", "mgrid"}) {
+            const DirectRun ticked = runDirect(false, rc, w, 12345);
+            const DirectRun event = runDirect(true, rc, w, 12345);
+            const std::string cell = config + "/" + w;
+            EXPECT_TRUE(ticked.rs.halted) << cell;
+            EXPECT_TRUE(event.rs.halted) << cell;
+            EXPECT_EQ(ticked.rs.cycles, event.rs.cycles) << cell;
+            EXPECT_EQ(ticked.memStats, event.memStats) << cell;
+            EXPECT_EQ(ticked.cpuStats, event.cpuStats) << cell;
+        }
+    }
+}
+
+/** Recorded SVCTRC1 traces must be byte-identical. */
+TEST(EventLockstep, RecordedTracesMatchByteForByte)
+{
+    for (const auto &[config, base_rc] :
+         {std::pair<std::string, bench::RunConfig>{
+              "svc8k_Final",
+              bench::svcRun(bench::paperSvcConfig(8))},
+          std::pair<std::string, bench::RunConfig>{
+              "arb32k_lat2",
+              bench::arbRun(bench::paperArbConfig(32, 2))}}) {
+        const std::string t_path =
+            "event_lockstep_" + config + "_ticked.svctrc";
+        const std::string e_path =
+            "event_lockstep_" + config + "_event.svctrc";
+        auto stim = bench::kernel("compress", 1, 12345);
+        bench::RunConfig rc = base_rc;
+        rc.kernel = "ticked";
+        rc.recordPath = t_path;
+        bench::runOn(*stim, rc);
+        rc.kernel = "event";
+        rc.recordPath = e_path;
+        bench::runOn(*stim, rc);
+        EXPECT_EQ(readFileBytes(t_path), readFileBytes(e_path))
+            << config;
+        std::remove(t_path.c_str());
+        std::remove(e_path.c_str());
+    }
+}
+
+/**
+ * Preemption checkpoints: a sliced run's first checkpoint image is
+ * taken at the same quiescent cycle and serializes byte-identically
+ * under both kernels (the service's preempt/resume path therefore
+ * cannot tell the kernels apart either).
+ */
+TEST(EventLockstep, PreemptionCheckpointImagesMatch)
+{
+    auto sliced_image = [](const char *kernel) {
+        auto stim = bench::kernel("compress", 1, 12345);
+        bench::RunConfig rc =
+            bench::svcRun(bench::paperSvcConfig(8));
+        rc.kernel = kernel;
+        std::vector<std::uint8_t> image;
+        bench::SliceBudget budget;
+        budget.sliceCycles = 3000;
+        budget.resumeImage = &image;
+        bench::SliceOutcome outcome = bench::SliceOutcome::Completed;
+        bench::runProgramSliced(*stim, rc, budget, outcome);
+        EXPECT_EQ(outcome, bench::SliceOutcome::Preempted);
+        return image;
+    };
+    const std::vector<std::uint8_t> ticked = sliced_image("ticked");
+    const std::vector<std::uint8_t> event = sliced_image("event");
+    ASSERT_FALSE(ticked.empty());
+    EXPECT_EQ(ticked, event);
+}
+
+/**
+ * The lost-wakeup invariant on a live event-mode run: protocol,
+ * conservation and lost-wakeup checkers anchored at every bus
+ * grant, with the sequencer's forward-progress watchdog registered
+ * as an external wake/due source. Run fault-free and under the
+ * transient fault mix (which arms the per-cycle spurious-squash
+ * draw the checker's third term guards).
+ */
+void
+runEventModeChecked(FaultInjector *inj)
+{
+    auto stim = bench::kernel("compress", 1, 12345);
+    MainMemory mem;
+    SvcSystem sys(bench::paperSvcConfig(8), mem);
+    if (inj)
+        sys.attachFaultInjector(inj);
+    InvariantEngine eng;
+    sys.attachInvariants(eng);
+    MultiscalarConfig cfg = bench::paperCpuConfig();
+    cfg.eventDriven = true;
+    stim->loadInitialImage(mem);
+    Processor cpu(cfg, *stim->program(), sys);
+    auto wd = std::make_unique<SvcLostWakeupChecker>(sys);
+    wd->addExternalSource(
+        "sequencer.watchdog",
+        [&cpu] { return cpu.eventWakeCycle(); },
+        [&cpu] { return cpu.watchdogDueCycle(); });
+    eng.addChecker(std::move(wd));
+    const RunStats rs = cpu.run();
+    sys.finalizeMemory();
+    eng.runFinalChecks();
+    EXPECT_TRUE(rs.halted);
+    EXPECT_TRUE(eng.clean()) << eng.formatReport();
+    EXPECT_GT(eng.checksRun(), 0u);
+}
+
+TEST(EventLockstep, LostWakeupCheckerCleanOnEventRun)
+{
+    runEventModeChecked(nullptr);
+}
+
+TEST(EventLockstep, LostWakeupCheckerCleanUnderFaults)
+{
+    FaultConfig fcfg;
+    fcfg.seed = 11;
+    fcfg.nackPercent = 20;
+    fcfg.delayPercent = 20;
+    fcfg.delayCycles = 3;
+    fcfg.wbStallPercent = 30;
+    fcfg.squashPer10k = 20;
+    fcfg.maxInjections = 64;
+    FaultInjector inj(fcfg);
+    runEventModeChecked(&inj);
+}
+
+} // namespace
+} // namespace svc

@@ -1,11 +1,23 @@
 /**
  * @file
  * bench_compare: diff two sweep result documents and fail on IPC
- * regressions. CI runs it against the committed baseline
- * (BENCH_PR8.json) so a perf regression fails the build the same
- * way a test failure does.
+ * regressions. CI runs it against the newest committed baseline so
+ * a perf regression fails the build the same way a test failure
+ * does.
  *
  *   bench_compare BASELINE.json CURRENT.json [--threshold PCT]
+ *   bench_compare --baseline-dir DIR CURRENT.json [--threshold PCT]
+ *
+ * With --baseline-dir the baseline is *selected*, not named: the
+ * directory is scanned for BENCH_*.json files and the newest one —
+ * highest PR number for BENCH_PR<N>.json names, lexicographically
+ * last otherwise — is used. This is what fixes the stale-gate bug:
+ * a hard-coded baseline name silently stops gating the moment a new
+ * BENCH_PR*.json lands, whereas the scan always follows the most
+ * recently blessed snapshot. Unparsable candidates are skipped with
+ * a warning; if candidates exist but *none* parses, that is a
+ * structural failure (exit 2), because the gate would otherwise
+ * pass vacuously forever.
  *
  * Rows are matched by their stable "id"; only bench rows (the ones
  * carrying "ipc") participate. Ids present on one side only are
@@ -13,12 +25,13 @@
  * baseline is only refreshed when benchmarks are re-blessed.
  *
  * A *missing baseline* is not an error: on a branch that predates
- * the committed baseline (or after an intentional baseline rename)
- * there is simply nothing to compare against, so the tool emits a
- * structured warning and exits 0. A missing or unparsable CURRENT
- * file is still a hard error — the build that was supposed to
- * produce it is broken. Exit: 0 ok (including missing baseline),
- * 1 regression, 2 usage/parse error.
+ * any committed baseline (explicit file absent, or the scanned
+ * directory holds no BENCH_*.json at all) there is simply nothing
+ * to compare against, so the tool emits a structured warning and
+ * exits 0. A missing or unparsable CURRENT file is still a hard
+ * error — the build that was supposed to produce it is broken.
+ * Exit: 0 ok (including missing baseline), 1 regression,
+ * 2 usage/parse error.
  *
  * The scanner below is deliberately minimal: sweep_runner's
  * JsonWriter emits a known subset of JSON (no escapes inside the
@@ -27,10 +40,12 @@
  * parser dependency.
  */
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -152,12 +167,89 @@ loadIpcById(const char *path, std::map<std::string, double> &out)
     return true;
 }
 
+/**
+ * Sort key for baseline candidates: BENCH_PR<N>.json names order by
+ * N (so BENCH_PR10 beats BENCH_PR2 despite the lexicographic order),
+ * other BENCH_*.json names order lexicographically below any
+ * numbered one.
+ */
+long
+baselineRank(const std::string &name)
+{
+    const char *prefix = "BENCH_PR";
+    if (name.rfind(prefix, 0) != 0)
+        return -1;
+    char *end = nullptr;
+    const long n = std::strtol(name.c_str() + std::strlen(prefix),
+                               &end, 10);
+    if (end == name.c_str() + std::strlen(prefix) ||
+        std::strcmp(end, ".json") != 0)
+        return -1;
+    return n;
+}
+
+/**
+ * Scan @p dir for BENCH_*.json and load the newest parsable one
+ * into @p base. @return 0 with @p selected set on success, 0 with
+ * @p selected empty when the directory holds no candidates (skip),
+ * 2 when candidates exist but none parses (structural failure).
+ */
+int
+selectBaseline(const char *dir, std::map<std::string, double> &base,
+               std::string &selected)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+            name.compare(name.size() - 5, 5, ".json") == 0)
+            names.push_back(name);
+    }
+    if (ec) {
+        std::fprintf(stderr,
+                     "bench_compare: cannot scan %s: %s\n", dir,
+                     ec.message().c_str());
+        return 2;
+    }
+    if (names.empty()) {
+        selected.clear();
+        return 0;
+    }
+    // Newest first: highest PR number, then lexicographically last.
+    std::sort(names.begin(), names.end(),
+              [](const std::string &a, const std::string &b) {
+                  const long ra = baselineRank(a),
+                             rb = baselineRank(b);
+                  if (ra != rb)
+                      return ra > rb;
+                  return a > b;
+              });
+    for (const std::string &name : names) {
+        const std::string path =
+            (fs::path(dir) / name).string();
+        base.clear();
+        if (loadIpcById(path.c_str(), base)) {
+            selected = path;
+            return 0;
+        }
+        std::printf("bench_compare: warning: skipping unparsable "
+                    "baseline %s\n", path.c_str());
+    }
+    std::fprintf(stderr,
+                 "bench_compare: %zu BENCH_*.json candidate(s) in "
+                 "%s but none parses\n", names.size(), dir);
+    return 2;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     double thresholdPct = 10.0;
+    const char *baselineDir = nullptr;
     std::vector<const char *> files;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threshold") == 0) {
@@ -166,32 +258,58 @@ main(int argc, char **argv)
                 return 2;
             }
             thresholdPct = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--baseline-dir") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--baseline-dir needs a value\n");
+                return 2;
+            }
+            baselineDir = argv[++i];
         } else {
             files.push_back(argv[i]);
         }
     }
-    if (files.size() != 2) {
+    const std::size_t expect = baselineDir ? 1 : 2;
+    if (files.size() != expect) {
         std::fprintf(stderr,
                      "usage: bench_compare BASELINE.json "
+                     "CURRENT.json [--threshold PCT]\n"
+                     "       bench_compare --baseline-dir DIR "
                      "CURRENT.json [--threshold PCT]\n");
         return 2;
     }
 
-    // A baseline that does not exist at all is a skip, not a
-    // failure: report it in a machine-greppable form and succeed.
-    // (An unreadable/unparsable baseline that *does* exist still
-    // falls through to the hard error below.)
-    if (std::FILE *probe = std::fopen(files[0], "rb")) {
-        std::fclose(probe);
-    } else {
-        std::printf("bench_compare: warning: baseline %s not "
-                    "found; skipping comparison "
-                    "(no-baseline-skip)\n", files[0]);
-        return 0;
-    }
-
     std::map<std::string, double> base, cur;
-    if (!loadIpcById(files[0], base) || !loadIpcById(files[1], cur))
+    if (baselineDir) {
+        std::string selected;
+        const int rc = selectBaseline(baselineDir, base, selected);
+        if (rc != 0)
+            return rc;
+        if (selected.empty()) {
+            std::printf("bench_compare: warning: no BENCH_*.json "
+                        "in %s; skipping comparison "
+                        "(no-baseline-skip)\n", baselineDir);
+            return 0;
+        }
+        std::printf("bench_compare: baseline %s\n",
+                    selected.c_str());
+    } else {
+        // A baseline that does not exist at all is a skip, not a
+        // failure: report it in a machine-greppable form and
+        // succeed. (An unreadable/unparsable baseline that *does*
+        // exist still falls through to the hard error below.)
+        if (std::FILE *probe = std::fopen(files[0], "rb")) {
+            std::fclose(probe);
+        } else {
+            std::printf("bench_compare: warning: baseline %s not "
+                        "found; skipping comparison "
+                        "(no-baseline-skip)\n", files[0]);
+            return 0;
+        }
+        if (!loadIpcById(files[0], base))
+            return 2;
+    }
+    if (!loadIpcById(files[expect - 1], cur))
         return 2;
 
     unsigned compared = 0, regressions = 0, onlyOne = 0;

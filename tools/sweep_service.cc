@@ -16,8 +16,11 @@
  *            supervised restart loop around injected/real crashes
  *   resume   alias for run (reads better in scripts)
  *   status   replay the journal and print a status summary (JSON)
- *   bench    measure service throughput (jobs/s at 1/4/8 workers)
- *            and restart-recovery latency; writes BENCH_PR8.json
+ *   bench    measure service throughput (jobs/s at 1/4/8 workers),
+ *            restart-recovery latency, and simulation-kernel
+ *            throughput (the fig19 grid under the ticked and the
+ *            event kernel, with row byte-identity enforced);
+ *            writes BENCH_PR9.json
  *
  * The --chaos flag drives the deterministic service fault injector
  * (worker-kill, worker-hang, journal-stall, torn-write, restart):
@@ -42,6 +45,7 @@
 #include "bench/harness.hh"
 #include "common/json.hh"
 #include "common/log.hh"
+#include "service/grid.hh"
 #include "service/service.hh"
 #include "trace_io/stimulus_cli.hh"
 
@@ -74,8 +78,8 @@ usage()
         "  run      submit (or resume) a campaign and drain it\n"
         "  resume   alias for run\n"
         "  status   replay the journal, print a JSON status summary\n"
-        "  bench    measure service throughput and restart-recovery "
-        "latency\n"
+        "  bench    measure service + simulation-kernel throughput "
+        "and restart-recovery latency\n"
         "options:\n"
         "  --journal FILE        job journal (default "
         "sweep.journal)\n"
@@ -90,7 +94,7 @@ usage()
         "  --trace-in F          trace grid: replay this SVCTRC1 "
         "file\n"
         "  --out FILE            results JSON (run: "
-        "sweep_results.json; bench: BENCH_PR8.json)\n"
+        "sweep_results.json; bench: BENCH_PR9.json)\n"
         "  --max-attempts N      strikes before quarantine "
         "(default 3)\n"
         "  --slice-cycles N      preemption quantum in cycles "
@@ -295,18 +299,50 @@ cmdRun(const Options &opt)
 }
 
 /**
+ * One timed pass over @p items with the simulation kernel pinned to
+ * @p kernel: every item runs serially (runItem — the same pure path
+ * the service workers use), its row is rendered, and the aggregate
+ * simulated-cycle count of the bench rows is accumulated. Returns
+ * the wall-clock seconds of the pass.
+ */
+double
+runKernelPass(std::vector<service::SweepItem> items,
+              const std::string &kernel,
+              std::vector<std::string> &rows_out,
+              std::uint64_t &sim_cycles_out)
+{
+    rows_out.clear();
+    sim_cycles_out = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (service::SweepItem &it : items) {
+        it.kernel = kernel;
+        const service::ItemResult r = service::runItem(it);
+        sim_cycles_out += r.row.cycles;
+        rows_out.push_back(service::renderRow(it, r));
+    }
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
  * Service benchmark: drain the grid at 1/4/8 workers on fresh
- * journals (jobs/s), then measure restart-recovery latency with
- * injected restart chaos. Emits a svc-sweep-v1 document whose
- * results hold the (deterministic) campaign rows plus service
- * metric rows; bench_compare keys on "ipc", so only the campaign
- * rows participate in regression checks.
+ * journals (jobs/s), measure restart-recovery latency with
+ * injected restart chaos, then measure simulation-kernel
+ * throughput — the full fig19 grid once under the ticked and once
+ * under the event kernel. The two passes must produce byte-identical
+ * rows (the event kernel's contract); any divergence fails the
+ * bench. Emits a svc-sweep-v1 document whose results hold the
+ * (deterministic) campaign rows, the fig19 rows, the service metric
+ * rows and the kernel-throughput rows; bench_compare keys on "ipc",
+ * so the campaign and fig19 rows participate in regression checks
+ * while the wall-clock rows ride along as informational.
  */
 int
 cmdBench(Options opt)
 {
     if (!opt.outSet)
-        opt.out = "BENCH_PR8.json";
+        opt.out = "BENCH_PR9.json";
     const std::string journal_base = opt.cfg.journalPath;
     std::vector<std::string> rows;
     struct Point
@@ -358,6 +394,37 @@ cmdBench(Options opt)
             return rc;
     }
 
+    // Simulation-kernel throughput: the fig19 grid, serially, once
+    // per kernel. Rows must match byte for byte — this doubles as a
+    // CI-enforced differential gate on the event kernel.
+    const std::vector<service::SweepItem> fig19 =
+        service::buildGrid("fig19", opt.cfg.scale, opt.stim);
+    std::vector<std::string> ticked_rows, event_rows;
+    std::uint64_t ticked_cycles = 0, event_cycles = 0;
+    const double ticked_wall =
+        runKernelPass(fig19, "ticked", ticked_rows, ticked_cycles);
+    const double event_wall =
+        runKernelPass(fig19, "event", event_rows, event_cycles);
+    if (ticked_rows != event_rows) {
+        std::fprintf(stderr,
+                     "bench: ticked/event kernel rows diverge on "
+                     "the fig19 grid — the event kernel broke "
+                     "cycle-visible semantics\n");
+        for (std::size_t i = 0; i < ticked_rows.size(); ++i) {
+            if (i >= event_rows.size() ||
+                ticked_rows[i] != event_rows[i]) {
+                std::fprintf(stderr, "first divergent row %zu:\n"
+                             "  ticked: %s\n  event:  %s\n", i,
+                             ticked_rows[i].c_str(),
+                             i < event_rows.size()
+                                 ? event_rows[i].c_str()
+                                 : "<missing>");
+                break;
+            }
+        }
+        return 1;
+    }
+
     JsonWriter w;
     w.beginObject();
     w.member("schema", "svc-sweep-v1");
@@ -369,6 +436,8 @@ cmdBench(Options opt)
     w.key("results");
     w.beginArray();
     for (const std::string &row : rows)
+        w.rawValue(row);
+    for (const std::string &row : ticked_rows)
         w.rawValue(row);
     for (const Point &p : points) {
         w.beginObject();
@@ -391,6 +460,40 @@ cmdBench(Options opt)
     w.key("restarts");
     w.value(restarts);
     w.member("recovery_seconds", recovery);
+    w.endObject();
+    // Kernel-throughput rows: wall-clock, so machine-dependent —
+    // informational (no "ipc" key, bench_compare skips them). The
+    // speedup row records the measured event-vs-ticked ratio on
+    // this grid plus the identity verdict the bench just enforced.
+    struct KernelPass
+    {
+        const char *kernel;
+        double wall;
+        std::uint64_t cycles;
+    };
+    for (const KernelPass &p :
+         {KernelPass{"ticked", ticked_wall, ticked_cycles},
+          KernelPass{"event", event_wall, event_cycles}}) {
+        w.beginObject();
+        w.member("id", std::string("kernel/fig19/") + p.kernel);
+        w.member("kind", "kernel");
+        w.member("kernel", p.kernel);
+        w.key("grid_items");
+        w.value(static_cast<std::uint64_t>(fig19.size()));
+        w.key("sim_cycles");
+        w.value(p.cycles);
+        w.member("wall_seconds", p.wall);
+        w.member("sim_cycles_per_second",
+                 p.wall > 0.0 ? static_cast<double>(p.cycles) / p.wall
+                              : 0.0);
+        w.endObject();
+    }
+    w.beginObject();
+    w.member("id", "kernel/fig19/speedup");
+    w.member("kind", "kernel");
+    w.member("event_speedup",
+             event_wall > 0.0 ? ticked_wall / event_wall : 0.0);
+    w.member("rows_identical", true);
     w.endObject();
     w.endArray();
     w.endObject();
