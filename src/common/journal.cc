@@ -8,6 +8,7 @@
 
 #include <unistd.h>
 
+#include "common/posix_io.hh"
 #include "common/snapshot.hh"
 
 namespace svc
@@ -164,8 +165,8 @@ JournalWriter::open(const std::string &path, std::string &error)
         putLeU64(hdr, kJournalMagic);
         putLeU32(hdr, kJournalVersion);
         putLeU32(hdr, 0);
-        if (std::fwrite(hdr.data(), 1, hdr.size(), f) != hdr.size() ||
-            std::fflush(f) != 0 || ::fsync(fileno(f)) != 0) {
+        if (!fwriteAll(f, hdr.data(), hdr.size()) ||
+            std::fflush(f) != 0 || !fsyncRetry(fileno(f))) {
             error = "journal: cannot write header to '" + path + "'";
             std::fclose(f);
             return false;
@@ -174,8 +175,9 @@ JournalWriter::open(const std::string &path, std::string &error)
         // Validate the existing header before appending to it.
         std::uint8_t hdr[kJournalHeaderBytes];
         std::fseek(f, 0, SEEK_SET);
-        if (std::fread(hdr, 1, sizeof(hdr), f) != sizeof(hdr) ||
-            getLeU64(hdr) != kJournalMagic ||
+        std::size_t got = 0;
+        if (!freadSome(f, hdr, sizeof(hdr), got) ||
+            got != sizeof(hdr) || getLeU64(hdr) != kJournalMagic ||
             getLeU32(hdr + 8) != kJournalVersion) {
             error = "journal: '" + path +
                     "' exists but is not a version-" +
@@ -217,16 +219,18 @@ JournalWriter::append(std::uint32_t tag,
     if (writeBytes > frame.size())
         writeBytes = frame.size();
 
-    const std::size_t wrote =
-        std::fwrite(frame.data(), 1, writeBytes, file);
+    // fwriteAll resumes across EINTR, so a signal cannot masquerade
+    // as a torn write; only an injected tear or a real device error
+    // leaves the record short.
+    const bool wroteAll = fwriteAll(file, frame.data(), writeBytes);
     const bool flushed =
-        std::fflush(file) == 0 && ::fsync(fileno(file)) == 0;
-    if (wrote != frame.size()) {
+        std::fflush(file) == 0 && fsyncRetry(fileno(file));
+    if (!wroteAll || writeBytes != frame.size()) {
         // A short write — injected or real — leaves a torn record
         // at the tail. The journal is now crashed: recovery must
         // re-scan it (the tear is detected by the record checksum).
         error = "journal: short write to '" + filePath + "' (" +
-                std::to_string(wrote) + " of " +
+                std::to_string(wroteAll ? writeBytes : 0) + " of " +
                 std::to_string(frame.size()) + " bytes persisted)";
         return false;
     }
@@ -243,7 +247,7 @@ JournalWriter::close()
 {
     if (file) {
         std::fflush(file);
-        ::fsync(fileno(file));
+        fsyncRetry(fileno(file));
         std::fclose(file);
         file = nullptr;
     }
@@ -258,7 +262,12 @@ atomicReplaceFile(const std::string &tmpPath,
                 path + "': " + std::strerror(errno);
         return false;
     }
-    return true;
+    // The rename itself is not durable until the parent directory's
+    // entry is: a crash after rename but before the metadata hits
+    // disk can resurrect the old file (or leave neither). Callers
+    // fsync the file's *contents* before renaming; this completes
+    // the discipline.
+    return fsyncParentDir(path, error);
 }
 
 } // namespace svc

@@ -1,0 +1,127 @@
+#include "common/posix_io.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace svc
+{
+
+bool
+fwriteAll(std::FILE *f, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    while (n > 0) {
+        const std::size_t wrote = std::fwrite(p, 1, n, f);
+        p += wrote;
+        n -= wrote;
+        if (n == 0)
+            break;
+        // A short stdio write with EINTR pending is resumable once
+        // the error flag is cleared; anything else is a real error.
+        if (std::ferror(f) && errno == EINTR) {
+            std::clearerr(f);
+            continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+bool
+freadSome(std::FILE *f, void *out, std::size_t n, std::size_t &got)
+{
+    got = 0;
+    auto *p = static_cast<unsigned char *>(out);
+    while (got < n) {
+        const std::size_t r = std::fread(p + got, 1, n - got, f);
+        got += r;
+        if (got == n || std::feof(f))
+            return true;
+        if (std::ferror(f)) {
+            if (errno == EINTR) {
+                std::clearerr(f);
+                continue;
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+writeFdAll(int fd, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    while (n > 0) {
+        const ssize_t wrote = ::write(fd, p, n);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += wrote;
+        n -= static_cast<std::size_t>(wrote);
+    }
+    return true;
+}
+
+bool
+readFdSome(int fd, void *out, std::size_t n, std::size_t &got)
+{
+    got = 0;
+    for (;;) {
+        const ssize_t r = ::read(fd, out, n);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        got = static_cast<std::size_t>(r);
+        return true;
+    }
+}
+
+bool
+fsyncRetry(int fd)
+{
+    while (::fsync(fd) != 0) {
+        if (errno != EINTR)
+            return false;
+    }
+    return true;
+}
+
+bool
+fsyncParentDir(const std::string &path, std::string &error)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+        error = "cannot open directory '" + dir +
+                "' for fsync: " + std::strerror(errno);
+        return false;
+    }
+    const bool ok = fsyncRetry(fd);
+    if (!ok)
+        error = "fsync of directory '" + dir +
+                "' failed: " + std::strerror(errno);
+    ::close(fd);
+    return ok;
+}
+
+void
+ignoreSigpipe()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &sa, nullptr);
+}
+
+} // namespace svc

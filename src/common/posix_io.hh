@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Signal-robust POSIX I/O helpers. The process-isolated worker
+ * backend (service/process_worker.hh) makes the daemon a real UNIX
+ * parent: children die, get reaped, and deliver signals at
+ * arbitrary points, so every raw read/write/fwrite loop in the
+ * durability paths must tolerate EINTR short transfers instead of
+ * misreporting them as I/O failures. These helpers centralize that
+ * discipline:
+ *
+ *   - fwriteAll/freadSome  stdio transfers that resume after EINTR
+ *   - writeFdAll/readFdSome  fd transfers with the same contract
+ *   - fsyncRetry           fsync(2) retried through EINTR
+ *   - fsyncParentDir       fsync the directory holding a path, the
+ *                          missing half of rename durability: an
+ *                          fsync'd file published with rename(2) can
+ *                          still be lost on crash until the parent
+ *                          directory's entry is durable
+ *   - ignoreSigpipe        a dead pipe reader must surface as EPIPE
+ *                          from write(2), not kill the daemon
+ *
+ * Error model: no exceptions; boolean results, errno preserved for
+ * the caller's structured message.
+ */
+
+#ifndef SVC_COMMON_POSIX_IO_HH
+#define SVC_COMMON_POSIX_IO_HH
+
+#include <cstdio>
+#include <string>
+
+namespace svc
+{
+
+/** Write all @p n bytes to @p f, resuming after EINTR-shortened
+ *  fwrite calls. @return false on a genuine write error. */
+bool fwriteAll(std::FILE *f, const void *data, std::size_t n);
+
+/**
+ * Read up to @p n bytes from @p f into @p out, resuming after
+ * EINTR. Sets @p got to the bytes read (0 at EOF). @return false
+ * only on a genuine read error.
+ */
+bool freadSome(std::FILE *f, void *out, std::size_t n,
+               std::size_t &got);
+
+/** Write all @p n bytes to fd, restarting on EINTR (and on short
+ *  writes). @return false on error (errno holds the cause). */
+bool writeFdAll(int fd, const void *data, std::size_t n);
+
+/**
+ * Read up to @p n bytes from fd, restarting on EINTR. Sets @p got
+ * (0 at EOF). @return false on error (errno holds the cause).
+ */
+bool readFdSome(int fd, void *out, std::size_t n, std::size_t &got);
+
+/** fsync(2) retried through EINTR. @return false on error. */
+bool fsyncRetry(int fd);
+
+/**
+ * fsync the directory containing @p path ("." when @p path has no
+ * directory component), making a just-renamed entry durable.
+ * @return false with a structured message on failure.
+ */
+bool fsyncParentDir(const std::string &path, std::string &error);
+
+/** Ignore SIGPIPE process-wide (idempotent). */
+void ignoreSigpipe();
+
+} // namespace svc
+
+#endif // SVC_COMMON_POSIX_IO_HH

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/posix_io.hh"
+
 namespace svc
 {
 
@@ -105,11 +107,10 @@ writeSnapshotFile(const std::string &path,
         error = "cannot open '" + path + "' for writing";
         return false;
     }
-    const std::size_t wrote =
-        image.empty() ? 0
-                      : std::fwrite(image.data(), 1, image.size(), f);
+    const bool wrote =
+        image.empty() || fwriteAll(f, image.data(), image.size());
     const bool closed = std::fclose(f) == 0;
-    if (wrote != image.size() || !closed) {
+    if (!wrote || !closed) {
         error = "short write to '" + path + "'";
         return false;
     }
@@ -128,10 +129,16 @@ readSnapshotFile(const std::string &path,
     }
     image.clear();
     std::uint8_t buf[65536];
-    std::size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    std::size_t n = 0;
+    bool bad = false;
+    // freadSome resumes across EINTR; it returns short only at EOF
+    // or on a real error.
+    while (freadSome(f, buf, sizeof(buf), n) && n > 0) {
         image.insert(image.end(), buf, buf + n);
-    const bool bad = std::ferror(f) != 0;
+        if (std::feof(f))
+            break;
+    }
+    bad = std::ferror(f) != 0;
     std::fclose(f);
     if (bad) {
         error = "read error on '" + path + "'";

@@ -27,6 +27,38 @@ serviceFaultName(ServiceFault kind)
     case ServiceFault::JournalStall: return "journal-stall";
     case ServiceFault::TornWrite: return "torn-write";
     case ServiceFault::Restart: return "restart";
+    case ServiceFault::SigKill: return "sig-kill";
+    case ServiceFault::SigSegv: return "sig-segv";
+    case ServiceFault::SigStop: return "sig-stop";
+    case ServiceFault::OomKill: return "oom";
+    }
+    return "?";
+}
+
+bool
+isRealSignalFault(ServiceFault kind)
+{
+    switch (kind) {
+    case ServiceFault::SigKill:
+    case ServiceFault::SigSegv:
+    case ServiceFault::SigStop:
+    case ServiceFault::OomKill:
+        return true;
+    default:
+        return false;
+    }
+}
+
+const char *
+inducedFaultName(InducedFault fault)
+{
+    switch (fault) {
+    case InducedFault::None: return "none";
+    case InducedFault::SigKill: return "sig-kill";
+    case InducedFault::SigSegv: return "sig-segv";
+    case InducedFault::SigStop: return "sig-stop";
+    case InducedFault::Oom: return "oom";
+    case InducedFault::SpinCpu: return "spin-cpu";
     }
     return "?";
 }
@@ -47,6 +79,14 @@ serviceFaultFromName(const std::string &name, bool &ok)
         return ServiceFault::TornWrite;
     if (name == "restart")
         return ServiceFault::Restart;
+    if (name == "sig-kill")
+        return ServiceFault::SigKill;
+    if (name == "sig-segv")
+        return ServiceFault::SigSegv;
+    if (name == "sig-stop")
+        return ServiceFault::SigStop;
+    if (name == "oom")
+        return ServiceFault::OomKill;
     ok = false;
     return ServiceFault::None;
 }
@@ -76,6 +116,28 @@ ServiceFaultInjector::hangsAttempt(std::uint64_t job_id,
 {
     return cfg.kind == ServiceFault::WorkerHang && attempt == 1 &&
            selected(job_id);
+}
+
+InducedFault
+ServiceFaultInjector::inducedFault(std::uint64_t job_id,
+                                   unsigned attempt) const
+{
+    if (!isRealSignalFault(cfg.kind))
+        return InducedFault::None;
+    // The poison job takes the real fault on every attempt (a job
+    // that genuinely crashes no matter what → quarantine); the
+    // seeded selection only on attempt 1, so retries run clean and
+    // the aggregate converges to the fault-free bytes.
+    if (job_id != cfg.poisonJobId &&
+        !(attempt == 1 && selected(job_id)))
+        return InducedFault::None;
+    switch (cfg.kind) {
+    case ServiceFault::SigKill: return InducedFault::SigKill;
+    case ServiceFault::SigSegv: return InducedFault::SigSegv;
+    case ServiceFault::SigStop: return InducedFault::SigStop;
+    case ServiceFault::OomKill: return InducedFault::Oom;
+    default: return InducedFault::None;
+    }
 }
 
 JournalWriteHook

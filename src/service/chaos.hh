@@ -31,8 +31,34 @@
  *                of completions; the front-end restarts it and it
  *                resumes from the journal.
  *
+ * Real-signal kinds (process-isolation backend only — with thread
+ * workers these would kill or wedge the daemon itself, so the
+ * service refuses them under --isolation=thread with a structured
+ * error):
+ *
+ *   SigKill      the selected attempt's child raises SIGKILL — an
+ *                abrupt worker death with no cleanup, classified by
+ *                the supervisor via waitpid.
+ *   SigSegv      the child takes a genuine segmentation fault (a
+ *                wild store through an induced bad pointer) — the
+ *                poison-job-that-crashes scenario class.
+ *   SigStop      the child raises SIGSTOP: every thread (including
+ *                the heartbeat thread) freezes, the supervisor's
+ *                heartbeat deadline expires, and the wedged child
+ *                is SIGKILLed and reaped.
+ *   OomKill      the child clamps its own RLIMIT_AS and maps memory
+ *                until the kernel refuses — a real address-space
+ *                OOM, classified from the child's OOM exit code.
+ *
+ * Like the simulated kinds, only attempt 1 of the seeded selection
+ * is faulted, so retries run clean and the final aggregate is
+ * byte-identical to the fault-free run.
+ *
  * A poison job (ChaosConfig::poisonJobId) dies on *every* attempt —
- * the quarantine path's test vector.
+ * the quarantine path's test vector. Under a real-signal kind the
+ * poison job takes the *real* fault every attempt (a genuinely
+ * segfaulting/OOMing/wedging job), driving the quarantine ladder
+ * through the process supervisor.
  */
 
 #ifndef SVC_SERVICE_CHAOS_HH
@@ -54,14 +80,40 @@ enum class ServiceFault
     JournalStall,
     TornWrite,
     Restart,
+    SigKill,
+    SigSegv,
+    SigStop,
+    OomKill,
 };
 
 const char *serviceFaultName(ServiceFault kind);
 
 /** @return the fault kind named @p name ("none", "worker-kill",
- *  "worker-hang", "journal-stall", "torn-write", "restart"), or
- *  None with @p ok = false if unknown. */
+ *  "worker-hang", "journal-stall", "torn-write", "restart",
+ *  "sig-kill", "sig-segv", "sig-stop", "oom"), or None with
+ *  @p ok = false if unknown. */
 ServiceFault serviceFaultFromName(const std::string &name, bool &ok);
+
+/** @return true for the kinds that inject a *real* process fault
+ *  and therefore require the process-isolation backend. */
+bool isRealSignalFault(ServiceFault kind);
+
+/**
+ * A real fault a worker child induces in itself (the physical form
+ * of the real-signal ServiceFault kinds; SpinCpu is the RLIMIT_CPU
+ * test vector — a wedged infinite loop only the cpu rlimit stops).
+ */
+enum class InducedFault
+{
+    None,
+    SigKill,
+    SigSegv,
+    SigStop,
+    Oom,
+    SpinCpu,
+};
+
+const char *inducedFaultName(InducedFault fault);
 
 inline constexpr std::uint64_t kNoPoisonJob = ~0ull;
 
@@ -88,6 +140,17 @@ class ServiceFaultInjector
 
     /** Should this attempt hang (reaped as a deadline timeout)? */
     bool hangsAttempt(std::uint64_t job_id, unsigned attempt) const;
+
+    /**
+     * The real fault this attempt's worker child must induce in
+     * itself (None for the simulated kinds, or when this attempt is
+     * not selected). Poison jobs take the configured real fault on
+     * every attempt; the seeded selection only on attempt 1, so
+     * retries converge. Only meaningful under the process backend —
+     * the service refuses real-signal kinds with thread workers.
+     */
+    InducedFault inducedFault(std::uint64_t job_id,
+                              unsigned attempt) const;
 
     /**
      * Journal write hook implementing TornWrite (truncates the k-th

@@ -1,0 +1,150 @@
+#include "service/ipc.hh"
+
+#include <cstdio>
+
+#include "common/posix_io.hh"
+#include "common/snapshot.hh"
+
+namespace svc::service
+{
+namespace
+{
+
+/** tag (4) + length (8) + trailing checksum (8) — the SVCJRNL1
+ *  record overhead, reused byte for byte. */
+constexpr std::size_t kFrameOverhead = 20;
+
+std::uint32_t
+getLeU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getLeU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+putLeU32(std::vector<std::uint8_t> &buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putLeU64(std::vector<std::uint8_t> &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+} // namespace
+
+const char *
+ipcTagName(std::uint32_t tag)
+{
+    switch (static_cast<IpcTag>(tag)) {
+    case IpcTag::Hello: return "HELO";
+    case IpcTag::Heartbeat: return "HBEA";
+    case IpcTag::Row: return "ROWR";
+    case IpcTag::Strike: return "STRK";
+    }
+    return "?";
+}
+
+std::size_t
+ipcFrameBytes(std::size_t payloadBytes)
+{
+    return payloadBytes + kFrameOverhead;
+}
+
+std::vector<std::uint8_t>
+encodeIpcFrame(IpcTag tag, const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> frame;
+    frame.reserve(ipcFrameBytes(payload.size()));
+    putLeU32(frame, static_cast<std::uint32_t>(tag));
+    putLeU64(frame, payload.size());
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    putLeU64(frame, snapshotFnv1a(frame.data(), frame.size()));
+    return frame;
+}
+
+void
+FrameDecoder::feed(const std::uint8_t *data, std::size_t n)
+{
+    if (tornFlag)
+        return; // bytes after a tear are untrusted; drop them
+    buf.insert(buf.end(), data, data + n);
+}
+
+bool
+FrameDecoder::next(IpcFrame &out)
+{
+    if (tornFlag)
+        return false;
+    const std::size_t avail = buf.size() - pos;
+    if (avail < 12)
+        return false; // frame header not complete yet
+    const std::uint8_t *p = buf.data() + pos;
+    const std::uint32_t tag = getLeU32(p);
+    const std::uint64_t len = getLeU64(p + 4);
+    if (len > kMaxIpcPayload) {
+        // A length this large is corruption, not a frame: latch the
+        // tear rather than waiting for bytes that never come (or
+        // allocating an attacker-chosen buffer).
+        tornFlag = true;
+        char msg[96];
+        std::snprintf(msg, sizeof(msg),
+                      "ipc: frame length %llu exceeds the %llu-byte "
+                      "bound (corrupt stream)",
+                      static_cast<unsigned long long>(len),
+                      static_cast<unsigned long long>(kMaxIpcPayload));
+        tornError = msg;
+        return false;
+    }
+    const std::size_t need =
+        ipcFrameBytes(static_cast<std::size_t>(len));
+    if (avail < need)
+        return false; // torn-for-now: the tail may still arrive
+    const std::size_t payloadAt = 12;
+    const std::size_t checksumAt =
+        payloadAt + static_cast<std::size_t>(len);
+    const std::uint64_t want = getLeU64(p + checksumAt);
+    const std::uint64_t got = snapshotFnv1a(p, checksumAt);
+    if (want != got) {
+        tornFlag = true;
+        tornError = "ipc: frame checksum mismatch (torn or corrupt "
+                    "stream; frames before the tear are intact)";
+        return false;
+    }
+    out.tag = tag;
+    out.payload.assign(p + payloadAt, p + checksumAt);
+    pos += need;
+    // Compact once the consumed prefix dominates, keeping the
+    // buffer bounded across a long heartbeat stream.
+    if (pos > 4096 && pos * 2 > buf.size()) {
+        buf.erase(buf.begin(), buf.begin() + pos);
+        pos = 0;
+    }
+    return true;
+}
+
+bool
+writeIpcFrame(int fd, IpcTag tag,
+              const std::vector<std::uint8_t> &payload)
+{
+    const std::vector<std::uint8_t> frame =
+        encodeIpcFrame(tag, payload);
+    return writeFdAll(fd, frame.data(), frame.size());
+}
+
+} // namespace svc::service

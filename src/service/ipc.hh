@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Pipe IPC framing between the sweep service daemon and its
+ * process-isolated worker children (service/process_worker.hh).
+ *
+ * A child's result stream reuses the SVCJRNL1 per-record framing
+ * discipline (common/journal.hh) verbatim — the same tag/length/
+ * payload/FNV-1a layout, minus the file header (a pipe has no
+ * resumable identity to version):
+ *
+ *   u32  tag       frame kind (ASCII fourcc)
+ *   u64  length    payload bytes
+ *   ...  payload
+ *   u64  checksum  FNV-1a over tag + length + payload bytes
+ *
+ * The discipline buys the same crash property the journal has: a
+ * child dying mid-write (SIGKILL between write(2) calls, a torn
+ * pipe buffer) tears at most the tail frame. FrameDecoder never
+ * yields a frame whose checksum does not verify, never crashes on
+ * any byte sequence, never allocates beyond the frame-size bound,
+ * and reports the torn/garbage tail as a structured diagnostic —
+ * so the supervisor can trust every decoded frame even though the
+ * peer is, by assumption, a process that may die at any byte.
+ *
+ * Frame protocol (child → parent):
+ *
+ *   HELO  child is alive: protocol version, child pid, jobId,
+ *         attempt. Always first.
+ *   HBEA  heartbeat (sequence number), emitted by a dedicated child
+ *         thread every heartbeatMillis — a wedged or SIGSTOPped
+ *         child stops beating and the supervisor reaps it.
+ *   ROWR  the attempt's result row: failed flag, rendered row JSON
+ *         (the same bytes the thread backend would journal) and
+ *         the structured row-failure description ("" if healthy).
+ *   STRK  the attempt executed but struck out (e.g. in-child
+ *         forward-progress deadline): structured reason.
+ *
+ * The parent never writes to the child; the attempt plan rides the
+ * fork. Payloads are SnapshotWriter-encoded like every journal
+ * record payload.
+ */
+
+#ifndef SVC_SERVICE_IPC_HH
+#define SVC_SERVICE_IPC_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace svc::service
+{
+
+/** IPC frame tags (ASCII fourcc, little-endian). */
+enum class IpcTag : std::uint32_t
+{
+    Hello     = 0x4f4c4548, // "HELO"
+    Heartbeat = 0x41454248, // "HBEA"
+    Row       = 0x52574f52, // "ROWR"
+    Strike    = 0x4b525453, // "STRK"
+};
+
+const char *ipcTagName(std::uint32_t tag);
+
+/** IPC protocol version carried in every HELO frame. */
+inline constexpr std::uint32_t kIpcVersion = 1;
+
+/**
+ * Upper bound on a frame payload. Rows are compact single-line
+ * JSON (a few KiB at most); anything larger is a corrupt length
+ * field, and bounding it keeps a garbage stream from driving an
+ * unbounded allocation in the supervisor.
+ */
+inline constexpr std::uint64_t kMaxIpcPayload = 1u << 20;
+
+/** One intact frame recovered from the stream. */
+struct IpcFrame
+{
+    std::uint32_t tag = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Frame + framing overhead, in bytes, as written to the pipe. */
+std::size_t ipcFrameBytes(std::size_t payloadBytes);
+
+/** Encode one frame (tag + length + payload + checksum). */
+std::vector<std::uint8_t>
+encodeIpcFrame(IpcTag tag, const std::vector<std::uint8_t> &payload);
+
+/**
+ * Incremental decoder for a child's frame stream. Feed bytes as
+ * they arrive; poll next() for intact frames. Once the stream is
+ * torn (bad checksum, oversized length) the decoder latches the
+ * diagnostic and yields nothing further — exactly the journal
+ * scanner's torn-tail discipline, applied to a live stream.
+ */
+class FrameDecoder
+{
+  public:
+    /** Append raw bytes from the pipe. Cheap; decoding is lazy. */
+    void feed(const std::uint8_t *data, std::size_t n);
+
+    /** @return true and fill @p out if an intact frame is ready. */
+    bool next(IpcFrame &out);
+
+    /** The stream hit a torn/corrupt frame; no more frames will be
+     *  yielded (bytes after a tear cannot be trusted to re-align). */
+    bool torn() const { return tornFlag; }
+
+    /** Structured diagnostic for the tear ("" if none). */
+    const std::string &error() const { return tornError; }
+
+    /** Bytes fed but not yet consumed by an intact frame (the torn
+     *  tail, once torn). */
+    std::size_t pendingBytes() const { return buf.size() - pos; }
+
+  private:
+    std::vector<std::uint8_t> buf;
+    std::size_t pos = 0; ///< start of the first undecoded frame
+    bool tornFlag = false;
+    std::string tornError;
+};
+
+/**
+ * Frame, checksum and write one frame to @p fd with EINTR-retrying
+ * full writes. @return false on a write error (e.g. EPIPE after
+ * the supervisor gave up on the child).
+ */
+bool writeIpcFrame(int fd, IpcTag tag,
+                   const std::vector<std::uint8_t> &payload);
+
+} // namespace svc::service
+
+#endif // SVC_SERVICE_IPC_HH

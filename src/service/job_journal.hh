@@ -94,6 +94,14 @@ struct JobState
     std::string rowJson; ///< verbatim journaled row (completed)
     std::string reason;  ///< last retry/quarantine reason
 
+    // Exit diagnostics from the last process-isolated attempt.
+    // Transient: never journaled (a restart loses them), captured
+    // into quarantine bundles as repro color, not replayed state.
+    std::string exitClass;  ///< exitClassName() ("" = thread mode)
+    int rawStatus = -1;     ///< raw waitpid(2) status
+    int childPid = -1;      ///< the attempt's child pid
+    std::vector<std::string> finalFrames; ///< child's last frames
+
     bool terminal() const { return completed || quarantined || shed; }
 };
 

@@ -1,0 +1,542 @@
+#include "service/process_worker.hh"
+
+#include <sys/mman.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <new>
+#include <thread>
+
+#include "common/posix_io.hh"
+#include "common/snapshot.hh"
+#include "service/ipc.hh"
+
+namespace svc::service
+{
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Child-side state of the result pipe. The heartbeat thread and the
+ * main thread both write frames, so every write goes through one
+ * mutex — frames interleave at frame granularity, never mid-frame
+ * (the decoder's torn-tail property depends on that).
+ */
+struct ChildPipe
+{
+    int fd;
+    std::mutex mu;
+    std::atomic<bool> stop{false};
+
+    bool
+    send(IpcTag tag, const std::vector<std::uint8_t> &payload)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return writeIpcFrame(fd, tag, payload);
+    }
+};
+
+void
+heartbeatLoop(ChildPipe *pipe, unsigned periodMillis)
+{
+    std::uint64_t seq = 0;
+    while (!pipe->stop.load(std::memory_order_relaxed)) {
+        SnapshotWriter w;
+        w.putU64(seq++);
+        if (!pipe->send(IpcTag::Heartbeat, w.bytes()))
+            return; // parent gone; nothing left to report to
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(periodMillis));
+    }
+}
+
+/** Current address-space usage from /proc/self/statm, in bytes
+ *  (0 if unreadable). Lets the OOM probe clamp RLIMIT_AS *relative*
+ *  to what is already mapped — under ASan the baseline is huge. */
+std::uint64_t
+currentVmBytes()
+{
+    std::FILE *f = std::fopen("/proc/self/statm", "re");
+    if (!f)
+        return 0;
+    unsigned long long pages = 0;
+    const int n = std::fscanf(f, "%llu", &pages);
+    std::fclose(f);
+    if (n != 1)
+        return 0;
+    return static_cast<std::uint64_t>(pages) *
+           static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+/**
+ * Genuinely exhaust the address space: clamp RLIMIT_AS a little
+ * above current usage, then map until the kernel refuses. Raw mmap
+ * (not operator new) so a sanitizer allocator cannot turn the
+ * refusal into an abort; exit code kChildExitOom makes the
+ * classification deterministic. Never returns.
+ */
+[[noreturn]] void
+induceOom()
+{
+    const std::uint64_t current = currentVmBytes();
+    const std::uint64_t headroom = 64ull << 20;
+    struct rlimit rl;
+    rl.rlim_cur = current ? current + headroom : (256ull << 20);
+    rl.rlim_max = rl.rlim_cur;
+    ::setrlimit(RLIMIT_AS, &rl);
+    for (;;) {
+        void *p = ::mmap(nullptr, 16ull << 20,
+                         PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        if (p == MAP_FAILED)
+            ::_exit(kChildExitOom);
+        // Touch one byte per page region so the mapping is real.
+        *static_cast<volatile char *>(p) = 1;
+    }
+}
+
+/** Take a genuine segfault. SIG_DFL first: sanitizers install their
+ *  own SIGSEGV handler, which would turn the kernel's verdict into
+ *  a report + exit(1). A store through a small non-null address
+ *  dodges compiler null-store elision and UBSan null checks alike.
+ *  Never returns (and if the store somehow survived, _exit(99)
+ *  classifies as NonzeroExit rather than lying with a clean 0). */
+[[noreturn]] void
+induceSegv()
+{
+    std::signal(SIGSEGV, SIG_DFL);
+    // Launder the address through an asm barrier so the compiler
+    // cannot prove (and warn about, or elide) the wild store.
+    std::uintptr_t addr = 8;
+    asm volatile("" : "+r"(addr));
+    *reinterpret_cast<volatile int *>(addr) = 0xdead;
+    ::_exit(99);
+}
+
+/**
+ * Child entry: everything after fork() on the child side. Always
+ * ends in _exit — the child must never unwind into the parent's
+ * stack frames (atexit handlers, gtest teardown, stdio flush of
+ * inherited buffers).
+ */
+[[noreturn]] void
+childMain(int wfd, const SweepItem &item, std::uint64_t jobId,
+          unsigned attempt, InducedFault induced,
+          const ProcessLimits &limits, Cycle sliceCycles,
+          Cycle deadlineCycles)
+{
+    // A parent that gave up closes its read end; a write then gets
+    // EPIPE (handled) rather than SIGPIPE (fatal).
+    ignoreSigpipe();
+
+    // No core files from intentionally-crashed chaos children.
+    struct rlimit rl;
+    rl.rlim_cur = 0;
+    rl.rlim_max = 0;
+    ::setrlimit(RLIMIT_CORE, &rl);
+
+    if (limits.cpuSeconds > 0) {
+        rl.rlim_cur = limits.cpuSeconds;
+        rl.rlim_max = limits.cpuSeconds + 2; // hard kill backstop
+        ::setrlimit(RLIMIT_CPU, &rl);
+    }
+    if (limits.addressSpaceBytes > 0) {
+        rl.rlim_cur = limits.addressSpaceBytes;
+        rl.rlim_max = limits.addressSpaceBytes;
+        ::setrlimit(RLIMIT_AS, &rl);
+    }
+    // Allocation failure under RLIMIT_AS exits with the OOM code
+    // instead of an uncaught bad_alloc (→ SIGABRT) — deterministic
+    // classification either way the exhaustion surfaces.
+    std::set_new_handler([] { ::_exit(kChildExitOom); });
+
+    static ChildPipe pipe; // static: never destroyed before _exit
+    pipe.fd = wfd;
+
+    {
+        SnapshotWriter w;
+        w.putU32(kIpcVersion);
+        w.putU64(static_cast<std::uint64_t>(::getpid()));
+        w.putU64(jobId);
+        w.putU32(attempt);
+        pipe.send(IpcTag::Hello, w.bytes());
+    }
+
+    // The heartbeat runs on its own thread so a busy (or wedged)
+    // main thread keeps beating — only a whole-process freeze
+    // (SIGSTOP) or death silences it. Started before any induced
+    // fault: the SIGSTOP kind must freeze a *beating* child.
+    std::thread beat(heartbeatLoop, &pipe, limits.heartbeatMillis);
+
+    switch (induced) {
+    case InducedFault::None:
+        break;
+    case InducedFault::SigKill:
+        ::kill(::getpid(), SIGKILL);
+        ::_exit(98); // unreachable
+    case InducedFault::SigSegv:
+        induceSegv();
+    case InducedFault::SigStop:
+        // Freezes every thread, heartbeat included; the supervisor's
+        // deadline expires and it SIGKILLs the wedge.
+        ::kill(::getpid(), SIGSTOP);
+        // Only reachable if something SIGCONTs us (it should not).
+        for (;;)
+            ::pause();
+    case InducedFault::Oom:
+        // Quiesce the heartbeat thread first: once RLIMIT_AS is
+        // clamped, its frame allocations could fail at an arbitrary
+        // moment and race the deterministic OOM exit.
+        pipe.stop.store(true, std::memory_order_relaxed);
+        beat.join();
+        induceOom();
+    case InducedFault::SpinCpu: {
+        // Wedged but *live*: heartbeats keep flowing, so only
+        // RLIMIT_CPU (SIGXCPU) ends this. The asm barrier keeps
+        // the side-effect-free loop from being UB-elided.
+        std::uint64_t n = 0;
+        for (;;) {
+            ++n;
+            asm volatile("" : "+r"(n));
+        }
+    }
+    }
+
+    // ---- run the item (the non-chaos path) ----
+    ItemResult result;
+    bench::SliceOutcome outcome = bench::SliceOutcome::Completed;
+    if (sliceCycles > 0 || deadlineCycles > 0) {
+        // The child owns its process, so cooperative preemption is
+        // moot — loop the slices to completion locally. Checkpoint
+        // restore is bit-identical, so the rendered row matches an
+        // unsliced run byte for byte.
+        std::vector<std::uint8_t> image;
+        bench::SliceBudget budget;
+        budget.sliceCycles = sliceCycles;
+        budget.deadlineCycles = deadlineCycles;
+        budget.resumeImage = &image;
+        do {
+            result = runItemSliced(item, budget, outcome);
+        } while (outcome == bench::SliceOutcome::Preempted);
+    } else {
+        result = runItem(item);
+    }
+
+    pipe.stop.store(true, std::memory_order_relaxed);
+    beat.join();
+
+    if (outcome == bench::SliceOutcome::Timeout) {
+        SnapshotWriter w;
+        w.putString("forward-progress deadline expired "
+                    "(no instruction commit within budget)");
+        pipe.send(IpcTag::Strike, w.bytes());
+        ::_exit(0);
+    }
+
+    const std::string row = renderRow(item, result);
+    const std::string failure = rowFailure(item, result);
+    SnapshotWriter w;
+    w.putBool(!failure.empty());
+    w.putString(row);
+    w.putString(failure);
+    pipe.send(IpcTag::Row, w.bytes());
+    ::_exit(0);
+}
+
+std::string
+describeFrame(const IpcFrame &frame)
+{
+    std::string s = ipcTagName(frame.tag);
+    s += "(";
+    s += std::to_string(frame.payload.size());
+    s += "B)";
+    if (static_cast<IpcTag>(frame.tag) == IpcTag::Strike) {
+        SnapshotReader r(frame.payload);
+        const std::string reason = r.getString();
+        if (r.ok()) {
+            s += " ";
+            s += reason;
+        }
+    }
+    return s;
+}
+
+std::string
+signalDescription(int sig)
+{
+    std::string s = "signal " + std::to_string(sig);
+    const char *name = ::strsignal(sig);
+    if (name) {
+        s += " (";
+        s += name;
+        s += ")";
+    }
+    return s;
+}
+
+} // namespace
+
+const char *
+exitClassName(ExitClass cls)
+{
+    switch (cls) {
+    case ExitClass::CleanExit: return "clean-exit";
+    case ExitClass::CleanStrike: return "clean-strike";
+    case ExitClass::NonzeroExit: return "nonzero-exit";
+    case ExitClass::FatalSignal: return "fatal-signal";
+    case ExitClass::RlimitCpu: return "rlimit-cpu";
+    case ExitClass::RlimitOom: return "rlimit-oom";
+    case ExitClass::HeartbeatTimeout: return "heartbeat-timeout";
+    case ExitClass::ProtocolError: return "protocol-error";
+    case ExitClass::ForkFailed: return "fork-failed";
+    }
+    return "?";
+}
+
+std::vector<pid_t>
+WorkerSupervisor::livePids() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<pid_t> pids;
+    pids.reserve(children.size());
+    for (const auto &kv : children)
+        pids.push_back(kv.first);
+    return pids;
+}
+
+ProcessOutcome
+WorkerSupervisor::runAttempt(const SweepItem &item,
+                             std::uint64_t jobId, unsigned attempt,
+                             InducedFault induced,
+                             const ProcessLimits &limits,
+                             Cycle sliceCycles, Cycle deadlineCycles)
+{
+    ProcessOutcome out;
+    int fds[2];
+    pid_t pid = -1;
+
+    {
+        // Serialize fork against sibling forks: a child must be able
+        // to close every *other* live pipe fd it inherited, and the
+        // set must not change between pipe() and fork().
+        std::lock_guard<std::mutex> lock(mu);
+        if (::pipe(fds) != 0) {
+            out.cls = ExitClass::ForkFailed;
+            out.reason = std::string("pipe(2) failed: ") +
+                         std::strerror(errno);
+            return out;
+        }
+        std::vector<int> siblingFds;
+        siblingFds.reserve(children.size());
+        for (const auto &kv : children)
+            siblingFds.push_back(kv.second);
+
+        pid = ::fork();
+        if (pid < 0) {
+            out.cls = ExitClass::ForkFailed;
+            out.reason = std::string("fork(2) failed: ") +
+                         std::strerror(errno);
+            ::close(fds[0]);
+            ::close(fds[1]);
+            return out;
+        }
+        if (pid == 0) {
+            // Child. Drop the parent side of our pipe and every
+            // sibling read end we inherited (their write ends live
+            // only in the parent and siblings, but close whatever
+            // we can see registered).
+            ::close(fds[0]);
+            for (int fd : siblingFds)
+                ::close(fd);
+            childMain(fds[1], item, jobId, attempt, induced, limits,
+                      sliceCycles, deadlineCycles);
+            // not reached
+        }
+        ::close(fds[1]);
+        children.emplace(pid, fds[0]);
+    }
+
+    const int rfd = fds[0];
+    out.childPid = pid;
+
+    // ---- supervise: poll frames, tick waitpid, enforce deadline --
+    FrameDecoder decoder;
+    bool reaped = false;
+    bool timedOut = false;
+    int status = 0;
+    auto deadline = Clock::now() + std::chrono::milliseconds(
+                                       limits.heartbeatTimeoutMillis);
+
+    auto drainFrames = [&] {
+        IpcFrame frame;
+        while (decoder.next(frame)) {
+            deadline = Clock::now() +
+                       std::chrono::milliseconds(
+                           limits.heartbeatTimeoutMillis);
+            switch (static_cast<IpcTag>(frame.tag)) {
+            case IpcTag::Heartbeat:
+                ++out.heartbeats;
+                continue; // too chatty for the frame trail
+            case IpcTag::Hello:
+                break;
+            case IpcTag::Row: {
+                SnapshotReader r(frame.payload);
+                const bool failed = r.getBool();
+                const std::string row = r.getString();
+                const std::string failure = r.getString();
+                if (r.ok()) {
+                    out.hasRow = true;
+                    out.rowFailed = failed;
+                    out.rowJson = row;
+                    out.rowFailure = failure;
+                }
+                break;
+            }
+            case IpcTag::Strike: {
+                SnapshotReader r(frame.payload);
+                const std::string reason = r.getString();
+                if (r.ok() && out.reason.empty())
+                    out.reason = reason;
+                break;
+            }
+            }
+            out.finalFrames.push_back(describeFrame(frame));
+            if (out.finalFrames.size() > 8)
+                out.finalFrames.erase(out.finalFrames.begin());
+        }
+    };
+
+    for (;;) {
+        // Sibling children may hold dup'd write ends of this pipe,
+        // so EOF is advisory at best: waitpid below is the loop's
+        // real exit condition.
+        struct pollfd pfd;
+        pfd.fd = rfd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const auto now = Clock::now();
+        long waitMs = std::chrono::duration_cast<
+                          std::chrono::milliseconds>(deadline - now)
+                          .count();
+        if (waitMs < 0)
+            waitMs = 0;
+        if (waitMs > 50)
+            waitMs = 50; // keep the waitpid tick responsive
+        const int pr =
+            ::poll(&pfd, 1, reaped ? 0 : static_cast<int>(waitMs));
+        if (pr < 0 && errno != EINTR)
+            break;
+        if (pr > 0 && (pfd.revents & (POLLIN | POLLHUP))) {
+            std::uint8_t buf[4096];
+            std::size_t got = 0;
+            if (readFdSome(rfd, buf, sizeof(buf), got) && got > 0) {
+                decoder.feed(buf, got);
+                drainFrames();
+            } else if (got == 0 && reaped) {
+                break; // child reaped and pipe drained: done
+            } else if (got == 0 && !(pfd.revents & POLLIN)) {
+                // HUP with no data: writers gone. Keep ticking
+                // waitpid; do not trust this as death.
+            }
+        } else if (pr == 0 && reaped) {
+            break; // no residual bytes after reap
+        }
+
+        if (!reaped) {
+            const pid_t w = ::waitpid(pid, &status, WNOHANG);
+            if (w == pid) {
+                reaped = true;
+                continue; // one more pass to drain buffered frames
+            }
+            if (Clock::now() >= deadline) {
+                // Silent child: wedged (SIGSTOP), or its pipe died.
+                // SIGKILL works even on a stopped process.
+                timedOut = true;
+                ::kill(pid, SIGKILL);
+                while (::waitpid(pid, &status, 0) < 0 &&
+                       errno == EINTR) {
+                }
+                reaped = true;
+            }
+        }
+    }
+    if (!reaped) {
+        ::kill(pid, SIGKILL);
+        while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        reaped = true;
+    }
+    drainFrames();
+
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        children.erase(pid);
+    }
+    ::close(rfd);
+
+    out.rawStatus = status;
+    out.streamError = decoder.error();
+
+    // ---- classify ----
+    if (timedOut) {
+        out.cls = ExitClass::HeartbeatTimeout;
+        out.reason = "no heartbeat within " +
+                     std::to_string(limits.heartbeatTimeoutMillis) +
+                     "ms (child pid " + std::to_string(pid) +
+                     " wedged; SIGKILLed by supervisor)";
+    } else if (WIFEXITED(status)) {
+        const int code = WEXITSTATUS(status);
+        if (code == 0) {
+            if (out.hasRow) {
+                out.cls = ExitClass::CleanExit;
+            } else if (!out.reason.empty()) {
+                out.cls = ExitClass::CleanStrike;
+            } else {
+                out.cls = ExitClass::ProtocolError;
+                out.reason =
+                    "child exited 0 without a result frame" +
+                    (decoder.torn() ? " (" + decoder.error() + ")"
+                                    : std::string());
+            }
+        } else if (code == kChildExitOom) {
+            out.cls = ExitClass::RlimitOom;
+            out.reason = "address-space limit exhausted (child "
+                         "exited with the OOM code after RLIMIT_AS "
+                         "refused further mappings)";
+        } else {
+            out.cls = ExitClass::NonzeroExit;
+            out.reason =
+                "child exited with code " + std::to_string(code);
+        }
+    } else if (WIFSIGNALED(status)) {
+        const int sig = WTERMSIG(status);
+        if (sig == SIGXCPU) {
+            out.cls = ExitClass::RlimitCpu;
+            out.reason = "cpu rlimit exceeded (killed by SIGXCPU "
+                         "after " +
+                         std::to_string(limits.cpuSeconds) +
+                         "s of cpu time)";
+        } else {
+            out.cls = ExitClass::FatalSignal;
+            out.reason = "child killed by " + signalDescription(sig);
+        }
+    } else {
+        out.cls = ExitClass::ProtocolError;
+        out.reason = "unclassifiable waitpid status " +
+                     std::to_string(status);
+    }
+    return out;
+}
+
+} // namespace svc::service

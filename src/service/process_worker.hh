@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Process-isolated attempt execution for the sweep service: each
+ * job attempt forks a child that runs the grid item and streams its
+ * result back over a pipe (service/ipc.hh), while the parent-side
+ * supervisor enforces rlimits and a heartbeat deadline and
+ * classifies every possible exit via waitpid(2).
+ *
+ * Why a process, not a thread: a thread that segfaults, wedges
+ * under SIGSTOP, or exhausts address space takes the whole daemon
+ * with it. A forked child contains the blast radius — the kernel
+ * delivers the truth about how it died (WIFSIGNALED/WIFEXITED), the
+ * supervisor maps that onto the service's strike → retry →
+ * quarantine ladder, and the campaign completes with aggregates
+ * byte-identical to the fault-free serial reference no matter the
+ * crash history (attempts are pure; a dead attempt journals
+ * nothing).
+ *
+ * Lifecycle of one attempt:
+ *
+ *   parent                         child
+ *   ------                         -----
+ *   pipe(); fork()  ───────────▶   close read end, close every
+ *   close write end                other registered pipe fd,
+ *   register child                 apply rlimits, HELO frame,
+ *                                  start heartbeat thread
+ *   poll read end ◀── HBEA ──────  beat every heartbeatMillis
+ *   refresh deadline               run the item (sliced loop if a
+ *                 ◀── ROWR/STRK ─  budget is set), then _exit(0)
+ *   waitpid(WNOHANG) each tick;
+ *   on silence past the deadline: SIGKILL; classify the status
+ *
+ * The child NEVER returns into the caller's stack: every path ends
+ * in _exit (no atexit handlers, no double stdio flush, no gtest
+ * teardown in the child).
+ *
+ * Exit classification (ProcessOutcome::cls):
+ *
+ *   CleanExit         _exit(0) with an intact ROWR frame
+ *   CleanStrike       _exit(0) with a STRK frame (the attempt ran
+ *                     but struck out in-child, e.g. its
+ *                     forward-progress deadline expired)
+ *   NonzeroExit       _exit(k), k != 0 and k != the OOM code
+ *   FatalSignal       killed by a signal (SIGSEGV, SIGKILL, ...)
+ *   RlimitCpu         killed by SIGXCPU (RLIMIT_CPU exceeded)
+ *   RlimitOom         _exit(kChildExitOom): address-space
+ *                     exhaustion under RLIMIT_AS (raised by the
+ *                     child's mmap probe or its new-handler)
+ *   HeartbeatTimeout  no frame within heartbeatTimeoutMillis; the
+ *                     supervisor SIGKILLed and reaped the child
+ *   ProtocolError     exited 0 but produced no result frame, or
+ *                     the frame stream was torn with no intact row
+ *   ForkFailed        fork(2)/pipe(2) itself failed (resource
+ *                     exhaustion in the parent)
+ *
+ * Concurrency caveat baked into the design: with several attempts
+ * in flight, a fork can duplicate the write ends of sibling pipes
+ * (no exec, so CLOEXEC does not help). The supervisor therefore
+ * serializes forks under a mutex and has each child close every
+ * *other* registered pipe fd first thing — and classification never
+ * trusts pipe EOF anyway; waitpid is the source of truth.
+ */
+
+#ifndef SVC_SERVICE_PROCESS_WORKER_HH
+#define SVC_SERVICE_PROCESS_WORKER_HH
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/chaos.hh"
+#include "service/grid.hh"
+
+namespace svc::service
+{
+
+/** Deterministic child exit code for address-space OOM (chosen to
+ *  collide with nothing the toolchain or gtest uses). */
+inline constexpr int kChildExitOom = 86;
+
+/** Parent-side resource policy for one attempt's child. */
+struct ProcessLimits
+{
+    /** RLIMIT_CPU soft limit in seconds (0 = unlimited). A wedged
+     *  spin loop keeps heartbeating, so only this catches it. */
+    unsigned cpuSeconds = 0;
+    /** RLIMIT_AS in bytes (0 = unlimited). */
+    std::uint64_t addressSpaceBytes = 0;
+    /** Child heartbeat period. */
+    unsigned heartbeatMillis = 25;
+    /** Supervisor gives up after this long with no frame from the
+     *  child (generous vs heartbeatMillis: a loaded CI box must not
+     *  produce false positives — and a false timeout only costs a
+     *  retry, never result bytes). */
+    unsigned heartbeatTimeoutMillis = 1000;
+};
+
+enum class ExitClass
+{
+    CleanExit,
+    CleanStrike,
+    NonzeroExit,
+    FatalSignal,
+    RlimitCpu,
+    RlimitOom,
+    HeartbeatTimeout,
+    ProtocolError,
+    ForkFailed,
+};
+
+const char *exitClassName(ExitClass cls);
+
+/** Everything the supervisor learned about one child attempt. */
+struct ProcessOutcome
+{
+    ExitClass cls = ExitClass::ProtocolError;
+    /** Intact ROWR frame decoded. */
+    bool hasRow = false;
+    bool rowFailed = false;
+    std::string rowJson;
+    /** Structured row-failure description ("" if healthy). */
+    std::string rowFailure;
+    /** STRK reason (CleanStrike) or classification diagnostic. */
+    std::string reason;
+    /** Raw waitpid status (-1 if never reaped). */
+    int rawStatus = -1;
+    pid_t childPid = -1;
+    /** Heartbeats received (diagnostic only — never byte-visible). */
+    std::uint64_t heartbeats = 0;
+    /** Human-readable trail of the child's final frames, newest
+     *  last — captured into quarantine bundles. */
+    std::vector<std::string> finalFrames;
+    /** Frame-stream tear diagnostic ("" if the stream was clean). */
+    std::string streamError;
+};
+
+/**
+ * Owns the fork discipline shared by all process workers of one
+ * service: serializes fork(2), tracks each live child's pipe fd so
+ * new children can close the fds they inherited from siblings, and
+ * exposes the live pid set for status reporting.
+ */
+class WorkerSupervisor
+{
+  public:
+    /** Pids of children currently in flight (status reporting). */
+    std::vector<pid_t> livePids() const;
+
+    /**
+     * Fork-and-supervise one attempt of @p item. @p induced is the
+     * real fault the child inflicts on itself (chaos), or None to
+     * run the item; @p budget mirrors the thread path's slice /
+     * deadline config (the child loops slices internally — a run
+     * sliced N times renders byte-identical rows to an unsliced
+     * one). Blocks until the child is reaped and classified.
+     */
+    ProcessOutcome runAttempt(const SweepItem &item,
+                              std::uint64_t jobId, unsigned attempt,
+                              InducedFault induced,
+                              const ProcessLimits &limits,
+                              Cycle sliceCycles, Cycle deadlineCycles);
+
+  private:
+    mutable std::mutex mu;
+    /** live child pid → parent's read-end fd of that child's pipe */
+    std::map<pid_t, int> children;
+};
+
+} // namespace svc::service
+
+#endif // SVC_SERVICE_PROCESS_WORKER_HH

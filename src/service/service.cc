@@ -6,6 +6,7 @@
 
 #include "common/json.hh"
 #include "common/log.hh"
+#include "common/posix_io.hh"
 #include "common/random.hh"
 #include "mem/fault_injector.hh"
 
@@ -26,6 +27,28 @@ fileExists(const std::string &path)
 }
 
 } // namespace
+
+const char *
+isolationName(Isolation iso)
+{
+    switch (iso) {
+    case Isolation::Thread: return "thread";
+    case Isolation::Process: return "process";
+    }
+    return "?";
+}
+
+Isolation
+isolationFromName(const std::string &name, bool &ok)
+{
+    ok = true;
+    if (name == "thread")
+        return Isolation::Thread;
+    if (name == "process")
+        return Isolation::Process;
+    ok = false;
+    return Isolation::Thread;
+}
 
 SweepService::SweepService(const ServiceConfig &cfg)
     : cfg(cfg), chaos(cfg.chaos)
@@ -101,6 +124,17 @@ SweepService::admitJob(std::uint64_t job_id, Lane lane)
 bool
 SweepService::start(std::string &error)
 {
+    if (cfg.isolation == Isolation::Thread &&
+        isRealSignalFault(cfg.chaos.kind)) {
+        // A real SIGSEGV/SIGKILL/OOM on a pool thread takes the
+        // daemon down with it — refuse up front, structurally,
+        // rather than let the user discover it as a dead process.
+        error = std::string("chaos kind '") +
+                serviceFaultName(cfg.chaos.kind) +
+                "' injects a real process fault, which thread "
+                "workers cannot survive; use --isolation=process";
+        return false;
+    }
     const bool resuming = fileExists(cfg.journalPath);
     JournalReplay replay;
     if (resuming) {
@@ -311,12 +345,53 @@ SweepService::runJob(QueuedJob &&queued)
     bench::SliceOutcome outcome = bench::SliceOutcome::Completed;
     std::string strike_reason;
     bool executed = false;
-    if (chaos.killsAttempt(id, attempt)) {
+    bool have_row = false; ///< row pre-rendered by a worker child
+    std::string row_json, row_failure;
+    ProcessOutcome pout;
+    bool process_attempt = false;
+
+    // Real-fault selection first: a poison job under a real-signal
+    // kind must take the genuine fault in its child, not the
+    // simulated in-parent kill (killsAttempt is also true for it).
+    const InducedFault induced = chaos.inducedFault(id, attempt);
+    if (induced == InducedFault::None &&
+        chaos.killsAttempt(id, attempt)) {
         strike_reason = "injected worker kill (attempt died before "
                         "producing a result)";
-    } else if (chaos.hangsAttempt(id, attempt)) {
+    } else if (induced == InducedFault::None &&
+               chaos.hangsAttempt(id, attempt)) {
         strike_reason = "forward-progress deadline expired (worker "
                         "hang reaped by per-job watchdog)";
+    } else if (cfg.isolation == Isolation::Process) {
+        process_attempt = true;
+        pout = supervisor.runAttempt(item, id, attempt, induced,
+                                     cfg.processLimits,
+                                     cfg.sliceCycles,
+                                     cfg.deadlineCycles);
+        switch (pout.cls) {
+        case ExitClass::CleanExit:
+            executed = true;
+            have_row = true;
+            row_json = pout.rowJson;
+            row_failure = pout.rowFailure;
+            break;
+        case ExitClass::CleanStrike:
+            // The item ran in the child but struck out there (e.g.
+            // its forward-progress deadline) — same ladder as the
+            // thread path's Timeout.
+            executed = true;
+            strike_reason = pout.reason;
+            break;
+        default:
+            // The child died (signal, rlimit, wedge, protocol
+            // tear): one strike, retried with backoff. A dead
+            // attempt journaled nothing, so the aggregate cannot
+            // see it.
+            strike_reason = std::string("worker child ") +
+                            exitClassName(pout.cls) + ": " +
+                            pout.reason;
+            break;
+        }
     } else {
         executed = true;
         if (cfg.sliceCycles > 0 || cfg.deadlineCycles > 0) {
@@ -337,6 +412,22 @@ SweepService::runJob(QueuedJob &&queued)
     JobState &job = jobs[static_cast<std::size_t>(id)];
     if (executed)
         ++stats.itemRuns;
+    if (process_attempt) {
+        ++stats.processAttempts;
+        switch (pout.cls) {
+        case ExitClass::FatalSignal: ++stats.childSignals; break;
+        case ExitClass::HeartbeatTimeout:
+            ++stats.childTimeouts;
+            break;
+        case ExitClass::RlimitOom: ++stats.childOoms; break;
+        case ExitClass::RlimitCpu: ++stats.childCpuKills; break;
+        default: break;
+        }
+        job.exitClass = exitClassName(pout.cls);
+        job.rawStatus = pout.rawStatus;
+        job.childPid = static_cast<int>(pout.childPid);
+        job.finalFrames = pout.finalFrames;
+    }
     std::string err;
 
     if (executed && outcome == bench::SliceOutcome::Preempted) {
@@ -353,8 +444,10 @@ SweepService::runJob(QueuedJob &&queued)
     }
 
     if (strike_reason.empty()) {
-        const std::string row = renderRow(item, result);
-        const std::string failure = rowFailure(item, result);
+        const std::string row =
+            have_row ? row_json : renderRow(item, result);
+        const std::string failure =
+            have_row ? row_failure : rowFailure(item, result);
         if (!journal.appendComplete(id, !failure.empty(), row,
                                     err)) {
             --inFlight;
@@ -514,6 +607,21 @@ SweepService::statusJson() const
     w.member("crashed", crashedFlag.load());
     w.member("crash_reason", crashMsg);
     w.member("journal_diagnostic", tornDiag);
+    w.member("isolation", isolationName(cfg.isolation));
+    w.key("lane_depths");
+    w.beginObject();
+    for (unsigned i = 0; i < kNumLanes; ++i) {
+        w.key(laneName(static_cast<Lane>(i)));
+        w.value(static_cast<std::uint64_t>(lanes[i].size()));
+    }
+    w.endObject();
+    w.key("in_flight");
+    w.value(static_cast<std::uint64_t>(inFlight));
+    w.key("worker_pids");
+    w.beginArray();
+    for (pid_t pid : supervisor.livePids())
+        w.value(static_cast<std::int64_t>(pid));
+    w.endArray();
     w.key("counters");
     w.beginObject();
     w.key("submitted");
@@ -538,6 +646,16 @@ SweepService::statusJson() const
     w.value(stats.shed);
     w.key("rejected");
     w.value(stats.rejected);
+    w.key("process_attempts");
+    w.value(stats.processAttempts);
+    w.key("child_signals");
+    w.value(stats.childSignals);
+    w.key("child_timeouts");
+    w.value(stats.childTimeouts);
+    w.key("child_ooms");
+    w.value(stats.childOoms);
+    w.key("child_cpu_kills");
+    w.value(stats.childCpuKills);
     w.endObject();
     w.endObject();
     return w.str();
@@ -566,6 +684,22 @@ SweepService::writeQuarantineBundle(std::uint64_t job_id,
     w.value(static_cast<std::uint64_t>(job.attempts));
     w.member("reason", job.reason);
     w.member("lane", laneName(job.lane));
+    w.member("isolation", isolationName(cfg.isolation));
+    if (!job.exitClass.empty()) {
+        // Process-isolation exit diagnostics: how the last child
+        // attempt actually died, straight from waitpid(2), plus
+        // the final frames it managed to stream before dying.
+        w.member("exit_class", job.exitClass);
+        w.key("raw_status");
+        w.value(static_cast<std::int64_t>(job.rawStatus));
+        w.key("child_pid");
+        w.value(static_cast<std::int64_t>(job.childPid));
+        w.key("final_frames");
+        w.beginArray();
+        for (const std::string &frame : job.finalFrames)
+            w.value(frame);
+        w.endArray();
+    }
     // Repro command lines: re-run the cell in isolation.
     {
         std::string repro = "sweep_runner --grid " + spec.grid +
@@ -592,7 +726,7 @@ SweepService::writeQuarantineBundle(std::uint64_t job_id,
         return;
     }
     const std::string &doc = w.str();
-    std::fwrite(doc.data(), 1, doc.size(), f);
+    fwriteAll(f, doc.data(), doc.size());
     std::fputc('\n', f);
     std::fclose(f);
     inform("quarantined job %llu (%s): bundle written to %s",

@@ -22,6 +22,16 @@
  * diagnostic bundle (JSON repro: the sweep_runner and
  * fault_minimizer command lines that replay the cell in isolation).
  *
+ * Isolation backends: attempts run on pool threads (Thread, the
+ * default) or each in a forked child supervised over pipe IPC
+ * (Process — service/process_worker.hh): per-attempt rlimits bound
+ * cpu time and address space, a heartbeat deadline reaps wedged
+ * children, and waitpid(2) classification folds real crashes
+ * (SIGSEGV, SIGKILL, address-space OOM, SIGSTOP wedges) into the
+ * same strike ladder. Real-signal chaos kinds are refused under
+ * thread isolation with a structured error — a real SIGSEGV on a
+ * pool thread would kill the daemon itself.
+ *
  * Long jobs: when sliceCycles > 0, program-backed bench jobs run
  * preemptible slices (bench::runProgramSliced); a preempted job
  * keeps its checkpoint image in memory and re-queues at the back of
@@ -59,9 +69,31 @@
 #include "service/chaos.hh"
 #include "service/grid.hh"
 #include "service/job_journal.hh"
+#include "service/process_worker.hh"
 
 namespace svc::service
 {
+
+/**
+ * Worker isolation backend. Thread workers are cheap and share the
+ * daemon's fate: a simulated chaos kind is fine, a real SIGSEGV is
+ * not. Process workers fork one child per attempt, supervised over
+ * pipe IPC (service/process_worker.hh) — a child that segfaults,
+ * OOMs, or wedges under SIGSTOP is classified and folded into the
+ * same strike → retry → quarantine ladder without the daemon
+ * noticing more than a strike.
+ */
+enum class Isolation
+{
+    Thread,
+    Process,
+};
+
+const char *isolationName(Isolation iso);
+
+/** @return the isolation named @p name ("thread", "process"), or
+ *  Thread with @p ok = false if unknown. */
+Isolation isolationFromName(const std::string &name, bool &ok);
 
 struct ServiceConfig
 {
@@ -88,6 +120,11 @@ struct ServiceConfig
     /** Quarantine bundle path prefix ("" disables bundles). */
     std::string quarantinePrefix = "sweep";
 
+    /** Worker backend; real-signal chaos kinds require Process. */
+    Isolation isolation = Isolation::Thread;
+    /** Per-attempt resource policy (process isolation only). */
+    ProcessLimits processLimits;
+
     ChaosConfig chaos;
 };
 
@@ -109,6 +146,13 @@ struct ServiceCounters
     std::uint64_t quarantined = 0;
     std::uint64_t shed = 0;
     std::uint64_t rejected = 0;
+
+    // Process-isolation supervision (zero under thread workers).
+    std::uint64_t processAttempts = 0; ///< attempts run in a child
+    std::uint64_t childSignals = 0;    ///< fatal-signal deaths
+    std::uint64_t childTimeouts = 0;   ///< heartbeat-deadline kills
+    std::uint64_t childOoms = 0;       ///< RLIMIT_AS exhaustions
+    std::uint64_t childCpuKills = 0;   ///< RLIMIT_CPU (SIGXCPU)
 };
 
 class SweepService
@@ -186,6 +230,7 @@ class SweepService
 
     ServiceConfig cfg;
     ServiceFaultInjector chaos;
+    WorkerSupervisor supervisor;
     std::vector<SweepItem> items;
     CampaignSpec spec;
     JobJournal journal;

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "common/journal.hh"
+#include "common/posix_io.hh"
 #include "common/snapshot.hh"
 #include "service/job_journal.hh"
 
@@ -176,6 +177,35 @@ TEST(Journal, AtomicReplace)
     ASSERT_TRUE(scan.headerOk) << scan.error;
     ASSERT_EQ(scan.records.size(), 1u);
     EXPECT_EQ(scan.records[0].tag, 42u);
+}
+
+/** Pin the rename-durability discipline: atomicReplaceFile must
+ *  fsync the parent directory (a rename is not durable until the
+ *  directory entry is), and must report a structured error rather
+ *  than pretend success when the rename itself cannot happen. */
+TEST(Journal, AtomicReplaceSyncsParentDirectory)
+{
+    TempPath a("dirsync_tmp"), b("dirsync_dst");
+    std::string err;
+    {
+        JournalWriter w;
+        ASSERT_TRUE(w.open(a.path, err)) << err;
+        ASSERT_TRUE(w.append(7, {9}, err)) << err;
+    }
+    // The replace succeeds end to end — including the directory
+    // fsync (a failure there is a hard error, not best-effort).
+    ASSERT_TRUE(atomicReplaceFile(a.path, b.path, err)) << err;
+    EXPECT_TRUE(err.empty());
+    // The directory-fsync helper itself works on the journal's
+    // parent (relative paths resolve to ".").
+    ASSERT_TRUE(fsyncParentDir(b.path, err)) << err;
+
+    // A missing source must surface rename's error, not a silent
+    // half-replace.
+    std::string err2;
+    EXPECT_FALSE(
+        atomicReplaceFile("no_such_file_xyz", b.path, err2));
+    EXPECT_NE(err2.find("cannot rename"), std::string::npos) << err2;
 }
 
 // ---------------------------------------------------------------

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The fork/supervise/classify core of process isolation
+ * (service/process_worker.hh), pinned one exit class at a time:
+ * a clean child streams back the exact row the thread backend
+ * would journal; children that genuinely segfault, raise SIGKILL,
+ * wedge under SIGSTOP, exhaust RLIMIT_AS, or spin past RLIMIT_CPU
+ * are each reaped and classified from their waitpid status — and
+ * concurrent attempts (forks racing on one supervisor) classify
+ * independently.
+ *
+ * (Test names deliberately avoid the TSan-tier regex: forking a
+ * multithreaded sanitized process is exercised under ASan/UBSan,
+ * not TSan.)
+ */
+
+#include <sys/wait.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/process_worker.hh"
+
+namespace svc::service
+{
+namespace
+{
+
+const SweepItem &
+smokeItem()
+{
+    static const std::vector<SweepItem> items = [] {
+        trace_io::StimulusOptions stim;
+        return buildGrid("smoke", 1, stim);
+    }();
+    return items.front();
+}
+
+ProcessLimits
+fastLimits()
+{
+    ProcessLimits limits;
+    limits.heartbeatMillis = 10;
+    limits.heartbeatTimeoutMillis = 2000;
+    return limits;
+}
+
+TEST(ProcessWorker, CleanChildStreamsTheExactRow)
+{
+    WorkerSupervisor sup;
+    const ProcessOutcome out = sup.runAttempt(
+        smokeItem(), 0, 1, InducedFault::None, fastLimits(), 0, 0);
+    ASSERT_EQ(out.cls, ExitClass::CleanExit) << out.reason;
+    ASSERT_TRUE(out.hasRow);
+    // The row is byte-identical to the in-process (thread backend)
+    // rendering — isolation is never byte-visible.
+    const ItemResult ref = runItem(smokeItem());
+    EXPECT_EQ(out.rowJson, renderRow(smokeItem(), ref));
+    EXPECT_EQ(out.rowFailed, !rowFailure(smokeItem(), ref).empty());
+    EXPECT_TRUE(WIFEXITED(out.rawStatus));
+    EXPECT_GT(out.childPid, 0);
+    EXPECT_TRUE(out.streamError.empty());
+}
+
+TEST(ProcessWorker, SlicedChildRendersByteIdenticalRow)
+{
+    WorkerSupervisor sup;
+    const ProcessOutcome out =
+        sup.runAttempt(smokeItem(), 0, 1, InducedFault::None,
+                       fastLimits(), 5000, 0);
+    ASSERT_EQ(out.cls, ExitClass::CleanExit) << out.reason;
+    EXPECT_EQ(out.rowJson, renderRow(smokeItem(), runItem(smokeItem())));
+}
+
+TEST(ProcessWorker, SegfaultClassifiedAsFatalSignal)
+{
+    WorkerSupervisor sup;
+    const ProcessOutcome out = sup.runAttempt(
+        smokeItem(), 1, 1, InducedFault::SigSegv, fastLimits(), 0, 0);
+    ASSERT_EQ(out.cls, ExitClass::FatalSignal) << out.reason;
+    ASSERT_TRUE(WIFSIGNALED(out.rawStatus));
+    EXPECT_EQ(WTERMSIG(out.rawStatus), SIGSEGV);
+    EXPECT_FALSE(out.hasRow);
+    EXPECT_NE(out.reason.find("signal"), std::string::npos);
+}
+
+TEST(ProcessWorker, SigkillClassifiedAsFatalSignal)
+{
+    WorkerSupervisor sup;
+    const ProcessOutcome out = sup.runAttempt(
+        smokeItem(), 2, 1, InducedFault::SigKill, fastLimits(), 0, 0);
+    ASSERT_EQ(out.cls, ExitClass::FatalSignal) << out.reason;
+    ASSERT_TRUE(WIFSIGNALED(out.rawStatus));
+    EXPECT_EQ(WTERMSIG(out.rawStatus), SIGKILL);
+}
+
+TEST(ProcessWorker, SigstopWedgeReapedAsHeartbeatTimeout)
+{
+    WorkerSupervisor sup;
+    ProcessLimits limits = fastLimits();
+    limits.heartbeatTimeoutMillis = 300; // keep the test quick
+    const ProcessOutcome out = sup.runAttempt(
+        smokeItem(), 3, 1, InducedFault::SigStop, limits, 0, 0);
+    ASSERT_EQ(out.cls, ExitClass::HeartbeatTimeout) << out.reason;
+    // The supervisor SIGKILLs the stopped child and reaps it.
+    ASSERT_TRUE(WIFSIGNALED(out.rawStatus));
+    EXPECT_EQ(WTERMSIG(out.rawStatus), SIGKILL);
+    EXPECT_NE(out.reason.find("heartbeat"), std::string::npos);
+}
+
+TEST(ProcessWorker, AddressSpaceExhaustionClassifiedAsOom)
+{
+    WorkerSupervisor sup;
+    const ProcessOutcome out = sup.runAttempt(
+        smokeItem(), 4, 1, InducedFault::Oom, fastLimits(), 0, 0);
+    ASSERT_EQ(out.cls, ExitClass::RlimitOom) << out.reason;
+    ASSERT_TRUE(WIFEXITED(out.rawStatus));
+    EXPECT_EQ(WEXITSTATUS(out.rawStatus), kChildExitOom);
+    EXPECT_NE(out.reason.find("address-space"), std::string::npos);
+}
+
+TEST(ProcessWorker, CpuSpinKilledByRlimitCpu)
+{
+    WorkerSupervisor sup;
+    ProcessLimits limits = fastLimits();
+    limits.cpuSeconds = 1;
+    limits.heartbeatTimeoutMillis = 10000; // the spin keeps beating
+    const ProcessOutcome out = sup.runAttempt(
+        smokeItem(), 5, 1, InducedFault::SpinCpu, limits, 0, 0);
+    ASSERT_EQ(out.cls, ExitClass::RlimitCpu) << out.reason;
+    ASSERT_TRUE(WIFSIGNALED(out.rawStatus));
+    EXPECT_EQ(WTERMSIG(out.rawStatus), SIGXCPU);
+    // The wedge was live the whole time: heartbeats flowed until
+    // the kernel killed it — proving the timeout didn't fire.
+    EXPECT_GE(out.heartbeats, 1u);
+}
+
+TEST(ProcessWorker, ConcurrentAttemptsClassifyIndependently)
+{
+    // Forks racing on one supervisor: sibling pipe write ends leak
+    // into children (no exec), so classification must never hinge
+    // on pipe EOF. Mix clean and crashing children concurrently.
+    WorkerSupervisor sup;
+    const int n = 6;
+    std::vector<ProcessOutcome> outs(n);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < n; ++i) {
+        threads.emplace_back([&sup, &outs, i] {
+            const InducedFault fault = (i % 2 == 0)
+                                           ? InducedFault::None
+                                           : InducedFault::SigKill;
+            outs[static_cast<std::size_t>(i)] = sup.runAttempt(
+                smokeItem(), static_cast<std::uint64_t>(i), 1,
+                fault, fastLimits(), 0, 0);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (int i = 0; i < n; ++i) {
+        const ProcessOutcome &out = outs[static_cast<std::size_t>(i)];
+        if (i % 2 == 0) {
+            EXPECT_EQ(out.cls, ExitClass::CleanExit)
+                << i << ": " << out.reason;
+            EXPECT_TRUE(out.hasRow) << i;
+        } else {
+            EXPECT_EQ(out.cls, ExitClass::FatalSignal)
+                << i << ": " << out.reason;
+        }
+    }
+    EXPECT_TRUE(sup.livePids().empty());
+}
+
+TEST(ProcessWorker, ExitClassNamesAreStable)
+{
+    EXPECT_STREQ(exitClassName(ExitClass::CleanExit), "clean-exit");
+    EXPECT_STREQ(exitClassName(ExitClass::FatalSignal),
+                 "fatal-signal");
+    EXPECT_STREQ(exitClassName(ExitClass::RlimitOom), "rlimit-oom");
+    EXPECT_STREQ(exitClassName(ExitClass::HeartbeatTimeout),
+                 "heartbeat-timeout");
+}
+
+} // namespace
+} // namespace svc::service

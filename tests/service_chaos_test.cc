@@ -92,6 +92,13 @@ TEST_P(ServiceChaosMatrix, AggregateIsByteIdenticalToFaultFree)
         EXPECT_EQ(out.restarts, 0u);
         EXPECT_EQ(out.total.retries, 0u);
         break;
+    case ServiceFault::SigKill:
+    case ServiceFault::SigSegv:
+    case ServiceFault::SigStop:
+    case ServiceFault::OomKill:
+        // Real-signal kinds run in the process matrix below (the
+        // thread matrix cannot host them: start() refuses).
+        break;
     }
     EXPECT_EQ(out.total.quarantined, 0u);
 }
@@ -114,6 +121,245 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return name + "_seed" + std::to_string(std::get<1>(info.param));
     });
+
+/**
+ * The process-isolation chaos matrix: every real-signal fault kind
+ * x 8 seeds. Selected attempts genuinely SIGKILL / segfault /
+ * wedge under SIGSTOP / exhaust their address space in a forked
+ * worker child — and the daemon must classify each death, retry,
+ * and converge to the byte-identical fault-free aggregate.
+ */
+class ProcessChaosMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<ServiceFault, std::uint64_t>>
+{};
+
+TEST_P(ProcessChaosMatrix, RealCrashesConvergeToFaultFreeBytes)
+{
+    const ServiceFault kind = std::get<0>(GetParam());
+    const std::uint64_t seed = std::get<1>(GetParam());
+
+    TestJournal journal(std::string("proc_") +
+                        serviceFaultName(kind) + "_s" +
+                        std::to_string(seed));
+    ServiceConfig cfg;
+    cfg.journalPath = journal.path;
+    cfg.grid = "smoke";
+    cfg.workers = 4;
+    cfg.quarantinePrefix = "";
+    cfg.isolation = Isolation::Process;
+    cfg.chaos.kind = kind;
+    cfg.chaos.seed = seed;
+    // SIGSTOPped children are reaped by the heartbeat deadline;
+    // keep it short so the matrix stays quick, but generous enough
+    // that a loaded CI box does not time out healthy children (a
+    // false timeout only costs a retry, never result bytes).
+    cfg.processLimits.heartbeatTimeoutMillis = 600;
+
+    const CampaignOutcome out = runCampaign(cfg);
+    ASSERT_TRUE(out.ok) << serviceFaultName(kind) << " seed "
+                        << seed << ": " << out.error;
+
+    // The headline property: genuine child crashes of any kind are
+    // invisible in the aggregate bytes.
+    EXPECT_EQ(out.doc, smokeRef().doc)
+        << serviceFaultName(kind) << " seed " << seed;
+    EXPECT_EQ(out.total.quarantined, 0u);
+    EXPECT_GE(out.total.processAttempts,
+              smokeRef().items.size());
+    EXPECT_GE(out.total.retries, 1u);
+
+    // The fault actually fired as a *real* event of its kind.
+    switch (kind) {
+    case ServiceFault::SigKill:
+    case ServiceFault::SigSegv:
+        EXPECT_GE(out.total.childSignals, 1u);
+        break;
+    case ServiceFault::SigStop:
+        EXPECT_GE(out.total.childTimeouts, 1u);
+        break;
+    case ServiceFault::OomKill:
+        EXPECT_GE(out.total.childOoms, 1u);
+        break;
+    default:
+        break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RealFaultBySeed, ProcessChaosMatrix,
+    ::testing::Combine(::testing::Values(ServiceFault::SigKill,
+                                         ServiceFault::SigSegv,
+                                         ServiceFault::SigStop,
+                                         ServiceFault::OomKill),
+                       ::testing::Range<std::uint64_t>(1, 9)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<ServiceFault, std::uint64_t>> &info) {
+        std::string name = serviceFaultName(std::get<0>(info.param));
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+/** Thread workers cannot survive a real signal: the service must
+ *  refuse the combination up front with a structured error. */
+TEST(ProcessIsolation, ThreadModeRefusesRealSignalKinds)
+{
+    for (const ServiceFault kind :
+         {ServiceFault::SigKill, ServiceFault::SigSegv,
+          ServiceFault::SigStop, ServiceFault::OomKill}) {
+        TestJournal journal(std::string("refuse_") +
+                            serviceFaultName(kind));
+        ServiceConfig cfg;
+        cfg.journalPath = journal.path;
+        cfg.grid = "smoke";
+        cfg.quarantinePrefix = "";
+        cfg.chaos.kind = kind; // isolation defaults to Thread
+        SweepService service(cfg);
+        std::string err;
+        EXPECT_FALSE(service.start(err)) << serviceFaultName(kind);
+        EXPECT_NE(err.find("--isolation=process"),
+                  std::string::npos)
+            << err;
+        EXPECT_NE(err.find(serviceFaultName(kind)),
+                  std::string::npos)
+            << err;
+    }
+}
+
+/** A poison job that genuinely segfaults on every attempt is
+ *  quarantined with the child's exit diagnostics in the bundle,
+ *  while the rest of the campaign completes. */
+TEST(ProcessIsolation, GenuinelySegfaultingPoisonJobIsQuarantined)
+{
+    TestJournal journal("proc_poison_segv");
+    const std::string bundle =
+        "service_test_psegv-quarantine-job2.json";
+    std::remove(bundle.c_str());
+    ServiceConfig cfg;
+    cfg.journalPath = journal.path;
+    cfg.grid = "smoke";
+    cfg.workers = 4;
+    cfg.maxAttempts = 2;
+    cfg.quarantinePrefix = "service_test_psegv";
+    cfg.isolation = Isolation::Process;
+    cfg.chaos.kind = ServiceFault::SigSegv;
+    cfg.chaos.seed = 1;
+    cfg.chaos.poisonJobId = 2;
+
+    const CampaignOutcome out = runCampaign(cfg);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(out.total.quarantined, 1u);
+    EXPECT_EQ(out.total.completed, smokeRef().items.size() - 1);
+    EXPECT_GE(out.total.childSignals, 2u); // every poison attempt
+
+    std::FILE *f = std::fopen(bundle.c_str(), "rb");
+    ASSERT_NE(f, nullptr) << bundle;
+    std::string text(1 << 14, '\0');
+    text.resize(std::fread(text.data(), 1, text.size(), f));
+    std::fclose(f);
+    EXPECT_NE(text.find("svc-quarantine-v1"), std::string::npos);
+    EXPECT_NE(text.find("\"exit_class\": \"fatal-signal\""),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("\"isolation\": \"process\""),
+              std::string::npos);
+    EXPECT_NE(text.find("repro_sweep"), std::string::npos);
+    EXPECT_NE(text.find("final_frames"), std::string::npos);
+    std::remove(bundle.c_str());
+}
+
+/** Same ladder for a poison job that genuinely exhausts its
+ *  address space: classified rlimit-oom, quarantined, campaign
+ *  completes. */
+TEST(ProcessIsolation, GenuinelyOomingPoisonJobIsQuarantined)
+{
+    TestJournal journal("proc_poison_oom");
+    const std::string bundle =
+        "service_test_poom-quarantine-job1.json";
+    std::remove(bundle.c_str());
+    ServiceConfig cfg;
+    cfg.journalPath = journal.path;
+    cfg.grid = "smoke";
+    cfg.workers = 4;
+    cfg.maxAttempts = 2;
+    cfg.quarantinePrefix = "service_test_poom";
+    cfg.isolation = Isolation::Process;
+    cfg.chaos.kind = ServiceFault::OomKill;
+    cfg.chaos.seed = 2;
+    cfg.chaos.poisonJobId = 1;
+
+    const CampaignOutcome out = runCampaign(cfg);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(out.total.quarantined, 1u);
+    EXPECT_GE(out.total.childOoms, 2u);
+
+    std::FILE *f = std::fopen(bundle.c_str(), "rb");
+    ASSERT_NE(f, nullptr) << bundle;
+    std::string text(1 << 14, '\0');
+    text.resize(std::fread(text.data(), 1, text.size(), f));
+    std::fclose(f);
+    EXPECT_NE(text.find("\"exit_class\": \"rlimit-oom\""),
+              std::string::npos)
+        << text;
+    std::remove(bundle.c_str());
+}
+
+/** And a poison job that wedges under SIGSTOP: reaped by the
+ *  heartbeat deadline every attempt, quarantined as a timeout. */
+TEST(ProcessIsolation, GenuinelyWedgedPoisonJobIsQuarantined)
+{
+    TestJournal journal("proc_poison_stop");
+    const std::string bundle =
+        "service_test_pstop-quarantine-job0.json";
+    std::remove(bundle.c_str());
+    ServiceConfig cfg;
+    cfg.journalPath = journal.path;
+    cfg.grid = "smoke";
+    cfg.workers = 4;
+    cfg.maxAttempts = 2;
+    cfg.quarantinePrefix = "service_test_pstop";
+    cfg.isolation = Isolation::Process;
+    cfg.chaos.kind = ServiceFault::SigStop;
+    cfg.chaos.seed = 3;
+    cfg.chaos.poisonJobId = 0;
+    cfg.processLimits.heartbeatTimeoutMillis = 400;
+
+    const CampaignOutcome out = runCampaign(cfg);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(out.total.quarantined, 1u);
+    EXPECT_GE(out.total.childTimeouts, 2u);
+
+    std::FILE *f = std::fopen(bundle.c_str(), "rb");
+    ASSERT_NE(f, nullptr) << bundle;
+    std::string text(1 << 14, '\0');
+    text.resize(std::fread(text.data(), 1, text.size(), f));
+    std::fclose(f);
+    EXPECT_NE(text.find("\"exit_class\": \"heartbeat-timeout\""),
+              std::string::npos)
+        << text;
+    std::remove(bundle.c_str());
+}
+
+/** Process isolation with no chaos at all: pure overhead path,
+ *  still byte-identical (isolation is never byte-visible). */
+TEST(ProcessIsolation, FaultFreeProcessRunMatchesReference)
+{
+    TestJournal journal("proc_clean");
+    ServiceConfig cfg;
+    cfg.journalPath = journal.path;
+    cfg.grid = "smoke";
+    cfg.workers = 4;
+    cfg.quarantinePrefix = "";
+    cfg.isolation = Isolation::Process;
+    const CampaignOutcome out = runCampaign(cfg);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(out.doc, smokeRef().doc);
+    EXPECT_EQ(out.total.quarantined, 0u);
+    EXPECT_EQ(out.total.childSignals, 0u);
+    EXPECT_GE(out.total.processAttempts, smokeRef().items.size());
+}
 
 } // namespace
 } // namespace svc::service

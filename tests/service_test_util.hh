@@ -81,6 +81,11 @@ runCampaign(ServiceConfig cfg, unsigned max_restarts = 16)
         out.total.quarantined += c.quarantined;
         out.total.shed += c.shed;
         out.total.rejected += c.rejected;
+        out.total.processAttempts += c.processAttempts;
+        out.total.childSignals += c.childSignals;
+        out.total.childTimeouts += c.childTimeouts;
+        out.total.childOoms += c.childOoms;
+        out.total.childCpuKills += c.childCpuKills;
         out.last = c;
         if (done) {
             out.ok = true;

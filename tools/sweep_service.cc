@@ -16,19 +16,28 @@
  *            supervised restart loop around injected/real crashes
  *   resume   alias for run (reads better in scripts)
  *   status   replay the journal and print a status summary (JSON)
- *   bench    measure service throughput (jobs/s at 1/4/8 workers),
+ *   bench    measure service throughput (jobs/s at 1/4/8 workers,
+ *            under both thread and process isolation),
  *            restart-recovery latency, and simulation-kernel
  *            throughput (the fig19 grid under the ticked and the
  *            event kernel, with row byte-identity enforced);
- *            writes BENCH_PR9.json
+ *            writes BENCH_PR10.json
+ *
+ * The --isolation flag picks the worker backend: thread (default)
+ * runs attempts on pool threads; process forks one supervised
+ * child per attempt (rlimits, heartbeat deadline, waitpid exit
+ * classification — src/service/process_worker.hh), so a job that
+ * genuinely segfaults, OOMs, or wedges is quarantined while the
+ * daemon completes the campaign.
  *
  * The --chaos flag drives the deterministic service fault injector
- * (worker-kill, worker-hang, journal-stall, torn-write, restart):
- * the chaos matrix in CI runs every kind against several seeds and
- * asserts the aggregated results are byte-identical to the
- * fault-free reference. Torn-write chaos is dropped after its
- * crash fires (a tear is a crash event, not a persistent fault —
- * see service/chaos.hh).
+ * (worker-kill, worker-hang, journal-stall, torn-write, restart,
+ * plus the real-signal kinds sig-kill / sig-segv / sig-stop / oom
+ * that require --isolation process): the chaos matrix in CI runs
+ * every kind against several seeds and asserts the aggregated
+ * results are byte-identical to the fault-free reference.
+ * Torn-write chaos is dropped after its crash fires (a tear is a
+ * crash event, not a persistent fault — see service/chaos.hh).
  *
  * Exit status: 0 when every job completed with a healthy row;
  * 1 when any row failed, any job was quarantined, or the restart
@@ -45,6 +54,7 @@
 #include "bench/harness.hh"
 #include "common/json.hh"
 #include "common/log.hh"
+#include "common/posix_io.hh"
 #include "service/grid.hh"
 #include "service/service.hh"
 #include "trace_io/stimulus_cli.hh"
@@ -94,7 +104,7 @@ usage()
         "  --trace-in F          trace grid: replay this SVCTRC1 "
         "file\n"
         "  --out FILE            results JSON (run: "
-        "sweep_results.json; bench: BENCH_PR9.json)\n"
+        "sweep_results.json; bench: BENCH_PR10.json)\n"
         "  --max-attempts N      strikes before quarantine "
         "(default 3)\n"
         "  --slice-cycles N      preemption quantum in cycles "
@@ -106,9 +116,23 @@ usage()
         "the low lane\n"
         "  --quarantine-prefix P quarantine bundle path prefix "
         "(default sweep)\n"
+        "  --isolation MODE      thread | process (default thread);"
+        "\n"
+        "                        process forks one supervised child "
+        "per attempt\n"
+        "  --cpu-limit N         per-attempt RLIMIT_CPU seconds "
+        "(process only; 0 = off)\n"
+        "  --mem-limit-mb N      per-attempt RLIMIT_AS in MiB "
+        "(process only; 0 = off)\n"
+        "  --heartbeat-timeout-ms N  supervisor reaps a silent "
+        "child after this (default 1000)\n"
         "  --chaos KIND          none | worker-kill | worker-hang "
         "| journal-stall\n"
         "                        | torn-write | restart\n"
+        "                        real-signal kinds (need "
+        "--isolation process):\n"
+        "                        | sig-kill | sig-segv | sig-stop "
+        "| oom\n"
         "  --chaos-seed N        chaos schedule seed (default 1)\n"
         "  --poison-job N        this job id fails every attempt\n"
         "  --max-restarts N      restart-loop budget (default "
@@ -135,6 +159,19 @@ printCounters(const SweepService &s, unsigned incarnation)
                 static_cast<unsigned long long>(c.quarantined),
                 static_cast<unsigned long long>(c.shed),
                 static_cast<unsigned long long>(c.rejected));
+    if (c.processAttempts)
+        std::printf("service[%u]: process_attempts=%llu "
+                    "child_signals=%llu child_timeouts=%llu "
+                    "child_ooms=%llu child_cpu_kills=%llu\n",
+                    incarnation,
+                    static_cast<unsigned long long>(
+                        c.processAttempts),
+                    static_cast<unsigned long long>(c.childSignals),
+                    static_cast<unsigned long long>(
+                        c.childTimeouts),
+                    static_cast<unsigned long long>(c.childOoms),
+                    static_cast<unsigned long long>(
+                        c.childCpuKills));
 }
 
 int
@@ -146,7 +183,7 @@ writeFile(const std::string &path, const std::string &doc)
                      path.c_str());
         return 1;
     }
-    std::fwrite(doc.data(), 1, doc.size(), f);
+    fwriteAll(f, doc.data(), doc.size());
     std::fputc('\n', f);
     std::fclose(f);
     return 0;
@@ -181,6 +218,7 @@ cmdStatus(const Options &opt)
     }
     std::size_t pending = 0, completed = 0, quarantined = 0,
                 shed = 0, failed = 0;
+    std::size_t lane_pending[service::kNumLanes] = {};
     for (const auto &job : replay.jobs) {
         if (job.completed) {
             ++completed;
@@ -189,8 +227,10 @@ cmdStatus(const Options &opt)
             ++quarantined;
         else if (job.shed)
             ++shed;
-        else
+        else {
             ++pending;
+            ++lane_pending[static_cast<unsigned>(job.lane)];
+        }
     }
     JsonWriter w;
     w.beginObject();
@@ -205,6 +245,13 @@ cmdStatus(const Options &opt)
     w.value(replay.recordsApplied);
     w.key("pending");
     w.value(static_cast<std::uint64_t>(pending));
+    w.key("lane_depths");
+    w.beginObject();
+    for (unsigned i = 0; i < service::kNumLanes; ++i) {
+        w.key(service::laneName(static_cast<service::Lane>(i)));
+        w.value(static_cast<std::uint64_t>(lane_pending[i]));
+    }
+    w.endObject();
     w.key("completed");
     w.value(static_cast<std::uint64_t>(completed));
     w.key("failed_rows");
@@ -213,6 +260,8 @@ cmdStatus(const Options &opt)
     w.value(static_cast<std::uint64_t>(quarantined));
     w.key("shed");
     w.value(static_cast<std::uint64_t>(shed));
+    w.member("isolation",
+             service::isolationName(opt.cfg.isolation));
     w.member("torn", replay.torn);
     w.member("journal_diagnostic", replay.tornError);
     w.endObject();
@@ -342,36 +391,55 @@ int
 cmdBench(Options opt)
 {
     if (!opt.outSet)
-        opt.out = "BENCH_PR9.json";
+        opt.out = "BENCH_PR10.json";
     const std::string journal_base = opt.cfg.journalPath;
     std::vector<std::string> rows;
     struct Point
     {
+        service::Isolation isolation;
         unsigned jobs;
         double wall = 0.0;
         std::size_t items = 0;
     };
     std::vector<Point> points;
-    for (unsigned jobs : {1u, 4u, 8u}) {
-        Options o = opt;
-        o.cfg.workers = jobs;
-        o.cfg.journalPath =
-            journal_base + ".bench-jobs" + std::to_string(jobs);
-        o.cfg.quarantinePrefix = ""; // no bundles from the bench
-        o.out.clear();               // no per-point documents
-        std::remove(o.cfg.journalPath.c_str());
-        const auto t0 = std::chrono::steady_clock::now();
-        std::vector<std::string> point_rows;
-        const int rc = runToCompletion(o, &point_rows);
-        const double wall = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() -
-                                t0)
-                                .count();
-        std::remove(o.cfg.journalPath.c_str());
-        if (rc)
-            return rc;
-        points.push_back({jobs, wall, point_rows.size()});
-        rows = std::move(point_rows); // identical at any --jobs
+    // Thread vs process isolation at each worker count: the same
+    // campaign, so the process backend's fork/IPC overhead is
+    // directly readable — and the rows must be byte-identical
+    // across every cell (isolation is a supervision concern, never
+    // a results concern).
+    for (const service::Isolation iso :
+         {service::Isolation::Thread, service::Isolation::Process}) {
+        for (unsigned jobs : {1u, 4u, 8u}) {
+            Options o = opt;
+            o.cfg.isolation = iso;
+            o.cfg.workers = jobs;
+            o.cfg.journalPath = journal_base + ".bench-" +
+                                service::isolationName(iso) +
+                                "-jobs" + std::to_string(jobs);
+            o.cfg.quarantinePrefix = ""; // no bundles in the bench
+            o.out.clear();               // no per-point documents
+            std::remove(o.cfg.journalPath.c_str());
+            const auto t0 = std::chrono::steady_clock::now();
+            std::vector<std::string> point_rows;
+            const int rc = runToCompletion(o, &point_rows);
+            const double wall =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            std::remove(o.cfg.journalPath.c_str());
+            if (rc)
+                return rc;
+            if (!rows.empty() && point_rows != rows) {
+                std::fprintf(stderr,
+                             "bench: %s-isolation rows diverge "
+                             "from the first pass — worker "
+                             "backends must not be byte-visible\n",
+                             service::isolationName(iso));
+                return 1;
+            }
+            points.push_back({iso, jobs, wall, point_rows.size()});
+            rows = std::move(point_rows);
+        }
     }
 
     // Restart-recovery latency: crash mid-campaign (injected
@@ -440,10 +508,19 @@ cmdBench(Options opt)
     for (const std::string &row : ticked_rows)
         w.rawValue(row);
     for (const Point &p : points) {
+        // Thread points keep the PR 9 ids so bench_compare tracks
+        // them against committed baselines; process points get
+        // their own id family.
+        const std::string id =
+            p.isolation == service::Isolation::Thread
+                ? "service/throughput/jobs" + std::to_string(p.jobs)
+                : "service/throughput/process/jobs" +
+                      std::to_string(p.jobs);
         w.beginObject();
-        w.member("id", "service/throughput/jobs" +
-                           std::to_string(p.jobs));
+        w.member("id", id);
         w.member("kind", "service");
+        w.member("isolation",
+                 service::isolationName(p.isolation));
         w.key("jobs");
         w.value(p.jobs);
         w.key("campaign_items");
@@ -510,6 +587,10 @@ cmdBench(Options opt)
 int
 main(int argc, char **argv)
 {
+    // A worker child can die with the daemon mid-write to its pipe;
+    // the resulting EPIPE must be an error return, not a fatal
+    // SIGPIPE in the parent.
+    svc::ignoreSigpipe();
     svc::Options opt;
     if (argc < 2) {
         svc::usage();
@@ -556,6 +637,29 @@ main(int argc, char **argv)
                 static_cast<std::size_t>(next_u64());
         } else if (arg == "--quarantine-prefix") {
             opt.cfg.quarantinePrefix = next_arg();
+        } else if (arg == "--isolation" ||
+                   arg.rfind("--isolation=", 0) == 0) {
+            const std::string mode =
+                arg == "--isolation" ? next_arg()
+                                     : arg.substr(12);
+            bool ok = false;
+            opt.cfg.isolation =
+                svc::service::isolationFromName(mode, ok);
+            if (!ok) {
+                std::fprintf(stderr, "unknown isolation mode '%s' "
+                                     "(thread | process)\n",
+                             mode.c_str());
+                return 2;
+            }
+        } else if (arg == "--cpu-limit") {
+            opt.cfg.processLimits.cpuSeconds =
+                static_cast<unsigned>(next_u64());
+        } else if (arg == "--mem-limit-mb") {
+            opt.cfg.processLimits.addressSpaceBytes =
+                next_u64() << 20;
+        } else if (arg == "--heartbeat-timeout-ms") {
+            opt.cfg.processLimits.heartbeatTimeoutMillis =
+                static_cast<unsigned>(next_u64());
         } else if (arg == "--chaos") {
             bool ok = false;
             opt.cfg.chaos.kind =
